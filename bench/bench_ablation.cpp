@@ -1,0 +1,146 @@
+// Ablation study — the photonic-PUF design decisions DESIGN.md calls out:
+//   A. input fan-out tree        (always on in the shipped design; the
+//                                 single-port variant is approximated by
+//                                 what the aliasing metric shows)
+//   B. calibrated thresholds     (calibration_challenges = 0 vs 63)
+//   C. phase vs amplitude keying (modulator.phase_modulation)
+//   D. microring memory          (design.with_rings)
+//
+// For each variant we report the four numbers that decide whether the
+// device is a usable strong PUF: inter-device HD (uniqueness), challenge
+// sensitivity, reliability intra-HD, and LR-attack accuracy.
+#include <memory>
+
+#include "attacks/ml_attack.hpp"
+#include "bench_util.hpp"
+#include "crypto/chacha20.hpp"
+#include "puf/photonic_puf.hpp"
+
+namespace {
+
+using namespace neuropuls;
+
+struct AblationRow {
+  double uniqueness = 0.0;
+  double sensitivity = 0.0;
+  double intra = 0.0;
+  double ml_accuracy = 0.0;
+};
+
+AblationRow measure(const puf::PhotonicPufConfig& cfg) {
+  AblationRow row;
+  crypto::ChaChaDrbg rng(crypto::bytes_of("ablate"));
+  const std::size_t cb = cfg.challenge_bits / 8;
+
+  // Uniqueness over 6 devices x 3 challenges.
+  std::vector<std::unique_ptr<puf::PhotonicPuf>> devices;
+  for (int d = 0; d < 6; ++d) {
+    devices.push_back(std::make_unique<puf::PhotonicPuf>(cfg, 31337, d));
+  }
+  int pairs = 0;
+  for (int t = 0; t < 3; ++t) {
+    const puf::Challenge c = rng.generate(cb);
+    for (int a = 0; a < 6; ++a) {
+      for (int b = a + 1; b < 6; ++b) {
+        row.uniqueness += crypto::fractional_hamming_distance(
+            devices[a]->evaluate_noiseless(c),
+            devices[b]->evaluate_noiseless(c));
+        ++pairs;
+      }
+    }
+  }
+  row.uniqueness /= pairs;
+
+  // Challenge sensitivity and reliability on device 0.
+  auto& dev = *devices[0];
+  int n = 0;
+  for (int t = 0; t < 10; ++t) {
+    const auto c1 = rng.generate(cb);
+    const auto c2 = rng.generate(cb);
+    row.sensitivity += crypto::fractional_hamming_distance(
+        dev.evaluate_noiseless(c1), dev.evaluate_noiseless(c2));
+    ++n;
+  }
+  row.sensitivity /= n;
+  const puf::Challenge c = rng.generate(cb);
+  const auto ref = dev.evaluate_noiseless(c);
+  for (int t = 0; t < 10; ++t) {
+    row.intra += crypto::fractional_hamming_distance(dev.evaluate(c), ref);
+  }
+  row.intra /= 10;
+
+  attacks::AttackConfig ml;
+  ml.training_crps = 1500;
+  ml.test_crps = 250;
+  row.ml_accuracy =
+      attacks::mean_attack_accuracy(dev, attacks::raw_feature_map(), ml, 4);
+  return row;
+}
+
+void print_tables() {
+  bench::banner("Ablation", "Photonic-PUF design decisions (DESIGN.md)");
+  auto base = puf::small_photonic_config();
+
+  struct Variant {
+    const char* name;
+    puf::PhotonicPufConfig cfg;
+  };
+  std::vector<Variant> variants;
+  variants.push_back({"shipped design", base});
+
+  auto no_calib = base;
+  no_calib.calibration_challenges = 0;
+  variants.push_back({"no calibration", no_calib});
+
+  auto amplitude = base;
+  amplitude.modulator.phase_modulation = false;
+  amplitude.modulator.extinction_ratio_db = 20.0;
+  variants.push_back({"amplitude keying", amplitude});
+
+  auto no_rings = base;
+  no_rings.design.with_rings = false;
+  variants.push_back({"no ring memory", no_rings});
+
+  auto slow_bits = base;
+  slow_bits.samples_per_bit = 8;
+  variants.push_back({"8 samples/bit", slow_bits});
+
+  std::printf("  %-20s %-12s %-13s %-12s %-12s\n", "variant", "uniqueness",
+              "sensitivity", "intra-HD", "LR attack");
+  for (const auto& v : variants) {
+    const AblationRow row = measure(v.cfg);
+    std::printf("  %-20s %-12.3f %-13.3f %-12.3f %-12.3f\n", v.name,
+                row.uniqueness, row.sensitivity, row.intra, row.ml_accuracy);
+  }
+  bench::note("targets: uniqueness/sensitivity ~0.5, intra small, LR ~0.5. "
+              "No calibration: bits are static offsets -> trivially "
+              "learnable (LR=1.0). Amplitude keying: linear component "
+              "leaks (LR~0.8). No ring memory: a *global* phase carries "
+              "no information into |field|^2, so margins collapse to "
+              "detector noise (intra ~0.5) — the paper's reservoir memory "
+              "is what makes coherent phase keying readable at all.");
+}
+
+void BM_ShippedEvaluate(benchmark::State& state) {
+  puf::PhotonicPuf device(puf::small_photonic_config(), 1, 0);
+  const puf::Challenge c(2, 0x5A);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(device.evaluate_noiseless(c));
+  }
+}
+BENCHMARK(BM_ShippedEvaluate)->Unit(benchmark::kMicrosecond);
+
+void BM_RinglessEvaluate(benchmark::State& state) {
+  auto cfg = puf::small_photonic_config();
+  cfg.design.with_rings = false;
+  puf::PhotonicPuf device(cfg, 1, 0);
+  const puf::Challenge c(2, 0x5A);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(device.evaluate_noiseless(c));
+  }
+}
+BENCHMARK(BM_RinglessEvaluate)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+NEUROPULS_BENCH_MAIN(print_tables)

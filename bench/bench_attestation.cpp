@@ -1,0 +1,125 @@
+// E5 / §III-B — Attestation: runtime vs memory size, the pPUF-speed
+// claim, and honest-vs-memory-hiding timing margins.
+#include "bench_util.hpp"
+#include "core/attestation.hpp"
+#include "puf/photonic_puf.hpp"
+
+namespace {
+
+using namespace neuropuls;
+
+void print_scaling_table() {
+  bench::banner("E5 / §III-B", "Attestation time vs device memory size");
+  core::AttestationConfig config;
+  core::AttestationCostModel cost;
+  std::printf("  %-16s %-18s %-22s\n", "memory", "chunks",
+              "honest time (ms, model)");
+  for (std::size_t kib : {64ul, 256ul, 1024ul, 4096ul, 16384ul}) {
+    const std::size_t bytes = kib * 1024;
+    const double t =
+        core::honest_attestation_time_ns(bytes, config, cost) / 1e6;
+    std::printf("  %-16s %-18zu %-22.2f\n",
+                (std::to_string(kib) + " KiB").c_str(),
+                bytes / config.chunk_size, t);
+  }
+  bench::note("linear in memory size: the walk visits every chunk once.");
+}
+
+void print_puf_speed_table() {
+  bench::banner("E5 / §III-B",
+                "pPUF speed vs per-chunk hash time (\"never slows down\")");
+  core::AttestationConfig config;
+  std::printf("  %-26s %-22s %-14s\n", "pPUF response time (ns)",
+              "attest time 1 MiB (ms)", "slowdown");
+  core::AttestationCostModel base;
+  const double reference =
+      core::honest_attestation_time_ns(1 << 20, config, base);
+  for (double puf_ns : {0.0, 60.0, 500.0, 1360.0, 5000.0, 20000.0}) {
+    core::AttestationCostModel cost = base;
+    cost.puf_response_ns = puf_ns;
+    const double t = core::honest_attestation_time_ns(1 << 20, config, cost);
+    char slowdown[24];
+    std::snprintf(slowdown, sizeof slowdown, "%.2fx", t / reference);
+    std::printf("  %-26.0f %-22.2f %-14s\n", puf_ns, t / 1e6, slowdown);
+  }
+  bench::note("below the per-chunk hash time (~1.4 us) the pPUF is free; "
+              "the photonic PUF's interrogation is tens of ns.");
+}
+
+void print_attack_margin_table() {
+  bench::banner("E5 / §III-B",
+                "Honest vs memory-hiding attacker vs time bound");
+  const auto cfg = puf::small_photonic_config();
+  puf::PhotonicPuf device_puf(cfg, 55, 0);
+  puf::PhotonicPuf model(cfg, 55, 0);
+  crypto::ChaChaDrbg rng(crypto::bytes_of("e5"));
+  crypto::Bytes memory = rng.generate(64 * 1024);
+
+  core::AttestationConfig config;
+  config.chunk_size = 1024;
+  core::AttestVerifier verifier(model, memory, config,
+                                core::AttestationCostModel{});
+
+  std::printf("  %-26s %-10s %-10s %-10s\n", "device", "digest", "time",
+              "accepted");
+  struct Case {
+    const char* name;
+    bool corrupt;
+    double overhead;
+  };
+  for (const Case& c : {Case{"honest", false, 1.0},
+                        Case{"corrupted (no hiding)", true, 1.0},
+                        Case{"hiding @1.15x", true, 1.15},
+                        Case{"hiding @1.6x", true, 1.6},
+                        Case{"hiding @2.5x", true, 2.5}}) {
+    core::AttestDevice device(device_puf, memory, config);
+    if (c.corrupt) {
+      device.corrupt_memory(12345, 0xEE);
+      if (c.overhead > 1.0) {
+        device.enable_memory_hiding(memory, c.overhead);
+      }
+    }
+    const auto request = rng.generate(1);  // advance rng deterministically
+    (void)request;
+    crypto::ChaChaDrbg session_rng(crypto::bytes_of("e5s"));
+    const auto msg = verifier.start(1, 1000, session_rng);
+    const auto report = device.handle_request(msg);
+    const double elapsed =
+        verifier.honest_time_ns() * device.last_time_factor();
+    const auto outcome = verifier.check(*report, elapsed);
+    std::printf("  %-26s %-10s %-10s %-10s\n", c.name,
+                outcome.digest_ok ? "ok" : "BAD",
+                outcome.time_ok ? "ok" : "OVER",
+                outcome.accepted ? "yes" : "no");
+  }
+  bench::note("the 1.15x hider slips under the 1.3x bound but only by "
+              "keeping a full pristine copy — the classic space/time "
+              "trade-off the bound parameterises.");
+}
+
+void print_tables() {
+  print_scaling_table();
+  print_puf_speed_table();
+  print_attack_margin_table();
+}
+
+void BM_AttestationDigest(benchmark::State& state) {
+  const auto cfg = puf::small_photonic_config();
+  puf::PhotonicPuf device_puf(cfg, 55, 0);
+  crypto::ChaChaDrbg rng(crypto::bytes_of("e5b"));
+  const crypto::Bytes memory =
+      rng.generate(static_cast<std::size_t>(state.range(0)));
+  const puf::Challenge c1(device_puf.challenge_bytes(), 0x42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::attestation_digest(memory, device_puf, 7, c1, 1024));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_AttestationDigest)->Arg(16 << 10)->Arg(64 << 10)->Arg(256 << 10)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+NEUROPULS_BENCH_MAIN(print_tables)

@@ -1,0 +1,129 @@
+// E1 / Fig. 3 — Bit-aliasing (Shannon entropy) vs reliability vs counter
+// threshold, with the retained-CRP trade-off window.
+//
+// Reproduces the relationship of Fig. 3 on (a) an RO-PUF population with
+// the counter threshold of ref. [13], and (b) the photonic PUF with the
+// NEUROPULS photocurrent-amplitude threshold. Expected shape: entropy
+// high and reliability lowest at threshold 0; as the threshold grows,
+// reliability rises toward 1 while aliasing entropy decays (extreme
+// margins are layout/design-systematic); the shaded trade-off window is
+// the region where both clear their floors.
+#include "bench_util.hpp"
+#include "filtering/filter.hpp"
+
+namespace {
+
+using namespace neuropuls;
+
+void print_ro_sweep() {
+  bench::banner("E1 / Fig. 3 (a)", "RO PUF: counter-threshold filtering");
+  puf::RoPufConfig cfg;
+  cfg.oscillators = 64;
+  cfg.layout_sigma_hz = 1.5e5;
+  cfg.process_sigma_hz = 2.5e5;
+  cfg.noise_sigma_hz = 5.0e4;
+  const auto pop = filtering::measure_ro_population(
+      cfg, 48, filtering::all_ro_pairs(64, 1024), 15, 42'000);
+
+  std::vector<double> thresholds;
+  for (int t = 0; t <= 140; t += 10) thresholds.push_back(t);
+  const auto sweep = filtering::sweep_lower_threshold(pop, thresholds);
+
+  std::printf("  %-18s %-12s %-18s %-10s\n", "counter threshold",
+              "reliability", "aliasing entropy", "retained");
+  for (const auto& p : sweep) {
+    std::printf("  %-18.0f %-12.4f %-18.4f %-10.3f\n", p.threshold,
+                p.reliability, p.aliasing_entropy, p.retained_fraction);
+  }
+  const auto window = filtering::tradeoff_window(sweep, 0.99, 0.78);
+  if (window.empty()) {
+    std::printf("  trade-off window (rel>=0.99, H>=0.78): EMPTY\n");
+  } else {
+    std::printf("  trade-off window (rel>=0.99, H>=0.78): thresholds %.0f..%.0f\n",
+                sweep[window.front()].threshold, sweep[window.back()].threshold);
+  }
+
+  // The complete [13] filter uses BOTH bounds: lower for reliability,
+  // upper to reject aliased (layout-dominated) extremes.
+  std::printf("\n  full [lo, hi] window selection:\n");
+  std::printf("  %-22s %-12s %-18s %-10s\n", "window", "reliability",
+              "aliasing entropy", "retained");
+  struct WindowCase {
+    const char* name;
+    double lo, hi;
+  };
+  for (const WindowCase& wc :
+       {WindowCase{"none  [0, inf)", 0.0, 1e18},
+        WindowCase{"floor [20, inf)", 20.0, 1e18},
+        WindowCase{"both  [20, 80]", 20.0, 80.0},
+        WindowCase{"both  [20, 50]", 20.0, 50.0}}) {
+    const auto point = filtering::evaluate_window(pop, wc.lo, wc.hi);
+    std::printf("  %-22s %-12.4f %-18.4f %-10.3f\n", wc.name,
+                point.reliability, point.aliasing_entropy,
+                point.retained_fraction);
+  }
+}
+
+void print_photonic_sweep() {
+  bench::banner("E1 / Fig. 3 (b)",
+                "Photonic PUF: photocurrent-amplitude threshold (NEUROPULS adaptation)");
+  auto cfg = puf::small_photonic_config();
+  cfg.challenge_bits = 32;
+  const puf::Challenge challenge =
+      crypto::from_hex("a5c3f01e");
+  const auto pop =
+      filtering::measure_photonic_population(cfg, 12, challenge, 9, 7'000);
+
+  double max_margin = 0.0;
+  for (const auto& crp : pop.crps) {
+    for (double m : crp.margins) {
+      max_margin = std::max(max_margin, std::fabs(m));
+    }
+  }
+  std::vector<double> thresholds;
+  for (int i = 0; i <= 12; ++i) {
+    thresholds.push_back(max_margin * static_cast<double>(i) / 30.0);
+  }
+  const auto sweep = filtering::sweep_lower_threshold(pop, thresholds);
+
+  std::printf("  %-22s %-12s %-18s %-10s\n", "|dI| threshold (uA)",
+              "reliability", "aliasing entropy", "retained");
+  for (const auto& p : sweep) {
+    std::printf("  %-22.3f %-12.4f %-18.4f %-10.3f\n", p.threshold * 1e6,
+                p.reliability, p.aliasing_entropy, p.retained_fraction);
+  }
+}
+
+void print_tables() {
+  print_ro_sweep();
+  print_photonic_sweep();
+}
+
+void BM_RoPopulationMeasurement(benchmark::State& state) {
+  puf::RoPufConfig cfg;
+  cfg.oscillators = 32;
+  const auto pairs = filtering::all_ro_pairs(32, 128);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        filtering::measure_ro_population(cfg, 8, pairs, 5, 1));
+  }
+}
+BENCHMARK(BM_RoPopulationMeasurement)->Unit(benchmark::kMillisecond);
+
+void BM_ThresholdSweep(benchmark::State& state) {
+  puf::RoPufConfig cfg;
+  cfg.oscillators = 32;
+  const auto pop = filtering::measure_ro_population(
+      cfg, 16, filtering::all_ro_pairs(32, 256), 9, 2);
+  std::vector<double> thresholds;
+  for (int t = 0; t <= 150; t += 5) thresholds.push_back(t);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        filtering::sweep_lower_threshold(pop, thresholds));
+  }
+}
+BENCHMARK(BM_ThresholdSweep)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+NEUROPULS_BENCH_MAIN(print_tables)

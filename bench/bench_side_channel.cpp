@@ -1,0 +1,112 @@
+// E7 / §IV — Side-channel resistance: power-analysis bit recovery vs
+// trace count at electronic vs photonic leakage levels, plus the
+// remanence-decay contrast.
+#include "attacks/cpa.hpp"
+#include "attacks/side_channel.hpp"
+#include "bench_util.hpp"
+#include "puf/arbiter_puf.hpp"
+#include "puf/photonic_puf.hpp"
+
+namespace {
+
+using namespace neuropuls;
+
+void print_trace_sweep() {
+  bench::banner("E7 / §IV", "Power-analysis bit recovery vs trace count");
+  puf::ArbiterPuf electronic_target(puf::ArbiterPufConfig{}, 13);
+  puf::PhotonicPuf photonic_target(puf::small_photonic_config(), 13, 0);
+  const puf::Challenge c_e(8, 0x3C);
+  const puf::Challenge c_p(2, 0x3C);
+
+  std::printf("  %-10s %-26s %-26s\n", "traces", "electronic leakage",
+              "photonic leakage (-40 dB)");
+  for (std::size_t traces : {10ul, 50ul, 200ul, 1000ul, 5000ul}) {
+    const auto electronic = attacks::power_analysis_attack(
+        electronic_target, c_e, traces, attacks::electronic_leakage(), 1);
+    const auto photonic = attacks::power_analysis_attack(
+        photonic_target, c_p, traces, attacks::photonic_leakage(), 1);
+    std::printf("  %-10zu %-26.3f %-26.3f\n", traces,
+                electronic.bit_recovery_accuracy,
+                photonic.bit_recovery_accuracy);
+  }
+  bench::note("0.5 = chance, 1.0 = full response recovery. The electronic "
+              "target collapses within hundreds of traces; the photonic "
+              "leakage level needs ~10^4x more (out of reach in-field).");
+}
+
+void print_remanence_table() {
+  bench::banner("E7 / §IV", "Remanence-decay window");
+  puf::PhotonicPuf photonic_target(puf::small_photonic_config(), 13, 0);
+  const double photonic_window = attacks::remanence_window_s(
+      true, photonic_target.interrogation_time_s());
+  const double sram_window = attacks::remanence_window_s(false, 0.0);
+  std::printf("  %-30s %-20s\n", "technology", "exploitable window");
+  std::printf("  %-30s %.1f ns\n", "photonic PUF (time-domain)",
+              photonic_window * 1e9);
+  std::printf("  %-30s %.1f s\n", "SRAM PUF (shared memory)", sram_window);
+  std::printf("  ratio: %.1e\n", sram_window / photonic_window);
+  bench::note("the photonic response 'is present only during the "
+              "interrogation time and then disappears' (§IV) — below the "
+              "100 ns bound.");
+}
+
+void print_cpa_table() {
+  bench::banner("E7 / §IV",
+                "CPA vs the Table I AES engine: traces to full key recovery");
+  const crypto::Bytes key =
+      crypto::from_hex("2b7e151628aed2a6abf7158809cf4f3c");
+  const std::vector<std::size_t> budgets = {50, 200, 800, 3200, 12800};
+  std::printf("  %-34s %-24s\n", "leakage (alpha, noise)",
+              "traces to 16/16 key bytes");
+  struct Case {
+    const char* name;
+    attacks::CpaLeakageModel model;
+  };
+  for (const Case& c :
+       {Case{"exposed CMOS S-box (1.0, 2.0)", {1.0, 2.0}},
+        Case{"-12 dB shielding (0.25, 2.0)", {0.25, 2.0}},
+        Case{"-26 dB shielding (0.05, 2.0)", {0.05, 2.0}},
+        Case{"-40 dB engine    (0.01, 2.0)", {0.01, 2.0}}}) {
+    const std::size_t needed =
+        attacks::traces_to_full_recovery(key, c.model, budgets, 11);
+    if (needed == 0) {
+      std::printf("  %-34s > %zu (not recovered)\n", c.name, budgets.back());
+    } else {
+      std::printf("  %-34s %zu\n", c.name, needed);
+    }
+  }
+  bench::note("each 14 dB of leakage attenuation costs the attacker ~25x "
+              "more traces; the hardware crypto boundary of Table I is "
+              "what buys that attenuation.");
+}
+
+void print_tables() {
+  print_trace_sweep();
+  print_cpa_table();
+  print_remanence_table();
+}
+
+void BM_PowerAnalysis1kTraces(benchmark::State& state) {
+  puf::ArbiterPuf target(puf::ArbiterPufConfig{}, 13);
+  const puf::Challenge c(8, 0x3C);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(attacks::power_analysis_attack(
+        target, c, 1000, attacks::electronic_leakage(), 7));
+  }
+}
+BENCHMARK(BM_PowerAnalysis1kTraces)->Unit(benchmark::kMillisecond);
+
+void BM_CpaAttack800Traces(benchmark::State& state) {
+  const crypto::Bytes key =
+      crypto::from_hex("2b7e151628aed2a6abf7158809cf4f3c");
+  const auto traces =
+      attacks::acquire_traces(key, 800, attacks::CpaLeakageModel{}, 5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(attacks::cpa_attack(traces, key));
+  }
+}
+BENCHMARK(BM_CpaAttack800Traces)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+NEUROPULS_BENCH_MAIN(print_tables)

@@ -1,0 +1,37 @@
+// Shared helpers for the experiment benches.
+//
+// Every bench binary prints its experiment's paper-shaped table(s) first
+// (deterministic, fixed seeds) and then runs its google-benchmark timing
+// cases, so `for b in build/bench/*; do $b; done` regenerates the whole
+// evaluation.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+
+namespace neuropuls::bench {
+
+inline void banner(const std::string& experiment, const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s — %s\n", experiment.c_str(), title.c_str());
+  std::printf("================================================================\n");
+}
+
+inline void note(const std::string& text) {
+  std::printf("  note: %s\n", text.c_str());
+}
+
+/// Standard main body: print tables, then run benchmark timing cases.
+#define NEUROPULS_BENCH_MAIN(print_tables_fn)                       \
+  int main(int argc, char** argv) {                                 \
+    print_tables_fn();                                              \
+    benchmark::Initialize(&argc, argv);                             \
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1; \
+    benchmark::RunSpecifiedBenchmarks();                            \
+    benchmark::Shutdown();                                          \
+    return 0;                                                       \
+  }
+
+}  // namespace neuropuls::bench

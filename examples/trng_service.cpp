@@ -1,0 +1,61 @@
+// Photonic TRNG service demo: harvest entropy from the photodiode noise
+// of the PUF front end and show it passing the statistical tests at each
+// processing stage.
+//
+//   $ ./trng_service
+//
+// The TRNG reuses the PUF hardware (Fig. 2's chain) — the deterministic
+// interference cancels in the differential readout, leaving pure
+// shot/thermal noise. This is the randomness source behind enrollment
+// codewords, protocol nonces, and EKE exponents.
+#include <cstdio>
+
+#include "metrics/nist.hpp"
+#include "puf/trng.hpp"
+
+using namespace neuropuls;
+
+int main() {
+  std::printf("== Photonic TRNG service ==\n\n");
+  puf::PhotonicPuf device(puf::small_photonic_config(), 314, 0);
+  puf::PhotonicTrng trng(device, puf::Challenge(device.challenge_bytes(), 0x5A));
+
+  std::printf("entropy source: %s front end\n", device.name().c_str());
+  std::printf("raw bits per interrogation pair: %zu\n",
+              trng.bits_per_interrogation());
+  std::printf("raw throughput (device-limited): %.2f Gb/s\n\n",
+              trng.raw_throughput_bps() / 1e9);
+
+  std::printf("raw-bit bias over 8192 bits: %.4f (ideal 0.5000)\n\n",
+              trng.measured_bias(8192));
+
+  struct Stage {
+    const char* name;
+    crypto::Bytes data;
+  };
+  const Stage stages[] = {
+      {"raw", trng.raw_bits(8192)},
+      {"von Neumann debiased", trng.debiased_bits(8192)},
+      {"SHA-256 conditioned", trng.conditioned_bytes(1024)},
+  };
+
+  for (const auto& stage : stages) {
+    const auto bits = metrics::bits_from_bytes(stage.data);
+    std::printf("[%s] %zu bits\n", stage.name, bits.size());
+    for (const auto& result : metrics::nist_suite(bits)) {
+      std::printf("    %-22s p=%.4f %s\n", result.test.c_str(),
+                  result.p_value, result.passed ? "ok" : "FAIL");
+    }
+    std::printf("    pass fraction: %.2f\n\n",
+                metrics::nist_pass_fraction(bits));
+  }
+
+  std::printf("sample (32 conditioned bytes): %s\n\n",
+              crypto::to_hex(trng.conditioned_bytes(32)).c_str());
+  std::printf(
+      "note: raw physical noise is unbiased but carries short-range\n"
+      "correlation (shared laser noise within a window) — exactly why SP\n"
+      "800-90B mandates a conditioning stage before the key path. Only\n"
+      "the conditioned output is used by the key manager and protocols.\n");
+  return 0;
+}

@@ -1,0 +1,98 @@
+#include "accel/accelerator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace neuropuls::accel {
+
+DigitalMvm::DigitalMvm(double energy_per_mac_pj)
+    : energy_per_mac_pj_(energy_per_mac_pj) {}
+
+std::vector<double> DigitalMvm::multiply(const Layer& layer,
+                                         const std::vector<double>& x) {
+  std::vector<double> y(layer.outputs);
+  for (std::size_t o = 0; o < layer.outputs; ++o) {
+    double acc = layer.biases[o];
+    const double* row = layer.weights.data() + o * layer.inputs;
+    for (std::size_t i = 0; i < layer.inputs; ++i) acc += row[i] * x[i];
+    y[o] = acc;
+  }
+  stats_.mac_operations += layer.inputs * layer.outputs;
+  stats_.energy_pj += energy_per_mac_pj_ *
+                      static_cast<double>(layer.inputs * layer.outputs);
+  return y;
+}
+
+PhotonicMvm::PhotonicMvm(PhotonicMvmConfig config, std::uint64_t seed)
+    : config_(config), noise_(seed) {
+  if (config_.weight_bits == 0 || config_.weight_bits > 16 ||
+      config_.weight_clip <= 0.0) {
+    throw std::invalid_argument("PhotonicMvm: bad config");
+  }
+}
+
+double PhotonicMvm::effective_weight(double w) const noexcept {
+  const double clipped =
+      std::clamp(w, -config_.weight_clip, config_.weight_clip);
+  const double levels = static_cast<double>((1u << config_.weight_bits) - 1);
+  // Map [-clip, clip] -> [0, levels], round, map back.
+  const double normalized = (clipped + config_.weight_clip) /
+                            (2.0 * config_.weight_clip);
+  const double code = std::round(normalized * levels);
+  return code / levels * 2.0 * config_.weight_clip - config_.weight_clip;
+}
+
+std::vector<double> PhotonicMvm::multiply(const Layer& layer,
+                                          const std::vector<double>& x) {
+  std::vector<double> y(layer.outputs);
+  for (std::size_t o = 0; o < layer.outputs; ++o) {
+    double acc = layer.biases[o];
+    double magnitude = std::fabs(layer.biases[o]);
+    const double* row = layer.weights.data() + o * layer.inputs;
+    for (std::size_t i = 0; i < layer.inputs; ++i) {
+      const double w = effective_weight(row[i]);
+      acc += w * x[i];
+      magnitude += std::fabs(w * x[i]);
+    }
+    // Analog noise: relative to the optical signal swing plus a detector
+    // floor (both Gaussian).
+    y[o] = acc + noise_.next(0.0, config_.relative_noise * magnitude +
+                                      config_.additive_noise);
+  }
+  stats_.mac_operations += layer.inputs * layer.outputs;
+  stats_.energy_pj += config_.energy_per_mac_pj *
+                      static_cast<double>(layer.inputs * layer.outputs);
+  return y;
+}
+
+Accelerator::Accelerator(std::unique_ptr<MvmEngine> engine)
+    : engine_(std::move(engine)) {
+  if (!engine_) {
+    throw std::invalid_argument("Accelerator: null engine");
+  }
+}
+
+void Accelerator::load(MlpNetwork network) {
+  network.validate();
+  network_ = std::move(network);
+  loaded_ = true;
+}
+
+std::vector<double> Accelerator::infer(const std::vector<double>& input) {
+  if (!loaded_) {
+    throw std::logic_error("Accelerator: no network loaded");
+  }
+  if (input.size() != network_.input_size()) {
+    throw std::invalid_argument("Accelerator: input size mismatch");
+  }
+  std::vector<double> activations = input;
+  for (const auto& layer : network_.layers) {
+    std::vector<double> next = engine_->multiply(layer, activations);
+    for (auto& v : next) v = apply_activation(layer.activation, v);
+    activations = std::move(next);
+  }
+  return activations;
+}
+
+}  // namespace neuropuls::accel

@@ -1,0 +1,107 @@
+// The neuromorphic accelerator: matrix–vector multiply engines and the
+// inference core.
+//
+// Two interchangeable MVM engines:
+//   * DigitalMvm   — exact floating-point reference;
+//   * PhotonicMvm  — the photonic weight bank: weights quantized to the
+//     DAC resolution, outputs carrying analog noise proportional to the
+//     optical signal chain, exactly the accuracy/energy trade the
+//     NEUROPULS accelerator makes. Energy per MAC is orders of magnitude
+//     below the digital engine — the project's raison d'être ("low-power
+//     systems", §I) — and the E10/E3 benches report both.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "accel/network.hpp"
+#include "crypto/prng.hpp"
+
+namespace neuropuls::accel {
+
+/// Execution statistics accumulated by an engine.
+struct EngineStats {
+  std::uint64_t mac_operations = 0;
+  double energy_pj = 0.0;  // accumulated energy estimate
+};
+
+class MvmEngine {
+ public:
+  virtual ~MvmEngine() = default;
+
+  /// y = W x + b for one layer.
+  virtual std::vector<double> multiply(const Layer& layer,
+                                       const std::vector<double>& x) = 0;
+
+  virtual const EngineStats& stats() const = 0;
+  virtual std::string name() const = 0;
+};
+
+/// Exact digital reference engine.
+class DigitalMvm final : public MvmEngine {
+ public:
+  /// `energy_per_mac_pj` defaults to a 45 nm-class MAC (~4.6 pJ incl.
+  /// SRAM access).
+  explicit DigitalMvm(double energy_per_mac_pj = 4.6);
+
+  std::vector<double> multiply(const Layer& layer,
+                               const std::vector<double>& x) override;
+  const EngineStats& stats() const override { return stats_; }
+  std::string name() const override { return "digital-mvm"; }
+
+ private:
+  double energy_per_mac_pj_;
+  EngineStats stats_;
+};
+
+struct PhotonicMvmConfig {
+  unsigned weight_bits = 6;        // DAC resolution for ring tuning
+  double relative_noise = 0.01;    // analog noise vs output magnitude
+  double additive_noise = 1e-3;    // detector floor
+  double energy_per_mac_pj = 0.05; // photonic MAC energy estimate
+  double weight_clip = 4.0;        // representable weight range [-clip, clip]
+};
+
+/// Photonic weight-bank engine: quantization + analog noise.
+class PhotonicMvm final : public MvmEngine {
+ public:
+  PhotonicMvm(PhotonicMvmConfig config, std::uint64_t seed);
+
+  std::vector<double> multiply(const Layer& layer,
+                               const std::vector<double>& x) override;
+  const EngineStats& stats() const override { return stats_; }
+  std::string name() const override { return "photonic-mvm"; }
+
+  /// The value actually programmed for a weight (quantized + clipped).
+  double effective_weight(double w) const noexcept;
+
+ private:
+  PhotonicMvmConfig config_;
+  EngineStats stats_;
+  rng::Gaussian noise_;
+};
+
+/// Inference core: owns an engine and a loaded network.
+class Accelerator {
+ public:
+  explicit Accelerator(std::unique_ptr<MvmEngine> engine);
+
+  /// Loads (and validates) a network configuration.
+  void load(MlpNetwork network);
+
+  bool loaded() const noexcept { return loaded_; }
+
+  /// Runs a forward pass. Throws std::logic_error when nothing is loaded,
+  /// std::invalid_argument on input size mismatch.
+  std::vector<double> infer(const std::vector<double>& input);
+
+  const EngineStats& stats() const { return engine_->stats(); }
+  const MvmEngine& engine() const { return *engine_; }
+
+ private:
+  std::unique_ptr<MvmEngine> engine_;
+  MlpNetwork network_;
+  bool loaded_ = false;
+};
+
+}  // namespace neuropuls::accel

@@ -1,0 +1,197 @@
+#include "accel/network.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+
+#include "crypto/prng.hpp"
+
+namespace neuropuls::accel {
+
+namespace {
+
+constexpr std::uint32_t kFormatVersion = 1;
+
+void append_f64(crypto::Bytes& out, double value) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &value, 8);
+  // Little-endian on the wire.
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>(bits >> (8 * i)));
+  }
+}
+
+class Reader {
+ public:
+  explicit Reader(crypto::ByteView data) : data_(data) {}
+
+  std::uint32_t u32() {
+    require(4);
+    const std::uint32_t v = crypto::get_u32_be(data_.subspan(pos_, 4));
+    pos_ += 4;
+    return v;
+  }
+
+  std::uint8_t u8() {
+    require(1);
+    return data_[pos_++];
+  }
+
+  double f64() {
+    require(8);
+    std::uint64_t bits = 0;
+    for (int i = 0; i < 8; ++i) {
+      bits |= static_cast<std::uint64_t>(data_[pos_ + static_cast<std::size_t>(i)]) << (8 * i);
+    }
+    pos_ += 8;
+    double value;
+    std::memcpy(&value, &bits, 8);
+    return value;
+  }
+
+  bool exhausted() const noexcept { return pos_ == data_.size(); }
+
+ private:
+  void require(std::size_t n) const {
+    if (pos_ + n > data_.size()) {
+      throw std::runtime_error("network blob truncated");
+    }
+  }
+  crypto::ByteView data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::size_t MlpNetwork::parameter_count() const {
+  std::size_t n = 0;
+  for (const auto& layer : layers) {
+    n += layer.weights.size() + layer.biases.size();
+  }
+  return n;
+}
+
+void MlpNetwork::validate() const {
+  if (layers.empty()) {
+    throw std::invalid_argument("MlpNetwork: no layers");
+  }
+  std::size_t previous_out = layers.front().inputs;
+  for (const auto& layer : layers) {
+    if (layer.inputs == 0 || layer.outputs == 0) {
+      throw std::invalid_argument("MlpNetwork: zero-sized layer");
+    }
+    if (layer.inputs != previous_out) {
+      throw std::invalid_argument("MlpNetwork: layer shapes do not chain");
+    }
+    if (layer.weights.size() != layer.inputs * layer.outputs ||
+        layer.biases.size() != layer.outputs) {
+      throw std::invalid_argument("MlpNetwork: buffer size mismatch");
+    }
+    previous_out = layer.outputs;
+  }
+}
+
+double apply_activation(Activation activation, double x) {
+  switch (activation) {
+    case Activation::kLinear: return x;
+    case Activation::kRelu: return x > 0.0 ? x : 0.0;
+    case Activation::kSigmoid: return 1.0 / (1.0 + std::exp(-x));
+    case Activation::kTanh: return std::tanh(x);
+  }
+  return x;
+}
+
+crypto::Bytes serialize_network(const MlpNetwork& network) {
+  network.validate();
+  crypto::Bytes out;
+  crypto::append_u32_be(out, kFormatVersion);
+  crypto::append_u32_be(out, static_cast<std::uint32_t>(network.layers.size()));
+  for (const auto& layer : network.layers) {
+    crypto::append_u32_be(out, static_cast<std::uint32_t>(layer.inputs));
+    crypto::append_u32_be(out, static_cast<std::uint32_t>(layer.outputs));
+    out.push_back(static_cast<std::uint8_t>(layer.activation));
+    for (double w : layer.weights) append_f64(out, w);
+    for (double b : layer.biases) append_f64(out, b);
+  }
+  return out;
+}
+
+MlpNetwork deserialize_network(crypto::ByteView blob) {
+  Reader reader(blob);
+  if (reader.u32() != kFormatVersion) {
+    throw std::runtime_error("network blob: unsupported version");
+  }
+  const std::uint32_t layer_count = reader.u32();
+  if (layer_count == 0 || layer_count > 1024) {
+    throw std::runtime_error("network blob: implausible layer count");
+  }
+  MlpNetwork network;
+  network.layers.resize(layer_count);
+  for (auto& layer : network.layers) {
+    layer.inputs = reader.u32();
+    layer.outputs = reader.u32();
+    if (layer.inputs == 0 || layer.outputs == 0 ||
+        layer.inputs > 1u << 20 || layer.outputs > 1u << 20) {
+      throw std::runtime_error("network blob: implausible layer shape");
+    }
+    layer.activation = static_cast<Activation>(reader.u8());
+    if (static_cast<std::uint8_t>(layer.activation) > 3) {
+      throw std::runtime_error("network blob: unknown activation");
+    }
+    layer.weights.resize(layer.inputs * layer.outputs);
+    for (auto& w : layer.weights) w = reader.f64();
+    layer.biases.resize(layer.outputs);
+    for (auto& b : layer.biases) b = reader.f64();
+  }
+  if (!reader.exhausted()) {
+    throw std::runtime_error("network blob: trailing bytes");
+  }
+  network.validate();
+  return network;
+}
+
+crypto::Bytes serialize_vector(const std::vector<double>& values) {
+  crypto::Bytes out;
+  crypto::append_u32_be(out, static_cast<std::uint32_t>(values.size()));
+  for (double v : values) append_f64(out, v);
+  return out;
+}
+
+std::vector<double> deserialize_vector(crypto::ByteView blob) {
+  Reader reader(blob);
+  const std::uint32_t count = reader.u32();
+  if (count > 1u << 24) {
+    throw std::runtime_error("vector blob: implausible size");
+  }
+  std::vector<double> values(count);
+  for (auto& v : values) v = reader.f64();
+  if (!reader.exhausted()) {
+    throw std::runtime_error("vector blob: trailing bytes");
+  }
+  return values;
+}
+
+MlpNetwork make_random_network(const std::vector<std::size_t>& layer_sizes,
+                               std::uint64_t seed,
+                               Activation hidden_activation) {
+  if (layer_sizes.size() < 2) {
+    throw std::invalid_argument("make_random_network: need >= 2 sizes");
+  }
+  rng::Gaussian g(seed);
+  MlpNetwork network;
+  for (std::size_t l = 0; l + 1 < layer_sizes.size(); ++l) {
+    Layer layer;
+    layer.inputs = layer_sizes[l];
+    layer.outputs = layer_sizes[l + 1];
+    layer.activation = (l + 2 == layer_sizes.size()) ? Activation::kLinear
+                                                     : hidden_activation;
+    const double scale = std::sqrt(2.0 / static_cast<double>(layer.inputs));
+    layer.weights.resize(layer.inputs * layer.outputs);
+    for (auto& w : layer.weights) w = g.next(0.0, scale);
+    layer.biases.assign(layer.outputs, 0.0);
+    network.layers.push_back(std::move(layer));
+  }
+  return network;
+}
+
+}  // namespace neuropuls::accel

@@ -1,0 +1,69 @@
+// Neural-network configuration objects and their wire format.
+//
+// The NEUROPULS accelerator runs feed-forward networks; Table I moves the
+// *configuration* (weights) and the *data* (inputs/outputs) across the
+// hardware boundary in encrypted form, so both need a canonical byte
+// serialization. The format is versioned and length-prefixed; decode
+// rejects malformed blobs (a tampered ciphertext that survives the MAC
+// would still never reach the parser, but defense in depth is free).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "crypto/bytes.hpp"
+
+namespace neuropuls::accel {
+
+enum class Activation : std::uint8_t {
+  kLinear = 0,
+  kRelu = 1,
+  kSigmoid = 2,
+  kTanh = 3,
+};
+
+struct Layer {
+  std::size_t inputs = 0;
+  std::size_t outputs = 0;
+  std::vector<double> weights;  // row-major [outputs x inputs]
+  std::vector<double> biases;   // [outputs]
+  Activation activation = Activation::kRelu;
+};
+
+struct MlpNetwork {
+  std::vector<Layer> layers;
+
+  std::size_t input_size() const {
+    return layers.empty() ? 0 : layers.front().inputs;
+  }
+  std::size_t output_size() const {
+    return layers.empty() ? 0 : layers.back().outputs;
+  }
+  /// Total parameter count (weights + biases).
+  std::size_t parameter_count() const;
+
+  /// Structural validation: layer shapes chain, sizes match buffers.
+  /// Throws std::invalid_argument on violation.
+  void validate() const;
+};
+
+/// Applies an activation function element-wise.
+double apply_activation(Activation activation, double x);
+
+/// Serialises a network (version-tagged). Throws on invalid networks.
+crypto::Bytes serialize_network(const MlpNetwork& network);
+
+/// Parses a serialized network. Throws std::runtime_error on malformed
+/// input.
+MlpNetwork deserialize_network(crypto::ByteView blob);
+
+/// Vector <-> bytes (u32 count + f64 little-endian each).
+crypto::Bytes serialize_vector(const std::vector<double>& values);
+std::vector<double> deserialize_vector(crypto::ByteView blob);
+
+/// Deterministic random network for tests/benches.
+MlpNetwork make_random_network(const std::vector<std::size_t>& layer_sizes,
+                               std::uint64_t seed,
+                               Activation hidden_activation = Activation::kRelu);
+
+}  // namespace neuropuls::accel

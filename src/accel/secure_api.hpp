@@ -1,0 +1,61 @@
+// Table I — the hardware-boundary API:
+//
+//   | load_network    | ciphered_network | (none)          |
+//   | execute_network | ciphered_input   | ciphered_output |
+//
+// "The configuration is decrypted in hardware and loaded in the
+// accelerator ... data are never exposed in plaintext to the software
+// ... primitives that never leave plaintext in the memory after
+// execution." The class below is that hardware boundary: the only public
+// entry points take and return ciphertext, the device key lives inside,
+// and intermediate plaintext buffers are wiped before returning. The
+// tests assert both the functional property (round-trip correctness) and
+// the security property (tampered or wrongly-keyed blobs are rejected
+// before any plaintext is produced).
+#pragma once
+
+#include <memory>
+
+#include "accel/accelerator.hpp"
+#include "crypto/bytes.hpp"
+
+namespace neuropuls::accel {
+
+class SecureAccelerator {
+ public:
+  /// `device_key` is the PUF-derived encryption key (from
+  /// core::KeyManager); never exposed again once installed.
+  SecureAccelerator(std::unique_ptr<MvmEngine> engine,
+                    crypto::Bytes device_key);
+
+  /// Table I `load_network(ciphered_network)`. Throws std::runtime_error
+  /// on authentication failure (tamper/wrong key) or malformed plaintext.
+  void load_network(crypto::ByteView ciphered_network);
+
+  /// Table I `execute_network(ciphered_input) -> ciphered_output`.
+  /// `nonce_counter` freshness is handled internally (monotonic).
+  crypto::Bytes execute_network(crypto::ByteView ciphered_input);
+
+  bool network_loaded() const noexcept { return accelerator_.loaded(); }
+  const EngineStats& stats() const { return accelerator_.stats(); }
+
+  /// Client-side helpers (run on the party that owns the same key):
+  /// produce the ciphertext blobs the two entry points accept.
+  static crypto::Bytes encrypt_network(const MlpNetwork& network,
+                                       crypto::ByteView key,
+                                       std::uint64_t nonce);
+  static crypto::Bytes encrypt_input(const std::vector<double>& input,
+                                     crypto::ByteView key,
+                                     std::uint64_t nonce);
+  static std::vector<double> decrypt_output(crypto::ByteView ciphered_output,
+                                            crypto::ByteView key);
+
+ private:
+  crypto::Bytes seal(crypto::ByteView plaintext);
+
+  Accelerator accelerator_;
+  crypto::Bytes device_key_;
+  std::uint64_t nonce_counter_ = 0x80000000ULL;  // device-side nonce space
+};
+
+}  // namespace neuropuls::accel

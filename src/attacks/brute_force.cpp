@@ -1,0 +1,33 @@
+#include "attacks/brute_force.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace neuropuls::attacks {
+
+double expected_guesses(double min_entropy_bits) {
+  if (min_entropy_bits < 0.0) {
+    throw std::invalid_argument("expected_guesses: negative entropy");
+  }
+  const double capped = std::min(min_entropy_bits, 63.0);
+  return std::exp2(capped - 1.0);
+}
+
+double online_guess_success(double min_entropy_bits, std::size_t attempts) {
+  if (min_entropy_bits < 0.0) {
+    throw std::invalid_argument("online_guess_success: negative entropy");
+  }
+  const double space = std::exp2(std::min(min_entropy_bits, 63.0));
+  return std::min(1.0, static_cast<double>(attempts) / space);
+}
+
+double eke_rate_reduction(double offline_rate_per_s,
+                          double online_rate_per_s) {
+  if (offline_rate_per_s <= 0.0 || online_rate_per_s <= 0.0) {
+    throw std::invalid_argument("eke_rate_reduction: rates must be positive");
+  }
+  return offline_rate_per_s / online_rate_per_s;
+}
+
+}  // namespace neuropuls::attacks

@@ -1,0 +1,31 @@
+// Brute-force / guessing analysis for CRPs and session secrets (§IV:
+// "AKA can protect the PUF responses in such a way that an attacker
+// cannot guess or brute-force the protocol").
+//
+// Small analytic helpers the benches use to contextualise measured
+// results: expected guessing effort given the effective entropy of a
+// response, and the success probability of an online guessing attacker
+// limited to `attempts` tries (the regime EKE forces the adversary into,
+// versus offline dictionary attacks against a raw MAC'd CRP exchange).
+#pragma once
+
+#include <cstddef>
+
+namespace neuropuls::attacks {
+
+/// Expected number of guesses to hit a secret of `min_entropy_bits` bits
+/// of min-entropy (2^{H-1} on average; saturates at 2^62 to stay finite).
+double expected_guesses(double min_entropy_bits);
+
+/// Probability that an online attacker limited to `attempts` guesses
+/// succeeds against a secret of `min_entropy_bits` min-entropy.
+double online_guess_success(double min_entropy_bits, std::size_t attempts);
+
+/// Offline-dictionary speedup factor: how many candidate secrets per
+/// second an offline attacker tests vs an online one rate-limited to
+/// `online_rate_per_s`. The EKE story: offline attacks are *eliminated*
+/// (every guess requires a fresh protocol run), so the effective attacker
+/// rate collapses from `offline_rate_per_s` to `online_rate_per_s`.
+double eke_rate_reduction(double offline_rate_per_s, double online_rate_per_s);
+
+}  // namespace neuropuls::attacks

@@ -1,0 +1,61 @@
+// Correlation power analysis (CPA) against the Table I AES boundary.
+//
+// §IV cites Rührmair et al. (CHES'14): power side channels break not only
+// PUF cores but the crypto around them. The classic target is the AES
+// first round: each trace sample leaks the Hamming weight of the S-box
+// output S(p_j XOR k_j) through the power rail,
+//   sample = alpha * HW(S(p_j ^ k_j)) + N(0, sigma),
+// and the attacker correlates hypothesised leakage (per key-byte guess)
+// against measured traces; the right guess wins as traces accumulate.
+//
+// The simulation exposes the two physical knobs the NEUROPULS design
+// controls: the leakage coefficient alpha (an exposed CMOS S-box vs a
+// shielded/balanced crypto engine) and the noise floor. The bench sweeps
+// traces-to-recovery across alpha, quantifying how much the hardware
+// boundary must attenuate leakage for field attacks to become
+// impractical.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "crypto/bytes.hpp"
+
+namespace neuropuls::attacks {
+
+struct CpaLeakageModel {
+  double alpha = 1.0;        // power units per Hamming-weight bit
+  double noise_sigma = 2.0;  // trace noise
+};
+
+/// One acquisition: plaintext block + one leakage sample per byte lane.
+struct CpaTrace {
+  crypto::Bytes plaintext;          // 16 bytes
+  std::vector<double> samples;      // 16 samples (one per key byte lane)
+};
+
+/// Simulates `count` traces of the device encrypting random plaintexts
+/// under `key` (16 bytes) with the given leakage model.
+std::vector<CpaTrace> acquire_traces(crypto::ByteView key, std::size_t count,
+                                     const CpaLeakageModel& model,
+                                     std::uint64_t seed);
+
+struct CpaResult {
+  crypto::Bytes recovered_key;     // best guess per byte
+  std::size_t correct_bytes = 0;   // vs ground truth
+  double mean_best_correlation = 0.0;
+};
+
+/// Runs CPA over the traces; `true_key` is used only for scoring.
+/// Throws std::invalid_argument on empty traces or malformed sizes.
+CpaResult cpa_attack(const std::vector<CpaTrace>& traces,
+                     crypto::ByteView true_key);
+
+/// Convenience sweep: smallest trace count (from `budgets`) at which the
+/// full key is recovered; returns 0 when none suffices.
+std::size_t traces_to_full_recovery(crypto::ByteView key,
+                                    const CpaLeakageModel& model,
+                                    const std::vector<std::size_t>& budgets,
+                                    std::uint64_t seed);
+
+}  // namespace neuropuls::attacks

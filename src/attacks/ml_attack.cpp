@@ -1,0 +1,165 @@
+#include "attacks/ml_attack.hpp"
+
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "crypto/chacha20.hpp"
+#include "crypto/prng.hpp"
+
+namespace neuropuls::attacks {
+
+FeatureMap raw_feature_map() {
+  return [](const puf::Challenge& challenge) {
+    std::vector<double> features;
+    features.reserve(challenge.size() * 8 + 1);
+    for (std::uint8_t byte : challenge) {
+      for (int b = 7; b >= 0; --b) {
+        features.push_back(((byte >> b) & 1) ? 1.0 : -1.0);
+      }
+    }
+    features.push_back(1.0);  // bias
+    return features;
+  };
+}
+
+FeatureMap parity_feature_map(std::size_t stages) {
+  return [stages](const puf::Challenge& challenge) {
+    if (challenge.size() * 8 < stages) {
+      throw std::invalid_argument("parity_feature_map: challenge too short");
+    }
+    std::vector<double> phi(stages + 1);
+    phi[stages] = 1.0;
+    double acc = 1.0;
+    for (std::size_t i = stages; i-- > 0;) {
+      const int bit = (challenge[i / 8] >> (7 - i % 8)) & 1;
+      acc *= bit ? -1.0 : 1.0;
+      phi[i] = acc;
+    }
+    return phi;
+  };
+}
+
+void LogisticModel::train(const std::vector<std::vector<double>>& features,
+                          const std::vector<std::uint8_t>& labels,
+                          LogisticConfig config) {
+  if (features.empty() || features.size() != labels.size()) {
+    throw std::invalid_argument("LogisticModel::train: bad training set");
+  }
+  const std::size_t dims = features.front().size();
+  for (const auto& f : features) {
+    if (f.size() != dims) {
+      throw std::invalid_argument("LogisticModel::train: ragged features");
+    }
+  }
+  weights_.assign(dims, 0.0);
+
+  rng::Xoshiro256 shuffle_rng(config.shuffle_seed);
+  std::vector<std::size_t> order(features.size());
+  std::iota(order.begin(), order.end(), 0);
+
+  for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    // Fisher-Yates shuffle per epoch.
+    for (std::size_t i = order.size(); i > 1; --i) {
+      std::swap(order[i - 1], order[shuffle_rng.uniform_int(i)]);
+    }
+    const double lr =
+        config.learning_rate / (1.0 + 0.05 * static_cast<double>(epoch));
+    for (std::size_t idx : order) {
+      const auto& x = features[idx];
+      double z = 0.0;
+      for (std::size_t d = 0; d < dims; ++d) z += weights_[d] * x[d];
+      const double p = 1.0 / (1.0 + std::exp(-z));
+      const double error = static_cast<double>(labels[idx]) - p;
+      for (std::size_t d = 0; d < dims; ++d) {
+        weights_[d] += lr * (error * x[d] - config.l2 * weights_[d]);
+      }
+    }
+  }
+}
+
+std::uint8_t LogisticModel::predict(const std::vector<double>& features) const {
+  if (features.size() != weights_.size()) {
+    throw std::invalid_argument("LogisticModel::predict: dimension mismatch");
+  }
+  double z = 0.0;
+  for (std::size_t d = 0; d < weights_.size(); ++d) {
+    z += weights_[d] * features[d];
+  }
+  return z > 0.0 ? 1 : 0;
+}
+
+double LogisticModel::accuracy(
+    const std::vector<std::vector<double>>& features,
+    const std::vector<std::uint8_t>& labels) const {
+  if (features.empty() || features.size() != labels.size()) {
+    throw std::invalid_argument("LogisticModel::accuracy: bad test set");
+  }
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < features.size(); ++i) {
+    correct += (predict(features[i]) == (labels[i] & 1));
+  }
+  return static_cast<double>(correct) / static_cast<double>(features.size());
+}
+
+namespace {
+
+std::uint8_t response_bit(const puf::Response& response, std::size_t bit) {
+  return (response[bit / 8] >> (7 - bit % 8)) & 1;
+}
+
+}  // namespace
+
+AttackResult model_attack(puf::Puf& target, const FeatureMap& features,
+                          const AttackConfig& config) {
+  if (config.training_crps == 0 || config.test_crps == 0) {
+    throw std::invalid_argument("model_attack: empty CRP budget");
+  }
+  crypto::Bytes seed_bytes = crypto::bytes_of("ml-attack");
+  crypto::append_u64_be(seed_bytes, config.seed);
+  crypto::ChaChaDrbg rng(seed_bytes);
+
+  auto collect = [&](std::size_t count,
+                     std::vector<std::vector<double>>& xs,
+                     std::vector<std::uint8_t>& ys) {
+    xs.reserve(count);
+    ys.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      const puf::Challenge c = rng.generate(target.challenge_bytes());
+      // The attacker observes real (noisy) responses.
+      const puf::Response r = target.evaluate(c);
+      xs.push_back(features(c));
+      ys.push_back(response_bit(r, config.target_bit));
+    }
+  };
+
+  std::vector<std::vector<double>> train_x, test_x;
+  std::vector<std::uint8_t> train_y, test_y;
+  collect(config.training_crps, train_x, train_y);
+  collect(config.test_crps, test_x, test_y);
+
+  LogisticModel model;
+  model.train(train_x, train_y, config.logistic);
+
+  AttackResult result;
+  result.training_crps = config.training_crps;
+  result.train_accuracy = model.accuracy(train_x, train_y);
+  result.test_accuracy = model.accuracy(test_x, test_y);
+  return result;
+}
+
+double mean_attack_accuracy(puf::Puf& target, const FeatureMap& features,
+                            AttackConfig config, std::size_t bits) {
+  if (bits == 0) {
+    throw std::invalid_argument("mean_attack_accuracy: zero bits");
+  }
+  double sum = 0.0;
+  for (std::size_t b = 0; b < bits; ++b) {
+    config.target_bit = b;
+    config.seed += 1;
+    sum += model_attack(target, features, config).test_accuracy;
+  }
+  return sum / static_cast<double>(bits);
+}
+
+}  // namespace neuropuls::attacks

@@ -1,0 +1,92 @@
+// Machine-learning modelling attacks on PUFs (§IV, ref. [28]).
+//
+// "By acquiring a sufficiently large number of CRPs (for strong PUFs),
+// the adversary can build a model to predict the response to the next
+// challenge ... particularly successful against common types of PUF,
+// such as PUFs with ring oscillators (ROs) or arbiters."
+//
+// Attack engine: logistic regression trained by mini-batch SGD — the
+// classic (and for plain arbiter PUFs, sufficient) modelling attack. Two
+// feature maps:
+//   * parity features phi_i = prod_{j>=i}(1-2c_j) — the arbiter PUF's own
+//     internal linear representation; LR over these breaks it quickly;
+//   * raw +/-1 challenge bits — what an attacker uses without structural
+//     knowledge.
+// The attack targets one response bit position of an arbitrary `Puf`, so
+// the same code attacks arbiter, XOR-arbiter, RO, photonic, and
+// challenge-encrypted PUFs; `bench/bench_ml_attack` sweeps the CRP budget
+// and reports prediction accuracy per target (E6).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "puf/puf.hpp"
+
+namespace neuropuls::attacks {
+
+/// Maps a challenge to a real feature vector.
+using FeatureMap =
+    std::function<std::vector<double>(const puf::Challenge&)>;
+
+/// Raw encoding: each challenge bit -> +/-1, plus a bias feature.
+FeatureMap raw_feature_map();
+
+/// Arbiter parity features for an n-stage chain (plus bias).
+FeatureMap parity_feature_map(std::size_t stages);
+
+struct LogisticConfig {
+  std::size_t epochs = 60;
+  double learning_rate = 0.05;
+  double l2 = 1e-4;
+  std::uint64_t shuffle_seed = 1;
+};
+
+/// Plain logistic-regression binary classifier.
+class LogisticModel {
+ public:
+  /// Trains on labelled feature vectors (labels in {0,1}).
+  /// Throws std::invalid_argument on empty or inconsistent input.
+  void train(const std::vector<std::vector<double>>& features,
+             const std::vector<std::uint8_t>& labels, LogisticConfig config);
+
+  /// Predicted label for a feature vector.
+  std::uint8_t predict(const std::vector<double>& features) const;
+
+  /// Fraction of correct predictions on a labelled set.
+  double accuracy(const std::vector<std::vector<double>>& features,
+                  const std::vector<std::uint8_t>& labels) const;
+
+  const std::vector<double>& weights() const noexcept { return weights_; }
+
+ private:
+  std::vector<double> weights_;
+};
+
+struct AttackResult {
+  std::size_t training_crps = 0;
+  double train_accuracy = 0.0;
+  double test_accuracy = 0.0;  // the headline number; 0.5 = chance
+};
+
+struct AttackConfig {
+  std::size_t training_crps = 2000;
+  std::size_t test_crps = 500;
+  /// Which response bit to model (0 for 1-bit PUFs).
+  std::size_t target_bit = 0;
+  LogisticConfig logistic{};
+  std::uint64_t seed = 99;
+};
+
+/// Collects CRPs from the target (the attacker's eavesdropped set), trains
+/// the model, and evaluates on held-out challenges.
+AttackResult model_attack(puf::Puf& target, const FeatureMap& features,
+                          const AttackConfig& config);
+
+/// Mean test accuracy over `bits` distinct response-bit targets — the
+/// fair summary for multi-bit-response PUFs like the photonic one.
+double mean_attack_accuracy(puf::Puf& target, const FeatureMap& features,
+                            AttackConfig config, std::size_t bits);
+
+}  // namespace neuropuls::attacks

@@ -1,0 +1,64 @@
+#include "attacks/side_channel.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+#include "crypto/prng.hpp"
+
+namespace neuropuls::attacks {
+
+LeakageModel electronic_leakage() {
+  return LeakageModel{1.0, 4.0};
+}
+
+LeakageModel photonic_leakage() {
+  // 40 dB power attenuation on the leakage term, same ambient noise.
+  return LeakageModel{0.01, 4.0};
+}
+
+SideChannelResult power_analysis_attack(puf::Puf& target,
+                                        const puf::Challenge& challenge,
+                                        std::size_t traces,
+                                        const LeakageModel& model,
+                                        std::uint64_t seed) {
+  if (traces == 0) {
+    throw std::invalid_argument("power_analysis_attack: zero traces");
+  }
+  const puf::Response truth = target.evaluate_noiseless(challenge);
+  const std::size_t bits = truth.size() * 8;
+
+  rng::Gaussian noise(seed);
+  std::vector<double> averaged(bits, 0.0);
+  for (std::size_t t = 0; t < traces; ++t) {
+    // Each readout re-measures the (noisy) device.
+    const puf::Response reading = target.evaluate(challenge);
+    for (std::size_t j = 0; j < bits; ++j) {
+      const int bit = (reading[j / 8] >> (7 - j % 8)) & 1;
+      averaged[j] += model.leakage_per_bit * bit +
+                     noise.next(0.0, model.noise_sigma);
+    }
+  }
+
+  // Threshold at half the leakage swing.
+  std::size_t correct = 0;
+  const double threshold =
+      0.5 * model.leakage_per_bit * static_cast<double>(traces);
+  for (std::size_t j = 0; j < bits; ++j) {
+    const int guessed = averaged[j] > threshold ? 1 : 0;
+    const int truth_bit = (truth[j / 8] >> (7 - j % 8)) & 1;
+    correct += (guessed == truth_bit);
+  }
+
+  SideChannelResult result;
+  result.traces = traces;
+  result.bit_recovery_accuracy =
+      static_cast<double>(correct) / static_cast<double>(bits);
+  return result;
+}
+
+double remanence_window_s(bool is_photonic, double response_lifetime_s,
+                          double sram_hold_time_s) {
+  return is_photonic ? response_lifetime_s : sram_hold_time_s;
+}
+
+}  // namespace neuropuls::attacks

@@ -1,0 +1,66 @@
+// Side-channel attack simulation (§IV).
+//
+// The paper's argument: electronic PUFs leak — "RF signals can be
+// detected, for example, from the Si substrate ... by performing a power
+// analysis it was possible to extract key information about PUF
+// behaviour" (ref. [24], Rührmair CHES'14) — while photonic PUFs confine
+// information to waveguides ("signals leak out only a few hundred
+// nanometers"), leaving only the strongly attenuated PIC->ASIC interface.
+//
+// Model: during one PUF readout the attacker records a power trace with
+// one time sample per response bit,
+//   trace[j] = leakage * bit_j + N(0, noise_sigma),
+// and averages over repeated readouts of the same challenge. The leakage
+// coefficient is the physical knob: order 1 for an electronic latch
+// array, orders of magnitude smaller for the photonic path. The attack
+// recovers bits by thresholding the averaged trace; recovery accuracy vs
+// trace count is the E7 curve. The remanence-decay comparison (§IV,
+// ref. [27]) is captured by `remanence_window_s`.
+#pragma once
+
+#include <cstdint>
+
+#include "puf/puf.hpp"
+
+namespace neuropuls::attacks {
+
+struct LeakageModel {
+  /// Power contribution of one response bit (arbitrary units).
+  double leakage_per_bit = 1.0;
+  /// Trace noise sigma (same units).
+  double noise_sigma = 4.0;
+};
+
+/// Typical electronic (SRAM/latch array) leakage: strong substrate/RF
+/// coupling.
+LeakageModel electronic_leakage();
+
+/// Photonic-path leakage: evanescent field only; the residual PIC->ASIC
+/// interface emission is ~40 dB down on the electronic case.
+LeakageModel photonic_leakage();
+
+struct SideChannelResult {
+  std::size_t traces = 0;
+  double bit_recovery_accuracy = 0.0;  // 0.5 = chance, 1.0 = broken
+};
+
+/// Runs the trace-averaging attack against one (challenge, response) of
+/// the target. The "true" bits are the noiseless response; each simulated
+/// readout leaks through `model`.
+SideChannelResult power_analysis_attack(puf::Puf& target,
+                                        const puf::Challenge& challenge,
+                                        std::size_t traces,
+                                        const LeakageModel& model,
+                                        std::uint64_t seed);
+
+/// Exploitable data-remanence window after readout:
+///  * SRAM PUFs share memory with other functions and their cells hold
+///    state until overwritten — seconds-scale windows (ref. [27]);
+///  * the photonic response exists only while light circulates — the ring
+///    memory depth, i.e. nanoseconds ("below 100 ns", §IV).
+/// `response_lifetime_s` is the device's physical response lifetime; the
+/// window is that lifetime (photonic) or the given hold time (SRAM).
+double remanence_window_s(bool is_photonic, double response_lifetime_s,
+                          double sram_hold_time_s = 1.0);
+
+}  // namespace neuropuls::attacks

@@ -1,0 +1,193 @@
+#include "core/aka_eke.hpp"
+
+#include <stdexcept>
+
+#include "crypto/aes.hpp"
+#include "crypto/hmac.hpp"
+
+namespace neuropuls::core {
+
+namespace {
+constexpr std::size_t kNonceLen = 16;
+constexpr std::size_t kMacLen = 32;
+}  // namespace
+
+EkeParty::EkeParty(crypto::Bytes secret, const crypto::DhGroup& group,
+                   crypto::ChaChaDrbg rng)
+    : secret_(std::move(secret)), group_(group), rng_(std::move(rng)) {
+  if (secret_.empty()) {
+    throw std::invalid_argument("EkeParty: empty shared secret");
+  }
+}
+
+crypto::Bytes EkeParty::password_key() const {
+  return crypto::hkdf(crypto::ByteView{}, secret_,
+                      crypto::bytes_of("np-eke-pw"), 16);
+}
+
+crypto::Bytes EkeParty::encrypt_public(const crypto::BigUint& value,
+                                       crypto::ByteView nonce) const {
+  return crypto::aes_ctr(password_key(), nonce,
+                         value.to_bytes_be(group_.prime_bytes));
+}
+
+crypto::BigUint EkeParty::decrypt_public(crypto::ByteView nonce,
+                                         crypto::ByteView ciphertext) const {
+  const crypto::Bytes plain =
+      crypto::aes_ctr(password_key(), nonce, ciphertext);
+  return crypto::BigUint::from_bytes_be(plain);
+}
+
+void EkeParty::derive_session_key(const crypto::Bytes& shared) {
+  session_key_ = crypto::hkdf(transcript_, shared,
+                              crypto::bytes_of("np-eke-session"), 32);
+}
+
+net::Message EkeParty::initiate(std::uint64_t session_id) {
+  session_id_ = session_id;
+  ephemeral_ = crypto::dh_generate(group_, rng_);
+
+  crypto::Bytes payload = rng_.generate(kNonceLen);
+  const crypto::Bytes enc =
+      encrypt_public(ephemeral_.public_value,
+                     crypto::ByteView(payload).first(kNonceLen));
+  payload.insert(payload.end(), enc.begin(), enc.end());
+
+  transcript_ = payload;
+  return net::Message{net::MessageType::kEkeClientHello, session_id,
+                      std::move(payload)};
+}
+
+std::optional<net::Message> EkeParty::respond(
+    const net::Message& client_hello) {
+  if (client_hello.type != net::MessageType::kEkeClientHello ||
+      client_hello.payload.size() != kNonceLen + group_.prime_bytes) {
+    return std::nullopt;
+  }
+  session_id_ = client_hello.session_id;
+  const crypto::ByteView payload(client_hello.payload);
+  const crypto::BigUint peer = decrypt_public(
+      payload.first(kNonceLen), payload.subspan(kNonceLen));
+  if (!crypto::dh_public_is_valid(group_, peer)) {
+    // A wrong password decrypts to a random group element, which is
+    // almost always valid — rejection happens at key confirmation. This
+    // check only filters degenerate values.
+    return std::nullopt;
+  }
+
+  ephemeral_ = crypto::dh_generate(group_, rng_);
+  crypto::Bytes shared;
+  try {
+    shared = crypto::dh_shared_secret(group_, ephemeral_.secret, peer);
+  } catch (const std::runtime_error&) {
+    return std::nullopt;
+  }
+
+  crypto::Bytes payload_out = rng_.generate(kNonceLen);
+  const crypto::Bytes enc =
+      encrypt_public(ephemeral_.public_value,
+                     crypto::ByteView(payload_out).first(kNonceLen));
+  payload_out.insert(payload_out.end(), enc.begin(), enc.end());
+
+  // Transcript: client hello || server hello (before the MAC).
+  transcript_ = client_hello.payload;
+  transcript_.insert(transcript_.end(), payload_out.begin(),
+                     payload_out.end());
+  derive_session_key(shared);
+
+  // Responder key confirmation.
+  const crypto::Bytes mac = crypto::hmac_sha256(
+      session_key_,
+      crypto::concat({crypto::bytes_of("np-eke-server"), transcript_}));
+  payload_out.insert(payload_out.end(), mac.begin(), mac.end());
+
+  return net::Message{net::MessageType::kEkeServerHello, session_id_,
+                      std::move(payload_out)};
+}
+
+std::optional<net::Message> EkeParty::confirm(
+    const net::Message& server_hello) {
+  if (server_hello.type != net::MessageType::kEkeServerHello ||
+      server_hello.payload.size() !=
+          kNonceLen + group_.prime_bytes + kMacLen ||
+      server_hello.session_id != session_id_) {
+    return std::nullopt;
+  }
+  const crypto::ByteView payload(server_hello.payload);
+  const crypto::ByteView hello =
+      payload.first(kNonceLen + group_.prime_bytes);
+  const crypto::ByteView mac = payload.subspan(hello.size());
+
+  const crypto::BigUint peer =
+      decrypt_public(hello.first(kNonceLen), hello.subspan(kNonceLen));
+  if (!crypto::dh_public_is_valid(group_, peer)) return std::nullopt;
+
+  crypto::Bytes shared;
+  try {
+    shared = crypto::dh_shared_secret(group_, ephemeral_.secret, peer);
+  } catch (const std::runtime_error&) {
+    return std::nullopt;
+  }
+
+  transcript_.insert(transcript_.end(), hello.begin(), hello.end());
+  derive_session_key(shared);
+
+  const crypto::Bytes expected = crypto::hmac_sha256(
+      session_key_,
+      crypto::concat({crypto::bytes_of("np-eke-server"), transcript_}));
+  if (!crypto::ct_equal(mac, expected)) {
+    session_key_.clear();
+    return std::nullopt;
+  }
+
+  const crypto::Bytes client_mac = crypto::hmac_sha256(
+      session_key_,
+      crypto::concat({crypto::bytes_of("np-eke-client"), transcript_}));
+  return net::Message{net::MessageType::kEkeClientConfirm, session_id_,
+                      client_mac};
+}
+
+bool EkeParty::finalize(const net::Message& client_confirm) {
+  if (client_confirm.type != net::MessageType::kEkeClientConfirm ||
+      client_confirm.session_id != session_id_ || session_key_.empty()) {
+    return false;
+  }
+  const crypto::Bytes expected = crypto::hmac_sha256(
+      session_key_,
+      crypto::concat({crypto::bytes_of("np-eke-client"), transcript_}));
+  if (!crypto::ct_equal(client_confirm.payload, expected)) {
+    session_key_.clear();
+    return false;
+  }
+  return true;
+}
+
+EkeHandshakeOutcome run_eke_handshake(const crypto::Bytes& initiator_secret,
+                                      const crypto::Bytes& responder_secret,
+                                      const crypto::DhGroup& group,
+                                      std::uint64_t session_id,
+                                      std::uint64_t seed) {
+  crypto::Bytes seed_i = crypto::bytes_of("eke-i");
+  crypto::append_u64_be(seed_i, seed);
+  crypto::Bytes seed_r = crypto::bytes_of("eke-r");
+  crypto::append_u64_be(seed_r, seed);
+
+  EkeParty initiator(initiator_secret, group, crypto::ChaChaDrbg(seed_i));
+  EkeParty responder(responder_secret, group, crypto::ChaChaDrbg(seed_r));
+
+  EkeHandshakeOutcome outcome;
+  const net::Message hello = initiator.initiate(session_id);
+  const auto server_hello = responder.respond(hello);
+  if (!server_hello) return outcome;
+  const auto client_confirm = initiator.confirm(*server_hello);
+  if (!client_confirm) return outcome;
+  if (!responder.finalize(*client_confirm)) return outcome;
+
+  outcome.initiator = {true, initiator.session_key()};
+  outcome.responder = {true, responder.session_key()};
+  outcome.keys_match =
+      crypto::ct_equal(initiator.session_key(), responder.session_key());
+  return outcome;
+}
+
+}  // namespace neuropuls::core

@@ -1,0 +1,186 @@
+#include "core/attestation.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "crypto/chacha20.hpp"
+#include "crypto/sha256.hpp"
+
+namespace neuropuls::core {
+
+namespace {
+
+// Maps a PUF response to the next challenge: the continuous
+// challenge-and-response chaining r_{i+1} = pPUF(r_i) of §III-B, with a
+// hash bridging the (response size -> challenge size) mismatch.
+puf::Challenge challenge_from_response(const puf::Response& response,
+                                       std::size_t challenge_bytes) {
+  crypto::ChaChaDrbg rng(
+      crypto::concat({crypto::bytes_of("np-attest-chain"), response}));
+  return rng.generate(challenge_bytes);
+}
+
+// Random walk visiting every chunk exactly once: Fisher–Yates driven by
+// the DRBG seeded with (r_1, t) — "the random walk in memory:
+// m_1,...,m_n = RNG(r_1 + t)".
+std::vector<std::size_t> walk_order(const puf::Response& r1,
+                                    std::uint64_t timestamp,
+                                    std::size_t chunks) {
+  crypto::Bytes seed = crypto::concat({crypto::bytes_of("np-attest-walk"), r1});
+  crypto::append_u64_be(seed, timestamp);
+  crypto::ChaChaDrbg rng(seed);
+  std::vector<std::size_t> order(chunks);
+  for (std::size_t i = 0; i < chunks; ++i) order[i] = i;
+  for (std::size_t i = chunks; i > 1; --i) {
+    std::swap(order[i - 1], order[rng.uniform(i)]);
+  }
+  return order;
+}
+
+}  // namespace
+
+crypto::Bytes attestation_digest(const crypto::Bytes& memory,
+                                 const puf::Puf& puf, std::uint64_t timestamp,
+                                 const puf::Challenge& c1,
+                                 std::size_t chunk_size) {
+  if (memory.empty() || chunk_size == 0) {
+    throw std::invalid_argument("attestation_digest: empty memory or chunk");
+  }
+  const std::size_t chunks = (memory.size() + chunk_size - 1) / chunk_size;
+
+  puf::Response r = puf.evaluate_noiseless(c1);
+  const auto order = walk_order(r, timestamp, chunks);
+
+  crypto::Bytes h;  // empty initial link
+  for (std::size_t step = 0; step < chunks; ++step) {
+    const std::size_t begin = order[step] * chunk_size;
+    const std::size_t end = std::min(memory.size(), begin + chunk_size);
+
+    crypto::Sha256 hasher;
+    hasher.update(crypto::ByteView(memory.data() + begin, end - begin));
+    hasher.update(r);
+    hasher.update(h);
+    const auto digest = hasher.finalize();
+    h.assign(digest.begin(), digest.end());
+
+    // Chain the PUF: r_{i+1} = pPUF(r_i).
+    r = puf.evaluate_noiseless(
+        challenge_from_response(r, puf.challenge_bytes()));
+  }
+  return h;
+}
+
+double honest_attestation_time_ns(std::size_t memory_bytes,
+                                  const AttestationConfig& config,
+                                  const AttestationCostModel& cost) {
+  const std::size_t chunks =
+      (memory_bytes + config.chunk_size - 1) / config.chunk_size;
+  const double per_chunk_bytes = static_cast<double>(config.chunk_size);
+  // Per chunk: read + hash(chunk || r || h). The PUF response generation
+  // overlaps the hash in hardware, so only the *excess* of the PUF time
+  // over the hash time would add latency; with a >= 5 Gb/s pPUF it never
+  // does (the §III-B argument), but we model the max() honestly.
+  const double hash_ns = cost.hash_ns_fixed +
+                         cost.hash_ns_per_byte * (per_chunk_bytes + 64.0);
+  const double read_ns = cost.memory_read_ns_per_byte * per_chunk_bytes;
+  const double step_ns = read_ns + std::max(hash_ns, cost.puf_response_ns);
+  return static_cast<double>(chunks) * step_ns;
+}
+
+AttestDevice::AttestDevice(puf::Puf& puf, crypto::Bytes memory,
+                           AttestationConfig config)
+    : puf_(puf), memory_(std::move(memory)), config_(config) {
+  if (memory_.empty()) {
+    throw std::invalid_argument("AttestDevice: empty memory");
+  }
+}
+
+void AttestDevice::corrupt_memory(std::size_t offset, std::uint8_t value) {
+  memory_.at(offset) = value;
+}
+
+void AttestDevice::enable_memory_hiding(crypto::Bytes pristine_copy,
+                                        double overhead_factor) {
+  if (pristine_copy.size() != memory_.size()) {
+    throw std::invalid_argument("enable_memory_hiding: size mismatch");
+  }
+  if (overhead_factor < 1.0) {
+    throw std::invalid_argument("enable_memory_hiding: factor must be >= 1");
+  }
+  pristine_ = std::move(pristine_copy);
+  hiding_overhead_ = overhead_factor;
+}
+
+std::optional<net::Message> AttestDevice::handle_request(
+    const net::Message& request) {
+  if (request.type != net::MessageType::kAttestRequest ||
+      request.payload.size() < 8 + puf_.challenge_bytes()) {
+    return std::nullopt;
+  }
+  const std::uint64_t timestamp =
+      crypto::get_u64_be(crypto::ByteView(request.payload).first(8));
+  const puf::Challenge c1(request.payload.begin() + 8, request.payload.end());
+
+  // A memory-hiding attacker answers with the *pristine* image (so the
+  // digest matches) but pays the redirection overhead in time.
+  const crypto::Bytes& hashed_view = pristine_ ? *pristine_ : memory_;
+  last_time_factor_ = pristine_ ? hiding_overhead_ : 1.0;
+
+  const crypto::Bytes digest = attestation_digest(
+      hashed_view, puf_, timestamp, c1, config_.chunk_size);
+  return net::Message{net::MessageType::kAttestReport, request.session_id,
+                      digest};
+}
+
+AttestVerifier::AttestVerifier(const puf::Puf& puf_model,
+                               crypto::Bytes reference_memory,
+                               AttestationConfig config,
+                               AttestationCostModel cost)
+    : puf_model_(puf_model),
+      reference_memory_(std::move(reference_memory)),
+      config_(config),
+      cost_(cost) {
+  if (reference_memory_.empty()) {
+    throw std::invalid_argument("AttestVerifier: empty reference memory");
+  }
+}
+
+net::Message AttestVerifier::start(std::uint64_t session_id,
+                                   std::uint64_t timestamp,
+                                   crypto::ChaChaDrbg& rng) {
+  active_session_ = session_id;
+  timestamp_ = timestamp;
+  active_challenge_ = rng.generate(puf_model_.challenge_bytes());
+  crypto::Bytes payload(8);
+  crypto::put_u64_be(payload, timestamp);
+  payload.insert(payload.end(), active_challenge_.begin(),
+                 active_challenge_.end());
+  return net::Message{net::MessageType::kAttestRequest, session_id,
+                      std::move(payload)};
+}
+
+double AttestVerifier::honest_time_ns() const {
+  return honest_attestation_time_ns(reference_memory_.size(), config_, cost_);
+}
+
+AttestVerifier::Outcome AttestVerifier::check(const net::Message& report,
+                                              double elapsed_ns) {
+  Outcome outcome;
+  outcome.elapsed_ns = elapsed_ns;
+  outcome.time_budget_ns = honest_time_ns() * config_.time_bound_factor;
+  if (report.type != net::MessageType::kAttestReport ||
+      report.session_id != active_session_ || active_challenge_.empty()) {
+    return outcome;
+  }
+  const crypto::Bytes expected =
+      attestation_digest(reference_memory_, puf_model_, timestamp_,
+                         active_challenge_, config_.chunk_size);
+  outcome.digest_ok = crypto::ct_equal(report.payload, expected);
+  outcome.time_ok = elapsed_ns <= outcome.time_budget_ns;
+  outcome.accepted = outcome.digest_ok && outcome.time_ok;
+  // One-shot challenge: a replayed report cannot be re-checked.
+  active_challenge_.clear();
+  return outcome;
+}
+
+}  // namespace neuropuls::core

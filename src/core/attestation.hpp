@@ -1,0 +1,131 @@
+// PUF-based remote software attestation (§III-B).
+//
+// The Verifier sends (timestamp t, challenge c1). The Device:
+//   r_1 = pPUF(c_1)
+//   m_1..m_n = RNG(r_1 + t)            -- random walk visiting all chunks
+//   h_1 = HASH(m_1, r_1)
+//   r_{i+1} = pPUF(r_i)                -- continuous challenge chaining
+//   h_{i+1} = HASH(m_{i+1}, r_{i+1}, h_i)
+// and returns h_n. The Verifier holds a copy of the uncompromised memory
+// and a *model of the pPUF*, recomputes h_n concurrently, and accepts iff
+// the digest matches AND the response arrived within the temporal
+// constraint. Hiding compromised memory (shuffling it around during the
+// walk) forces extra work per chunk, which the time bound catches; the
+// paper's point is that a >= 5 Gb/s pPUF never becomes the bottleneck, so
+// the bound can be set tight around the hash+memory time alone.
+//
+// Per §III-B the construction assumes "an ideally reliable strong PUF":
+// both sides use the noiseless PUF evaluation; the PUF-model requirement
+// is modelled by giving the Verifier a deterministic clone.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "crypto/bytes.hpp"
+#include "crypto/chacha20.hpp"
+#include "net/channel.hpp"
+#include "puf/puf.hpp"
+
+namespace neuropuls::core {
+
+struct AttestationConfig {
+  std::size_t chunk_size = 1024;  // bytes hashed per walk step
+  /// Verifier accepts elapsed <= honest_estimate * time_bound_factor.
+  double time_bound_factor = 1.30;
+};
+
+/// Simulated cost model for the device-side computation (nanoseconds).
+/// Defaults approximate a small embedded core with a hash engine.
+struct AttestationCostModel {
+  double hash_ns_per_byte = 1.2;
+  double hash_ns_fixed = 60.0;
+  double memory_read_ns_per_byte = 0.125;
+  double puf_response_ns = 60.0;  // << hash time: the §III-B speed claim
+  double network_round_trip_ns = 2e6;
+};
+
+/// Digest computation shared by Device and Verifier (who runs it on the
+/// reference memory with the PUF model).
+crypto::Bytes attestation_digest(const crypto::Bytes& memory,
+                                 const puf::Puf& puf, std::uint64_t timestamp,
+                                 const puf::Challenge& c1,
+                                 std::size_t chunk_size);
+
+/// Honest device-side runtime estimate for the cost model.
+double honest_attestation_time_ns(std::size_t memory_bytes,
+                                  const AttestationConfig& config,
+                                  const AttestationCostModel& cost);
+
+/// Device endpoint.
+class AttestDevice {
+ public:
+  AttestDevice(puf::Puf& puf, crypto::Bytes memory, AttestationConfig config);
+
+  /// Processes a request; returns the report message (h_n).
+  std::optional<net::Message> handle_request(const net::Message& request);
+
+  /// Models a compromise: overwrite a memory byte. The digest then
+  /// mismatches unless the attacker also plays hide-the-memory (below).
+  void corrupt_memory(std::size_t offset, std::uint8_t value);
+
+  /// Models the memory-hiding attacker of §III-B: the device keeps a
+  /// pristine copy and redirects reads of corrupted regions to it, paying
+  /// `overhead_factor` extra time per chunk. Digest matches; timing does
+  /// not.
+  void enable_memory_hiding(crypto::Bytes pristine_copy,
+                            double overhead_factor);
+
+  /// The runtime multiplier of the last attestation (1.0 when honest).
+  double last_time_factor() const noexcept { return last_time_factor_; }
+
+  const crypto::Bytes& memory() const noexcept { return memory_; }
+
+ private:
+  puf::Puf& puf_;
+  crypto::Bytes memory_;
+  AttestationConfig config_;
+  std::optional<crypto::Bytes> pristine_;
+  double hiding_overhead_ = 1.0;
+  double last_time_factor_ = 1.0;
+};
+
+/// Verifier endpoint: owns the reference memory and the PUF model.
+class AttestVerifier {
+ public:
+  AttestVerifier(const puf::Puf& puf_model, crypto::Bytes reference_memory,
+                 AttestationConfig config, AttestationCostModel cost);
+
+  /// Builds the attestation request for (session, timestamp); the
+  /// challenge comes from `rng`.
+  net::Message start(std::uint64_t session_id, std::uint64_t timestamp,
+                     crypto::ChaChaDrbg& rng);
+
+  struct Outcome {
+    bool digest_ok = false;
+    bool time_ok = false;
+    bool accepted = false;
+    double time_budget_ns = 0.0;
+    double elapsed_ns = 0.0;
+  };
+
+  /// Checks the device's report against the expected digest and the
+  /// temporal constraint. `elapsed_ns` is the measured round-trip minus
+  /// network estimate (supplied by the caller's clock — the system
+  /// simulator in `src/sim` provides it end-to-end).
+  Outcome check(const net::Message& report, double elapsed_ns);
+
+  /// Expected honest compute time (the basis of the bound).
+  double honest_time_ns() const;
+
+ private:
+  const puf::Puf& puf_model_;
+  crypto::Bytes reference_memory_;
+  AttestationConfig config_;
+  AttestationCostModel cost_;
+  std::uint64_t active_session_ = 0;
+  std::uint64_t timestamp_ = 0;
+  puf::Challenge active_challenge_;
+};
+
+}  // namespace neuropuls::core

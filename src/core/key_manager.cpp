@@ -1,0 +1,68 @@
+#include "core/key_manager.hpp"
+
+#include <stdexcept>
+
+#include "crypto/chacha20.hpp"
+#include "crypto/hmac.hpp"
+
+namespace neuropuls::core {
+
+ecc::BitVec collect_response_bits(puf::Puf& puf, std::size_t bits) {
+  ecc::BitVec collected;
+  collected.reserve(bits);
+  if (puf.challenge_bytes() == 0) {
+    // Weak PUF: repeated power-up reads of the same cells are *noisy
+    // re-readings*, not fresh entropy — one read supplies all the bits it
+    // has; asking for more is a configuration error.
+    const puf::Response r = puf.evaluate({});
+    if (r.size() * 8 < bits) {
+      throw std::invalid_argument(
+          "collect_response_bits: weak PUF response too short");
+    }
+    const auto unpacked = ecc::unpack_bits(r, bits);
+    return unpacked;
+  }
+  // Strong PUF as weak PUF: a fixed, public enrollment challenge sequence.
+  crypto::ChaChaDrbg challenge_seq(crypto::bytes_of("np-enroll-seq"));
+  while (collected.size() < bits) {
+    const puf::Challenge c = challenge_seq.generate(puf.challenge_bytes());
+    const puf::Response r = puf.evaluate(c);
+    const auto chunk = ecc::unpack_bits(r);
+    for (std::uint8_t b : chunk) {
+      if (collected.size() == bits) break;
+      collected.push_back(b);
+    }
+  }
+  return collected;
+}
+
+KeyManager::KeyManager(puf::Puf& puf, std::size_t key_bytes)
+    : puf_(puf), extractor_(ecc::make_default_extractor(key_bytes)) {}
+
+DeviceKeyRecord KeyManager::enroll(crypto::ChaChaDrbg& rng) {
+  const ecc::BitVec w = collect_response_bits(puf_, extractor_.response_bits());
+  const auto result = extractor_.generate(w, rng);
+  root_ = result.key;
+  return DeviceKeyRecord{result.helper};
+}
+
+std::optional<DeviceKeys> KeyManager::derive(const DeviceKeyRecord& record) {
+  const ecc::BitVec w_prime =
+      collect_response_bits(puf_, extractor_.response_bits());
+  const auto root = extractor_.reproduce(w_prime, record.helper);
+  if (!root) return std::nullopt;
+  return split(*root);
+}
+
+DeviceKeys KeyManager::split(const crypto::Bytes& root) {
+  DeviceKeys keys;
+  keys.encryption_key =
+      crypto::hkdf(crypto::ByteView{}, root, crypto::bytes_of("np-key-enc"), 16);
+  keys.mac_key =
+      crypto::hkdf(crypto::ByteView{}, root, crypto::bytes_of("np-key-mac"), 32);
+  keys.binding_key =
+      crypto::hkdf(crypto::ByteView{}, root, crypto::bytes_of("np-key-bind"), 16);
+  return keys;
+}
+
+}  // namespace neuropuls::core

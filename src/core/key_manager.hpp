@@ -1,0 +1,68 @@
+// Device key management: weak PUF -> fuzzy extractor -> key hierarchy.
+//
+// Fig. 1's left column: the weak PUF (with ECC) feeds "cryptographic key
+// generation". At enrollment the device reads its weak PUF, runs the
+// code-offset fuzzy extractor, and stores only the *helper data* (public)
+// — never the key. At every boot the key is re-derived from a fresh noisy
+// reading; HKDF then splits it into purpose-bound sub-keys so the Table I
+// encryption key, the MAC key, and the PIC/ASIC binding key are pairwise
+// independent ("this key is never exposed to the software layer" — here
+// enforced by handing out derived sub-keys only).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "crypto/bytes.hpp"
+#include "ecc/fuzzy_extractor.hpp"
+#include "puf/puf.hpp"
+
+namespace neuropuls::core {
+
+/// Gathers `bits` response bits from a PUF by evaluating a deterministic
+/// sequence of fixed enrollment challenges (weak-PUF usage of a strong
+/// PUF; weak PUFs with empty challenges are read directly).
+ecc::BitVec collect_response_bits(puf::Puf& puf, std::size_t bits);
+
+/// Public, persistable enrollment record.
+struct DeviceKeyRecord {
+  ecc::HelperData helper;
+};
+
+struct DeviceKeys {
+  crypto::Bytes encryption_key;  // Table I bulk encryption (16 bytes)
+  crypto::Bytes mac_key;         // message authentication (32 bytes)
+  crypto::Bytes binding_key;     // PIC<->ASIC composite binding (16 bytes)
+};
+
+class KeyManager {
+ public:
+  /// `key_bytes` sizes the fuzzy-extractor root key.
+  explicit KeyManager(puf::Puf& puf, std::size_t key_bytes = 16);
+
+  /// Manufacturing-time enrollment. Returns the public record to persist.
+  DeviceKeyRecord enroll(crypto::ChaChaDrbg& rng);
+
+  /// Boot-time key derivation from a fresh noisy PUF reading. Returns
+  /// std::nullopt when the reading is too noisy for the code (the caller
+  /// retries — physically, re-powers the PUF).
+  std::optional<DeviceKeys> derive(const DeviceKeyRecord& record);
+
+  /// The root key derived at enrollment (for verifier-side provisioning
+  /// in tests/examples; a production flow would never export it).
+  const crypto::Bytes& enrolled_root() const noexcept { return root_; }
+
+  std::size_t response_bits() const noexcept {
+    return extractor_.response_bits();
+  }
+
+ private:
+  static DeviceKeys split(const crypto::Bytes& root);
+
+  puf::Puf& puf_;
+  ecc::FuzzyExtractor extractor_;
+  crypto::Bytes root_;
+};
+
+}  // namespace neuropuls::core

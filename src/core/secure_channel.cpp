@@ -1,0 +1,103 @@
+#include "core/secure_channel.hpp"
+
+#include <stdexcept>
+
+#include "crypto/aes.hpp"
+#include "crypto/hmac.hpp"
+
+namespace neuropuls::core {
+
+namespace {
+constexpr std::size_t kSeqLen = 8;
+constexpr std::size_t kTagLen = 16;
+
+crypto::Bytes nonce_for(std::uint64_t sequence) {
+  crypto::Bytes nonce(16, 0);
+  crypto::put_u64_be(std::span<std::uint8_t>(nonce.data(), 8), sequence);
+  return nonce;
+}
+}  // namespace
+
+crypto::Bytes SecureChannel::direction_key(crypto::ByteView session_key,
+                                           bool initiator_to_responder) {
+  return crypto::hkdf(crypto::ByteView{}, session_key,
+                      initiator_to_responder ? crypto::bytes_of("np-sc-i2r")
+                                             : crypto::bytes_of("np-sc-r2i"),
+                      32);
+}
+
+SecureChannel::SecureChannel(crypto::Bytes session_key, bool is_initiator,
+                             SecureChannelConfig config)
+    : config_(config) {
+  if (session_key.empty()) {
+    throw std::invalid_argument("SecureChannel: empty session key");
+  }
+  if (config_.rekey_interval == 0) {
+    throw std::invalid_argument("SecureChannel: zero rekey interval");
+  }
+  send_key_ = direction_key(session_key, is_initiator);
+  recv_key_ = direction_key(session_key, !is_initiator);
+}
+
+void SecureChannel::maybe_ratchet(crypto::Bytes& key, std::uint64_t seq) {
+  if (seq != 0 && seq % config_.rekey_interval == 0) {
+    key = crypto::hkdf(crypto::ByteView{}, key,
+                       crypto::bytes_of("np-sc-ratchet"), 32);
+  }
+}
+
+crypto::Bytes SecureChannel::seal(crypto::ByteView plaintext) {
+  maybe_ratchet(send_key_, send_seq_);
+  const std::uint64_t seq = send_seq_++;
+
+  crypto::Bytes record(kSeqLen);
+  crypto::put_u64_be(record, seq);
+
+  const crypto::Bytes enc_key = crypto::hkdf(
+      crypto::ByteView{}, send_key_, crypto::bytes_of("enc"), 16);
+  const crypto::Bytes mac_key = crypto::hkdf(
+      crypto::ByteView{}, send_key_, crypto::bytes_of("mac"), 16);
+
+  const crypto::Bytes body =
+      crypto::aes_ctr(enc_key, nonce_for(seq), plaintext);
+  record.insert(record.end(), body.begin(), body.end());
+
+  const crypto::Bytes tag = crypto::aes_cmac(mac_key, record);
+  record.insert(record.end(), tag.begin(), tag.begin() + kTagLen);
+  return record;
+}
+
+std::optional<crypto::Bytes> SecureChannel::open(crypto::ByteView record) {
+  if (poisoned_) return std::nullopt;
+  if (record.size() < kSeqLen + kTagLen) {
+    poisoned_ = true;
+    return std::nullopt;
+  }
+  const std::uint64_t seq = crypto::get_u64_be(record.first(kSeqLen));
+
+  maybe_ratchet(recv_key_, recv_seq_);
+  if (seq != recv_seq_) {  // replay, reorder, or drop
+    poisoned_ = true;
+    return std::nullopt;
+  }
+
+  const crypto::Bytes enc_key = crypto::hkdf(
+      crypto::ByteView{}, recv_key_, crypto::bytes_of("enc"), 16);
+  const crypto::Bytes mac_key = crypto::hkdf(
+      crypto::ByteView{}, recv_key_, crypto::bytes_of("mac"), 16);
+
+  const crypto::ByteView signed_part = record.first(record.size() - kTagLen);
+  const crypto::ByteView tag = record.subspan(record.size() - kTagLen);
+  const crypto::Bytes expected = crypto::aes_cmac(mac_key, signed_part);
+  if (!crypto::ct_equal(tag,
+                        crypto::ByteView(expected).first(kTagLen))) {
+    poisoned_ = true;
+    return std::nullopt;
+  }
+
+  ++recv_seq_;
+  const crypto::ByteView body = signed_part.subspan(kSeqLen);
+  return crypto::aes_ctr(enc_key, nonce_for(seq), body);
+}
+
+}  // namespace neuropuls::core

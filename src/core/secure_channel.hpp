@@ -1,0 +1,61 @@
+// Authenticated-encryption channel keyed by the EKE session key (§IV:
+// the AKA output is "to be used in the secure channel implementation",
+// and the session keys it generates serve "for the data encryption").
+//
+// Framing per record: seq(8, big-endian) || nonce-free AES-CTR body ||
+// CMAC tag — the nonce is derived from the direction-bound sequence
+// number, so records are self-describing, replay of any record fails the
+// sequence check, reordering fails the MAC (the tag covers the sequence
+// number), and the two directions use independent keys (no reflection
+// attacks). Rekeying via HKDF ratchet after a configurable record count
+// bounds key usage.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "crypto/bytes.hpp"
+
+namespace neuropuls::core {
+
+struct SecureChannelConfig {
+  /// Records per direction before the ratchet steps the keys forward.
+  std::uint64_t rekey_interval = 1u << 20;
+};
+
+/// One endpoint of the record channel. Construct both ends from the same
+/// session key with opposite `is_initiator` flags.
+class SecureChannel {
+ public:
+  /// `session_key` is the 32-byte EKE output. Throws
+  /// std::invalid_argument on an empty key.
+  SecureChannel(crypto::Bytes session_key, bool is_initiator,
+                SecureChannelConfig config = {});
+
+  /// Seals one application record for the peer.
+  crypto::Bytes seal(crypto::ByteView plaintext);
+
+  /// Opens a record from the peer. Returns std::nullopt on any failure:
+  /// truncation, wrong sequence (replay/reorder/drop), bad tag. The
+  /// channel is poisoned after a failure (all later opens fail) — a
+  /// tampered stream must not be resynchronisable by the attacker.
+  std::optional<crypto::Bytes> open(crypto::ByteView record);
+
+  std::uint64_t records_sent() const noexcept { return send_seq_; }
+  std::uint64_t records_received() const noexcept { return recv_seq_; }
+  bool poisoned() const noexcept { return poisoned_; }
+
+ private:
+  void maybe_ratchet(crypto::Bytes& key, std::uint64_t seq);
+  static crypto::Bytes direction_key(crypto::ByteView session_key,
+                                     bool initiator_to_responder);
+
+  SecureChannelConfig config_;
+  crypto::Bytes send_key_;
+  crypto::Bytes recv_key_;
+  std::uint64_t send_seq_ = 0;
+  std::uint64_t recv_seq_ = 0;
+  bool poisoned_ = false;
+};
+
+}  // namespace neuropuls::core

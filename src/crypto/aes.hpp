@@ -1,0 +1,68 @@
+// AES-128/192/256 (FIPS 197) with CTR mode and CMAC (NIST SP 800-38B).
+//
+// Table I of the paper specifies that the neural-network configuration,
+// inputs, and outputs cross the hardware boundary only in encrypted form.
+// The accelerator model (`src/accel`) uses AES-CTR for that bulk
+// encryption and CMAC as an authentication option; the CTR-DRBG in
+// `drbg.hpp` is also built on this block cipher.
+//
+// This is a portable table-free implementation: SubBytes uses a
+// compile-time generated S-box, and MixColumns works on bytes, which keeps
+// the code easy to audit at the cost of raw speed (the point here is
+// correctness and modelling, not throughput records).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "crypto/bytes.hpp"
+
+namespace neuropuls::crypto {
+
+/// An AES block cipher keyed at construction. Supports 128/192/256-bit keys.
+class Aes {
+ public:
+  static constexpr std::size_t kBlockSize = 16;
+
+  /// Throws std::invalid_argument unless key is 16, 24, or 32 bytes.
+  explicit Aes(ByteView key);
+
+  /// Encrypts one 16-byte block in place.
+  void encrypt_block(std::span<std::uint8_t, kBlockSize> block) const noexcept;
+
+  /// Decrypts one 16-byte block in place.
+  void decrypt_block(std::span<std::uint8_t, kBlockSize> block) const noexcept;
+
+  std::size_t rounds() const noexcept { return rounds_; }
+
+ private:
+  // Up to 15 round keys of 16 bytes each (AES-256).
+  std::array<std::uint8_t, 16 * 15> round_keys_{};
+  std::size_t rounds_ = 0;
+};
+
+/// AES-CTR stream transform. Encryption and decryption are the same
+/// operation. `nonce` is the initial 16-byte counter block; the low 32 bits
+/// are incremented big-endian per block (NIST SP 800-38A style).
+Bytes aes_ctr(const Aes& cipher, ByteView nonce16, ByteView data);
+
+/// Convenience overload constructing the cipher from a raw key.
+Bytes aes_ctr(ByteView key, ByteView nonce16, ByteView data);
+
+/// CMAC (OMAC1) over `data` with the given AES key. Returns a 16-byte tag.
+Bytes aes_cmac(ByteView key, ByteView data);
+
+/// The AES S-box lookup (exposed for the side-channel analyses, which
+/// model first-round S-box leakage).
+std::uint8_t aes_sbox(std::uint8_t x) noexcept;
+
+/// Authenticated encryption used at the accelerator hardware boundary:
+/// Encrypt-then-MAC with independent keys derived from `key` via HKDF.
+/// Frame layout: nonce(16) || ciphertext || tag(16).
+Bytes aes_ctr_then_mac_seal(ByteView key, ByteView nonce16, ByteView plaintext);
+
+/// Opens a frame produced by aes_ctr_then_mac_seal. Throws
+/// std::runtime_error on authentication failure or malformed frame.
+Bytes aes_ctr_then_mac_open(ByteView key, ByteView frame);
+
+}  // namespace neuropuls::crypto

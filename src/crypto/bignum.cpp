@@ -1,0 +1,437 @@
+#include "crypto/bignum.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <stdexcept>
+
+namespace neuropuls::crypto {
+
+using u128 = unsigned __int128;
+
+BigUint::BigUint(std::uint64_t value) {
+  if (value != 0) limbs_.push_back(value);
+}
+
+void BigUint::normalize() noexcept {
+  while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
+}
+
+BigUint BigUint::from_hex(std::string_view hex) {
+  BigUint out;
+  for (char c : hex) {
+    if (std::isspace(static_cast<unsigned char>(c))) continue;
+    int nibble;
+    if (c >= '0' && c <= '9') nibble = c - '0';
+    else if (c >= 'a' && c <= 'f') nibble = c - 'a' + 10;
+    else if (c >= 'A' && c <= 'F') nibble = c - 'A' + 10;
+    else throw std::invalid_argument("BigUint::from_hex: non-hex character");
+    out = (out << 4) + BigUint(static_cast<std::uint64_t>(nibble));
+  }
+  return out;
+}
+
+BigUint BigUint::from_bytes_be(ByteView bytes) {
+  BigUint out;
+  out.limbs_.assign((bytes.size() + 7) / 8, 0);
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    // Byte i (from the most significant end) lands at bit position
+    // 8*(size-1-i) from the least significant end.
+    const std::size_t bit = 8 * (bytes.size() - 1 - i);
+    out.limbs_[bit / 64] |= static_cast<std::uint64_t>(bytes[i])
+                            << (bit % 64);
+  }
+  out.normalize();
+  return out;
+}
+
+Bytes BigUint::to_bytes_be(std::size_t min_len) const {
+  const std::size_t bits = bit_length();
+  const std::size_t natural = (bits + 7) / 8;
+  const std::size_t len = std::max(natural, std::max<std::size_t>(min_len, 1));
+  Bytes out(len, 0);
+  for (std::size_t i = 0; i < natural; ++i) {
+    const std::size_t bit = 8 * i;
+    out[len - 1 - i] =
+        static_cast<std::uint8_t>(limbs_[bit / 64] >> (bit % 64));
+  }
+  return out;
+}
+
+std::string BigUint::to_hex() const {
+  if (limbs_.empty()) return "0";
+  static const char* digits = "0123456789abcdef";
+  std::string out;
+  bool leading = true;
+  for (std::size_t i = limbs_.size(); i-- > 0;) {
+    for (int shift = 60; shift >= 0; shift -= 4) {
+      const int nibble = static_cast<int>((limbs_[i] >> shift) & 0xF);
+      if (leading && nibble == 0) continue;
+      leading = false;
+      out.push_back(digits[nibble]);
+    }
+  }
+  return out;
+}
+
+std::size_t BigUint::bit_length() const noexcept {
+  if (limbs_.empty()) return 0;
+  const std::uint64_t top = limbs_.back();
+  std::size_t bits = (limbs_.size() - 1) * 64;
+  return bits + (64 - static_cast<std::size_t>(__builtin_clzll(top)));
+}
+
+bool BigUint::bit(std::size_t i) const noexcept {
+  const std::size_t limb = i / 64;
+  if (limb >= limbs_.size()) return false;
+  return (limbs_[limb] >> (i % 64)) & 1;
+}
+
+int BigUint::compare(const BigUint& a, const BigUint& b) noexcept {
+  if (a.limbs_.size() != b.limbs_.size()) {
+    return a.limbs_.size() < b.limbs_.size() ? -1 : 1;
+  }
+  for (std::size_t i = a.limbs_.size(); i-- > 0;) {
+    if (a.limbs_[i] != b.limbs_[i]) return a.limbs_[i] < b.limbs_[i] ? -1 : 1;
+  }
+  return 0;
+}
+
+BigUint BigUint::operator+(const BigUint& other) const {
+  BigUint out;
+  const std::size_t n = std::max(limbs_.size(), other.limbs_.size());
+  out.limbs_.assign(n + 1, 0);
+  std::uint64_t carry = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t a = i < limbs_.size() ? limbs_[i] : 0;
+    const std::uint64_t b = i < other.limbs_.size() ? other.limbs_[i] : 0;
+    const u128 sum = static_cast<u128>(a) + b + carry;
+    out.limbs_[i] = static_cast<std::uint64_t>(sum);
+    carry = static_cast<std::uint64_t>(sum >> 64);
+  }
+  out.limbs_[n] = carry;
+  out.normalize();
+  return out;
+}
+
+BigUint BigUint::operator-(const BigUint& other) const {
+  if (*this < other) {
+    throw std::underflow_error("BigUint subtraction underflow");
+  }
+  BigUint out;
+  out.limbs_.assign(limbs_.size(), 0);
+  std::uint64_t borrow = 0;
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    const std::uint64_t b = i < other.limbs_.size() ? other.limbs_[i] : 0;
+    const u128 lhs = static_cast<u128>(limbs_[i]);
+    const u128 rhs = static_cast<u128>(b) + borrow;
+    if (lhs >= rhs) {
+      out.limbs_[i] = static_cast<std::uint64_t>(lhs - rhs);
+      borrow = 0;
+    } else {
+      out.limbs_[i] =
+          static_cast<std::uint64_t>((static_cast<u128>(1) << 64) + lhs - rhs);
+      borrow = 1;
+    }
+  }
+  out.normalize();
+  return out;
+}
+
+BigUint BigUint::operator*(const BigUint& other) const {
+  if (limbs_.empty() || other.limbs_.empty()) return BigUint{};
+  BigUint out;
+  out.limbs_.assign(limbs_.size() + other.limbs_.size(), 0);
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    std::uint64_t carry = 0;
+    for (std::size_t j = 0; j < other.limbs_.size(); ++j) {
+      const u128 cur = static_cast<u128>(limbs_[i]) * other.limbs_[j] +
+                       out.limbs_[i + j] + carry;
+      out.limbs_[i + j] = static_cast<std::uint64_t>(cur);
+      carry = static_cast<std::uint64_t>(cur >> 64);
+    }
+    out.limbs_[i + other.limbs_.size()] += carry;
+  }
+  out.normalize();
+  return out;
+}
+
+BigUint BigUint::operator<<(std::size_t bits) const {
+  if (limbs_.empty() || bits == 0) {
+    BigUint out = *this;
+    return out;
+  }
+  const std::size_t limb_shift = bits / 64;
+  const std::size_t bit_shift = bits % 64;
+  BigUint out;
+  out.limbs_.assign(limbs_.size() + limb_shift + 1, 0);
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    out.limbs_[i + limb_shift] |= limbs_[i] << bit_shift;
+    if (bit_shift != 0) {
+      out.limbs_[i + limb_shift + 1] |= limbs_[i] >> (64 - bit_shift);
+    }
+  }
+  out.normalize();
+  return out;
+}
+
+BigUint BigUint::operator>>(std::size_t bits) const {
+  const std::size_t limb_shift = bits / 64;
+  if (limb_shift >= limbs_.size()) return BigUint{};
+  const std::size_t bit_shift = bits % 64;
+  BigUint out;
+  out.limbs_.assign(limbs_.size() - limb_shift, 0);
+  for (std::size_t i = 0; i < out.limbs_.size(); ++i) {
+    out.limbs_[i] = limbs_[i + limb_shift] >> bit_shift;
+    if (bit_shift != 0 && i + limb_shift + 1 < limbs_.size()) {
+      out.limbs_[i] |= limbs_[i + limb_shift + 1] << (64 - bit_shift);
+    }
+  }
+  out.normalize();
+  return out;
+}
+
+BigUint::DivMod BigUint::divmod(const BigUint& numerator,
+                                const BigUint& denominator) {
+  if (denominator.is_zero()) {
+    throw std::domain_error("BigUint division by zero");
+  }
+  if (numerator < denominator) {
+    return {BigUint{}, numerator};
+  }
+  if (denominator.limbs_.size() == 1) {
+    // Single-limb fast path.
+    const std::uint64_t d = denominator.limbs_[0];
+    BigUint quotient;
+    quotient.limbs_.assign(numerator.limbs_.size(), 0);
+    u128 rem = 0;
+    for (std::size_t i = numerator.limbs_.size(); i-- > 0;) {
+      const u128 cur = (rem << 64) | numerator.limbs_[i];
+      quotient.limbs_[i] = static_cast<std::uint64_t>(cur / d);
+      rem = cur % d;
+    }
+    quotient.normalize();
+    return {quotient, BigUint(static_cast<std::uint64_t>(rem))};
+  }
+
+  // Knuth algorithm D. Normalise so the divisor's top limb has its MSB set.
+  const std::size_t shift =
+      static_cast<std::size_t>(__builtin_clzll(denominator.limbs_.back()));
+  const BigUint u = numerator << shift;
+  const BigUint v = denominator << shift;
+  const std::size_t n = v.limbs_.size();
+  const std::size_t m = u.limbs_.size() >= n ? u.limbs_.size() - n : 0;
+
+  std::vector<std::uint64_t> un(u.limbs_);
+  un.resize(u.limbs_.size() + 1, 0);
+  const std::vector<std::uint64_t>& vn = v.limbs_;
+
+  BigUint quotient;
+  quotient.limbs_.assign(m + 1, 0);
+
+  for (std::size_t j = m + 1; j-- > 0;) {
+    // Estimate the quotient digit from the top two limbs.
+    const u128 top = (static_cast<u128>(un[j + n]) << 64) | un[j + n - 1];
+    u128 qhat = top / vn[n - 1];
+    u128 rhat = top % vn[n - 1];
+    while (qhat > ~static_cast<std::uint64_t>(0) ||
+           (n >= 2 &&
+            qhat * vn[n - 2] > ((rhat << 64) | un[j + n - 2]))) {
+      --qhat;
+      rhat += vn[n - 1];
+      if (rhat > ~static_cast<std::uint64_t>(0)) break;
+    }
+
+    // Multiply-subtract qhat * v from u[j .. j+n].
+    u128 borrow = 0;
+    u128 carry = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const u128 product = qhat * vn[i] + carry;
+      carry = product >> 64;
+      const std::uint64_t p_lo = static_cast<std::uint64_t>(product);
+      const u128 sub = static_cast<u128>(un[i + j]) - p_lo - borrow;
+      un[i + j] = static_cast<std::uint64_t>(sub);
+      borrow = (sub >> 64) ? 1 : 0;
+    }
+    const u128 sub = static_cast<u128>(un[j + n]) - carry - borrow;
+    un[j + n] = static_cast<std::uint64_t>(sub);
+
+    if (sub >> 64) {
+      // qhat was one too large; add v back once.
+      --qhat;
+      u128 c = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        const u128 s = static_cast<u128>(un[i + j]) + vn[i] + c;
+        un[i + j] = static_cast<std::uint64_t>(s);
+        c = s >> 64;
+      }
+      un[j + n] += static_cast<std::uint64_t>(c);
+    }
+    quotient.limbs_[j] = static_cast<std::uint64_t>(qhat);
+  }
+  quotient.normalize();
+
+  BigUint remainder;
+  remainder.limbs_.assign(un.begin(), un.begin() + static_cast<std::ptrdiff_t>(n));
+  remainder.normalize();
+  remainder = remainder >> shift;
+  return {quotient, remainder};
+}
+
+BigUint BigUint::mulmod(const BigUint& other, const BigUint& modulus) const {
+  return (*this * other) % modulus;
+}
+
+// ---- Montgomery ------------------------------------------------------------
+
+namespace {
+
+// -N^-1 mod 2^64 via Newton iteration on the low limb.
+std::uint64_t neg_inverse64(std::uint64_t n) {
+  std::uint64_t inv = 1;
+  for (int i = 0; i < 6; ++i) {
+    inv *= 2 - n * inv;
+  }
+  return ~inv + 1;  // negate mod 2^64
+}
+
+}  // namespace
+
+MontgomeryCtx::MontgomeryCtx(BigUint modulus) : modulus_(std::move(modulus)) {
+  if (!modulus_.is_odd() || modulus_ <= BigUint(1)) {
+    throw std::invalid_argument("MontgomeryCtx: modulus must be odd and > 1");
+  }
+  n_ = modulus_.limbs().size();
+  n_limbs_ = modulus_.limbs();
+  n_limbs_.resize(n_, 0);
+  n0_inv_ = neg_inverse64(n_limbs_[0]);
+
+  // R^2 mod N with R = 2^(64*n): one general reduction at setup time.
+  const BigUint r2 = (BigUint(1) << (2 * 64 * n_)) % modulus_;
+  r2_ = r2.limbs();
+  r2_.resize(n_, 0);
+}
+
+void MontgomeryCtx::mont_mul(const std::uint64_t* a, const std::uint64_t* b,
+                             std::uint64_t* out) const noexcept {
+  // CIOS (coarsely integrated operand scanning).
+  std::vector<std::uint64_t> t(n_ + 2, 0);
+  for (std::size_t i = 0; i < n_; ++i) {
+    // t += a[i] * b
+    std::uint64_t carry = 0;
+    for (std::size_t j = 0; j < n_; ++j) {
+      const u128 cur = static_cast<u128>(a[i]) * b[j] + t[j] + carry;
+      t[j] = static_cast<std::uint64_t>(cur);
+      carry = static_cast<std::uint64_t>(cur >> 64);
+    }
+    u128 s = static_cast<u128>(t[n_]) + carry;
+    t[n_] = static_cast<std::uint64_t>(s);
+    t[n_ + 1] = static_cast<std::uint64_t>(s >> 64);
+
+    // m = t[0] * n0_inv mod 2^64; t += m * N; t >>= 64
+    const std::uint64_t m = t[0] * n0_inv_;
+    carry = 0;
+    {
+      const u128 cur = static_cast<u128>(m) * n_limbs_[0] + t[0];
+      carry = static_cast<std::uint64_t>(cur >> 64);
+    }
+    for (std::size_t j = 1; j < n_; ++j) {
+      const u128 cur = static_cast<u128>(m) * n_limbs_[j] + t[j] + carry;
+      t[j - 1] = static_cast<std::uint64_t>(cur);
+      carry = static_cast<std::uint64_t>(cur >> 64);
+    }
+    s = static_cast<u128>(t[n_]) + carry;
+    t[n_ - 1] = static_cast<std::uint64_t>(s);
+    t[n_] = t[n_ + 1] + static_cast<std::uint64_t>(s >> 64);
+    t[n_ + 1] = 0;
+  }
+
+  // Conditional final subtraction of N.
+  bool ge = t[n_] != 0;
+  if (!ge) {
+    ge = true;
+    for (std::size_t i = n_; i-- > 0;) {
+      if (t[i] != n_limbs_[i]) {
+        ge = t[i] > n_limbs_[i];
+        break;
+      }
+    }
+  }
+  if (ge) {
+    std::uint64_t borrow = 0;
+    for (std::size_t i = 0; i < n_; ++i) {
+      const u128 sub =
+          static_cast<u128>(t[i]) - n_limbs_[i] - borrow;
+      out[i] = static_cast<std::uint64_t>(sub);
+      borrow = (sub >> 64) ? 1 : 0;
+    }
+  } else {
+    std::copy(t.begin(), t.begin() + static_cast<std::ptrdiff_t>(n_), out);
+  }
+}
+
+BigUint MontgomeryCtx::to_mont(const BigUint& x) const {
+  std::vector<std::uint64_t> xv = (x % modulus_).limbs();
+  xv.resize(n_, 0);
+  std::vector<std::uint64_t> out(n_, 0);
+  mont_mul(xv.data(), r2_.data(), out.data());
+  BigUint result;
+  result.limbs_ = out;
+  result.normalize();
+  return result;
+}
+
+BigUint MontgomeryCtx::from_mont(const std::vector<std::uint64_t>& x) const {
+  std::vector<std::uint64_t> one(n_, 0);
+  one[0] = 1;
+  std::vector<std::uint64_t> out(n_, 0);
+  mont_mul(x.data(), one.data(), out.data());
+  BigUint result;
+  result.limbs_ = out;
+  result.normalize();
+  return result;
+}
+
+BigUint MontgomeryCtx::modexp(const BigUint& base,
+                              const BigUint& exponent) const {
+  if (exponent.is_zero()) return BigUint(1) % modulus_;
+
+  std::vector<std::uint64_t> acc = to_mont(BigUint(1)).limbs();
+  acc.resize(n_, 0);
+  std::vector<std::uint64_t> b = to_mont(base).limbs();
+  b.resize(n_, 0);
+  std::vector<std::uint64_t> tmp(n_, 0);
+
+  const std::size_t bits = exponent.bit_length();
+  for (std::size_t i = bits; i-- > 0;) {
+    mont_mul(acc.data(), acc.data(), tmp.data());
+    acc.swap(tmp);
+    if (exponent.bit(i)) {
+      mont_mul(acc.data(), b.data(), tmp.data());
+      acc.swap(tmp);
+    }
+  }
+  return from_mont(acc);
+}
+
+BigUint modexp(const BigUint& base, const BigUint& exponent,
+               const BigUint& modulus) {
+  if (modulus.is_zero()) {
+    throw std::domain_error("modexp: zero modulus");
+  }
+  if (modulus == BigUint(1)) return BigUint{};
+  if (modulus.is_odd()) {
+    return MontgomeryCtx(modulus).modexp(base, exponent);
+  }
+  // Even-modulus fallback: plain square-and-multiply with division-based
+  // reduction. Only exercised by tests; all protocol moduli are odd primes.
+  BigUint result(1);
+  BigUint b = base % modulus;
+  const std::size_t bits = exponent.bit_length();
+  for (std::size_t i = bits; i-- > 0;) {
+    result = result.mulmod(result, modulus);
+    if (exponent.bit(i)) result = result.mulmod(b, modulus);
+  }
+  return result;
+}
+
+}  // namespace neuropuls::crypto

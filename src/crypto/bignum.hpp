@@ -1,0 +1,141 @@
+// Arbitrary-precision unsigned integers with Montgomery modular
+// exponentiation.
+//
+// Section IV of the paper proposes an EKE-based Authentication and Key
+// Agreement protocol on top of the PUF CRP ("see the CRP as a low-entropy
+// shared secret … use the well-established and secure EKE protocol") and
+// explicitly notes it is "computationally more expensive". The expensive
+// part is modular exponentiation in a 2048-bit MODP group; this module
+// provides exactly the arithmetic needed for that — no more — so the
+// bench in `bench/bench_aka_eke` can quantify the cost gap against the
+// lightweight HSC-IoT authentication.
+//
+// Limbs are 64-bit, little-endian (limb 0 is least significant). Values are
+// kept normalised: no trailing zero limbs, and zero is an empty vector.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "crypto/bytes.hpp"
+
+namespace neuropuls::crypto {
+
+class BigUint {
+ public:
+  BigUint() = default;
+  explicit BigUint(std::uint64_t value);
+
+  /// Parses big-endian hex (whitespace tolerated, for readable constants).
+  static BigUint from_hex(std::string_view hex);
+
+  /// Parses a big-endian byte string (network/protocol order).
+  static BigUint from_bytes_be(ByteView bytes);
+
+  /// Big-endian bytes, left-padded with zeros to at least `min_len`.
+  Bytes to_bytes_be(std::size_t min_len = 0) const;
+
+  std::string to_hex() const;
+
+  bool is_zero() const noexcept { return limbs_.empty(); }
+  bool is_odd() const noexcept { return !limbs_.empty() && (limbs_[0] & 1); }
+
+  /// Number of significant bits (0 for zero).
+  std::size_t bit_length() const noexcept;
+
+  /// Bit i, counting from the least-significant bit.
+  bool bit(std::size_t i) const noexcept;
+
+  // Comparison: negative / zero / positive like strcmp.
+  static int compare(const BigUint& a, const BigUint& b) noexcept;
+  bool operator==(const BigUint& other) const noexcept {
+    return limbs_ == other.limbs_;
+  }
+  bool operator<(const BigUint& other) const noexcept {
+    return compare(*this, other) < 0;
+  }
+  bool operator<=(const BigUint& other) const noexcept {
+    return compare(*this, other) <= 0;
+  }
+  bool operator>(const BigUint& other) const noexcept {
+    return compare(*this, other) > 0;
+  }
+  bool operator>=(const BigUint& other) const noexcept {
+    return compare(*this, other) >= 0;
+  }
+
+  BigUint operator+(const BigUint& other) const;
+  /// Throws std::underflow_error when other > *this.
+  BigUint operator-(const BigUint& other) const;
+  BigUint operator*(const BigUint& other) const;
+  BigUint operator<<(std::size_t bits) const;
+  BigUint operator>>(std::size_t bits) const;
+
+  struct DivMod;
+  /// Knuth algorithm D. Throws std::domain_error on division by zero.
+  static DivMod divmod(const BigUint& numerator, const BigUint& denominator);
+
+  BigUint operator%(const BigUint& modulus) const;
+  BigUint operator/(const BigUint& denom) const;
+
+  /// (this * other) mod modulus, via divmod (slow path; Montgomery below
+  /// is the fast path for repeated work).
+  BigUint mulmod(const BigUint& other, const BigUint& modulus) const;
+
+  const std::vector<std::uint64_t>& limbs() const noexcept { return limbs_; }
+
+ private:
+  void normalize() noexcept;
+  friend class MontgomeryCtx;
+  std::vector<std::uint64_t> limbs_;
+};
+
+struct BigUint::DivMod {
+  BigUint quotient;
+  BigUint remainder;
+};
+
+inline BigUint BigUint::operator%(const BigUint& modulus) const {
+  return divmod(*this, modulus).remainder;
+}
+inline BigUint BigUint::operator/(const BigUint& denom) const {
+  return divmod(*this, denom).quotient;
+}
+
+/// Precomputed Montgomery context for a fixed odd modulus. Amortises the
+/// setup across the thousands of multiplications inside one modexp.
+class MontgomeryCtx {
+ public:
+  /// Throws std::invalid_argument unless modulus is odd and > 1.
+  explicit MontgomeryCtx(BigUint modulus);
+
+  /// base^exponent mod modulus (left-to-right square-and-multiply over
+  /// Montgomery representatives).
+  BigUint modexp(const BigUint& base, const BigUint& exponent) const;
+
+  const BigUint& modulus() const noexcept { return modulus_; }
+
+ private:
+  // Montgomery product: returns a*b*R^-1 mod N, operands in Montgomery
+  // form, all vectors sized n_ limbs.
+  void mont_mul(const std::uint64_t* a, const std::uint64_t* b,
+                std::uint64_t* out) const noexcept;
+
+  BigUint to_mont(const BigUint& x) const;
+  BigUint from_mont(const std::vector<std::uint64_t>& x) const;
+
+  BigUint modulus_;
+  std::vector<std::uint64_t> n_limbs_;  // modulus, padded to n_
+  std::vector<std::uint64_t> r2_;       // R^2 mod N, n_ limbs
+  std::uint64_t n0_inv_ = 0;            // -N^-1 mod 2^64
+  std::size_t n_ = 0;                   // limb count
+};
+
+/// base^exponent mod modulus. Uses Montgomery for odd moduli and a
+/// shift-and-reduce fallback for even ones.
+BigUint modexp(const BigUint& base, const BigUint& exponent,
+               const BigUint& modulus);
+
+}  // namespace neuropuls::crypto

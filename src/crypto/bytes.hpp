@@ -1,0 +1,66 @@
+// Byte-buffer helpers shared by every cryptographic primitive in the stack.
+//
+// All protocol-level code in NEUROPULS passes around `Bytes` (a plain
+// std::vector<std::uint8_t>): message frames, PUF responses, keys, MAC tags.
+// This header centralises the small amount of glue every module needs —
+// hex encoding for logs and test vectors, constant-time comparison for tag
+// checks, and XOR combination used by the Fig. 4 mutual-authentication
+// protocol (`r_{i+1} ^ r_i`) and the code-offset fuzzy extractor.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace neuropuls::crypto {
+
+using Bytes = std::vector<std::uint8_t>;
+using ByteView = std::span<const std::uint8_t>;
+
+/// Encodes a byte buffer as lowercase hex (two chars per byte).
+std::string to_hex(ByteView data);
+
+/// Decodes a hex string (case-insensitive, even length) into bytes.
+/// Throws std::invalid_argument on malformed input.
+Bytes from_hex(std::string_view hex);
+
+/// Constant-time equality check. Both operands are always scanned in full,
+/// so the running time depends only on the lengths, never on the contents.
+/// Unequal lengths compare unequal (length is considered public).
+bool ct_equal(ByteView a, ByteView b) noexcept;
+
+/// Element-wise XOR of two equal-length buffers.
+/// Throws std::invalid_argument when lengths differ.
+Bytes xor_bytes(ByteView a, ByteView b);
+
+/// In-place XOR: dst ^= src. Throws when lengths differ.
+void xor_into(std::span<std::uint8_t> dst, ByteView src);
+
+/// Concatenates any number of buffers into a fresh one.
+Bytes concat(std::initializer_list<ByteView> parts);
+
+/// Interprets a string's bytes as a buffer (no copy of the terminator).
+Bytes bytes_of(std::string_view text);
+
+/// Serialises a 32/64-bit unsigned integer big-endian (network order).
+void put_u32_be(std::span<std::uint8_t> out, std::uint32_t value) noexcept;
+void put_u64_be(std::span<std::uint8_t> out, std::uint64_t value) noexcept;
+std::uint32_t get_u32_be(ByteView in) noexcept;
+std::uint64_t get_u64_be(ByteView in) noexcept;
+
+/// Big-endian u64 appended to a buffer (protocol framing helper).
+void append_u64_be(Bytes& out, std::uint64_t value);
+void append_u32_be(Bytes& out, std::uint32_t value);
+
+/// Fraction of positions at which two equal-length buffers differ,
+/// counted bit-wise. This is the "fractional Hamming distance" the paper
+/// quotes for intra/inter-device PUF statistics (Section II-A).
+double fractional_hamming_distance(ByteView a, ByteView b);
+
+/// Number of set bits across the buffer.
+std::size_t popcount(ByteView data) noexcept;
+
+}  // namespace neuropuls::crypto

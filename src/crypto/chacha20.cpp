@@ -1,0 +1,161 @@
+#include "crypto/chacha20.hpp"
+
+#include <bit>
+#include <cstring>
+#include <limits>
+
+#include "crypto/sha256.hpp"
+
+namespace neuropuls::crypto {
+
+namespace {
+
+inline void quarter_round(std::uint32_t& a, std::uint32_t& b, std::uint32_t& c,
+                          std::uint32_t& d) noexcept {
+  a += b; d ^= a; d = std::rotl(d, 16);
+  c += d; b ^= c; b = std::rotl(b, 12);
+  a += b; d ^= a; d = std::rotl(d, 8);
+  c += d; b ^= c; b = std::rotl(b, 7);
+}
+
+constexpr std::array<std::uint32_t, 4> kSigma = {0x61707865, 0x3320646e,
+                                                 0x79622d32, 0x6b206574};
+
+std::uint32_t load_le32(const std::uint8_t* p) noexcept {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+void store_le32(std::uint8_t* p, std::uint32_t v) noexcept {
+  p[0] = static_cast<std::uint8_t>(v);
+  p[1] = static_cast<std::uint8_t>(v >> 8);
+  p[2] = static_cast<std::uint8_t>(v >> 16);
+  p[3] = static_cast<std::uint8_t>(v >> 24);
+}
+
+}  // namespace
+
+void chacha20_block(const std::array<std::uint32_t, 8>& key,
+                    std::uint32_t counter,
+                    const std::array<std::uint32_t, 3>& nonce,
+                    std::span<std::uint8_t, 64> out) noexcept {
+  std::uint32_t state[16];
+  for (int i = 0; i < 4; ++i) state[i] = kSigma[static_cast<std::size_t>(i)];
+  for (int i = 0; i < 8; ++i) state[4 + i] = key[static_cast<std::size_t>(i)];
+  state[12] = counter;
+  for (int i = 0; i < 3; ++i) state[13 + i] = nonce[static_cast<std::size_t>(i)];
+
+  std::uint32_t x[16];
+  std::memcpy(x, state, sizeof(x));
+  for (int round = 0; round < 10; ++round) {
+    quarter_round(x[0], x[4], x[8], x[12]);
+    quarter_round(x[1], x[5], x[9], x[13]);
+    quarter_round(x[2], x[6], x[10], x[14]);
+    quarter_round(x[3], x[7], x[11], x[15]);
+    quarter_round(x[0], x[5], x[10], x[15]);
+    quarter_round(x[1], x[6], x[11], x[12]);
+    quarter_round(x[2], x[7], x[8], x[13]);
+    quarter_round(x[3], x[4], x[9], x[14]);
+  }
+  for (int i = 0; i < 16; ++i) {
+    store_le32(out.data() + 4 * i, x[i] + state[i]);
+  }
+}
+
+Bytes chacha20_xor(ByteView key32, ByteView nonce12, std::uint32_t counter,
+                   ByteView data) {
+  if (key32.size() != 32) {
+    throw std::invalid_argument("chacha20: key must be 32 bytes");
+  }
+  if (nonce12.size() != 12) {
+    throw std::invalid_argument("chacha20: nonce must be 12 bytes");
+  }
+  std::array<std::uint32_t, 8> key{};
+  for (int i = 0; i < 8; ++i) key[static_cast<std::size_t>(i)] = load_le32(key32.data() + 4 * i);
+  std::array<std::uint32_t, 3> nonce{};
+  for (int i = 0; i < 3; ++i) nonce[static_cast<std::size_t>(i)] = load_le32(nonce12.data() + 4 * i);
+
+  Bytes out(data.begin(), data.end());
+  std::array<std::uint8_t, 64> block{};
+  for (std::size_t offset = 0; offset < out.size(); offset += 64) {
+    chacha20_block(key, counter++, nonce, block);
+    const std::size_t n = std::min<std::size_t>(64, out.size() - offset);
+    for (std::size_t i = 0; i < n; ++i) out[offset + i] ^= block[i];
+  }
+  return out;
+}
+
+ChaChaDrbg::ChaChaDrbg(ByteView seed) {
+  const auto digest = Sha256::digest(seed);
+  for (int i = 0; i < 8; ++i) {
+    key_[static_cast<std::size_t>(i)] = load_le32(digest.data() + 4 * i);
+  }
+  nonce_ = {0x4e505544, 0x5242471a, 0x00000001};  // fixed domain tag
+}
+
+void ChaChaDrbg::refill() noexcept {
+  chacha20_block(key_, counter_++, nonce_, block_);
+  block_pos_ = 0;
+}
+
+void ChaChaDrbg::generate_into(std::span<std::uint8_t> out) {
+  std::size_t written = 0;
+  while (written < out.size()) {
+    if (block_pos_ == 64) refill();
+    const std::size_t n =
+        std::min<std::size_t>(64 - block_pos_, out.size() - written);
+    std::memcpy(out.data() + written, block_.data() + block_pos_, n);
+    block_pos_ += n;
+    written += n;
+  }
+}
+
+Bytes ChaChaDrbg::generate(std::size_t n) {
+  Bytes out(n);
+  generate_into(out);
+  return out;
+}
+
+std::uint64_t ChaChaDrbg::next_u64() {
+  std::uint8_t buf[8];
+  generate_into(buf);
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(buf[i]) << (8 * i);
+  return v;
+}
+
+std::uint64_t ChaChaDrbg::uniform(std::uint64_t bound) {
+  if (bound == 0) {
+    throw std::invalid_argument("ChaChaDrbg::uniform: bound must be > 0");
+  }
+  // Rejection sampling: accept only below the largest multiple of bound.
+  const std::uint64_t limit =
+      std::numeric_limits<std::uint64_t>::max() -
+      (std::numeric_limits<std::uint64_t>::max() % bound);
+  std::uint64_t v;
+  do {
+    v = next_u64();
+  } while (v >= limit && limit != 0);
+  return v % bound;
+}
+
+void ChaChaDrbg::reseed(ByteView extra) {
+  Bytes material;
+  material.reserve(32 + extra.size());
+  for (int i = 0; i < 8; ++i) {
+    std::uint8_t word[4];
+    store_le32(word, key_[static_cast<std::size_t>(i)]);
+    material.insert(material.end(), word, word + 4);
+  }
+  material.insert(material.end(), extra.begin(), extra.end());
+  const auto digest = Sha256::digest(material);
+  for (int i = 0; i < 8; ++i) {
+    key_[static_cast<std::size_t>(i)] = load_le32(digest.data() + 4 * i);
+  }
+  counter_ = 0;
+  block_pos_ = 64;
+}
+
+}  // namespace neuropuls::crypto

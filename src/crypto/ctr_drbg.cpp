@@ -1,0 +1,75 @@
+#include "crypto/ctr_drbg.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "crypto/aes.hpp"
+#include "crypto/sha256.hpp"
+
+namespace neuropuls::crypto {
+
+CtrDrbg::CtrDrbg(ByteView entropy) {
+  if (entropy.size() < kSeedLen) {
+    throw std::invalid_argument("CtrDrbg: need >= 32 bytes of entropy");
+  }
+  // Fold arbitrary-length entropy to the seed length (a light stand-in
+  // for the optional derivation function).
+  const Bytes folded = Sha256::hash(entropy);
+  update(folded);
+}
+
+void CtrDrbg::increment_v() {
+  for (int i = 15; i >= 0; --i) {
+    if (++v_[static_cast<std::size_t>(i)] != 0) break;
+  }
+}
+
+void CtrDrbg::update(ByteView provided_data) {
+  if (provided_data.size() != kSeedLen) {
+    throw std::invalid_argument("CtrDrbg::update: data must be 32 bytes");
+  }
+  const Aes cipher(ByteView(key_.data(), key_.size()));
+  std::array<std::uint8_t, kSeedLen> temp{};
+  for (std::size_t block = 0; block < 2; ++block) {
+    increment_v();
+    std::array<std::uint8_t, 16> out = v_;
+    cipher.encrypt_block(out);
+    std::memcpy(temp.data() + 16 * block, out.data(), 16);
+  }
+  for (std::size_t i = 0; i < kSeedLen; ++i) temp[i] ^= provided_data[i];
+  std::memcpy(key_.data(), temp.data(), 16);
+  std::memcpy(v_.data(), temp.data() + 16, 16);
+}
+
+Bytes CtrDrbg::generate(std::size_t n) {
+  if (reseed_counter_ >= kReseedInterval) {
+    throw std::runtime_error("CtrDrbg: reseed required");
+  }
+  ++reseed_counter_;
+
+  const Aes cipher(ByteView(key_.data(), key_.size()));
+  Bytes out;
+  out.reserve(n + 16);
+  while (out.size() < n) {
+    increment_v();
+    std::array<std::uint8_t, 16> block = v_;
+    cipher.encrypt_block(block);
+    out.insert(out.end(), block.begin(), block.end());
+  }
+  out.resize(n);
+
+  // Backtracking resistance: re-key with zero additional input.
+  const Bytes zeros(kSeedLen, 0);
+  update(zeros);
+  return out;
+}
+
+void CtrDrbg::reseed(ByteView entropy) {
+  Bytes material(key_.begin(), key_.end());
+  material.insert(material.end(), v_.begin(), v_.end());
+  material.insert(material.end(), entropy.begin(), entropy.end());
+  update(Sha256::hash(material));
+  reseed_counter_ = 0;
+}
+
+}  // namespace neuropuls::crypto

@@ -1,0 +1,48 @@
+// AES-128 CTR-DRBG (NIST SP 800-90A, no-derivation-function profile).
+//
+// The deterministic generator standardized for constrained devices with
+// an AES engine — the natural DRBG for the NEUROPULS ASIC, complementing
+// the software-friendly ChaCha DRBG. Seeded from 32 bytes of entropy
+// (key || V); `generate` produces keystream blocks and re-keys itself
+// after every call (backtracking resistance); `reseed` mixes fresh
+// entropy. A reseed counter enforces the SP 800-90A reseed interval.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "crypto/bytes.hpp"
+
+namespace neuropuls::crypto {
+
+class CtrDrbg {
+ public:
+  static constexpr std::size_t kSeedLen = 32;  // key(16) || V(16)
+  /// SP 800-90A allows 2^48; a small bound keeps tests meaningful.
+  static constexpr std::uint64_t kReseedInterval = 1ull << 32;
+
+  /// `entropy` must be at least kSeedLen bytes; extra bytes are folded in.
+  /// Throws std::invalid_argument when shorter.
+  explicit CtrDrbg(ByteView entropy);
+
+  /// Produces `n` pseudo-random bytes. Throws std::runtime_error if the
+  /// reseed interval is exhausted (caller must reseed).
+  Bytes generate(std::size_t n);
+
+  /// Mixes fresh entropy into the state and resets the reseed counter.
+  void reseed(ByteView entropy);
+
+  std::uint64_t requests_since_reseed() const noexcept {
+    return reseed_counter_;
+  }
+
+ private:
+  void update(ByteView provided_data);
+  void increment_v();
+
+  std::array<std::uint8_t, 16> key_{};
+  std::array<std::uint8_t, 16> v_{};
+  std::uint64_t reseed_counter_ = 0;
+};
+
+}  // namespace neuropuls::crypto

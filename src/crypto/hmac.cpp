@@ -1,0 +1,75 @@
+#include "crypto/hmac.hpp"
+
+#include <cstring>
+
+namespace neuropuls::crypto {
+
+HmacSha256::HmacSha256(ByteView key) {
+  std::array<std::uint8_t, Sha256::kBlockSize> block_key{};
+  if (key.size() > Sha256::kBlockSize) {
+    const auto digest = Sha256::digest(key);
+    std::memcpy(block_key.data(), digest.data(), digest.size());
+  } else {
+    std::memcpy(block_key.data(), key.data(), key.size());
+  }
+
+  std::array<std::uint8_t, Sha256::kBlockSize> ipad_key{};
+  for (std::size_t i = 0; i < Sha256::kBlockSize; ++i) {
+    ipad_key[i] = static_cast<std::uint8_t>(block_key[i] ^ 0x36);
+    opad_key_[i] = static_cast<std::uint8_t>(block_key[i] ^ 0x5c);
+  }
+  inner_.update(ipad_key);
+}
+
+Bytes HmacSha256::finalize() {
+  const auto inner_digest = inner_.finalize();
+  Sha256 outer;
+  outer.update(opad_key_);
+  outer.update(inner_digest);
+  const auto d = outer.finalize();
+  return Bytes(d.begin(), d.end());
+}
+
+Bytes hmac_sha256(ByteView key, ByteView data) {
+  HmacSha256 mac(key);
+  mac.update(data);
+  return mac.finalize();
+}
+
+Bytes hkdf_extract(ByteView salt, ByteView ikm) {
+  // Per RFC 5869 an absent salt is a string of zero bytes of hash length.
+  if (salt.empty()) {
+    const Bytes zero(Sha256::kDigestSize, 0);
+    return hmac_sha256(zero, ikm);
+  }
+  return hmac_sha256(salt, ikm);
+}
+
+Bytes hkdf_expand(ByteView prk, ByteView info, std::size_t length) {
+  constexpr std::size_t kHashLen = Sha256::kDigestSize;
+  if (length > 255 * kHashLen) {
+    throw std::invalid_argument("hkdf_expand: length too large");
+  }
+  Bytes okm;
+  okm.reserve(length);
+  Bytes previous;
+  std::uint8_t counter = 1;
+  while (okm.size() < length) {
+    HmacSha256 mac(prk);
+    mac.update(previous);
+    mac.update(info);
+    mac.update(ByteView(&counter, 1));
+    previous = mac.finalize();
+    const std::size_t take =
+        std::min(kHashLen, length - okm.size());
+    okm.insert(okm.end(), previous.begin(), previous.begin() + static_cast<std::ptrdiff_t>(take));
+    ++counter;
+  }
+  return okm;
+}
+
+Bytes hkdf(ByteView salt, ByteView ikm, ByteView info, std::size_t length) {
+  return hkdf_expand(hkdf_extract(salt, ikm), info, length);
+}
+
+}  // namespace neuropuls::crypto

@@ -1,0 +1,41 @@
+// HMAC-SHA256 (RFC 2104 / FIPS 198-1) and HKDF (RFC 5869).
+//
+// The Fig. 4 mutual-authentication protocol signs every message with
+// `MAC(data, key)` where the key is the current PUF response r_i; HKDF is
+// used by the key-management service to derive independent sub-keys
+// (encryption, MAC, session) from a single fuzzy-extractor output.
+#pragma once
+
+#include "crypto/bytes.hpp"
+#include "crypto/sha256.hpp"
+
+namespace neuropuls::crypto {
+
+/// Computes HMAC-SHA256(key, data). Any key length is accepted; keys longer
+/// than the block size are hashed first per the RFC.
+Bytes hmac_sha256(ByteView key, ByteView data);
+
+/// Incremental HMAC for multi-part messages (mirrors Sha256's interface).
+class HmacSha256 {
+ public:
+  explicit HmacSha256(ByteView key);
+
+  void update(ByteView data) noexcept { inner_.update(data); }
+  Bytes finalize();
+
+ private:
+  Sha256 inner_;
+  std::array<std::uint8_t, Sha256::kBlockSize> opad_key_{};
+};
+
+/// HKDF-Extract: PRK = HMAC(salt, ikm).
+Bytes hkdf_extract(ByteView salt, ByteView ikm);
+
+/// HKDF-Expand: derives `length` bytes from PRK with context string `info`.
+/// Throws std::invalid_argument when length > 255 * 32.
+Bytes hkdf_expand(ByteView prk, ByteView info, std::size_t length);
+
+/// Convenience: extract-then-expand.
+Bytes hkdf(ByteView salt, ByteView ikm, ByteView info, std::size_t length);
+
+}  // namespace neuropuls::crypto

@@ -1,0 +1,171 @@
+// Fast non-cryptographic PRNGs for the physical-modelling layers.
+//
+// Everything stochastic in the simulation stack — fabrication variation of
+// microrings, SRAM cell skew, photodiode shot noise, thermal drift — draws
+// from these generators with an explicit 64-bit seed, so every experiment
+// in EXPERIMENTS.md regenerates bit-identically. They are deliberately
+// separate from the cryptographic DRBG (`chacha20.hpp`): protocol code
+// must never use these, and model code must never burn DRBG cycles.
+//
+// SplitMix64 seeds and derives independent sub-streams; xoshiro256** is the
+// workhorse generator; Gaussian/Rayleigh/exponential variates are layered
+// on top for the physical noise models.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <numbers>
+
+namespace neuropuls::rng {
+
+/// SplitMix64 step: advances the state and returns the next output.
+/// Used to expand one user seed into many decorrelated stream seeds.
+constexpr std::uint64_t splitmix64_next(std::uint64_t& state) noexcept {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Derives the i-th sub-stream seed from a root seed. Distinct (seed, i)
+/// pairs give decorrelated streams; used to give every device / component
+/// in a simulated population its own generator.
+constexpr std::uint64_t derive_seed(std::uint64_t root,
+                                    std::uint64_t stream) noexcept {
+  std::uint64_t s = root ^ (0x632be59bd9b4e019ULL * (stream + 1));
+  std::uint64_t out = splitmix64_next(s);
+  out ^= splitmix64_next(s);
+  return out;
+}
+
+/// xoshiro256** 1.0 (Blackman & Vigna). Period 2^256 - 1.
+class Xoshiro256 {
+ public:
+  explicit constexpr Xoshiro256(std::uint64_t seed) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64_next(sm);
+  }
+
+  constexpr std::uint64_t next() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1): 53 random mantissa bits.
+  double uniform() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  std::uint64_t uniform_int(std::uint64_t bound) noexcept {
+    // Lemire's multiply-shift; fine for simulation purposes.
+    const unsigned __int128 product =
+        static_cast<unsigned __int128>(next()) * bound;
+    return static_cast<std::uint64_t>(product >> 64);
+  }
+
+  /// Fair coin.
+  bool coin() noexcept { return (next() & 1ULL) != 0; }
+
+  /// Bernoulli with probability p of returning true.
+  bool bernoulli(double p) noexcept { return uniform() < p; }
+
+  // Support for std::uniform_* style usage.
+  using result_type = std::uint64_t;
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return ~static_cast<result_type>(0);
+  }
+  result_type operator()() noexcept { return next(); }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::array<std::uint64_t, 4> state_{};
+};
+
+/// Standard-normal variates via Box–Muller with caching (deterministic,
+/// unlike std::normal_distribution whose algorithm is
+/// implementation-defined — determinism across toolchains matters for the
+/// recorded experiment tables).
+class Gaussian {
+ public:
+  explicit Gaussian(std::uint64_t seed) noexcept : rng_(seed) {}
+  explicit Gaussian(Xoshiro256 rng) noexcept : rng_(rng) {}
+
+  double next() noexcept {
+    if (has_cached_) {
+      has_cached_ = false;
+      return cached_;
+    }
+    double u1 = rng_.uniform();
+    while (u1 <= 0.0) u1 = rng_.uniform();
+    const double u2 = rng_.uniform();
+    const double radius = std::sqrt(-2.0 * std::log(u1));
+    const double angle = 2.0 * std::numbers::pi * u2;
+    cached_ = radius * std::sin(angle);
+    has_cached_ = true;
+    return radius * std::cos(angle);
+  }
+
+  /// N(mean, sigma^2) variate.
+  double next(double mean, double sigma) noexcept {
+    return mean + sigma * next();
+  }
+
+  /// Rayleigh(sigma) variate — used for scattering-amplitude models.
+  double rayleigh(double sigma) noexcept {
+    double u = rng_.uniform();
+    while (u <= 0.0) u = rng_.uniform();
+    return sigma * std::sqrt(-2.0 * std::log(u));
+  }
+
+  /// Exponential(rate) variate — used for photon arrival / failure models.
+  double exponential(double rate) noexcept {
+    double u = rng_.uniform();
+    while (u <= 0.0) u = rng_.uniform();
+    return -std::log(u) / rate;
+  }
+
+  /// Poisson(lambda) variate — used for shot-noise photon counting at low
+  /// intensity. Knuth's method below 30, Gaussian approximation above.
+  std::uint64_t poisson(double lambda) noexcept {
+    if (lambda <= 0.0) return 0;
+    if (lambda > 30.0) {
+      const double v = next(lambda, std::sqrt(lambda));
+      return v <= 0.0 ? 0 : static_cast<std::uint64_t>(v + 0.5);
+    }
+    const double threshold = std::exp(-lambda);
+    std::uint64_t k = 0;
+    double p = 1.0;
+    do {
+      ++k;
+      p *= rng_.uniform();
+    } while (p > threshold);
+    return k - 1;
+  }
+
+  Xoshiro256& engine() noexcept { return rng_; }
+
+ private:
+  Xoshiro256 rng_;
+  double cached_ = 0.0;
+  bool has_cached_ = false;
+};
+
+}  // namespace neuropuls::rng

@@ -1,0 +1,74 @@
+#include "crypto/siphash.hpp"
+
+#include <bit>
+
+namespace neuropuls::crypto {
+
+namespace {
+
+inline std::uint64_t load_le64(const std::uint8_t* p) noexcept {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+inline void sip_round(std::uint64_t& v0, std::uint64_t& v1, std::uint64_t& v2,
+                      std::uint64_t& v3) noexcept {
+  v0 += v1;
+  v1 = std::rotl(v1, 13);
+  v1 ^= v0;
+  v0 = std::rotl(v0, 32);
+  v2 += v3;
+  v3 = std::rotl(v3, 16);
+  v3 ^= v2;
+  v0 += v3;
+  v3 = std::rotl(v3, 21);
+  v3 ^= v0;
+  v2 += v1;
+  v1 = std::rotl(v1, 17);
+  v1 ^= v2;
+  v2 = std::rotl(v2, 32);
+}
+
+}  // namespace
+
+std::uint64_t siphash24(const std::array<std::uint8_t, 16>& key,
+                        ByteView data) noexcept {
+  const std::uint64_t k0 = load_le64(key.data());
+  const std::uint64_t k1 = load_le64(key.data() + 8);
+
+  std::uint64_t v0 = 0x736f6d6570736575ULL ^ k0;
+  std::uint64_t v1 = 0x646f72616e646f6dULL ^ k1;
+  std::uint64_t v2 = 0x6c7967656e657261ULL ^ k0;
+  std::uint64_t v3 = 0x7465646279746573ULL ^ k1;
+
+  const std::size_t full_blocks = data.size() / 8;
+  for (std::size_t i = 0; i < full_blocks; ++i) {
+    const std::uint64_t m = load_le64(data.data() + 8 * i);
+    v3 ^= m;
+    sip_round(v0, v1, v2, v3);
+    sip_round(v0, v1, v2, v3);
+    v0 ^= m;
+  }
+
+  // Final block: remaining bytes plus the length in the top byte.
+  std::uint64_t last = static_cast<std::uint64_t>(data.size() & 0xFF) << 56;
+  const std::size_t tail = data.size() & 7;
+  for (std::size_t i = 0; i < tail; ++i) {
+    last |= static_cast<std::uint64_t>(data[8 * full_blocks + i]) << (8 * i);
+  }
+  v3 ^= last;
+  sip_round(v0, v1, v2, v3);
+  sip_round(v0, v1, v2, v3);
+  v0 ^= last;
+
+  v2 ^= 0xFF;
+  sip_round(v0, v1, v2, v3);
+  sip_round(v0, v1, v2, v3);
+  sip_round(v0, v1, v2, v3);
+  sip_round(v0, v1, v2, v3);
+
+  return v0 ^ v1 ^ v2 ^ v3;
+}
+
+}  // namespace neuropuls::crypto

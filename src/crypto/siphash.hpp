@@ -1,0 +1,21 @@
+// SipHash-2-4 (Aumasson & Bernstein) — a keyed 64-bit PRF.
+//
+// The system simulator (`src/sim`) tags bus transactions and memory pages
+// with short keyed fingerprints where a 32-byte HMAC would distort the
+// latency model; SipHash is the standard primitive for that niche. It is
+// *not* used where the protocols require a full MAC (those use
+// HMAC-SHA256 / CMAC).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "crypto/bytes.hpp"
+
+namespace neuropuls::crypto {
+
+/// SipHash-2-4 with a 128-bit key. Returns the 64-bit tag.
+std::uint64_t siphash24(const std::array<std::uint8_t, 16>& key,
+                        ByteView data) noexcept;
+
+}  // namespace neuropuls::crypto

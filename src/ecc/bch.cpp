@@ -1,0 +1,210 @@
+#include "ecc/bch.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+namespace neuropuls::ecc {
+
+namespace {
+
+// Multiplies two GF(2) polynomials (LSB-first bit vectors).
+BitVec poly_mul_gf2(const BitVec& a, const BitVec& b) {
+  BitVec out(a.size() + b.size() - 1, 0);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (!a[i]) continue;
+    for (std::size_t j = 0; j < b.size(); ++j) {
+      out[i + j] ^= b[j];
+    }
+  }
+  return out;
+}
+
+void trim(BitVec& p) {
+  while (p.size() > 1 && p.back() == 0) p.pop_back();
+}
+
+}  // namespace
+
+BchCode::BchCode(unsigned m, unsigned t) : field_(m), t_(t) {
+  n_ = field_.n();
+  if (t == 0 || 2 * t >= n_) {
+    throw std::invalid_argument("BchCode: t out of range");
+  }
+
+  // Generator = lcm of the minimal polynomials of alpha^1 .. alpha^{2t}.
+  // Walk the cyclotomic cosets of exponents 1..2t; each coset contributes
+  // its minimal polynomial prod (x - alpha^j) once.
+  std::vector<bool> covered(n_, false);
+  BitVec gen = {1};  // polynomial "1"
+  for (std::uint32_t b = 1; b <= 2 * t; ++b) {
+    if (covered[b]) continue;
+    // Collect the coset {b, 2b, 4b, ...} mod n.
+    std::vector<std::uint32_t> coset;
+    std::uint32_t e = b;
+    do {
+      covered[e] = true;
+      coset.push_back(e);
+      e = static_cast<std::uint32_t>((2ull * e) % n_);
+    } while (e != b);
+
+    // Minimal polynomial: product over the coset of (x + alpha^j),
+    // computed over GF(2^m); the result has GF(2) coefficients.
+    std::vector<std::uint32_t> min_poly = {1};
+    for (std::uint32_t j : coset) {
+      const std::uint32_t root = field_.alpha_pow(j);
+      std::vector<std::uint32_t> next(min_poly.size() + 1, 0);
+      for (std::size_t d = 0; d < min_poly.size(); ++d) {
+        next[d + 1] ^= min_poly[d];                 // x * term
+        next[d] ^= field_.mul(min_poly[d], root);   // root * term
+      }
+      min_poly = std::move(next);
+    }
+    BitVec min_poly_bits(min_poly.size());
+    for (std::size_t d = 0; d < min_poly.size(); ++d) {
+      // Coefficients must collapse to {0,1}; anything else is a logic bug.
+      min_poly_bits[d] = static_cast<std::uint8_t>(min_poly[d] & 1);
+    }
+    gen = poly_mul_gf2(gen, min_poly_bits);
+    trim(gen);
+  }
+  generator_ = gen;
+
+  const std::size_t deg_g = generator_.size() - 1;
+  if (deg_g >= n_) {
+    throw std::invalid_argument("BchCode: no message bits at this (m, t)");
+  }
+  k_ = n_ - deg_g;
+}
+
+BitVec BchCode::encode(const BitVec& message) const {
+  if (message.size() != k_) {
+    throw std::invalid_argument("BchCode::encode: message must be k bits");
+  }
+  const std::size_t deg_g = n_ - k_;
+
+  // Systematic: codeword = x^{deg_g} * m(x) + (x^{deg_g} * m(x) mod g(x)).
+  BitVec work(n_, 0);
+  for (std::size_t i = 0; i < k_; ++i) work[deg_g + i] = message[i] & 1;
+
+  // Long division remainder.
+  BitVec rem = work;
+  for (std::size_t i = n_; i-- > deg_g;) {
+    if (!rem[i]) continue;
+    const std::size_t shift = i - deg_g;
+    for (std::size_t j = 0; j < generator_.size(); ++j) {
+      rem[shift + j] ^= generator_[j];
+    }
+  }
+
+  BitVec codeword = work;
+  for (std::size_t i = 0; i < deg_g; ++i) codeword[i] = rem[i];
+  return codeword;
+}
+
+BitVec BchCode::extract_message(const BitVec& codeword) const {
+  if (codeword.size() != n_) {
+    throw std::invalid_argument("BchCode::extract_message: wrong length");
+  }
+  const std::size_t deg_g = n_ - k_;
+  return BitVec(codeword.begin() + static_cast<std::ptrdiff_t>(deg_g),
+                codeword.end());
+}
+
+std::optional<BitVec> BchCode::decode(const BitVec& received) const {
+  if (received.size() != n_) {
+    throw std::invalid_argument("BchCode::decode: wrong length");
+  }
+
+  // Syndromes S_i = r(alpha^i), i = 1..2t.
+  std::vector<std::uint32_t> syndrome(2 * t_ + 1, 0);
+  bool any_nonzero = false;
+  for (unsigned i = 1; i <= 2 * t_; ++i) {
+    std::uint32_t s = 0;
+    for (std::size_t j = 0; j < n_; ++j) {
+      if (received[j]) {
+        s ^= field_.alpha_pow(static_cast<std::uint32_t>(i * j));
+      }
+    }
+    syndrome[i] = s;
+    any_nonzero |= (s != 0);
+  }
+  if (!any_nonzero) return received;
+
+  // Berlekamp–Massey: find the error-locator polynomial Lambda(x).
+  std::vector<std::uint32_t> lambda = {1};
+  std::vector<std::uint32_t> prev_lambda = {1};
+  std::uint32_t prev_discrepancy = 1;
+  unsigned l = 0;          // current LFSR length
+  unsigned shift = 1;      // x-power gap since the last length change
+
+  for (unsigned r = 1; r <= 2 * t_; ++r) {
+    // Discrepancy d = S_r + sum lambda_i * S_{r-i}.
+    std::uint32_t d = syndrome[r];
+    for (unsigned i = 1; i < lambda.size() && i <= l; ++i) {
+      d ^= field_.mul(lambda[i], syndrome[r - i]);
+    }
+    if (d == 0) {
+      ++shift;
+      continue;
+    }
+    // lambda' = lambda - (d / prev_d) * x^shift * prev_lambda
+    const std::uint32_t scale = field_.div(d, prev_discrepancy);
+    std::vector<std::uint32_t> candidate = lambda;
+    if (candidate.size() < prev_lambda.size() + shift) {
+      candidate.resize(prev_lambda.size() + shift, 0);
+    }
+    for (std::size_t i = 0; i < prev_lambda.size(); ++i) {
+      candidate[i + shift] ^= field_.mul(scale, prev_lambda[i]);
+    }
+    if (2 * l <= r - 1) {
+      prev_lambda = lambda;
+      prev_discrepancy = d;
+      l = r - l;
+      shift = 1;
+    } else {
+      ++shift;
+    }
+    lambda = std::move(candidate);
+  }
+
+  // Degree check: more than t errors is uncorrectable.
+  while (lambda.size() > 1 && lambda.back() == 0) lambda.pop_back();
+  const std::size_t deg_lambda = lambda.size() - 1;
+  if (deg_lambda > t_) return std::nullopt;
+
+  // Chien search: position j is in error iff Lambda(alpha^{-j}) == 0.
+  BitVec corrected = received;
+  std::size_t roots = 0;
+  for (std::size_t j = 0; j < n_; ++j) {
+    std::uint32_t value = 0;
+    for (std::size_t i = 0; i < lambda.size(); ++i) {
+      if (lambda[i] == 0) continue;
+      const std::uint64_t exponent =
+          (static_cast<std::uint64_t>(field_.log(lambda[i])) +
+           static_cast<std::uint64_t>(i) * ((n_ - j) % n_)) %
+          n_;
+      value ^= field_.alpha_pow(static_cast<std::uint32_t>(exponent));
+    }
+    if (value == 0) {
+      corrected[j] ^= 1;
+      ++roots;
+    }
+  }
+  if (roots != deg_lambda) return std::nullopt;
+
+  // Re-check the syndromes of the corrected word; a decoder that lands on
+  // a non-codeword (possible beyond radius t) must report failure.
+  for (unsigned i = 1; i <= 2 * t_; ++i) {
+    std::uint32_t s = 0;
+    for (std::size_t j = 0; j < n_; ++j) {
+      if (corrected[j]) {
+        s ^= field_.alpha_pow(static_cast<std::uint32_t>(i * j));
+      }
+    }
+    if (s != 0) return std::nullopt;
+  }
+  return corrected;
+}
+
+}  // namespace neuropuls::ecc

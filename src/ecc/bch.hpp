@@ -1,0 +1,59 @@
+// Binary BCH codes: systematic encoder and Berlekamp–Massey decoder.
+//
+// Section II-B of the paper: weak-PUF responses "are then corrected by
+// various means, for example, using error correction codes (ECCs) to
+// account for potential deviations". BCH + repetition concatenation is the
+// standard construction for PUF key generation (it is what the code-offset
+// fuzzy extractor in `fuzzy_extractor.hpp` wraps), and its correction
+// radius determines the key-failure-rate cliff measured by
+// `bench/bench_fuzzy_extractor`.
+//
+// Codewords are LSB-first bit vectors: index i holds the coefficient of
+// x^i. Encoding is systematic with the message in the high-order
+// coefficients.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "ecc/bitvec.hpp"
+#include "ecc/gf2m.hpp"
+
+namespace neuropuls::ecc {
+
+class BchCode {
+ public:
+  /// Builds the primitive BCH code of length n = 2^m - 1 correcting up to
+  /// `t` errors. The dimension k = n - deg(g) follows from the generator
+  /// polynomial. Throws std::invalid_argument when the parameters leave no
+  /// message bits.
+  BchCode(unsigned m, unsigned t);
+
+  std::size_t n() const noexcept { return n_; }
+  std::size_t k() const noexcept { return k_; }
+  unsigned t() const noexcept { return t_; }
+
+  /// Encodes `message` (k bits) into an n-bit systematic codeword.
+  /// Throws std::invalid_argument on a wrong-size message.
+  BitVec encode(const BitVec& message) const;
+
+  /// Extracts the k message bits from a (corrected) codeword.
+  BitVec extract_message(const BitVec& codeword) const;
+
+  /// Decodes a possibly corrupted n-bit word. Returns the corrected
+  /// codeword, or std::nullopt when more than t errors are detected
+  /// (decoder failure — never silently wrong within radius t).
+  std::optional<BitVec> decode(const BitVec& received) const;
+
+  /// The generator polynomial g(x), LSB-first. deg(g) = n - k.
+  const BitVec& generator() const noexcept { return generator_; }
+
+ private:
+  Gf2m field_;
+  std::size_t n_;
+  std::size_t k_;
+  unsigned t_;
+  BitVec generator_;
+};
+
+}  // namespace neuropuls::ecc

@@ -1,0 +1,80 @@
+// Code-offset secure sketch and fuzzy extractor (Dodis et al.).
+//
+// This is the bridge between a noisy weak-PUF response and a stable
+// cryptographic key — the "post-processed responses" Fig. 1/Fig. 2 hand to
+// the software layer, and the source of the secret keys that Table I's
+// hardware encryption never exposes to software.
+//
+//   Gen(w):  pick a random codeword c;   helper  P = w XOR c;
+//            key = SHA256(c || salt)     (strong extractor step)
+//   Rep(w'): c' = Decode(w' XOR P);      key = SHA256(c' || salt)
+//
+// The helper data P leaks at most n - k bits about w, so the extracted key
+// retains full entropy as long as the response has enough min-entropy —
+// which the metrics layer (`src/metrics`) measures and the filtering layer
+// (`src/filtering`) enforces.
+#pragma once
+
+#include <optional>
+
+#include "crypto/bytes.hpp"
+#include "crypto/chacha20.hpp"
+#include "ecc/repetition.hpp"
+
+namespace neuropuls::ecc {
+
+/// Public helper data produced at enrollment. Safe to store or transmit.
+struct HelperData {
+  BitVec sketch;        // w XOR c, codeword_bits long
+  crypto::Bytes salt;   // extractor salt (16 bytes)
+};
+
+struct ExtractionResult {
+  crypto::Bytes key;    // derived key
+  HelperData helper;
+};
+
+/// Persists helper data (it is public: NVM, a server, a QR code — all
+/// fine). Format: u32 sketch-bit-count || packed sketch || u32 salt-len
+/// || salt, all big-endian.
+crypto::Bytes serialize_helper(const HelperData& helper);
+
+/// Parses persisted helper data. Throws std::runtime_error on malformed
+/// input (truncation, trailing bytes, implausible sizes).
+HelperData deserialize_helper(crypto::ByteView blob);
+
+class FuzzyExtractor {
+ public:
+  /// `code` fixes the response length (code.codeword_bits()) and the
+  /// correctable noise; `key_bytes` is the output key size.
+  FuzzyExtractor(ConcatenatedCode code, std::size_t key_bytes = 16);
+
+  std::size_t response_bits() const noexcept { return code_.codeword_bits(); }
+  std::size_t key_bytes() const noexcept { return key_bytes_; }
+
+  /// Enrollment: derives a key and helper data from the reference
+  /// response `w`. Randomness for the codeword comes from `rng`.
+  /// Throws std::invalid_argument on a wrong-size response.
+  ExtractionResult generate(const BitVec& w, crypto::ChaChaDrbg& rng) const;
+
+  /// Reconstruction: recovers the enrolled key from a noisy re-reading
+  /// `w_prime`, or std::nullopt when the noise exceeds the code's radius.
+  std::optional<crypto::Bytes> reproduce(const BitVec& w_prime,
+                                         const HelperData& helper) const;
+
+  const ConcatenatedCode& code() const noexcept { return code_; }
+
+ private:
+  crypto::Bytes derive_key(const BitVec& codeword,
+                           crypto::ByteView salt) const;
+
+  ConcatenatedCode code_;
+  std::size_t key_bytes_;
+};
+
+/// Builds the default PUF key-generation pipeline for a response of at
+/// least `min_response_bits`: BCH(127, k, t=10) outer, repetition-5 inner
+/// — corrects ~11% raw BER at typical weak-PUF noise shapes.
+FuzzyExtractor make_default_extractor(std::size_t key_bytes = 16);
+
+}  // namespace neuropuls::ecc

@@ -1,0 +1,52 @@
+#include "ecc/gf2m.hpp"
+
+#include <stdexcept>
+
+namespace neuropuls::ecc {
+
+namespace {
+
+// Primitive polynomials over GF(2), one per degree (bit i = coefficient of
+// x^i). Standard choices from Lin & Costello, Appendix A.
+constexpr std::uint32_t kPrimitivePoly[] = {
+    0,       // degree 0 (unused)
+    0,       // degree 1 (unused)
+    0x7,     // x^2 + x + 1
+    0xB,     // x^3 + x + 1
+    0x13,    // x^4 + x + 1
+    0x25,    // x^5 + x^2 + 1
+    0x43,    // x^6 + x + 1
+    0x89,    // x^7 + x^3 + 1
+    0x11D,   // x^8 + x^4 + x^3 + x^2 + 1
+    0x211,   // x^9 + x^4 + 1
+    0x409,   // x^10 + x^3 + 1
+    0x805,   // x^11 + x^2 + 1
+    0x1053,  // x^12 + x^6 + x^4 + x + 1
+    0x201B,  // x^13 + x^4 + x^3 + x + 1
+    0x4443,  // x^14 + x^10 + x^6 + x + 1
+    0x8003,  // x^15 + x + 1
+    0x1100B  // x^16 + x^12 + x^3 + x + 1
+};
+
+}  // namespace
+
+Gf2m::Gf2m(unsigned m) : m_(m) {
+  if (m < 2 || m > 16) {
+    throw std::invalid_argument("Gf2m: m must be in [2, 16]");
+  }
+  n_ = (1u << m) - 1;
+  exp_.assign(2 * n_, 0);
+  log_.assign(1u << m, 0);
+
+  const std::uint32_t poly = kPrimitivePoly[m];
+  std::uint32_t x = 1;
+  for (std::uint32_t i = 0; i < n_; ++i) {
+    exp_[i] = x;
+    exp_[i + n_] = x;
+    log_[x] = i;
+    x <<= 1;
+    if (x & (1u << m)) x ^= poly;
+  }
+}
+
+}  // namespace neuropuls::ecc

@@ -1,0 +1,60 @@
+// Binary extension fields GF(2^m) with log/antilog tables.
+//
+// The BCH decoder (Berlekamp–Massey + Chien search) works over GF(2^m);
+// this class builds the exponentiation tables for a standard primitive
+// polynomial at construction time and exposes the handful of field
+// operations the decoder needs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace neuropuls::ecc {
+
+class Gf2m {
+ public:
+  /// Constructs GF(2^m) for m in [2, 16] using a fixed primitive
+  /// polynomial per degree. Throws std::invalid_argument otherwise.
+  explicit Gf2m(unsigned m);
+
+  unsigned m() const noexcept { return m_; }
+  /// Field size minus one: the order of the multiplicative group.
+  std::uint32_t n() const noexcept { return n_; }
+
+  /// alpha^i for any non-negative exponent (reduced mod n).
+  std::uint32_t alpha_pow(std::uint32_t exponent) const noexcept {
+    return exp_[exponent % n_];
+  }
+
+  /// Discrete log base alpha; x must be nonzero.
+  std::uint32_t log(std::uint32_t x) const noexcept { return log_[x]; }
+
+  std::uint32_t mul(std::uint32_t a, std::uint32_t b) const noexcept {
+    if (a == 0 || b == 0) return 0;
+    return exp_[(log_[a] + log_[b]) % n_];
+  }
+
+  /// Multiplicative inverse; x must be nonzero.
+  std::uint32_t inv(std::uint32_t x) const noexcept {
+    return exp_[(n_ - log_[x]) % n_];
+  }
+
+  std::uint32_t div(std::uint32_t a, std::uint32_t b) const noexcept {
+    if (a == 0) return 0;
+    return exp_[(log_[a] + n_ - log_[b]) % n_];
+  }
+
+  /// a^e with a possibly zero base.
+  std::uint32_t pow(std::uint32_t a, std::uint32_t e) const noexcept {
+    if (a == 0) return e == 0 ? 1 : 0;
+    return exp_[(static_cast<std::uint64_t>(log_[a]) * e) % n_];
+  }
+
+ private:
+  unsigned m_;
+  std::uint32_t n_;
+  std::vector<std::uint32_t> exp_;  // size 2n for cheap wraparound
+  std::vector<std::uint32_t> log_;  // size 2^m
+};
+
+}  // namespace neuropuls::ecc

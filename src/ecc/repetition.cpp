@@ -1,0 +1,64 @@
+#include "ecc/repetition.hpp"
+
+#include <stdexcept>
+
+namespace neuropuls::ecc {
+
+RepetitionCode::RepetitionCode(unsigned r) : r_(r) {
+  if (r == 0 || r % 2 == 0) {
+    throw std::invalid_argument("RepetitionCode: r must be odd and >= 1");
+  }
+}
+
+BitVec RepetitionCode::encode(const BitVec& message) const {
+  BitVec out;
+  out.reserve(message.size() * r_);
+  for (std::uint8_t bit : message) {
+    out.insert(out.end(), r_, static_cast<std::uint8_t>(bit & 1));
+  }
+  return out;
+}
+
+BitVec RepetitionCode::decode(const BitVec& received) const {
+  if (received.size() % r_ != 0) {
+    throw std::invalid_argument(
+        "RepetitionCode::decode: length not a multiple of r");
+  }
+  BitVec out(received.size() / r_);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    unsigned ones = 0;
+    for (unsigned j = 0; j < r_; ++j) ones += received[i * r_ + j] & 1;
+    out[i] = ones > r_ / 2 ? 1 : 0;
+  }
+  return out;
+}
+
+ConcatenatedCode::ConcatenatedCode(BchCode outer, RepetitionCode inner)
+    : outer_(std::move(outer)), inner_(inner) {}
+
+BitVec ConcatenatedCode::encode(const BitVec& message) const {
+  return inner_.encode(outer_.encode(message));
+}
+
+std::optional<BitVec> ConcatenatedCode::decode_codeword(
+    const BitVec& received) const {
+  if (received.size() != codeword_bits()) {
+    throw std::invalid_argument("ConcatenatedCode: wrong received length");
+  }
+  const BitVec voted = inner_.decode(received);
+  const auto corrected = outer_.decode(voted);
+  if (!corrected) return std::nullopt;
+  return inner_.encode(*corrected);
+}
+
+std::optional<BitVec> ConcatenatedCode::decode(const BitVec& received) const {
+  if (received.size() != codeword_bits()) {
+    throw std::invalid_argument("ConcatenatedCode: wrong received length");
+  }
+  const BitVec voted = inner_.decode(received);
+  const auto corrected = outer_.decode(voted);
+  if (!corrected) return std::nullopt;
+  return outer_.extract_message(*corrected);
+}
+
+}  // namespace neuropuls::ecc

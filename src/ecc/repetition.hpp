@@ -1,0 +1,64 @@
+// Repetition code and BCH⊗repetition concatenation.
+//
+// The classic PUF key-generation pipeline first beats down the raw bit
+// error rate with a short repetition code (majority vote), then removes
+// the residual errors with a BCH outer code. The concatenated class below
+// is what the fuzzy extractor instantiates by default.
+#pragma once
+
+#include <optional>
+
+#include "ecc/bch.hpp"
+#include "ecc/bitvec.hpp"
+
+namespace neuropuls::ecc {
+
+/// Odd-length repetition code: each data bit is sent `r` times and decoded
+/// by majority vote.
+class RepetitionCode {
+ public:
+  /// Throws std::invalid_argument unless r is odd and >= 1.
+  explicit RepetitionCode(unsigned r);
+
+  unsigned r() const noexcept { return r_; }
+
+  /// n = r * message length.
+  BitVec encode(const BitVec& message) const;
+
+  /// Majority-vote decode; length must be a multiple of r.
+  BitVec decode(const BitVec& received) const;
+
+ private:
+  unsigned r_;
+};
+
+/// Concatenation of a BCH outer code with a repetition inner code.
+/// encode: message --BCH--> n_bch bits --repeat r--> n_bch * r bits.
+class ConcatenatedCode {
+ public:
+  ConcatenatedCode(BchCode outer, RepetitionCode inner);
+
+  std::size_t message_bits() const noexcept { return outer_.k(); }
+  std::size_t codeword_bits() const noexcept {
+    return outer_.n() * inner_.r();
+  }
+
+  BitVec encode(const BitVec& message) const;
+
+  /// Full-pipeline decode to the *codeword* (not the message): majority
+  /// vote, BCH correct, re-expand. Returning the codeword keeps the
+  /// code-offset sketch construction simple. std::nullopt on BCH failure.
+  std::optional<BitVec> decode_codeword(const BitVec& received) const;
+
+  /// Decode all the way to the k-bit message.
+  std::optional<BitVec> decode(const BitVec& received) const;
+
+  const BchCode& outer() const noexcept { return outer_; }
+  const RepetitionCode& inner() const noexcept { return inner_; }
+
+ private:
+  BchCode outer_;
+  RepetitionCode inner_;
+};
+
+}  // namespace neuropuls::ecc

@@ -1,0 +1,228 @@
+#include "filtering/filter.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "metrics/population.hpp"
+
+namespace neuropuls::filtering {
+
+std::vector<FilterSweepPoint> sweep_lower_threshold(
+    const AnalogPopulation& population,
+    const std::vector<double>& thresholds) {
+  if (population.crps.empty() || population.devices == 0) {
+    throw std::invalid_argument("sweep_lower_threshold: empty population");
+  }
+
+  // Precompute per-CRP aliasing entropy across the full population.
+  std::vector<double> crp_entropy(population.crps.size());
+  for (std::size_t c = 0; c < population.crps.size(); ++c) {
+    const auto& crp = population.crps[c];
+    double ones = 0.0;
+    for (std::uint8_t b : crp.bits) ones += b & 1;
+    crp_entropy[c] =
+        metrics::binary_entropy(ones / static_cast<double>(crp.bits.size()));
+  }
+
+  std::vector<FilterSweepPoint> sweep;
+  sweep.reserve(thresholds.size());
+  for (double threshold : thresholds) {
+    FilterSweepPoint point;
+    point.threshold = threshold;
+    double reliability_sum = 0.0;
+    double entropy_sum = 0.0;
+    std::size_t retained = 0;
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < population.crps.size(); ++c) {
+      const auto& crp = population.crps[c];
+      for (std::size_t d = 0; d < population.devices; ++d) {
+        ++total;
+        if (std::fabs(crp.margins[d]) < threshold) continue;
+        ++retained;
+        reliability_sum += 1.0 - crp.flip_rate[d];
+        entropy_sum += crp_entropy[c];
+      }
+    }
+    point.retained_fraction =
+        static_cast<double>(retained) / static_cast<double>(total);
+    if (retained > 0) {
+      point.reliability = reliability_sum / static_cast<double>(retained);
+      point.aliasing_entropy = entropy_sum / static_cast<double>(retained);
+    } else {
+      point.reliability = 1.0;
+      point.aliasing_entropy = 0.0;
+    }
+    sweep.push_back(point);
+  }
+  return sweep;
+}
+
+FilterSweepPoint evaluate_window(const AnalogPopulation& population,
+                                 double lower, double upper) {
+  if (population.crps.empty() || population.devices == 0) {
+    throw std::invalid_argument("evaluate_window: empty population");
+  }
+  if (lower > upper) {
+    throw std::invalid_argument("evaluate_window: lower > upper");
+  }
+
+  FilterSweepPoint point;
+  point.threshold = lower;
+  double reliability_sum = 0.0;
+  double entropy_sum = 0.0;
+  std::size_t retained = 0;
+  std::size_t total = 0;
+  for (const auto& crp : population.crps) {
+    double ones = 0.0;
+    for (std::uint8_t b : crp.bits) ones += b & 1;
+    const double entropy =
+        metrics::binary_entropy(ones / static_cast<double>(crp.bits.size()));
+    for (std::size_t d = 0; d < population.devices; ++d) {
+      ++total;
+      const double magnitude = std::fabs(crp.margins[d]);
+      if (magnitude < lower || magnitude > upper) continue;
+      ++retained;
+      reliability_sum += 1.0 - crp.flip_rate[d];
+      entropy_sum += entropy;
+    }
+  }
+  point.retained_fraction =
+      static_cast<double>(retained) / static_cast<double>(total);
+  if (retained > 0) {
+    point.reliability = reliability_sum / static_cast<double>(retained);
+    point.aliasing_entropy = entropy_sum / static_cast<double>(retained);
+  } else {
+    point.reliability = 1.0;
+    point.aliasing_entropy = 0.0;
+  }
+  return point;
+}
+
+std::vector<std::size_t> tradeoff_window(
+    const std::vector<FilterSweepPoint>& sweep, double min_reliability,
+    double min_entropy) {
+  std::vector<std::size_t> window;
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    if (sweep[i].reliability >= min_reliability &&
+        sweep[i].aliasing_entropy >= min_entropy &&
+        sweep[i].retained_fraction > 0.0) {
+      window.push_back(i);
+    }
+  }
+  return window;
+}
+
+std::vector<bool> online_mask(const std::vector<double>& device_margins,
+                              double lower, double upper) {
+  std::vector<bool> mask(device_margins.size());
+  for (std::size_t i = 0; i < device_margins.size(); ++i) {
+    const double magnitude = std::fabs(device_margins[i]);
+    mask[i] = magnitude >= lower && magnitude <= upper;
+  }
+  return mask;
+}
+
+AnalogPopulation measure_ro_population(const puf::RoPufConfig& config,
+                                       std::size_t devices,
+                                       const std::vector<puf::RoPair>& pairs,
+                                       unsigned repeats,
+                                       std::uint64_t seed_base) {
+  if (devices == 0 || pairs.empty() || repeats == 0) {
+    throw std::invalid_argument("measure_ro_population: empty request");
+  }
+  AnalogPopulation population;
+  population.devices = devices;
+  population.crps.resize(pairs.size());
+  for (auto& crp : population.crps) {
+    crp.margins.resize(devices);
+    crp.bits.resize(devices);
+    crp.flip_rate.resize(devices);
+  }
+
+  for (std::size_t d = 0; d < devices; ++d) {
+    puf::RoPuf device(config, seed_base + d);
+    for (std::size_t p = 0; p < pairs.size(); ++p) {
+      const auto challenge =
+          puf::encode_ro_challenge(pairs[p].i, pairs[p].j);
+      const std::uint8_t reference =
+          (device.evaluate_noiseless(challenge)[0] >> 7) & 1;
+      double margin_sum = 0.0;
+      unsigned flips = 0;
+      for (unsigned r = 0; r < repeats; ++r) {
+        const std::int64_t delta =
+            device.count_difference(pairs[p].i, pairs[p].j);
+        margin_sum += static_cast<double>(delta);
+        flips += ((delta > 0 ? 1 : 0) != reference);
+      }
+      population.crps[p].margins[d] = margin_sum / repeats;
+      population.crps[p].bits[d] = reference;
+      population.crps[p].flip_rate[d] =
+          static_cast<double>(flips) / repeats;
+    }
+  }
+  return population;
+}
+
+AnalogPopulation measure_photonic_population(
+    const puf::PhotonicPufConfig& config, std::size_t devices,
+    const puf::Challenge& challenge, unsigned repeats,
+    std::uint64_t wafer_seed) {
+  if (devices == 0 || repeats == 0) {
+    throw std::invalid_argument("measure_photonic_population: empty request");
+  }
+  AnalogPopulation population;
+  population.devices = devices;
+
+  for (std::size_t d = 0; d < devices; ++d) {
+    puf::PhotonicPuf device(config, wafer_seed, d);
+    const auto reference = device.evaluate_analog(challenge, /*noisy=*/false);
+    const std::size_t windows = reference.size();
+    const std::size_t pairs = reference.front().size();
+    if (population.crps.empty()) {
+      population.crps.resize(windows * pairs);
+      for (auto& crp : population.crps) {
+        crp.margins.resize(devices);
+        crp.bits.resize(devices);
+        crp.flip_rate.resize(devices);
+      }
+    }
+
+    // Accumulate noisy readings.
+    std::vector<double> margin_sum(windows * pairs, 0.0);
+    std::vector<unsigned> flips(windows * pairs, 0);
+    for (unsigned r = 0; r < repeats; ++r) {
+      const auto noisy = device.evaluate_analog(challenge, /*noisy=*/true);
+      for (std::size_t w = 0; w < windows; ++w) {
+        for (std::size_t p = 0; p < pairs; ++p) {
+          const std::size_t c = w * pairs + p;
+          margin_sum[c] += noisy[w][p];
+          flips[c] += (noisy[w][p] > 0.0) != (reference[w][p] > 0.0);
+        }
+      }
+    }
+    for (std::size_t w = 0; w < windows; ++w) {
+      for (std::size_t p = 0; p < pairs; ++p) {
+        const std::size_t c = w * pairs + p;
+        population.crps[c].margins[d] = margin_sum[c] / repeats;
+        population.crps[c].bits[d] = reference[w][p] > 0.0 ? 1 : 0;
+        population.crps[c].flip_rate[d] =
+            static_cast<double>(flips[c]) / repeats;
+      }
+    }
+  }
+  return population;
+}
+
+std::vector<puf::RoPair> all_ro_pairs(std::size_t oscillators,
+                                      std::size_t max_pairs) {
+  std::vector<puf::RoPair> pairs;
+  for (std::size_t i = 0; i < oscillators; ++i) {
+    for (std::size_t j = i + 1; j < oscillators; ++j) {
+      pairs.push_back({i, j});
+      if (max_pairs != 0 && pairs.size() >= max_pairs) return pairs;
+    }
+  }
+  return pairs;
+}
+
+}  // namespace neuropuls::filtering

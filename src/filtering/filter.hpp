@@ -1,0 +1,103 @@
+// On-line CRP filtering to limit unreliability AND bit-aliasing (§II-B,
+// ref. [13], Fig. 3).
+//
+// The physics: each response bit is the sign of an analog margin (an RO
+// pair's counter difference, or a photodiode pair's photocurrent
+// difference). Margins near zero flip under noise (unreliable); margins
+// far from zero are usually dominated by *design-systematic* offsets that
+// are the same on every device (aliased — "extreme values of frequency
+// difference could be present in multiple devices because of the lower
+// effect of process variability"). Filtering keeps only CRPs whose margin
+// lies in a window: above a reliability floor, below an aliasing ceiling.
+//
+// The module is PUF-agnostic: it works on an `AnalogPopulation` — the
+// margins, reference bits, and flip rates of a device population — with
+// builders provided for the RO PUF (counter threshold, as in [13]) and the
+// photonic PUF (photocurrent-amplitude threshold, the NEUROPULS
+// adaptation the paper announces).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "puf/photonic_puf.hpp"
+#include "puf/ro_puf.hpp"
+
+namespace neuropuls::filtering {
+
+/// Measured analog statistics of one CRP (bit position) across a device
+/// population. margins[d] is device d's mean margin; bits[d] its reference
+/// bit; flip_rate[d] its measured probability of disagreeing with the
+/// reference under repeated noisy readout.
+struct CrpStatistics {
+  std::vector<double> margins;
+  std::vector<std::uint8_t> bits;
+  std::vector<double> flip_rate;
+};
+
+/// Statistics for every candidate CRP over the same device population.
+struct AnalogPopulation {
+  std::vector<CrpStatistics> crps;
+  std::size_t devices = 0;
+};
+
+/// One point of the Fig. 3 sweep.
+struct FilterSweepPoint {
+  double threshold = 0.0;          // lower |margin| cut
+  double reliability = 1.0;        // mean (1 - flip rate) over retained CRPs
+  double aliasing_entropy = 0.0;   // mean per-CRP Shannon entropy, retained
+  double retained_fraction = 0.0;  // share of (device, CRP) slots kept
+};
+
+/// Sweeps the lower threshold over `thresholds` (the Fig. 3 x-axis).
+/// Retention is per-device (on-line): device d keeps CRP c iff
+/// |margin[d][c]| >= threshold. Throws on an empty population.
+std::vector<FilterSweepPoint> sweep_lower_threshold(
+    const AnalogPopulation& population, const std::vector<double>& thresholds);
+
+/// Evaluates one full [lower, upper] window — the complete [13] filter:
+/// the lower bound removes unreliable CRPs, the *upper* bound removes the
+/// extreme margins "that could be deemed biased (aliased)" because
+/// process variability contributes little to them. Same statistics as a
+/// sweep point. Throws on an empty population or lower > upper.
+FilterSweepPoint evaluate_window(const AnalogPopulation& population,
+                                 double lower, double upper);
+
+/// Selects the trade-off window: the threshold range whose points satisfy
+/// reliability >= min_reliability and aliasing_entropy >= min_entropy
+/// (the shaded region of Fig. 3). Returns indices into the sweep.
+std::vector<std::size_t> tradeoff_window(
+    const std::vector<FilterSweepPoint>& sweep, double min_reliability,
+    double min_entropy);
+
+/// Per-device on-line mask: which CRPs a single device retains at a
+/// [lower, upper] margin window. This is what a deployed device runs —
+/// no population data needed.
+std::vector<bool> online_mask(const std::vector<double>& device_margins,
+                              double lower,
+                              double upper = std::numeric_limits<double>::infinity());
+
+// ---- Population builders ----------------------------------------------------
+
+/// Measures an RO-PUF population on `pairs` challenges. Margins are mean
+/// counter differences over `repeats` measurements (the [13] method).
+AnalogPopulation measure_ro_population(
+    const puf::RoPufConfig& config, std::size_t devices,
+    const std::vector<puf::RoPair>& pairs, unsigned repeats,
+    std::uint64_t seed_base);
+
+/// Measures a photonic-PUF population on one challenge. Margins are the
+/// photocurrent differences of `evaluate_analog` averaged over `repeats`
+/// noisy evaluations — the photocurrent-amplitude threshold adaptation.
+AnalogPopulation measure_photonic_population(
+    const puf::PhotonicPufConfig& config, std::size_t devices,
+    const puf::Challenge& challenge, unsigned repeats,
+    std::uint64_t wafer_seed);
+
+/// All-distinct-pair challenge list (i < j) for an RO PUF of n oscillators,
+/// optionally capped.
+std::vector<puf::RoPair> all_ro_pairs(std::size_t oscillators,
+                                      std::size_t max_pairs = 0);
+
+}  // namespace neuropuls::filtering

@@ -1,0 +1,63 @@
+// PUF-based identification error rates (§V: "error rates, including
+// false positive and false negative rates, should be analyzed to gauge
+// the PUF's reliability").
+//
+// Device identification by distance: a claimant's response is accepted
+// iff its fractional Hamming distance to the enrolled reference is below
+// a threshold tau. Then
+//   FRR(tau) = P(intra-distance > tau)   — genuine device rejected,
+//   FAR(tau) = P(inter-distance <= tau)  — impostor device accepted.
+// The ROC sweep and the equal-error-rate (EER) operating point are the
+// standard summary; a healthy PUF has intra/inter distributions separated
+// enough that EER ~ 0 with a wide threshold margin.
+#pragma once
+
+#include <vector>
+
+#include "crypto/bytes.hpp"
+
+namespace neuropuls::metrics {
+
+struct RocPoint {
+  double threshold = 0.0;  // fractional-HD acceptance threshold
+  double far = 0.0;        // false acceptance rate
+  double frr = 0.0;        // false rejection rate
+};
+
+/// Sweeps thresholds over [0, 0.5] in `steps` increments given samples of
+/// genuine (intra) and impostor (inter) distances.
+/// Throws std::invalid_argument when either sample set is empty.
+std::vector<RocPoint> roc_curve(const std::vector<double>& intra_distances,
+                                const std::vector<double>& inter_distances,
+                                std::size_t steps = 50);
+
+/// Equal error rate: the point where FAR ~= FRR (linear interpolation on
+/// the sweep); also reports the threshold achieving it.
+struct EerResult {
+  double eer = 0.0;
+  double threshold = 0.0;
+};
+EerResult equal_error_rate(const std::vector<double>& intra_distances,
+                           const std::vector<double>& inter_distances);
+
+/// Widest threshold window [lo, hi] with FAR == 0 and FRR == 0 on the
+/// given samples (empty optional when none exists).
+struct ZeroErrorWindow {
+  bool exists = false;
+  double low = 0.0;
+  double high = 0.0;
+};
+ZeroErrorWindow zero_error_window(const std::vector<double>& intra_distances,
+                                  const std::vector<double>& inter_distances);
+
+/// Convenience: gathers intra samples (re-readings vs reference) and
+/// inter samples (cross-device) from response sets.
+struct DistanceSamples {
+  std::vector<double> intra;
+  std::vector<double> inter;
+};
+DistanceSamples gather_distance_samples(
+    const std::vector<crypto::Bytes>& references,
+    const std::vector<std::vector<crypto::Bytes>>& rereads);
+
+}  // namespace neuropuls::metrics

@@ -1,0 +1,230 @@
+#include "metrics/nist.hpp"
+
+#include <array>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "metrics/special_functions.hpp"
+
+namespace neuropuls::metrics {
+
+namespace {
+
+double std_normal_cdf(double x) {
+  return 0.5 * std::erfc(-x / std::numbers::sqrt2);
+}
+
+void require_bits(const Bits& bits, std::size_t minimum, const char* test) {
+  if (bits.size() < minimum) {
+    throw std::invalid_argument(std::string(test) +
+                                ": sequence too short for this test");
+  }
+}
+
+NistResult make_result(const char* name, double p) {
+  return NistResult{name, p, p >= kNistAlpha};
+}
+
+// psi-squared statistic over overlapping (cyclic) m-bit patterns, used by
+// both the serial and approximate-entropy tests.
+double psi_squared(const Bits& bits, unsigned m) {
+  if (m == 0) return 0.0;
+  const std::size_t n = bits.size();
+  std::vector<std::uint32_t> counts(1u << m, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint32_t pattern = 0;
+    for (unsigned j = 0; j < m; ++j) {
+      pattern = (pattern << 1) | (bits[(i + j) % n] & 1);
+    }
+    counts[pattern]++;
+  }
+  double sum = 0.0;
+  for (std::uint32_t c : counts) {
+    sum += static_cast<double>(c) * static_cast<double>(c);
+  }
+  return (sum * static_cast<double>(1u << m)) / static_cast<double>(n) -
+         static_cast<double>(n);
+}
+
+}  // namespace
+
+Bits bits_from_bytes(crypto::ByteView bytes) {
+  Bits bits;
+  bits.reserve(bytes.size() * 8);
+  for (std::uint8_t byte : bytes) {
+    for (int b = 7; b >= 0; --b) {
+      bits.push_back((byte >> b) & 1);
+    }
+  }
+  return bits;
+}
+
+NistResult nist_frequency(const Bits& bits) {
+  require_bits(bits, 100, "frequency");
+  double sum = 0.0;
+  for (std::uint8_t b : bits) sum += b ? 1.0 : -1.0;
+  const double s_obs =
+      std::fabs(sum) / std::sqrt(static_cast<double>(bits.size()));
+  return make_result("frequency", std::erfc(s_obs / std::numbers::sqrt2));
+}
+
+NistResult nist_block_frequency(const Bits& bits, std::size_t block_size) {
+  require_bits(bits, 100, "block-frequency");
+  if (block_size == 0) {
+    throw std::invalid_argument("block-frequency: zero block size");
+  }
+  const std::size_t blocks = bits.size() / block_size;
+  if (blocks == 0) {
+    throw std::invalid_argument("block-frequency: block larger than data");
+  }
+  double chi2 = 0.0;
+  for (std::size_t b = 0; b < blocks; ++b) {
+    double ones = 0.0;
+    for (std::size_t i = 0; i < block_size; ++i) {
+      ones += bits[b * block_size + i];
+    }
+    const double pi = ones / static_cast<double>(block_size);
+    chi2 += (pi - 0.5) * (pi - 0.5);
+  }
+  chi2 *= 4.0 * static_cast<double>(block_size);
+  return make_result("block-frequency",
+                     igamc(static_cast<double>(blocks) / 2.0, chi2 / 2.0));
+}
+
+NistResult nist_runs(const Bits& bits) {
+  require_bits(bits, 100, "runs");
+  const std::size_t n = bits.size();
+  double ones = 0.0;
+  for (std::uint8_t b : bits) ones += b;
+  const double pi = ones / static_cast<double>(n);
+  // Prerequisite monobit check: if it fails, the runs test is undefined
+  // and reported as a fail (p = 0), per the SP 800-22 procedure.
+  if (std::fabs(pi - 0.5) >= 2.0 / std::sqrt(static_cast<double>(n))) {
+    return make_result("runs", 0.0);
+  }
+  std::size_t v = 1;
+  for (std::size_t i = 1; i < n; ++i) v += (bits[i] != bits[i - 1]);
+  const double expected = 2.0 * static_cast<double>(n) * pi * (1.0 - pi);
+  const double p =
+      std::erfc(std::fabs(static_cast<double>(v) - expected) /
+                (2.0 * std::sqrt(2.0 * static_cast<double>(n)) * pi *
+                 (1.0 - pi)));
+  return make_result("runs", p);
+}
+
+NistResult nist_longest_run(const Bits& bits) {
+  require_bits(bits, 128, "longest-run");
+  // M = 8 variant: categories v <= 1, 2, 3, >= 4.
+  constexpr std::size_t kBlock = 8;
+  constexpr std::array<double, 4> kPi = {0.2148, 0.3672, 0.2305, 0.1875};
+  const std::size_t blocks = bits.size() / kBlock;
+  std::array<double, 4> v{};
+  for (std::size_t b = 0; b < blocks; ++b) {
+    std::size_t longest = 0, current = 0;
+    for (std::size_t i = 0; i < kBlock; ++i) {
+      current = bits[b * kBlock + i] ? current + 1 : 0;
+      longest = std::max(longest, current);
+    }
+    if (longest <= 1) v[0] += 1.0;
+    else if (longest == 2) v[1] += 1.0;
+    else if (longest == 3) v[2] += 1.0;
+    else v[3] += 1.0;
+  }
+  double chi2 = 0.0;
+  const double N = static_cast<double>(blocks);
+  for (std::size_t k = 0; k < 4; ++k) {
+    const double expected = N * kPi[k];
+    chi2 += (v[k] - expected) * (v[k] - expected) / expected;
+  }
+  return make_result("longest-run", igamc(3.0 / 2.0, chi2 / 2.0));
+}
+
+NistResult nist_cusum(const Bits& bits) {
+  require_bits(bits, 100, "cusum");
+  const std::size_t n = bits.size();
+  double s = 0.0, z = 0.0;
+  for (std::uint8_t b : bits) {
+    s += b ? 1.0 : -1.0;
+    z = std::max(z, std::fabs(s));
+  }
+  if (z == 0.0) return make_result("cusum", 0.0);
+  const double sqrt_n = std::sqrt(static_cast<double>(n));
+  const double nd = static_cast<double>(n);
+
+  double sum1 = 0.0;
+  for (long k = static_cast<long>(std::floor((-nd / z + 1.0) / 4.0));
+       k <= static_cast<long>(std::floor((nd / z - 1.0) / 4.0)); ++k) {
+    sum1 += std_normal_cdf((4.0 * k + 1.0) * z / sqrt_n) -
+            std_normal_cdf((4.0 * k - 1.0) * z / sqrt_n);
+  }
+  double sum2 = 0.0;
+  for (long k = static_cast<long>(std::floor((-nd / z - 3.0) / 4.0));
+       k <= static_cast<long>(std::floor((nd / z - 1.0) / 4.0)); ++k) {
+    sum2 += std_normal_cdf((4.0 * k + 3.0) * z / sqrt_n) -
+            std_normal_cdf((4.0 * k + 1.0) * z / sqrt_n);
+  }
+  return make_result("cusum", 1.0 - sum1 + sum2);
+}
+
+NistResult nist_serial(const Bits& bits, unsigned m) {
+  require_bits(bits, 100, "serial");
+  if (m < 2 || m > 16) {
+    throw std::invalid_argument("serial: m must be in [2, 16]");
+  }
+  const double psi_m = psi_squared(bits, m);
+  const double psi_m1 = psi_squared(bits, m - 1);
+  const double delta = psi_m - psi_m1;
+  const double p =
+      igamc(std::pow(2.0, static_cast<double>(m) - 2.0), delta / 2.0);
+  return make_result("serial", p);
+}
+
+NistResult nist_approximate_entropy(const Bits& bits, unsigned m) {
+  require_bits(bits, 100, "approximate-entropy");
+  if (m < 1 || m > 16) {
+    throw std::invalid_argument("approximate-entropy: m must be in [1, 16]");
+  }
+  const std::size_t n = bits.size();
+  auto phi = [&](unsigned mm) {
+    std::vector<std::uint32_t> counts(1u << mm, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      std::uint32_t pattern = 0;
+      for (unsigned j = 0; j < mm; ++j) {
+        pattern = (pattern << 1) | (bits[(i + j) % n] & 1);
+      }
+      counts[pattern]++;
+    }
+    double sum = 0.0;
+    for (std::uint32_t c : counts) {
+      if (c == 0) continue;
+      const double ci = static_cast<double>(c) / static_cast<double>(n);
+      sum += ci * std::log(ci);
+    }
+    return sum;
+  };
+  const double ap_en = phi(m) - phi(m + 1);
+  const double chi2 =
+      2.0 * static_cast<double>(n) * (std::log(2.0) - ap_en);
+  const double p =
+      igamc(std::pow(2.0, static_cast<double>(m) - 1.0), chi2 / 2.0);
+  return make_result("approximate-entropy", p);
+}
+
+std::vector<NistResult> nist_suite(const Bits& bits) {
+  return {
+      nist_frequency(bits),          nist_block_frequency(bits),
+      nist_runs(bits),               nist_longest_run(bits),
+      nist_cusum(bits),              nist_serial(bits),
+      nist_approximate_entropy(bits),
+  };
+}
+
+double nist_pass_fraction(const Bits& bits) {
+  const auto results = nist_suite(bits);
+  double passed = 0.0;
+  for (const auto& r : results) passed += r.passed ? 1.0 : 0.0;
+  return passed / static_cast<double>(results.size());
+}
+
+}  // namespace neuropuls::metrics

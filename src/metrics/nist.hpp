@@ -1,0 +1,61 @@
+// NIST SP 800-22 statistical test suite (subset).
+//
+// §II-A reports the demonstrated photonic PUF achieved a "good score for
+// various NIST tests"; §V asks the simulator to "assess entropy,
+// uniqueness, and response uniformity". This implements the seven SP
+// 800-22 tests that are meaningful at PUF-response lengths (10^3–10^5
+// bits): frequency, block frequency, runs, longest-run-of-ones,
+// cumulative sums, serial, and approximate entropy. Each returns a
+// p-value; the conventional pass threshold is alpha = 0.01.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "crypto/bytes.hpp"
+
+namespace neuropuls::metrics {
+
+/// One bit per element (0/1), matching ecc::BitVec's layout.
+using Bits = std::vector<std::uint8_t>;
+
+/// Unpacks a byte buffer MSB-first for the tests below.
+Bits bits_from_bytes(crypto::ByteView bytes);
+
+struct NistResult {
+  std::string test;
+  double p_value;
+  bool passed;  // p_value >= alpha
+};
+
+inline constexpr double kNistAlpha = 0.01;
+
+/// 2.1 Frequency (monobit). Requires >= 100 bits.
+NistResult nist_frequency(const Bits& bits);
+
+/// 2.2 Block frequency with block size M. Requires >= 100 bits.
+NistResult nist_block_frequency(const Bits& bits, std::size_t block_size = 32);
+
+/// 2.3 Runs. Requires >= 100 bits.
+NistResult nist_runs(const Bits& bits);
+
+/// 2.4 Longest run of ones (M = 8 variant). Requires >= 128 bits.
+NistResult nist_longest_run(const Bits& bits);
+
+/// 2.13 Cumulative sums (forward mode). Requires >= 100 bits.
+NistResult nist_cusum(const Bits& bits);
+
+/// 2.11 Serial test with pattern length m (returns the first p-value).
+NistResult nist_serial(const Bits& bits, unsigned m = 3);
+
+/// 2.12 Approximate entropy with pattern length m.
+NistResult nist_approximate_entropy(const Bits& bits, unsigned m = 3);
+
+/// Runs the whole subset and returns per-test results.
+std::vector<NistResult> nist_suite(const Bits& bits);
+
+/// Fraction of suite tests passed (1.0 = all).
+double nist_pass_fraction(const Bits& bits);
+
+}  // namespace neuropuls::metrics

@@ -1,0 +1,136 @@
+#include "metrics/population.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace neuropuls::metrics {
+
+double uniformity(crypto::ByteView response) {
+  if (response.empty()) {
+    throw std::invalid_argument("uniformity: empty response");
+  }
+  return static_cast<double>(crypto::popcount(response)) /
+         (8.0 * static_cast<double>(response.size()));
+}
+
+double uniqueness(const std::vector<crypto::Bytes>& device_responses) {
+  if (device_responses.size() < 2) {
+    throw std::invalid_argument("uniqueness: need at least two devices");
+  }
+  double total = 0.0;
+  std::size_t pairs = 0;
+  for (std::size_t a = 0; a < device_responses.size(); ++a) {
+    for (std::size_t b = a + 1; b < device_responses.size(); ++b) {
+      total += crypto::fractional_hamming_distance(device_responses[a],
+                                                   device_responses[b]);
+      ++pairs;
+    }
+  }
+  return total / static_cast<double>(pairs);
+}
+
+double reliability(const crypto::Bytes& reference,
+                   const std::vector<crypto::Bytes>& readings) {
+  if (readings.empty()) return 1.0;
+  double total = 0.0;
+  for (const auto& r : readings) {
+    total += crypto::fractional_hamming_distance(reference, r);
+  }
+  return 1.0 - total / static_cast<double>(readings.size());
+}
+
+std::vector<double> bit_aliasing_probabilities(
+    const std::vector<crypto::Bytes>& device_responses) {
+  if (device_responses.empty()) {
+    throw std::invalid_argument("bit_aliasing: no devices");
+  }
+  const std::size_t bits = device_responses.front().size() * 8;
+  std::vector<double> p(bits, 0.0);
+  for (const auto& response : device_responses) {
+    if (response.size() * 8 != bits) {
+      throw std::invalid_argument("bit_aliasing: length mismatch");
+    }
+    for (std::size_t b = 0; b < bits; ++b) {
+      p[b] += (response[b / 8] >> (7 - b % 8)) & 1;
+    }
+  }
+  for (auto& v : p) v /= static_cast<double>(device_responses.size());
+  return p;
+}
+
+double binary_entropy(double p) {
+  if (p <= 0.0 || p >= 1.0) return 0.0;
+  return -p * std::log2(p) - (1.0 - p) * std::log2(1.0 - p);
+}
+
+std::vector<double> bit_aliasing_entropy(
+    const std::vector<crypto::Bytes>& device_responses) {
+  auto probs = bit_aliasing_probabilities(device_responses);
+  for (auto& v : probs) v = binary_entropy(v);
+  return probs;
+}
+
+double mean_aliasing_entropy(
+    const std::vector<crypto::Bytes>& device_responses) {
+  const auto h = bit_aliasing_entropy(device_responses);
+  double sum = 0.0;
+  for (double v : h) sum += v;
+  return sum / static_cast<double>(h.size());
+}
+
+double min_entropy_per_bit(
+    const std::vector<crypto::Bytes>& device_responses) {
+  const auto probs = bit_aliasing_probabilities(device_responses);
+  double sum = 0.0;
+  for (double p : probs) {
+    const double p_max = std::max(p, 1.0 - p);
+    sum += -std::log2(p_max);
+  }
+  return sum / static_cast<double>(probs.size());
+}
+
+double bit_autocorrelation(crypto::ByteView response, std::size_t lag) {
+  const std::size_t bits = response.size() * 8;
+  if (lag == 0 || lag >= bits) {
+    throw std::invalid_argument("bit_autocorrelation: bad lag");
+  }
+  auto bit_at = [&](std::size_t i) {
+    return (response[i / 8] >> (7 - i % 8)) & 1;
+  };
+  // Map bits to +/-1 and correlate.
+  double sum = 0.0;
+  for (std::size_t i = 0; i + lag < bits; ++i) {
+    sum += (bit_at(i) ? 1.0 : -1.0) * (bit_at(i + lag) ? 1.0 : -1.0);
+  }
+  return sum / static_cast<double>(bits - lag);
+}
+
+PopulationReport population_report(
+    const std::vector<crypto::Bytes>& device_responses,
+    const std::vector<std::vector<crypto::Bytes>>& repeat_readings) {
+  PopulationReport report;
+  report.uniqueness = uniqueness(device_responses);
+  report.aliasing_entropy_mean = mean_aliasing_entropy(device_responses);
+  report.min_entropy = min_entropy_per_bit(device_responses);
+
+  double uni = 0.0;
+  for (const auto& r : device_responses) uni += uniformity(r);
+  report.uniformity_mean = uni / static_cast<double>(device_responses.size());
+
+  if (!repeat_readings.empty()) {
+    if (repeat_readings.size() != device_responses.size()) {
+      throw std::invalid_argument(
+          "population_report: readings/devices mismatch");
+    }
+    double rel = 0.0;
+    for (std::size_t d = 0; d < device_responses.size(); ++d) {
+      rel += reliability(device_responses[d], repeat_readings[d]);
+    }
+    report.reliability_mean = rel / static_cast<double>(device_responses.size());
+  } else {
+    report.reliability_mean = 1.0;
+  }
+  return report;
+}
+
+}  // namespace neuropuls::metrics

@@ -1,0 +1,72 @@
+// Population-level PUF quality metrics (§II-A, §V).
+//
+// The quantities every PUF paper reports and gem5-style benchmarking
+// (§V) asks the simulator to log:
+//   * uniformity   — fraction of 1s in one response (ideal 0.5);
+//   * uniqueness   — mean pairwise inter-device fractional HD (ideal 0.5);
+//   * reliability  — 1 - mean intra-device fractional HD (ideal 1.0);
+//   * bit aliasing — per-bit-position Shannon entropy across devices
+//                    (Fig. 3's y-axis: 1.0 = no aliasing, 0.0 = the bit is
+//                    identical on every device);
+//   * min-entropy  — most-common-value estimator per bit position.
+#pragma once
+
+#include <vector>
+
+#include "crypto/bytes.hpp"
+
+namespace neuropuls::metrics {
+
+/// Fraction of set bits in a response.
+double uniformity(crypto::ByteView response);
+
+/// Mean pairwise fractional Hamming distance across devices' responses to
+/// the same challenge. Throws std::invalid_argument with < 2 devices or
+/// mismatched lengths.
+double uniqueness(const std::vector<crypto::Bytes>& device_responses);
+
+/// 1 - mean fractional HD between repeated readings and the reference.
+double reliability(const crypto::Bytes& reference,
+                   const std::vector<crypto::Bytes>& readings);
+
+/// Per-bit-position probability of a 1 across devices.
+std::vector<double> bit_aliasing_probabilities(
+    const std::vector<crypto::Bytes>& device_responses);
+
+/// Binary Shannon entropy h(p) = -p log2 p - (1-p) log2 (1-p); h(0)=h(1)=0.
+double binary_entropy(double p);
+
+/// Per-bit-position aliasing entropy (Fig. 3's y-axis); mean over
+/// positions is the scalar summary.
+std::vector<double> bit_aliasing_entropy(
+    const std::vector<crypto::Bytes>& device_responses);
+
+/// Mean of bit_aliasing_entropy.
+double mean_aliasing_entropy(
+    const std::vector<crypto::Bytes>& device_responses);
+
+/// Min-entropy per bit via the most-common-value estimator, averaged over
+/// positions: -log2(max(p, 1-p)). Returns bits of min-entropy per
+/// response bit (<= 1.0).
+double min_entropy_per_bit(const std::vector<crypto::Bytes>& device_responses);
+
+/// Lag-k autocorrelation of the bit sequence in [-1, 1]; near 0 for
+/// random-looking strings.
+double bit_autocorrelation(crypto::ByteView response, std::size_t lag);
+
+/// One-line quality report used by benches and EXPERIMENTS.md tables.
+struct PopulationReport {
+  double uniformity_mean = 0.0;
+  double uniqueness = 0.0;
+  double reliability_mean = 0.0;
+  double aliasing_entropy_mean = 0.0;
+  double min_entropy = 0.0;
+};
+
+/// Builds the full report. `repeat_readings[d]` are re-readings of device
+/// d's response for the reliability term (may be empty -> reliability 1).
+PopulationReport population_report(
+    const std::vector<crypto::Bytes>& device_responses,
+    const std::vector<std::vector<crypto::Bytes>>& repeat_readings);
+
+}  // namespace neuropuls::metrics

@@ -1,0 +1,17 @@
+// Special functions needed by the NIST SP 800-22 statistical tests:
+// the regularized incomplete gamma functions P(a,x) and Q(a,x).
+// Implementation follows the classic series/continued-fraction split
+// (Numerical Recipes / Cephes style), accurate to ~1e-12 over the ranges
+// the tests exercise.
+#pragma once
+
+namespace neuropuls::metrics {
+
+/// Regularized lower incomplete gamma P(a, x) = gamma(a,x)/Gamma(a).
+/// Requires a > 0, x >= 0; throws std::domain_error otherwise.
+double igam(double a, double x);
+
+/// Regularized upper incomplete gamma Q(a, x) = 1 - P(a, x).
+double igamc(double a, double x);
+
+}  // namespace neuropuls::metrics

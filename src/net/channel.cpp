@@ -1,0 +1,37 @@
+#include "net/channel.hpp"
+
+namespace neuropuls::net {
+
+void DuplexChannel::send(Direction direction, Message message) {
+  if (adversary_) {
+    const Verdict verdict = adversary_(direction, message);
+    switch (verdict.action) {
+      case Verdict::Action::kDrop:
+        transcript_.push_back({direction, std::move(message), false});
+        return;
+      case Verdict::Action::kReplace:
+        transcript_.push_back({direction, message, false});
+        message = verdict.replacement;
+        break;
+      case Verdict::Action::kPass:
+        break;
+    }
+  }
+  transcript_.push_back({direction, message, true});
+  queue_for(direction).push_back(std::move(message));
+}
+
+std::optional<Message> DuplexChannel::receive(Direction direction) {
+  auto& queue = queue_for(direction);
+  if (queue.empty()) return std::nullopt;
+  Message message = std::move(queue.front());
+  queue.pop_front();
+  return message;
+}
+
+void DuplexChannel::inject(Direction direction, Message message) {
+  transcript_.push_back({direction, message, true});
+  queue_for(direction).push_back(std::move(message));
+}
+
+}  // namespace neuropuls::net

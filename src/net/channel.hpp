@@ -1,0 +1,85 @@
+// In-process duplex channel with an adversarial interception layer.
+//
+// Protocol security in §III/§IV is a property of message ordering and
+// content, independent of physical transport, so an in-process queue pair
+// is a faithful substrate. The `Adversary` hook sees every frame in both
+// directions and may pass, drop, modify, or replace it, and may inject
+// recorded frames later — enough to express replay, tampering,
+// man-in-the-middle, and desynchronisation attacks (exercised in
+// `src/attacks/protocol_attacks.hpp`).
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "net/message.hpp"
+
+namespace neuropuls::net {
+
+enum class Direction { kAtoB, kBtoA };
+
+/// What the adversary decided to do with an intercepted frame.
+struct Verdict {
+  enum class Action { kPass, kDrop, kReplace } action = Action::kPass;
+  Message replacement;  // used when action == kReplace
+
+  static Verdict pass() { return {Action::kPass, {}}; }
+  static Verdict drop() { return {Action::kDrop, {}}; }
+  static Verdict replace(Message m) { return {Action::kReplace, std::move(m)}; }
+};
+
+/// Adversary callback: full knowledge of direction and content.
+using Adversary = std::function<Verdict(Direction, const Message&)>;
+
+struct TranscriptEntry {
+  Direction direction;
+  Message message;
+  bool delivered;  // false when the adversary dropped it
+};
+
+/// Duplex channel between endpoints A (verifier) and B (device).
+class DuplexChannel {
+ public:
+  DuplexChannel() = default;
+
+  /// Installs (or clears, with nullptr) the adversary hook.
+  void set_adversary(Adversary adversary) {
+    adversary_ = std::move(adversary);
+  }
+
+  /// Sends in the given direction; the adversary (if any) rules first.
+  void send(Direction direction, Message message);
+
+  /// Receives the next pending frame for the far end of `direction`
+  /// (i.e., receive(kAtoB) pops what B should read).
+  std::optional<Message> receive(Direction direction);
+
+  /// Injects a frame directly into a queue, bypassing the adversary —
+  /// used by the adversary itself to replay recorded frames.
+  void inject(Direction direction, Message message);
+
+  const std::vector<TranscriptEntry>& transcript() const noexcept {
+    return transcript_;
+  }
+
+  std::size_t pending(Direction direction) const noexcept {
+    return queue_for(direction).size();
+  }
+
+ private:
+  std::deque<Message>& queue_for(Direction direction) noexcept {
+    return direction == Direction::kAtoB ? a_to_b_ : b_to_a_;
+  }
+  const std::deque<Message>& queue_for(Direction direction) const noexcept {
+    return direction == Direction::kAtoB ? a_to_b_ : b_to_a_;
+  }
+
+  std::deque<Message> a_to_b_;
+  std::deque<Message> b_to_a_;
+  Adversary adversary_;
+  std::vector<TranscriptEntry> transcript_;
+};
+
+}  // namespace neuropuls::net

@@ -1,0 +1,50 @@
+#include "net/message.hpp"
+
+#include <stdexcept>
+
+namespace neuropuls::net {
+
+crypto::Bytes encode_message(const Message& message) {
+  crypto::Bytes wire;
+  wire.reserve(13 + message.payload.size());
+  wire.push_back(static_cast<std::uint8_t>(message.type));
+  crypto::append_u64_be(wire, message.session_id);
+  crypto::append_u32_be(wire,
+                        static_cast<std::uint32_t>(message.payload.size()));
+  wire.insert(wire.end(), message.payload.begin(), message.payload.end());
+  return wire;
+}
+
+Message decode_message(crypto::ByteView wire) {
+  if (wire.size() < 13) {
+    throw std::runtime_error("decode_message: truncated header");
+  }
+  Message message;
+  message.type = static_cast<MessageType>(wire[0]);
+  message.session_id = crypto::get_u64_be(wire.subspan(1, 8));
+  const std::uint32_t length = crypto::get_u32_be(wire.subspan(9, 4));
+  if (wire.size() != 13 + static_cast<std::size_t>(length)) {
+    throw std::runtime_error("decode_message: length mismatch");
+  }
+  message.payload.assign(wire.begin() + 13, wire.end());
+  return message;
+}
+
+std::string message_type_name(MessageType type) {
+  switch (type) {
+    case MessageType::kAuthRequest: return "auth-request";
+    case MessageType::kAuthResponse: return "auth-response";
+    case MessageType::kAuthConfirm: return "auth-confirm";
+    case MessageType::kAttestRequest: return "attest-request";
+    case MessageType::kAttestReport: return "attest-report";
+    case MessageType::kEkeClientHello: return "eke-client-hello";
+    case MessageType::kEkeServerHello: return "eke-server-hello";
+    case MessageType::kEkeClientConfirm: return "eke-client-confirm";
+    case MessageType::kEkeServerConfirm: return "eke-server-confirm";
+    case MessageType::kData: return "data";
+    case MessageType::kError: return "error";
+  }
+  return "unknown";
+}
+
+}  // namespace neuropuls::net

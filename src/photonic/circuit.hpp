@@ -1,0 +1,116 @@
+// The passive scrambling circuit of Fig. 2.
+//
+// A multi-port interferometric mesh: alternating brick-wall layers of 2x2
+// directional couplers (splitting the beam across paths), per-port
+// waveguide sections of designed-pseudo-random length (relative phase),
+// and per-port all-pass microrings (wavelength selectivity + memory).
+// "The passive PUF architecture section separates the initial light beam
+// in several different paths and scrambles them before the output. No
+// active devices are present."
+//
+// The *design* is fixed by a design seed (identical for every device of a
+// production run); the *device fingerprint* comes from the
+// FabricationModel deviations layered on top — exactly the split between
+// mask and process that makes a PUF unclonable-by-manufacturer.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "photonic/components.hpp"
+#include "photonic/ring.hpp"
+
+namespace neuropuls::photonic {
+
+struct ScramblerDesign {
+  std::size_t ports = 8;
+  std::size_t layers = 6;
+  std::uint64_t design_seed = 0x4e455552'4f50554cULL;  // "NEUROPUL"
+  // Deliberately long (spiralled) sections: with sigma(n_eff) ~ 4e-4 a
+  // millimetre of waveguide accumulates a phase deviation of order pi, so
+  // the interference pattern decorrelates completely between devices —
+  // the layout choice that pushes inter-device HD to 50%.
+  double waveguide_min_length = 0.5e-3;  // metres
+  double waveguide_max_length = 2.5e-3;  // metres
+  double ring_radius_min = 8e-6;
+  double ring_radius_max = 12e-6;
+  double coupler_ratio = 0.5;
+  double loss_db_per_cm = 2.0;
+  bool with_rings = true;  // disable for a memoryless (pure-mesh) ablation
+};
+
+/// One device instance of the scrambler: nominal design + this device's
+/// fabrication deviations baked in.
+class ScramblerCircuit {
+ public:
+  ScramblerCircuit(const ScramblerDesign& design,
+                   const FabricationModel& fabrication);
+
+  std::size_t ports() const noexcept { return design_.ports; }
+  std::size_t layers() const noexcept { return design_.layers; }
+
+  /// Steady-state frequency-domain evaluation: input amplitudes to output
+  /// amplitudes at the operating point.
+  /// Throws std::invalid_argument when input size != ports().
+  PortVector evaluate(const OperatingPoint& op, const PortVector& in) const;
+
+  /// The input fan-out tree of Fig. 2 ("separates the initial light beam
+  /// in several different paths"): per-port complex coefficients that
+  /// distribute a single source field across all ports, each path with a
+  /// designed-random length and this device's fabrication deviation.
+  PortVector input_coefficients(const OperatingPoint& op) const;
+
+  /// Sum over layers of ring round-trip delays on the longest path — a
+  /// bound on how long energy lingers in the circuit (the "< 100 ns"
+  /// response-lifetime argument of §IV).
+  double memory_depth_seconds() const noexcept;
+
+  const ScramblerDesign& design() const noexcept { return design_; }
+  const std::vector<std::vector<MicroringAllPass>>& rings() const noexcept {
+    return rings_;
+  }
+
+ private:
+  friend class TimeDomainScrambler;
+
+  ScramblerDesign design_;
+  // Input fan-out paths, one per port.
+  std::vector<Waveguide> input_taps_;
+  // [layer][pair] couplers; [layer][port] waveguides and rings.
+  std::vector<std::vector<DirectionalCoupler>> couplers_;
+  std::vector<std::vector<Waveguide>> waveguides_;
+  std::vector<std::vector<MicroringAllPass>> rings_;
+};
+
+/// Sample-clocked evaluation of a ScramblerCircuit: the modulated challenge
+/// stream flows through the mesh while the rings integrate state, so each
+/// output sample depends on past input symbols (reservoir-style mixing).
+class TimeDomainScrambler {
+ public:
+  /// Freezes the static transfer constants at `op` and builds per-ring
+  /// delay lines for the given sample period.
+  TimeDomainScrambler(const ScramblerCircuit& circuit, const OperatingPoint& op,
+                      double sample_period_s);
+
+  /// Processes one time step: `in` has one sample per port.
+  PortVector step(const PortVector& in);
+
+  /// Streams a single-port input (port 0 driven, others dark) and returns
+  /// per-port output sample streams.
+  std::vector<std::vector<Complex>> run(const std::vector<Complex>& port0_in);
+
+  void reset() noexcept;
+
+  std::size_t ports() const noexcept { return ports_; }
+
+ private:
+  std::size_t ports_;
+  std::size_t layers_;
+  bool with_rings_;
+  // Precomputed static constants.
+  std::vector<std::vector<std::array<double, 2>>> coupler_tk_;  // {t, k}
+  std::vector<std::vector<Complex>> waveguide_transfer_;
+  std::vector<std::vector<RingTimeDomain>> ring_states_;
+};
+
+}  // namespace neuropuls::photonic

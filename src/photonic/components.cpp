@@ -1,0 +1,104 @@
+#include "photonic/components.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace neuropuls::photonic {
+
+Waveguide::Waveguide(double length, double loss_db_per_cm,
+                     double effective_index, double group_index)
+    : length_(length),
+      loss_db_per_cm_(loss_db_per_cm),
+      effective_index_(effective_index),
+      group_index_(group_index) {
+  if (length < 0.0) {
+    throw std::invalid_argument("Waveguide: negative length");
+  }
+}
+
+void Waveguide::apply(const ComponentDeviation& deviation) noexcept {
+  effective_index_ += deviation.d_effective_index;
+  group_index_ += deviation.d_group_index;
+  loss_db_per_cm_ = std::max(0.0, loss_db_per_cm_ + deviation.d_loss_db);
+}
+
+Complex Waveguide::transfer(const OperatingPoint& op) const noexcept {
+  const double n_eff =
+      effective_index_ +
+      kSiliconThermoOptic * (op.temperature - kReferenceTemperature);
+  const double beta = 2.0 * std::numbers::pi * n_eff / op.wavelength;
+  const double loss_db_total = loss_db_per_cm_ * (length_ * 100.0);
+  return std::polar(db_to_field_factor(loss_db_total), -beta * length_);
+}
+
+double Waveguide::group_delay() const noexcept {
+  return group_index_ * length_ / kSpeedOfLight;
+}
+
+DirectionalCoupler::DirectionalCoupler(double power_coupling_ratio)
+    : kappa2_(power_coupling_ratio) {
+  if (kappa2_ <= 0.0 || kappa2_ >= 1.0) {
+    throw std::invalid_argument(
+        "DirectionalCoupler: coupling ratio must be in (0, 1)");
+  }
+}
+
+void DirectionalCoupler::apply(const ComponentDeviation& deviation) noexcept {
+  kappa2_ = std::clamp(kappa2_ + deviation.d_coupling_ratio, 1e-4, 1.0 - 1e-4);
+}
+
+std::array<Complex, 2> DirectionalCoupler::couple(Complex in0,
+                                                  Complex in1) const noexcept {
+  const double through = std::sqrt(1.0 - kappa2_);
+  const Complex cross(0.0, -std::sqrt(kappa2_));
+  return {through * in0 + cross * in1, cross * in0 + through * in1};
+}
+
+YSplitter::YSplitter(double excess_loss_db) : excess_loss_db_(excess_loss_db) {
+  if (excess_loss_db < 0.0) {
+    throw std::invalid_argument("YSplitter: negative excess loss");
+  }
+}
+
+void YSplitter::apply(const ComponentDeviation& deviation) noexcept {
+  excess_loss_db_ = std::max(0.0, excess_loss_db_ + deviation.d_loss_db);
+}
+
+std::array<Complex, 2> YSplitter::split(Complex in) const noexcept {
+  const double amp = db_to_field_factor(excess_loss_db_) / std::sqrt(2.0);
+  return {amp * in, amp * in};
+}
+
+MachZehnder::MachZehnder(double arm_length_a, double arm_length_b,
+                         double coupling_in, double coupling_out,
+                         double loss_db_per_cm)
+    : input_coupler_(coupling_in),
+      output_coupler_(coupling_out),
+      arm_a_(arm_length_a, loss_db_per_cm),
+      arm_b_(arm_length_b, loss_db_per_cm) {}
+
+void MachZehnder::apply(const ComponentDeviation& deviation) noexcept {
+  input_coupler_.apply(deviation);
+  // Anti-correlated arm perturbation: the differential index error is what
+  // shifts the interference fringe.
+  ComponentDeviation arm_dev = deviation;
+  arm_a_.apply(arm_dev);
+  arm_dev.d_effective_index = -arm_dev.d_effective_index;
+  arm_b_.apply(arm_dev);
+  ComponentDeviation out_dev = deviation;
+  out_dev.d_coupling_ratio = -out_dev.d_coupling_ratio / 2.0;
+  output_coupler_.apply(out_dev);
+}
+
+std::array<Complex, 2> MachZehnder::transfer(const OperatingPoint& op,
+                                             Complex in0,
+                                             Complex in1) const noexcept {
+  const auto mid = input_coupler_.couple(in0, in1);
+  const Complex a = mid[0] * arm_a_.transfer(op);
+  const Complex b = mid[1] * arm_b_.transfer(op);
+  return output_coupler_.couple(a, b);
+}
+
+}  // namespace neuropuls::photonic

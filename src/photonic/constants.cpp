@@ -1,0 +1,16 @@
+#include "photonic/constants.hpp"
+
+#include <cmath>
+
+namespace neuropuls::photonic {
+
+double db_to_field_factor(double loss_db) {
+  // Power factor 10^(-dB/10); field is its square root.
+  return std::pow(10.0, -loss_db / 20.0);
+}
+
+double power_ratio_to_db(double ratio) {
+  return 10.0 * std::log10(ratio);
+}
+
+}  // namespace neuropuls::photonic

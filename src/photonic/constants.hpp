@@ -1,0 +1,36 @@
+// Physical constants and silicon-photonics material parameters used by the
+// component models. Values are SI unless the name says otherwise.
+#pragma once
+
+namespace neuropuls::photonic {
+
+inline constexpr double kSpeedOfLight = 2.99792458e8;      // m/s
+inline constexpr double kElectronCharge = 1.602176634e-19; // C
+inline constexpr double kBoltzmann = 1.380649e-23;         // J/K
+inline constexpr double kPlanck = 6.62607015e-34;          // J*s
+
+/// Thermo-optic coefficient of silicon at 1550 nm (dn/dT, 1/K).
+/// This is what makes uncompensated ring resonances drift with
+/// temperature — the reliability hazard §II-B mitigates with photonic
+/// temperature sensors and thermal control.
+inline constexpr double kSiliconThermoOptic = 1.86e-4;
+
+/// Typical group index of a 500x220 nm SOI strip waveguide at 1550 nm.
+inline constexpr double kSoiGroupIndex = 4.2;
+
+/// Typical effective index of the same waveguide.
+inline constexpr double kSoiEffectiveIndex = 2.4;
+
+/// Default telecom wavelength (C-band), metres.
+inline constexpr double kDefaultWavelength = 1.55e-6;
+
+/// Reference (design) temperature, kelvin.
+inline constexpr double kReferenceTemperature = 300.0;
+
+/// Converts a loss figure in dB to a linear field (amplitude) factor.
+double db_to_field_factor(double loss_db);
+
+/// Converts a power ratio to dB.
+double power_ratio_to_db(double ratio);
+
+}  // namespace neuropuls::photonic

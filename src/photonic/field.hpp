@@ -1,0 +1,31 @@
+// Optical field representation.
+//
+// The coherent simulation tracks one complex amplitude per port per sample:
+// |E|^2 is optical power in watts, arg(E) the optical phase. The paper's
+// central physical claim (§II-A) is that photonic PUFs manipulate
+// information in amplitude *and* phase — so the entire pipeline below is
+// complex-valued and only the photodiode (square-law) collapses phase into
+// intensity.
+#pragma once
+
+#include <complex>
+#include <vector>
+
+namespace neuropuls::photonic {
+
+using Complex = std::complex<double>;
+
+/// One complex amplitude per physical port of a circuit section.
+using PortVector = std::vector<Complex>;
+
+/// Optical power (W) carried by a field amplitude.
+inline double field_power(Complex e) noexcept { return std::norm(e); }
+
+/// Total power across ports.
+inline double total_power(const PortVector& fields) noexcept {
+  double p = 0.0;
+  for (const auto& e : fields) p += std::norm(e);
+  return p;
+}
+
+}  // namespace neuropuls::photonic

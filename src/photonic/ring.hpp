@@ -1,0 +1,112 @@
+// Microring resonators — frequency-domain transfer and time-domain memory.
+//
+// The PUF architecture the consortium demonstrated (§II-A, ref. [12]) is a
+// symmetric microring-resonator array: rings are the components whose
+// resonance positions are exquisitely sensitive to fabrication (one
+// nanometre of radius error detunes a resonance by tens of picometres),
+// giving the device its fingerprint; and because a ring stores circulating
+// energy for many round trips, it provides the "memory effects … mixing
+// incoming signals in time with previous ones, similarly to what happens
+// in reservoir computing" that the paper highlights.
+//
+// Two views of the same physics:
+//   * `through()` / `drop()` — steady-state frequency response, used for
+//     spectral PUF readout and the thermal-sensitivity experiments;
+//   * `RingTimeDomain` — a sample-clocked recirculating delay model, used
+//     when the modulated challenge stream (25 Gb/s in ref. [12]) must
+//     interact with the ring's stored state.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "photonic/components.hpp"
+
+namespace neuropuls::photonic {
+
+/// Geometry + coupling description of one ring.
+struct RingParameters {
+  double radius = 10e-6;             // metres
+  double power_coupling_in = 0.1;    // kappa^2 at the input bus
+  double power_coupling_drop = 0.1;  // kappa^2 at the drop bus (add-drop)
+  double loss_db_per_cm = 3.0;       // bend + scattering loss
+  double effective_index = kSoiEffectiveIndex;
+  double group_index = kSoiGroupIndex;
+};
+
+/// All-pass (single-bus) microring.
+class MicroringAllPass {
+ public:
+  explicit MicroringAllPass(RingParameters params = {});
+
+  void apply(const ComponentDeviation& deviation) noexcept;
+
+  /// Complex through-port transfer at the operating point:
+  ///   H = (t - a e^{-i phi}) / (1 - t a e^{-i phi})
+  Complex through(const OperatingPoint& op) const noexcept;
+
+  /// Round-trip phase at the operating point (radians, mod nothing).
+  double round_trip_phase(const OperatingPoint& op) const noexcept;
+
+  /// Single round-trip field attenuation a in (0, 1].
+  double round_trip_amplitude() const noexcept;
+
+  /// Round-trip (group) delay in seconds.
+  double round_trip_delay() const noexcept;
+
+  const RingParameters& params() const noexcept { return params_; }
+
+ private:
+  RingParameters params_;
+};
+
+/// Add-drop (two-bus) microring with through and drop responses.
+class MicroringAddDrop {
+ public:
+  explicit MicroringAddDrop(RingParameters params = {});
+
+  void apply(const ComponentDeviation& deviation) noexcept;
+
+  Complex through(const OperatingPoint& op) const noexcept;
+  Complex drop(const OperatingPoint& op) const noexcept;
+
+  const RingParameters& params() const noexcept { return params_; }
+
+ private:
+  double round_trip_phase(const OperatingPoint& op) const noexcept;
+  RingParameters params_;
+};
+
+/// Time-domain all-pass ring clocked at the modulation sample rate.
+///
+/// The ring circumference maps to `delay_samples` of the input stream
+/// (>= 1). Update per sample n:
+///   out[n]      = t * in[n] - i k * ret[n]
+///   circ[n]     = -i k * in[n] + t * ret[n]
+///   ret[n]      = a * e^{-i phi} * circ[n - delay]
+/// so past symbols persist in the circulating field — the reservoir-style
+/// inter-symbol mixing the PUF exploits.
+class RingTimeDomain {
+ public:
+  /// `sample_period` is the modulation sample duration (s); the delay in
+  /// samples is round_trip_delay / sample_period, floored, min 1.
+  RingTimeDomain(const MicroringAllPass& ring, const OperatingPoint& op,
+                 double sample_period);
+
+  /// Processes one input sample, returns the through-port sample.
+  Complex step(Complex in) noexcept;
+
+  /// Clears the circulating state.
+  void reset() noexcept;
+
+  std::size_t delay_samples() const noexcept { return delay_line_.size(); }
+
+ private:
+  double t_;          // through amplitude sqrt(1 - kappa^2)
+  double k_;          // cross amplitude sqrt(kappa^2)
+  Complex feedback_;  // a * e^{-i phi}
+  std::vector<Complex> delay_line_;
+  std::size_t head_ = 0;
+};
+
+}  // namespace neuropuls::photonic

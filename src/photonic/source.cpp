@@ -1,0 +1,78 @@
+#include "photonic/source.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "photonic/constants.hpp"
+
+namespace neuropuls::photonic {
+
+Laser::Laser(LaserParameters params, double sample_rate_hz, std::uint64_t seed)
+    : params_(params), sample_rate_hz_(sample_rate_hz), noise_(seed) {
+  if (sample_rate_hz <= 0.0 || params.power_mw <= 0.0) {
+    throw std::invalid_argument("Laser: power and sample rate must be > 0");
+  }
+  // RIN: relative power variance = 10^(RIN/10) * bandwidth; amplitude
+  // deviation is half the relative power deviation.
+  const double rel_power_var =
+      std::pow(10.0, params_.rin_db_per_hz / 10.0) * sample_rate_hz;
+  rin_sigma_ = 0.5 * std::sqrt(rel_power_var);
+  // Wiener phase noise: variance per step = 2 pi * linewidth * dt.
+  phase_sigma_ =
+      std::sqrt(2.0 * std::numbers::pi * params_.linewidth_hz / sample_rate_hz);
+}
+
+double Laser::mean_amplitude() const noexcept {
+  return std::sqrt(params_.power_mw * 1e-3);
+}
+
+Complex Laser::sample() noexcept {
+  phase_ += noise_.next(0.0, phase_sigma_);
+  // Keep the accumulated phase bounded; only its value mod 2pi matters.
+  if (phase_ > 1e6) phase_ = std::fmod(phase_, 2.0 * std::numbers::pi);
+  const double amplitude =
+      mean_amplitude() * (1.0 + noise_.next(0.0, rin_sigma_));
+  return std::polar(amplitude, phase_);
+}
+
+MachZehnderModulator::MachZehnderModulator(ModulatorParameters params)
+    : params_(params) {
+  if (params_.bandwidth_fraction <= 0.0 || params_.bandwidth_fraction > 1.0) {
+    throw std::invalid_argument(
+        "MachZehnderModulator: bandwidth fraction must be in (0, 1]");
+  }
+  // One-pole low-pass: alpha = 1 - exp(-2 pi f_3dB / f_s).
+  alpha_ = 1.0 - std::exp(-2.0 * std::numbers::pi * params_.bandwidth_fraction);
+  floor_amp_ = db_to_field_factor(params_.extinction_ratio_db);
+  loss_amp_ = db_to_field_factor(params_.insertion_loss_db);
+}
+
+Complex MachZehnderModulator::modulate(Complex carrier, bool bit) noexcept {
+  const double target = bit ? 1.0 : 0.0;
+  drive_ += alpha_ * (target - drive_);
+  // Field amplitude interpolates between the extinction floor and 1.
+  const double amp = floor_amp_ + (1.0 - floor_amp_) * drive_;
+  Complex out = carrier * loss_amp_ * amp;
+  if (params_.phase_modulation) {
+    // Chirp-free push-pull would be 0/pi; a filtered drive gives a
+    // proportional phase swing.
+    out *= std::polar(1.0, std::numbers::pi * drive_);
+  }
+  return out;
+}
+
+std::vector<Complex> modulate_bits(Laser& laser, MachZehnderModulator& mzm,
+                                   const std::vector<std::uint8_t>& bits,
+                                   std::size_t samples_per_bit) {
+  std::vector<Complex> out;
+  out.reserve(bits.size() * samples_per_bit);
+  for (std::uint8_t bit : bits) {
+    for (std::size_t s = 0; s < samples_per_bit; ++s) {
+      out.push_back(mzm.modulate(laser.sample(), bit & 1));
+    }
+  }
+  return out;
+}
+
+}  // namespace neuropuls::photonic

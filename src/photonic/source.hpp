@@ -1,0 +1,83 @@
+// Optical source chain: CW telecom laser + Mach–Zehnder modulator.
+//
+// Fig. 2: "a telecom laser source that is modulated by means of an optical
+// modulator (OM) driven by an ASIC". The laser model contributes relative
+// intensity noise (RIN) and phase-noise random walk; the MZM imprints the
+// challenge bit stream onto the field with finite extinction ratio and a
+// one-pole electrical bandwidth (the 25 Gb/s figure of ref. [12] maps to
+// the sample rate chosen by the caller).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "crypto/prng.hpp"
+#include "photonic/field.hpp"
+
+namespace neuropuls::photonic {
+
+struct LaserParameters {
+  double power_mw = 10.0;        // CW output power, milliwatts
+  double rin_db_per_hz = -150.0; // relative intensity noise density
+  double linewidth_hz = 100e3;   // Lorentzian linewidth (phase noise)
+  double wavelength = 1.55e-6;
+};
+
+/// CW laser emitting one sample per step at the given sample rate.
+class Laser {
+ public:
+  Laser(LaserParameters params, double sample_rate_hz, std::uint64_t seed);
+
+  /// Next field sample (includes RIN and phase-noise walk).
+  Complex sample() noexcept;
+
+  /// Noise-free carrier amplitude (sqrt of power in watts).
+  double mean_amplitude() const noexcept;
+
+  const LaserParameters& params() const noexcept { return params_; }
+
+ private:
+  LaserParameters params_;
+  double sample_rate_hz_;
+  double rin_sigma_;    // per-sample relative amplitude deviation
+  double phase_sigma_;  // per-sample phase-walk step
+  double phase_ = 0.0;
+  rng::Gaussian noise_;
+};
+
+struct ModulatorParameters {
+  double extinction_ratio_db = 20.0;  // on/off power ratio
+  double insertion_loss_db = 4.0;
+  double bandwidth_fraction = 0.7;    // electrical BW / sample rate
+  bool phase_modulation = false;      // also imprint 0/pi phase per bit
+};
+
+/// Mach–Zehnder amplitude modulator driven by a binary stream.
+class MachZehnderModulator {
+ public:
+  explicit MachZehnderModulator(ModulatorParameters params = {});
+
+  /// Modulates one optical sample with the target bit. The drive voltage
+  /// passes through a one-pole low-pass, so fast bit sequences produce
+  /// realistic inter-symbol transitions.
+  Complex modulate(Complex carrier, bool bit) noexcept;
+
+  void reset() noexcept { drive_ = 0.0; }
+
+  const ModulatorParameters& params() const noexcept { return params_; }
+
+ private:
+  ModulatorParameters params_;
+  double alpha_;        // low-pass coefficient
+  double drive_ = 0.0;  // filtered drive level in [0, 1]
+  double floor_amp_;    // field amplitude at "off" (finite extinction)
+  double loss_amp_;     // insertion-loss field factor
+};
+
+/// Convenience: modulates a whole challenge bit string onto a fresh
+/// carrier stream, `samples_per_bit` samples per bit.
+std::vector<Complex> modulate_bits(Laser& laser, MachZehnderModulator& mzm,
+                                   const std::vector<std::uint8_t>& bits,
+                                   std::size_t samples_per_bit);
+
+}  // namespace neuropuls::photonic

@@ -1,0 +1,73 @@
+// Fabrication-variation model.
+//
+// A PUF exists *because* nominally identical chips differ: nanometre-scale
+// linewidth and thickness deviations shift every waveguide's effective
+// index, every coupler's splitting ratio, and every ring's resonance.
+// This model turns a (wafer seed, device index, component index) triple
+// into deterministic Gaussian deviations, so:
+//   - the same simulated device always re-manufactures identically,
+//   - distinct devices get independent variations (inter-device HD ~ 50%),
+//   - experiments can sweep process corners by scaling sigma.
+//
+// Magnitudes follow published SOI numbers: effective-index sigma of a few
+// 1e-4 (equivalent to ~1 nm linewidth control), coupling-ratio sigma of a
+// few percent, loss sigma fractions of a dB.
+#pragma once
+
+#include <cstdint>
+
+#include "crypto/prng.hpp"
+
+namespace neuropuls::photonic {
+
+/// Process-corner description: standard deviations of each perturbed
+/// physical parameter.
+struct VariationSigmas {
+  double effective_index = 4e-4;   // absolute dn
+  double group_index = 2e-3;       // absolute dn_g
+  double coupling_ratio = 0.02;    // absolute d(kappa^2), clamped to (0,1)
+  double loss_db = 0.1;            // dB deviation of per-element loss
+  double ring_radius_fraction = 5e-4;  // relative radius error
+};
+
+/// Deviations applied to one concrete component instance.
+struct ComponentDeviation {
+  double d_effective_index = 0.0;
+  double d_group_index = 0.0;
+  double d_coupling_ratio = 0.0;
+  double d_loss_db = 0.0;
+  double d_radius_fraction = 0.0;
+};
+
+/// Deterministic per-device variation sampler.
+class FabricationModel {
+ public:
+  FabricationModel(std::uint64_t wafer_seed, std::uint64_t device_index,
+                   VariationSigmas sigmas = {})
+      : wafer_seed_(wafer_seed), device_index_(device_index), sigmas_(sigmas) {}
+
+  /// Deviations for component `component_index` of this device. Stable
+  /// across calls (re-derives the same stream each time).
+  ComponentDeviation sample(std::uint64_t component_index) const {
+    const std::uint64_t device_root =
+        rng::derive_seed(wafer_seed_, device_index_);
+    rng::Gaussian g(rng::derive_seed(device_root, component_index));
+    ComponentDeviation d;
+    d.d_effective_index = g.next(0.0, sigmas_.effective_index);
+    d.d_group_index = g.next(0.0, sigmas_.group_index);
+    d.d_coupling_ratio = g.next(0.0, sigmas_.coupling_ratio);
+    d.d_loss_db = g.next(0.0, sigmas_.loss_db);
+    d.d_radius_fraction = g.next(0.0, sigmas_.ring_radius_fraction);
+    return d;
+  }
+
+  std::uint64_t device_index() const noexcept { return device_index_; }
+  const VariationSigmas& sigmas() const noexcept { return sigmas_; }
+
+ private:
+  std::uint64_t wafer_seed_;
+  std::uint64_t device_index_;
+  VariationSigmas sigmas_;
+};
+
+}  // namespace neuropuls::photonic

@@ -1,0 +1,75 @@
+#include "puf/arbiter_puf.hpp"
+
+#include <stdexcept>
+
+namespace neuropuls::puf {
+
+ArbiterPuf::ArbiterPuf(ArbiterPufConfig config, std::uint64_t device_seed)
+    : config_(config), noise_(rng::derive_seed(device_seed, 0x77)) {
+  if (config_.stages == 0 || config_.stages % 8 != 0) {
+    throw std::invalid_argument(
+        "ArbiterPuf: stages must be a positive multiple of 8");
+  }
+  if (config_.xor_chains == 0) {
+    throw std::invalid_argument("ArbiterPuf: xor_chains must be >= 1");
+  }
+  weights_.resize(config_.xor_chains);
+  for (std::size_t chain = 0; chain < config_.xor_chains; ++chain) {
+    rng::Gaussian g(rng::derive_seed(device_seed, 0x100 + chain));
+    weights_[chain].reserve(config_.stages + 1);
+    for (std::size_t s = 0; s <= config_.stages; ++s) {
+      weights_[chain].push_back(g.next(0.0, config_.delay_sigma));
+    }
+  }
+}
+
+std::vector<double> ArbiterPuf::parity_features(
+    const Challenge& challenge) const {
+  if (challenge.size() != challenge_bytes()) {
+    throw std::invalid_argument("ArbiterPuf: wrong challenge size");
+  }
+  // phi_i = prod_{j >= i} (1 - 2 c_j); computed right to left.
+  std::vector<double> phi(config_.stages + 1);
+  phi[config_.stages] = 1.0;  // bias feature
+  double acc = 1.0;
+  for (std::size_t i = config_.stages; i-- > 0;) {
+    const int bit = (challenge[i / 8] >> (7 - i % 8)) & 1;
+    acc *= (bit ? -1.0 : 1.0);
+    phi[i] = acc;
+  }
+  return phi;
+}
+
+double ArbiterPuf::delay_difference(std::size_t chain,
+                                    const Challenge& challenge) const {
+  if (chain >= config_.xor_chains) {
+    throw std::invalid_argument("ArbiterPuf: chain index out of range");
+  }
+  const auto phi = parity_features(challenge);
+  double delta = 0.0;
+  for (std::size_t i = 0; i <= config_.stages; ++i) {
+    delta += weights_[chain][i] * phi[i];
+  }
+  return delta;
+}
+
+Response ArbiterPuf::evaluate(const Challenge& challenge) {
+  unsigned bit = 0;
+  for (std::size_t chain = 0; chain < config_.xor_chains; ++chain) {
+    const double delta = delay_difference(chain, challenge) +
+                         noise_.next(0.0, config_.noise_sigma);
+    bit ^= (delta > 0.0) ? 1u : 0u;
+  }
+  // MSB-first convention: the single response bit lives at bit 7.
+  return Response{static_cast<std::uint8_t>(bit << 7)};
+}
+
+Response ArbiterPuf::evaluate_noiseless(const Challenge& challenge) const {
+  unsigned bit = 0;
+  for (std::size_t chain = 0; chain < config_.xor_chains; ++chain) {
+    bit ^= (delay_difference(chain, challenge) > 0.0) ? 1u : 0u;
+  }
+  return Response{static_cast<std::uint8_t>(bit << 7)};
+}
+
+}  // namespace neuropuls::puf

@@ -1,0 +1,66 @@
+// Arbiter PUF (and XOR-arbiter variant) — the strong-PUF electronic
+// baseline that machine-learning attacks famously break (§IV, ref. [28]).
+//
+// Standard additive delay model: an n-stage chain where challenge bit c_i
+// selects straight/crossed paths; the final delay difference is a linear
+// function of per-stage delay mismatches over the *parity feature vector*
+//   phi_i = prod_{j>=i} (1 - 2 c_j),
+// and the response is its sign. Because the model is linear in phi,
+// logistic regression learns it from a few thousand CRPs — the attack
+// implemented in `src/attacks/ml_attack.hpp` and the foil against which
+// the photonic PUF's resistance is measured (experiment E6).
+//
+// The XOR variant evaluates k independent chains and XORs their sign bits,
+// the classical (and still ultimately breakable) hardening.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "crypto/prng.hpp"
+#include "puf/puf.hpp"
+
+namespace neuropuls::puf {
+
+struct ArbiterPufConfig {
+  std::size_t stages = 64;
+  double delay_sigma = 1.0;    // per-stage mismatch spread (a.u.)
+  double noise_sigma = 0.02;   // per-evaluation arbiter noise
+  std::size_t xor_chains = 1;  // 1 = plain arbiter
+};
+
+class ArbiterPuf final : public Puf {
+ public:
+  ArbiterPuf(ArbiterPufConfig config, std::uint64_t device_seed);
+
+  /// Challenge: stages/8 bytes; response: 1 byte (LSB).
+  std::size_t challenge_bytes() const override {
+    return (config_.stages + 7) / 8;
+  }
+  std::size_t response_bytes() const override { return 1; }
+
+  Response evaluate(const Challenge& challenge) override;
+  Response evaluate_noiseless(const Challenge& challenge) const override;
+  std::string name() const override {
+    return config_.xor_chains > 1 ? "xor-arbiter-puf" : "arbiter-puf";
+  }
+
+  /// The analog delay difference of chain `chain` for a challenge —
+  /// exposed for the side-channel experiments (§IV: power/timing
+  /// side channels on electronic PUFs).
+  double delay_difference(std::size_t chain,
+                          const Challenge& challenge) const;
+
+  std::size_t stages() const noexcept { return config_.stages; }
+  std::size_t xor_chains() const noexcept { return config_.xor_chains; }
+
+ private:
+  std::vector<double> parity_features(const Challenge& challenge) const;
+
+  ArbiterPufConfig config_;
+  // weights_[chain][stage] plus a bias term at index `stages`.
+  std::vector<std::vector<double>> weights_;
+  rng::Gaussian noise_;
+};
+
+}  // namespace neuropuls::puf

@@ -1,0 +1,44 @@
+#include "puf/crp_db.hpp"
+
+#include "crypto/chacha20.hpp"
+
+namespace neuropuls::puf {
+
+void CrpDatabase::enroll(Puf& puf, std::size_t count, crypto::ChaChaDrbg& rng,
+                         unsigned readings) {
+  for (std::size_t i = 0; i < count; ++i) {
+    Crp crp;
+    crp.challenge = rng.generate(puf.challenge_bytes());
+    crp.response = enroll_majority(puf, crp.challenge, readings | 1);
+    insert(std::move(crp));
+  }
+}
+
+void CrpDatabase::insert(Crp crp) {
+  index_[crypto::to_hex(crp.challenge)] = entries_.size();
+  entries_.push_back(std::move(crp));
+}
+
+std::optional<Crp> CrpDatabase::take() {
+  if (entries_.empty()) return std::nullopt;
+  Crp crp = std::move(entries_.back());
+  entries_.pop_back();
+  index_.erase(crypto::to_hex(crp.challenge));
+  return crp;
+}
+
+std::optional<Response> CrpDatabase::lookup(const Challenge& challenge) const {
+  const auto it = index_.find(crypto::to_hex(challenge));
+  if (it == index_.end()) return std::nullopt;
+  return entries_[it->second].response;
+}
+
+std::size_t CrpDatabase::storage_bytes() const noexcept {
+  std::size_t total = 0;
+  for (const auto& crp : entries_) {
+    total += crp.challenge.size() + crp.response.size();
+  }
+  return total;
+}
+
+}  // namespace neuropuls::puf

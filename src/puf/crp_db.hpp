@@ -1,0 +1,57 @@
+// Challenge–response-pair database — the verifier-side storage of the
+// classical Suh/Devadas authentication scheme (§III-A's baseline).
+//
+// The paper's argument for HSC-IoT is scalability: "existing strategies
+// require the Verifier to store a large database of CRPs for each device
+// ... this protocol only needs one CRP to be known by the Verifier at any
+// point." This class implements the heavyweight baseline so that
+// `bench/bench_auth` can measure the storage/lookup gap quantitatively,
+// including one-time-use semantics (each CRP is consumed at
+// authentication to prevent replay).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "crypto/chacha20.hpp"
+#include "puf/puf.hpp"
+
+namespace neuropuls::puf {
+
+struct Crp {
+  Challenge challenge;
+  Response response;
+};
+
+class CrpDatabase {
+ public:
+  /// Enrolls `count` CRPs by driving the PUF with challenges from `rng`.
+  /// Each response is majority-voted over `readings` evaluations.
+  void enroll(Puf& puf, std::size_t count, crypto::ChaChaDrbg& rng,
+              unsigned readings = 5);
+
+  /// Inserts one externally produced CRP.
+  void insert(Crp crp);
+
+  /// Pops an unused CRP for an authentication round (one-time use).
+  /// Returns std::nullopt when the database is exhausted — the classic
+  /// operational limit of CRP-database schemes.
+  std::optional<Crp> take();
+
+  /// Looks up the enrolled response for a challenge without consuming it.
+  std::optional<Response> lookup(const Challenge& challenge) const;
+
+  std::size_t size() const noexcept { return entries_.size(); }
+  bool empty() const noexcept { return entries_.empty(); }
+
+  /// Verifier storage footprint in bytes (challenges + responses).
+  std::size_t storage_bytes() const noexcept;
+
+ private:
+  std::vector<Crp> entries_;
+  std::unordered_map<std::string, std::size_t> index_;  // hex(challenge) -> i
+};
+
+}  // namespace neuropuls::puf

@@ -1,0 +1,210 @@
+#include "puf/photonic_puf.hpp"
+
+#include "crypto/chacha20.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace neuropuls::puf {
+
+using photonic::Complex;
+using photonic::OperatingPoint;
+
+PhotonicPuf::PhotonicPuf(PhotonicPufConfig config, std::uint64_t wafer_seed,
+                         std::uint64_t device_index)
+    : config_(config),
+      circuit_(config.design,
+               photonic::FabricationModel(wafer_seed, device_index,
+                                          config.variation)),
+      device_seed_(rng::derive_seed(wafer_seed, device_index)) {
+  if (config_.challenge_bits == 0 || config_.challenge_bits % 8 != 0) {
+    throw std::invalid_argument(
+        "PhotonicPuf: challenge_bits must be a positive multiple of 8");
+  }
+  if (config_.design.ports % 2 != 0 || config_.design.ports < 2) {
+    throw std::invalid_argument("PhotonicPuf: ports must be even");
+  }
+  if ((config_.challenge_bits * (config_.design.ports / 2)) % 8 != 0) {
+    throw std::invalid_argument("PhotonicPuf: response bits not byte-aligned");
+  }
+  if (config_.samples_per_bit == 0 || config_.sample_rate_hz <= 0.0) {
+    throw std::invalid_argument("PhotonicPuf: bad sampling parameters");
+  }
+  calibrate();
+}
+
+void PhotonicPuf::calibrate() {
+  if (config_.calibration_challenges == 0) return;
+  // Public calibration sequence (identical for every device; the
+  // thresholds themselves are device-specific measurements and live with
+  // the helper data). Medians are taken at the *enrollment* operating
+  // point; later thermal drift moves the margins — the E11 effect.
+  crypto::ChaChaDrbg calib_rng(crypto::bytes_of("np-phot-calib"));
+  std::vector<std::vector<std::vector<double>>> samples;
+  samples.reserve(config_.calibration_challenges);
+  for (std::size_t i = 0; i < config_.calibration_challenges; ++i) {
+    samples.push_back(analog_core(calib_rng.generate(challenge_bytes()),
+                                  false, 0, config_.temperature));
+  }
+  const std::size_t windows = samples.front().size();
+  const std::size_t pairs = samples.front().front().size();
+  thresholds_.assign(windows, std::vector<double>(pairs, 0.0));
+  std::vector<double> slot(samples.size());
+  for (std::size_t w = 0; w < windows; ++w) {
+    for (std::size_t p = 0; p < pairs; ++p) {
+      for (std::size_t i = 0; i < samples.size(); ++i) {
+        slot[i] = samples[i][w][p];
+      }
+      std::nth_element(slot.begin(), slot.begin() + static_cast<std::ptrdiff_t>(slot.size() / 2),
+                       slot.end());
+      thresholds_[w][p] = slot[slot.size() / 2];
+    }
+  }
+}
+
+void PhotonicPuf::subtract_thresholds(
+    std::vector<std::vector<double>>& analog) const {
+  if (thresholds_.empty()) return;
+  for (std::size_t w = 0; w < analog.size(); ++w) {
+    for (std::size_t p = 0; p < analog[w].size(); ++p) {
+      analog[w][p] -= thresholds_[w][p];
+    }
+  }
+}
+
+std::vector<std::vector<double>> PhotonicPuf::analog_core(
+    const Challenge& challenge, bool noisy, std::uint64_t noise_seed,
+    double temperature) const {
+  if (challenge.size() != challenge_bytes()) {
+    throw std::invalid_argument("PhotonicPuf: wrong challenge size");
+  }
+
+  const OperatingPoint op{config_.laser.wavelength, temperature};
+  const double sample_period = 1.0 / config_.sample_rate_hz;
+  const std::size_t ports = config_.design.ports;
+  const std::size_t pairs = ports / 2;
+  const std::size_t spb = config_.samples_per_bit;
+
+  // Source chain. The noiseless path replaces the laser with an ideal
+  // constant carrier but keeps the (deterministic) MZM dynamics.
+  photonic::LaserParameters laser_params = config_.laser;
+  laser_params.power_mw *= config_.laser_power_scale;
+  photonic::Laser laser(laser_params, config_.sample_rate_hz,
+                        rng::derive_seed(noise_seed, 0x11));
+  photonic::MachZehnderModulator mzm(config_.modulator);
+  const double ideal_amp = laser.mean_amplitude();
+
+  photonic::TimeDomainScrambler scrambler(circuit_, op, sample_period);
+  const photonic::PortVector taps = circuit_.input_coefficients(op);
+
+  // Per-port detectors.
+  std::vector<photonic::Photodiode> pds;
+  pds.reserve(ports);
+  for (std::size_t p = 0; p < ports; ++p) {
+    pds.emplace_back(config_.photodiode, rng::derive_seed(noise_seed, 0x20 + p));
+  }
+
+  std::vector<std::vector<double>> analog(
+      config_.challenge_bits, std::vector<double>(pairs, 0.0));
+
+  photonic::PortVector in(ports, Complex{0.0, 0.0});
+  std::vector<double> window_current(ports, 0.0);
+
+  for (std::size_t bit_index = 0; bit_index < config_.challenge_bits;
+       ++bit_index) {
+    const bool bit =
+        (challenge[bit_index / 8] >> (7 - bit_index % 8)) & 1;
+    std::fill(window_current.begin(), window_current.end(), 0.0);
+
+    for (std::size_t s = 0; s < spb; ++s) {
+      const Complex carrier =
+          noisy ? laser.sample() : Complex{ideal_amp, 0.0};
+      const Complex modulated = mzm.modulate(carrier, bit);
+      // Fig. 2: the modulated beam is first split across all paths.
+      for (std::size_t p = 0; p < ports; ++p) in[p] = modulated * taps[p];
+      const auto out = scrambler.step(in);
+      for (std::size_t p = 0; p < ports; ++p) {
+        window_current[p] +=
+            noisy ? pds[p].detect(out[p]) : pds[p].mean_current(out[p]);
+      }
+    }
+
+    for (std::size_t pair = 0; pair < pairs; ++pair) {
+      analog[bit_index][pair] =
+          (window_current[2 * pair] - window_current[2 * pair + 1]) /
+          static_cast<double>(spb);
+    }
+  }
+  return analog;
+}
+
+Response PhotonicPuf::threshold_bits(
+    const std::vector<std::vector<double>>& analog) const {
+  Response out(response_bytes(), 0);
+  std::size_t bit = 0;
+  for (const auto& row : analog) {
+    for (double delta : row) {
+      if (delta > 0.0) {
+        out[bit / 8] |= static_cast<std::uint8_t>(1u << (7 - bit % 8));
+      }
+      ++bit;
+    }
+  }
+  return out;
+}
+
+Response PhotonicPuf::evaluate(const Challenge& challenge) {
+  const std::uint64_t seed = rng::derive_seed(device_seed_, ++eval_counter_);
+  auto margins = analog_core(challenge, /*noisy=*/true, seed,
+                             config_.temperature);
+  subtract_thresholds(margins);
+  return threshold_bits(margins);
+}
+
+Response PhotonicPuf::evaluate_noiseless(const Challenge& challenge) const {
+  auto margins = analog_core(challenge, /*noisy=*/false, 0,
+                             config_.temperature);
+  subtract_thresholds(margins);
+  return threshold_bits(margins);
+}
+
+Response PhotonicPuf::evaluate_noiseless_at(const Challenge& challenge,
+                                            double temperature_kelvin) const {
+  auto margins =
+      analog_core(challenge, /*noisy=*/false, 0, temperature_kelvin);
+  subtract_thresholds(margins);
+  return threshold_bits(margins);
+}
+
+std::vector<std::vector<double>> PhotonicPuf::evaluate_analog(
+    const Challenge& challenge, bool noisy) {
+  const std::uint64_t seed =
+      noisy ? rng::derive_seed(device_seed_, ++eval_counter_) : 0;
+  auto margins = analog_core(challenge, noisy, seed, config_.temperature);
+  subtract_thresholds(margins);
+  return margins;
+}
+
+double PhotonicPuf::response_throughput_bps() const noexcept {
+  const double bits = static_cast<double>(response_bits());
+  return bits / interrogation_time_s();
+}
+
+double PhotonicPuf::interrogation_time_s() const noexcept {
+  const double challenge_duration =
+      static_cast<double>(config_.challenge_bits * config_.samples_per_bit) /
+      config_.sample_rate_hz;
+  return challenge_duration + circuit_.memory_depth_seconds();
+}
+
+PhotonicPufConfig small_photonic_config() {
+  PhotonicPufConfig cfg;
+  cfg.design.ports = 4;
+  cfg.design.layers = 3;
+  cfg.challenge_bits = 16;
+  cfg.calibration_challenges = 31;
+  return cfg;
+}
+
+}  // namespace neuropuls::puf

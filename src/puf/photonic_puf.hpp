@@ -1,0 +1,150 @@
+// The photonic PUF of Fig. 2, end to end.
+//
+// Pipeline per evaluation (matching the figure left to right):
+//   challenge bits -> ASIC drive -> MZM modulates the CW telecom laser
+//   -> passive scrambler mesh (couplers + designed-random waveguides +
+//      microrings with fabrication-unique resonances, time-domain so ring
+//      memory mixes past bits into present ones)
+//   -> photodiode array (square law: amplitude AND phase collapse into
+//      intensity because the paths are coherent)
+//   -> TIA -> ADC -> differential thresholding into response bits.
+//
+// Response format: for each challenge bit window w and each port pair
+// (2p, 2p+1), one bit = [current difference I_{2p} - I_{2p+1}] above that
+// slot's *calibrated threshold*. Differential readout self-references the
+// laser power (the same reason RO PUFs compare oscillator pairs); the
+// per-slot threshold is the median current difference over a public set
+// of calibration challenges, measured once at enrollment — the §II-B
+// "threshold dependent on the amplitude of the photocurrent read at the
+// PD". Calibration removes the static interferometric offset of each
+// port pair, so every response bit is decided by the *challenge-dependent*
+// interference (the pairwise-parity structure that resists linear
+// modelling attacks, cf. Bosworth et al. [29]); the margins
+// (difference - threshold) are exposed for the §II-B amplitude filtering.
+//
+// The default modulation is coherent phase encoding (0/pi per challenge
+// bit at one sample per bit, 25 GS/s): each output window then mixes the
+// current symbol with ring-delayed copies of previous ones, and the
+// square-law detector turns those into challenge-bit parities weighted by
+// fabrication-unique phases.
+//
+// The same object serves as:
+//   * strong PUF — arbitrary challenges (2^challenge_bits space);
+//   * weak PUF — a fixed enrollment challenge for key generation;
+//   * verifier-side model — `evaluate_noiseless()` is the "model of the
+//     pPUF available to the Verifier" that §III-B's attestation assumes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "photonic/circuit.hpp"
+#include "photonic/detector.hpp"
+#include "photonic/source.hpp"
+#include "puf/puf.hpp"
+
+namespace neuropuls::puf {
+
+struct PhotonicPufConfig {
+  photonic::ScramblerDesign design;  // ports/layers/design seed
+  std::size_t challenge_bits = 64;
+  std::size_t samples_per_bit = 1;
+  double sample_rate_hz = 25e9;  // ref. [12]: 25 Gbit/s demonstrator
+  photonic::LaserParameters laser;
+  photonic::ModulatorParameters modulator{
+      /*extinction_ratio_db=*/0.01,  // near-constant amplitude (null-biased
+                                     // push-pull: chirp-free phase keying)
+      /*insertion_loss_db=*/4.0,
+      /*bandwidth_fraction=*/1.0,
+      /*phase_modulation=*/true};  // coherent 0/pi challenge encoding
+  /// Median-calibration challenge count (0 disables calibration and
+  /// reverts to raw zero-threshold differential readout).
+  std::size_t calibration_challenges = 63;
+  photonic::PhotodiodeParameters photodiode;
+  photonic::TiaParameters tia;
+  photonic::AdcParameters adc{10, 2.0, 0.0};
+  double temperature = photonic::kReferenceTemperature;
+  /// Laser-power alteration factor (1.0 = nominal). §IV studies attacks
+  /// that "alter laser power levels to produce responses that provide
+  /// insights into the inner working mechanisms".
+  double laser_power_scale = 1.0;
+  photonic::VariationSigmas variation{};
+};
+
+class PhotonicPuf final : public Puf {
+ public:
+  /// `wafer_seed` + `device_index` fix this device's fabrication draw.
+  PhotonicPuf(PhotonicPufConfig config, std::uint64_t wafer_seed,
+              std::uint64_t device_index);
+
+  std::size_t challenge_bytes() const override {
+    return (config_.challenge_bits + 7) / 8;
+  }
+  std::size_t response_bytes() const override {
+    return response_bits() / 8;
+  }
+  std::size_t response_bits() const {
+    return config_.challenge_bits * (config_.design.ports / 2);
+  }
+
+  Response evaluate(const Challenge& challenge) override;
+  Response evaluate_noiseless(const Challenge& challenge) const override;
+  std::string name() const override { return "photonic-puf"; }
+
+  /// Temperature-compensated model evaluation (§II-B: "introducing a
+  /// photonic sensor for temperature measurement and considering this
+  /// additional parameter when evaluating the genuinity of the
+  /// responses"): the verifier evaluates its model at the device's
+  /// sensor-reported temperature instead of the enrollment temperature,
+  /// cancelling the common-mode thermo-optic drift.
+  Response evaluate_noiseless_at(const Challenge& challenge,
+                                 double temperature_kelvin) const;
+
+  /// Analog readout margins: (current difference - calibrated threshold)
+  /// in amperes, one row per challenge-bit window, one column per port
+  /// pair. The response bit is margin > 0; |margin| is the §II-B
+  /// filtering quantity. `noisy=false` gives the ideal model's values.
+  std::vector<std::vector<double>> evaluate_analog(const Challenge& challenge,
+                                                   bool noisy);
+
+  /// Bits per evaluation / second of interrogation: the "inherent speed"
+  /// §III-B relies on ("at least 5 Gb/s").
+  double response_throughput_bps() const noexcept;
+
+  /// Interrogation time of one evaluation (challenge duration + memory
+  /// flush) — §IV: "the response is present ... below 100 ns".
+  double interrogation_time_s() const noexcept;
+
+  void set_temperature(double kelvin) noexcept {
+    config_.temperature = kelvin;
+  }
+  void set_laser_power_scale(double scale) noexcept {
+    config_.laser_power_scale = scale;
+  }
+
+  const PhotonicPufConfig& config() const noexcept { return config_; }
+
+ private:
+  std::vector<std::vector<double>> analog_core(const Challenge& challenge,
+                                               bool noisy,
+                                               std::uint64_t noise_seed,
+                                               double temperature) const;
+  void subtract_thresholds(std::vector<std::vector<double>>& analog) const;
+  Response threshold_bits(
+      const std::vector<std::vector<double>>& margins) const;
+  void calibrate();
+
+  PhotonicPufConfig config_;
+  photonic::ScramblerCircuit circuit_;
+  std::uint64_t device_seed_;
+  std::uint64_t eval_counter_ = 0;
+  // Per-(window, pair) median current differences from enrollment
+  // calibration; empty when calibration is disabled.
+  std::vector<std::vector<double>> thresholds_;
+};
+
+/// A PhotonicPufConfig sized for fast unit tests (4 ports, short
+/// challenges) — shared by tests and examples.
+PhotonicPufConfig small_photonic_config();
+
+}  // namespace neuropuls::puf

@@ -1,0 +1,43 @@
+#include "puf/puf.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+namespace neuropuls::puf {
+
+Response enroll_majority(Puf& puf, const Challenge& challenge,
+                         unsigned readings) {
+  if (readings == 0 || readings % 2 == 0) {
+    throw std::invalid_argument("enroll_majority: readings must be odd");
+  }
+  const std::size_t bytes = puf.response_bytes();
+  std::vector<unsigned> ones(bytes * 8, 0);
+  for (unsigned r = 0; r < readings; ++r) {
+    const Response resp = puf.evaluate(challenge);
+    for (std::size_t bit = 0; bit < ones.size(); ++bit) {
+      ones[bit] += (resp[bit / 8] >> (7 - bit % 8)) & 1;
+    }
+  }
+  Response out(bytes, 0);
+  for (std::size_t bit = 0; bit < ones.size(); ++bit) {
+    if (ones[bit] > readings / 2) {
+      out[bit / 8] |= static_cast<std::uint8_t>(1u << (7 - bit % 8));
+    }
+  }
+  return out;
+}
+
+double intra_distance(Puf& puf, const Challenge& challenge,
+                      const Response& reference, unsigned readings) {
+  if (readings == 0) {
+    throw std::invalid_argument("intra_distance: need at least one reading");
+  }
+  double total = 0.0;
+  for (unsigned r = 0; r < readings; ++r) {
+    total += crypto::fractional_hamming_distance(puf.evaluate(challenge),
+                                                 reference);
+  }
+  return total / readings;
+}
+
+}  // namespace neuropuls::puf

@@ -1,0 +1,57 @@
+// PUF abstractions shared by every implementation in the stack.
+//
+// The paper distinguishes *weak* PUFs (few challenges, used for key
+// generation and chip binding — the ASIC SRAM PUF of Fig. 1) from *strong*
+// PUFs (exponential challenge space, used for authentication and
+// attestation — the photonic PUF of Fig. 2). Both are "evaluate a
+// challenge, get a noisy response" objects; the split is captured by the
+// challenge-space size they report, not by different interfaces.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "crypto/bytes.hpp"
+
+namespace neuropuls::puf {
+
+using Challenge = crypto::Bytes;
+using Response = crypto::Bytes;
+
+class Puf {
+ public:
+  virtual ~Puf() = default;
+
+  /// Challenge size in bytes. Weak PUFs with a single implicit challenge
+  /// report 0 and accept an empty challenge.
+  virtual std::size_t challenge_bytes() const = 0;
+
+  /// Response size in bytes.
+  virtual std::size_t response_bytes() const = 0;
+
+  /// Evaluates the PUF on a challenge. Every call re-samples measurement
+  /// noise — two calls with the same challenge may differ in a few bits,
+  /// exactly like silicon. Throws std::invalid_argument on a wrong-size
+  /// challenge.
+  virtual Response evaluate(const Challenge& challenge) = 0;
+
+  /// The noise-free response: what an *ideal model* of this device (the
+  /// verifier-side model §III-B assumes) would predict. Deterministic.
+  virtual Response evaluate_noiseless(const Challenge& challenge) const = 0;
+
+  /// Human-readable type tag for logs and experiment tables.
+  virtual std::string name() const = 0;
+};
+
+/// Enrollment helper: majority-vote over `readings` noisy evaluations, the
+/// standard way to obtain the reference response stored at manufacturing.
+Response enroll_majority(Puf& puf, const Challenge& challenge,
+                         unsigned readings = 9);
+
+/// Average fractional Hamming distance between repeated evaluations and a
+/// reference — the intra-device distance (reliability) of §II-A.
+double intra_distance(Puf& puf, const Challenge& challenge,
+                      const Response& reference, unsigned readings = 10);
+
+}  // namespace neuropuls::puf

@@ -1,0 +1,102 @@
+#include "puf/ro_puf.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace neuropuls::puf {
+
+Challenge encode_ro_challenge(std::size_t i, std::size_t j) {
+  Challenge c(4);
+  c[0] = static_cast<std::uint8_t>(i >> 8);
+  c[1] = static_cast<std::uint8_t>(i);
+  c[2] = static_cast<std::uint8_t>(j >> 8);
+  c[3] = static_cast<std::uint8_t>(j);
+  return c;
+}
+
+RoPair decode_ro_challenge(const Challenge& challenge) {
+  if (challenge.size() != 4) {
+    throw std::invalid_argument("RoPuf: challenge must be 4 bytes");
+  }
+  return RoPair{
+      static_cast<std::size_t>(challenge[0]) << 8 | challenge[1],
+      static_cast<std::size_t>(challenge[2]) << 8 | challenge[3]};
+}
+
+RoPuf::RoPuf(RoPufConfig config, std::uint64_t device_seed)
+    : config_(config),
+      noise_(rng::derive_seed(device_seed, 0x4E)),
+      aging_(rng::derive_seed(device_seed, 0x4F)) {
+  if (config_.oscillators < 2) {
+    throw std::invalid_argument("RoPuf: need at least two oscillators");
+  }
+  if (config_.count_window_s <= 0.0) {
+    throw std::invalid_argument("RoPuf: count window must be positive");
+  }
+  rng::Gaussian layout(rng::derive_seed(config_.design_seed, 0x10));
+  rng::Gaussian process(rng::derive_seed(device_seed, 0x20));
+  rng::Gaussian thermal(rng::derive_seed(device_seed, 0x30));
+  layout_offsets_.reserve(config_.oscillators);
+  process_offsets_.reserve(config_.oscillators);
+  thermal_slopes_.reserve(config_.oscillators);
+  aging_offsets_.assign(config_.oscillators, 0.0);
+  for (std::size_t i = 0; i < config_.oscillators; ++i) {
+    layout_offsets_.push_back(layout.next(0.0, config_.layout_sigma_hz));
+    process_offsets_.push_back(process.next(0.0, config_.process_sigma_hz));
+    thermal_slopes_.push_back(
+        config_.thermal_slope_hz_per_k *
+        (1.0 + thermal.next(0.0, config_.thermal_mismatch_fraction)));
+  }
+}
+
+double RoPuf::frequency(std::size_t index) const {
+  if (index >= config_.oscillators) {
+    throw std::invalid_argument("RoPuf: oscillator index out of range");
+  }
+  const double dt = config_.temperature - config_.reference_temperature;
+  return config_.nominal_frequency_hz + layout_offsets_[index] +
+         process_offsets_[index] + aging_offsets_[index] +
+         thermal_slopes_[index] * dt;
+}
+
+std::int64_t RoPuf::expected_count(std::size_t index) const {
+  return static_cast<std::int64_t>(
+      std::llround(frequency(index) * config_.count_window_s));
+}
+
+std::int64_t RoPuf::measure_count(std::size_t index) {
+  const double noisy_freq =
+      frequency(index) + noise_.next(0.0, config_.noise_sigma_hz);
+  return static_cast<std::int64_t>(
+      std::llround(noisy_freq * config_.count_window_s));
+}
+
+void RoPuf::age(double hours) {
+  if (hours < 0.0) {
+    throw std::invalid_argument("RoPuf::age: negative hours");
+  }
+  // Mean degradation grows ~sqrt(time) (NBTI/HCI empirical law); the
+  // per-RO mismatch around the mean is what flips marginal pairs.
+  const double before = std::sqrt(age_hours_);
+  age_hours_ += hours;
+  const double step = std::sqrt(age_hours_) - before;
+  const double mean_slowdown = 1.0e4 * step;  // Hz per sqrt-hour
+  for (auto& offset : aging_offsets_) {
+    offset -= mean_slowdown * (1.0 + aging_.next(0.0, 0.3));
+  }
+}
+
+Response RoPuf::evaluate(const Challenge& challenge) {
+  const RoPair pair = decode_ro_challenge(challenge);
+  const std::int64_t delta = measure_count(pair.i) - measure_count(pair.j);
+  // MSB-first convention: the single response bit lives at bit 7.
+  return Response{static_cast<std::uint8_t>(delta > 0 ? 0x80 : 0x00)};
+}
+
+Response RoPuf::evaluate_noiseless(const Challenge& challenge) const {
+  const RoPair pair = decode_ro_challenge(challenge);
+  const std::int64_t delta = expected_count(pair.i) - expected_count(pair.j);
+  return Response{static_cast<std::uint8_t>(delta > 0 ? 0x80 : 0x00)};
+}
+
+}  // namespace neuropuls::puf

@@ -1,0 +1,106 @@
+#include "puf/spectral_puf.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace neuropuls::puf {
+
+using photonic::OperatingPoint;
+
+SpectralMicroringPuf::SpectralMicroringPuf(SpectralPufConfig config,
+                                           std::uint64_t wafer_seed,
+                                           std::uint64_t device_index)
+    : config_(config),
+      device_seed_(rng::derive_seed(wafer_seed, device_index ^ 0x5AA5)) {
+  if (config_.rings == 0 || config_.wavelength_channels == 0 ||
+      config_.wavelength_channels % 8 != 0) {
+    throw std::invalid_argument(
+        "SpectralMicroringPuf: rings > 0, channels a positive multiple of 8");
+  }
+  if (config_.channel_spacing <= 0.0) {
+    throw std::invalid_argument("SpectralMicroringPuf: bad channel spacing");
+  }
+
+  // Nominal design (shared across devices) + this device's deviations.
+  rng::Xoshiro256 design_rng(config_.design_seed);
+  const photonic::FabricationModel fabrication(wafer_seed, device_index,
+                                               config_.variation);
+  rings_.reserve(config_.rings);
+  for (std::size_t i = 0; i < config_.rings; ++i) {
+    photonic::RingParameters rp;
+    rp.radius =
+        design_rng.uniform(config_.ring_radius_min, config_.ring_radius_max);
+    rp.power_coupling_in =
+        design_rng.uniform(config_.coupling_min, config_.coupling_max);
+    rp.power_coupling_drop = rp.power_coupling_in;
+    rp.loss_db_per_cm = config_.loss_db_per_cm;
+    photonic::MicroringAddDrop ring(rp);
+    ring.apply(fabrication.sample(0x9000 + i));
+    rings_.push_back(ring);
+  }
+}
+
+std::vector<double> SpectralMicroringPuf::transmission_spectrum() const {
+  std::vector<double> spectrum(config_.wavelength_channels);
+  for (std::size_t k = 0; k < config_.wavelength_channels; ++k) {
+    const OperatingPoint op{
+        config_.start_wavelength + static_cast<double>(k) * config_.channel_spacing,
+        config_.temperature};
+    photonic::Complex t{1.0, 0.0};
+    for (const auto& ring : rings_) t *= ring.through(op);
+    spectrum[k] = std::norm(t);
+  }
+  return spectrum;
+}
+
+std::vector<double> SpectralMicroringPuf::photocurrents(
+    bool noisy, std::uint64_t seed) const {
+  const auto spectrum = transmission_spectrum();
+  const double input_power_w = config_.laser_power_mw * 1e-3;
+
+  photonic::Photodiode pd(config_.photodiode, rng::derive_seed(seed, 0x31));
+  std::vector<double> currents(spectrum.size());
+  for (std::size_t k = 0; k < spectrum.size(); ++k) {
+    const photonic::Complex field{std::sqrt(input_power_w * spectrum[k]), 0.0};
+    currents[k] = noisy ? pd.detect(field) : pd.mean_current(field);
+  }
+  return currents;
+}
+
+Response SpectralMicroringPuf::threshold(
+    const std::vector<double>& currents) const {
+  // Self-referenced: compare each channel to the spectral median.
+  std::vector<double> sorted = currents;
+  std::nth_element(sorted.begin(), sorted.begin() + static_cast<std::ptrdiff_t>(sorted.size() / 2),
+                   sorted.end());
+  const double median = sorted[sorted.size() / 2];
+
+  Response out(response_bytes(), 0);
+  for (std::size_t k = 0; k < currents.size(); ++k) {
+    if (currents[k] > median) {
+      out[k / 8] |= static_cast<std::uint8_t>(1u << (7 - k % 8));
+    }
+  }
+  return out;
+}
+
+Response SpectralMicroringPuf::evaluate(const Challenge& challenge) {
+  if (!challenge.empty()) {
+    throw std::invalid_argument(
+        "SpectralMicroringPuf: weak PUF takes an empty challenge");
+  }
+  const std::uint64_t seed = rng::derive_seed(device_seed_, ++eval_counter_);
+  return threshold(photocurrents(/*noisy=*/true, seed));
+}
+
+Response SpectralMicroringPuf::evaluate_noiseless(
+    const Challenge& challenge) const {
+  if (!challenge.empty()) {
+    throw std::invalid_argument(
+        "SpectralMicroringPuf: weak PUF takes an empty challenge");
+  }
+  return threshold(photocurrents(/*noisy=*/false, 0));
+}
+
+}  // namespace neuropuls::puf

@@ -1,0 +1,75 @@
+// Spectral microring-array PUF — the weak-PUF architecture of ref. [12]
+// (Jimenez et al., "Photonic physical unclonable function based on
+// symmetric microring resonator arrays").
+//
+// A bus waveguide cascades through an array of add-drop microrings whose
+// resonance positions are fabrication-unique. Interrogation sweeps a
+// DWDM wavelength grid and records the through-port photocurrent per
+// channel; each response bit is that channel's transmission relative to
+// the spectral median (self-referenced, so laser power cancels). There is
+// no challenge input — this is the *weak* PUF of Fig. 1's left branch,
+// feeding key generation through the fuzzy extractor, complementing the
+// time-domain strong PUF in `photonic_puf.hpp` ("various types of
+// photonic architectures for weak and strong PUFs", §II-A).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "photonic/detector.hpp"
+#include "photonic/ring.hpp"
+#include "puf/puf.hpp"
+
+namespace neuropuls::puf {
+
+struct SpectralPufConfig {
+  std::size_t rings = 24;
+  std::size_t wavelength_channels = 1024;  // response bits
+  double start_wavelength = 1.545e-6;      // metres
+  double channel_spacing = 10e-12;         // 10 pm grid
+  double ring_radius_min = 9e-6;
+  double ring_radius_max = 11e-6;
+  double coupling_min = 0.03;
+  double coupling_max = 0.12;
+  double loss_db_per_cm = 3.0;
+  double laser_power_mw = 1.0;
+  photonic::PhotodiodeParameters photodiode;
+  double temperature = photonic::kReferenceTemperature;
+  photonic::VariationSigmas variation{};
+  std::uint64_t design_seed = 0x53504543ULL;  // "SPEC"
+};
+
+class SpectralMicroringPuf final : public Puf {
+ public:
+  SpectralMicroringPuf(SpectralPufConfig config, std::uint64_t wafer_seed,
+                       std::uint64_t device_index);
+
+  /// Weak PUF: the challenge is empty.
+  std::size_t challenge_bytes() const override { return 0; }
+  std::size_t response_bytes() const override {
+    return config_.wavelength_channels / 8;
+  }
+
+  Response evaluate(const Challenge& challenge) override;
+  Response evaluate_noiseless(const Challenge& challenge) const override;
+  std::string name() const override { return "spectral-microring-puf"; }
+
+  /// Through-port transmission spectrum at the operating temperature
+  /// (noise-free |T|^2 per channel) — for tests and spectroscopy plots.
+  std::vector<double> transmission_spectrum() const;
+
+  void set_temperature(double kelvin) noexcept {
+    config_.temperature = kelvin;
+  }
+
+ private:
+  std::vector<double> photocurrents(bool noisy, std::uint64_t seed) const;
+  Response threshold(const std::vector<double>& currents) const;
+
+  SpectralPufConfig config_;
+  std::vector<photonic::MicroringAddDrop> rings_;
+  std::uint64_t device_seed_;
+  std::uint64_t eval_counter_ = 0;
+};
+
+}  // namespace neuropuls::puf

@@ -1,0 +1,79 @@
+#include "puf/sram_puf.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace neuropuls::puf {
+
+SramPuf::SramPuf(SramPufConfig config, std::uint64_t device_seed)
+    : config_(config),
+      noise_(rng::derive_seed(device_seed, 0xA5)),
+      aging_(rng::derive_seed(device_seed, 0xA6)) {
+  if (config_.cells == 0 || config_.cells % 8 != 0) {
+    throw std::invalid_argument("SramPuf: cells must be a positive multiple of 8");
+  }
+  if (config_.skew_sigma <= 0.0 || config_.noise_sigma < 0.0) {
+    throw std::invalid_argument("SramPuf: bad sigma");
+  }
+  rng::Gaussian process(rng::derive_seed(device_seed, 0x01));
+  skews_.reserve(config_.cells);
+  for (std::size_t i = 0; i < config_.cells; ++i) {
+    skews_.push_back(process.next(0.0, config_.skew_sigma));
+  }
+}
+
+void SramPuf::set_temperature(double kelvin) noexcept {
+  config_.temperature = kelvin;
+}
+
+void SramPuf::age(double hours) {
+  if (hours < 0.0) {
+    throw std::invalid_argument("SramPuf::age: negative hours");
+  }
+  // Random-walk drift along the sqrt-time stress measure s(t) = sqrt(t):
+  // per-increment variance is proportional to delta-s, so variances add
+  // and any partition of the stress interval composes identically.
+  const double before = std::sqrt(age_hours_);
+  age_hours_ += hours;
+  const double delta_s = std::sqrt(age_hours_) - before;
+  const double sigma = 0.01 * config_.skew_sigma * std::sqrt(delta_s);
+  for (auto& skew : skews_) {
+    skew += aging_.next(0.0, sigma);
+  }
+}
+
+double SramPuf::noise_sigma_at_temperature() const noexcept {
+  // Thermal noise power scales linearly with T: amplitude with sqrt(T).
+  return config_.noise_sigma *
+         std::sqrt(config_.temperature / config_.reference_temperature);
+}
+
+Response SramPuf::evaluate(const Challenge& challenge) {
+  if (!challenge.empty()) {
+    throw std::invalid_argument("SramPuf: weak PUF takes an empty challenge");
+  }
+  Response out(response_bytes(), 0);
+  const double sigma = noise_sigma_at_temperature();
+  for (std::size_t i = 0; i < config_.cells; ++i) {
+    const double value = skews_[i] + noise_.next(0.0, sigma);
+    if (value > 0.0) {
+      out[i / 8] |= static_cast<std::uint8_t>(1u << (7 - i % 8));
+    }
+  }
+  return out;
+}
+
+Response SramPuf::evaluate_noiseless(const Challenge& challenge) const {
+  if (!challenge.empty()) {
+    throw std::invalid_argument("SramPuf: weak PUF takes an empty challenge");
+  }
+  Response out(response_bytes(), 0);
+  for (std::size_t i = 0; i < config_.cells; ++i) {
+    if (skews_[i] > 0.0) {
+      out[i / 8] |= static_cast<std::uint8_t>(1u << (7 - i % 8));
+    }
+  }
+  return out;
+}
+
+}  // namespace neuropuls::puf

@@ -1,0 +1,86 @@
+#include "puf/trng.hpp"
+
+#include <stdexcept>
+
+#include "crypto/sha256.hpp"
+#include "ecc/bitvec.hpp"
+
+namespace neuropuls::puf {
+
+PhotonicTrng::PhotonicTrng(PhotonicPuf& puf, Challenge challenge)
+    : puf_(puf), challenge_(std::move(challenge)) {
+  if (challenge_.size() != puf_.challenge_bytes()) {
+    throw std::invalid_argument("PhotonicTrng: wrong challenge size");
+  }
+}
+
+void PhotonicTrng::fill_raw(std::vector<std::uint8_t>& out,
+                            std::size_t target) {
+  while (out.size() < target) {
+    const auto a = puf_.evaluate_analog(challenge_, /*noisy=*/true);
+    const auto b = puf_.evaluate_analog(challenge_, /*noisy=*/true);
+    for (std::size_t w = 0; w < a.size(); ++w) {
+      for (std::size_t p = 0; p < a[w].size(); ++p) {
+        if (a[w][p] == b[w][p]) continue;  // tie: discard
+        out.push_back(a[w][p] > b[w][p] ? 1 : 0);
+      }
+    }
+  }
+}
+
+crypto::Bytes PhotonicTrng::raw_bits(std::size_t bits) {
+  std::vector<std::uint8_t> raw;
+  raw.reserve(bits + bits_per_interrogation());
+  fill_raw(raw, bits);
+  raw.resize(bits);
+  return ecc::pack_bits(raw);
+}
+
+crypto::Bytes PhotonicTrng::debiased_bits(std::size_t bits) {
+  std::vector<std::uint8_t> out;
+  out.reserve(bits);
+  std::vector<std::uint8_t> raw;
+  while (out.size() < bits) {
+    raw.clear();
+    fill_raw(raw, 4 * (bits - out.size()) + 2);
+    // Von Neumann: consume disjoint pairs; 01 -> 0, 10 -> 1.
+    for (std::size_t i = 0; i + 1 < raw.size() && out.size() < bits; i += 2) {
+      if (raw[i] == raw[i + 1]) continue;
+      out.push_back(raw[i]);
+    }
+  }
+  return ecc::pack_bits(out);
+}
+
+crypto::Bytes PhotonicTrng::conditioned_bytes(std::size_t bytes) {
+  crypto::Bytes out;
+  out.reserve(bytes + 32);
+  std::vector<std::uint8_t> raw;
+  std::uint64_t block_index = 0;
+  while (out.size() < bytes) {
+    raw.clear();
+    fill_raw(raw, 512);  // 2x compression into 256 output bits
+    crypto::Sha256 h;
+    const crypto::Bytes packed = ecc::pack_bits(raw);
+    crypto::Bytes counter(8);
+    crypto::put_u64_be(counter, block_index++);
+    h.update(crypto::bytes_of("np-trng-cond"));
+    h.update(counter);
+    h.update(packed);
+    const auto digest = h.finalize();
+    out.insert(out.end(), digest.begin(), digest.end());
+  }
+  out.resize(bytes);
+  return out;
+}
+
+double PhotonicTrng::measured_bias(std::size_t sample_bits) {
+  std::vector<std::uint8_t> raw;
+  fill_raw(raw, sample_bits);
+  raw.resize(sample_bits);
+  double ones = 0.0;
+  for (std::uint8_t b : raw) ones += b;
+  return ones / static_cast<double>(sample_bits);
+}
+
+}  // namespace neuropuls::puf

@@ -1,0 +1,66 @@
+// Photonic true random number generator.
+//
+// Fig. 1's weak-PUF branch feeds "cryptographic key generation", which
+// needs fresh randomness (nonces, DH exponents, enrollment codewords) in
+// addition to the device-unique PUF key. The same photonic front end
+// provides it: the shot/thermal noise of the photodiode chain is a
+// physical entropy source.
+//
+// Readout: evaluate the *same* challenge twice and compare the two noisy
+// margin measurements slot by slot —
+//   bit = [margin_a(w,p) > margin_b(w,p)].
+// Both measurements share the deterministic interference term, so the
+// comparison cancels it exactly; what remains is the sign of the
+// difference of two i.i.d. noise samples, a fair coin by symmetry. Ties
+// (quantised equality) are discarded. Von Neumann debiasing is layered on
+// top to scrub residual correlation, and a SHA-256 conditioner (SP
+// 800-90B style) provides full-entropy output for the key path.
+#pragma once
+
+#include <cstdint>
+
+#include "puf/photonic_puf.hpp"
+
+namespace neuropuls::puf {
+
+class PhotonicTrng {
+ public:
+  /// Entropy is drawn through `puf`'s noisy analog readout; `challenge`
+  /// fixes the interrogation pattern (any value works — the deterministic
+  /// part cancels).
+  PhotonicTrng(PhotonicPuf& puf, Challenge challenge);
+
+  /// Raw comparison bits, exactly `bits` of them (packed MSB-first).
+  crypto::Bytes raw_bits(std::size_t bits);
+
+  /// Von-Neumann-debiased bits (consumes ~4x the raw entropy).
+  crypto::Bytes debiased_bits(std::size_t bits);
+
+  /// Conditioned full-entropy output: SHA-256 over blocks of raw bits
+  /// with a 2x compression ratio (256 bits out per 512 raw bits in).
+  crypto::Bytes conditioned_bytes(std::size_t bytes);
+
+  /// Raw-bit ones-rate over `sample_bits` (diagnostic; ~0.5).
+  double measured_bias(std::size_t sample_bits = 4096);
+
+  /// Raw bits produced per PUF interrogation pair.
+  std::size_t bits_per_interrogation() const noexcept {
+    return puf_.response_bits();
+  }
+
+  /// Raw-bit throughput estimate given the PUF interrogation time.
+  double raw_throughput_bps() const noexcept {
+    return static_cast<double>(bits_per_interrogation()) /
+           (2.0 * puf_.interrogation_time_s());
+  }
+
+ private:
+  /// Appends fresh raw bits (0/1 per element) to `out` until it holds at
+  /// least `target` entries.
+  void fill_raw(std::vector<std::uint8_t>& out, std::size_t target);
+
+  PhotonicPuf& puf_;
+  Challenge challenge_;
+};
+
+}  // namespace neuropuls::puf

@@ -1,0 +1,80 @@
+#include "sim/cpu.hpp"
+
+#include <stdexcept>
+
+namespace neuropuls::sim {
+
+CpuModel::CpuModel(EventScheduler& scheduler, StatsRegistry& stats,
+                   CpuCosts costs)
+    : scheduler_(scheduler), stats_(stats), costs_(costs) {
+  if (costs_.frequency_hz <= 0.0) {
+    throw std::invalid_argument("CpuModel: frequency must be positive");
+  }
+}
+
+void CpuModel::spend_cycles(double cycles, const char* what) {
+  const auto whole = static_cast<std::uint64_t>(cycles + 0.5);
+  cycles_ += whole;
+  const double ns = static_cast<double>(whole) / costs_.frequency_hz * 1e9;
+  scheduler_.advance(ps_from_ns(ns));
+  stats_.count(std::string("cpu.cycles.") + what, whole);
+  stats_.add("cpu.time_ns", ns);
+}
+
+void CpuModel::execute_ops(std::uint64_t alu_ops) {
+  spend_cycles(costs_.cycles_per_alu_op * static_cast<double>(alu_ops), "alu");
+}
+
+void CpuModel::hash_sha256(std::size_t bytes) {
+  spend_cycles(costs_.cycles_per_sha256_byte * static_cast<double>(bytes),
+               "sha256");
+}
+
+void CpuModel::hmac_sha256(std::size_t bytes) {
+  spend_cycles(costs_.cycles_per_hmac_fixed +
+                   costs_.cycles_per_sha256_byte * static_cast<double>(bytes),
+               "hmac");
+}
+
+void CpuModel::aes(std::size_t bytes) {
+  spend_cycles(costs_.cycles_per_aes_byte * static_cast<double>(bytes), "aes");
+}
+
+void CpuModel::chacha(std::size_t bytes) {
+  spend_cycles(costs_.cycles_per_chacha_byte * static_cast<double>(bytes),
+               "chacha");
+}
+
+void CpuModel::drbg(std::size_t bytes) {
+  spend_cycles(costs_.cycles_per_drbg_byte * static_cast<double>(bytes),
+               "drbg");
+}
+
+void CpuModel::modexp_2048() {
+  spend_cycles(costs_.cycles_modexp_2048, "modexp");
+}
+
+void CpuModel::busy_ns(double ns) {
+  spend_cycles(ns * 1e-9 * costs_.frequency_hz, "busy");
+}
+
+MemoryModel::MemoryModel(EventScheduler& scheduler, StatsRegistry& stats,
+                         MemoryCosts costs)
+    : scheduler_(scheduler), stats_(stats), costs_(costs) {
+  if (costs_.bandwidth_gb_per_s <= 0.0) {
+    throw std::invalid_argument("MemoryModel: bandwidth must be positive");
+  }
+}
+
+void MemoryModel::transfer(std::size_t bytes) {
+  const double ns = costs_.latency_ns + static_cast<double>(bytes) /
+                                            (costs_.bandwidth_gb_per_s);
+  scheduler_.advance(ps_from_ns(ns));
+  energy_nj_ +=
+      costs_.energy_pj_per_byte * static_cast<double>(bytes) * 1e-3;
+  stats_.count("mem.transfers");
+  stats_.add("mem.bytes", static_cast<double>(bytes));
+  stats_.add("mem.time_ns", ns);
+}
+
+}  // namespace neuropuls::sim

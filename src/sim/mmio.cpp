@@ -1,0 +1,172 @@
+#include "sim/mmio.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace neuropuls::sim {
+
+void MmioBus::map(std::uint32_t base, MmioDevice* device) {
+  if (device == nullptr) {
+    throw std::invalid_argument("MmioBus::map: null device");
+  }
+  if (base % 4 != 0) {
+    throw std::invalid_argument("MmioBus::map: base must be 4-byte aligned");
+  }
+  const std::uint32_t end = base + device->size();
+  for (const auto& [other_base, mapping] : mappings_) {
+    const std::uint32_t other_end = other_base + mapping.device->size();
+    if (base < other_end && other_base < end) {
+      throw std::invalid_argument("MmioBus::map: address range overlap");
+    }
+  }
+  mappings_[base] = Mapping{base, device};
+}
+
+MmioBus::Mapping& MmioBus::resolve(std::uint32_t address) {
+  if (address % 4 != 0) {
+    throw std::invalid_argument("MmioBus: misaligned access");
+  }
+  // Find the last mapping whose base <= address.
+  auto it = mappings_.upper_bound(address);
+  if (it == mappings_.begin()) {
+    throw std::out_of_range("MmioBus: unmapped address");
+  }
+  --it;
+  Mapping& mapping = it->second;
+  if (address >= mapping.base + mapping.device->size()) {
+    throw std::out_of_range("MmioBus: unmapped address");
+  }
+  return mapping;
+}
+
+std::uint32_t MmioBus::read32(std::uint32_t address) {
+  Mapping& mapping = resolve(address);
+  cpu_.busy_ns(access_ns_);
+  return mapping.device->read32(address - mapping.base);
+}
+
+void MmioBus::write32(std::uint32_t address, std::uint32_t value) {
+  Mapping& mapping = resolve(address);
+  cpu_.busy_ns(access_ns_);
+  mapping.device->write32(address - mapping.base, value);
+}
+
+PufMmioDevice::PufMmioDevice(EventScheduler& scheduler, puf::Puf& puf,
+                             double response_latency_ns)
+    : scheduler_(scheduler),
+      puf_(puf),
+      response_latency_ns_(response_latency_ns) {
+  reset();
+}
+
+void PufMmioDevice::reset() {
+  challenge_.assign(puf_.challenge_bytes(), 0);
+  challenge_written_.assign((puf_.challenge_bytes() + 3) / 4, false);
+  response_.clear();
+  status_ = 0;
+}
+
+void PufMmioDevice::start() {
+  const bool complete =
+      std::all_of(challenge_written_.begin(), challenge_written_.end(),
+                  [](bool b) { return b; });
+  if (!complete) {
+    status_ = kStatusError;
+    return;
+  }
+  status_ = kStatusBusy;
+  // The interrogation completes after the device latency; until then the
+  // response window reads as zero and STATUS shows BUSY.
+  scheduler_.schedule_after(ps_from_ns(response_latency_ns_), [this] {
+    response_ = puf_.evaluate(challenge_);
+    status_ = kStatusDone;
+  });
+}
+
+std::uint32_t PufMmioDevice::read32(std::uint32_t offset) {
+  if (offset == kStatus) return status_;
+  if (offset == kChalLen) {
+    return static_cast<std::uint32_t>(puf_.challenge_bytes());
+  }
+  if (offset == kRespLen) {
+    return static_cast<std::uint32_t>(puf_.response_bytes());
+  }
+  if (offset >= kRespWindow && offset < kRespWindow + 0x100) {
+    if (!(status_ & kStatusDone)) return 0;
+    const std::size_t index = offset - kRespWindow;
+    std::uint32_t value = 0;
+    for (std::size_t b = 0; b < 4; ++b) {
+      const std::size_t byte = index + b;
+      if (byte < response_.size()) {
+        value |= static_cast<std::uint32_t>(response_[byte]) << (24 - 8 * b);
+      }
+    }
+    return value;
+  }
+  return 0;  // write-only / reserved registers read as zero
+}
+
+void PufMmioDevice::write32(std::uint32_t offset, std::uint32_t value) {
+  if (offset == kCtrl) {
+    if (value & kCtrlReset) reset();
+    if (value & kCtrlStart) start();
+    return;
+  }
+  if (offset >= kChalWindow && offset < kChalWindow + 0x100) {
+    const std::size_t index = offset - kChalWindow;
+    if (index >= challenge_.size() && !challenge_.empty()) return;
+    for (std::size_t b = 0; b < 4; ++b) {
+      const std::size_t byte = index + b;
+      if (byte < challenge_.size()) {
+        challenge_[byte] = static_cast<std::uint8_t>(value >> (24 - 8 * b));
+      }
+    }
+    if (!challenge_written_.empty()) {
+      challenge_written_[index / 4] = true;
+    }
+    return;
+  }
+  // Writes to reserved/read-only space are ignored (hardware-typical).
+}
+
+std::optional<puf::Response> mmio_puf_evaluate(MmioBus& bus,
+                                               std::uint32_t base,
+                                               const puf::Challenge& challenge,
+                                               CpuModel& cpu,
+                                               EventScheduler& scheduler) {
+  bus.write32(base + PufMmioDevice::kCtrl, PufMmioDevice::kCtrlReset);
+  // Write the challenge window, 4 bytes per register.
+  for (std::size_t i = 0; i < challenge.size(); i += 4) {
+    std::uint32_t word = 0;
+    for (std::size_t b = 0; b < 4 && i + b < challenge.size(); ++b) {
+      word |= static_cast<std::uint32_t>(challenge[i + b]) << (24 - 8 * b);
+    }
+    bus.write32(base + PufMmioDevice::kChalWindow +
+                    static_cast<std::uint32_t>(i),
+                word);
+  }
+  bus.write32(base + PufMmioDevice::kCtrl, PufMmioDevice::kCtrlStart);
+
+  // Poll STATUS until DONE or ERROR; each poll costs an MMIO access and
+  // the scheduler advances (the completion event fires mid-poll-loop).
+  for (int polls = 0; polls < 1'000'000; ++polls) {
+    const std::uint32_t status = bus.read32(base + PufMmioDevice::kStatus);
+    if (status & PufMmioDevice::kStatusError) return std::nullopt;
+    if (status & PufMmioDevice::kStatusDone) break;
+    cpu.busy_ns(10.0);
+    scheduler.advance(0);  // fire any due events
+  }
+
+  const std::uint32_t resp_len = bus.read32(base + PufMmioDevice::kRespLen);
+  puf::Response response(resp_len, 0);
+  for (std::uint32_t i = 0; i < resp_len; i += 4) {
+    const std::uint32_t word =
+        bus.read32(base + PufMmioDevice::kRespWindow + i);
+    for (std::uint32_t b = 0; b < 4 && i + b < resp_len; ++b) {
+      response[i + b] = static_cast<std::uint8_t>(word >> (24 - 8 * b));
+    }
+  }
+  return response;
+}
+
+}  // namespace neuropuls::sim

@@ -1,0 +1,93 @@
+#include "sim/peripherals.hpp"
+
+namespace neuropuls::sim {
+
+PufPeripheral::PufPeripheral(EventScheduler& scheduler, StatsRegistry& stats,
+                             puf::Puf& puf, double response_latency_ns,
+                             MmioCosts costs)
+    : scheduler_(scheduler),
+      stats_(stats),
+      puf_(puf),
+      response_latency_ns_(response_latency_ns),
+      costs_(costs) {}
+
+puf::Response PufPeripheral::evaluate(const puf::Challenge& challenge,
+                                      CpuModel& cpu) {
+  // Write challenge registers: one 32-bit MMIO write per 4 bytes.
+  const std::size_t challenge_regs = (challenge.size() + 3) / 4;
+  cpu.busy_ns(costs_.register_access_ns *
+              static_cast<double>(challenge_regs + 1));  // +1 trigger
+
+  // Device runs concurrently; the core polls the status register. Model:
+  // the device finishes after response_latency_ns; the CPU polls at
+  // 2x the register access period and sees it on the first poll after.
+  const double poll_period = 2.0 * costs_.register_access_ns;
+  const double polls = std::max(1.0, response_latency_ns_ / poll_period);
+  bool device_done = false;
+  scheduler_.schedule_after(ps_from_ns(response_latency_ns_),
+                            [&device_done] { device_done = true; });
+  cpu.busy_ns(polls * poll_period);
+  // The scheduler has advanced past the completion event inside busy_ns.
+  (void)device_done;
+
+  const puf::Response response = puf_.evaluate(challenge);
+
+  // Read response registers.
+  const std::size_t response_regs = (response.size() + 3) / 4;
+  cpu.busy_ns(costs_.register_access_ns * static_cast<double>(response_regs));
+
+  stats_.count("puf.evaluations");
+  stats_.add("puf.device_time_ns", response_latency_ns_);
+  log_.push_back(puf::Crp{challenge, response});
+  return response;
+}
+
+AcceleratorPeripheral::AcceleratorPeripheral(
+    EventScheduler& scheduler, StatsRegistry& stats,
+    accel::SecureAccelerator& accelerator, double mac_time_ps,
+    MmioCosts costs)
+    : scheduler_(scheduler),
+      stats_(stats),
+      accelerator_(accelerator),
+      mac_time_ps_(mac_time_ps),
+      costs_(costs) {}
+
+void AcceleratorPeripheral::charge_crypto_engine(std::size_t bytes) {
+  // Hardware AES-CTR + CMAC at 1 byte/ns (8 Gb/s crypto engine).
+  scheduler_.advance(ps_from_ns(static_cast<double>(bytes)));
+  stats_.add("accel.crypto_bytes", static_cast<double>(bytes));
+}
+
+void AcceleratorPeripheral::load_network(const crypto::Bytes& ciphered_network,
+                                         CpuModel& cpu, MemoryModel& memory) {
+  cpu.busy_ns(costs_.dma_setup_ns);
+  memory.transfer(ciphered_network.size());
+  charge_crypto_engine(ciphered_network.size());
+  accelerator_.load_network(ciphered_network);
+  stats_.count("accel.loads");
+}
+
+crypto::Bytes AcceleratorPeripheral::execute(const crypto::Bytes& ciphered_input,
+                                             CpuModel& cpu,
+                                             MemoryModel& memory) {
+  cpu.busy_ns(costs_.dma_setup_ns);
+  memory.transfer(ciphered_input.size());
+  charge_crypto_engine(ciphered_input.size());
+
+  const crypto::Bytes output = accelerator_.execute_network(ciphered_input);
+
+  // Photonic compute time: MACs since the previous call.
+  const std::uint64_t macs_now = accelerator_.stats().mac_operations;
+  const double compute_ps =
+      mac_time_ps_ * static_cast<double>(macs_now - macs_before_);
+  macs_before_ = macs_now;
+  scheduler_.advance(static_cast<Picoseconds>(compute_ps + 0.5));
+  stats_.add("accel.compute_ns", compute_ps / 1e3);
+
+  charge_crypto_engine(output.size());
+  memory.transfer(output.size());
+  stats_.count("accel.executions");
+  return output;
+}
+
+}  // namespace neuropuls::sim

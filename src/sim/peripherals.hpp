@@ -1,0 +1,84 @@
+// Memory-mapped peripherals: the PUF and the accelerator, as seen by the
+// RISC-V core (§V: "define a peripheral module connected to the RISC-V
+// microprocessor, providing the essential infrastructure for the delivery
+// of the programming API").
+//
+// Each peripheral exposes a register-level API (submit / poll / read) and
+// charges realistic MMIO + device latencies through the scheduler. The
+// PUF peripheral additionally logs every CRP it serves into the stats
+// registry feed so quality metrics can be computed offline, mirroring the
+// gem5 logging workflow §V sketches.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "accel/secure_api.hpp"
+#include "puf/crp_db.hpp"
+#include "sim/cpu.hpp"
+
+namespace neuropuls::sim {
+
+struct MmioCosts {
+  double register_access_ns = 20.0;  // one uncached MMIO read/write
+  double dma_setup_ns = 200.0;
+};
+
+/// The PUF as a memory-mapped device.
+class PufPeripheral {
+ public:
+  /// `response_latency_ns` is the device-side interrogation time (for the
+  /// photonic PUF: PhotonicPuf::interrogation_time_s * 1e9).
+  PufPeripheral(EventScheduler& scheduler, StatsRegistry& stats,
+                puf::Puf& puf, double response_latency_ns,
+                MmioCosts costs = {});
+
+  /// Firmware-level operation: write the challenge registers, trigger,
+  /// poll until ready, read the response registers. Advances time
+  /// accordingly and returns the response.
+  puf::Response evaluate(const puf::Challenge& challenge, CpuModel& cpu);
+
+  /// CRPs served so far (the gem5-style log).
+  const std::vector<puf::Crp>& log() const noexcept { return log_; }
+
+  double response_latency_ns() const noexcept { return response_latency_ns_; }
+
+ private:
+  EventScheduler& scheduler_;
+  StatsRegistry& stats_;
+  puf::Puf& puf_;
+  double response_latency_ns_;
+  MmioCosts costs_;
+  std::vector<puf::Crp> log_;
+};
+
+/// The secure accelerator (Table I API) as a DMA peripheral.
+class AcceleratorPeripheral {
+ public:
+  /// `mac_time_ps` is the photonic core's time per MAC in picoseconds
+  /// (sub-ps values allowed via double).
+  AcceleratorPeripheral(EventScheduler& scheduler, StatsRegistry& stats,
+                        accel::SecureAccelerator& accelerator,
+                        double mac_time_ps = 0.02, MmioCosts costs = {});
+
+  /// DMA the ciphered network in and run hardware load (decrypt+verify
+  /// happen at wire speed in the crypto engine).
+  void load_network(const crypto::Bytes& ciphered_network, CpuModel& cpu,
+                    MemoryModel& memory);
+
+  /// DMA in, execute, DMA the ciphered output back.
+  crypto::Bytes execute(const crypto::Bytes& ciphered_input, CpuModel& cpu,
+                        MemoryModel& memory);
+
+ private:
+  void charge_crypto_engine(std::size_t bytes);
+
+  EventScheduler& scheduler_;
+  StatsRegistry& stats_;
+  accel::SecureAccelerator& accelerator_;
+  double mac_time_ps_;
+  MmioCosts costs_;
+  std::uint64_t macs_before_ = 0;
+};
+
+}  // namespace neuropuls::sim

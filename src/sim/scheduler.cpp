@@ -1,0 +1,49 @@
+#include "sim/scheduler.hpp"
+
+namespace neuropuls::sim {
+
+void EventScheduler::fire_due() {
+  while (!queue_.empty() && queue_.top().when <= now_) {
+    // Copy out before pop: the callback may schedule new events.
+    Event event = queue_.top();
+    queue_.pop();
+    event.callback();
+  }
+}
+
+void EventScheduler::advance(Picoseconds delta) {
+  const Picoseconds target = now_ + delta;
+  // Fire events inside the window at their own timestamps.
+  while (!queue_.empty() && queue_.top().when <= target) {
+    Event event = queue_.top();
+    queue_.pop();
+    if (event.when > now_) now_ = event.when;
+    event.callback();
+  }
+  now_ = target;
+}
+
+void EventScheduler::schedule_after(Picoseconds delay, Callback callback) {
+  schedule_at(now_ + delay, std::move(callback));
+}
+
+void EventScheduler::schedule_at(Picoseconds when, Callback callback) {
+  if (when < now_) {
+    throw std::invalid_argument("EventScheduler: scheduling in the past");
+  }
+  queue_.push(Event{when, next_sequence_++, std::move(callback)});
+}
+
+std::size_t EventScheduler::run(std::size_t max_events) {
+  std::size_t fired = 0;
+  while (!queue_.empty() && fired < max_events) {
+    Event event = queue_.top();
+    queue_.pop();
+    now_ = event.when;
+    event.callback();
+    ++fired;
+  }
+  return fired;
+}
+
+}  // namespace neuropuls::sim

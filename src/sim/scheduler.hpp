@@ -1,0 +1,76 @@
+// Event-driven simulation kernel (the gem5-style backbone §V calls for).
+//
+// Time is kept in integer picoseconds so event ordering is exact; ties
+// break by insertion order (deterministic replay). Components either
+// advance the clock synchronously (`advance`) for transaction-level
+// modelling, or schedule callbacks (`schedule_after`) when hardware
+// genuinely runs concurrently with the CPU (e.g. the PUF peripheral
+// integrating photocurrents while the core polls a status register).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <stdexcept>
+#include <vector>
+
+namespace neuropuls::sim {
+
+using Picoseconds = std::uint64_t;
+
+inline constexpr Picoseconds kPsPerNs = 1000;
+
+/// ns -> ps conversion for the double-valued analog models.
+inline Picoseconds ps_from_ns(double ns) {
+  if (ns < 0.0) throw std::invalid_argument("negative duration");
+  return static_cast<Picoseconds>(ns * 1e3 + 0.5);
+}
+inline double ns_from_ps(Picoseconds ps) {
+  return static_cast<double>(ps) / 1e3;
+}
+
+class EventScheduler {
+ public:
+  using Callback = std::function<void()>;
+
+  Picoseconds now() const noexcept { return now_; }
+  double now_ns() const noexcept { return ns_from_ps(now_); }
+
+  /// Moves the clock forward synchronously, firing any events that fall
+  /// inside the window in timestamp order.
+  void advance(Picoseconds delta);
+
+  /// Schedules a callback `delay` after the current time.
+  void schedule_after(Picoseconds delay, Callback callback);
+
+  /// Schedules at an absolute timestamp (must not be in the past).
+  void schedule_at(Picoseconds when, Callback callback);
+
+  /// Runs until the event queue is empty (or `max_events` fired).
+  /// Returns the number of events executed.
+  std::size_t run(std::size_t max_events = SIZE_MAX);
+
+  bool idle() const noexcept { return queue_.empty(); }
+  std::size_t pending() const noexcept { return queue_.size(); }
+
+ private:
+  struct Event {
+    Picoseconds when;
+    std::uint64_t sequence;
+    Callback callback;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.when != b.when) return a.when > b.when;
+      return a.sequence > b.sequence;
+    }
+  };
+
+  void fire_due();
+
+  Picoseconds now_ = 0;
+  std::uint64_t next_sequence_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace neuropuls::sim

@@ -1,0 +1,83 @@
+#include "sim/stats.hpp"
+
+#include <algorithm>
+#include <iomanip>
+
+namespace neuropuls::sim {
+
+void StatsRegistry::count(const std::string& name, std::uint64_t delta) {
+  counters_[name] += delta;
+}
+
+void StatsRegistry::add(const std::string& name, double value) {
+  totals_[name] += value;
+}
+
+void StatsRegistry::sample(const std::string& name, double value) {
+  auto& d = distributions_[name];
+  if (d.n == 0) {
+    d.min = value;
+    d.max = value;
+  } else {
+    d.min = std::min(d.min, value);
+    d.max = std::max(d.max, value);
+  }
+  d.sum += value;
+  ++d.n;
+}
+
+std::uint64_t StatsRegistry::counter(const std::string& name) const {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+double StatsRegistry::total(const std::string& name) const {
+  const auto it = totals_.find(name);
+  return it == totals_.end() ? 0.0 : it->second;
+}
+
+const StatsRegistry::Distribution& StatsRegistry::distribution(
+    const std::string& name) const {
+  static const Distribution kEmpty{};
+  const auto it = distributions_.find(name);
+  return it == distributions_.end() ? kEmpty : it->second;
+}
+
+void StatsRegistry::print(std::ostream& os) const {
+  os << std::left;
+  for (const auto& [name, value] : counters_) {
+    os << "  " << std::setw(40) << name << value << '\n';
+  }
+  os << std::fixed << std::setprecision(3);
+  for (const auto& [name, value] : totals_) {
+    os << "  " << std::setw(40) << name << value << '\n';
+  }
+  for (const auto& [name, d] : distributions_) {
+    os << "  " << std::setw(40) << name << "n=" << d.n
+       << " mean=" << d.mean() << " min=" << d.min << " max=" << d.max
+       << '\n';
+  }
+}
+
+void StatsRegistry::write_csv(std::ostream& os) const {
+  os << "kind,name,value,n,min,max\n";
+  for (const auto& [name, value] : counters_) {
+    os << "counter," << name << ',' << value << ",,,\n";
+  }
+  os << std::setprecision(12);
+  for (const auto& [name, value] : totals_) {
+    os << "total," << name << ',' << value << ",,,\n";
+  }
+  for (const auto& [name, d] : distributions_) {
+    os << "distribution," << name << ',' << d.mean() << ',' << d.n << ','
+       << d.min << ',' << d.max << '\n';
+  }
+}
+
+void StatsRegistry::clear() {
+  counters_.clear();
+  totals_.clear();
+  distributions_.clear();
+}
+
+}  // namespace neuropuls::sim

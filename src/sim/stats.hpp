@@ -1,0 +1,53 @@
+// Simulation statistics registry — the "gem5-provided log facility" role
+// of §V: every component logs named counters and accumulators here, and
+// the benches print them as experiment tables.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace neuropuls::sim {
+
+class StatsRegistry {
+ public:
+  /// Adds `delta` to a monotonic counter.
+  void count(const std::string& name, std::uint64_t delta = 1);
+
+  /// Accumulates a real-valued quantity (time, energy, bytes...).
+  void add(const std::string& name, double value);
+
+  /// Records one sample of a distribution (tracks n/min/max/mean).
+  void sample(const std::string& name, double value);
+
+  std::uint64_t counter(const std::string& name) const;
+  double total(const std::string& name) const;
+
+  struct Distribution {
+    std::uint64_t n = 0;
+    double min = 0.0;
+    double max = 0.0;
+    double sum = 0.0;
+    double mean() const { return n == 0 ? 0.0 : sum / static_cast<double>(n); }
+  };
+  const Distribution& distribution(const std::string& name) const;
+
+  /// Pretty-prints every stat, sorted by name.
+  void print(std::ostream& os) const;
+
+  /// Writes every stat as CSV rows `kind,name,value[,n,min,max]` — the
+  /// machine-readable export of the §V "log facility" (what a gem5 run
+  /// would drop as stats.txt for offline analysis).
+  void write_csv(std::ostream& os) const;
+
+  void clear();
+
+ private:
+  std::map<std::string, std::uint64_t> counters_;
+  std::map<std::string, double> totals_;
+  std::map<std::string, Distribution> distributions_;
+};
+
+}  // namespace neuropuls::sim

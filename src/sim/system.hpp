@@ -1,0 +1,113 @@
+// Full-system scenario runner (§V, experiment E10).
+//
+// Wires the simulated platform together — CPU, DRAM, photonic-PUF
+// peripheral, SRAM PUF, key manager, secure accelerator — and executes
+// the security-service pipeline end to end with cycle/energy accounting:
+//
+//   boot_keys     weak PUF read -> fuzzy extractor -> device keys
+//   authenticate  one Fig. 4 mutual-authentication session
+//   attest        one §III-B attestation pass over device memory
+//   load_network  Table I load_network (DMA + hardware crypto)
+//   infer         Table I execute_network x repetitions
+//
+// `run_secure_pipeline` strings them together; `run_insecure_pipeline`
+// is the baseline (plain load + inference, no security services), so the
+// bench can report the overhead of each layer — the system-level impact
+// §V says the simulator must predict.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "accel/secure_api.hpp"
+#include "core/attestation.hpp"
+#include "core/key_manager.hpp"
+#include "core/mutual_auth.hpp"
+#include "puf/photonic_puf.hpp"
+#include "puf/sram_puf.hpp"
+#include "sim/peripherals.hpp"
+
+namespace neuropuls::sim {
+
+struct SystemConfig {
+  puf::PhotonicPufConfig puf = puf::small_photonic_config();
+  std::uint64_t wafer_seed = 2024;
+  std::uint64_t device_index = 0;
+  std::size_t device_memory_bytes = 64 * 1024;
+  std::size_t attestation_chunk = 1024;
+  CpuCosts cpu{};
+  MemoryCosts memory{};
+  MmioCosts mmio{};
+  double accel_mac_time_ps = 0.02;
+};
+
+struct PhaseReport {
+  std::string name;
+  double time_ns = 0.0;
+  double cpu_energy_nj = 0.0;
+  double memory_energy_nj = 0.0;
+};
+
+struct ScenarioReport {
+  std::vector<PhaseReport> phases;
+  double total_time_ns = 0.0;
+  double total_energy_nj = 0.0;
+
+  const PhaseReport* phase(const std::string& name) const;
+};
+
+class SecureSystem {
+ public:
+  explicit SecureSystem(SystemConfig config);
+
+  // Individual phases (usable a la carte).
+  PhaseReport boot_keys();
+  PhaseReport authenticate();
+  PhaseReport attest();
+  /// EKE AKA session-key establishment (§IV) — the expensive option:
+  /// two 2048-bit modexps on the device plus the handshake MACs.
+  PhaseReport establish_session_key();
+  PhaseReport load_network(const accel::MlpNetwork& network);
+  PhaseReport infer(const std::vector<double>& input, std::size_t repetitions);
+
+  /// Full secure pipeline: boot -> auth -> attest -> load -> infer xN;
+  /// with `with_eke` also establishes a forward-secret session key.
+  ScenarioReport run_secure_pipeline(const accel::MlpNetwork& network,
+                                     const std::vector<double>& input,
+                                     std::size_t inferences,
+                                     bool with_eke = false);
+
+  /// Baseline without any security service (plain network load + infer).
+  ScenarioReport run_insecure_pipeline(const accel::MlpNetwork& network,
+                                       const std::vector<double>& input,
+                                       std::size_t inferences);
+
+  const StatsRegistry& stats() const noexcept { return stats_; }
+  double now_ns() const noexcept { return scheduler_.now_ns(); }
+
+ private:
+  PhaseReport finish_phase(const std::string& name, double t0, double e0,
+                           double m0);
+
+  SystemConfig config_;
+  EventScheduler scheduler_;
+  StatsRegistry stats_;
+  CpuModel cpu_;
+  MemoryModel memory_;
+
+  // Device hardware.
+  puf::PhotonicPuf photonic_puf_;
+  puf::PhotonicPuf verifier_model_;  // the verifier's clone
+  puf::SramPuf sram_puf_;
+  PufPeripheral puf_peripheral_;
+  core::KeyManager key_manager_;
+  std::unique_ptr<accel::SecureAccelerator> secure_accel_;
+  std::unique_ptr<AcceleratorPeripheral> accel_peripheral_;
+  crypto::Bytes device_key_;
+  crypto::Bytes session_key_;
+  crypto::Bytes device_memory_;
+  crypto::ChaChaDrbg rng_;
+};
+
+}  // namespace neuropuls::sim

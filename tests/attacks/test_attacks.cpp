@@ -1,0 +1,189 @@
+// Attack-module tests: the headline §IV asymmetry — LR breaks the arbiter
+// PUF and not the photonic one; power analysis breaks electronic leakage
+// levels and not photonic ones — plus engine-level unit tests.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "attacks/brute_force.hpp"
+#include "attacks/ml_attack.hpp"
+#include "attacks/side_channel.hpp"
+#include "puf/arbiter_puf.hpp"
+#include "puf/composite.hpp"
+#include "puf/photonic_puf.hpp"
+
+namespace neuropuls::attacks {
+namespace {
+
+TEST(LogisticModel, LearnsLinearlySeparableData) {
+  // y = [x0 + 0.5*x1 > 0]
+  rng::Xoshiro256 rng(4);
+  std::vector<std::vector<double>> xs;
+  std::vector<std::uint8_t> ys;
+  for (int i = 0; i < 500; ++i) {
+    const double a = rng.uniform(-1, 1), b = rng.uniform(-1, 1);
+    xs.push_back({a, b, 1.0});
+    ys.push_back(a + 0.5 * b > 0 ? 1 : 0);
+  }
+  LogisticModel model;
+  model.train(xs, ys, LogisticConfig{});
+  EXPECT_GT(model.accuracy(xs, ys), 0.97);
+}
+
+TEST(LogisticModel, RejectsBadInput) {
+  LogisticModel model;
+  EXPECT_THROW(model.train({}, {}, LogisticConfig{}), std::invalid_argument);
+  EXPECT_THROW(model.train({{1.0}}, {1, 0}, LogisticConfig{}),
+               std::invalid_argument);
+  EXPECT_THROW(model.train({{1.0}, {1.0, 2.0}}, {1, 0}, LogisticConfig{}),
+               std::invalid_argument);
+  model.train({{1.0}, {-1.0}}, {1, 0}, LogisticConfig{});
+  EXPECT_THROW(model.predict({1.0, 2.0}), std::invalid_argument);
+  EXPECT_THROW(model.accuracy({}, {}), std::invalid_argument);
+}
+
+TEST(FeatureMaps, ShapesAndValues) {
+  const puf::Challenge c = {0b10000001};
+  const auto raw = raw_feature_map()(c);
+  ASSERT_EQ(raw.size(), 9u);
+  EXPECT_DOUBLE_EQ(raw[0], 1.0);
+  EXPECT_DOUBLE_EQ(raw[1], -1.0);
+  EXPECT_DOUBLE_EQ(raw[8], 1.0);  // bias
+
+  const auto parity = parity_feature_map(8)(c);
+  ASSERT_EQ(parity.size(), 9u);
+  // phi_7 = (1-2c_7) = -1; phi_0 = product over all bits = (-1)*(-1) = 1.
+  EXPECT_DOUBLE_EQ(parity[7], -1.0);
+  EXPECT_DOUBLE_EQ(parity[0], 1.0);
+  EXPECT_THROW(parity_feature_map(16)(c), std::invalid_argument);
+}
+
+TEST(MlAttack, BreaksPlainArbiterPuf) {
+  puf::ArbiterPuf target(puf::ArbiterPufConfig{}, 42);
+  AttackConfig config;
+  config.training_crps = 3000;
+  const auto result =
+      model_attack(target, parity_feature_map(target.stages()), config);
+  EXPECT_GT(result.test_accuracy, 0.95);
+}
+
+TEST(MlAttack, XorArbiterHarderAtSameBudget) {
+  puf::ArbiterPufConfig xor_cfg;
+  xor_cfg.xor_chains = 5;
+  puf::ArbiterPuf plain(puf::ArbiterPufConfig{}, 42);
+  puf::ArbiterPuf xored(xor_cfg, 42);
+  AttackConfig config;
+  config.training_crps = 3000;
+  const auto feature = parity_feature_map(plain.stages());
+  const auto plain_result = model_attack(plain, feature, config);
+  const auto xor_result = model_attack(xored, feature, config);
+  EXPECT_GT(plain_result.test_accuracy, xor_result.test_accuracy + 0.2);
+  EXPECT_LT(xor_result.test_accuracy, 0.65);  // near chance
+}
+
+TEST(MlAttack, PhotonicPufResists) {
+  // The §IV claim: "photonic PUFs are expected to provide a greater gain
+  // with respect to modelling attacks". At the arbiter-breaking budget,
+  // LR must stay near chance on the photonic PUF.
+  puf::PhotonicPuf target(puf::small_photonic_config(), 7, 0);
+  AttackConfig config;
+  config.training_crps = 3000;
+  config.test_crps = 300;
+  const double accuracy =
+      mean_attack_accuracy(target, raw_feature_map(), config, 4);
+  EXPECT_LT(accuracy, 0.70);
+  EXPECT_GT(accuracy, 0.35);
+}
+
+TEST(MlAttack, ChallengeEncryptionBlocksArbiterModel) {
+  // The ref.-[30] countermeasure: encrypting challenges with a weak-PUF
+  // key makes even the arbiter PUF unlearnable by its own parity model.
+  auto inner = std::make_unique<puf::ArbiterPuf>(puf::ArbiterPufConfig{}, 42);
+  const std::size_t stages = inner->stages();
+  puf::EncryptedChallengePuf wrapped(std::move(inner),
+                                     crypto::bytes_of("weak key"));
+  AttackConfig config;
+  config.training_crps = 3000;
+  const auto result =
+      model_attack(wrapped, parity_feature_map(stages), config);
+  EXPECT_LT(result.test_accuracy, 0.62);
+}
+
+TEST(MlAttack, AccuracyGrowsWithBudgetOnArbiter) {
+  puf::ArbiterPuf target(puf::ArbiterPufConfig{}, 5);
+  const auto feature = parity_feature_map(target.stages());
+  AttackConfig small;
+  small.training_crps = 100;
+  AttackConfig large;
+  large.training_crps = 5000;
+  const auto small_result = model_attack(target, feature, small);
+  const auto large_result = model_attack(target, feature, large);
+  EXPECT_GT(large_result.test_accuracy, small_result.test_accuracy);
+}
+
+TEST(MlAttack, RejectsEmptyBudget) {
+  puf::ArbiterPuf target(puf::ArbiterPufConfig{}, 5);
+  AttackConfig config;
+  config.training_crps = 0;
+  EXPECT_THROW(model_attack(target, raw_feature_map(), config),
+               std::invalid_argument);
+  EXPECT_THROW(
+      mean_attack_accuracy(target, raw_feature_map(), AttackConfig{}, 0),
+      std::invalid_argument);
+}
+
+// ---- Side channel --------------------------------------------------------------
+
+TEST(SideChannel, ElectronicLeakageBreaksWithFewTraces) {
+  puf::ArbiterPuf target(puf::ArbiterPufConfig{}, 9);
+  const puf::Challenge c(8, 0x3C);
+  const auto result =
+      power_analysis_attack(target, c, 500, electronic_leakage(), 1);
+  EXPECT_GT(result.bit_recovery_accuracy, 0.95);
+}
+
+TEST(SideChannel, PhotonicLeakageResistsSameBudget) {
+  puf::PhotonicPuf target(puf::small_photonic_config(), 9, 0);
+  const puf::Challenge c(2, 0x3C);
+  const auto result =
+      power_analysis_attack(target, c, 500, photonic_leakage(), 1);
+  EXPECT_LT(result.bit_recovery_accuracy, 0.75);
+}
+
+TEST(SideChannel, MoreTracesHelpTheAttacker) {
+  puf::ArbiterPuf target(puf::ArbiterPufConfig{}, 9);
+  const puf::Challenge c(8, 0x3C);
+  LeakageModel weak{0.3, 4.0};
+  const auto few = power_analysis_attack(target, c, 10, weak, 2);
+  const auto many = power_analysis_attack(target, c, 2000, weak, 2);
+  EXPECT_GT(many.bit_recovery_accuracy, few.bit_recovery_accuracy);
+  EXPECT_THROW(power_analysis_attack(target, c, 0, weak, 2),
+               std::invalid_argument);
+}
+
+TEST(SideChannel, RemanenceWindowContrast) {
+  puf::PhotonicPuf photonic(puf::small_photonic_config(), 9, 0);
+  const double photonic_window =
+      remanence_window_s(true, photonic.interrogation_time_s());
+  const double sram_window = remanence_window_s(false, 0.0);
+  EXPECT_LT(photonic_window, 100e-9);       // §IV: below 100 ns
+  EXPECT_GT(sram_window / photonic_window, 1e6);
+}
+
+// ---- Guessing analysis -----------------------------------------------------------
+
+TEST(BruteForce, GuessingNumbers) {
+  EXPECT_DOUBLE_EQ(expected_guesses(1.0), 1.0);
+  EXPECT_DOUBLE_EQ(expected_guesses(8.0), 128.0);
+  EXPECT_GT(expected_guesses(256.0), 1e18);  // capped but astronomical
+  EXPECT_THROW(expected_guesses(-1.0), std::invalid_argument);
+
+  EXPECT_DOUBLE_EQ(online_guess_success(8.0, 256), 1.0);
+  EXPECT_NEAR(online_guess_success(20.0, 1), 1.0 / 1048576.0, 1e-12);
+
+  EXPECT_DOUBLE_EQ(eke_rate_reduction(1e9, 1.0), 1e9);
+  EXPECT_THROW(eke_rate_reduction(0.0, 1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace neuropuls::attacks

@@ -1,0 +1,140 @@
+// CPA-against-AES tests (§IV power side channels) and device-aging tests
+// (§V "effects of aging").
+#include <gtest/gtest.h>
+
+#include "attacks/cpa.hpp"
+#include "puf/ro_puf.hpp"
+#include "puf/sram_puf.hpp"
+
+namespace neuropuls::attacks {
+namespace {
+
+const crypto::Bytes kKey = crypto::from_hex("2b7e151628aed2a6abf7158809cf4f3c");
+
+TEST(Cpa, RecoversKeyAtStrongLeakage) {
+  const CpaLeakageModel exposed{1.0, 2.0};
+  const auto traces = acquire_traces(kKey, 800, exposed, 1);
+  const auto result = cpa_attack(traces, kKey);
+  EXPECT_EQ(result.correct_bytes, 16u);
+  EXPECT_EQ(result.recovered_key, kKey);
+  EXPECT_GT(result.mean_best_correlation, 0.5);
+}
+
+TEST(Cpa, FailsAtAttenuatedLeakage) {
+  // 40 dB power attenuation on the leakage term (the shielded crypto
+  // engine behind the hardware boundary).
+  const CpaLeakageModel shielded{0.01, 2.0};
+  const auto traces = acquire_traces(kKey, 800, shielded, 1);
+  const auto result = cpa_attack(traces, kKey);
+  EXPECT_LT(result.correct_bytes, 4u);  // at most chance-level hits
+}
+
+TEST(Cpa, MoreTracesHelp) {
+  const CpaLeakageModel weak{0.25, 2.0};
+  const auto few = cpa_attack(acquire_traces(kKey, 60, weak, 2), kKey);
+  const auto many = cpa_attack(acquire_traces(kKey, 4000, weak, 2), kKey);
+  EXPECT_GT(many.correct_bytes, few.correct_bytes);
+  EXPECT_EQ(many.correct_bytes, 16u);
+}
+
+TEST(Cpa, TracesToRecoveryFindsBudget) {
+  const CpaLeakageModel exposed{1.0, 2.0};
+  const auto budget = traces_to_full_recovery(
+      kKey, exposed, {50, 200, 800, 3200}, 3);
+  EXPECT_GT(budget, 0u);
+  EXPECT_LE(budget, 800u);
+  // Hopeless model: nothing in the budget list suffices.
+  const CpaLeakageModel hopeless{0.001, 4.0};
+  EXPECT_EQ(traces_to_full_recovery(kKey, hopeless, {50, 200}, 3), 0u);
+}
+
+TEST(Cpa, RejectsBadInput) {
+  EXPECT_THROW(acquire_traces(crypto::Bytes(8, 0), 10, CpaLeakageModel{}, 1),
+               std::invalid_argument);
+  EXPECT_THROW(cpa_attack({}, kKey), std::invalid_argument);
+  std::vector<CpaTrace> bad(1);
+  bad[0].plaintext.resize(3);
+  bad[0].samples.resize(16);
+  EXPECT_THROW(cpa_attack(bad, kKey), std::invalid_argument);
+}
+
+// ---- Aging -------------------------------------------------------------------
+
+TEST(Aging, SramDriftGrowsWithStressTime) {
+  puf::SramPuf device(puf::SramPufConfig{}, 42);
+  const puf::Response enrollment = device.evaluate_noiseless({});
+
+  device.age(100.0);
+  const double d_100h = crypto::fractional_hamming_distance(
+      enrollment, device.evaluate_noiseless({}));
+  device.age(9900.0);  // total 10k hours
+  const double d_10kh = crypto::fractional_hamming_distance(
+      enrollment, device.evaluate_noiseless({}));
+
+  EXPECT_GT(d_100h, 0.0);
+  EXPECT_GT(d_10kh, d_100h);
+  EXPECT_LT(d_10kh, 0.25);  // aging degrades, it does not randomise
+  EXPECT_DOUBLE_EQ(device.age_hours(), 10000.0);
+}
+
+TEST(Aging, SramIncrementalMatchesScale) {
+  // Aging in many small steps accumulates comparable drift to one large
+  // step (sqrt-time composition) — same order of magnitude.
+  puf::SramPuf stepped(puf::SramPufConfig{}, 43);
+  puf::SramPuf jumped(puf::SramPufConfig{}, 43);
+  const puf::Response ref = stepped.evaluate_noiseless({});
+  for (int i = 0; i < 10; ++i) stepped.age(1000.0);
+  jumped.age(10000.0);
+  const double d_stepped = crypto::fractional_hamming_distance(
+      ref, stepped.evaluate_noiseless({}));
+  const double d_jumped = crypto::fractional_hamming_distance(
+      ref, jumped.evaluate_noiseless({}));
+  EXPECT_NEAR(d_stepped, d_jumped, 0.03);
+}
+
+TEST(Aging, SramReenrollmentRestoresReliability) {
+  puf::SramPuf device(puf::SramPufConfig{}, 44);
+  const puf::Response old_enrollment = device.evaluate_noiseless({});
+  device.age(50000.0);
+  // Old enrollment has drifted...
+  const double stale = crypto::fractional_hamming_distance(
+      old_enrollment, device.evaluate_noiseless({}));
+  // ...but a fresh enrollment is reliable again.
+  const puf::Response fresh = device.evaluate_noiseless({});
+  const double refreshed =
+      puf::intra_distance(device, {}, fresh, 10);
+  EXPECT_GT(stale, refreshed);
+}
+
+TEST(Aging, RoFrequenciesDegradeAndBitsDrift) {
+  puf::RoPuf device(puf::RoPufConfig{}, 45);
+  const auto c = puf::encode_ro_challenge(0, 1);
+  const auto count_before = device.expected_count(0);
+
+  // Collect reference bits over many pairs.
+  std::vector<puf::Response> before;
+  for (std::size_t i = 0; i < 60; ++i) {
+    before.push_back(
+        device.evaluate_noiseless(puf::encode_ro_challenge(i, i + 1)));
+  }
+  device.age(20000.0);
+  EXPECT_LT(device.expected_count(0), count_before);  // slower when old
+  int flips = 0;
+  for (std::size_t i = 0; i < 60; ++i) {
+    flips += (device.evaluate_noiseless(puf::encode_ro_challenge(i, i + 1)) !=
+              before[i]);
+  }
+  EXPECT_GT(flips, 0);
+  EXPECT_LT(flips, 30);  // drift, not chaos
+  (void)c;
+}
+
+TEST(Aging, NegativeHoursRejected) {
+  puf::SramPuf sram(puf::SramPufConfig{}, 1);
+  EXPECT_THROW(sram.age(-1.0), std::invalid_argument);
+  puf::RoPuf ro(puf::RoPufConfig{}, 1);
+  EXPECT_THROW(ro.age(-1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace neuropuls::attacks

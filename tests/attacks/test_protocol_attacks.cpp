@@ -1,0 +1,40 @@
+// Verdict pinning for the scripted protocol-attack battery: every attack
+// must fail against the protocol as specified, and the honest parties
+// must remain usable afterwards.
+#include <gtest/gtest.h>
+
+#include "attacks/protocol_attacks.hpp"
+
+namespace neuropuls::attacks {
+namespace {
+
+class Battery : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Battery, AllAttacksFailAllPartiesRecover) {
+  for (const auto& report : run_protocol_battery(GetParam())) {
+    EXPECT_FALSE(report.attacker_succeeded) << report.attack;
+    EXPECT_TRUE(report.honest_parties_recovered) << report.attack;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Battery, ::testing::Values(1u, 2u, 3u));
+
+TEST(Battery, DesyncDepthSweep) {
+  for (unsigned depth : {1u, 2u, 5u, 8u}) {
+    const auto report = desync_attack(7, depth);
+    EXPECT_FALSE(report.attacker_succeeded) << "depth " << depth;
+    EXPECT_TRUE(report.honest_parties_recovered) << "depth " << depth;
+  }
+}
+
+TEST(Battery, ReportsAreLabelled) {
+  const auto battery = run_protocol_battery(1);
+  ASSERT_EQ(battery.size(), 4u);
+  EXPECT_EQ(battery[0].attack, "replay");
+  EXPECT_EQ(battery[1].attack, "mitm-session-graft");
+  EXPECT_EQ(battery[2].attack, "desync");
+  EXPECT_EQ(battery[3].attack, "forgery-scan");
+}
+
+}  // namespace
+}  // namespace neuropuls::attacks

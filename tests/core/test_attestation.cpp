@@ -1,0 +1,178 @@
+// Attestation protocol tests (§III-B): digest correctness, compromise
+// detection, memory-hiding vs the temporal constraint, challenge
+// freshness, and the pPUF-speed property.
+#include <gtest/gtest.h>
+
+#include "core/attestation.hpp"
+#include "puf/photonic_puf.hpp"
+
+namespace neuropuls::core {
+namespace {
+
+crypto::Bytes make_memory(std::size_t size, std::uint64_t seed) {
+  crypto::ChaChaDrbg rng(crypto::concat(
+      {crypto::bytes_of("memory"), crypto::Bytes{static_cast<std::uint8_t>(seed)}}));
+  return rng.generate(size);
+}
+
+struct Harness {
+  std::unique_ptr<puf::PhotonicPuf> device_puf;
+  std::unique_ptr<puf::PhotonicPuf> verifier_model;  // identical clone
+  std::unique_ptr<AttestDevice> device;
+  std::unique_ptr<AttestVerifier> verifier;
+  crypto::ChaChaDrbg rng{crypto::bytes_of("attest-rng")};
+};
+
+Harness make_harness(std::size_t memory_size = 8192) {
+  Harness s;
+  const auto cfg = puf::small_photonic_config();
+  s.device_puf = std::make_unique<puf::PhotonicPuf>(cfg, 81, 0);
+  s.verifier_model = std::make_unique<puf::PhotonicPuf>(cfg, 81, 0);
+  const crypto::Bytes memory = make_memory(memory_size, 1);
+  AttestationConfig config;
+  config.chunk_size = 512;
+  s.device = std::make_unique<AttestDevice>(*s.device_puf, memory, config);
+  s.verifier = std::make_unique<AttestVerifier>(*s.verifier_model, memory,
+                                                config, AttestationCostModel{});
+  return s;
+}
+
+TEST(Attestation, HonestDeviceAccepted) {
+  Harness s = make_harness();
+  const auto request = s.verifier->start(1, /*timestamp=*/1000, s.rng);
+  const auto report = s.device->handle_request(request);
+  ASSERT_TRUE(report.has_value());
+  const double elapsed =
+      s.verifier->honest_time_ns() * s.device->last_time_factor();
+  const auto outcome = s.verifier->check(*report, elapsed);
+  EXPECT_TRUE(outcome.digest_ok);
+  EXPECT_TRUE(outcome.time_ok);
+  EXPECT_TRUE(outcome.accepted);
+}
+
+TEST(Attestation, SingleByteCorruptionDetected) {
+  Harness s = make_harness();
+  s.device->corrupt_memory(4096, 0x5A);
+  const auto request = s.verifier->start(1, 1000, s.rng);
+  const auto report = s.device->handle_request(request);
+  ASSERT_TRUE(report.has_value());
+  const auto outcome = s.verifier->check(*report, s.verifier->honest_time_ns());
+  EXPECT_FALSE(outcome.digest_ok);
+  EXPECT_FALSE(outcome.accepted);
+}
+
+TEST(Attestation, MemoryHidingPassesDigestButFailsTime) {
+  Harness s = make_harness();
+  const crypto::Bytes pristine = s.device->memory();
+  s.device->corrupt_memory(100, 0xFF);
+  // The attacker redirects reads to a pristine copy at 1.6x per-chunk cost
+  // (copy + bounds bookkeeping), beyond the 1.3x bound.
+  s.device->enable_memory_hiding(pristine, 1.6);
+
+  const auto request = s.verifier->start(1, 1000, s.rng);
+  const auto report = s.device->handle_request(request);
+  ASSERT_TRUE(report.has_value());
+  const double elapsed =
+      s.verifier->honest_time_ns() * s.device->last_time_factor();
+  const auto outcome = s.verifier->check(*report, elapsed);
+  EXPECT_TRUE(outcome.digest_ok);    // the hash itself is clean
+  EXPECT_FALSE(outcome.time_ok);     // but the clock gives it away
+  EXPECT_FALSE(outcome.accepted);
+}
+
+TEST(Attestation, DigestDependsOnChallengeAndTimestamp) {
+  // 16 chunks: enough that two independent walk permutations colliding is
+  // practically impossible (16! orderings).
+  Harness s = make_harness(8192);
+  const crypto::Bytes memory = s.device->memory();
+  const puf::Challenge c1(s.device_puf->challenge_bytes(), 0x11);
+  const puf::Challenge c2(s.device_puf->challenge_bytes(), 0x22);
+  const auto d_c1 = attestation_digest(memory, *s.device_puf, 1000, c1, 512);
+  const auto d_c2 = attestation_digest(memory, *s.device_puf, 1000, c2, 512);
+  const auto d_t2 = attestation_digest(memory, *s.device_puf, 2000, c1, 512);
+  EXPECT_NE(d_c1, d_c2);
+  EXPECT_NE(d_c1, d_t2);
+  // Deterministic for fixed inputs.
+  EXPECT_EQ(d_c1, attestation_digest(memory, *s.device_puf, 1000, c1, 512));
+}
+
+TEST(Attestation, DigestCoversAllMemory) {
+  // Any single-chunk change anywhere must change the digest — the walk
+  // "exhausts all memory regions".
+  Harness s = make_harness(4096);
+  const puf::Challenge c(s.device_puf->challenge_bytes(), 0x33);
+  const crypto::Bytes memory = s.device->memory();
+  const auto reference =
+      attestation_digest(memory, *s.device_puf, 7, c, 512);
+  for (std::size_t chunk = 0; chunk < memory.size() / 512; ++chunk) {
+    crypto::Bytes mutated = memory;
+    mutated[chunk * 512 + 13] ^= 0x80;
+    EXPECT_NE(attestation_digest(mutated, *s.device_puf, 7, c, 512),
+              reference)
+        << "chunk " << chunk;
+  }
+}
+
+TEST(Attestation, ReplayedReportRejected) {
+  Harness s = make_harness();
+  const auto request = s.verifier->start(1, 1000, s.rng);
+  const auto report = s.device->handle_request(request);
+  ASSERT_TRUE(report.has_value());
+  ASSERT_TRUE(
+      s.verifier->check(*report, s.verifier->honest_time_ns()).accepted);
+  // The challenge is one-shot: checking the same report again fails.
+  EXPECT_FALSE(
+      s.verifier->check(*report, s.verifier->honest_time_ns()).accepted);
+}
+
+TEST(Attestation, PufFasterThanHashKeepsBoundTight) {
+  // §III-B: "the inherent speed of the pPUF guarantees that the constant
+  // challenge-and-response generation never slows down the protocol."
+  // With the default cost model the per-chunk time must be hash-dominated:
+  // making the PUF instantaneous must not change the honest estimate.
+  AttestationConfig config;
+  AttestationCostModel with_puf;
+  AttestationCostModel free_puf = with_puf;
+  free_puf.puf_response_ns = 0.0;
+  EXPECT_DOUBLE_EQ(honest_attestation_time_ns(1 << 20, config, with_puf),
+                   honest_attestation_time_ns(1 << 20, config, free_puf));
+}
+
+TEST(Attestation, HonestTimeLinearInMemory) {
+  AttestationConfig config;
+  AttestationCostModel cost;
+  const double t1 = honest_attestation_time_ns(1 << 16, config, cost);
+  const double t2 = honest_attestation_time_ns(1 << 17, config, cost);
+  EXPECT_NEAR(t2 / t1, 2.0, 0.01);
+}
+
+TEST(Attestation, MalformedRequestIgnored) {
+  Harness s = make_harness();
+  EXPECT_FALSE(s.device
+                   ->handle_request(net::Message{net::MessageType::kData, 1,
+                                                 crypto::Bytes(64, 0)})
+                   .has_value());
+  EXPECT_FALSE(s.device
+                   ->handle_request(net::Message{
+                       net::MessageType::kAttestRequest, 1, crypto::Bytes(4, 0)})
+                   .has_value());
+}
+
+TEST(Attestation, ConstructionRejectsBadState) {
+  puf::PhotonicPuf p(puf::small_photonic_config(), 81, 0);
+  EXPECT_THROW(AttestDevice(p, {}, AttestationConfig{}),
+               std::invalid_argument);
+  EXPECT_THROW(AttestVerifier(p, {}, AttestationConfig{},
+                              AttestationCostModel{}),
+               std::invalid_argument);
+  EXPECT_THROW(attestation_digest({}, p, 0, puf::Challenge(2, 0), 512),
+               std::invalid_argument);
+  AttestDevice device(p, crypto::Bytes(128, 1), AttestationConfig{});
+  EXPECT_THROW(device.enable_memory_hiding(crypto::Bytes(64, 0), 2.0),
+               std::invalid_argument);
+  EXPECT_THROW(device.enable_memory_hiding(crypto::Bytes(128, 0), 0.5),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace neuropuls::core

@@ -1,0 +1,177 @@
+// BigUint arithmetic and Montgomery modexp tests, including the RFC 3526
+// groups and DH key agreement used by the EKE AKA service.
+#include <gtest/gtest.h>
+
+#include "crypto/bignum.hpp"
+#include "crypto/dh.hpp"
+#include "crypto/prng.hpp"
+
+namespace neuropuls::crypto {
+namespace {
+
+TEST(BigUint, HexRoundTrip) {
+  const auto x = BigUint::from_hex("deadbeefcafebabe0123456789abcdef00");
+  EXPECT_EQ(x.to_hex(), "deadbeefcafebabe0123456789abcdef00");
+  EXPECT_EQ(BigUint{}.to_hex(), "0");
+  EXPECT_EQ(BigUint(0x1234).to_hex(), "1234");
+}
+
+TEST(BigUint, BytesRoundTrip) {
+  const Bytes raw = from_hex("0102030405060708090a0b0c0d");
+  const auto x = BigUint::from_bytes_be(raw);
+  EXPECT_EQ(x.to_bytes_be(raw.size()), raw);
+  // Leading zeros are restored by padding.
+  const Bytes padded = x.to_bytes_be(16);
+  EXPECT_EQ(padded.size(), 16u);
+  EXPECT_EQ(padded[0], 0);
+  EXPECT_EQ(padded[3], 0x01);
+}
+
+TEST(BigUint, BitLength) {
+  EXPECT_EQ(BigUint{}.bit_length(), 0u);
+  EXPECT_EQ(BigUint(1).bit_length(), 1u);
+  EXPECT_EQ(BigUint(0xFF).bit_length(), 8u);
+  EXPECT_EQ((BigUint(1) << 64).bit_length(), 65u);
+}
+
+TEST(BigUint, AdditionCarries) {
+  const auto max64 = BigUint::from_hex("ffffffffffffffff");
+  EXPECT_EQ((max64 + BigUint(1)).to_hex(), "10000000000000000");
+}
+
+TEST(BigUint, SubtractionBorrows) {
+  const auto x = BigUint::from_hex("10000000000000000");
+  EXPECT_EQ((x - BigUint(1)).to_hex(), "ffffffffffffffff");
+}
+
+TEST(BigUint, SubtractionUnderflowThrows) {
+  EXPECT_THROW(BigUint(1) - BigUint(2), std::underflow_error);
+}
+
+TEST(BigUint, MultiplicationCrossLimb) {
+  const auto a = BigUint::from_hex("ffffffffffffffff");
+  EXPECT_EQ((a * a).to_hex(), "fffffffffffffffe0000000000000001");
+  EXPECT_TRUE((a * BigUint{}).is_zero());
+}
+
+TEST(BigUint, ShiftRoundTrip) {
+  const auto x = BigUint::from_hex("123456789abcdef0fedcba9876543210");
+  EXPECT_EQ(((x << 37) >> 37), x);
+  EXPECT_EQ((x >> 200).to_hex(), "0");
+}
+
+TEST(BigUint, DivModSingleLimb) {
+  const auto x = BigUint::from_hex("123456789abcdef00");
+  const auto [q, r] = BigUint::divmod(x, BigUint(1000));
+  EXPECT_EQ(q * BigUint(1000) + r, x);
+  EXPECT_TRUE(r < BigUint(1000));
+}
+
+TEST(BigUint, DivModMultiLimbIdentity) {
+  rng::Xoshiro256 rng(42);
+  for (int trial = 0; trial < 200; ++trial) {
+    Bytes nbytes(1 + rng.uniform_int(48));
+    Bytes dbytes(1 + rng.uniform_int(24));
+    for (auto& b : nbytes) b = static_cast<std::uint8_t>(rng.next());
+    for (auto& b : dbytes) b = static_cast<std::uint8_t>(rng.next());
+    const auto n = BigUint::from_bytes_be(nbytes);
+    const auto d = BigUint::from_bytes_be(dbytes);
+    if (d.is_zero()) continue;
+    const auto [q, r] = BigUint::divmod(n, d);
+    EXPECT_EQ(q * d + r, n);
+    EXPECT_TRUE(r < d);
+  }
+}
+
+TEST(BigUint, DivisionByZeroThrows) {
+  EXPECT_THROW(BigUint::divmod(BigUint(1), BigUint{}), std::domain_error);
+}
+
+TEST(Modexp, SmallKnownValues) {
+  // 3^7 mod 10 = 2187 mod 10 = 7
+  EXPECT_EQ(modexp(BigUint(3), BigUint(7), BigUint(10+1)).to_hex(),
+            BigUint(2187 % 11).to_hex());
+  // Fermat: a^(p-1) = 1 mod p for prime p.
+  EXPECT_EQ(modexp(BigUint(5), BigUint(100002), BigUint(100003)).to_hex(), "1");
+  // Exponent zero.
+  EXPECT_EQ(modexp(BigUint(12345), BigUint{}, BigUint(97)).to_hex(), "1");
+  // Modulus one collapses everything to zero.
+  EXPECT_TRUE(modexp(BigUint(5), BigUint(5), BigUint(1)).is_zero());
+}
+
+TEST(Modexp, MatchesNaiveOnRandomOddModuli) {
+  rng::Xoshiro256 rng(7);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::uint64_t m = (rng.next() | 1) >> 16;  // odd, 48-bit
+    if (m <= 2) continue;
+    const std::uint64_t b = rng.next() % m;
+    const std::uint64_t e = rng.next() % 1000;
+    // Naive repeated multiplication with __int128.
+    unsigned __int128 acc = 1;
+    for (std::uint64_t i = 0; i < e; ++i) acc = (acc * b) % m;
+    const auto got = modexp(BigUint(b), BigUint(e), BigUint(m));
+    EXPECT_EQ(got.to_hex(), BigUint(static_cast<std::uint64_t>(acc)).to_hex());
+  }
+}
+
+TEST(Modexp, EvenModulusFallback) {
+  // 7^5 mod 12 = 16807 mod 12 = 7
+  EXPECT_EQ(modexp(BigUint(7), BigUint(5), BigUint(12)).to_hex(), "7");
+}
+
+TEST(Montgomery, RejectsEvenModulus) {
+  EXPECT_THROW(MontgomeryCtx(BigUint(10)), std::invalid_argument);
+  EXPECT_THROW(MontgomeryCtx(BigUint(1)), std::invalid_argument);
+}
+
+TEST(Montgomery, LargeGroupSelfConsistency) {
+  // (g^a)^b == (g^b)^a mod p in the 2048-bit group — exercises the full
+  // Montgomery pipeline at protocol scale.
+  const auto& group = DhGroup::modp2048();
+  const auto a = BigUint::from_hex("0123456789abcdef0123456789abcdef"
+                                   "0123456789abcdef0123456789abcdef");
+  const auto b = BigUint::from_hex("fedcba9876543210fedcba9876543210"
+                                   "fedcba9876543210fedcba9876543211");
+  const auto ga = modexp(group.generator, a, group.prime);
+  const auto gb = modexp(group.generator, b, group.prime);
+  EXPECT_EQ(modexp(ga, b, group.prime), modexp(gb, a, group.prime));
+}
+
+TEST(Dh, GroupConstantsSane) {
+  EXPECT_EQ(DhGroup::modp2048().prime.bit_length(), 2048u);
+  EXPECT_EQ(DhGroup::modp1536().prime.bit_length(), 1536u);
+  EXPECT_TRUE(DhGroup::modp2048().prime.is_odd());
+  EXPECT_EQ(DhGroup::modp2048().prime_bytes, 256u);
+}
+
+TEST(Dh, KeyAgreement) {
+  const auto& group = DhGroup::modp1536();  // smaller group: faster test
+  ChaChaDrbg rng_a(bytes_of("alice")), rng_b(bytes_of("bob"));
+  const auto alice = dh_generate(group, rng_a);
+  const auto bob = dh_generate(group, rng_b);
+  const Bytes s1 = dh_shared_secret(group, alice.secret, bob.public_value);
+  const Bytes s2 = dh_shared_secret(group, bob.secret, alice.public_value);
+  EXPECT_EQ(s1, s2);
+  EXPECT_EQ(s1.size(), group.prime_bytes);
+}
+
+TEST(Dh, RejectsDegeneratePublicValues) {
+  const auto& group = DhGroup::modp1536();
+  EXPECT_FALSE(dh_public_is_valid(group, BigUint{}));
+  EXPECT_FALSE(dh_public_is_valid(group, BigUint(1)));
+  EXPECT_FALSE(dh_public_is_valid(group, group.prime - BigUint(1)));
+  EXPECT_FALSE(dh_public_is_valid(group, group.prime));
+  EXPECT_TRUE(dh_public_is_valid(group, BigUint(2)));
+  EXPECT_THROW(dh_shared_secret(group, BigUint(5), BigUint(1)),
+               std::runtime_error);
+}
+
+TEST(Dh, DistinctSeedsDistinctKeys) {
+  const auto& group = DhGroup::modp1536();
+  ChaChaDrbg r1(bytes_of("s1")), r2(bytes_of("s2"));
+  EXPECT_NE(dh_generate(group, r1).public_value.to_hex(),
+            dh_generate(group, r2).public_value.to_hex());
+}
+
+}  // namespace
+}  // namespace neuropuls::crypto

@@ -1,0 +1,217 @@
+// AES (FIPS 197 / SP 800-38A / SP 800-38B) and ChaCha20 (RFC 8439) tests
+// against published vectors, plus the sealed-frame helpers used at the
+// accelerator hardware boundary.
+#include <gtest/gtest.h>
+
+#include "crypto/aes.hpp"
+#include "crypto/chacha20.hpp"
+
+namespace neuropuls::crypto {
+namespace {
+
+TEST(Aes, Fips197Aes128) {
+  const Bytes key = from_hex("000102030405060708090a0b0c0d0e0f");
+  Bytes block = from_hex("00112233445566778899aabbccddeeff");
+  Aes cipher(key);
+  cipher.encrypt_block(std::span<std::uint8_t, 16>(block.data(), 16));
+  EXPECT_EQ(to_hex(block), "69c4e0d86a7b0430d8cdb78070b4c55a");
+  cipher.decrypt_block(std::span<std::uint8_t, 16>(block.data(), 16));
+  EXPECT_EQ(to_hex(block), "00112233445566778899aabbccddeeff");
+}
+
+TEST(Aes, Fips197Aes192) {
+  const Bytes key = from_hex("000102030405060708090a0b0c0d0e0f1011121314151617");
+  Bytes block = from_hex("00112233445566778899aabbccddeeff");
+  Aes cipher(key);
+  cipher.encrypt_block(std::span<std::uint8_t, 16>(block.data(), 16));
+  EXPECT_EQ(to_hex(block), "dda97ca4864cdfe06eaf70a0ec0d7191");
+}
+
+TEST(Aes, Fips197Aes256) {
+  const Bytes key = from_hex(
+      "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f");
+  Bytes block = from_hex("00112233445566778899aabbccddeeff");
+  Aes cipher(key);
+  cipher.encrypt_block(std::span<std::uint8_t, 16>(block.data(), 16));
+  EXPECT_EQ(to_hex(block), "8ea2b7ca516745bfeafc49904b496089");
+  cipher.decrypt_block(std::span<std::uint8_t, 16>(block.data(), 16));
+  EXPECT_EQ(to_hex(block), "00112233445566778899aabbccddeeff");
+}
+
+TEST(Aes, RejectsBadKeySize) {
+  EXPECT_THROW(Aes(Bytes(15, 0)), std::invalid_argument);
+  EXPECT_THROW(Aes(Bytes(0, 0)), std::invalid_argument);
+  EXPECT_THROW(Aes(Bytes(33, 0)), std::invalid_argument);
+}
+
+// NIST SP 800-38A F.5.1: CTR-AES128 encrypt.
+TEST(AesCtr, Sp800_38aVector) {
+  const Bytes key = from_hex("2b7e151628aed2a6abf7158809cf4f3c");
+  const Bytes counter = from_hex("f0f1f2f3f4f5f6f7f8f9fafbfcfdfeff");
+  const Bytes plaintext = from_hex(
+      "6bc1bee22e409f96e93d7e117393172a"
+      "ae2d8a571e03ac9c9eb76fac45af8e51"
+      "30c81c46a35ce411e5fbc1191a0a52ef"
+      "f69f2445df4f9b17ad2b417be66c3710");
+  const Bytes expected = from_hex(
+      "874d6191b620e3261bef6864990db6ce"
+      "9806f66b7970fdff8617187bb9fffdff"
+      "5ae4df3edbd5d35e5b4f09020db03eab"
+      "1e031dda2fbe03d1792170a0f3009cee");
+  EXPECT_EQ(aes_ctr(key, counter, plaintext), expected);
+  // CTR is an involution.
+  EXPECT_EQ(aes_ctr(key, counter, expected), plaintext);
+}
+
+TEST(AesCtr, PartialBlock) {
+  const Bytes key(16, 0x42);
+  const Bytes nonce(16, 0x00);
+  const Bytes msg = bytes_of("short");
+  const Bytes ct = aes_ctr(key, nonce, msg);
+  EXPECT_EQ(ct.size(), msg.size());
+  EXPECT_EQ(aes_ctr(key, nonce, ct), msg);
+}
+
+TEST(AesCtr, RejectsBadNonce) {
+  EXPECT_THROW(aes_ctr(Bytes(16, 0), Bytes(12, 0), Bytes(4, 0)),
+               std::invalid_argument);
+}
+
+// NIST SP 800-38B D.1: AES-128 CMAC examples.
+TEST(AesCmac, EmptyMessage) {
+  const Bytes key = from_hex("2b7e151628aed2a6abf7158809cf4f3c");
+  EXPECT_EQ(to_hex(aes_cmac(key, Bytes{})),
+            "bb1d6929e95937287fa37d129b756746");
+}
+
+TEST(AesCmac, Example2) {
+  const Bytes key = from_hex("2b7e151628aed2a6abf7158809cf4f3c");
+  const Bytes msg = from_hex("6bc1bee22e409f96e93d7e117393172a");
+  EXPECT_EQ(to_hex(aes_cmac(key, msg)), "070a16b46b4d4144f79bdd9dd04a287c");
+}
+
+TEST(AesCmac, Example3PartialBlock) {
+  const Bytes key = from_hex("2b7e151628aed2a6abf7158809cf4f3c");
+  const Bytes msg = from_hex(
+      "6bc1bee22e409f96e93d7e117393172a"
+      "ae2d8a571e03ac9c9eb76fac45af8e51"
+      "30c81c46a35ce411");
+  EXPECT_EQ(to_hex(aes_cmac(key, msg)), "dfa66747de9ae63030ca32611497c827");
+}
+
+TEST(AesCmac, Example4FullBlocks) {
+  const Bytes key = from_hex("2b7e151628aed2a6abf7158809cf4f3c");
+  const Bytes msg = from_hex(
+      "6bc1bee22e409f96e93d7e117393172a"
+      "ae2d8a571e03ac9c9eb76fac45af8e51"
+      "30c81c46a35ce411e5fbc1191a0a52ef"
+      "f69f2445df4f9b17ad2b417be66c3710");
+  EXPECT_EQ(to_hex(aes_cmac(key, msg)), "51f0bebf7e3b9d92fc49741779363cfe");
+}
+
+TEST(SealedFrame, RoundTrip) {
+  const Bytes key = bytes_of("device binding key");
+  const Bytes nonce(16, 0x07);
+  const Bytes msg = bytes_of("neural network weights, layer 0");
+  const Bytes frame = aes_ctr_then_mac_seal(key, nonce, msg);
+  EXPECT_EQ(aes_ctr_then_mac_open(key, frame), msg);
+}
+
+TEST(SealedFrame, DetectsTampering) {
+  const Bytes key = bytes_of("device binding key");
+  const Bytes nonce(16, 0x07);
+  Bytes frame = aes_ctr_then_mac_seal(key, nonce, bytes_of("payload"));
+  frame[20] ^= 0x01;
+  EXPECT_THROW(aes_ctr_then_mac_open(key, frame), std::runtime_error);
+}
+
+TEST(SealedFrame, DetectsWrongKey) {
+  const Bytes nonce(16, 0x07);
+  const Bytes frame =
+      aes_ctr_then_mac_seal(bytes_of("key A"), nonce, bytes_of("payload"));
+  EXPECT_THROW(aes_ctr_then_mac_open(bytes_of("key B"), frame),
+               std::runtime_error);
+}
+
+TEST(SealedFrame, RejectsTruncatedFrame) {
+  EXPECT_THROW(aes_ctr_then_mac_open(bytes_of("k"), Bytes(31, 0)),
+               std::runtime_error);
+}
+
+// RFC 8439 section 2.4.2 encryption test vector.
+TEST(ChaCha20, Rfc8439Encryption) {
+  const Bytes key = from_hex(
+      "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f");
+  const Bytes nonce = from_hex("000000000000004a00000000");
+  const Bytes plaintext = bytes_of(
+      "Ladies and Gentlemen of the class of '99: If I could offer you "
+      "only one tip for the future, sunscreen would be it.");
+  const Bytes expected = from_hex(
+      "6e2e359a2568f98041ba0728dd0d6981"
+      "e97e7aec1d4360c20a27afccfd9fae0b"
+      "f91b65c5524733ab8f593dabcd62b357"
+      "1639d624e65152ab8f530c359f0861d8"
+      "07ca0dbf500d6a6156a38e088a22b65e"
+      "52bc514d16ccf806818ce91ab7793736"
+      "5af90bbf74a35be6b40b8eedf2785e42"
+      "874d");
+  EXPECT_EQ(chacha20_xor(key, nonce, 1, plaintext), expected);
+}
+
+TEST(ChaCha20, Involution) {
+  const Bytes key(32, 0xaa);
+  const Bytes nonce(12, 0x01);
+  const Bytes msg = bytes_of("encrypt me twice and you get me back");
+  EXPECT_EQ(chacha20_xor(key, nonce, 7, chacha20_xor(key, nonce, 7, msg)),
+            msg);
+}
+
+TEST(ChaCha20, RejectsBadParams) {
+  EXPECT_THROW(chacha20_xor(Bytes(31, 0), Bytes(12, 0), 0, Bytes{}),
+               std::invalid_argument);
+  EXPECT_THROW(chacha20_xor(Bytes(32, 0), Bytes(11, 0), 0, Bytes{}),
+               std::invalid_argument);
+}
+
+TEST(ChaChaDrbg, DeterministicAcrossInstances) {
+  ChaChaDrbg a(bytes_of("seed"));
+  ChaChaDrbg b(bytes_of("seed"));
+  EXPECT_EQ(a.generate(100), b.generate(100));
+}
+
+TEST(ChaChaDrbg, SeedSensitivity) {
+  ChaChaDrbg a(bytes_of("seed-1"));
+  ChaChaDrbg b(bytes_of("seed-2"));
+  EXPECT_NE(a.generate(32), b.generate(32));
+}
+
+TEST(ChaChaDrbg, UniformRespectsBound) {
+  ChaChaDrbg rng(bytes_of("bound test"));
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.uniform(17), 17u);
+  }
+  EXPECT_THROW(rng.uniform(0), std::invalid_argument);
+}
+
+TEST(ChaChaDrbg, ReseedChangesStream) {
+  ChaChaDrbg a(bytes_of("seed"));
+  ChaChaDrbg b(bytes_of("seed"));
+  a.generate(16);
+  b.generate(16);
+  a.reseed(bytes_of("extra entropy"));
+  EXPECT_NE(a.generate(32), b.generate(32));
+}
+
+TEST(ChaChaDrbg, GenerateSpansBlockBoundaries) {
+  ChaChaDrbg a(bytes_of("boundary"));
+  ChaChaDrbg b(bytes_of("boundary"));
+  // 130 bytes crosses two 64-byte keystream blocks.
+  const Bytes big = a.generate(130);
+  Bytes stitched = b.generate(50);
+  const Bytes rest = b.generate(80);
+  stitched.insert(stitched.end(), rest.begin(), rest.end());
+  EXPECT_EQ(big, stitched);
+}
+
+}  // namespace
+}  // namespace neuropuls::crypto

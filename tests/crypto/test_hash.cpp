@@ -1,0 +1,160 @@
+// SHA-256 / HMAC / HKDF tests against published vectors (FIPS 180-4,
+// RFC 4231, RFC 5869) plus incremental-interface consistency checks.
+#include <gtest/gtest.h>
+
+#include "crypto/hmac.hpp"
+#include "crypto/sha256.hpp"
+#include "crypto/siphash.hpp"
+
+namespace neuropuls::crypto {
+namespace {
+
+std::string hex_digest(ByteView data) {
+  return to_hex(Sha256::hash(data));
+}
+
+TEST(Sha256, EmptyString) {
+  EXPECT_EQ(hex_digest(Bytes{}),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc) {
+  EXPECT_EQ(hex_digest(bytes_of("abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage) {
+  EXPECT_EQ(
+      hex_digest(bytes_of(
+          "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+      "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionAs) {
+  Sha256 h;
+  const Bytes chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.update(chunk);
+  const auto d = h.finalize();
+  EXPECT_EQ(to_hex(Bytes(d.begin(), d.end())),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, IncrementalMatchesOneShot) {
+  const Bytes data = bytes_of("The quick brown fox jumps over the lazy dog");
+  for (std::size_t split = 0; split <= data.size(); ++split) {
+    Sha256 h;
+    h.update(ByteView(data).first(split));
+    h.update(ByteView(data).subspan(split));
+    const auto d = h.finalize();
+    EXPECT_EQ(Bytes(d.begin(), d.end()), Sha256::hash(data))
+        << "split at " << split;
+  }
+}
+
+TEST(Sha256, ResetReusesContext) {
+  Sha256 h;
+  h.update(bytes_of("garbage"));
+  h.reset();
+  h.update(bytes_of("abc"));
+  const auto d = h.finalize();
+  EXPECT_EQ(to_hex(Bytes(d.begin(), d.end())),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+// RFC 4231 test case 1.
+TEST(HmacSha256, Rfc4231Case1) {
+  const Bytes key(20, 0x0b);
+  EXPECT_EQ(to_hex(hmac_sha256(key, bytes_of("Hi There"))),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+// RFC 4231 test case 2 ("Jefe").
+TEST(HmacSha256, Rfc4231Case2) {
+  EXPECT_EQ(
+      to_hex(hmac_sha256(bytes_of("Jefe"),
+                         bytes_of("what do ya want for nothing?"))),
+      "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+// RFC 4231 test case 3: key of 20 0xaa bytes, data of 50 0xdd bytes.
+TEST(HmacSha256, Rfc4231Case3) {
+  const Bytes key(20, 0xaa);
+  const Bytes data(50, 0xdd);
+  EXPECT_EQ(to_hex(hmac_sha256(key, data)),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe");
+}
+
+// RFC 4231 test case 6: key longer than the block size.
+TEST(HmacSha256, Rfc4231Case6LongKey) {
+  const Bytes key(131, 0xaa);
+  EXPECT_EQ(
+      to_hex(hmac_sha256(
+          key, bytes_of("Test Using Larger Than Block-Size Key - Hash Key First"))),
+      "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(HmacSha256, IncrementalMatchesOneShot) {
+  const Bytes key = bytes_of("secret key");
+  const Bytes data = bytes_of("message in several parts");
+  HmacSha256 mac(key);
+  mac.update(ByteView(data).first(7));
+  mac.update(ByteView(data).subspan(7));
+  EXPECT_EQ(mac.finalize(), hmac_sha256(key, data));
+}
+
+// RFC 5869 test case 1.
+TEST(Hkdf, Rfc5869Case1) {
+  const Bytes ikm(22, 0x0b);
+  const Bytes salt = from_hex("000102030405060708090a0b0c");
+  const Bytes info = from_hex("f0f1f2f3f4f5f6f7f8f9");
+  const Bytes prk = hkdf_extract(salt, ikm);
+  EXPECT_EQ(to_hex(prk),
+            "077709362c2e32df0ddc3f0dc47bba6390b6c73bb50f9c3122ec844ad7c2b3e5");
+  const Bytes okm = hkdf_expand(prk, info, 42);
+  EXPECT_EQ(to_hex(okm),
+            "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf"
+            "34007208d5b887185865");
+}
+
+// RFC 5869 test case 3: empty salt and info.
+TEST(Hkdf, Rfc5869Case3EmptySaltInfo) {
+  const Bytes ikm(22, 0x0b);
+  const Bytes okm = hkdf(ByteView{}, ikm, ByteView{}, 42);
+  EXPECT_EQ(to_hex(okm),
+            "8da4e775a563c18f715f802a063c5a31b8a11f5c5ee1879ec3454e5f3c738d2d"
+            "9d201395faa4b61a96c8");
+}
+
+TEST(Hkdf, RejectsOversizedRequest) {
+  const Bytes prk(32, 0x01);
+  EXPECT_THROW(hkdf_expand(prk, ByteView{}, 255 * 32 + 1),
+               std::invalid_argument);
+}
+
+TEST(Hkdf, DistinctInfoGivesIndependentKeys) {
+  const Bytes ikm = bytes_of("puf-derived key material");
+  const Bytes k1 = hkdf(ByteView{}, ikm, bytes_of("enc"), 32);
+  const Bytes k2 = hkdf(ByteView{}, ikm, bytes_of("mac"), 32);
+  EXPECT_NE(k1, k2);
+}
+
+// Reference vector from the SipHash paper (Appendix A).
+TEST(SipHash, PaperVector) {
+  std::array<std::uint8_t, 16> key{};
+  for (int i = 0; i < 16; ++i) key[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(i);
+  Bytes msg(15);
+  for (int i = 0; i < 15; ++i) msg[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(i);
+  EXPECT_EQ(siphash24(key, msg), 0xa129ca6149be45e5ULL);
+}
+
+TEST(SipHash, KeyednessAndDeterminism) {
+  std::array<std::uint8_t, 16> k1{};
+  std::array<std::uint8_t, 16> k2{};
+  k2[0] = 1;
+  const Bytes msg = bytes_of("bus transaction");
+  EXPECT_EQ(siphash24(k1, msg), siphash24(k1, msg));
+  EXPECT_NE(siphash24(k1, msg), siphash24(k2, msg));
+}
+
+}  // namespace
+}  // namespace neuropuls::crypto

@@ -1,0 +1,133 @@
+// Statistical sanity tests for the simulation PRNGs. These are the noise
+// sources behind every physical model, so their moments must be right.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "crypto/prng.hpp"
+
+namespace neuropuls::rng {
+namespace {
+
+TEST(SplitMix, KnownSequence) {
+  // Reference values for seed 0 from the canonical splitmix64.c.
+  std::uint64_t s = 0;
+  EXPECT_EQ(splitmix64_next(s), 0xe220a8397b1dcdafULL);
+  EXPECT_EQ(splitmix64_next(s), 0x6e789e6aa1b965f4ULL);
+  EXPECT_EQ(splitmix64_next(s), 0x06c45d188009454fULL);
+}
+
+TEST(DeriveSeed, DecorrelatesStreams) {
+  const auto s0 = derive_seed(123, 0);
+  const auto s1 = derive_seed(123, 1);
+  const auto other_root = derive_seed(124, 0);
+  EXPECT_NE(s0, s1);
+  EXPECT_NE(s0, other_root);
+  // Deterministic.
+  EXPECT_EQ(derive_seed(123, 0), s0);
+}
+
+TEST(Xoshiro, DeterministicPerSeed) {
+  Xoshiro256 a(99), b(99), c(100);
+  EXPECT_EQ(a.next(), b.next());
+  EXPECT_NE(a.next(), c.next());
+}
+
+TEST(Xoshiro, UniformInUnitInterval) {
+  Xoshiro256 rng(1);
+  double sum = 0.0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / kN, 0.5, 0.01);
+}
+
+TEST(Xoshiro, UniformIntRespectsBound) {
+  Xoshiro256 rng(2);
+  std::array<int, 7> counts{};
+  constexpr int kN = 70000;
+  for (int i = 0; i < kN; ++i) {
+    const auto v = rng.uniform_int(7);
+    ASSERT_LT(v, 7u);
+    counts[v]++;
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c), kN / 7.0, 5.0 * std::sqrt(kN / 7.0));
+  }
+}
+
+TEST(Xoshiro, RangeUniform) {
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(-2.5, 4.5);
+    ASSERT_GE(v, -2.5);
+    ASSERT_LT(v, 4.5);
+  }
+}
+
+TEST(Xoshiro, BernoulliFrequency) {
+  Xoshiro256 rng(4);
+  int hits = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / static_cast<double>(kN), 0.3, 0.01);
+}
+
+TEST(Gaussian, MomentsMatchStandardNormal) {
+  Gaussian g(5);
+  constexpr int kN = 200000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < kN; ++i) {
+    const double x = g.next();
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double mean = sum / kN;
+  const double var = sum_sq / kN - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(Gaussian, ScaledMoments) {
+  Gaussian g(6);
+  constexpr int kN = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < kN; ++i) sum += g.next(10.0, 2.0);
+  EXPECT_NEAR(sum / kN, 10.0, 0.05);
+}
+
+TEST(Gaussian, RayleighMean) {
+  Gaussian g(7);
+  constexpr int kN = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < kN; ++i) sum += g.rayleigh(1.0);
+  // Rayleigh mean = sigma * sqrt(pi/2) ~= 1.2533
+  EXPECT_NEAR(sum / kN, 1.2533, 0.02);
+}
+
+TEST(Gaussian, ExponentialMean) {
+  Gaussian g(8);
+  constexpr int kN = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < kN; ++i) sum += g.exponential(4.0);
+  EXPECT_NEAR(sum / kN, 0.25, 0.01);
+}
+
+TEST(Gaussian, PoissonMeanSmallAndLargeLambda) {
+  Gaussian g(9);
+  constexpr int kN = 50000;
+  double small_sum = 0.0, large_sum = 0.0;
+  for (int i = 0; i < kN; ++i) small_sum += static_cast<double>(g.poisson(3.0));
+  for (int i = 0; i < kN; ++i) large_sum += static_cast<double>(g.poisson(100.0));
+  EXPECT_NEAR(small_sum / kN, 3.0, 0.1);
+  EXPECT_NEAR(large_sum / kN, 100.0, 0.5);
+  EXPECT_EQ(g.poisson(0.0), 0u);
+  EXPECT_EQ(g.poisson(-1.0), 0u);
+}
+
+}  // namespace
+}  // namespace neuropuls::rng

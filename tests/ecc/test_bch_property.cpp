@@ -1,0 +1,128 @@
+// Property sweep over the BCH parameter grid: for every (m, t) pair the
+// code must construct, be systematic, divide by its generator, correct
+// exactly up to t random errors, and expose consistent dimensions.
+#include <gtest/gtest.h>
+
+#include "crypto/prng.hpp"
+#include "ecc/repetition.hpp"
+
+namespace neuropuls::ecc {
+namespace {
+
+struct BchParams {
+  unsigned m;
+  unsigned t;
+  std::size_t expected_k;  // from the standard BCH tables
+};
+
+class BchGrid : public ::testing::TestWithParam<BchParams> {};
+
+TEST_P(BchGrid, DimensionsMatchTables) {
+  const auto p = GetParam();
+  const BchCode code(p.m, p.t);
+  EXPECT_EQ(code.n(), (1u << p.m) - 1);
+  EXPECT_EQ(code.k(), p.expected_k);
+  EXPECT_EQ(code.generator().size() - 1, code.n() - code.k());
+}
+
+TEST_P(BchGrid, RoundTripWithoutErrors) {
+  const auto p = GetParam();
+  const BchCode code(p.m, p.t);
+  rng::Xoshiro256 rng(p.m * 1000 + p.t);
+  for (int trial = 0; trial < 5; ++trial) {
+    BitVec msg(code.k());
+    for (auto& b : msg) b = rng.coin() ? 1 : 0;
+    const BitVec cw = code.encode(msg);
+    EXPECT_EQ(code.extract_message(cw), msg);
+    const auto decoded = code.decode(cw);
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(*decoded, cw);
+  }
+}
+
+TEST_P(BchGrid, CorrectsExactlyTErrors) {
+  const auto p = GetParam();
+  const BchCode code(p.m, p.t);
+  rng::Xoshiro256 rng(p.m * 7777 + p.t);
+  for (int trial = 0; trial < 10; ++trial) {
+    BitVec msg(code.k());
+    for (auto& b : msg) b = rng.coin() ? 1 : 0;
+    const BitVec cw = code.encode(msg);
+    BitVec noisy = cw;
+    // Exactly t distinct error positions.
+    std::vector<std::size_t> positions;
+    while (positions.size() < p.t) {
+      const std::size_t pos = rng.uniform_int(code.n());
+      bool dup = false;
+      for (auto q : positions) dup |= (q == pos);
+      if (!dup) positions.push_back(pos);
+    }
+    for (auto pos : positions) noisy[pos] ^= 1;
+    const auto decoded = code.decode(noisy);
+    ASSERT_TRUE(decoded.has_value())
+        << "m=" << p.m << " t=" << p.t << " trial=" << trial;
+    EXPECT_EQ(*decoded, cw);
+  }
+}
+
+TEST_P(BchGrid, SystematicEverywhere) {
+  const auto p = GetParam();
+  const BchCode code(p.m, p.t);
+  // Each unit-vector message appears verbatim in the high coefficients.
+  for (std::size_t i = 0; i < std::min<std::size_t>(code.k(), 8); ++i) {
+    BitVec msg(code.k(), 0);
+    msg[i] = 1;
+    EXPECT_EQ(code.extract_message(code.encode(msg)), msg);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    StandardCodes, BchGrid,
+    ::testing::Values(BchParams{4, 1, 11}, BchParams{4, 2, 7},
+                      BchParams{4, 3, 5}, BchParams{5, 1, 26},
+                      BchParams{5, 3, 16}, BchParams{5, 5, 11},
+                      BchParams{6, 2, 51}, BchParams{6, 6, 30},
+                      BchParams{7, 4, 99}, BchParams{7, 10, 64},
+                      BchParams{8, 8, 191}),
+    [](const ::testing::TestParamInfo<BchParams>& info) {
+      return "m" + std::to_string(info.param.m) + "_t" +
+             std::to_string(info.param.t);
+    });
+
+// Repetition + concatenated sweep over repetition factors.
+class RepetitionSweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(RepetitionSweep, MajorityCorrectsBelowHalf) {
+  const unsigned r = GetParam();
+  const RepetitionCode code(r);
+  rng::Xoshiro256 rng(r);
+  BitVec msg(32);
+  for (auto& b : msg) b = rng.coin() ? 1 : 0;
+  BitVec cw = code.encode(msg);
+  // Flip floor(r/2) copies of every bit: still decodable.
+  for (std::size_t bit = 0; bit < msg.size(); ++bit) {
+    for (unsigned e = 0; e < r / 2; ++e) {
+      cw[bit * r + e] ^= 1;
+    }
+  }
+  EXPECT_EQ(code.decode(cw), msg);
+}
+
+TEST_P(RepetitionSweep, ConcatenatedRadius) {
+  const unsigned r = GetParam();
+  const ConcatenatedCode code(BchCode(5, 3), RepetitionCode(r));
+  EXPECT_EQ(code.codeword_bits(), 31u * r);
+  EXPECT_EQ(code.message_bits(), 16u);
+  rng::Xoshiro256 rng(100 + r);
+  BitVec msg(code.message_bits());
+  for (auto& b : msg) b = rng.coin() ? 1 : 0;
+  const auto decoded = code.decode(code.encode(msg));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, msg);
+}
+
+INSTANTIATE_TEST_SUITE_P(OddFactors, RepetitionSweep,
+                         ::testing::Values(1u, 3u, 5u, 7u, 9u));
+
+}  // namespace
+}  // namespace neuropuls::ecc

@@ -1,0 +1,190 @@
+// Field-arithmetic and BCH codec tests, including exhaustive small-field
+// identities and randomized error-injection sweeps up to and beyond the
+// design correction radius.
+#include <gtest/gtest.h>
+
+#include "crypto/prng.hpp"
+#include "ecc/bch.hpp"
+#include "ecc/gf2m.hpp"
+
+namespace neuropuls::ecc {
+namespace {
+
+TEST(Gf2m, RejectsBadDegree) {
+  EXPECT_THROW(Gf2m(1), std::invalid_argument);
+  EXPECT_THROW(Gf2m(17), std::invalid_argument);
+}
+
+TEST(Gf2m, MultiplicativeGroupOrder) {
+  for (unsigned m : {3u, 4u, 8u}) {
+    Gf2m field(m);
+    // alpha^n == alpha^0 == 1.
+    EXPECT_EQ(field.alpha_pow(field.n()), 1u) << "m=" << m;
+    // alpha is a generator: powers 0..n-1 are distinct.
+    std::vector<bool> seen(field.n() + 1, false);
+    for (std::uint32_t i = 0; i < field.n(); ++i) {
+      const auto v = field.alpha_pow(i);
+      EXPECT_FALSE(seen[v]) << "repeat at exponent " << i;
+      seen[v] = true;
+    }
+  }
+}
+
+TEST(Gf2m, FieldAxiomsExhaustiveGf16) {
+  Gf2m field(4);
+  for (std::uint32_t a = 1; a <= field.n(); ++a) {
+    EXPECT_EQ(field.mul(a, field.inv(a)), 1u);
+    EXPECT_EQ(field.mul(a, 1), a);
+    EXPECT_EQ(field.mul(a, 0), 0u);
+    for (std::uint32_t b = 1; b <= field.n(); ++b) {
+      EXPECT_EQ(field.mul(a, b), field.mul(b, a));
+      EXPECT_EQ(field.div(field.mul(a, b), b), a);
+    }
+  }
+}
+
+TEST(Gf2m, PowMatchesRepeatedMul) {
+  Gf2m field(8);
+  std::uint32_t acc = 1;
+  const std::uint32_t base = 0x53;
+  for (std::uint32_t e = 0; e < 20; ++e) {
+    EXPECT_EQ(field.pow(base, e), acc);
+    acc = field.mul(acc, base);
+  }
+  EXPECT_EQ(field.pow(0, 0), 1u);
+  EXPECT_EQ(field.pow(0, 5), 0u);
+}
+
+TEST(Bch, ParametersKnownCodes) {
+  // Classic parameter table entries.
+  const BchCode c15_1(4, 1);
+  EXPECT_EQ(c15_1.n(), 15u);
+  EXPECT_EQ(c15_1.k(), 11u);
+  const BchCode c15_3(4, 3);
+  EXPECT_EQ(c15_3.k(), 5u);
+  const BchCode c127_10(7, 10);
+  EXPECT_EQ(c127_10.n(), 127u);
+  EXPECT_EQ(c127_10.k(), 64u);
+  const BchCode c255_8(8, 8);
+  EXPECT_EQ(c255_8.n(), 255u);
+  EXPECT_EQ(c255_8.k(), 191u);
+}
+
+TEST(Bch, RejectsBadParameters) {
+  EXPECT_THROW(BchCode(4, 0), std::invalid_argument);
+  EXPECT_THROW(BchCode(4, 8), std::invalid_argument);
+}
+
+TEST(Bch, EncodeIsSystematic) {
+  const BchCode code(4, 2);  // (15, 7, t=2)
+  BitVec msg(code.k(), 0);
+  msg[0] = 1;
+  msg[3] = 1;
+  const BitVec cw = code.encode(msg);
+  EXPECT_EQ(code.extract_message(cw), msg);
+}
+
+TEST(Bch, CodewordDivisibleByGenerator) {
+  const BchCode code(5, 3);
+  rng::Xoshiro256 rng(11);
+  for (int trial = 0; trial < 20; ++trial) {
+    BitVec msg(code.k());
+    for (auto& b : msg) b = rng.coin() ? 1 : 0;
+    BitVec cw = code.encode(msg);
+    // Long-divide the codeword by g(x); remainder must be zero.
+    const BitVec& g = code.generator();
+    for (std::size_t i = cw.size(); i-- > 0;) {
+      if (i + 1 < g.size()) break;
+      if (!cw[i]) continue;
+      const std::size_t shift = i - (g.size() - 1);
+      for (std::size_t j = 0; j < g.size(); ++j) cw[shift + j] ^= g[j];
+    }
+    for (std::uint8_t bit : cw) EXPECT_EQ(bit, 0);
+  }
+}
+
+TEST(Bch, NoErrorsDecodesIdentically) {
+  const BchCode code(6, 4);
+  rng::Xoshiro256 rng(12);
+  BitVec msg(code.k());
+  for (auto& b : msg) b = rng.coin() ? 1 : 0;
+  const BitVec cw = code.encode(msg);
+  const auto decoded = code.decode(cw);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, cw);
+}
+
+class BchErrorSweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(BchErrorSweep, CorrectsUpToTErrors) {
+  const unsigned t = 5;
+  const BchCode code(7, t);  // (127, 85? no: k from table)
+  const unsigned errors = GetParam();
+  rng::Xoshiro256 rng(100 + errors);
+  for (int trial = 0; trial < 25; ++trial) {
+    BitVec msg(code.k());
+    for (auto& b : msg) b = rng.coin() ? 1 : 0;
+    const BitVec cw = code.encode(msg);
+    BitVec noisy = cw;
+    // Inject exactly `errors` distinct flips.
+    std::vector<std::size_t> positions;
+    while (positions.size() < errors) {
+      const std::size_t p = rng.uniform_int(code.n());
+      bool dup = false;
+      for (auto q : positions) dup |= (q == p);
+      if (!dup) positions.push_back(p);
+    }
+    for (auto p : positions) noisy[p] ^= 1;
+
+    const auto decoded = code.decode(noisy);
+    ASSERT_TRUE(decoded.has_value())
+        << errors << " errors, trial " << trial;
+    EXPECT_EQ(*decoded, cw);
+    EXPECT_EQ(code.extract_message(*decoded), msg);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(UpToRadius, BchErrorSweep,
+                         ::testing::Values(0u, 1u, 2u, 3u, 4u, 5u));
+
+TEST(Bch, BeyondRadiusNeverSilentlyWrong) {
+  // With > t errors the decoder may fail (nullopt) or may land on a
+  // *different valid codeword* (miscorrection — information-theoretically
+  // unavoidable); what it must never do is return a non-codeword or the
+  // original with residual errors. We check: if it returns, the result is
+  // a codeword.
+  const unsigned t = 3;
+  const BchCode code(5, t);  // (31, 16)
+  rng::Xoshiro256 rng(77);
+  int returned = 0, failed = 0;
+  for (int trial = 0; trial < 200; ++trial) {
+    BitVec msg(code.k());
+    for (auto& b : msg) b = rng.coin() ? 1 : 0;
+    const BitVec cw = code.encode(msg);
+    BitVec noisy = cw;
+    for (unsigned e = 0; e < t + 2; ++e) {
+      noisy[rng.uniform_int(code.n())] ^= 1;
+    }
+    const auto decoded = code.decode(noisy);
+    if (!decoded) {
+      ++failed;
+      continue;
+    }
+    ++returned;
+    // Whatever came back must itself re-encode consistently (i.e., be a
+    // valid codeword): re-encoding its message must reproduce it.
+    EXPECT_EQ(code.encode(code.extract_message(*decoded)), *decoded);
+  }
+  // Both outcomes should occur over 200 trials.
+  EXPECT_GT(failed + returned, 0);
+}
+
+TEST(Bch, WrongLengthThrows) {
+  const BchCode code(4, 2);
+  EXPECT_THROW(code.encode(BitVec(3, 0)), std::invalid_argument);
+  EXPECT_THROW(code.decode(BitVec(14, 0)), std::invalid_argument);
+  EXPECT_THROW(code.extract_message(BitVec(3, 0)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace neuropuls::ecc

@@ -1,0 +1,200 @@
+// Filtering tests: the Fig. 3 monotonicity properties (reliability rises,
+// aliasing entropy falls, retention falls as the threshold grows), the
+// trade-off window, and the photocurrent-amplitude adaptation.
+#include <gtest/gtest.h>
+
+#include "filtering/filter.hpp"
+
+namespace neuropuls::filtering {
+namespace {
+
+AnalogPopulation ro_population() {
+  puf::RoPufConfig cfg;
+  cfg.oscillators = 32;
+  // Process variation dominates but layout systematics remain visible:
+  // the regime where the Fig. 3 trade-off window exists.
+  cfg.layout_sigma_hz = 1.5e5;
+  cfg.process_sigma_hz = 2.5e5;
+  cfg.noise_sigma_hz = 5.0e4;
+  return measure_ro_population(cfg, 24, all_ro_pairs(32, 200), 15, 5000);
+}
+
+TEST(FilterSweep, RejectsEmptyInput) {
+  EXPECT_THROW(sweep_lower_threshold(AnalogPopulation{}, {0.0}),
+               std::invalid_argument);
+  EXPECT_THROW(measure_ro_population(puf::RoPufConfig{}, 0, {{0, 1}}, 3, 1),
+               std::invalid_argument);
+  EXPECT_THROW(measure_photonic_population(puf::small_photonic_config(), 2,
+                                           puf::Challenge(2, 0), 0, 1),
+               std::invalid_argument);
+}
+
+TEST(FilterSweep, Fig3MonotonicityOnRoPuf) {
+  const AnalogPopulation pop = ro_population();
+  std::vector<double> thresholds;
+  for (int t = 0; t <= 200; t += 10) thresholds.push_back(t);
+  const auto sweep = sweep_lower_threshold(pop, thresholds);
+
+  // Threshold 0 retains everything.
+  EXPECT_DOUBLE_EQ(sweep.front().retained_fraction, 1.0);
+  // Retention decreases monotonically.
+  for (std::size_t i = 1; i < sweep.size(); ++i) {
+    EXPECT_LE(sweep[i].retained_fraction, sweep[i - 1].retained_fraction + 1e-12);
+  }
+  // Compare the unfiltered baseline to the strongest filter that still
+  // keeps a statistically meaningful share (>= 10%) of CRPs — the tail
+  // points keep a handful of slots and their entropy estimate is noise.
+  const auto& strong = *[&] {
+    const FilterSweepPoint* best = &sweep.front();
+    for (const auto& p : sweep) {
+      if (p.retained_fraction >= 0.10) best = &p;
+    }
+    return best;
+  }();
+  // Fig. 3: reliability rises with threshold...
+  EXPECT_GT(strong.reliability, sweep.front().reliability);
+  // ...and aliasing entropy decreases (extreme margins are layout-driven).
+  EXPECT_LT(strong.aliasing_entropy, sweep.front().aliasing_entropy);
+}
+
+TEST(FilterSweep, TradeoffWindowExists) {
+  const AnalogPopulation pop = ro_population();
+  std::vector<double> thresholds;
+  for (int t = 0; t <= 150; t += 5) thresholds.push_back(t);
+  const auto sweep = sweep_lower_threshold(pop, thresholds);
+  // The shaded Fig. 3 region: good reliability AND good entropy.
+  const auto window = tradeoff_window(sweep, 0.97, 0.79);
+  EXPECT_FALSE(window.empty());
+  for (std::size_t i : window) {
+    EXPECT_GE(sweep[i].reliability, 0.97);
+    EXPECT_GE(sweep[i].aliasing_entropy, 0.79);
+    EXPECT_GT(sweep[i].retained_fraction, 0.0);
+  }
+}
+
+TEST(OnlineMask, WindowSemantics) {
+  const std::vector<double> margins = {-5.0, 0.5, 3.0, -100.0, 7.0};
+  const auto mask = online_mask(margins, 1.0, 50.0);
+  const std::vector<bool> expected = {true, false, true, false, true};
+  EXPECT_EQ(mask, expected);
+  // No upper bound.
+  const auto open_mask = online_mask(margins, 1.0);
+  EXPECT_TRUE(open_mask[3]);
+}
+
+TEST(OnlineMask, FilteredBitsFlipLess) {
+  // Retained (large-margin) RO CRPs must show a lower measured flip rate
+  // than rejected ones on a fresh device.
+  puf::RoPufConfig cfg;
+  cfg.oscillators = 32;
+  cfg.noise_sigma_hz = 8.0e4;  // noisy enough to see flips
+  puf::RoPuf device(cfg, 999);
+  const auto pairs = all_ro_pairs(32, 150);
+
+  std::vector<double> margins;
+  for (const auto& p : pairs) {
+    margins.push_back(static_cast<double>(device.expected_count(p.i) -
+                                          device.expected_count(p.j)));
+  }
+  const auto mask = online_mask(margins, 15.0);
+
+  double kept_flips = 0.0, kept_n = 0.0, dropped_flips = 0.0, dropped_n = 0.0;
+  for (std::size_t p = 0; p < pairs.size(); ++p) {
+    const auto c = puf::encode_ro_challenge(pairs[p].i, pairs[p].j);
+    const auto ref = device.evaluate_noiseless(c);
+    for (int r = 0; r < 20; ++r) {
+      const bool flip = device.evaluate(c) != ref;
+      if (mask[p]) {
+        kept_flips += flip;
+        kept_n += 1.0;
+      } else {
+        dropped_flips += flip;
+        dropped_n += 1.0;
+      }
+    }
+  }
+  ASSERT_GT(kept_n, 0.0);
+  ASSERT_GT(dropped_n, 0.0);
+  EXPECT_LT(kept_flips / kept_n, dropped_flips / dropped_n);
+}
+
+TEST(PhotonicAdaptation, AmplitudeThresholdImprovesReliability) {
+  // The NEUROPULS adaptation: threshold on |photocurrent difference|.
+  auto cfg = puf::small_photonic_config();
+  const puf::Challenge challenge(2, 0x6B);
+  const auto pop = measure_photonic_population(cfg, 6, challenge, 8, 777);
+  ASSERT_EQ(pop.devices, 6u);
+  ASSERT_FALSE(pop.crps.empty());
+
+  // Find the margin scale, then sweep around it.
+  double max_margin = 0.0;
+  for (const auto& crp : pop.crps) {
+    for (double m : crp.margins) max_margin = std::max(max_margin, std::fabs(m));
+  }
+  std::vector<double> thresholds;
+  for (int i = 0; i <= 10; ++i) thresholds.push_back(max_margin * i / 20.0);
+  const auto sweep = sweep_lower_threshold(pop, thresholds);
+
+  EXPECT_DOUBLE_EQ(sweep.front().retained_fraction, 1.0);
+  // Some filtered point beats the unfiltered reliability (or reliability
+  // is already saturated at 1).
+  double best = 0.0;
+  for (const auto& p : sweep) best = std::max(best, p.reliability);
+  EXPECT_GE(best, sweep.front().reliability);
+  // Retention shrinks.
+  EXPECT_LT(sweep.back().retained_fraction, 1.0);
+}
+
+TEST(EvaluateWindow, UpperBoundRemovesAliasedCrps) {
+  // With a strong layout component, the extreme margins are the aliased
+  // ones: adding an upper bound must RAISE the retained entropy relative
+  // to a lower-bound-only filter at the same floor.
+  puf::RoPufConfig cfg;
+  cfg.oscillators = 32;
+  cfg.layout_sigma_hz = 3.0e5;
+  cfg.process_sigma_hz = 2.0e5;
+  cfg.noise_sigma_hz = 5.0e4;
+  const auto pop =
+      measure_ro_population(cfg, 24, all_ro_pairs(32, 200), 15, 6000);
+
+  const double floor = 15.0;
+  const auto open_ended = evaluate_window(
+      pop, floor, std::numeric_limits<double>::infinity());
+  const auto capped = evaluate_window(pop, floor, 60.0);
+  EXPECT_GT(capped.aliasing_entropy, open_ended.aliasing_entropy);
+  EXPECT_LT(capped.retained_fraction, open_ended.retained_fraction);
+  EXPECT_GE(capped.reliability, 0.99);
+}
+
+TEST(EvaluateWindow, DegenerateAndInvalidInputs) {
+  puf::RoPufConfig cfg;
+  cfg.oscillators = 8;
+  const auto pop = measure_ro_population(cfg, 4, all_ro_pairs(8), 3, 1);
+  // Empty window retains nothing and reports neutral stats.
+  const auto none = evaluate_window(pop, 1e9, 2e9);
+  EXPECT_DOUBLE_EQ(none.retained_fraction, 0.0);
+  EXPECT_THROW(evaluate_window(pop, 10.0, 5.0), std::invalid_argument);
+  EXPECT_THROW(evaluate_window(AnalogPopulation{}, 0.0, 1.0),
+               std::invalid_argument);
+}
+
+TEST(EvaluateWindow, MatchesSweepWhenUnbounded) {
+  puf::RoPufConfig cfg;
+  cfg.oscillators = 16;
+  const auto pop = measure_ro_population(cfg, 6, all_ro_pairs(16, 60), 5, 2);
+  const auto sweep = sweep_lower_threshold(pop, {20.0});
+  const auto window = evaluate_window(
+      pop, 20.0, std::numeric_limits<double>::infinity());
+  EXPECT_DOUBLE_EQ(window.retained_fraction, sweep[0].retained_fraction);
+  EXPECT_DOUBLE_EQ(window.reliability, sweep[0].reliability);
+  EXPECT_DOUBLE_EQ(window.aliasing_entropy, sweep[0].aliasing_entropy);
+}
+
+TEST(AllRoPairs, CountsAndCaps) {
+  EXPECT_EQ(all_ro_pairs(5).size(), 10u);
+  EXPECT_EQ(all_ro_pairs(100, 7).size(), 7u);
+  EXPECT_TRUE(all_ro_pairs(1).empty());
+}
+
+}  // namespace
+}  // namespace neuropuls::filtering

@@ -1,0 +1,186 @@
+// Metrics tests: population statistics against hand-computed values and
+// NIST tests against SP 800-22 worked examples.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "crypto/chacha20.hpp"
+#include "metrics/nist.hpp"
+#include "metrics/population.hpp"
+#include "metrics/special_functions.hpp"
+
+namespace neuropuls::metrics {
+namespace {
+
+using crypto::Bytes;
+
+TEST(Uniformity, HandComputed) {
+  EXPECT_DOUBLE_EQ(uniformity(Bytes{0xFF}), 1.0);
+  EXPECT_DOUBLE_EQ(uniformity(Bytes{0x00}), 0.0);
+  EXPECT_DOUBLE_EQ(uniformity(Bytes{0x0F, 0xF0}), 0.5);
+  EXPECT_THROW(uniformity(Bytes{}), std::invalid_argument);
+}
+
+TEST(Uniqueness, HandComputed) {
+  // Three 8-bit devices: pairwise HDs 8/8, 4/8, 4/8 -> mean 2/3.
+  const std::vector<Bytes> devices = {{0x00}, {0xFF}, {0x0F}};
+  EXPECT_NEAR(uniqueness(devices), (1.0 + 0.5 + 0.5) / 3.0, 1e-12);
+  EXPECT_THROW(uniqueness({{0x00}}), std::invalid_argument);
+}
+
+TEST(Reliability, HandComputed) {
+  const Bytes ref{0xF0};
+  // One identical, one with 2 flips of 8.
+  EXPECT_NEAR(reliability(ref, {{0xF0}, {0xC0}}),
+              1.0 - (0.0 + 0.25) / 2.0, 1e-12);
+  EXPECT_DOUBLE_EQ(reliability(ref, {}), 1.0);
+}
+
+TEST(BinaryEntropy, Endpoints) {
+  EXPECT_DOUBLE_EQ(binary_entropy(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(binary_entropy(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(binary_entropy(0.5), 1.0);
+  EXPECT_NEAR(binary_entropy(0.1), 0.469, 0.001);
+}
+
+TEST(BitAliasing, DetectsStuckBit) {
+  // Bit 0 is 1 on all devices (aliased); bit 7 is split 50/50.
+  const std::vector<Bytes> devices = {{0x81}, {0x80}, {0x81}, {0x80}};
+  const auto h = bit_aliasing_entropy(devices);
+  EXPECT_DOUBLE_EQ(h[0], 0.0);       // always 1 -> no entropy
+  EXPECT_DOUBLE_EQ(h[7], 1.0);       // half/half -> full entropy
+  EXPECT_LT(mean_aliasing_entropy(devices), 1.0);
+}
+
+TEST(MinEntropy, PerfectAndStuck) {
+  const std::vector<Bytes> split = {{0x00}, {0xFF}};
+  EXPECT_DOUBLE_EQ(min_entropy_per_bit(split), 1.0);
+  const std::vector<Bytes> stuck = {{0xFF}, {0xFF}};
+  EXPECT_DOUBLE_EQ(min_entropy_per_bit(stuck), 0.0);
+}
+
+TEST(Autocorrelation, AlternatingSequence) {
+  // 0xAA = 10101010...: lag-1 correlation -1, lag-2 correlation +1.
+  const Bytes alt(8, 0xAA);
+  EXPECT_NEAR(bit_autocorrelation(alt, 1), -1.0, 0.05);
+  EXPECT_NEAR(bit_autocorrelation(alt, 2), 1.0, 0.05);
+  EXPECT_THROW(bit_autocorrelation(alt, 0), std::invalid_argument);
+  EXPECT_THROW(bit_autocorrelation(alt, 64), std::invalid_argument);
+}
+
+TEST(PopulationReport, AggregatesAllFields) {
+  crypto::ChaChaDrbg rng(crypto::bytes_of("pop"));
+  std::vector<Bytes> devices;
+  std::vector<std::vector<Bytes>> readings;
+  for (int d = 0; d < 16; ++d) {
+    devices.push_back(rng.generate(32));
+    readings.push_back({devices.back(), devices.back()});
+  }
+  const auto report = population_report(devices, readings);
+  EXPECT_NEAR(report.uniformity_mean, 0.5, 0.06);
+  EXPECT_NEAR(report.uniqueness, 0.5, 0.05);
+  EXPECT_DOUBLE_EQ(report.reliability_mean, 1.0);
+  EXPECT_GT(report.aliasing_entropy_mean, 0.7);
+  EXPECT_GT(report.min_entropy, 0.3);
+  EXPECT_THROW(population_report(devices, {{}}), std::invalid_argument);
+}
+
+// ---- Special functions -------------------------------------------------------
+
+TEST(IncompleteGamma, KnownValues) {
+  // Q(1, x) = exp(-x).
+  EXPECT_NEAR(igamc(1.0, 2.0), std::exp(-2.0), 1e-12);
+  // P + Q = 1.
+  EXPECT_NEAR(igam(2.5, 1.7) + igamc(2.5, 1.7), 1.0, 1e-12);
+  // P(0.5, x) = erf(sqrt(x)).
+  EXPECT_NEAR(igam(0.5, 1.44), std::erf(1.2), 1e-10);
+  EXPECT_DOUBLE_EQ(igam(3.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(igamc(3.0, 0.0), 1.0);
+  EXPECT_THROW(igam(-1.0, 1.0), std::domain_error);
+  EXPECT_THROW(igamc(1.0, -1.0), std::domain_error);
+}
+
+// ---- NIST tests ---------------------------------------------------------------
+
+TEST(Nist, BitsFromBytesMsbFirst) {
+  const auto bits = bits_from_bytes(Bytes{0x81});
+  const Bits expected = {1, 0, 0, 0, 0, 0, 0, 1};
+  EXPECT_EQ(bits, expected);
+}
+
+// SP 800-22 §2.1.8 worked example: the 100-bit expansion of pi's binary
+// digits gives p = 0.109599.
+Bits sp80022_pi_bits() {
+  const char* s =
+      "11001001000011111101101010100010001000010110100011"
+      "00001000110100110001001100011001100010100010111000";
+  Bits bits;
+  for (const char* p = s; *p; ++p) bits.push_back(*p == '1');
+  return bits;
+}
+
+TEST(Nist, FrequencyWorkedExample) {
+  const auto r = nist_frequency(sp80022_pi_bits());
+  EXPECT_NEAR(r.p_value, 0.109599, 1e-4);
+  EXPECT_TRUE(r.passed);
+}
+
+TEST(Nist, RunsWorkedExample) {
+  // SP 800-22 §2.3.8 example (same 100 pi bits): p = 0.500798.
+  const auto r = nist_runs(sp80022_pi_bits());
+  EXPECT_NEAR(r.p_value, 0.500798, 1e-4);
+}
+
+TEST(Nist, CusumWorkedExample) {
+  // SP 800-22 §2.13.8 example (same 100 pi bits): forward p = 0.219194.
+  const auto r = nist_cusum(sp80022_pi_bits());
+  EXPECT_NEAR(r.p_value, 0.219194, 1e-4);
+}
+
+TEST(Nist, RandomDataPassesSuite) {
+  crypto::ChaChaDrbg rng(crypto::bytes_of("nist-random"));
+  const auto bits = bits_from_bytes(rng.generate(4096));
+  const auto results = nist_suite(bits);
+  for (const auto& r : results) {
+    EXPECT_TRUE(r.passed) << r.test << " p=" << r.p_value;
+  }
+  EXPECT_DOUBLE_EQ(nist_pass_fraction(bits), 1.0);
+}
+
+TEST(Nist, ConstantDataFailsHard) {
+  const Bits zeros(1024, 0);
+  EXPECT_LT(nist_frequency(zeros).p_value, 1e-6);
+  EXPECT_FALSE(nist_runs(zeros).passed);
+  EXPECT_FALSE(nist_cusum(zeros).passed);
+  EXPECT_LT(nist_pass_fraction(zeros), 0.5);
+}
+
+TEST(Nist, AlternatingDataFailsRunsButNotFrequency) {
+  Bits alternating(1024);
+  for (std::size_t i = 0; i < alternating.size(); ++i) {
+    alternating[i] = i % 2;
+  }
+  EXPECT_TRUE(nist_frequency(alternating).passed);
+  EXPECT_FALSE(nist_runs(alternating).passed);       // far too many runs
+  EXPECT_FALSE(nist_serial(alternating).passed);     // period-2 structure
+}
+
+TEST(Nist, BiasedDataFailsFrequency) {
+  crypto::ChaChaDrbg rng(crypto::bytes_of("biased"));
+  Bits biased;
+  for (int i = 0; i < 2048; ++i) {
+    biased.push_back(rng.uniform(100) < 60 ? 1 : 0);  // 60% ones
+  }
+  EXPECT_FALSE(nist_frequency(biased).passed);
+}
+
+TEST(Nist, ShortSequencesRejected) {
+  const Bits tiny(50, 1);
+  EXPECT_THROW(nist_frequency(tiny), std::invalid_argument);
+  EXPECT_THROW(nist_longest_run(Bits(100, 1)), std::invalid_argument);
+  EXPECT_THROW(nist_serial(Bits(200, 1), 1), std::invalid_argument);
+  EXPECT_THROW(nist_block_frequency(Bits(200, 1), 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace neuropuls::metrics

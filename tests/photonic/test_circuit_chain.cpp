@@ -1,0 +1,314 @@
+// Tests for the scrambler circuit, source, and detector chain — the
+// end-to-end analog front end of the photonic PUF (Fig. 2).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "photonic/circuit.hpp"
+#include "photonic/detector.hpp"
+#include "photonic/source.hpp"
+
+namespace neuropuls::photonic {
+namespace {
+
+ScramblerDesign small_design() {
+  ScramblerDesign d;
+  d.ports = 8;
+  d.layers = 4;
+  return d;
+}
+
+TEST(Scrambler, RejectsBadGeometry) {
+  FabricationModel fab(1, 0);
+  ScramblerDesign odd = small_design();
+  odd.ports = 7;
+  EXPECT_THROW(ScramblerCircuit(odd, fab), std::invalid_argument);
+  ScramblerDesign no_layers = small_design();
+  no_layers.layers = 0;
+  EXPECT_THROW(ScramblerCircuit(no_layers, fab), std::invalid_argument);
+}
+
+TEST(Scrambler, EnergyNeverCreated) {
+  FabricationModel fab(1, 0);
+  ScramblerCircuit circuit(small_design(), fab);
+  PortVector in(8, Complex{0.0, 0.0});
+  in[0] = Complex{1.0, 0.0};
+  const PortVector out = circuit.evaluate(OperatingPoint{}, in);
+  EXPECT_LE(total_power(out), total_power(in) + 1e-12);
+  EXPECT_GT(total_power(out), 0.0);
+}
+
+TEST(Scrambler, SpreadsPowerAcrossPorts) {
+  FabricationModel fab(1, 0);
+  ScramblerCircuit circuit(small_design(), fab);
+  PortVector in(8, Complex{0.0, 0.0});
+  in[0] = Complex{1.0, 0.0};
+  const PortVector out = circuit.evaluate(OperatingPoint{}, in);
+  // More than half the ports should carry non-negligible power.
+  int lit = 0;
+  for (const auto& e : out) {
+    if (std::norm(e) > 1e-4) ++lit;
+  }
+  EXPECT_GE(lit, 5);
+}
+
+TEST(Scrambler, DevicesShareDesignButDiffer) {
+  const ScramblerDesign design = small_design();
+  ScramblerCircuit dev_a(design, FabricationModel(42, 0));
+  ScramblerCircuit dev_b(design, FabricationModel(42, 1));
+  PortVector in(8, Complex{0.0, 0.0});
+  in[0] = Complex{1.0, 0.0};
+  const auto out_a = dev_a.evaluate(OperatingPoint{}, in);
+  const auto out_b = dev_b.evaluate(OperatingPoint{}, in);
+  double diff = 0.0;
+  for (std::size_t i = 0; i < 8; ++i) {
+    diff += std::abs(std::norm(out_a[i]) - std::norm(out_b[i]));
+  }
+  EXPECT_GT(diff, 1e-3);
+}
+
+TEST(Scrambler, SameDeviceReproducible) {
+  const ScramblerDesign design = small_design();
+  ScramblerCircuit dev_1(design, FabricationModel(42, 5));
+  ScramblerCircuit dev_2(design, FabricationModel(42, 5));
+  PortVector in(8, Complex{0.0, 0.0});
+  in[0] = Complex{1.0, 0.0};
+  const auto out_1 = dev_1.evaluate(OperatingPoint{}, in);
+  const auto out_2 = dev_2.evaluate(OperatingPoint{}, in);
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(out_1[i], out_2[i]);
+  }
+}
+
+TEST(Scrambler, WavelengthSensitivity) {
+  FabricationModel fab(7, 0);
+  ScramblerCircuit circuit(small_design(), fab);
+  PortVector in(8, Complex{0.0, 0.0});
+  in[0] = Complex{1.0, 0.0};
+  const auto o1 = circuit.evaluate(OperatingPoint{1.550e-6, 300.0}, in);
+  const auto o2 = circuit.evaluate(OperatingPoint{1.5504e-6, 300.0}, in);
+  double diff = 0.0;
+  for (std::size_t i = 0; i < 8; ++i) {
+    diff += std::abs(std::norm(o1[i]) - std::norm(o2[i]));
+  }
+  EXPECT_GT(diff, 1e-3);
+}
+
+TEST(Scrambler, MemoryDepthPositiveAndBelow100ns) {
+  // §IV claims the response lives "below 100 ns" — the design-scale
+  // memory depth must respect that bound with huge margin.
+  FabricationModel fab(7, 0);
+  ScramblerCircuit circuit(small_design(), fab);
+  const double depth = circuit.memory_depth_seconds();
+  EXPECT_GT(depth, 0.0);
+  EXPECT_LT(depth, 100e-9);
+}
+
+TEST(TimeDomain, MatchesSteadyStateForCwInput) {
+  // Drive a constant (CW) field; after the transient the time-domain
+  // output power must converge to the frequency-domain steady state.
+  FabricationModel fab(21, 3);
+  ScramblerDesign d = small_design();
+  ScramblerCircuit circuit(d, fab);
+  const OperatingPoint op;
+
+  PortVector in(8, Complex{0.0, 0.0});
+  in[0] = Complex{1.0, 0.0};
+  const auto steady = circuit.evaluate(op, in);
+
+  TimeDomainScrambler td(circuit, op, 40e-12);  // 25 GS/s
+  PortVector last;
+  for (int i = 0; i < 3000; ++i) last = td.step(in);
+  for (std::size_t port = 0; port < 8; ++port) {
+    EXPECT_NEAR(std::norm(last[port]), std::norm(steady[port]), 5e-3)
+        << "port " << port;
+  }
+}
+
+TEST(TimeDomain, HasInterSymbolMemory) {
+  // Two challenge streams identical except in an early bit must produce
+  // different outputs *later* in time — the reservoir property.
+  FabricationModel fab(22, 0);
+  ScramblerDesign d = small_design();
+  ScramblerCircuit circuit(d, fab);
+  TimeDomainScrambler td_a(circuit, OperatingPoint{}, 40e-12);
+  TimeDomainScrambler td_b(circuit, OperatingPoint{}, 40e-12);
+
+  const int kSamples = 400;
+  double late_diff = 0.0;
+  PortVector in_a(8, Complex{0, 0}), in_b(8, Complex{0, 0});
+  for (int i = 0; i < kSamples; ++i) {
+    // Streams differ only during samples [10, 20).
+    const bool bit_a = (i >= 10 && i < 20);
+    in_a[0] = bit_a ? Complex{1.0, 0.0} : Complex{0.3, 0.0};
+    in_b[0] = Complex{0.3, 0.0};
+    const auto out_a = td_a.step(in_a);
+    const auto out_b = td_b.step(in_b);
+    if (i >= 40) {
+      for (std::size_t p = 0; p < 8; ++p) {
+        late_diff += std::abs(out_a[p] - out_b[p]);
+      }
+    }
+  }
+  EXPECT_GT(late_diff, 1e-6);
+}
+
+TEST(TimeDomain, RinglessAblationHasNoMemory) {
+  FabricationModel fab(22, 0);
+  ScramblerDesign d = small_design();
+  d.with_rings = false;
+  ScramblerCircuit circuit(d, fab);
+  TimeDomainScrambler td_a(circuit, OperatingPoint{}, 40e-12);
+  TimeDomainScrambler td_b(circuit, OperatingPoint{}, 40e-12);
+  PortVector in_a(8, Complex{0, 0}), in_b(8, Complex{0, 0});
+  double late_diff = 0.0;
+  for (int i = 0; i < 100; ++i) {
+    in_a[0] = (i < 10) ? Complex{1.0, 0.0} : Complex{0.5, 0.0};
+    in_b[0] = Complex{0.5, 0.0};
+    const auto out_a = td_a.step(in_a);
+    const auto out_b = td_b.step(in_b);
+    if (i >= 11) {
+      for (std::size_t p = 0; p < 8; ++p) {
+        late_diff += std::abs(out_a[p] - out_b[p]);
+      }
+    }
+  }
+  // A memoryless mesh: once the inputs re-converge, outputs re-converge.
+  EXPECT_NEAR(late_diff, 0.0, 1e-12);
+}
+
+TEST(Laser, MeanPowerMatchesSetting) {
+  LaserParameters lp;
+  lp.power_mw = 5.0;
+  Laser laser(lp, 25e9, 1);
+  double power = 0.0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) power += field_power(laser.sample());
+  EXPECT_NEAR(power / kN, 5e-3, 2e-4);
+}
+
+TEST(Laser, RejectsBadParameters) {
+  LaserParameters lp;
+  lp.power_mw = -1.0;
+  EXPECT_THROW(Laser(lp, 25e9, 1), std::invalid_argument);
+}
+
+TEST(Modulator, ExtinctionRatioRespected) {
+  ModulatorParameters mp;
+  mp.extinction_ratio_db = 20.0;
+  mp.insertion_loss_db = 0.0;
+  mp.bandwidth_fraction = 1.0;
+  MachZehnderModulator mzm(mp);
+  const Complex carrier{1.0, 0.0};
+  // Hold each level long enough to settle.
+  Complex on, off;
+  for (int i = 0; i < 200; ++i) on = mzm.modulate(carrier, true);
+  for (int i = 0; i < 200; ++i) off = mzm.modulate(carrier, false);
+  const double er_db = power_ratio_to_db(std::norm(on) / std::norm(off));
+  EXPECT_NEAR(er_db, 20.0, 0.5);
+}
+
+TEST(Modulator, FiniteBandwidthSmoothsTransitions) {
+  ModulatorParameters mp;
+  mp.bandwidth_fraction = 0.3;
+  MachZehnderModulator mzm(mp);
+  const Complex carrier{1.0, 0.0};
+  // First sample after a 0->1 step must sit well below the settled level.
+  for (int i = 0; i < 100; ++i) mzm.modulate(carrier, false);
+  const double first = std::abs(mzm.modulate(carrier, true));
+  double settled = 0.0;
+  for (int i = 0; i < 200; ++i) settled = std::abs(mzm.modulate(carrier, true));
+  EXPECT_LT(first, 0.95 * settled);
+}
+
+TEST(ModulateBits, ProducesExpectedSampleCount) {
+  Laser laser(LaserParameters{}, 25e9, 5);
+  MachZehnderModulator mzm;
+  const std::vector<std::uint8_t> bits = {1, 0, 1, 1};
+  const auto samples = modulate_bits(laser, mzm, bits, 4);
+  EXPECT_EQ(samples.size(), 16u);
+}
+
+TEST(Photodiode, MeanCurrentIsResponsivityTimesPower) {
+  PhotodiodeParameters pp;
+  pp.responsivity = 0.8;
+  pp.dark_current = 0.0;
+  Photodiode pd(pp, 3);
+  EXPECT_NEAR(pd.mean_current(Complex{std::sqrt(1e-3), 0.0}), 0.8e-3, 1e-12);
+}
+
+TEST(Photodiode, PhaseInvariantMeanButCoherentSumIsNot) {
+  // |E|^2 ignores global phase — but the *sum* of two fields depends on
+  // their relative phase. This is the §II-A "PDs sensitive to phase due
+  // to coherence" property.
+  PhotodiodeParameters pp;
+  pp.dark_current = 0.0;
+  Photodiode pd(pp, 4);
+  const Complex e1 = std::polar(0.02, 0.0);
+  const Complex e2_inphase = std::polar(0.02, 0.0);
+  const Complex e2_antiphase = std::polar(0.02, 3.14159265358979);
+  EXPECT_NEAR(pd.mean_current(e1 + e2_inphase), 1.6e-3, 1e-6);
+  EXPECT_NEAR(pd.mean_current(e1 + e2_antiphase), 0.0, 1e-9);
+}
+
+TEST(Photodiode, ShotNoiseGrowsWithPower) {
+  PhotodiodeParameters pp;
+  Photodiode pd(pp, 5);
+  auto noise_std = [&](double power_w) {
+    const Complex field{std::sqrt(power_w), 0.0};
+    const double mean = pd.mean_current(field);
+    double sq = 0.0;
+    constexpr int kN = 4000;
+    for (int i = 0; i < kN; ++i) {
+      const double d = pd.detect(field) - mean;
+      sq += d * d;
+    }
+    return std::sqrt(sq / kN);
+  };
+  EXPECT_GT(noise_std(10e-3), 1.5 * noise_std(0.1e-3));
+}
+
+TEST(Adc, QuantizesAndSaturates) {
+  Adc adc(AdcParameters{8, 1.0, 0.0});
+  EXPECT_EQ(adc.quantize(-0.5), 0u);
+  EXPECT_EQ(adc.quantize(0.0), 0u);
+  EXPECT_EQ(adc.quantize(1.0), 255u);
+  EXPECT_EQ(adc.quantize(2.0), 255u);
+  EXPECT_EQ(adc.quantize(0.5), 128u);
+  EXPECT_THROW(Adc(AdcParameters{0, 1.0, 0.0}), std::invalid_argument);
+  EXPECT_THROW(Adc(AdcParameters{8, -1.0, 0.0}), std::invalid_argument);
+}
+
+TEST(ReadoutChain, IntegrationReducesNoise) {
+  PhotodiodeParameters pp;
+  TiaParameters tp;
+  AdcParameters ap{10, 2.0, 0.0};
+  const Complex field{std::sqrt(0.2e-3), 0.0};
+
+  auto window_std = [&](std::size_t window) {
+    double sum = 0.0, sq = 0.0;
+    constexpr int kReps = 60;
+    for (int rep = 0; rep < kReps; ++rep) {
+      ReadoutChain chain(pp, tp, ap, 25e9,
+                         static_cast<std::uint64_t>(rep) * 977 + window);
+      const std::vector<Complex> samples(window, field);
+      const double v = chain.integrate(samples).mean_current_a;
+      sum += v;
+      sq += v * v;
+    }
+    const double mean = sum / kReps;
+    return std::sqrt(std::max(0.0, sq / kReps - mean * mean));
+  };
+  EXPECT_GT(window_std(4), 1.5 * window_std(64));
+}
+
+TEST(ReadoutChain, EmptyWindowIsZero) {
+  ReadoutChain chain(PhotodiodeParameters{}, TiaParameters{}, AdcParameters{},
+                     25e9, 1);
+  const auto w = chain.integrate({});
+  EXPECT_EQ(w.code, 0u);
+  EXPECT_EQ(w.mean_current_a, 0.0);
+}
+
+}  // namespace
+}  // namespace neuropuls::photonic

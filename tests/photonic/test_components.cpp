@@ -1,0 +1,314 @@
+// Physics sanity tests for the passive components: energy conservation,
+// resonance behaviour, thermo-optic shifts, and fabrication determinism.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "photonic/circuit.hpp"
+#include "photonic/components.hpp"
+#include "photonic/ring.hpp"
+#include "photonic/thermal.hpp"
+
+namespace neuropuls::photonic {
+namespace {
+
+TEST(Constants, DbConversions) {
+  EXPECT_NEAR(db_to_field_factor(0.0), 1.0, 1e-12);
+  // 20 dB power loss -> field factor 0.1
+  EXPECT_NEAR(db_to_field_factor(20.0), 0.1, 1e-12);
+  EXPECT_NEAR(power_ratio_to_db(0.5), -3.0103, 1e-3);
+}
+
+TEST(Waveguide, LosslessIsUnitMagnitude) {
+  Waveguide wg(100e-6, /*loss_db_per_cm=*/0.0);
+  const Complex h = wg.transfer(OperatingPoint{});
+  EXPECT_NEAR(std::abs(h), 1.0, 1e-12);
+}
+
+TEST(Waveguide, LossMatchesLength) {
+  // 2 dB/cm over 1 mm = 0.2 dB power = 10^(-0.01) field.
+  Waveguide wg(1e-3, 2.0);
+  const Complex h = wg.transfer(OperatingPoint{});
+  EXPECT_NEAR(std::abs(h), std::pow(10.0, -0.2 / 20.0), 1e-9);
+}
+
+TEST(Waveguide, PhaseScalesWithIndexAndLength) {
+  OperatingPoint op;
+  Waveguide wg(10e-6, 0.0);
+  const double expected_phase = 2.0 * std::numbers::pi *
+                                kSoiEffectiveIndex * 10e-6 / op.wavelength;
+  const Complex h = wg.transfer(op);
+  // transfer carries exp(-i beta L); compare modulo 2pi.
+  const double got = -std::arg(h);
+  EXPECT_NEAR(std::fmod(expected_phase - got, 2.0 * std::numbers::pi), 0.0,
+              1e-6);
+}
+
+TEST(Waveguide, ThermoOpticShiftsPhase) {
+  Waveguide wg(200e-6, 0.0);
+  OperatingPoint cold{kDefaultWavelength, 300.0};
+  OperatingPoint hot{kDefaultWavelength, 310.0};
+  EXPECT_NE(std::arg(wg.transfer(cold)), std::arg(wg.transfer(hot)));
+}
+
+TEST(Waveguide, GroupDelayPositive) {
+  Waveguide wg(1e-3, 2.0);
+  EXPECT_NEAR(wg.group_delay(), kSoiGroupIndex * 1e-3 / kSpeedOfLight, 1e-18);
+}
+
+TEST(Waveguide, RejectsNegativeLength) {
+  EXPECT_THROW(Waveguide(-1.0), std::invalid_argument);
+}
+
+TEST(DirectionalCoupler, ConservesEnergy) {
+  for (double k2 : {0.1, 0.5, 0.9}) {
+    DirectionalCoupler dc(k2);
+    const Complex in0(0.3, 0.4), in1(-0.2, 0.7);
+    const auto out = dc.couple(in0, in1);
+    EXPECT_NEAR(std::norm(out[0]) + std::norm(out[1]),
+                std::norm(in0) + std::norm(in1), 1e-12)
+        << "k2=" << k2;
+  }
+}
+
+TEST(DirectionalCoupler, SplitRatioCorrect) {
+  DirectionalCoupler dc(0.25);
+  const auto out = dc.couple(Complex{1.0, 0.0}, Complex{0.0, 0.0});
+  EXPECT_NEAR(std::norm(out[0]), 0.75, 1e-12);
+  EXPECT_NEAR(std::norm(out[1]), 0.25, 1e-12);
+}
+
+TEST(DirectionalCoupler, RejectsDegenerateRatio) {
+  EXPECT_THROW(DirectionalCoupler(0.0), std::invalid_argument);
+  EXPECT_THROW(DirectionalCoupler(1.0), std::invalid_argument);
+}
+
+TEST(YSplitter, SplitsEvenlyWithExcessLoss) {
+  YSplitter split(0.3);
+  const auto out = split.split(Complex{1.0, 0.0});
+  EXPECT_NEAR(std::norm(out[0]), std::norm(out[1]), 1e-15);
+  const double total = std::norm(out[0]) + std::norm(out[1]);
+  EXPECT_NEAR(total, std::pow(10.0, -0.3 / 10.0), 1e-9);
+}
+
+TEST(MachZehnder, BalancedArmsActAsCrossCoupler) {
+  // Equal arms, 50/50 couplers: input on port 0 exits entirely on port 1
+  // (the classic MZI cross state), up to the arm loss.
+  MachZehnder mzi(100e-6, 100e-6, 0.5, 0.5, /*loss_db_per_cm=*/0.0);
+  const auto out = mzi.transfer(OperatingPoint{}, Complex{1.0, 0.0},
+                                Complex{0.0, 0.0});
+  EXPECT_NEAR(std::norm(out[0]), 0.0, 1e-12);
+  EXPECT_NEAR(std::norm(out[1]), 1.0, 1e-12);
+}
+
+TEST(MachZehnder, UnbalancedArmsAreWavelengthSelective) {
+  MachZehnder mzi(100e-6, 160e-6, 0.5, 0.5, 0.0);
+  OperatingPoint op1{1.55e-6, 300.0};
+  OperatingPoint op2{1.551e-6, 300.0};
+  const auto o1 = mzi.transfer(op1, Complex{1.0, 0.0}, Complex{0.0, 0.0});
+  const auto o2 = mzi.transfer(op2, Complex{1.0, 0.0}, Complex{0.0, 0.0});
+  EXPECT_GT(std::abs(std::norm(o1[0]) - std::norm(o2[0])), 1e-3);
+}
+
+TEST(Ring, AllPassIsAllPassWhenLossless) {
+  RingParameters rp;
+  rp.loss_db_per_cm = 0.0;
+  MicroringAllPass ring(rp);
+  for (double wl : {1.549e-6, 1.55e-6, 1.5507e-6}) {
+    const Complex h = ring.through(OperatingPoint{wl, 300.0});
+    EXPECT_NEAR(std::abs(h), 1.0, 1e-9) << wl;
+  }
+}
+
+TEST(Ring, LossyRingHasResonanceNotch) {
+  RingParameters rp;
+  rp.loss_db_per_cm = 3.0;
+  rp.power_coupling_in = 0.005;  // near-critical coupling -> deep notch
+  MicroringAllPass ring(rp);
+  // Scan beyond one FSR (~9.1 nm for a 10 um ring) and find the
+  // transmission minimum and maximum.
+  double min_t = 1e9, max_t = -1e9;
+  for (int i = 0; i < 12000; ++i) {
+    const double wl = 1.545e-6 + i * 1e-12;
+    const double t = std::norm(ring.through(OperatingPoint{wl, 300.0}));
+    min_t = std::min(min_t, t);
+    max_t = std::max(max_t, t);
+  }
+  EXPECT_LT(min_t, 0.5);   // a real notch
+  EXPECT_GT(max_t, 0.9);   // nearly transparent off resonance
+}
+
+TEST(Ring, ResonanceShiftsWithTemperature) {
+  RingParameters rp;
+  rp.power_coupling_in = 0.05;
+  MicroringAllPass ring(rp);
+  // Locate the notch at two temperatures; it must move. The second search
+  // is local (±2 nm around the first notch) so we track the *same*
+  // resonance order rather than a neighbour one FSR away.
+  auto find_notch = [&](double temp, double center, double halfwidth) {
+    double best_wl = 0.0, best_t = 1e9;
+    const int steps = static_cast<int>(2.0 * halfwidth / 1e-12);
+    for (int i = 0; i < steps; ++i) {
+      const double wl = center - halfwidth + i * 1e-12;
+      const double t = std::norm(ring.through(OperatingPoint{wl, temp}));
+      if (t < best_t) { best_t = t; best_wl = wl; }
+    }
+    return best_wl;
+  };
+  const double notch_300 = find_notch(300.0, 1.551e-6, 6e-9);
+  const double notch_310 = find_notch(310.0, notch_300 + 0.7e-9, 2e-9);
+  // Non-dispersive model: dlambda/dT = lambda * (dn/dT)/n_eff
+  //                                   ~ 1550nm * 1.86e-4/2.4 ~ 120 pm/K.
+  const double shift_pm_per_k = (notch_310 - notch_300) / 10.0 * 1e12;
+  EXPECT_GT(shift_pm_per_k, 80.0);
+  EXPECT_LT(shift_pm_per_k, 160.0);
+}
+
+TEST(Ring, AddDropEnergySplitsBetweenPorts) {
+  RingParameters rp;
+  rp.loss_db_per_cm = 0.0;
+  rp.power_coupling_in = 0.1;
+  rp.power_coupling_drop = 0.1;
+  MicroringAddDrop ring(rp);
+  // Lossless symmetric add-drop: |through|^2 + |drop|^2 == 1 at every
+  // wavelength.
+  for (int i = 0; i < 50; ++i) {
+    const OperatingPoint op{1.549e-6 + i * 40e-12, 300.0};
+    const double total = std::norm(ring.through(op)) + std::norm(ring.drop(op));
+    EXPECT_NEAR(total, 1.0, 1e-9) << i;
+  }
+}
+
+TEST(Ring, AddDropDropPeaksAtThroughNotch) {
+  RingParameters rp;
+  rp.power_coupling_in = 0.08;
+  rp.power_coupling_drop = 0.08;
+  MicroringAddDrop ring(rp);
+  double min_through = 1e9, drop_at_min = 0.0;
+  for (int i = 0; i < 12000; ++i) {
+    const OperatingPoint op{1.545e-6 + i * 1e-12, 300.0};
+    const double t = std::norm(ring.through(op));
+    if (t < min_through) {
+      min_through = t;
+      drop_at_min = std::norm(ring.drop(op));
+    }
+  }
+  EXPECT_GT(drop_at_min, 0.5);
+}
+
+TEST(Ring, RejectsBadParameters) {
+  RingParameters rp;
+  rp.radius = -1.0;
+  EXPECT_THROW(MicroringAllPass{rp}, std::invalid_argument);
+  RingParameters rp2;
+  rp2.power_coupling_in = 1.5;
+  EXPECT_THROW(MicroringAddDrop{rp2}, std::invalid_argument);
+}
+
+TEST(RingTimeDomain, ImpulseResponseDecaysGeometrically) {
+  RingParameters rp;
+  rp.power_coupling_in = 0.3;
+  MicroringAllPass ring(rp);
+  OperatingPoint op;
+  RingTimeDomain td(ring, op, ring.round_trip_delay());
+  ASSERT_EQ(td.delay_samples(), 1u);
+
+  // Drive an impulse and observe the ringing tail.
+  std::vector<double> tail;
+  tail.push_back(std::abs(td.step(Complex{1.0, 0.0})));
+  for (int i = 0; i < 10; ++i) {
+    tail.push_back(std::abs(td.step(Complex{0.0, 0.0})));
+  }
+  // Tail samples after the first echo decay with constant ratio a*t.
+  ASSERT_GT(tail[2], 0.0);
+  const double ratio1 = tail[3] / tail[2];
+  const double ratio2 = tail[4] / tail[3];
+  EXPECT_NEAR(ratio1, ratio2, 1e-9);
+  EXPECT_LT(ratio1, 1.0);
+}
+
+TEST(RingTimeDomain, EnergyConservedWhenLossless) {
+  RingParameters rp;
+  rp.loss_db_per_cm = 0.0;
+  rp.power_coupling_in = 0.5;
+  MicroringAllPass ring(rp);
+  RingTimeDomain td(ring, OperatingPoint{}, ring.round_trip_delay());
+  double in_energy = 0.0, out_energy = 0.0;
+  rng::Xoshiro256 rng(3);
+  for (int i = 0; i < 5000; ++i) {
+    const Complex in = i < 100 ? Complex{rng.uniform(-1, 1), rng.uniform(-1, 1)}
+                               : Complex{0.0, 0.0};
+    in_energy += std::norm(in);
+    out_energy += std::norm(td.step(in));
+  }
+  EXPECT_NEAR(out_energy / in_energy, 1.0, 1e-6);
+}
+
+TEST(RingTimeDomain, ResetClearsState) {
+  RingParameters rp;
+  MicroringAllPass ring(rp);
+  RingTimeDomain td(ring, OperatingPoint{}, ring.round_trip_delay());
+  td.step(Complex{1.0, 0.0});
+  td.reset();
+  // After reset, a zero input yields exactly zero output.
+  EXPECT_EQ(std::abs(td.step(Complex{0.0, 0.0})), 0.0);
+}
+
+TEST(Fabrication, DeterministicPerDevice) {
+  FabricationModel fab(1234, 7);
+  const auto d1 = fab.sample(3);
+  const auto d2 = fab.sample(3);
+  EXPECT_EQ(d1.d_effective_index, d2.d_effective_index);
+  EXPECT_EQ(d1.d_coupling_ratio, d2.d_coupling_ratio);
+}
+
+TEST(Fabrication, DistinctDevicesDiffer) {
+  FabricationModel fab_a(1234, 7);
+  FabricationModel fab_b(1234, 8);
+  EXPECT_NE(fab_a.sample(0).d_effective_index,
+            fab_b.sample(0).d_effective_index);
+}
+
+TEST(Fabrication, SigmaScalesSpread) {
+  VariationSigmas tight;
+  tight.effective_index = 1e-6;
+  VariationSigmas loose;
+  loose.effective_index = 1e-2;
+  double tight_sum = 0.0, loose_sum = 0.0;
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    tight_sum += std::abs(
+        FabricationModel(1, i, tight).sample(0).d_effective_index);
+    loose_sum += std::abs(
+        FabricationModel(1, i, loose).sample(0).d_effective_index);
+  }
+  EXPECT_GT(loose_sum, 100.0 * tight_sum);
+}
+
+TEST(Thermal, EnvironmentStaysNearMean) {
+  ThermalEnvironment env(300.0, 0.05, 0.02, 9);
+  double sum = 0.0;
+  for (int i = 0; i < 2000; ++i) sum += env.step();
+  EXPECT_NEAR(sum / 2000.0, 300.0, 1.0);
+}
+
+TEST(Thermal, SensorAccuracyBoundsError) {
+  PhotonicTemperatureSensor sensor(0.1, 10);
+  double sq = 0.0;
+  for (int i = 0; i < 5000; ++i) {
+    const double err = sensor.read(305.0) - 305.0;
+    sq += err * err;
+  }
+  EXPECT_NEAR(std::sqrt(sq / 5000.0), 0.1, 0.02);
+}
+
+TEST(Thermal, ControllerRejectsAmbientSwing) {
+  PhotonicTemperatureSensor sensor(0.05, 11);
+  TemperatureController ctrl(300.0, 0.95, sensor);
+  // 10 K ambient excursion shrinks to ~0.5 K at the die.
+  const double die = ctrl.regulate(310.0);
+  EXPECT_NEAR(die, 300.5, 0.3);
+}
+
+}  // namespace
+}  // namespace neuropuls::photonic

@@ -1,0 +1,169 @@
+// Photonic-substrate property sweeps: physical invariants (passivity,
+// reciprocity-style symmetries, frequency/time-domain agreement) must
+// hold over grids of geometries, wavelengths, and fabrication draws —
+// not just at the defaults.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+
+#include "photonic/circuit.hpp"
+#include "photonic/ring.hpp"
+
+namespace neuropuls::photonic {
+namespace {
+
+// ---- Passivity over a geometry x seed grid -----------------------------------
+
+struct MeshCase {
+  std::size_t ports;
+  std::size_t layers;
+  std::uint64_t device;
+};
+
+class MeshGrid : public ::testing::TestWithParam<MeshCase> {};
+
+TEST_P(MeshGrid, NeverAmplifies) {
+  const auto p = GetParam();
+  ScramblerDesign design;
+  design.ports = p.ports;
+  design.layers = p.layers;
+  ScramblerCircuit circuit(design, FabricationModel(2025, p.device));
+
+  rng::Xoshiro256 rng(p.device + 1);
+  for (int trial = 0; trial < 5; ++trial) {
+    PortVector in(p.ports);
+    for (auto& e : in) e = Complex{rng.uniform(-1, 1), rng.uniform(-1, 1)};
+    for (double wl : {1.549e-6, 1.55e-6, 1.552e-6}) {
+      const auto out = circuit.evaluate(OperatingPoint{wl, 300.0}, in);
+      EXPECT_LE(total_power(out), total_power(in) * (1.0 + 1e-9))
+          << "wl=" << wl;
+    }
+  }
+}
+
+TEST_P(MeshGrid, LinearInInputField) {
+  // The passive circuit is linear: evaluate(a*x) == a*evaluate(x).
+  const auto p = GetParam();
+  ScramblerDesign design;
+  design.ports = p.ports;
+  design.layers = p.layers;
+  ScramblerCircuit circuit(design, FabricationModel(2025, p.device));
+  PortVector in(p.ports, Complex{0.0, 0.0});
+  in[0] = Complex{0.7, -0.2};
+  const OperatingPoint op;
+  const auto base = circuit.evaluate(op, in);
+  const Complex scale{1.5, 0.5};
+  PortVector scaled = in;
+  for (auto& e : scaled) e *= scale;
+  const auto scaled_out = circuit.evaluate(op, scaled);
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    EXPECT_NEAR(std::abs(scaled_out[i] - scale * base[i]), 0.0, 1e-12);
+  }
+}
+
+TEST_P(MeshGrid, TimeDomainConvergesToSteadyState) {
+  const auto p = GetParam();
+  ScramblerDesign design;
+  design.ports = p.ports;
+  design.layers = p.layers;
+  ScramblerCircuit circuit(design, FabricationModel(2025, p.device));
+  const OperatingPoint op;
+  PortVector in(p.ports, Complex{0.0, 0.0});
+  in[0] = Complex{1.0, 0.0};
+  const auto steady = circuit.evaluate(op, in);
+
+  TimeDomainScrambler td(circuit, op, 40e-12);
+  PortVector last;
+  for (int i = 0; i < 2500; ++i) last = td.step(in);
+  for (std::size_t port = 0; port < p.ports; ++port) {
+    EXPECT_NEAR(std::norm(last[port]), std::norm(steady[port]), 1e-2)
+        << "port " << port;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, MeshGrid,
+    ::testing::Values(MeshCase{2, 1, 0}, MeshCase{4, 3, 1}, MeshCase{8, 6, 2},
+                      MeshCase{8, 2, 3}, MeshCase{16, 4, 4}),
+    [](const ::testing::TestParamInfo<MeshCase>& info) {
+      return "p" + std::to_string(info.param.ports) + "_l" +
+             std::to_string(info.param.layers) + "_d" +
+             std::to_string(info.param.device);
+    });
+
+// ---- Ring invariants over coupling sweep ---------------------------------------
+
+class RingCoupling : public ::testing::TestWithParam<double> {};
+
+TEST_P(RingCoupling, LosslessAllPassIsUnitModulus) {
+  RingParameters rp;
+  rp.loss_db_per_cm = 0.0;
+  rp.power_coupling_in = GetParam();
+  MicroringAllPass ring(rp);
+  for (int i = 0; i < 40; ++i) {
+    const OperatingPoint op{1.548e-6 + i * 100e-12, 300.0};
+    EXPECT_NEAR(std::abs(ring.through(op)), 1.0, 1e-9);
+  }
+}
+
+TEST_P(RingCoupling, LosslessAddDropConservesPower) {
+  RingParameters rp;
+  rp.loss_db_per_cm = 0.0;
+  rp.power_coupling_in = GetParam();
+  rp.power_coupling_drop = GetParam();
+  MicroringAddDrop ring(rp);
+  for (int i = 0; i < 40; ++i) {
+    const OperatingPoint op{1.548e-6 + i * 100e-12, 300.0};
+    EXPECT_NEAR(std::norm(ring.through(op)) + std::norm(ring.drop(op)), 1.0,
+                1e-9);
+  }
+}
+
+TEST_P(RingCoupling, TimeDomainEnergyConservedLossless) {
+  RingParameters rp;
+  rp.loss_db_per_cm = 0.0;
+  rp.power_coupling_in = GetParam();
+  MicroringAllPass ring(rp);
+  RingTimeDomain td(ring, OperatingPoint{}, ring.round_trip_delay());
+  rng::Xoshiro256 rng(7);
+  double in_energy = 0.0, out_energy = 0.0;
+  for (int i = 0; i < 4000; ++i) {
+    const Complex in = i < 64 ? Complex{rng.uniform(-1, 1), rng.uniform(-1, 1)}
+                              : Complex{0.0, 0.0};
+    in_energy += std::norm(in);
+    out_energy += std::norm(td.step(in));
+  }
+  EXPECT_NEAR(out_energy / in_energy, 1.0, 1e-5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Couplings, RingCoupling,
+                         ::testing::Values(0.02, 0.1, 0.3, 0.5, 0.8));
+
+// ---- Thermo-optic consistency ----------------------------------------------------
+
+class TemperatureSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(TemperatureSweep, WaveguidePhaseMatchesThermoOpticSlope) {
+  const double temp = GetParam();
+  const double length = 500e-6;
+  Waveguide wg(length, 0.0);
+  const OperatingPoint ref{kDefaultWavelength, kReferenceTemperature};
+  const OperatingPoint hot{kDefaultWavelength, temp};
+  // Expected extra phase: 2 pi dn/dT (T - T0) L / lambda, modulo 2 pi.
+  const double expected =
+      2.0 * M_PI * kSiliconThermoOptic * (temp - kReferenceTemperature) *
+      length / kDefaultWavelength;
+  double got = std::arg(wg.transfer(ref)) - std::arg(wg.transfer(hot));
+  const double two_pi = 2.0 * M_PI;
+  double diff = std::fmod(got - expected, two_pi);
+  if (diff > M_PI) diff -= two_pi;
+  if (diff < -M_PI) diff += two_pi;
+  EXPECT_NEAR(diff, 0.0, 1e-6) << "T=" << temp;
+}
+
+INSTANTIATE_TEST_SUITE_P(Kelvin, TemperatureSweep,
+                         ::testing::Values(295.0, 301.0, 310.0, 325.0, 350.0));
+
+}  // namespace
+}  // namespace neuropuls::photonic

@@ -1,0 +1,174 @@
+// Property sweeps across PUF configuration grids: the statistical
+// invariants (determinism, sizes, uniformity bounds, device separation)
+// must hold for *every* geometry, not just the default ones.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "crypto/chacha20.hpp"
+#include "puf/arbiter_puf.hpp"
+#include "puf/photonic_puf.hpp"
+#include "puf/sram_puf.hpp"
+
+namespace neuropuls::puf {
+namespace {
+
+// ---- Photonic PUF geometry grid --------------------------------------------
+
+struct PhotonicGeometry {
+  std::size_t ports;
+  std::size_t layers;
+  std::size_t challenge_bits;
+};
+
+class PhotonicGrid : public ::testing::TestWithParam<PhotonicGeometry> {
+ protected:
+  PhotonicPufConfig config() const {
+    PhotonicPufConfig cfg;
+    cfg.design.ports = GetParam().ports;
+    cfg.design.layers = GetParam().layers;
+    cfg.challenge_bits = GetParam().challenge_bits;
+    cfg.calibration_challenges = 31;
+    return cfg;
+  }
+};
+
+TEST_P(PhotonicGrid, SizesAndDeterminism) {
+  const auto cfg = config();
+  PhotonicPuf puf(cfg, 500, 0);
+  EXPECT_EQ(puf.response_bits(), cfg.challenge_bits * cfg.design.ports / 2);
+  const Challenge c(puf.challenge_bytes(), 0x6C);
+  EXPECT_EQ(puf.evaluate_noiseless(c), puf.evaluate_noiseless(c));
+  EXPECT_EQ(puf.evaluate(c).size(), puf.response_bytes());
+}
+
+TEST_P(PhotonicGrid, DevicesSeparate) {
+  const auto cfg = config();
+  PhotonicPuf a(cfg, 500, 0), b(cfg, 500, 1);
+  crypto::ChaChaDrbg rng(crypto::bytes_of("grid"));
+  double inter = 0.0;
+  for (int t = 0; t < 4; ++t) {
+    const Challenge c = rng.generate(a.challenge_bytes());
+    inter += crypto::fractional_hamming_distance(a.evaluate_noiseless(c),
+                                                 b.evaluate_noiseless(c));
+  }
+  EXPECT_GT(inter / 4.0, 0.25);
+}
+
+TEST_P(PhotonicGrid, ReliabilityBounded) {
+  const auto cfg = config();
+  PhotonicPuf puf(cfg, 500, 2);
+  const Challenge c(puf.challenge_bytes(), 0x39);
+  const Response ref = puf.evaluate_noiseless(c);
+  EXPECT_LT(intra_distance(puf, c, ref, 5), 0.15);
+}
+
+TEST_P(PhotonicGrid, UniformityBounded) {
+  const auto cfg = config();
+  PhotonicPuf puf(cfg, 500, 3);
+  crypto::ChaChaDrbg rng(crypto::bytes_of("uni-grid"));
+  double ones = 0.0;
+  double bits = 0.0;
+  for (int t = 0; t < 6; ++t) {
+    const Response r = puf.evaluate_noiseless(rng.generate(puf.challenge_bytes()));
+    ones += static_cast<double>(crypto::popcount(r));
+    bits += 8.0 * static_cast<double>(r.size());
+  }
+  EXPECT_NEAR(ones / bits, 0.5, 0.12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, PhotonicGrid,
+    ::testing::Values(PhotonicGeometry{4, 2, 16}, PhotonicGeometry{4, 5, 16},
+                      PhotonicGeometry{8, 3, 16}, PhotonicGeometry{8, 6, 32},
+                      PhotonicGeometry{16, 4, 16}),
+    [](const ::testing::TestParamInfo<PhotonicGeometry>& info) {
+      return "p" + std::to_string(info.param.ports) + "_l" +
+             std::to_string(info.param.layers) + "_c" +
+             std::to_string(info.param.challenge_bits);
+    });
+
+// ---- Arbiter grid ------------------------------------------------------------
+
+struct ArbiterGeometry {
+  std::size_t stages;
+  std::size_t xor_chains;
+};
+
+class ArbiterGrid : public ::testing::TestWithParam<ArbiterGeometry> {};
+
+TEST_P(ArbiterGrid, BalanceAndSeparation) {
+  ArbiterPufConfig cfg;
+  cfg.stages = GetParam().stages;
+  cfg.xor_chains = GetParam().xor_chains;
+  ArbiterPuf a(cfg, 1), b(cfg, 2);
+  crypto::ChaChaDrbg rng(crypto::bytes_of("arb-grid"));
+  int ones = 0, diff = 0;
+  constexpr int kN = 1200;
+  for (int i = 0; i < kN; ++i) {
+    const Challenge c = rng.generate(a.challenge_bytes());
+    const auto ra = a.evaluate_noiseless(c);
+    ones += (ra[0] >> 7) & 1;
+    diff += (ra != b.evaluate_noiseless(c));
+  }
+  EXPECT_NEAR(ones / static_cast<double>(kN), 0.5, 0.08);
+  EXPECT_NEAR(diff / static_cast<double>(kN), 0.5, 0.09);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, ArbiterGrid,
+    ::testing::Values(ArbiterGeometry{32, 1}, ArbiterGeometry{64, 1},
+                      ArbiterGeometry{128, 1}, ArbiterGeometry{64, 2},
+                      ArbiterGeometry{64, 4}, ArbiterGeometry{64, 8}),
+    [](const ::testing::TestParamInfo<ArbiterGeometry>& info) {
+      return "s" + std::to_string(info.param.stages) + "_x" +
+             std::to_string(info.param.xor_chains);
+    });
+
+// ---- SRAM noise sweep ----------------------------------------------------------
+
+class SramNoise : public ::testing::TestWithParam<double> {};
+
+TEST_P(SramNoise, IntraDistanceScalesWithNoise) {
+  SramPufConfig cfg;
+  cfg.noise_sigma = GetParam();
+  SramPuf puf(cfg, 77);
+  const Response ref = puf.evaluate_noiseless({});
+  const double intra = intra_distance(puf, {}, ref, 10);
+  // Analytical expectation: P(flip) = P(|skew| < |noise|) ~
+  // 2*phi-ish; just require monotone-consistent bracketing.
+  if (GetParam() <= 0.02) {
+    EXPECT_LT(intra, 0.02);
+  } else if (GetParam() >= 0.5) {
+    EXPECT_GT(intra, 0.08);
+  }
+  EXPECT_LT(intra, 0.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sigmas, SramNoise,
+                         ::testing::Values(0.01, 0.05, 0.1, 0.25, 0.5));
+
+// ---- Enrollment-depth sweep -----------------------------------------------------
+
+class MajorityDepth : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(MajorityDepth, DeeperMajorityNeverWorse) {
+  SramPufConfig cfg;
+  cfg.noise_sigma = 0.3;
+  SramPuf puf(cfg, 5);
+  const Response truth = puf.evaluate_noiseless({});
+  const Response enrolled = enroll_majority(puf, {}, GetParam());
+  const double err = crypto::fractional_hamming_distance(enrolled, truth);
+  // With 2048 cells and sigma 0.3 the single-read error is ~9%; majority
+  // depth k cuts it steadily.
+  EXPECT_LT(err, 0.12);
+  if (GetParam() >= 15) {
+    EXPECT_LT(err, 0.07);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, MajorityDepth,
+                         ::testing::Values(1u, 3u, 7u, 15u, 31u));
+
+}  // namespace
+}  // namespace neuropuls::puf

@@ -1,0 +1,149 @@
+// Tests for the spectral microring-array weak PUF (ref. [12]) and the
+// §II-B temperature-compensated verification.
+#include <gtest/gtest.h>
+
+#include "core/key_manager.hpp"
+#include "puf/photonic_puf.hpp"
+#include "puf/spectral_puf.hpp"
+
+namespace neuropuls::puf {
+namespace {
+
+SpectralPufConfig small_spectral() {
+  SpectralPufConfig cfg;
+  cfg.rings = 12;
+  cfg.wavelength_channels = 512;
+  return cfg;
+}
+
+TEST(SpectralPuf, RejectsBadConfig) {
+  SpectralPufConfig cfg = small_spectral();
+  cfg.rings = 0;
+  EXPECT_THROW(SpectralMicroringPuf(cfg, 1, 0), std::invalid_argument);
+  SpectralPufConfig cfg2 = small_spectral();
+  cfg2.wavelength_channels = 100;  // not a multiple of 8
+  EXPECT_THROW(SpectralMicroringPuf(cfg2, 1, 0), std::invalid_argument);
+  SpectralPufConfig cfg3 = small_spectral();
+  cfg3.channel_spacing = 0.0;
+  EXPECT_THROW(SpectralMicroringPuf(cfg3, 1, 0), std::invalid_argument);
+}
+
+TEST(SpectralPuf, WeakPufSemantics) {
+  SpectralMicroringPuf puf(small_spectral(), 10, 0);
+  EXPECT_EQ(puf.challenge_bytes(), 0u);
+  EXPECT_EQ(puf.response_bytes(), 64u);
+  EXPECT_THROW(puf.evaluate(Challenge{1}), std::invalid_argument);
+}
+
+TEST(SpectralPuf, SpectrumHasResonanceStructure) {
+  SpectralMicroringPuf puf(small_spectral(), 10, 0);
+  const auto spectrum = puf.transmission_spectrum();
+  ASSERT_EQ(spectrum.size(), 512u);
+  double min_t = 1e9, max_t = -1e9;
+  for (double t : spectrum) {
+    min_t = std::min(min_t, t);
+    max_t = std::max(max_t, t);
+  }
+  EXPECT_LT(min_t, 0.6);  // notches from the ring array
+  EXPECT_GT(max_t, 0.8);  // transparent between resonances
+}
+
+TEST(SpectralPuf, MedianThresholdBalancesBits) {
+  SpectralMicroringPuf puf(small_spectral(), 10, 1);
+  const Response r = puf.evaluate_noiseless({});
+  const double ones =
+      static_cast<double>(crypto::popcount(r)) / (8.0 * r.size());
+  EXPECT_NEAR(ones, 0.5, 0.02);  // median split by construction
+}
+
+TEST(SpectralPuf, ReliabilityAndUniqueness) {
+  SpectralMicroringPuf a(small_spectral(), 10, 0);
+  SpectralMicroringPuf b(small_spectral(), 10, 1);
+  const Response ref = a.evaluate_noiseless({});
+  const double intra = intra_distance(a, {}, ref, 8);
+  EXPECT_LT(intra, 0.08);
+  const double inter =
+      crypto::fractional_hamming_distance(ref, b.evaluate_noiseless({}));
+  EXPECT_NEAR(inter, 0.5, 0.15);
+}
+
+TEST(SpectralPuf, SameDeviceReproducible) {
+  SpectralMicroringPuf a(small_spectral(), 10, 4);
+  SpectralMicroringPuf b(small_spectral(), 10, 4);
+  EXPECT_EQ(a.evaluate_noiseless({}), b.evaluate_noiseless({}));
+}
+
+TEST(SpectralPuf, TemperatureShiftsSpectrum) {
+  SpectralMicroringPuf puf(small_spectral(), 10, 0);
+  const Response cold = puf.evaluate_noiseless({});
+  puf.set_temperature(310.0);
+  const Response hot = puf.evaluate_noiseless({});
+  EXPECT_GT(crypto::fractional_hamming_distance(cold, hot), 0.05);
+}
+
+TEST(SpectralPuf, FeedsKeyManager) {
+  // The spectral weak PUF has >= 635 stable bits: it can drive the
+  // default fuzzy extractor directly.
+  SpectralPufConfig cfg = small_spectral();
+  cfg.wavelength_channels = 1024;
+  SpectralMicroringPuf puf(cfg, 10, 2);
+  core::KeyManager keys(puf);
+  crypto::ChaChaDrbg rng(crypto::bytes_of("spectral-enroll"));
+  const auto record = keys.enroll(rng);
+  const auto derived = keys.derive(record);
+  ASSERT_TRUE(derived.has_value());
+  EXPECT_EQ(keys.derive(record)->encryption_key, derived->encryption_key);
+}
+
+// ---- Temperature-compensated verification (§II-B) -----------------------------
+
+TEST(ThermalCompensation, SensorReadingRestoresMatch) {
+  const auto cfg = small_photonic_config();
+  PhotonicPuf device(cfg, 20, 0);
+  const PhotonicPuf verifier_model(cfg, 20, 0);
+  const Challenge c(2, 0x3D);
+
+  // Device drifts to 312 K; the verifier's enrollment-temperature model
+  // no longer matches...
+  device.set_temperature(312.0);
+  const Response drifted = device.evaluate_noiseless(c);
+  const double uncompensated = crypto::fractional_hamming_distance(
+      drifted, verifier_model.evaluate_noiseless(c));
+  EXPECT_GT(uncompensated, 0.15);
+
+  // ...but evaluating the model at the sensor-reported temperature does.
+  const Response compensated_ref =
+      verifier_model.evaluate_noiseless_at(c, 312.0);
+  EXPECT_EQ(drifted, compensated_ref);
+}
+
+TEST(ThermalCompensation, SensorErrorDegradesGracefully) {
+  const auto cfg = small_photonic_config();
+  PhotonicPuf device(cfg, 20, 1);
+  const PhotonicPuf verifier_model(cfg, 20, 1);
+  const Challenge c(2, 0x3D);
+  device.set_temperature(308.0);
+  const Response drifted = device.evaluate_noiseless(c);
+
+  // Exact reading: perfect; 0.2 K error: small mismatch; 5 K error: bad.
+  const double exact = crypto::fractional_hamming_distance(
+      drifted, verifier_model.evaluate_noiseless_at(c, 308.0));
+  const double small_err = crypto::fractional_hamming_distance(
+      drifted, verifier_model.evaluate_noiseless_at(c, 308.2));
+  const double big_err = crypto::fractional_hamming_distance(
+      drifted, verifier_model.evaluate_noiseless_at(c, 313.0));
+  EXPECT_DOUBLE_EQ(exact, 0.0);
+  EXPECT_LE(small_err, big_err);
+  EXPECT_GT(big_err, 0.1);
+}
+
+TEST(ThermalCompensation, AtEnrollmentTempMatchesPlainEvaluate) {
+  const auto cfg = small_photonic_config();
+  const PhotonicPuf model(cfg, 20, 2);
+  const Challenge c(2, 0x11);
+  EXPECT_EQ(model.evaluate_noiseless_at(c, cfg.temperature),
+            model.evaluate_noiseless(c));
+}
+
+}  // namespace
+}  // namespace neuropuls::puf

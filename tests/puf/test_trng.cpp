@@ -1,0 +1,65 @@
+// Photonic TRNG tests: fairness of the noise-differential readout,
+// debiasing, conditioning, and NIST behaviour of each stage.
+#include <gtest/gtest.h>
+
+#include "metrics/nist.hpp"
+#include "puf/trng.hpp"
+
+namespace neuropuls::puf {
+namespace {
+
+PhotonicTrng make_trng(PhotonicPuf& puf) {
+  return PhotonicTrng(puf, Challenge(puf.challenge_bytes(), 0x5A));
+}
+
+TEST(PhotonicTrng, RejectsWrongChallengeSize) {
+  PhotonicPuf puf(small_photonic_config(), 3, 0);
+  EXPECT_THROW(PhotonicTrng(puf, Challenge(1, 0)), std::invalid_argument);
+}
+
+TEST(PhotonicTrng, RawBitsNearlyFair) {
+  PhotonicPuf puf(small_photonic_config(), 3, 0);
+  PhotonicTrng trng = make_trng(puf);
+  const double bias = trng.measured_bias(8192);
+  EXPECT_NEAR(bias, 0.5, 0.03);
+}
+
+TEST(PhotonicTrng, OutputSizesExact) {
+  PhotonicPuf puf(small_photonic_config(), 3, 1);
+  PhotonicTrng trng = make_trng(puf);
+  EXPECT_EQ(trng.raw_bits(100).size(), 13u);  // ceil(100/8)
+  EXPECT_EQ(trng.debiased_bits(64).size(), 8u);
+  EXPECT_EQ(trng.conditioned_bytes(100).size(), 100u);
+}
+
+TEST(PhotonicTrng, SuccessiveOutputsDiffer) {
+  PhotonicPuf puf(small_photonic_config(), 3, 2);
+  PhotonicTrng trng = make_trng(puf);
+  EXPECT_NE(trng.raw_bits(256), trng.raw_bits(256));
+  EXPECT_NE(trng.conditioned_bytes(32), trng.conditioned_bytes(32));
+}
+
+TEST(PhotonicTrng, DebiasedPassesFrequencyAndRuns) {
+  PhotonicPuf puf(small_photonic_config(), 3, 3);
+  PhotonicTrng trng = make_trng(puf);
+  const auto bits = metrics::bits_from_bytes(trng.debiased_bits(4096));
+  EXPECT_TRUE(metrics::nist_frequency(bits).passed);
+  EXPECT_TRUE(metrics::nist_runs(bits).passed);
+}
+
+TEST(PhotonicTrng, ConditionedPassesFullSuite) {
+  PhotonicPuf puf(small_photonic_config(), 3, 4);
+  PhotonicTrng trng = make_trng(puf);
+  const auto bits = metrics::bits_from_bytes(trng.conditioned_bytes(1024));
+  EXPECT_DOUBLE_EQ(metrics::nist_pass_fraction(bits), 1.0);
+}
+
+TEST(PhotonicTrng, ThroughputClaimsSane) {
+  PhotonicPuf puf(small_photonic_config(), 3, 5);
+  PhotonicTrng trng = make_trng(puf);
+  EXPECT_EQ(trng.bits_per_interrogation(), puf.response_bits());
+  EXPECT_GT(trng.raw_throughput_bps(), 1e8);  // >100 Mb/s raw
+}
+
+}  // namespace
+}  // namespace neuropuls::puf

@@ -1,0 +1,117 @@
+// Register-level MMIO tests: bus mapping/dispatch rules and the PUF
+// device's register map semantics (busy period, error states, windows).
+#include <gtest/gtest.h>
+
+#include "puf/photonic_puf.hpp"
+#include "sim/mmio.hpp"
+
+namespace neuropuls::sim {
+namespace {
+
+struct Fixture {
+  EventScheduler scheduler;
+  StatsRegistry stats;
+  CpuModel cpu{scheduler, stats};
+  puf::PhotonicPuf device_puf{puf::small_photonic_config(), 8, 0};
+  PufMmioDevice device{scheduler, device_puf, 100.0};
+  MmioBus bus{cpu};
+
+  Fixture() { bus.map(0x4000'0000, &device); }
+};
+
+TEST(MmioBus, MappingRules) {
+  Fixture f;
+  PufMmioDevice second(f.scheduler, f.device_puf, 100.0);
+  EXPECT_THROW(f.bus.map(0x4000'0000, &second), std::invalid_argument);
+  EXPECT_THROW(f.bus.map(0x4000'0100, &second), std::invalid_argument);
+  EXPECT_NO_THROW(f.bus.map(0x5000'0000, &second));
+  EXPECT_THROW(f.bus.map(0x6000'0002, &second), std::invalid_argument);
+  EXPECT_THROW(f.bus.map(0x7000'0000, nullptr), std::invalid_argument);
+}
+
+TEST(MmioBus, DispatchRules) {
+  Fixture f;
+  EXPECT_THROW(f.bus.read32(0x3000'0000), std::out_of_range);
+  EXPECT_THROW(f.bus.read32(0x4000'0000 + 0x300), std::out_of_range);
+  EXPECT_THROW(f.bus.read32(0x4000'0001), std::invalid_argument);
+  EXPECT_NO_THROW(f.bus.read32(0x4000'0000 + PufMmioDevice::kStatus));
+}
+
+TEST(MmioBus, AccessesChargeCpuTime) {
+  Fixture f;
+  const double t0 = f.scheduler.now_ns();
+  (void)f.bus.read32(0x4000'0000 + PufMmioDevice::kStatus);
+  EXPECT_GT(f.scheduler.now_ns(), t0);
+}
+
+TEST(PufMmio, LengthRegisters) {
+  Fixture f;
+  EXPECT_EQ(f.bus.read32(0x4000'0000 + PufMmioDevice::kChalLen),
+            f.device_puf.challenge_bytes());
+  EXPECT_EQ(f.bus.read32(0x4000'0000 + PufMmioDevice::kRespLen),
+            f.device_puf.response_bytes());
+}
+
+TEST(PufMmio, StartWithoutChallengeRaisesError) {
+  Fixture f;
+  f.bus.write32(0x4000'0000 + PufMmioDevice::kCtrl, PufMmioDevice::kCtrlReset);
+  f.bus.write32(0x4000'0000 + PufMmioDevice::kCtrl, PufMmioDevice::kCtrlStart);
+  EXPECT_TRUE(f.bus.read32(0x4000'0000 + PufMmioDevice::kStatus) &
+              PufMmioDevice::kStatusError);
+}
+
+TEST(PufMmio, BusyThenDone) {
+  Fixture f;
+  const std::uint32_t base = 0x4000'0000;
+  f.bus.write32(base + PufMmioDevice::kChalWindow, 0xAABBCCDD);  // 2-byte chal
+  f.bus.write32(base + PufMmioDevice::kCtrl, PufMmioDevice::kCtrlStart);
+  EXPECT_TRUE(f.bus.read32(base + PufMmioDevice::kStatus) &
+              PufMmioDevice::kStatusBusy);
+  // Response window reads zero while busy.
+  EXPECT_EQ(f.bus.read32(base + PufMmioDevice::kRespWindow), 0u);
+  // Let the device latency elapse.
+  f.scheduler.advance(ps_from_ns(200.0));
+  EXPECT_TRUE(f.bus.read32(base + PufMmioDevice::kStatus) &
+              PufMmioDevice::kStatusDone);
+  EXPECT_NE(f.bus.read32(base + PufMmioDevice::kRespWindow), 0u);
+}
+
+TEST(PufMmio, DriverRoundTripMatchesPuf) {
+  Fixture f;
+  const puf::Challenge c(f.device_puf.challenge_bytes(), 0x3C);
+  const auto via_mmio =
+      mmio_puf_evaluate(f.bus, 0x4000'0000, c, f.cpu, f.scheduler);
+  ASSERT_TRUE(via_mmio.has_value());
+  EXPECT_EQ(via_mmio->size(), f.device_puf.response_bytes());
+  // The MMIO path drives the same physical device: its noiseless
+  // response should be close (noise aside) to the direct evaluation.
+  const auto direct = f.device_puf.evaluate_noiseless(c);
+  EXPECT_LT(crypto::fractional_hamming_distance(*via_mmio, direct), 0.2);
+}
+
+TEST(PufMmio, ResetClearsState) {
+  Fixture f;
+  const std::uint32_t base = 0x4000'0000;
+  f.bus.write32(base + PufMmioDevice::kChalWindow, 0x11223344);
+  f.bus.write32(base + PufMmioDevice::kCtrl, PufMmioDevice::kCtrlStart);
+  f.scheduler.advance(ps_from_ns(200.0));
+  ASSERT_TRUE(f.bus.read32(base + PufMmioDevice::kStatus) &
+              PufMmioDevice::kStatusDone);
+  f.bus.write32(base + PufMmioDevice::kCtrl, PufMmioDevice::kCtrlReset);
+  EXPECT_EQ(f.bus.read32(base + PufMmioDevice::kStatus), 0u);
+  // Start again without rewriting the challenge -> error.
+  f.bus.write32(base + PufMmioDevice::kCtrl, PufMmioDevice::kCtrlStart);
+  EXPECT_TRUE(f.bus.read32(base + PufMmioDevice::kStatus) &
+              PufMmioDevice::kStatusError);
+}
+
+TEST(PufMmio, ReservedWritesIgnored) {
+  Fixture f;
+  const std::uint32_t base = 0x4000'0000;
+  EXPECT_NO_THROW(f.bus.write32(base + PufMmioDevice::kStatus, 0xFFFFFFFF));
+  EXPECT_NO_THROW(f.bus.write32(base + 0x2F0, 0xFFFFFFFF));
+  EXPECT_EQ(f.bus.read32(base + PufMmioDevice::kStatus), 0u);
+}
+
+}  // namespace
+}  // namespace neuropuls::sim
