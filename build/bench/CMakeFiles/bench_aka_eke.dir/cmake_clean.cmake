@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_aka_eke.dir/bench_aka_eke.cpp.o"
+  "CMakeFiles/bench_aka_eke.dir/bench_aka_eke.cpp.o.d"
+  "bench_aka_eke"
+  "bench_aka_eke.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_aka_eke.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_aka_eke.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fuzzy_extractor.dir/bench_fuzzy_extractor.cpp.o"
+  "CMakeFiles/bench_fuzzy_extractor.dir/bench_fuzzy_extractor.cpp.o.d"
+  "bench_fuzzy_extractor"
+  "bench_fuzzy_extractor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fuzzy_extractor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ml_attack.dir/bench_ml_attack.cpp.o"
+  "CMakeFiles/bench_ml_attack.dir/bench_ml_attack.cpp.o.d"
+  "bench_ml_attack"
+  "bench_ml_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ml_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

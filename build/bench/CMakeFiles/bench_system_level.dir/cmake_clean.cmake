@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_system_level.dir/bench_system_level.cpp.o"
+  "CMakeFiles/bench_system_level.dir/bench_system_level.cpp.o.d"
+  "bench_system_level"
+  "bench_system_level.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_system_level.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

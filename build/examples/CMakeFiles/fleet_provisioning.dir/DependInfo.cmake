@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/fleet_provisioning.cpp" "examples/CMakeFiles/fleet_provisioning.dir/fleet_provisioning.cpp.o" "gcc" "examples/CMakeFiles/fleet_provisioning.dir/fleet_provisioning.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/np_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/filtering/CMakeFiles/np_filter.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/np_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/np_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/puf/CMakeFiles/np_puf.dir/DependInfo.cmake"
+  "/root/repo/build/src/ecc/CMakeFiles/np_ecc.dir/DependInfo.cmake"
+  "/root/repo/build/src/photonic/CMakeFiles/np_photonic.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/np_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fleet_provisioning.dir/fleet_provisioning.cpp.o"
+  "CMakeFiles/fleet_provisioning.dir/fleet_provisioning.cpp.o.d"
+  "fleet_provisioning"
+  "fleet_provisioning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fleet_provisioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trng_service.dir/trng_service.cpp.o"
+  "CMakeFiles/trng_service.dir/trng_service.cpp.o.d"
+  "trng_service"
+  "trng_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trng_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("crypto")
+subdirs("ecc")
+subdirs("photonic")
+subdirs("puf")
+subdirs("metrics")
+subdirs("filtering")
+subdirs("net")
+subdirs("core")
+subdirs("accel")
+subdirs("sim")
+subdirs("attacks")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/np_accel.dir/accelerator.cpp.o"
+  "CMakeFiles/np_accel.dir/accelerator.cpp.o.d"
+  "CMakeFiles/np_accel.dir/network.cpp.o"
+  "CMakeFiles/np_accel.dir/network.cpp.o.d"
+  "CMakeFiles/np_accel.dir/secure_api.cpp.o"
+  "CMakeFiles/np_accel.dir/secure_api.cpp.o.d"
+  "libnp_accel.a"
+  "libnp_accel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/np_accel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

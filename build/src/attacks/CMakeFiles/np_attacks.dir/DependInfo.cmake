@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/attacks/brute_force.cpp" "src/attacks/CMakeFiles/np_attacks.dir/brute_force.cpp.o" "gcc" "src/attacks/CMakeFiles/np_attacks.dir/brute_force.cpp.o.d"
+  "/root/repo/src/attacks/cpa.cpp" "src/attacks/CMakeFiles/np_attacks.dir/cpa.cpp.o" "gcc" "src/attacks/CMakeFiles/np_attacks.dir/cpa.cpp.o.d"
+  "/root/repo/src/attacks/ml_attack.cpp" "src/attacks/CMakeFiles/np_attacks.dir/ml_attack.cpp.o" "gcc" "src/attacks/CMakeFiles/np_attacks.dir/ml_attack.cpp.o.d"
+  "/root/repo/src/attacks/protocol_attacks.cpp" "src/attacks/CMakeFiles/np_attacks.dir/protocol_attacks.cpp.o" "gcc" "src/attacks/CMakeFiles/np_attacks.dir/protocol_attacks.cpp.o.d"
+  "/root/repo/src/attacks/side_channel.cpp" "src/attacks/CMakeFiles/np_attacks.dir/side_channel.cpp.o" "gcc" "src/attacks/CMakeFiles/np_attacks.dir/side_channel.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/puf/CMakeFiles/np_puf.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/np_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/photonic/CMakeFiles/np_photonic.dir/DependInfo.cmake"
+  "/root/repo/build/src/ecc/CMakeFiles/np_ecc.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/np_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/np_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

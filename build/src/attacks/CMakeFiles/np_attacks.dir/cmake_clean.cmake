@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/np_attacks.dir/brute_force.cpp.o"
+  "CMakeFiles/np_attacks.dir/brute_force.cpp.o.d"
+  "CMakeFiles/np_attacks.dir/cpa.cpp.o"
+  "CMakeFiles/np_attacks.dir/cpa.cpp.o.d"
+  "CMakeFiles/np_attacks.dir/ml_attack.cpp.o"
+  "CMakeFiles/np_attacks.dir/ml_attack.cpp.o.d"
+  "CMakeFiles/np_attacks.dir/protocol_attacks.cpp.o"
+  "CMakeFiles/np_attacks.dir/protocol_attacks.cpp.o.d"
+  "CMakeFiles/np_attacks.dir/side_channel.cpp.o"
+  "CMakeFiles/np_attacks.dir/side_channel.cpp.o.d"
+  "libnp_attacks.a"
+  "libnp_attacks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/np_attacks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

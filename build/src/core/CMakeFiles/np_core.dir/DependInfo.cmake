@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/aka_eke.cpp" "src/core/CMakeFiles/np_core.dir/aka_eke.cpp.o" "gcc" "src/core/CMakeFiles/np_core.dir/aka_eke.cpp.o.d"
+  "/root/repo/src/core/attestation.cpp" "src/core/CMakeFiles/np_core.dir/attestation.cpp.o" "gcc" "src/core/CMakeFiles/np_core.dir/attestation.cpp.o.d"
+  "/root/repo/src/core/key_manager.cpp" "src/core/CMakeFiles/np_core.dir/key_manager.cpp.o" "gcc" "src/core/CMakeFiles/np_core.dir/key_manager.cpp.o.d"
+  "/root/repo/src/core/mutual_auth.cpp" "src/core/CMakeFiles/np_core.dir/mutual_auth.cpp.o" "gcc" "src/core/CMakeFiles/np_core.dir/mutual_auth.cpp.o.d"
+  "/root/repo/src/core/secure_channel.cpp" "src/core/CMakeFiles/np_core.dir/secure_channel.cpp.o" "gcc" "src/core/CMakeFiles/np_core.dir/secure_channel.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/crypto/CMakeFiles/np_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/ecc/CMakeFiles/np_ecc.dir/DependInfo.cmake"
+  "/root/repo/build/src/puf/CMakeFiles/np_puf.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/np_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/photonic/CMakeFiles/np_photonic.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/np_core.dir/aka_eke.cpp.o"
+  "CMakeFiles/np_core.dir/aka_eke.cpp.o.d"
+  "CMakeFiles/np_core.dir/attestation.cpp.o"
+  "CMakeFiles/np_core.dir/attestation.cpp.o.d"
+  "CMakeFiles/np_core.dir/key_manager.cpp.o"
+  "CMakeFiles/np_core.dir/key_manager.cpp.o.d"
+  "CMakeFiles/np_core.dir/mutual_auth.cpp.o"
+  "CMakeFiles/np_core.dir/mutual_auth.cpp.o.d"
+  "CMakeFiles/np_core.dir/secure_channel.cpp.o"
+  "CMakeFiles/np_core.dir/secure_channel.cpp.o.d"
+  "libnp_core.a"
+  "libnp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/np_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

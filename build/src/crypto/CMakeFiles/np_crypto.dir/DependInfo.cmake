@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crypto/aes.cpp" "src/crypto/CMakeFiles/np_crypto.dir/aes.cpp.o" "gcc" "src/crypto/CMakeFiles/np_crypto.dir/aes.cpp.o.d"
+  "/root/repo/src/crypto/bignum.cpp" "src/crypto/CMakeFiles/np_crypto.dir/bignum.cpp.o" "gcc" "src/crypto/CMakeFiles/np_crypto.dir/bignum.cpp.o.d"
+  "/root/repo/src/crypto/bytes.cpp" "src/crypto/CMakeFiles/np_crypto.dir/bytes.cpp.o" "gcc" "src/crypto/CMakeFiles/np_crypto.dir/bytes.cpp.o.d"
+  "/root/repo/src/crypto/chacha20.cpp" "src/crypto/CMakeFiles/np_crypto.dir/chacha20.cpp.o" "gcc" "src/crypto/CMakeFiles/np_crypto.dir/chacha20.cpp.o.d"
+  "/root/repo/src/crypto/ctr_drbg.cpp" "src/crypto/CMakeFiles/np_crypto.dir/ctr_drbg.cpp.o" "gcc" "src/crypto/CMakeFiles/np_crypto.dir/ctr_drbg.cpp.o.d"
+  "/root/repo/src/crypto/dh.cpp" "src/crypto/CMakeFiles/np_crypto.dir/dh.cpp.o" "gcc" "src/crypto/CMakeFiles/np_crypto.dir/dh.cpp.o.d"
+  "/root/repo/src/crypto/hmac.cpp" "src/crypto/CMakeFiles/np_crypto.dir/hmac.cpp.o" "gcc" "src/crypto/CMakeFiles/np_crypto.dir/hmac.cpp.o.d"
+  "/root/repo/src/crypto/sha256.cpp" "src/crypto/CMakeFiles/np_crypto.dir/sha256.cpp.o" "gcc" "src/crypto/CMakeFiles/np_crypto.dir/sha256.cpp.o.d"
+  "/root/repo/src/crypto/siphash.cpp" "src/crypto/CMakeFiles/np_crypto.dir/siphash.cpp.o" "gcc" "src/crypto/CMakeFiles/np_crypto.dir/siphash.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

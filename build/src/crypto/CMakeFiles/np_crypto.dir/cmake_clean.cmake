@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/np_crypto.dir/aes.cpp.o"
+  "CMakeFiles/np_crypto.dir/aes.cpp.o.d"
+  "CMakeFiles/np_crypto.dir/bignum.cpp.o"
+  "CMakeFiles/np_crypto.dir/bignum.cpp.o.d"
+  "CMakeFiles/np_crypto.dir/bytes.cpp.o"
+  "CMakeFiles/np_crypto.dir/bytes.cpp.o.d"
+  "CMakeFiles/np_crypto.dir/chacha20.cpp.o"
+  "CMakeFiles/np_crypto.dir/chacha20.cpp.o.d"
+  "CMakeFiles/np_crypto.dir/ctr_drbg.cpp.o"
+  "CMakeFiles/np_crypto.dir/ctr_drbg.cpp.o.d"
+  "CMakeFiles/np_crypto.dir/dh.cpp.o"
+  "CMakeFiles/np_crypto.dir/dh.cpp.o.d"
+  "CMakeFiles/np_crypto.dir/hmac.cpp.o"
+  "CMakeFiles/np_crypto.dir/hmac.cpp.o.d"
+  "CMakeFiles/np_crypto.dir/sha256.cpp.o"
+  "CMakeFiles/np_crypto.dir/sha256.cpp.o.d"
+  "CMakeFiles/np_crypto.dir/siphash.cpp.o"
+  "CMakeFiles/np_crypto.dir/siphash.cpp.o.d"
+  "libnp_crypto.a"
+  "libnp_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/np_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

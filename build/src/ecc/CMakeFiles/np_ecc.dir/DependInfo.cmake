@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ecc/bch.cpp" "src/ecc/CMakeFiles/np_ecc.dir/bch.cpp.o" "gcc" "src/ecc/CMakeFiles/np_ecc.dir/bch.cpp.o.d"
+  "/root/repo/src/ecc/fuzzy_extractor.cpp" "src/ecc/CMakeFiles/np_ecc.dir/fuzzy_extractor.cpp.o" "gcc" "src/ecc/CMakeFiles/np_ecc.dir/fuzzy_extractor.cpp.o.d"
+  "/root/repo/src/ecc/gf2m.cpp" "src/ecc/CMakeFiles/np_ecc.dir/gf2m.cpp.o" "gcc" "src/ecc/CMakeFiles/np_ecc.dir/gf2m.cpp.o.d"
+  "/root/repo/src/ecc/repetition.cpp" "src/ecc/CMakeFiles/np_ecc.dir/repetition.cpp.o" "gcc" "src/ecc/CMakeFiles/np_ecc.dir/repetition.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/crypto/CMakeFiles/np_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

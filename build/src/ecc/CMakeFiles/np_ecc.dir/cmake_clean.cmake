@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/np_ecc.dir/bch.cpp.o"
+  "CMakeFiles/np_ecc.dir/bch.cpp.o.d"
+  "CMakeFiles/np_ecc.dir/fuzzy_extractor.cpp.o"
+  "CMakeFiles/np_ecc.dir/fuzzy_extractor.cpp.o.d"
+  "CMakeFiles/np_ecc.dir/gf2m.cpp.o"
+  "CMakeFiles/np_ecc.dir/gf2m.cpp.o.d"
+  "CMakeFiles/np_ecc.dir/repetition.cpp.o"
+  "CMakeFiles/np_ecc.dir/repetition.cpp.o.d"
+  "libnp_ecc.a"
+  "libnp_ecc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/np_ecc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

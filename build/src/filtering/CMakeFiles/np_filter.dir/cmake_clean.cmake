@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/np_filter.dir/filter.cpp.o"
+  "CMakeFiles/np_filter.dir/filter.cpp.o.d"
+  "libnp_filter.a"
+  "libnp_filter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/np_filter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

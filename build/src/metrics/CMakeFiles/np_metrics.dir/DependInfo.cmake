@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/metrics/identification.cpp" "src/metrics/CMakeFiles/np_metrics.dir/identification.cpp.o" "gcc" "src/metrics/CMakeFiles/np_metrics.dir/identification.cpp.o.d"
+  "/root/repo/src/metrics/nist.cpp" "src/metrics/CMakeFiles/np_metrics.dir/nist.cpp.o" "gcc" "src/metrics/CMakeFiles/np_metrics.dir/nist.cpp.o.d"
+  "/root/repo/src/metrics/population.cpp" "src/metrics/CMakeFiles/np_metrics.dir/population.cpp.o" "gcc" "src/metrics/CMakeFiles/np_metrics.dir/population.cpp.o.d"
+  "/root/repo/src/metrics/special_functions.cpp" "src/metrics/CMakeFiles/np_metrics.dir/special_functions.cpp.o" "gcc" "src/metrics/CMakeFiles/np_metrics.dir/special_functions.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/crypto/CMakeFiles/np_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/np_metrics.dir/identification.cpp.o"
+  "CMakeFiles/np_metrics.dir/identification.cpp.o.d"
+  "CMakeFiles/np_metrics.dir/nist.cpp.o"
+  "CMakeFiles/np_metrics.dir/nist.cpp.o.d"
+  "CMakeFiles/np_metrics.dir/population.cpp.o"
+  "CMakeFiles/np_metrics.dir/population.cpp.o.d"
+  "CMakeFiles/np_metrics.dir/special_functions.cpp.o"
+  "CMakeFiles/np_metrics.dir/special_functions.cpp.o.d"
+  "libnp_metrics.a"
+  "libnp_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/np_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

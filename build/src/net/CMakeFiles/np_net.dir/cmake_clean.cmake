@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/np_net.dir/channel.cpp.o"
+  "CMakeFiles/np_net.dir/channel.cpp.o.d"
+  "CMakeFiles/np_net.dir/message.cpp.o"
+  "CMakeFiles/np_net.dir/message.cpp.o.d"
+  "libnp_net.a"
+  "libnp_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/np_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/photonic/circuit.cpp" "src/photonic/CMakeFiles/np_photonic.dir/circuit.cpp.o" "gcc" "src/photonic/CMakeFiles/np_photonic.dir/circuit.cpp.o.d"
+  "/root/repo/src/photonic/components.cpp" "src/photonic/CMakeFiles/np_photonic.dir/components.cpp.o" "gcc" "src/photonic/CMakeFiles/np_photonic.dir/components.cpp.o.d"
+  "/root/repo/src/photonic/constants.cpp" "src/photonic/CMakeFiles/np_photonic.dir/constants.cpp.o" "gcc" "src/photonic/CMakeFiles/np_photonic.dir/constants.cpp.o.d"
+  "/root/repo/src/photonic/detector.cpp" "src/photonic/CMakeFiles/np_photonic.dir/detector.cpp.o" "gcc" "src/photonic/CMakeFiles/np_photonic.dir/detector.cpp.o.d"
+  "/root/repo/src/photonic/ring.cpp" "src/photonic/CMakeFiles/np_photonic.dir/ring.cpp.o" "gcc" "src/photonic/CMakeFiles/np_photonic.dir/ring.cpp.o.d"
+  "/root/repo/src/photonic/source.cpp" "src/photonic/CMakeFiles/np_photonic.dir/source.cpp.o" "gcc" "src/photonic/CMakeFiles/np_photonic.dir/source.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/crypto/CMakeFiles/np_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/np_photonic.dir/circuit.cpp.o"
+  "CMakeFiles/np_photonic.dir/circuit.cpp.o.d"
+  "CMakeFiles/np_photonic.dir/components.cpp.o"
+  "CMakeFiles/np_photonic.dir/components.cpp.o.d"
+  "CMakeFiles/np_photonic.dir/constants.cpp.o"
+  "CMakeFiles/np_photonic.dir/constants.cpp.o.d"
+  "CMakeFiles/np_photonic.dir/detector.cpp.o"
+  "CMakeFiles/np_photonic.dir/detector.cpp.o.d"
+  "CMakeFiles/np_photonic.dir/ring.cpp.o"
+  "CMakeFiles/np_photonic.dir/ring.cpp.o.d"
+  "CMakeFiles/np_photonic.dir/source.cpp.o"
+  "CMakeFiles/np_photonic.dir/source.cpp.o.d"
+  "libnp_photonic.a"
+  "libnp_photonic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/np_photonic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/puf/arbiter_puf.cpp" "src/puf/CMakeFiles/np_puf.dir/arbiter_puf.cpp.o" "gcc" "src/puf/CMakeFiles/np_puf.dir/arbiter_puf.cpp.o.d"
+  "/root/repo/src/puf/composite.cpp" "src/puf/CMakeFiles/np_puf.dir/composite.cpp.o" "gcc" "src/puf/CMakeFiles/np_puf.dir/composite.cpp.o.d"
+  "/root/repo/src/puf/crp_db.cpp" "src/puf/CMakeFiles/np_puf.dir/crp_db.cpp.o" "gcc" "src/puf/CMakeFiles/np_puf.dir/crp_db.cpp.o.d"
+  "/root/repo/src/puf/photonic_puf.cpp" "src/puf/CMakeFiles/np_puf.dir/photonic_puf.cpp.o" "gcc" "src/puf/CMakeFiles/np_puf.dir/photonic_puf.cpp.o.d"
+  "/root/repo/src/puf/puf.cpp" "src/puf/CMakeFiles/np_puf.dir/puf.cpp.o" "gcc" "src/puf/CMakeFiles/np_puf.dir/puf.cpp.o.d"
+  "/root/repo/src/puf/ro_puf.cpp" "src/puf/CMakeFiles/np_puf.dir/ro_puf.cpp.o" "gcc" "src/puf/CMakeFiles/np_puf.dir/ro_puf.cpp.o.d"
+  "/root/repo/src/puf/spectral_puf.cpp" "src/puf/CMakeFiles/np_puf.dir/spectral_puf.cpp.o" "gcc" "src/puf/CMakeFiles/np_puf.dir/spectral_puf.cpp.o.d"
+  "/root/repo/src/puf/sram_puf.cpp" "src/puf/CMakeFiles/np_puf.dir/sram_puf.cpp.o" "gcc" "src/puf/CMakeFiles/np_puf.dir/sram_puf.cpp.o.d"
+  "/root/repo/src/puf/trng.cpp" "src/puf/CMakeFiles/np_puf.dir/trng.cpp.o" "gcc" "src/puf/CMakeFiles/np_puf.dir/trng.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/crypto/CMakeFiles/np_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/photonic/CMakeFiles/np_photonic.dir/DependInfo.cmake"
+  "/root/repo/build/src/ecc/CMakeFiles/np_ecc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

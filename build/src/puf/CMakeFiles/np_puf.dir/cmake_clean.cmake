@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/np_puf.dir/arbiter_puf.cpp.o"
+  "CMakeFiles/np_puf.dir/arbiter_puf.cpp.o.d"
+  "CMakeFiles/np_puf.dir/composite.cpp.o"
+  "CMakeFiles/np_puf.dir/composite.cpp.o.d"
+  "CMakeFiles/np_puf.dir/crp_db.cpp.o"
+  "CMakeFiles/np_puf.dir/crp_db.cpp.o.d"
+  "CMakeFiles/np_puf.dir/photonic_puf.cpp.o"
+  "CMakeFiles/np_puf.dir/photonic_puf.cpp.o.d"
+  "CMakeFiles/np_puf.dir/puf.cpp.o"
+  "CMakeFiles/np_puf.dir/puf.cpp.o.d"
+  "CMakeFiles/np_puf.dir/ro_puf.cpp.o"
+  "CMakeFiles/np_puf.dir/ro_puf.cpp.o.d"
+  "CMakeFiles/np_puf.dir/spectral_puf.cpp.o"
+  "CMakeFiles/np_puf.dir/spectral_puf.cpp.o.d"
+  "CMakeFiles/np_puf.dir/sram_puf.cpp.o"
+  "CMakeFiles/np_puf.dir/sram_puf.cpp.o.d"
+  "CMakeFiles/np_puf.dir/trng.cpp.o"
+  "CMakeFiles/np_puf.dir/trng.cpp.o.d"
+  "libnp_puf.a"
+  "libnp_puf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/np_puf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cpu.cpp" "src/sim/CMakeFiles/np_sim.dir/cpu.cpp.o" "gcc" "src/sim/CMakeFiles/np_sim.dir/cpu.cpp.o.d"
+  "/root/repo/src/sim/mmio.cpp" "src/sim/CMakeFiles/np_sim.dir/mmio.cpp.o" "gcc" "src/sim/CMakeFiles/np_sim.dir/mmio.cpp.o.d"
+  "/root/repo/src/sim/peripherals.cpp" "src/sim/CMakeFiles/np_sim.dir/peripherals.cpp.o" "gcc" "src/sim/CMakeFiles/np_sim.dir/peripherals.cpp.o.d"
+  "/root/repo/src/sim/scheduler.cpp" "src/sim/CMakeFiles/np_sim.dir/scheduler.cpp.o" "gcc" "src/sim/CMakeFiles/np_sim.dir/scheduler.cpp.o.d"
+  "/root/repo/src/sim/stats.cpp" "src/sim/CMakeFiles/np_sim.dir/stats.cpp.o" "gcc" "src/sim/CMakeFiles/np_sim.dir/stats.cpp.o.d"
+  "/root/repo/src/sim/system.cpp" "src/sim/CMakeFiles/np_sim.dir/system.cpp.o" "gcc" "src/sim/CMakeFiles/np_sim.dir/system.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/np_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/accel/CMakeFiles/np_accel.dir/DependInfo.cmake"
+  "/root/repo/build/src/puf/CMakeFiles/np_puf.dir/DependInfo.cmake"
+  "/root/repo/build/src/photonic/CMakeFiles/np_photonic.dir/DependInfo.cmake"
+  "/root/repo/build/src/ecc/CMakeFiles/np_ecc.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/np_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/np_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

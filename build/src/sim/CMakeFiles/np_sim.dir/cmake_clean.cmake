@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/np_sim.dir/cpu.cpp.o"
+  "CMakeFiles/np_sim.dir/cpu.cpp.o.d"
+  "CMakeFiles/np_sim.dir/mmio.cpp.o"
+  "CMakeFiles/np_sim.dir/mmio.cpp.o.d"
+  "CMakeFiles/np_sim.dir/peripherals.cpp.o"
+  "CMakeFiles/np_sim.dir/peripherals.cpp.o.d"
+  "CMakeFiles/np_sim.dir/scheduler.cpp.o"
+  "CMakeFiles/np_sim.dir/scheduler.cpp.o.d"
+  "CMakeFiles/np_sim.dir/stats.cpp.o"
+  "CMakeFiles/np_sim.dir/stats.cpp.o.d"
+  "CMakeFiles/np_sim.dir/system.cpp.o"
+  "CMakeFiles/np_sim.dir/system.cpp.o.d"
+  "libnp_sim.a"
+  "libnp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/np_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_attestation.dir/core/test_attestation.cpp.o"
+  "CMakeFiles/test_core_attestation.dir/core/test_attestation.cpp.o.d"
+  "test_core_attestation"
+  "test_core_attestation.pdb"
+  "test_core_attestation[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_attestation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_auth.dir/core/test_mutual_auth.cpp.o"
+  "CMakeFiles/test_core_auth.dir/core/test_mutual_auth.cpp.o.d"
+  "test_core_auth"
+  "test_core_auth.pdb"
+  "test_core_auth[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_auth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

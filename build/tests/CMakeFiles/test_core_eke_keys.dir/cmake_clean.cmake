@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_eke_keys.dir/core/test_eke_keys.cpp.o"
+  "CMakeFiles/test_core_eke_keys.dir/core/test_eke_keys.cpp.o.d"
+  "test_core_eke_keys"
+  "test_core_eke_keys.pdb"
+  "test_core_eke_keys[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_eke_keys.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

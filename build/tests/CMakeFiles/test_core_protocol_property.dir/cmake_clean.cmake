@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_protocol_property.dir/core/test_protocol_property.cpp.o"
+  "CMakeFiles/test_core_protocol_property.dir/core/test_protocol_property.cpp.o.d"
+  "test_core_protocol_property"
+  "test_core_protocol_property.pdb"
+  "test_core_protocol_property[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_protocol_property.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cpa_aging.dir/attacks/test_cpa_aging.cpp.o"
+  "CMakeFiles/test_cpa_aging.dir/attacks/test_cpa_aging.cpp.o.d"
+  "test_cpa_aging"
+  "test_cpa_aging.pdb"
+  "test_cpa_aging[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cpa_aging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

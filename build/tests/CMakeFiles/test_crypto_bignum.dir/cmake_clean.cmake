@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_crypto_bignum.dir/crypto/test_bignum.cpp.o"
+  "CMakeFiles/test_crypto_bignum.dir/crypto/test_bignum.cpp.o.d"
+  "test_crypto_bignum"
+  "test_crypto_bignum.pdb"
+  "test_crypto_bignum[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_crypto_bignum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_crypto_bytes.dir/crypto/test_bytes.cpp.o"
+  "CMakeFiles/test_crypto_bytes.dir/crypto/test_bytes.cpp.o.d"
+  "test_crypto_bytes"
+  "test_crypto_bytes.pdb"
+  "test_crypto_bytes[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_crypto_bytes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_crypto_prng.dir/crypto/test_prng.cpp.o"
+  "CMakeFiles/test_crypto_prng.dir/crypto/test_prng.cpp.o.d"
+  "test_crypto_prng"
+  "test_crypto_prng.pdb"
+  "test_crypto_prng[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_crypto_prng.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_crypto_property.dir/crypto/test_crypto_property.cpp.o"
+  "CMakeFiles/test_crypto_property.dir/crypto/test_crypto_property.cpp.o.d"
+  "test_crypto_property"
+  "test_crypto_property.pdb"
+  "test_crypto_property[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_crypto_property.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

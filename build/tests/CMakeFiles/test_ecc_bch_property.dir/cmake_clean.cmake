@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ecc_bch_property.dir/ecc/test_bch_property.cpp.o"
+  "CMakeFiles/test_ecc_bch_property.dir/ecc/test_bch_property.cpp.o.d"
+  "test_ecc_bch_property"
+  "test_ecc_bch_property.pdb"
+  "test_ecc_bch_property[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ecc_bch_property.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ecc_fuzzy.dir/ecc/test_fuzzy_extractor.cpp.o"
+  "CMakeFiles/test_ecc_fuzzy.dir/ecc/test_fuzzy_extractor.cpp.o.d"
+  "test_ecc_fuzzy"
+  "test_ecc_fuzzy.pdb"
+  "test_ecc_fuzzy[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ecc_fuzzy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ecc_gf_bch.dir/ecc/test_gf_bch.cpp.o"
+  "CMakeFiles/test_ecc_gf_bch.dir/ecc/test_gf_bch.cpp.o.d"
+  "test_ecc_gf_bch"
+  "test_ecc_gf_bch.pdb"
+  "test_ecc_gf_bch[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ecc_gf_bch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_metrics_identification.dir/metrics/test_identification.cpp.o"
+  "CMakeFiles/test_metrics_identification.dir/metrics/test_identification.cpp.o.d"
+  "test_metrics_identification"
+  "test_metrics_identification.pdb"
+  "test_metrics_identification[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_metrics_identification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_photonic_chain.dir/photonic/test_circuit_chain.cpp.o"
+  "CMakeFiles/test_photonic_chain.dir/photonic/test_circuit_chain.cpp.o.d"
+  "test_photonic_chain"
+  "test_photonic_chain.pdb"
+  "test_photonic_chain[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_photonic_chain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_photonic_components.dir/photonic/test_components.cpp.o"
+  "CMakeFiles/test_photonic_components.dir/photonic/test_components.cpp.o.d"
+  "test_photonic_components"
+  "test_photonic_components.pdb"
+  "test_photonic_components[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_photonic_components.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

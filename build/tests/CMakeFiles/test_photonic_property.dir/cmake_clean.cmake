@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_photonic_property.dir/photonic/test_photonic_property.cpp.o"
+  "CMakeFiles/test_photonic_property.dir/photonic/test_photonic_property.cpp.o.d"
+  "test_photonic_property"
+  "test_photonic_property.pdb"
+  "test_photonic_property[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_photonic_property.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

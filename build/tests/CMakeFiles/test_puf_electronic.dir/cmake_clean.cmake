@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_puf_electronic.dir/puf/test_electronic_pufs.cpp.o"
+  "CMakeFiles/test_puf_electronic.dir/puf/test_electronic_pufs.cpp.o.d"
+  "test_puf_electronic"
+  "test_puf_electronic.pdb"
+  "test_puf_electronic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_puf_electronic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_puf_electronic.
+# This may be replaced when dependencies are built.

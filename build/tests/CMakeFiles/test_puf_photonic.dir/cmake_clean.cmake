@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_puf_photonic.dir/puf/test_photonic_puf.cpp.o"
+  "CMakeFiles/test_puf_photonic.dir/puf/test_photonic_puf.cpp.o.d"
+  "test_puf_photonic"
+  "test_puf_photonic.pdb"
+  "test_puf_photonic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_puf_photonic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

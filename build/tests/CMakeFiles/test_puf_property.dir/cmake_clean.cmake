@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_puf_property.dir/puf/test_puf_property.cpp.o"
+  "CMakeFiles/test_puf_property.dir/puf/test_puf_property.cpp.o.d"
+  "test_puf_property"
+  "test_puf_property.pdb"
+  "test_puf_property[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_puf_property.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_puf_spectral_thermal.dir/puf/test_spectral_thermal.cpp.o"
+  "CMakeFiles/test_puf_spectral_thermal.dir/puf/test_spectral_thermal.cpp.o.d"
+  "test_puf_spectral_thermal"
+  "test_puf_spectral_thermal.pdb"
+  "test_puf_spectral_thermal[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_puf_spectral_thermal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_puf_trng.dir/puf/test_trng.cpp.o"
+  "CMakeFiles/test_puf_trng.dir/puf/test_trng.cpp.o.d"
+  "test_puf_trng"
+  "test_puf_trng.pdb"
+  "test_puf_trng[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_puf_trng.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

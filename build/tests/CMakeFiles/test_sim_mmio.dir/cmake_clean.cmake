@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_mmio.dir/sim/test_mmio.cpp.o"
+  "CMakeFiles/test_sim_mmio.dir/sim/test_mmio.cpp.o.d"
+  "test_sim_mmio"
+  "test_sim_mmio.pdb"
+  "test_sim_mmio[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_mmio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
