@@ -7,8 +7,10 @@
 // and the ref.-[30] challenge-encryption wrapper stay near chance across
 // the whole budget sweep.
 #include <memory>
+#include <thread>
 
 #include "attacks/ml_attack.hpp"
+#include "common/parallel.hpp"
 #include "crypto/chacha20.hpp"
 #include "bench_util.hpp"
 #include "puf/arbiter_puf.hpp"
@@ -83,6 +85,29 @@ void BM_CrpCollectionPhotonic(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_CrpCollectionPhotonic)->Unit(benchmark::kMicrosecond);
+
+// CRP dataset collection through the batch engine — the attack's hot
+// loop, at 1/2/4/hardware threads (Arg = pool width), items = CRPs.
+void BM_CrpCollectionPhotonicBatch(benchmark::State& state) {
+  puf::PhotonicPuf photonic(puf::small_photonic_config(), 3, 0);
+  common::ThreadPool pool(static_cast<std::size_t>(state.range(0)));
+  crypto::ChaChaDrbg rng(crypto::bytes_of("collect"));
+  std::vector<puf::Challenge> batch;
+  for (int i = 0; i < 256; ++i) {
+    batch.push_back(rng.generate(photonic.challenge_bytes()));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(photonic.evaluate_batch(batch, &pool));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch.size()));
+}
+BENCHMARK(BM_CrpCollectionPhotonicBatch)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(static_cast<int>(common::ThreadPool::default_thread_count()))
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -8,12 +8,16 @@
 // *different challenges on the same device* (challenge sensitivity);
 // the reliability intra-distance (same challenge re-read) is reported
 // separately and must be small.
+#include <thread>
+
 #include "bench_util.hpp"
+#include "common/parallel.hpp"
 #include "crypto/chacha20.hpp"
 #include "metrics/identification.hpp"
 #include "metrics/nist.hpp"
 #include "metrics/population.hpp"
 #include "puf/photonic_puf.hpp"
+#include "puf/population.hpp"
 #include "puf/ro_puf.hpp"
 #include "puf/spectral_puf.hpp"
 #include "puf/sram_puf.hpp"
@@ -41,23 +45,27 @@ QualityRow measure_photonic() {
   crypto::ChaChaDrbg rng(crypto::bytes_of("e4"));
   const puf::Challenge challenge = rng.generate(cfg.challenge_bits / 8);
 
-  std::vector<crypto::Bytes> responses;
-  std::vector<std::vector<crypto::Bytes>> rereads;
+  // Batch engine: fabrication + calibration, the reference responses, and
+  // the reliability re-read matrix all fan out across the thread pool;
+  // index-keyed noise seeding keeps every number identical to the former
+  // per-device serial loop.
+  puf::PufPopulation population(cfg, 4242, kDevices);
+  const std::vector<crypto::Bytes> responses =
+      population.evaluate_noiseless_all(challenge);
+  const std::vector<std::vector<crypto::Bytes>> rereads =
+      population.evaluate_repeats(challenge, 5);
+
   double challenge_intra = 0.0;
   int ci_count = 0;
-  for (std::size_t d = 0; d < kDevices; ++d) {
-    puf::PhotonicPuf device(cfg, 4242, d);
-    responses.push_back(device.evaluate_noiseless(challenge));
-    std::vector<crypto::Bytes> reads;
-    for (int r = 0; r < 5; ++r) reads.push_back(device.evaluate(challenge));
-    rereads.push_back(std::move(reads));
-    if (d < 4) {
-      for (int t = 0; t < 4; ++t) {
-        const auto other = rng.generate(cfg.challenge_bits / 8);
-        challenge_intra += crypto::fractional_hamming_distance(
-            responses.back(), device.evaluate_noiseless(other));
-        ++ci_count;
-      }
+  for (std::size_t d = 0; d < 4; ++d) {
+    std::vector<puf::Challenge> others;
+    for (int t = 0; t < 4; ++t) {
+      others.push_back(rng.generate(cfg.challenge_bits / 8));
+    }
+    for (const auto& r : population.device(d).evaluate_noiseless_batch(others)) {
+      challenge_intra +=
+          crypto::fractional_hamming_distance(responses[d], r);
+      ++ci_count;
     }
   }
   const auto report = metrics::population_report(responses, rereads);
@@ -131,9 +139,12 @@ void print_nist_table() {
   // residual calibration bias are expected to fail several tests — raw
   // PUF bits are identification material, not randomness.
   crypto::ChaChaDrbg rng(crypto::bytes_of("e4-nist"));
+  std::vector<puf::Challenge> stream_challenges;
+  while (stream_challenges.size() * device.response_bytes() < 2048) {
+    stream_challenges.push_back(rng.generate(4));
+  }
   crypto::Bytes response_stream;
-  while (response_stream.size() < 2048) {
-    const auto r = device.evaluate_noiseless(rng.generate(4));
+  for (const auto& r : device.evaluate_noiseless_batch(stream_challenges)) {
     response_stream.insert(response_stream.end(), r.begin(), r.end());
   }
 
@@ -178,15 +189,11 @@ void print_identification_table() {
   cfg.challenge_bits = 32;
   crypto::ChaChaDrbg rng(crypto::bytes_of("e4-roc"));
   const puf::Challenge challenge = rng.generate(4);
-  std::vector<crypto::Bytes> refs;
-  std::vector<std::vector<crypto::Bytes>> rereads;
-  for (std::size_t d = 0; d < kDevices; ++d) {
-    puf::PhotonicPuf device(cfg, 4242, d);
-    refs.push_back(device.evaluate_noiseless(challenge));
-    std::vector<crypto::Bytes> reads;
-    for (int r = 0; r < 8; ++r) reads.push_back(device.evaluate(challenge));
-    rereads.push_back(std::move(reads));
-  }
+  puf::PufPopulation population(cfg, 4242, kDevices);
+  const std::vector<crypto::Bytes> refs =
+      population.evaluate_noiseless_all(challenge);
+  const std::vector<std::vector<crypto::Bytes>> rereads =
+      population.evaluate_repeats(challenge, 8);
   const auto samples = metrics::gather_distance_samples(refs, rereads);
   const auto curve = metrics::roc_curve(samples.intra, samples.inter, 10);
   std::printf("  %-14s %-10s %-10s\n", "threshold", "FAR", "FRR");
@@ -265,6 +272,75 @@ void BM_PhotonicEvaluateNoiseless(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_PhotonicEvaluateNoiseless)->Unit(benchmark::kMicrosecond);
+
+int hardware_threads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+// Thread-scaling cases: items/sec at 1, 2, 4, and hardware_concurrency
+// threads over a dedicated pool (Arg = pool width).
+
+void BM_PhotonicEvaluateBatch(benchmark::State& state) {
+  puf::PhotonicPufConfig cfg;  // full-size: 64-bit challenge, 8 ports
+  puf::PhotonicPuf device(cfg, 1, 0);
+  common::ThreadPool pool(static_cast<std::size_t>(state.range(0)));
+  crypto::ChaChaDrbg rng(crypto::bytes_of("batch-bench"));
+  std::vector<puf::Challenge> challenges;
+  for (int i = 0; i < 64; ++i) challenges.push_back(rng.generate(8));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(device.evaluate_batch(challenges, &pool));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(challenges.size()));
+}
+BENCHMARK(BM_PhotonicEvaluateBatch)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(hardware_threads())
+    ->Unit(benchmark::kMillisecond);
+
+void BM_PopulationFabrication(benchmark::State& state) {
+  auto cfg = puf::small_photonic_config();
+  cfg.challenge_bits = 32;
+  common::ThreadPool pool(static_cast<std::size_t>(state.range(0)));
+  constexpr std::size_t kFleet = 8;
+  std::uint64_t wafer = 0;
+  for (auto _ : state) {
+    puf::PufPopulation population(cfg, ++wafer, kFleet, &pool);
+    benchmark::DoNotOptimize(population.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kFleet));
+}
+BENCHMARK(BM_PopulationFabrication)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(hardware_threads())
+    ->Unit(benchmark::kMillisecond);
+
+void BM_UniquenessSweep(benchmark::State& state) {
+  common::ThreadPool pool(static_cast<std::size_t>(state.range(0)));
+  crypto::ChaChaDrbg rng(crypto::bytes_of("uniq-bench"));
+  std::vector<crypto::Bytes> responses;
+  for (int d = 0; d < 256; ++d) responses.push_back(rng.generate(64));
+  const std::int64_t pairs =
+      static_cast<std::int64_t>(responses.size()) *
+      static_cast<std::int64_t>(responses.size() - 1) / 2;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(metrics::uniqueness(responses, &pool));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          pairs);
+}
+BENCHMARK(BM_UniquenessSweep)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(hardware_threads())
+    ->Unit(benchmark::kMillisecond);
 
 void BM_NistSuite4kBits(benchmark::State& state) {
   crypto::ChaChaDrbg rng(crypto::bytes_of("nist-bench"));

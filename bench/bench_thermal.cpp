@@ -2,7 +2,10 @@
 // with and without the paper's two mitigations (photonic temperature
 // sensor compensation, closed-loop temperature control), plus the §IV
 // laser-power attack surface.
+#include <vector>
+
 #include "bench_util.hpp"
+#include "common/parallel.hpp"
 #include "crypto/chacha20.hpp"
 #include "photonic/thermal.hpp"
 #include "puf/photonic_puf.hpp"
@@ -11,18 +14,11 @@ namespace {
 
 using namespace neuropuls;
 
-double response_ber_at(puf::PhotonicPuf& device, const puf::Challenge& c,
-                       const puf::Response& reference, double kelvin) {
-  device.set_temperature(kelvin);
-  return crypto::fractional_hamming_distance(device.evaluate_noiseless(c),
-                                             reference);
-}
-
 void print_drift_sweep() {
   bench::banner("E11 / §II-B", "Response error vs temperature drift");
   auto cfg = puf::small_photonic_config();
   cfg.challenge_bits = 32;
-  puf::PhotonicPuf device(cfg, 66, 0);
+  const puf::PhotonicPuf device(cfg, 66, 0);
   crypto::ChaChaDrbg rng(crypto::bytes_of("e11"));
   const puf::Challenge c = rng.generate(4);
   const puf::Response reference = device.evaluate_noiseless(c);  // at 300 K
@@ -32,24 +28,41 @@ void print_drift_sweep() {
   photonic::PhotonicTemperatureSensor verifier_sensor(0.05, 10);
   const puf::PhotonicPuf verifier_model(cfg, 66, 0);  // §II-B model path
 
-  std::printf("  %-14s %-18s %-22s %-24s\n", "ambient (K)", "uncontrolled",
-              "controller (0.95)", "model compensation");
-  for (double ambient : {300.0, 302.0, 305.0, 310.0, 320.0, 340.0}) {
-    const double raw = response_ber_at(device, c, reference, ambient);
-    const double regulated_temp = controller.regulate(ambient);
-    const double controlled =
-        response_ber_at(device, c, reference, regulated_temp);
+  // The controller and the verifier sensor consume Gaussian noise per
+  // reading, so their draws run sequentially in row order; the pure
+  // model evaluations (the expensive part) then fan out over the pool.
+  const std::vector<double> ambients = {300.0, 302.0, 305.0,
+                                        310.0, 320.0, 340.0};
+  std::vector<double> regulated(ambients.size());
+  std::vector<double> sensed(ambients.size());
+  for (std::size_t i = 0; i < ambients.size(); ++i) {
+    regulated[i] = controller.regulate(ambients[i]);
+    sensed[i] = verifier_sensor.read(ambients[i]);
+  }
+  struct Row {
+    double raw = 0.0;
+    double controlled = 0.0;
+    double compensated = 0.0;
+  };
+  std::vector<Row> rows(ambients.size());
+  common::parallel_for(ambients.size(), [&](std::size_t i) {
+    rows[i].raw = crypto::fractional_hamming_distance(
+        device.evaluate_noiseless_at(c, ambients[i]), reference);
+    rows[i].controlled = crypto::fractional_hamming_distance(
+        device.evaluate_noiseless_at(c, regulated[i]), reference);
     // Verifier-side compensation: evaluate the model at the sensor
     // reading instead of comparing against the enrollment response.
-    device.set_temperature(ambient);
-    const double sensed = verifier_sensor.read(ambient);
-    const double compensated = crypto::fractional_hamming_distance(
-        device.evaluate_noiseless(c),
-        verifier_model.evaluate_noiseless_at(c, sensed));
-    std::printf("  %-14.0f %-18.3f %-22.3f %-24.3f\n", ambient, raw,
-                controlled, compensated);
+    rows[i].compensated = crypto::fractional_hamming_distance(
+        device.evaluate_noiseless_at(c, ambients[i]),
+        verifier_model.evaluate_noiseless_at(c, sensed[i]));
+  });
+
+  std::printf("  %-14s %-18s %-22s %-24s\n", "ambient (K)", "uncontrolled",
+              "controller (0.95)", "model compensation");
+  for (std::size_t i = 0; i < ambients.size(); ++i) {
+    std::printf("  %-14.0f %-18.3f %-22.3f %-24.3f\n", ambients[i],
+                rows[i].raw, rows[i].controlled, rows[i].compensated);
   }
-  device.set_temperature(300.0);
   bench::note("three §II-B mitigations: closed-loop control shrinks the "
               "die excursion; sensor-driven model compensation (verifier "
               "evaluates its pPUF model at the reported temperature) "
@@ -96,6 +109,31 @@ void BM_EvaluateAcrossTemperature(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_EvaluateAcrossTemperature)->Unit(benchmark::kMicrosecond);
+
+// Whole temperature sweep through the pool (Arg = pool width): one model
+// evaluation per sweep point, items = sweep points.
+void BM_ThermalSweepBatch(benchmark::State& state) {
+  const puf::PhotonicPuf device(puf::small_photonic_config(), 66, 2);
+  common::ThreadPool pool(static_cast<std::size_t>(state.range(0)));
+  const puf::Challenge c(2, 0x77);
+  constexpr std::size_t kPoints = 64;
+  std::vector<puf::Response> sweep(kPoints);
+  for (auto _ : state) {
+    pool.parallel_for(kPoints, [&](std::size_t i) {
+      sweep[i] = device.evaluate_noiseless_at(
+          c, 295.0 + 0.5 * static_cast<double>(i));
+    });
+    benchmark::DoNotOptimize(sweep);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kPoints));
+}
+BENCHMARK(BM_ThermalSweepBatch)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(static_cast<int>(common::ThreadPool::default_thread_count()))
+    ->Unit(benchmark::kMillisecond);
 
 void BM_ThermalEnvironmentStep(benchmark::State& state) {
   photonic::ThermalEnvironment env(300.0, 0.1, 0.05, 4);

@@ -6,6 +6,7 @@
 
 #include "crypto/chacha20.hpp"
 #include "crypto/prng.hpp"
+#include "puf/photonic_puf.hpp"
 
 namespace neuropuls::attacks {
 
@@ -119,17 +120,33 @@ AttackResult model_attack(puf::Puf& target, const FeatureMap& features,
   crypto::append_u64_be(seed_bytes, config.seed);
   crypto::ChaChaDrbg rng(seed_bytes);
 
+  // CRP dataset generation is the attack's hot loop. Challenges are drawn
+  // first (same DRBG order as the former interleaved loop); photonic
+  // targets then answer them through the parallel batch engine, whose
+  // index-based noise seeding makes the responses bit-identical to the
+  // serial evaluate() sequence.
+  auto* photonic = dynamic_cast<puf::PhotonicPuf*>(&target);
   auto collect = [&](std::size_t count,
                      std::vector<std::vector<double>>& xs,
                      std::vector<std::uint8_t>& ys) {
+    std::vector<puf::Challenge> challenges;
+    challenges.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      challenges.push_back(rng.generate(target.challenge_bytes()));
+    }
+    std::vector<puf::Response> responses;
+    if (photonic != nullptr) {
+      responses = photonic->evaluate_batch(challenges);
+    } else {
+      responses.reserve(count);
+      // The attacker observes real (noisy) responses.
+      for (const auto& c : challenges) responses.push_back(target.evaluate(c));
+    }
     xs.reserve(count);
     ys.reserve(count);
     for (std::size_t i = 0; i < count; ++i) {
-      const puf::Challenge c = rng.generate(target.challenge_bytes());
-      // The attacker observes real (noisy) responses.
-      const puf::Response r = target.evaluate(c);
-      xs.push_back(features(c));
-      ys.push_back(response_bit(r, config.target_bit));
+      xs.push_back(features(challenges[i]));
+      ys.push_back(response_bit(responses[i], config.target_bit));
     }
   };
 

@@ -1,0 +1,85 @@
+// Dependency-free data-parallel execution for the simulation stack.
+//
+// Every population-scale experiment the paper implies — intra/inter
+// Hamming statistics over device fleets (§II-A), ML-attack CRP dataset
+// generation (§IV), thermal sweeps (§II-B) — reduces to thousands of
+// *independent* time-domain PUF evaluations. This module provides the
+// one primitive they all need: a fixed-size thread pool with a blocking
+// `parallel_for(n, fn)` that runs `fn(0) … fn(n-1)` across workers.
+//
+// Design rules (all load-bearing for determinism and simplicity):
+//   * No work stealing, no futures, no task graph: one loop at a time,
+//     indices handed out in contiguous chunks from an atomic cursor.
+//     Callers that need determinism key all output on the index — the
+//     schedule can then never influence results.
+//   * The calling thread participates in the loop, so a pool is never
+//     idle-blocked on its own submitter and a 1-thread pool degenerates
+//     to a plain serial loop.
+//   * Nested parallel_for (from inside a worker) runs serially on the
+//     calling worker — population-level parallelism already saturates
+//     the machine, and serial nesting keeps the pool deadlock-free.
+//   * The first exception thrown by any iteration cancels the remaining
+//     indices and is rethrown on the submitting thread.
+//
+// Thread count resolution: explicit constructor argument, else the
+// NEUROPULS_THREADS environment variable, else hardware_concurrency.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace neuropuls::common {
+
+class ThreadPool {
+ public:
+  /// `threads == 0` resolves via NEUROPULS_THREADS / hardware_concurrency.
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total execution width including the calling thread.
+  std::size_t thread_count() const noexcept { return workers_.size() + 1; }
+
+  /// Runs fn(0) … fn(n-1) across the pool and the calling thread; blocks
+  /// until every index has finished. Rethrows the first exception any
+  /// iteration raised (remaining indices are skipped). Safe to call from
+  /// inside a running parallel_for — the nested loop executes serially.
+  void parallel_for(std::size_t n,
+                    const std::function<void(std::size_t)>& fn);
+
+  /// Process-wide shared pool (NEUROPULS_THREADS wide), built on first use.
+  static ThreadPool& global();
+
+  /// NEUROPULS_THREADS env var when set to a positive integer, else
+  /// std::thread::hardware_concurrency(), floored at 1.
+  static std::size_t default_thread_count();
+
+ private:
+  struct Loop;
+
+  void worker_main();
+  static void run_loop(Loop& loop);
+
+  std::vector<std::thread> workers_;
+  std::mutex submit_mutex_;  // serialises concurrent external submitters
+  std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::shared_ptr<Loop> current_;  // loop being executed, if any
+  bool stopping_ = false;
+};
+
+/// parallel_for on the process-global pool.
+inline void parallel_for(std::size_t n,
+                         const std::function<void(std::size_t)>& fn) {
+  ThreadPool::global().parallel_for(n, fn);
+}
+
+}  // namespace neuropuls::common

@@ -1,5 +1,7 @@
 #include "metrics/identification.hpp"
 
+#include "common/parallel.hpp"
+
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
@@ -84,21 +86,41 @@ ZeroErrorWindow zero_error_window(const std::vector<double>& intra_distances,
 
 DistanceSamples gather_distance_samples(
     const std::vector<crypto::Bytes>& references,
-    const std::vector<std::vector<crypto::Bytes>>& rereads) {
-  if (references.size() != rereads.size() || references.empty()) {
+    const std::vector<std::vector<crypto::Bytes>>& rereads,
+    common::ThreadPool* pool) {
+  const std::size_t devices = references.size();
+  if (devices != rereads.size() || references.empty()) {
     throw std::invalid_argument(
         "gather_distance_samples: references/rereads mismatch");
   }
+  // Prefix offsets per device keep every sample in the same slot the
+  // former serial double loop produced it in, so the fan-out below is
+  // bit-identical at any thread count.
+  std::vector<std::size_t> intra_offset(devices + 1, 0);
+  std::vector<std::size_t> inter_offset(devices + 1, 0);
+  for (std::size_t d = 0; d < devices; ++d) {
+    intra_offset[d + 1] = intra_offset[d] + rereads[d].size();
+    inter_offset[d + 1] = inter_offset[d] + (devices - d - 1);
+  }
   DistanceSamples samples;
-  for (std::size_t d = 0; d < references.size(); ++d) {
+  samples.intra.resize(intra_offset[devices]);
+  samples.inter.resize(inter_offset[devices]);
+  auto fill_device = [&](std::size_t d) {
+    std::size_t slot = intra_offset[d];
     for (const auto& reading : rereads[d]) {
-      samples.intra.push_back(
-          crypto::fractional_hamming_distance(references[d], reading));
+      samples.intra[slot++] =
+          crypto::fractional_hamming_distance(references[d], reading);
     }
-    for (std::size_t other = d + 1; other < references.size(); ++other) {
-      samples.inter.push_back(crypto::fractional_hamming_distance(
-          references[d], references[other]));
+    slot = inter_offset[d];
+    for (std::size_t other = d + 1; other < devices; ++other) {
+      samples.inter[slot++] = crypto::fractional_hamming_distance(
+          references[d], references[other]);
     }
+  };
+  if (pool != nullptr) {
+    pool->parallel_for(devices, fill_device);
+  } else {
+    common::parallel_for(devices, fill_device);
   }
   return samples;
 }

@@ -16,6 +16,10 @@
 
 #include "crypto/bytes.hpp"
 
+namespace neuropuls::common {
+class ThreadPool;
+}  // namespace neuropuls::common
+
 namespace neuropuls::metrics {
 
 struct RocPoint {
@@ -51,13 +55,17 @@ ZeroErrorWindow zero_error_window(const std::vector<double>& intra_distances,
                                   const std::vector<double>& inter_distances);
 
 /// Convenience: gathers intra samples (re-readings vs reference) and
-/// inter samples (cross-device) from response sets.
+/// inter samples (cross-device) from response sets. The O(N^2)
+/// cross-device sweep fans out over `pool` (global pool when nullptr)
+/// into precomputed slots, so the sample vectors are bit-identical to
+/// the serial sweep at any thread count.
 struct DistanceSamples {
   std::vector<double> intra;
   std::vector<double> inter;
 };
 DistanceSamples gather_distance_samples(
     const std::vector<crypto::Bytes>& references,
-    const std::vector<std::vector<crypto::Bytes>>& rereads);
+    const std::vector<std::vector<crypto::Bytes>>& rereads,
+    common::ThreadPool* pool = nullptr);
 
 }  // namespace neuropuls::metrics

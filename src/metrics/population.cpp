@@ -1,9 +1,24 @@
 #include "metrics/population.hpp"
 
+#include "common/parallel.hpp"
+
 #include <cmath>
 #include <stdexcept>
 
 namespace neuropuls::metrics {
+
+namespace {
+
+void run_parallel(common::ThreadPool* pool, std::size_t n,
+                  const std::function<void(std::size_t)>& fn) {
+  if (pool != nullptr) {
+    pool->parallel_for(n, fn);
+  } else {
+    common::parallel_for(n, fn);
+  }
+}
+
+}  // namespace
 
 double uniformity(crypto::ByteView response) {
   if (response.empty()) {
@@ -13,19 +28,27 @@ double uniformity(crypto::ByteView response) {
          (8.0 * static_cast<double>(response.size()));
 }
 
-double uniqueness(const std::vector<crypto::Bytes>& device_responses) {
-  if (device_responses.size() < 2) {
+double uniqueness(const std::vector<crypto::Bytes>& device_responses,
+                  common::ThreadPool* pool) {
+  const std::size_t devices = device_responses.size();
+  if (devices < 2) {
     throw std::invalid_argument("uniqueness: need at least two devices");
   }
-  double total = 0.0;
-  std::size_t pairs = 0;
-  for (std::size_t a = 0; a < device_responses.size(); ++a) {
-    for (std::size_t b = a + 1; b < device_responses.size(); ++b) {
-      total += crypto::fractional_hamming_distance(device_responses[a],
-                                                   device_responses[b]);
-      ++pairs;
+  // One partial sum per anchor device a (its pairs with every b > a),
+  // reduced in fixed device order below: the accumulation tree is a
+  // function of the device count alone, never of the schedule.
+  std::vector<double> row_totals(devices, 0.0);
+  run_parallel(pool, devices, [&](std::size_t a) {
+    double row = 0.0;
+    for (std::size_t b = a + 1; b < devices; ++b) {
+      row += crypto::fractional_hamming_distance(device_responses[a],
+                                                 device_responses[b]);
     }
-  }
+    row_totals[a] = row;
+  });
+  double total = 0.0;
+  for (double row : row_totals) total += row;
+  const std::size_t pairs = devices * (devices - 1) / 2;
   return total / static_cast<double>(pairs);
 }
 

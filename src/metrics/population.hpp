@@ -15,6 +15,10 @@
 
 #include "crypto/bytes.hpp"
 
+namespace neuropuls::common {
+class ThreadPool;
+}  // namespace neuropuls::common
+
 namespace neuropuls::metrics {
 
 /// Fraction of set bits in a response.
@@ -23,7 +27,12 @@ double uniformity(crypto::ByteView response);
 /// Mean pairwise fractional Hamming distance across devices' responses to
 /// the same challenge. Throws std::invalid_argument with < 2 devices or
 /// mismatched lengths.
-double uniqueness(const std::vector<crypto::Bytes>& device_responses);
+///
+/// The O(N^2) pair sweep fans out across `pool` (global pool when
+/// nullptr) with one partial sum per anchor device, reduced in fixed
+/// device order — the result is bit-identical at any thread count.
+double uniqueness(const std::vector<crypto::Bytes>& device_responses,
+                  common::ThreadPool* pool = nullptr);
 
 /// 1 - mean fractional HD between repeated readings and the reference.
 double reliability(const crypto::Bytes& reference,

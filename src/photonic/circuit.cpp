@@ -139,15 +139,15 @@ double ScramblerCircuit::memory_depth_seconds() const noexcept {
   return total;
 }
 
-TimeDomainScrambler::TimeDomainScrambler(const ScramblerCircuit& circuit,
-                                         const OperatingPoint& op,
-                                         double sample_period_s)
+ScramblerTables::ScramblerTables(const ScramblerCircuit& circuit,
+                                 const OperatingPoint& op,
+                                 double sample_period_s)
     : ports_(circuit.design().ports),
       layers_(circuit.design().layers),
       with_rings_(circuit.design().with_rings) {
   coupler_tk_.resize(layers_);
   waveguide_transfer_.resize(layers_);
-  ring_states_.resize(layers_);
+  ring_constants_.resize(layers_);
   for (std::size_t layer = 0; layer < layers_; ++layer) {
     for (const auto& coupler : circuit.couplers_[layer]) {
       const double k2 = coupler.power_coupling_ratio();
@@ -157,55 +157,91 @@ TimeDomainScrambler::TimeDomainScrambler(const ScramblerCircuit& circuit,
       waveguide_transfer_[layer].push_back(wg.transfer(op));
     }
     if (with_rings_) {
-      ring_states_[layer].reserve(ports_);
+      ring_constants_[layer].reserve(ports_);
       for (const auto& ring : circuit.rings_[layer]) {
-        ring_states_[layer].emplace_back(ring, op, sample_period_s);
+        ring_constants_[layer].push_back(
+            RingTimeDomainConstants::of(ring, op, sample_period_s));
+      }
+    }
+  }
+  taps_ = circuit.input_coefficients(op);
+}
+
+TimeDomainScrambler::TimeDomainScrambler(const ScramblerCircuit& circuit,
+                                         const OperatingPoint& op,
+                                         double sample_period_s)
+    : TimeDomainScrambler(
+          std::make_shared<const ScramblerTables>(circuit, op,
+                                                  sample_period_s)) {}
+
+TimeDomainScrambler::TimeDomainScrambler(
+    std::shared_ptr<const ScramblerTables> tables)
+    : tables_(std::move(tables)) {
+  if (!tables_) {
+    throw std::invalid_argument("TimeDomainScrambler: null tables");
+  }
+  ring_states_.resize(tables_->layers_);
+  if (tables_->with_rings_) {
+    for (std::size_t layer = 0; layer < tables_->layers_; ++layer) {
+      ring_states_[layer].reserve(tables_->ports_);
+      for (const auto& constants : tables_->ring_constants_[layer]) {
+        ring_states_[layer].emplace_back(constants);
+      }
+    }
+  }
+}
+
+void TimeDomainScrambler::step_inplace(PortVector& state) {
+  const ScramblerTables& t = *tables_;
+  if (state.size() != t.ports_) {
+    throw std::invalid_argument("TimeDomainScrambler::step: port mismatch");
+  }
+  for (std::size_t layer = 0; layer < t.layers_; ++layer) {
+    const std::size_t offset = layer % 2;
+    const auto& couplers = t.coupler_tk_[layer];
+    for (std::size_t p = 0; p < couplers.size(); ++p) {
+      const std::size_t a = offset + 2 * p;
+      const std::size_t b = a + 1;
+      if (b >= state.size()) break;
+      const double tc = couplers[p][0];
+      const double k = couplers[p][1];
+      const Complex minus_ik(0.0, -k);
+      const Complex s0 = tc * state[a] + minus_ik * state[b];
+      const Complex s1 = minus_ik * state[a] + tc * state[b];
+      state[a] = s0;
+      state[b] = s1;
+    }
+    const auto& transfers = t.waveguide_transfer_[layer];
+    for (std::size_t port = 0; port < t.ports_; ++port) {
+      state[port] *= transfers[port];
+    }
+    if (t.with_rings_) {
+      auto& rings = ring_states_[layer];
+      for (std::size_t port = 0; port < t.ports_; ++port) {
+        state[port] = rings[port].step(state[port]);
       }
     }
   }
 }
 
 PortVector TimeDomainScrambler::step(const PortVector& in) {
-  if (in.size() != ports_) {
-    throw std::invalid_argument("TimeDomainScrambler::step: port mismatch");
-  }
   PortVector state = in;
-  for (std::size_t layer = 0; layer < layers_; ++layer) {
-    const std::size_t offset = layer % 2;
-    for (std::size_t p = 0; p < coupler_tk_[layer].size(); ++p) {
-      const std::size_t a = offset + 2 * p;
-      const std::size_t b = a + 1;
-      if (b >= state.size()) break;
-      const double t = coupler_tk_[layer][p][0];
-      const double k = coupler_tk_[layer][p][1];
-      const Complex minus_ik(0.0, -k);
-      const Complex s0 = t * state[a] + minus_ik * state[b];
-      const Complex s1 = minus_ik * state[a] + t * state[b];
-      state[a] = s0;
-      state[b] = s1;
-    }
-    for (std::size_t port = 0; port < ports_; ++port) {
-      state[port] *= waveguide_transfer_[layer][port];
-    }
-    if (with_rings_) {
-      for (std::size_t port = 0; port < ports_; ++port) {
-        state[port] = ring_states_[layer][port].step(state[port]);
-      }
-    }
-  }
+  step_inplace(state);
   return state;
 }
 
 std::vector<std::vector<Complex>> TimeDomainScrambler::run(
     const std::vector<Complex>& port0_in) {
-  std::vector<std::vector<Complex>> outputs(ports_);
+  const std::size_t n_ports = ports();
+  std::vector<std::vector<Complex>> outputs(n_ports);
   for (auto& v : outputs) v.reserve(port0_in.size());
-  PortVector in(ports_, Complex{0.0, 0.0});
+  PortVector state(n_ports, Complex{0.0, 0.0});
   for (const Complex& sample : port0_in) {
-    in[0] = sample;
-    const PortVector out = step(in);
-    for (std::size_t port = 0; port < ports_; ++port) {
-      outputs[port].push_back(out[port]);
+    std::fill(state.begin(), state.end(), Complex{0.0, 0.0});
+    state[0] = sample;
+    step_inplace(state);
+    for (std::size_t port = 0; port < n_ports; ++port) {
+      outputs[port].push_back(state[port]);
     }
   }
   return outputs;
@@ -215,6 +251,13 @@ void TimeDomainScrambler::reset() noexcept {
   for (auto& layer : ring_states_) {
     for (auto& ring : layer) ring.reset();
   }
+}
+
+std::shared_ptr<const ScramblerTables> make_scrambler_tables(
+    const ScramblerCircuit& circuit, const OperatingPoint& op,
+    double sample_period_s) {
+  return std::make_shared<const ScramblerTables>(circuit, op,
+                                                 sample_period_s);
 }
 
 }  // namespace neuropuls::photonic

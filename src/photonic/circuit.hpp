@@ -14,7 +14,9 @@
 // mask and process that makes a PUF unclonable-by-manufacturer.
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "photonic/components.hpp"
@@ -71,7 +73,7 @@ class ScramblerCircuit {
   }
 
  private:
-  friend class TimeDomainScrambler;
+  friend class ScramblerTables;
 
   ScramblerDesign design_;
   // Input fan-out paths, one per port.
@@ -82,15 +84,62 @@ class ScramblerCircuit {
   std::vector<std::vector<MicroringAllPass>> rings_;
 };
 
+/// The immutable transfer constants of a ScramblerCircuit frozen at one
+/// (wavelength, temperature) operating point and sample period: coupler
+/// t/k amplitudes, per-layer waveguide transfer factors, per-ring
+/// time-domain constants, and the input fan-out coefficients.
+///
+/// Building these tables is the expensive part of starting a time-domain
+/// evaluation (one complex exponential per waveguide and ring); they hold
+/// no state, so one instance is safely shared — concurrently — by every
+/// evaluation at the same operating point. PhotonicPuf caches one per
+/// operating point and the batch engine reuses it across all work items.
+class ScramblerTables {
+ public:
+  ScramblerTables(const ScramblerCircuit& circuit, const OperatingPoint& op,
+                  double sample_period_s);
+
+  std::size_t ports() const noexcept { return ports_; }
+  std::size_t layers() const noexcept { return layers_; }
+  bool with_rings() const noexcept { return with_rings_; }
+
+  /// The circuit's input fan-out coefficients at the frozen operating
+  /// point (same values as ScramblerCircuit::input_coefficients).
+  const PortVector& input_coefficients() const noexcept { return taps_; }
+
+ private:
+  friend class TimeDomainScrambler;
+
+  std::size_t ports_;
+  std::size_t layers_;
+  bool with_rings_;
+  std::vector<std::vector<std::array<double, 2>>> coupler_tk_;  // {t, k}
+  std::vector<std::vector<Complex>> waveguide_transfer_;
+  std::vector<std::vector<RingTimeDomainConstants>> ring_constants_;
+  PortVector taps_;
+};
+
 /// Sample-clocked evaluation of a ScramblerCircuit: the modulated challenge
 /// stream flows through the mesh while the rings integrate state, so each
 /// output sample depends on past input symbols (reservoir-style mixing).
+///
+/// The instance owns only the mutable ring state; the static constants
+/// live in a (possibly shared) ScramblerTables. Instances are cheap to
+/// stamp out from cached tables, which is what makes batched evaluation
+/// win even single-threaded.
 class TimeDomainScrambler {
  public:
   /// Freezes the static transfer constants at `op` and builds per-ring
   /// delay lines for the given sample period.
   TimeDomainScrambler(const ScramblerCircuit& circuit, const OperatingPoint& op,
                       double sample_period_s);
+
+  /// Builds only the ring state around precomputed shared tables.
+  explicit TimeDomainScrambler(std::shared_ptr<const ScramblerTables> tables);
+
+  /// Processes one time step in place: `state` holds one sample per port
+  /// on entry and the per-port outputs on return. No allocation.
+  void step_inplace(PortVector& state);
 
   /// Processes one time step: `in` has one sample per port.
   PortVector step(const PortVector& in);
@@ -101,16 +150,18 @@ class TimeDomainScrambler {
 
   void reset() noexcept;
 
-  std::size_t ports() const noexcept { return ports_; }
+  std::size_t ports() const noexcept { return tables_->ports(); }
+
+  const ScramblerTables& tables() const noexcept { return *tables_; }
 
  private:
-  std::size_t ports_;
-  std::size_t layers_;
-  bool with_rings_;
-  // Precomputed static constants.
-  std::vector<std::vector<std::array<double, 2>>> coupler_tk_;  // {t, k}
-  std::vector<std::vector<Complex>> waveguide_transfer_;
+  std::shared_ptr<const ScramblerTables> tables_;
   std::vector<std::vector<RingTimeDomain>> ring_states_;
 };
+
+/// Convenience factory for a shareable operating-point table set.
+std::shared_ptr<const ScramblerTables> make_scrambler_tables(
+    const ScramblerCircuit& circuit, const OperatingPoint& op,
+    double sample_period_s);
 
 }  // namespace neuropuls::photonic

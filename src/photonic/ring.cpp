@@ -112,19 +112,30 @@ Complex MicroringAddDrop::drop(const OperatingPoint& op) const noexcept {
   return -k1 * k2 * half / (1.0 - t1 * t2 * full);
 }
 
-RingTimeDomain::RingTimeDomain(const MicroringAllPass& ring,
-                               const OperatingPoint& op, double sample_period) {
+RingTimeDomainConstants RingTimeDomainConstants::of(
+    const MicroringAllPass& ring, const OperatingPoint& op,
+    double sample_period) {
   if (sample_period <= 0.0) {
     throw std::invalid_argument("RingTimeDomain: sample period must be > 0");
   }
+  RingTimeDomainConstants c;
   const double kappa2 = ring.params().power_coupling_in;
-  t_ = std::sqrt(1.0 - kappa2);
-  k_ = std::sqrt(kappa2);
-  feedback_ =
+  c.t = std::sqrt(1.0 - kappa2);
+  c.k = std::sqrt(kappa2);
+  c.feedback =
       ring.round_trip_amplitude() * std::polar(1.0, -ring.round_trip_phase(op));
-  const auto delay = static_cast<std::size_t>(
+  c.delay_samples = static_cast<std::size_t>(
       std::max(1.0, std::floor(ring.round_trip_delay() / sample_period)));
-  delay_line_.assign(delay, Complex{0.0, 0.0});
+  return c;
+}
+
+RingTimeDomain::RingTimeDomain(const MicroringAllPass& ring,
+                               const OperatingPoint& op, double sample_period)
+    : RingTimeDomain(RingTimeDomainConstants::of(ring, op, sample_period)) {}
+
+RingTimeDomain::RingTimeDomain(const RingTimeDomainConstants& constants)
+    : t_(constants.t), k_(constants.k), feedback_(constants.feedback) {
+  delay_line_.assign(constants.delay_samples, Complex{0.0, 0.0});
 }
 
 Complex RingTimeDomain::step(Complex in) noexcept {

@@ -77,6 +77,24 @@ class MicroringAddDrop {
   RingParameters params_;
 };
 
+/// The static (state-free) constants of a RingTimeDomain at one operating
+/// point: everything except the circulating field. Computing these costs
+/// trig/exp evaluations, so batch engines precompute them once per
+/// (wavelength, temperature) and stamp out per-evaluation ring states
+/// cheaply (see ScramblerTables in circuit.hpp).
+struct RingTimeDomainConstants {
+  double t = 1.0;                 // through amplitude sqrt(1 - kappa^2)
+  double k = 0.0;                 // cross amplitude sqrt(kappa^2)
+  Complex feedback{1.0, 0.0};     // a * e^{-i phi}
+  std::size_t delay_samples = 1;  // round-trip delay in samples, >= 1
+
+  /// Freezes `ring` at `op` for a given sample period. Throws
+  /// std::invalid_argument when sample_period <= 0.
+  static RingTimeDomainConstants of(const MicroringAllPass& ring,
+                                    const OperatingPoint& op,
+                                    double sample_period);
+};
+
 /// Time-domain all-pass ring clocked at the modulation sample rate.
 ///
 /// The ring circumference maps to `delay_samples` of the input stream
@@ -92,6 +110,9 @@ class RingTimeDomain {
   /// samples is round_trip_delay / sample_period, floored, min 1.
   RingTimeDomain(const MicroringAllPass& ring, const OperatingPoint& op,
                  double sample_period);
+
+  /// Builds the state around precomputed constants (no trig/exp work).
+  explicit RingTimeDomain(const RingTimeDomainConstants& constants);
 
   /// Processes one input sample, returns the through-port sample.
   Complex step(Complex in) noexcept;

@@ -1,15 +1,35 @@
 #include "puf/photonic_puf.hpp"
 
+#include "common/parallel.hpp"
 #include "crypto/chacha20.hpp"
 
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <utility>
 
 namespace neuropuls::puf {
 
 using photonic::Complex;
 using photonic::OperatingPoint;
+
+namespace {
+
+// Upper bound on cached operating points. Thermal sweeps step the
+// temperature, so a handful of entries keeps every sweep point hot
+// without letting a long scan grow the cache unboundedly.
+constexpr std::size_t kMaxOperatingTables = 8;
+
+void run_parallel(common::ThreadPool* pool, std::size_t n,
+                  const std::function<void(std::size_t)>& fn) {
+  if (pool != nullptr) {
+    pool->parallel_for(n, fn);
+  } else {
+    common::parallel_for(n, fn);
+  }
+}
+
+}  // namespace
 
 PhotonicPuf::PhotonicPuf(PhotonicPufConfig config, std::uint64_t wafer_seed,
                          std::uint64_t device_index)
@@ -34,6 +54,37 @@ PhotonicPuf::PhotonicPuf(PhotonicPufConfig config, std::uint64_t wafer_seed,
   calibrate();
 }
 
+std::shared_ptr<const PhotonicPuf::OperatingTables>
+PhotonicPuf::operating_tables(const OperatingPoint& op) const {
+  {
+    std::lock_guard<std::mutex> lock(tables_mutex_);
+    for (auto it = tables_cache_.begin(); it != tables_cache_.end(); ++it) {
+      if ((*it)->wavelength == op.wavelength &&
+          (*it)->temperature == op.temperature) {
+        auto hit = *it;
+        // Move-to-front so sweeps evict the stalest point first.
+        tables_cache_.erase(it);
+        tables_cache_.insert(tables_cache_.begin(), hit);
+        return hit;
+      }
+    }
+  }
+  // Build outside the lock: concurrent first touches of the same point may
+  // build twice, but never block each other behind the (expensive)
+  // per-layer transfer evaluation.
+  auto built = std::make_shared<OperatingTables>();
+  built->wavelength = op.wavelength;
+  built->temperature = op.temperature;
+  built->scrambler = photonic::make_scrambler_tables(
+      circuit_, op, 1.0 / config_.sample_rate_hz);
+  std::lock_guard<std::mutex> lock(tables_mutex_);
+  tables_cache_.insert(tables_cache_.begin(), built);
+  if (tables_cache_.size() > kMaxOperatingTables) {
+    tables_cache_.resize(kMaxOperatingTables);
+  }
+  return built;
+}
+
 void PhotonicPuf::calibrate() {
   if (config_.calibration_challenges == 0) return;
   // Public calibration sequence (identical for every device; the
@@ -41,24 +92,42 @@ void PhotonicPuf::calibrate() {
   // the helper data). Medians are taken at the *enrollment* operating
   // point; later thermal drift moves the margins — the E11 effect.
   crypto::ChaChaDrbg calib_rng(crypto::bytes_of("np-phot-calib"));
-  std::vector<std::vector<std::vector<double>>> samples;
-  samples.reserve(config_.calibration_challenges);
-  for (std::size_t i = 0; i < config_.calibration_challenges; ++i) {
-    samples.push_back(analog_core(calib_rng.generate(challenge_bytes()),
-                                  false, 0, config_.temperature));
+  const std::size_t count = config_.calibration_challenges;
+  std::vector<Challenge> challenges;
+  challenges.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    challenges.push_back(calib_rng.generate(challenge_bytes()));
   }
-  const std::size_t windows = samples.front().size();
-  const std::size_t pairs = samples.front().front().size();
+
+  // Transpose as we go: each evaluation's (window, pair) matrix scatters
+  // straight into one flat slot-major buffer, so the per-slot medians run
+  // on contiguous spans and no per-challenge nested sample structures are
+  // ever retained. (Exact medians need every sample, so the flat buffer
+  // is the irreducible footprint; the former layout added one heap
+  // vector per challenge per window on top of it.)
+  const std::size_t windows = config_.challenge_bits;
+  const std::size_t pairs = config_.design.ports / 2;
+  std::vector<double> slot_samples(windows * pairs * count);
+  common::parallel_for(count, [&](std::size_t i) {
+    const auto analog =
+        analog_core(challenges[i], false, 0, config_.temperature);
+    for (std::size_t w = 0; w < windows; ++w) {
+      for (std::size_t p = 0; p < pairs; ++p) {
+        slot_samples[(w * pairs + p) * count + i] = analog[w][p];
+      }
+    }
+  });
+
   thresholds_.assign(windows, std::vector<double>(pairs, 0.0));
-  std::vector<double> slot(samples.size());
   for (std::size_t w = 0; w < windows; ++w) {
     for (std::size_t p = 0; p < pairs; ++p) {
-      for (std::size_t i = 0; i < samples.size(); ++i) {
-        slot[i] = samples[i][w][p];
-      }
-      std::nth_element(slot.begin(), slot.begin() + static_cast<std::ptrdiff_t>(slot.size() / 2),
-                       slot.end());
-      thresholds_[w][p] = slot[slot.size() / 2];
+      const auto begin =
+          slot_samples.begin() +
+          static_cast<std::ptrdiff_t>((w * pairs + p) * count);
+      const auto end = begin + static_cast<std::ptrdiff_t>(count);
+      std::nth_element(begin, begin + static_cast<std::ptrdiff_t>(count / 2),
+                       end);
+      thresholds_[w][p] = begin[count / 2];
     }
   }
 }
@@ -81,7 +150,6 @@ std::vector<std::vector<double>> PhotonicPuf::analog_core(
   }
 
   const OperatingPoint op{config_.laser.wavelength, temperature};
-  const double sample_period = 1.0 / config_.sample_rate_hz;
   const std::size_t ports = config_.design.ports;
   const std::size_t pairs = ports / 2;
   const std::size_t spb = config_.samples_per_bit;
@@ -95,20 +163,30 @@ std::vector<std::vector<double>> PhotonicPuf::analog_core(
   photonic::MachZehnderModulator mzm(config_.modulator);
   const double ideal_amp = laser.mean_amplitude();
 
-  photonic::TimeDomainScrambler scrambler(circuit_, op, sample_period);
-  const photonic::PortVector taps = circuit_.input_coefficients(op);
+  // Static transfer constants come from the per-operating-point cache and
+  // are shared across every concurrent evaluation; only the ring delay
+  // lines (the scrambler's mutable state) are built per call.
+  const auto tables = operating_tables(op);
+  photonic::TimeDomainScrambler scrambler(tables->scrambler);
+  const photonic::PortVector& taps = tables->scrambler->input_coefficients();
 
-  // Per-port detectors.
+  // Per-port detectors. The noiseless path needs no per-port noise
+  // streams — mean_current is parameter-only — so one detector serves
+  // every port.
   std::vector<photonic::Photodiode> pds;
-  pds.reserve(ports);
-  for (std::size_t p = 0; p < ports; ++p) {
-    pds.emplace_back(config_.photodiode, rng::derive_seed(noise_seed, 0x20 + p));
+  if (noisy) {
+    pds.reserve(ports);
+    for (std::size_t p = 0; p < ports; ++p) {
+      pds.emplace_back(config_.photodiode,
+                       rng::derive_seed(noise_seed, 0x20 + p));
+    }
   }
+  const photonic::Photodiode mean_pd(config_.photodiode, 0);
 
   std::vector<std::vector<double>> analog(
       config_.challenge_bits, std::vector<double>(pairs, 0.0));
 
-  photonic::PortVector in(ports, Complex{0.0, 0.0});
+  photonic::PortVector state(ports, Complex{0.0, 0.0});
   std::vector<double> window_current(ports, 0.0);
 
   for (std::size_t bit_index = 0; bit_index < config_.challenge_bits;
@@ -121,12 +199,14 @@ std::vector<std::vector<double>> PhotonicPuf::analog_core(
       const Complex carrier =
           noisy ? laser.sample() : Complex{ideal_amp, 0.0};
       const Complex modulated = mzm.modulate(carrier, bit);
-      // Fig. 2: the modulated beam is first split across all paths.
-      for (std::size_t p = 0; p < ports; ++p) in[p] = modulated * taps[p];
-      const auto out = scrambler.step(in);
+      // Fig. 2: the modulated beam is first split across all paths; the
+      // scrambler then transforms the state buffer in place — no per-
+      // sample allocation.
+      for (std::size_t p = 0; p < ports; ++p) state[p] = modulated * taps[p];
+      scrambler.step_inplace(state);
       for (std::size_t p = 0; p < ports; ++p) {
         window_current[p] +=
-            noisy ? pds[p].detect(out[p]) : pds[p].mean_current(out[p]);
+            noisy ? pds[p].detect(state[p]) : mean_pd.mean_current(state[p]);
       }
     }
 
@@ -155,11 +235,41 @@ Response PhotonicPuf::threshold_bits(
 }
 
 Response PhotonicPuf::evaluate(const Challenge& challenge) {
-  const std::uint64_t seed = rng::derive_seed(device_seed_, ++eval_counter_);
+  const std::uint64_t counter =
+      eval_counter_.fetch_add(1, std::memory_order_relaxed) + 1;
+  const std::uint64_t seed = rng::derive_seed(device_seed_, counter);
   auto margins = analog_core(challenge, /*noisy=*/true, seed,
                              config_.temperature);
   subtract_thresholds(margins);
   return threshold_bits(margins);
+}
+
+std::vector<Response> PhotonicPuf::evaluate_batch(
+    const std::vector<Challenge>& challenges, common::ThreadPool* pool) {
+  // Reserve one counter value per item up front; item i always gets
+  // base + i + 1 regardless of which thread runs it or when, making the
+  // batch bit-identical to the equivalent serial evaluate() sequence.
+  const std::uint64_t base = eval_counter_.fetch_add(
+      challenges.size(), std::memory_order_relaxed);
+  std::vector<Response> responses(challenges.size());
+  run_parallel(pool, challenges.size(), [&](std::size_t i) {
+    const std::uint64_t seed =
+        rng::derive_seed(device_seed_, base + static_cast<std::uint64_t>(i) + 1);
+    auto margins = analog_core(challenges[i], /*noisy=*/true, seed,
+                               config_.temperature);
+    subtract_thresholds(margins);
+    responses[i] = threshold_bits(margins);
+  });
+  return responses;
+}
+
+std::vector<Response> PhotonicPuf::evaluate_noiseless_batch(
+    const std::vector<Challenge>& challenges, common::ThreadPool* pool) const {
+  std::vector<Response> responses(challenges.size());
+  run_parallel(pool, challenges.size(), [&](std::size_t i) {
+    responses[i] = evaluate_noiseless(challenges[i]);
+  });
+  return responses;
 }
 
 Response PhotonicPuf::evaluate_noiseless(const Challenge& challenge) const {
@@ -180,7 +290,10 @@ Response PhotonicPuf::evaluate_noiseless_at(const Challenge& challenge,
 std::vector<std::vector<double>> PhotonicPuf::evaluate_analog(
     const Challenge& challenge, bool noisy) {
   const std::uint64_t seed =
-      noisy ? rng::derive_seed(device_seed_, ++eval_counter_) : 0;
+      noisy ? rng::derive_seed(
+                  device_seed_,
+                  eval_counter_.fetch_add(1, std::memory_order_relaxed) + 1)
+            : 0;
   auto margins = analog_core(challenge, noisy, seed, config_.temperature);
   subtract_thresholds(margins);
   return margins;

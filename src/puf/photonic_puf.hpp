@@ -35,13 +35,20 @@
 //     pPUF available to the Verifier" that §III-B's attestation assumes.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <vector>
 
 #include "photonic/circuit.hpp"
 #include "photonic/detector.hpp"
 #include "photonic/source.hpp"
 #include "puf/puf.hpp"
+
+namespace neuropuls::common {
+class ThreadPool;
+}  // namespace neuropuls::common
 
 namespace neuropuls::puf {
 
@@ -91,6 +98,21 @@ class PhotonicPuf final : public Puf {
   Response evaluate_noiseless(const Challenge& challenge) const override;
   std::string name() const override { return "photonic-puf"; }
 
+  /// Noisy batch evaluation across the pool (global pool when `pool` is
+  /// nullptr). Deterministic: work item i consumes noise-seed counter
+  /// base + i + 1 where `base` is the counter value on entry, assigned by
+  /// *index* rather than completion order — so the result is bit-identical
+  /// to calling evaluate() on each challenge in sequence, at any thread
+  /// count. The counter block is reserved atomically, so concurrent
+  /// batches/evaluations never reuse a seed.
+  std::vector<Response> evaluate_batch(const std::vector<Challenge>& challenges,
+                                       common::ThreadPool* pool = nullptr);
+
+  /// Model-path (deterministic) batch evaluation across the pool.
+  std::vector<Response> evaluate_noiseless_batch(
+      const std::vector<Challenge>& challenges,
+      common::ThreadPool* pool = nullptr) const;
+
   /// Temperature-compensated model evaluation (§II-B: "introducing a
   /// photonic sensor for temperature measurement and considering this
   /// additional parameter when evaluating the genuinity of the
@@ -125,6 +147,20 @@ class PhotonicPuf final : public Puf {
   const PhotonicPufConfig& config() const noexcept { return config_; }
 
  private:
+  // Static per-operating-point constants of the analog chain: scrambler
+  // transfer tables + input fan-out taps. Immutable once built, so one
+  // instance is shared by every (possibly concurrent) evaluation at that
+  // (wavelength, temperature); rebuilding them per call used to dominate
+  // the single-evaluation cost.
+  struct OperatingTables {
+    double wavelength = 0.0;
+    double temperature = 0.0;
+    std::shared_ptr<const photonic::ScramblerTables> scrambler;
+  };
+
+  std::shared_ptr<const OperatingTables> operating_tables(
+      const photonic::OperatingPoint& op) const;
+
   std::vector<std::vector<double>> analog_core(const Challenge& challenge,
                                                bool noisy,
                                                std::uint64_t noise_seed,
@@ -137,7 +173,14 @@ class PhotonicPuf final : public Puf {
   PhotonicPufConfig config_;
   photonic::ScramblerCircuit circuit_;
   std::uint64_t device_seed_;
-  std::uint64_t eval_counter_ = 0;
+  // Noise-seed counter. Atomically reserved (one value per evaluate()
+  // call, a contiguous block per evaluate_batch()) so concurrent
+  // evaluations can never reuse a noise seed.
+  std::atomic<std::uint64_t> eval_counter_{0};
+  // Most-recently-used operating-point tables (thermal sweeps move the
+  // temperature, so this is a tiny keyed cache, not a single slot).
+  mutable std::mutex tables_mutex_;
+  mutable std::vector<std::shared_ptr<const OperatingTables>> tables_cache_;
   // Per-(window, pair) median current differences from enrollment
   // calibration; empty when calibration is disabled.
   std::vector<std::vector<double>> thresholds_;

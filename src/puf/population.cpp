@@ -1,0 +1,67 @@
+#include "puf/population.hpp"
+
+#include "common/parallel.hpp"
+
+#include <stdexcept>
+
+namespace neuropuls::puf {
+
+namespace {
+
+void run_parallel(common::ThreadPool* pool, std::size_t n,
+                  const std::function<void(std::size_t)>& fn) {
+  if (pool != nullptr) {
+    pool->parallel_for(n, fn);
+  } else {
+    common::parallel_for(n, fn);
+  }
+}
+
+}  // namespace
+
+PufPopulation::PufPopulation(const PhotonicPufConfig& config,
+                             std::uint64_t wafer_seed,
+                             std::size_t device_count,
+                             common::ThreadPool* pool,
+                             std::uint64_t first_device_index)
+    : pool_(pool), devices_(device_count) {
+  if (device_count == 0) {
+    throw std::invalid_argument("PufPopulation: need at least one device");
+  }
+  run_parallel(pool_, device_count, [&](std::size_t d) {
+    devices_[d] = std::make_unique<PhotonicPuf>(
+        config, wafer_seed, first_device_index + static_cast<std::uint64_t>(d));
+  });
+}
+
+std::vector<Response> PufPopulation::evaluate_noiseless_all(
+    const Challenge& challenge) const {
+  std::vector<Response> responses(devices_.size());
+  run_parallel(pool_, devices_.size(), [&](std::size_t d) {
+    responses[d] = devices_[d]->evaluate_noiseless(challenge);
+  });
+  return responses;
+}
+
+std::vector<Response> PufPopulation::evaluate_all(const Challenge& challenge) {
+  std::vector<Response> responses(devices_.size());
+  run_parallel(pool_, devices_.size(), [&](std::size_t d) {
+    responses[d] = devices_[d]->evaluate(challenge);
+  });
+  return responses;
+}
+
+std::vector<std::vector<Response>> PufPopulation::evaluate_repeats(
+    const Challenge& challenge, std::size_t repeats) {
+  std::vector<std::vector<Response>> readings(devices_.size());
+  run_parallel(pool_, devices_.size(), [&](std::size_t d) {
+    // evaluate_batch assigns this device's counter values by item index,
+    // so the readings match a serial re-read loop bit for bit. The inner
+    // batch call is already inside a parallel region and runs serially.
+    readings[d] = devices_[d]->evaluate_batch(
+        std::vector<Challenge>(repeats, challenge), pool_);
+  });
+  return readings;
+}
+
+}  // namespace neuropuls::puf

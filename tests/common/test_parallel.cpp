@@ -1,0 +1,178 @@
+// Tests for the thread pool and the determinism contract of the batch
+// evaluation engine built on it: serial and parallel execution must be
+// bit-identical at any thread count (noise seeds are keyed by work-item
+// index, metric reductions run in a fixed order).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "common/parallel.hpp"
+#include "crypto/chacha20.hpp"
+#include "metrics/population.hpp"
+#include "puf/photonic_puf.hpp"
+#include "puf/population.hpp"
+
+namespace neuropuls {
+namespace {
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
+  common::ThreadPool pool(4);
+  EXPECT_EQ(pool.thread_count(), 4u);
+  constexpr std::size_t kN = 1000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.parallel_for(kN, [&](std::size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(ThreadPool, ZeroItemsIsANoOp) {
+  common::ThreadPool pool(4);
+  bool called = false;
+  pool.parallel_for(0, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, SingleItemRunsOnCaller) {
+  common::ThreadPool pool(4);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::thread::id ran_on;
+  pool.parallel_for(1, [&](std::size_t) { ran_on = std::this_thread::get_id(); });
+  EXPECT_EQ(ran_on, caller);
+}
+
+TEST(ThreadPool, OneThreadPoolIsSerial) {
+  common::ThreadPool pool(1);
+  EXPECT_EQ(pool.thread_count(), 1u);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::vector<std::size_t> order;
+  pool.parallel_for(16, [&](std::size_t i) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    order.push_back(i);  // safe: serial by construction
+  });
+  ASSERT_EQ(order.size(), 16u);
+  for (std::size_t i = 0; i < order.size(); ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(ThreadPool, ExceptionPropagatesAndPoolStaysUsable) {
+  common::ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for(100,
+                        [](std::size_t i) {
+                          if (i == 37) throw std::runtime_error("boom");
+                        }),
+      std::runtime_error);
+  // The pool must survive a cancelled loop and run the next one fully.
+  std::atomic<int> count{0};
+  pool.parallel_for(100, [&](std::size_t) {
+    count.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, NestedParallelForRunsSerially) {
+  common::ThreadPool pool(4);
+  std::vector<std::atomic<int>> inner_hits(8 * 8);
+  pool.parallel_for(8, [&](std::size_t outer) {
+    const std::thread::id worker = std::this_thread::get_id();
+    pool.parallel_for(8, [&](std::size_t inner) {
+      // Nested loops stay on the submitting worker — no deadlock, no
+      // cross-thread interleaving inside one outer item.
+      EXPECT_EQ(std::this_thread::get_id(), worker);
+      inner_hits[outer * 8 + inner].fetch_add(1, std::memory_order_relaxed);
+    });
+  });
+  for (auto& h : inner_hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, DefaultThreadCountIsPositive) {
+  EXPECT_GE(common::ThreadPool::default_thread_count(), 1u);
+}
+
+// --- determinism contract of the batch engine ---------------------------
+
+std::vector<puf::Challenge> test_challenges(std::size_t count,
+                                            std::size_t bytes) {
+  crypto::ChaChaDrbg rng(crypto::bytes_of("parallel-test"));
+  std::vector<puf::Challenge> challenges;
+  for (std::size_t i = 0; i < count; ++i) challenges.push_back(rng.generate(bytes));
+  return challenges;
+}
+
+TEST(BatchDeterminism, NoisyBatchMatchesSerialEvaluate) {
+  const auto cfg = puf::small_photonic_config();
+  const auto challenges = test_challenges(24, 2);
+
+  // Twin devices: same wafer seed + index -> identical fabrication and
+  // noise-seed sequence. One answers serially, one in a batch.
+  puf::PhotonicPuf serial_device(cfg, 77, 5);
+  puf::PhotonicPuf batch_device(cfg, 77, 5);
+  std::vector<puf::Response> serial;
+  for (const auto& c : challenges) serial.push_back(serial_device.evaluate(c));
+
+  common::ThreadPool pool(4);
+  EXPECT_EQ(batch_device.evaluate_batch(challenges, &pool), serial);
+}
+
+TEST(BatchDeterminism, BatchIdenticalAcrossThreadCounts) {
+  const auto cfg = puf::small_photonic_config();
+  const auto challenges = test_challenges(24, 2);
+  puf::PhotonicPuf one_device(cfg, 78, 2);
+  puf::PhotonicPuf four_device(cfg, 78, 2);
+  common::ThreadPool one(1);
+  common::ThreadPool four(4);
+  EXPECT_EQ(one_device.evaluate_batch(challenges, &one),
+            four_device.evaluate_batch(challenges, &four));
+  EXPECT_EQ(one_device.evaluate_noiseless_batch(challenges, &one),
+            four_device.evaluate_noiseless_batch(challenges, &four));
+}
+
+TEST(BatchDeterminism, CounterContinuesAcrossCalls) {
+  // evaluate() after a batch must see the counter advanced by the batch
+  // size, exactly as if the batch had been a serial loop.
+  const auto cfg = puf::small_photonic_config();
+  const auto challenges = test_challenges(7, 2);
+  puf::PhotonicPuf serial_device(cfg, 79, 0);
+  puf::PhotonicPuf batch_device(cfg, 79, 0);
+  for (const auto& c : challenges) serial_device.evaluate(c);
+  batch_device.evaluate_batch(challenges);
+  EXPECT_EQ(serial_device.evaluate(challenges.front()),
+            batch_device.evaluate(challenges.front()));
+}
+
+TEST(BatchDeterminism, PopulationMatchesPerDeviceLoops) {
+  auto cfg = puf::small_photonic_config();
+  constexpr std::size_t kDevices = 5;
+  const puf::Challenge challenge(2, 0xA5);
+
+  common::ThreadPool pool(4);
+  puf::PufPopulation population(cfg, 4242, kDevices, &pool);
+  const auto refs = population.evaluate_noiseless_all(challenge);
+  const auto rereads = population.evaluate_repeats(challenge, 3);
+
+  for (std::size_t d = 0; d < kDevices; ++d) {
+    puf::PhotonicPuf device(cfg, 4242, d);
+    EXPECT_EQ(refs[d], device.evaluate_noiseless(challenge));
+    ASSERT_EQ(rereads[d].size(), 3u);
+    for (int r = 0; r < 3; ++r) {
+      EXPECT_EQ(rereads[d][r], device.evaluate(challenge));
+    }
+  }
+}
+
+TEST(BatchDeterminism, UniquenessIdenticalAcrossThreadCounts) {
+  crypto::ChaChaDrbg rng(crypto::bytes_of("uniq-test"));
+  std::vector<crypto::Bytes> responses;
+  for (int d = 0; d < 33; ++d) responses.push_back(rng.generate(16));
+  common::ThreadPool one(1);
+  common::ThreadPool four(4);
+  const double serial = metrics::uniqueness(responses, &one);
+  const double parallel = metrics::uniqueness(responses, &four);
+  EXPECT_EQ(serial, parallel);  // bit-identical, not just approximately
+}
+
+}  // namespace
+}  // namespace neuropuls
