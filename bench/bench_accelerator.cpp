@@ -79,7 +79,8 @@ void BM_LoadNetworkSecure(benchmark::State& state) {
       network_of(static_cast<std::size_t>(state.range(0)), 3);
   const auto ciphered =
       accel::SecureAccelerator::encrypt_network(network, kKey, 1);
-  accel::SecureAccelerator device(std::make_unique<accel::DigitalMvm>(), kKey);
+  accel::SecureAccelerator device(std::make_unique<accel::DigitalMvm>(),
+                                  common::SecretBytes::copy_of(kKey));
   for (auto _ : state) {
     device.load_network(ciphered);
   }
@@ -92,7 +93,8 @@ BENCHMARK(BM_LoadNetworkSecure)->Arg(16)->Arg(64)->Arg(128)
 void BM_ExecuteNetworkSecure(benchmark::State& state) {
   const MlpNetwork network =
       network_of(static_cast<std::size_t>(state.range(0)), 3);
-  accel::SecureAccelerator device(std::make_unique<accel::DigitalMvm>(), kKey);
+  accel::SecureAccelerator device(std::make_unique<accel::DigitalMvm>(),
+                                  common::SecretBytes::copy_of(kKey));
   device.load_network(
       accel::SecureAccelerator::encrypt_network(network, kKey, 1));
   const std::vector<double> input(network.input_size(), 0.5);

@@ -147,10 +147,11 @@ BENCHMARK(BM_HscIotSession)->Unit(benchmark::kMicrosecond);
 void BM_SecureChannelRecord(benchmark::State& state) {
   // Bulk data over the AKA-keyed secure channel (seal + open round trip).
   const crypto::Bytes secret = crypto::bytes_of("crp");
-  const auto handshake = core::run_eke_handshake(
+  auto handshake = core::run_eke_handshake(
       secret, secret, crypto::DhGroup::modp1536(), 1, 7);
-  core::SecureChannel sender(handshake.initiator.session_key, true);
-  core::SecureChannel receiver(handshake.responder.session_key, false);
+  core::SecureChannel sender(std::move(handshake.initiator.session_key), true);
+  core::SecureChannel receiver(std::move(handshake.responder.session_key),
+                               false);
   const crypto::Bytes payload(static_cast<std::size_t>(state.range(0)), 0x5C);
   for (auto _ : state) {
     const auto record = sender.seal(payload);

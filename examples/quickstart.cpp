@@ -39,9 +39,10 @@ int main() {
     return 1;
   }
   std::printf("device encryption key: %s\n",
-              crypto::to_hex(derived->encryption_key).c_str());
+              crypto::to_hex(derived->encryption_key.reveal()).c_str());
   std::printf("stable across boots:   %s\n\n",
-              keys.derive(record)->encryption_key == derived->encryption_key
+              common::ct_equal(keys.derive(record)->encryption_key,
+                               derived->encryption_key)
                   ? "yes"
                   : "NO");
 
@@ -58,7 +59,8 @@ int main() {
   std::printf("mutual authentication: %s (%zu messages on the wire)\n",
               ok ? "SUCCESS" : "FAILED", channel.transcript().size());
   std::printf("CRP rotated for next session: %s\n",
-              device.current_response() == verifier.current_secret()
+              common::ct_equal(device.current_response(),
+                               verifier.current_secret())
                   ? "yes (device and verifier in lockstep)"
                   : "NO");
   return ok ? 0 : 1;

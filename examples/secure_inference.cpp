@@ -70,25 +70,27 @@ int main() {
   // -- 4. encrypted load + inference (Table I) --------------------------------
   accel::SecureAccelerator accelerator(
       std::make_unique<accel::PhotonicMvm>(accel::PhotonicMvmConfig{}, 55),
-      keys->encryption_key);
+      keys->encryption_key.clone());
   const auto network = accel::make_random_network({8, 16, 4}, 21);
   accelerator.load_network(accel::SecureAccelerator::encrypt_network(
-      network, keys->encryption_key, 1));
+      network, keys->encryption_key.reveal(), 1));
   std::printf("[load_network] %zu parameters loaded (ciphertext only)\n",
               network.parameter_count());
 
   const std::vector<double> input = {0.3, -0.1, 0.7, 0.2, -0.5, 0.9, 0.0, 0.4};
   const auto ciphered_output = accelerator.execute_network(
-      accel::SecureAccelerator::encrypt_input(input, keys->encryption_key, 2));
+      accel::SecureAccelerator::encrypt_input(input,
+                                              keys->encryption_key.reveal(),
+                                              2));
   const auto output = accel::SecureAccelerator::decrypt_output(
-      ciphered_output, keys->encryption_key);
+      ciphered_output, keys->encryption_key.reveal());
   std::printf("[execute_network] output:");
   for (double v : output) std::printf(" %.4f", v);
   std::printf("\n");
 
   // -- 5. failure demonstrations ----------------------------------------------
   auto tampered = accel::SecureAccelerator::encrypt_input(
-      input, keys->encryption_key, 3);
+      input, keys->encryption_key.reveal(), 3);
   tampered[tampered.size() / 2] ^= 0x01;
   try {
     accelerator.execute_network(tampered);

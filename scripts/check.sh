@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# Full local verification matrix: plain, ASan, and UBSan builds with the
+# complete test suite (which includes the ctlint secret-hygiene pass and
+# its self-test), all with warnings-as-errors. This is the command to run
+# before pushing; CI runs the same matrix.
+#
+# Usage:
+#   scripts/check.sh            # plain + address + undefined
+#   scripts/check.sh plain      # one configuration only
+#   scripts/check.sh address
+#   scripts/check.sh undefined
+#
+# Build trees land in build-check-<config>/ (gitignored via build-*/).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+CONFIGS=("$@")
+if [ ${#CONFIGS[@]} -eq 0 ]; then
+  CONFIGS=(plain address undefined)
+fi
+
+run_config() {
+  local config="$1"
+  local build_dir="build-check-${config}"
+  local sanitize=""
+  if [ "${config}" != "plain" ]; then
+    sanitize="${config}"
+  fi
+
+  echo "==> [${config}] configure (${build_dir}, NEUROPULS_SANITIZE='${sanitize}', NEUROPULS_WERROR=ON)"
+  cmake -B "${build_dir}" -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DNEUROPULS_SANITIZE="${sanitize}" \
+    -DNEUROPULS_WERROR=ON \
+    > "${build_dir}.configure.log" 2>&1 || {
+      tail -n 40 "${build_dir}.configure.log"; return 1; }
+
+  echo "==> [${config}] build"
+  cmake --build "${build_dir}" -j "${JOBS}" \
+    > "${build_dir}.build.log" 2>&1 || {
+      tail -n 40 "${build_dir}.build.log"; return 1; }
+
+  echo "==> [${config}] ctest (unit + property + ctlint_src + ctlint_selftest)"
+  ctest --test-dir "${build_dir}" --output-on-failure -j "${JOBS}"
+}
+
+for config in "${CONFIGS[@]}"; do
+  case "${config}" in
+    plain|address|undefined) run_config "${config}" ;;
+    *)
+      echo "unknown config '${config}' (want plain, address, or undefined)" >&2
+      exit 2
+      ;;
+  esac
+done
+
+# Standalone ctlint invocation against the tree (redundant with the ctest
+# case, but handy when iterating on lint annotations without a rebuild).
+LAST_BUILD="build-check-${CONFIGS[${#CONFIGS[@]}-1]}"
+echo "==> ctlint source pass (standalone)"
+"${LAST_BUILD}/tools/ctlint/ctlint" --baseline tools/ctlint/baseline.txt src
+
+echo "==> all checks passed"

@@ -15,25 +15,10 @@ crypto::Bytes nonce16(std::uint64_t counter) {
   return nonce;
 }
 
-void wipe(crypto::Bytes& buffer) {
-  // Plaintext hygiene: clear before releasing ("never leave plaintext in
-  // the memory after execution"). volatile write defeats dead-store
-  // elimination.
-  volatile std::uint8_t* p = buffer.data();
-  for (std::size_t i = 0; i < buffer.size(); ++i) p[i] = 0;
-  buffer.clear();
-}
-
-void wipe(std::vector<double>& buffer) {
-  volatile double* p = buffer.data();
-  for (std::size_t i = 0; i < buffer.size(); ++i) p[i] = 0.0;
-  buffer.clear();
-}
-
 }  // namespace
 
 SecureAccelerator::SecureAccelerator(std::unique_ptr<MvmEngine> engine,
-                                     crypto::Bytes device_key)
+                                     common::SecretBytes device_key)
     : accelerator_(std::move(engine)), device_key_(std::move(device_key)) {
   if (device_key_.empty()) {
     throw std::invalid_argument("SecureAccelerator: empty device key");
@@ -43,43 +28,48 @@ SecureAccelerator::SecureAccelerator(std::unique_ptr<MvmEngine> engine,
 crypto::Bytes SecureAccelerator::encrypt_network(const MlpNetwork& network,
                                                  crypto::ByteView key,
                                                  std::uint64_t nonce) {
-  crypto::Bytes plaintext = serialize_network(network);
+  // Plaintext hygiene throughout this file: every transient plaintext
+  // buffer carries the lint's secret annotation and is cleared with
+  // crypto::secure_wipe before it goes out of scope ("never leave
+  // plaintext in the memory after execution").
+  crypto::Bytes plaintext = serialize_network(network);  // ctlint:secret
   crypto::Bytes sealed =
       crypto::aes_ctr_then_mac_seal(key, nonce16(nonce), plaintext);
-  wipe(plaintext);
+  crypto::secure_wipe(plaintext);
   return sealed;
 }
 
 crypto::Bytes SecureAccelerator::encrypt_input(
     const std::vector<double>& input, crypto::ByteView key,
     std::uint64_t nonce) {
-  crypto::Bytes plaintext = serialize_vector(input);
+  crypto::Bytes plaintext = serialize_vector(input);  // ctlint:secret
   crypto::Bytes sealed =
       crypto::aes_ctr_then_mac_seal(key, nonce16(nonce), plaintext);
-  wipe(plaintext);
+  crypto::secure_wipe(plaintext);
   return sealed;
 }
 
 std::vector<double> SecureAccelerator::decrypt_output(
     crypto::ByteView ciphered_output, crypto::ByteView key) {
+  // ctlint:secret(plaintext)
   crypto::Bytes plaintext = crypto::aes_ctr_then_mac_open(key, ciphered_output);
   std::vector<double> output = deserialize_vector(plaintext);
-  wipe(plaintext);
+  crypto::secure_wipe(plaintext);
   return output;
 }
 
 void SecureAccelerator::load_network(crypto::ByteView ciphered_network) {
   // Decrypt-and-verify happens "in hardware" — inside this boundary.
-  crypto::Bytes plaintext =
-      crypto::aes_ctr_then_mac_open(device_key_, ciphered_network);
+  crypto::Bytes plaintext =  // ctlint:secret
+      crypto::aes_ctr_then_mac_open(device_key_.reveal(), ciphered_network);
   MlpNetwork network = deserialize_network(plaintext);
-  wipe(plaintext);
+  crypto::secure_wipe(plaintext);
   accelerator_.load(std::move(network));
 }
 
 crypto::Bytes SecureAccelerator::seal(crypto::ByteView plaintext) {
-  return crypto::aes_ctr_then_mac_seal(device_key_, nonce16(++nonce_counter_),
-                                       plaintext);
+  return crypto::aes_ctr_then_mac_seal(device_key_.reveal(),
+                                       nonce16(++nonce_counter_), plaintext);
 }
 
 crypto::Bytes SecureAccelerator::execute_network(
@@ -87,18 +77,18 @@ crypto::Bytes SecureAccelerator::execute_network(
   if (!accelerator_.loaded()) {
     throw std::logic_error("SecureAccelerator: no network loaded");
   }
-  crypto::Bytes plaintext =
-      crypto::aes_ctr_then_mac_open(device_key_, ciphered_input);
-  std::vector<double> input = deserialize_vector(plaintext);
-  wipe(plaintext);
+  crypto::Bytes plaintext =  // ctlint:secret
+      crypto::aes_ctr_then_mac_open(device_key_.reveal(), ciphered_input);
+  std::vector<double> input = deserialize_vector(plaintext);  // ctlint:secret
+  crypto::secure_wipe(plaintext);
 
-  std::vector<double> output = accelerator_.infer(input);
-  wipe(input);
+  std::vector<double> output = accelerator_.infer(input);  // ctlint:secret
+  crypto::secure_wipe(input);
 
-  crypto::Bytes serialized = serialize_vector(output);
-  wipe(output);
+  crypto::Bytes serialized = serialize_vector(output);  // ctlint:secret
+  crypto::secure_wipe(output);
   crypto::Bytes sealed = seal(serialized);
-  wipe(serialized);
+  crypto::secure_wipe(serialized);
   return sealed;
 }
 

@@ -17,6 +17,7 @@
 #include <memory>
 
 #include "accel/accelerator.hpp"
+#include "common/secret.hpp"
 #include "crypto/bytes.hpp"
 
 namespace neuropuls::accel {
@@ -24,9 +25,10 @@ namespace neuropuls::accel {
 class SecureAccelerator {
  public:
   /// `device_key` is the PUF-derived encryption key (from
-  /// core::KeyManager); never exposed again once installed.
+  /// core::KeyManager); the taint type means callers hand over ownership
+  /// and the key is never exposed again once installed.
   SecureAccelerator(std::unique_ptr<MvmEngine> engine,
-                    crypto::Bytes device_key);
+                    common::SecretBytes device_key);
 
   /// Table I `load_network(ciphered_network)`. Throws std::runtime_error
   /// on authentication failure (tamper/wrong key) or malformed plaintext.
@@ -54,7 +56,7 @@ class SecureAccelerator {
   crypto::Bytes seal(crypto::ByteView plaintext);
 
   Accelerator accelerator_;
-  crypto::Bytes device_key_;
+  common::SecretBytes device_key_;
   std::uint64_t nonce_counter_ = 0x80000000ULL;  // device-side nonce space
 };
 

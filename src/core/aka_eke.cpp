@@ -21,7 +21,7 @@ EkeParty::EkeParty(crypto::Bytes secret, const crypto::DhGroup& group,
 }
 
 crypto::Bytes EkeParty::password_key() const {
-  return crypto::hkdf(crypto::ByteView{}, secret_,
+  return crypto::hkdf(crypto::ByteView{}, secret_.reveal(),
                       crypto::bytes_of("np-eke-pw"), 16);
 }
 
@@ -39,8 +39,8 @@ crypto::BigUint EkeParty::decrypt_public(crypto::ByteView nonce,
 }
 
 void EkeParty::derive_session_key(const crypto::Bytes& shared) {
-  session_key_ = crypto::hkdf(transcript_, shared,
-                              crypto::bytes_of("np-eke-session"), 32);
+  session_key_ = common::SecretBytes(crypto::hkdf(
+      transcript_, shared, crypto::bytes_of("np-eke-session"), 32));
 }
 
 net::Message EkeParty::initiate(std::uint64_t session_id) {
@@ -76,7 +76,7 @@ std::optional<net::Message> EkeParty::respond(
   }
 
   ephemeral_ = crypto::dh_generate(group_, rng_);
-  crypto::Bytes shared;
+  crypto::Bytes shared;  // ctlint:secret g^xy — wiped after the KDF below
   try {
     shared = crypto::dh_shared_secret(group_, ephemeral_.secret, peer);
   } catch (const std::runtime_error&) {
@@ -94,10 +94,11 @@ std::optional<net::Message> EkeParty::respond(
   transcript_.insert(transcript_.end(), payload_out.begin(),
                      payload_out.end());
   derive_session_key(shared);
+  crypto::secure_wipe(shared);
 
   // Responder key confirmation.
   const crypto::Bytes mac = crypto::hmac_sha256(
-      session_key_,
+      session_key_.reveal(),
       crypto::concat({crypto::bytes_of("np-eke-server"), transcript_}));
   payload_out.insert(payload_out.end(), mac.begin(), mac.end());
 
@@ -122,7 +123,7 @@ std::optional<net::Message> EkeParty::confirm(
       decrypt_public(hello.first(kNonceLen), hello.subspan(kNonceLen));
   if (!crypto::dh_public_is_valid(group_, peer)) return std::nullopt;
 
-  crypto::Bytes shared;
+  crypto::Bytes shared;  // ctlint:secret g^xy — wiped after the KDF below
   try {
     shared = crypto::dh_shared_secret(group_, ephemeral_.secret, peer);
   } catch (const std::runtime_error&) {
@@ -131,17 +132,18 @@ std::optional<net::Message> EkeParty::confirm(
 
   transcript_.insert(transcript_.end(), hello.begin(), hello.end());
   derive_session_key(shared);
+  crypto::secure_wipe(shared);
 
   const crypto::Bytes expected = crypto::hmac_sha256(
-      session_key_,
+      session_key_.reveal(),
       crypto::concat({crypto::bytes_of("np-eke-server"), transcript_}));
   if (!crypto::ct_equal(mac, expected)) {
-    session_key_.clear();
+    session_key_.wipe();
     return std::nullopt;
   }
 
   const crypto::Bytes client_mac = crypto::hmac_sha256(
-      session_key_,
+      session_key_.reveal(),
       crypto::concat({crypto::bytes_of("np-eke-client"), transcript_}));
   return net::Message{net::MessageType::kEkeClientConfirm, session_id_,
                       client_mac};
@@ -153,10 +155,10 @@ bool EkeParty::finalize(const net::Message& client_confirm) {
     return false;
   }
   const crypto::Bytes expected = crypto::hmac_sha256(
-      session_key_,
+      session_key_.reveal(),
       crypto::concat({crypto::bytes_of("np-eke-client"), transcript_}));
   if (!crypto::ct_equal(client_confirm.payload, expected)) {
-    session_key_.clear();
+    session_key_.wipe();
     return false;
   }
   return true;
@@ -183,10 +185,10 @@ EkeHandshakeOutcome run_eke_handshake(const crypto::Bytes& initiator_secret,
   if (!client_confirm) return outcome;
   if (!responder.finalize(*client_confirm)) return outcome;
 
-  outcome.initiator = {true, initiator.session_key()};
-  outcome.responder = {true, responder.session_key()};
+  outcome.initiator = {true, initiator.session_key().clone()};
+  outcome.responder = {true, responder.session_key().clone()};
   outcome.keys_match =
-      crypto::ct_equal(initiator.session_key(), responder.session_key());
+      common::ct_equal(initiator.session_key(), responder.session_key());
   return outcome;
 }
 

@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <optional>
 
+#include "common/secret.hpp"
 #include "crypto/bytes.hpp"
 #include "crypto/chacha20.hpp"
 #include "crypto/dh.hpp"
@@ -29,7 +30,7 @@ namespace neuropuls::core {
 
 struct EkeResult {
   bool succeeded = false;
-  crypto::Bytes session_key;  // 32 bytes when succeeded
+  common::SecretBytes session_key;  // 32 bytes when succeeded
 };
 
 /// One side of the EKE handshake. The initiator is the Verifier, the
@@ -56,8 +57,12 @@ class EkeParty {
   /// Responder step 2: verify the client confirmation.
   bool finalize(const net::Message& client_confirm);
 
-  /// The agreed session key (empty until the handshake completes).
-  const crypto::Bytes& session_key() const noexcept { return session_key_; }
+  /// The agreed session key (empty until the handshake completes). The
+  /// taint type makes accidental `==` or implicit copies compile errors;
+  /// callers clone() it into the secure channel.
+  const common::SecretBytes& session_key() const noexcept {
+    return session_key_;
+  }
 
  private:
   crypto::Bytes password_key() const;
@@ -67,12 +72,12 @@ class EkeParty {
                                  crypto::ByteView ciphertext) const;
   void derive_session_key(const crypto::Bytes& shared);
 
-  crypto::Bytes secret_;
+  common::SecretBytes secret_;  // the low-entropy password (CRP response)
   const crypto::DhGroup& group_;
   crypto::ChaChaDrbg rng_;
   crypto::DhKeyPair ephemeral_;
   crypto::Bytes transcript_;
-  crypto::Bytes session_key_;
+  common::SecretBytes session_key_;
   std::uint64_t session_id_ = 0;
 };
 

@@ -41,27 +41,29 @@ KeyManager::KeyManager(puf::Puf& puf, std::size_t key_bytes)
 
 DeviceKeyRecord KeyManager::enroll(crypto::ChaChaDrbg& rng) {
   const ecc::BitVec w = collect_response_bits(puf_, extractor_.response_bits());
-  const auto result = extractor_.generate(w, rng);
-  root_ = result.key;
-  return DeviceKeyRecord{result.helper};
+  auto result = extractor_.generate(w, rng);
+  root_ = common::SecretBytes(std::move(result.key));
+  return DeviceKeyRecord{std::move(result.helper)};
 }
 
 std::optional<DeviceKeys> KeyManager::derive(const DeviceKeyRecord& record) {
   const ecc::BitVec w_prime =
       collect_response_bits(puf_, extractor_.response_bits());
-  const auto root = extractor_.reproduce(w_prime, record.helper);
+  auto root = extractor_.reproduce(w_prime, record.helper);
   if (!root) return std::nullopt;
-  return split(*root);
+  DeviceKeys keys = split(*root);
+  crypto::secure_wipe(*root);  // the raw root must not outlive the split
+  return keys;
 }
 
 DeviceKeys KeyManager::split(const crypto::Bytes& root) {
   DeviceKeys keys;
-  keys.encryption_key =
-      crypto::hkdf(crypto::ByteView{}, root, crypto::bytes_of("np-key-enc"), 16);
-  keys.mac_key =
-      crypto::hkdf(crypto::ByteView{}, root, crypto::bytes_of("np-key-mac"), 32);
-  keys.binding_key =
-      crypto::hkdf(crypto::ByteView{}, root, crypto::bytes_of("np-key-bind"), 16);
+  keys.encryption_key = common::SecretBytes(crypto::hkdf(
+      crypto::ByteView{}, root, crypto::bytes_of("np-key-enc"), 16));
+  keys.mac_key = common::SecretBytes(crypto::hkdf(
+      crypto::ByteView{}, root, crypto::bytes_of("np-key-mac"), 32));
+  keys.binding_key = common::SecretBytes(crypto::hkdf(
+      crypto::ByteView{}, root, crypto::bytes_of("np-key-bind"), 16));
   return keys;
 }
 

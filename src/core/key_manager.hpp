@@ -14,6 +14,7 @@
 #include <optional>
 #include <string>
 
+#include "common/secret.hpp"
 #include "crypto/bytes.hpp"
 #include "ecc/fuzzy_extractor.hpp"
 #include "puf/puf.hpp"
@@ -31,9 +32,9 @@ struct DeviceKeyRecord {
 };
 
 struct DeviceKeys {
-  crypto::Bytes encryption_key;  // Table I bulk encryption (16 bytes)
-  crypto::Bytes mac_key;         // message authentication (32 bytes)
-  crypto::Bytes binding_key;     // PIC<->ASIC composite binding (16 bytes)
+  common::SecretBytes encryption_key;  // Table I bulk encryption (16 bytes)
+  common::SecretBytes mac_key;         // message authentication (32 bytes)
+  common::SecretBytes binding_key;  // PIC<->ASIC composite binding (16 bytes)
 };
 
 class KeyManager {
@@ -51,7 +52,7 @@ class KeyManager {
 
   /// The root key derived at enrollment (for verifier-side provisioning
   /// in tests/examples; a production flow would never export it).
-  const crypto::Bytes& enrolled_root() const noexcept { return root_; }
+  const common::SecretBytes& enrolled_root() const noexcept { return root_; }
 
   std::size_t response_bits() const noexcept {
     return extractor_.response_bits();
@@ -62,7 +63,7 @@ class KeyManager {
 
   puf::Puf& puf_;
   ecc::FuzzyExtractor extractor_;
-  crypto::Bytes root_;
+  common::SecretBytes root_;
 };
 
 }  // namespace neuropuls::core

@@ -14,14 +14,14 @@ constexpr std::size_t kHashLen = 32;
 
 // Deterministic challenge update shared by both parties:
 // c_{i+1} = RNG(r_i), where RNG is the ChaCha DRBG seeded with r_i.
-puf::Challenge next_challenge(const puf::Response& response,
+puf::Challenge next_challenge(crypto::ByteView response,
                               std::size_t challenge_bytes) {
   crypto::ChaChaDrbg rng(
       crypto::concat({crypto::bytes_of("np-auth-rng"), response}));
   return rng.generate(challenge_bytes);
 }
 
-crypto::Bytes mac_over(const puf::Response& key, std::uint64_t session_id,
+crypto::Bytes mac_over(crypto::ByteView key, std::uint64_t session_id,
                        crypto::ByteView data) {
   crypto::HmacSha256 mac(key);
   crypto::Bytes sid(8);
@@ -35,8 +35,10 @@ crypto::Bytes mac_over(const puf::Response& key, std::uint64_t session_id,
 
 AuthDevice::AuthDevice(puf::Puf& puf, ProvisionedCrp initial,
                        crypto::Bytes memory_snapshot)
-    : puf_(puf), current_(std::move(initial)), memory_(std::move(memory_snapshot)) {
-  if (current_.response.empty()) {
+    : puf_(puf),
+      current_response_(common::SecretBytes(std::move(initial.response))),
+      memory_(std::move(memory_snapshot)) {
+  if (current_response_.empty()) {
     throw std::invalid_argument("AuthDevice: empty provisioned response");
   }
 }
@@ -54,23 +56,28 @@ std::optional<net::Message> AuthDevice::handle_request(
   const std::uint64_t nonce = crypto::get_u64_be(request.payload);
   active_session_ = request.session_id;
 
-  // Fresh CRP derived from the current secret.
-  ProvisionedCrp next;
-  next.challenge = next_challenge(current_.response, puf_.challenge_bytes());
-  next.response = puf_.evaluate(next.challenge);
-  pending_ = next;
+  // Fresh CRP derived from the current secret. r_{i+1} is born straight
+  // into the taint wrapper — it never exists as a loose buffer.
+  puf::Challenge next_chal =
+      next_challenge(current_response_.reveal(), puf_.challenge_bytes());
+  common::SecretBytes next_resp(puf_.evaluate(next_chal));
 
   ++clock_count_;
 
   // m = (r_{i+1} ^ r_i) || H || CC || N
-  crypto::Bytes m = crypto::xor_bytes(next.response, current_.response);
+  crypto::Bytes m =
+      crypto::xor_bytes(next_resp.reveal(), current_response_.reveal());
   const crypto::Bytes h = crypto::Sha256::hash(memory_);
   m.insert(m.end(), h.begin(), h.end());
   crypto::append_u64_be(m, clock_count_);
   crypto::append_u64_be(m, nonce);
 
-  const crypto::Bytes mac = mac_over(current_.response, active_session_, m);
+  const crypto::Bytes mac =
+      mac_over(current_response_.reveal(), active_session_, m);
   m.insert(m.end(), mac.begin(), mac.end());
+
+  pending_challenge_ = std::move(next_chal);
+  pending_response_ = std::move(next_resp);
 
   return net::Message{net::MessageType::kAuthResponse, active_session_,
                       std::move(m)};
@@ -81,16 +88,17 @@ AuthStatus AuthDevice::handle_confirm(const net::Message& confirm) {
       confirm.payload.size() != kMacLen) {
     return AuthStatus::kMalformed;
   }
-  if (!pending_ || confirm.session_id != active_session_) {
+  if (!pending_challenge_ || confirm.session_id != active_session_) {
     return AuthStatus::kBadSession;
   }
-  const crypto::Bytes expected =
-      mac_over(pending_->response, active_session_, pending_->challenge);
+  const crypto::Bytes expected = mac_over(
+      pending_response_.reveal(), active_session_, *pending_challenge_);
   if (!crypto::ct_equal(confirm.payload, expected)) {
     return AuthStatus::kBadMac;
   }
-  current_ = *pending_;
-  pending_.reset();
+  // Move-assignment wipes the superseded r_i before installing r_{i+1}.
+  current_response_ = std::move(pending_response_);
+  pending_challenge_.reset();
   ++sessions_;
   return AuthStatus::kOk;
 }
@@ -98,7 +106,7 @@ AuthStatus AuthDevice::handle_confirm(const net::Message& confirm) {
 AuthVerifier::AuthVerifier(puf::Response initial_response,
                            crypto::Bytes expected_memory_hash,
                            std::size_t challenge_bytes)
-    : secret_(std::move(initial_response)),
+    : secret_(common::SecretBytes(std::move(initial_response))),
       expected_memory_hash_(std::move(expected_memory_hash)),
       challenge_bytes_(challenge_bytes) {
   if (secret_.empty() || challenge_bytes_ == 0) {
@@ -117,7 +125,7 @@ net::Message AuthVerifier::start(std::uint64_t session_id,
 }
 
 AuthVerifier::Outcome AuthVerifier::try_secret(const net::Message& response,
-                                               const puf::Response& secret) {
+                                               crypto::ByteView secret) {
   Outcome outcome;
   const std::size_t response_len = secret.size();
   const std::size_t expected_len = response_len + kHashLen + 8 + 8 + kMacLen;
@@ -152,18 +160,18 @@ AuthVerifier::Outcome AuthVerifier::try_secret(const net::Message& response,
   outcome.memory_hash_ok =
       crypto::ct_equal(memory_hash, expected_memory_hash_);
 
-  const puf::Response next_secret = crypto::xor_bytes(masked, secret);
+  common::SecretBytes next_secret(crypto::xor_bytes(masked, secret));
   const puf::Challenge next_chal = next_challenge(secret, challenge_bytes_);
   const crypto::Bytes confirm_mac =
-      mac_over(next_secret, response.session_id, next_chal);
+      mac_over(next_secret.reveal(), response.session_id, next_chal);
 
   // The fallback becomes the secret that actually authenticated: if the
   // device is stale (missed our previous confirm) this keeps its secret
   // recoverable across repeated confirm losses. Copy first — `secret` may
-  // alias *fallback_.
-  const puf::Response used = secret;
-  fallback_ = used;
-  secret_ = next_secret;
+  // view fallback_'s buffer, which the assignment below wipes.
+  common::SecretBytes used = common::SecretBytes::copy_of(secret);
+  fallback_ = std::move(used);
+  secret_ = std::move(next_secret);
   ++sessions_;
 
   outcome.status = AuthStatus::kOk;
@@ -183,14 +191,14 @@ AuthVerifier::Outcome AuthVerifier::process_response(
     outcome.status = AuthStatus::kBadSession;
     return outcome;
   }
-  outcome = try_secret(response, secret_);
+  outcome = try_secret(response, secret_.reveal());
   if (outcome.status == AuthStatus::kOk) return outcome;
 
   // Desync recovery: the device may still hold the pre-rotation secret
   // (our confirm of the previous session was lost). Accept exactly one
   // session under the fallback.
-  if (fallback_) {
-    Outcome fallback_outcome = try_secret(response, *fallback_);
+  if (!fallback_.empty()) {
+    Outcome fallback_outcome = try_secret(response, fallback_.reveal());
     if (fallback_outcome.status == AuthStatus::kOk) {
       return fallback_outcome;
     }

@@ -40,6 +40,7 @@
 #include <cstdint>
 #include <optional>
 
+#include "common/secret.hpp"
 #include "crypto/bytes.hpp"
 #include "crypto/chacha20.hpp"
 #include "net/channel.hpp"
@@ -76,9 +77,10 @@ class AuthDevice {
   /// Handles the verifier's confirm; on success rotates the CRP.
   AuthStatus handle_confirm(const net::Message& confirm);
 
-  /// Current (secret) response — exposed for tests only.
-  const puf::Response& current_response() const noexcept {
-    return current_.response;
+  /// Current (secret) response — exposed for tests only; taint-typed so
+  /// test assertions must go through common::ct_equal, never `==`.
+  const common::SecretBytes& current_response() const noexcept {
+    return current_response_;
   }
   std::uint64_t completed_sessions() const noexcept { return sessions_; }
 
@@ -88,9 +90,11 @@ class AuthDevice {
 
  private:
   puf::Puf& puf_;
-  ProvisionedCrp current_;
-  // Pending next CRP, applied when the verifier's confirm checks out.
-  std::optional<ProvisionedCrp> pending_;
+  common::SecretBytes current_response_;  // r_i — the live shared secret
+  // Pending next CRP, applied when the verifier's confirm checks out. The
+  // challenge is public; the response rides in its own taint wrapper.
+  std::optional<puf::Challenge> pending_challenge_;
+  common::SecretBytes pending_response_;
   crypto::Bytes memory_;
   std::uint64_t clock_count_ = 0;
   std::uint64_t sessions_ = 0;
@@ -119,15 +123,16 @@ class AuthVerifier {
   };
   Outcome process_response(const net::Message& response);
 
-  const puf::Response& current_secret() const noexcept { return secret_; }
+  const common::SecretBytes& current_secret() const noexcept {
+    return secret_;
+  }
   std::uint64_t completed_sessions() const noexcept { return sessions_; }
 
  private:
-  Outcome try_secret(const net::Message& response,
-                     const puf::Response& secret);
+  Outcome try_secret(const net::Message& response, crypto::ByteView secret);
 
-  puf::Response secret_;
-  std::optional<puf::Response> fallback_;  // pre-rotation secret
+  common::SecretBytes secret_;
+  common::SecretBytes fallback_;  // pre-rotation secret; empty = none
   crypto::Bytes expected_memory_hash_;
   std::size_t challenge_bytes_;
   std::uint64_t active_session_ = 0;

@@ -18,16 +18,17 @@ crypto::Bytes nonce_for(std::uint64_t sequence) {
 }
 }  // namespace
 
-crypto::Bytes SecureChannel::direction_key(crypto::ByteView session_key,
-                                           bool initiator_to_responder) {
-  return crypto::hkdf(crypto::ByteView{}, session_key,
-                      initiator_to_responder ? crypto::bytes_of("np-sc-i2r")
-                                             : crypto::bytes_of("np-sc-r2i"),
-                      32);
+common::SecretBytes SecureChannel::direction_key(
+    crypto::ByteView session_key, bool initiator_to_responder) {
+  return common::SecretBytes(crypto::hkdf(
+      crypto::ByteView{}, session_key,
+      initiator_to_responder ? crypto::bytes_of("np-sc-i2r")
+                             : crypto::bytes_of("np-sc-r2i"),
+      32));
 }
 
-SecureChannel::SecureChannel(crypto::Bytes session_key, bool is_initiator,
-                             SecureChannelConfig config)
+SecureChannel::SecureChannel(common::SecretBytes session_key,
+                             bool is_initiator, SecureChannelConfig config)
     : config_(config) {
   if (session_key.empty()) {
     throw std::invalid_argument("SecureChannel: empty session key");
@@ -35,14 +36,19 @@ SecureChannel::SecureChannel(crypto::Bytes session_key, bool is_initiator,
   if (config_.rekey_interval == 0) {
     throw std::invalid_argument("SecureChannel: zero rekey interval");
   }
-  send_key_ = direction_key(session_key, is_initiator);
-  recv_key_ = direction_key(session_key, !is_initiator);
+  send_key_ = direction_key(session_key.reveal(), is_initiator);
+  recv_key_ = direction_key(session_key.reveal(), !is_initiator);
+  // `session_key` wipes on scope exit (SecretBytes destructor).
 }
 
-void SecureChannel::maybe_ratchet(crypto::Bytes& key, std::uint64_t seq) {
+void SecureChannel::maybe_ratchet(common::SecretBytes& key,
+                                  std::uint64_t seq) {
   if (seq != 0 && seq % config_.rekey_interval == 0) {
-    key = crypto::hkdf(crypto::ByteView{}, key,
-                       crypto::bytes_of("np-sc-ratchet"), 32);
+    // Move-assignment wipes the pre-ratchet key before installing the
+    // stepped one — forward secrecy within the record stream.
+    key = common::SecretBytes(crypto::hkdf(
+        crypto::ByteView{}, key.reveal(), crypto::bytes_of("np-sc-ratchet"),
+        32));
   }
 }
 
@@ -54,9 +60,9 @@ crypto::Bytes SecureChannel::seal(crypto::ByteView plaintext) {
   crypto::put_u64_be(record, seq);
 
   const crypto::Bytes enc_key = crypto::hkdf(
-      crypto::ByteView{}, send_key_, crypto::bytes_of("enc"), 16);
+      crypto::ByteView{}, send_key_.reveal(), crypto::bytes_of("enc"), 16);
   const crypto::Bytes mac_key = crypto::hkdf(
-      crypto::ByteView{}, send_key_, crypto::bytes_of("mac"), 16);
+      crypto::ByteView{}, send_key_.reveal(), crypto::bytes_of("mac"), 16);
 
   const crypto::Bytes body =
       crypto::aes_ctr(enc_key, nonce_for(seq), plaintext);
@@ -82,9 +88,9 @@ std::optional<crypto::Bytes> SecureChannel::open(crypto::ByteView record) {
   }
 
   const crypto::Bytes enc_key = crypto::hkdf(
-      crypto::ByteView{}, recv_key_, crypto::bytes_of("enc"), 16);
+      crypto::ByteView{}, recv_key_.reveal(), crypto::bytes_of("enc"), 16);
   const crypto::Bytes mac_key = crypto::hkdf(
-      crypto::ByteView{}, recv_key_, crypto::bytes_of("mac"), 16);
+      crypto::ByteView{}, recv_key_.reveal(), crypto::bytes_of("mac"), 16);
 
   const crypto::ByteView signed_part = record.first(record.size() - kTagLen);
   const crypto::ByteView tag = record.subspan(record.size() - kTagLen);

@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <optional>
 
+#include "common/secret.hpp"
 #include "crypto/bytes.hpp"
 
 namespace neuropuls::core {
@@ -27,9 +28,10 @@ struct SecureChannelConfig {
 /// session key with opposite `is_initiator` flags.
 class SecureChannel {
  public:
-  /// `session_key` is the 32-byte EKE output. Throws
+  /// `session_key` is the 32-byte EKE output, taint-typed: callers hand
+  /// over ownership (move, or `.clone()` an EkeResult key). Throws
   /// std::invalid_argument on an empty key.
-  SecureChannel(crypto::Bytes session_key, bool is_initiator,
+  SecureChannel(common::SecretBytes session_key, bool is_initiator,
                 SecureChannelConfig config = {});
 
   /// Seals one application record for the peer.
@@ -46,13 +48,13 @@ class SecureChannel {
   bool poisoned() const noexcept { return poisoned_; }
 
  private:
-  void maybe_ratchet(crypto::Bytes& key, std::uint64_t seq);
-  static crypto::Bytes direction_key(crypto::ByteView session_key,
-                                     bool initiator_to_responder);
+  void maybe_ratchet(common::SecretBytes& key, std::uint64_t seq);
+  static common::SecretBytes direction_key(crypto::ByteView session_key,
+                                           bool initiator_to_responder);
 
   SecureChannelConfig config_;
-  crypto::Bytes send_key_;
-  crypto::Bytes recv_key_;
+  common::SecretBytes send_key_;
+  common::SecretBytes recv_key_;
   std::uint64_t send_seq_ = 0;
   std::uint64_t recv_seq_ = 0;
   bool poisoned_ = false;

@@ -16,6 +16,20 @@ int hex_nibble(char c) {
 }
 }  // namespace
 
+void secure_wipe(void* data, std::size_t size) noexcept {
+  if (data == nullptr || size == 0) return;
+  // The asm barrier below makes the cleared bytes observable, so the
+  // store cannot be removed by dead-store elimination.
+  std::memset(data, 0, size);  // ctlint:allow(raw-memset-wipe) sanctioned primitive
+#if defined(__GNUC__) || defined(__clang__)
+  asm volatile("" : : "r"(data) : "memory");
+#else
+  // Fallback: a volatile pass the optimizer must preserve.
+  volatile std::uint8_t* p = static_cast<volatile std::uint8_t*>(data);
+  for (std::size_t i = 0; i < size; ++i) p[i] = 0;
+#endif
+}
+
 std::string to_hex(ByteView data) {
   std::string out;
   out.reserve(data.size() * 2);

@@ -13,12 +13,29 @@
 #include <stdexcept>
 #include <string>
 #include <string_view>
+#include <type_traits>
 #include <vector>
 
 namespace neuropuls::crypto {
 
 using Bytes = std::vector<std::uint8_t>;
 using ByteView = std::span<const std::uint8_t>;
+
+/// Zeroises `size` bytes at `data` through a compiler barrier, so the
+/// store cannot be elided as dead even when the buffer is freed right
+/// after (the behaviour a plain `memset` does NOT guarantee). This is the
+/// one sanctioned wipe primitive — `ctlint` flags raw `memset` wipes.
+void secure_wipe(void* data, std::size_t size) noexcept;
+
+/// Wipes a whole vector of trivially-copyable elements, then empties it.
+/// Covers the two buffer types secrets live in: `Bytes` key material and
+/// `std::vector<double>` accelerator plaintext.
+template <typename T>
+  requires std::is_trivially_copyable_v<T>
+void secure_wipe(std::vector<T>& buffer) noexcept {
+  secure_wipe(buffer.data(), buffer.size() * sizeof(T));
+  buffer.clear();
+}
 
 /// Encodes a byte buffer as lowercase hex (two chars per byte).
 std::string to_hex(ByteView data);

@@ -9,7 +9,7 @@ HmacSha256::HmacSha256(ByteView key) {
   if (key.size() > Sha256::kBlockSize) {
     const auto digest = Sha256::digest(key);
     std::memcpy(block_key.data(), digest.data(), digest.size());
-  } else {
+  } else if (!key.empty()) {  // empty views may carry a null data()
     std::memcpy(block_key.data(), key.data(), key.size());
   }
 

@@ -95,6 +95,9 @@ void Sha256::process_block(const std::uint8_t* block) noexcept {
 }
 
 void Sha256::update(ByteView data) noexcept {
+  // An empty span may carry a null data() pointer, which memcpy must
+  // never receive even with a zero length.
+  if (data.empty()) return;
   total_len_ += data.size();
   std::size_t offset = 0;
 

@@ -72,17 +72,17 @@ PhaseReport SecureSystem::boot_keys() {
   // Key derivation: three HKDF expansions.
   cpu_.hmac_sha256(3 * 64);
 
-  const auto keys = key_manager_.derive(record);
+  auto keys = key_manager_.derive(record);
   if (!keys) {
     throw std::runtime_error("SecureSystem: key derivation failed at boot");
   }
-  device_key_ = keys->encryption_key;
+  device_key_ = std::move(keys->encryption_key);
 
   secure_accel_ = std::make_unique<accel::SecureAccelerator>(
       std::make_unique<accel::PhotonicMvm>(accel::PhotonicMvmConfig{},
                                            rng::derive_seed(config_.wafer_seed,
                                                             77)),
-      device_key_);
+      device_key_.clone());
   accel_peripheral_ = std::make_unique<AcceleratorPeripheral>(
       scheduler_, stats_, *secure_accel_, config_.accel_mac_time_ps,
       config_.mmio);
@@ -181,15 +181,16 @@ PhaseReport SecureSystem::establish_session_key() {
   cpu_.drbg(32 + 16);
 
   // Functional handshake (CRP response as the password).
-  const crypto::Bytes secret =
+  crypto::Bytes secret =  // ctlint:secret CRP response used as EKE password
       photonic_puf_.evaluate_noiseless(puf::Challenge(
           photonic_puf_.challenge_bytes(), 0x42));
-  const auto outcome = core::run_eke_handshake(
+  auto outcome = core::run_eke_handshake(
       secret, secret, crypto::DhGroup::modp2048(), 1, config_.wafer_seed);
+  crypto::secure_wipe(secret);
   if (!outcome.keys_match) {
     throw std::runtime_error("establish_session_key: handshake failed");
   }
-  session_key_ = outcome.responder.session_key;
+  session_key_ = std::move(outcome.responder.session_key);
   stats_.count("eke.handshakes");
   return finish_phase("session_key", t0, e0, m0);
 }
@@ -201,8 +202,8 @@ PhaseReport SecureSystem::load_network(const accel::MlpNetwork& network) {
   const double t0 = scheduler_.now_ns();
   const double e0 = cpu_.energy_nj();
   const double m0 = memory_.energy_nj();
-  const auto ciphered =
-      accel::SecureAccelerator::encrypt_network(network, device_key_, 1);
+  const auto ciphered = accel::SecureAccelerator::encrypt_network(
+      network, device_key_.reveal(), 1);
   accel_peripheral_->load_network(ciphered, cpu_, memory_);
   return finish_phase("load_network", t0, e0, m0);
 }
@@ -217,7 +218,7 @@ PhaseReport SecureSystem::infer(const std::vector<double>& input,
   const double m0 = memory_.energy_nj();
   for (std::size_t i = 0; i < repetitions; ++i) {
     const auto ciphered_input = accel::SecureAccelerator::encrypt_input(
-        input, device_key_, 1000 + i);
+        input, device_key_.reveal(), 1000 + i);
     const auto ciphered_output =
         accel_peripheral_->execute(ciphered_input, cpu_, memory_);
     (void)ciphered_output;

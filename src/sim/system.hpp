@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "accel/secure_api.hpp"
+#include "common/secret.hpp"
 #include "core/attestation.hpp"
 #include "core/key_manager.hpp"
 #include "core/mutual_auth.hpp"
@@ -104,8 +105,8 @@ class SecureSystem {
   core::KeyManager key_manager_;
   std::unique_ptr<accel::SecureAccelerator> secure_accel_;
   std::unique_ptr<AcceleratorPeripheral> accel_peripheral_;
-  crypto::Bytes device_key_;
-  crypto::Bytes session_key_;
+  common::SecretBytes device_key_;
+  common::SecretBytes session_key_;
   crypto::Bytes device_memory_;
   crypto::ChaChaDrbg rng_;
 };

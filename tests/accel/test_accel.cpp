@@ -153,7 +153,8 @@ TEST(PhotonicMvm, RejectsBadConfig) {
 
 TEST(SecureApi, TableOneRoundTrip) {
   const crypto::Bytes key = crypto::bytes_of("device key from weak PUF");
-  SecureAccelerator device(std::make_unique<DigitalMvm>(), key);
+  SecureAccelerator device(std::make_unique<DigitalMvm>(),
+                           common::SecretBytes::copy_of(key));
 
   // Party with the key prepares ciphered blobs.
   const MlpNetwork network = tiny_network();
@@ -173,7 +174,8 @@ TEST(SecureApi, TableOneRoundTrip) {
 
 TEST(SecureApi, OutputIsNotPlaintext) {
   const crypto::Bytes key = crypto::bytes_of("k");
-  SecureAccelerator device(std::make_unique<DigitalMvm>(), key);
+  SecureAccelerator device(std::make_unique<DigitalMvm>(),
+                           common::SecretBytes::copy_of(key));
   device.load_network(
       SecureAccelerator::encrypt_network(tiny_network(), key, 1));
   const auto ciphered_output = device.execute_network(
@@ -186,8 +188,9 @@ TEST(SecureApi, OutputIsNotPlaintext) {
 }
 
 TEST(SecureApi, WrongKeyRejected) {
-  SecureAccelerator device(std::make_unique<DigitalMvm>(),
-                           crypto::bytes_of("device key"));
+  SecureAccelerator device(
+      std::make_unique<DigitalMvm>(),
+      common::SecretBytes(crypto::bytes_of("device key")));
   const auto blob = SecureAccelerator::encrypt_network(
       tiny_network(), crypto::bytes_of("attacker key"), 1);
   EXPECT_THROW(device.load_network(blob), std::runtime_error);
@@ -196,7 +199,8 @@ TEST(SecureApi, WrongKeyRejected) {
 
 TEST(SecureApi, TamperedBlobRejected) {
   const crypto::Bytes key = crypto::bytes_of("k");
-  SecureAccelerator device(std::make_unique<DigitalMvm>(), key);
+  SecureAccelerator device(std::make_unique<DigitalMvm>(),
+                           common::SecretBytes::copy_of(key));
   auto blob = SecureAccelerator::encrypt_network(tiny_network(), key, 1);
   blob[blob.size() / 2] ^= 0x40;
   EXPECT_THROW(device.load_network(blob), std::runtime_error);
@@ -204,7 +208,8 @@ TEST(SecureApi, TamperedBlobRejected) {
 
 TEST(SecureApi, ExecuteBeforeLoadFails) {
   const crypto::Bytes key = crypto::bytes_of("k");
-  SecureAccelerator device(std::make_unique<DigitalMvm>(), key);
+  SecureAccelerator device(std::make_unique<DigitalMvm>(),
+                           common::SecretBytes::copy_of(key));
   EXPECT_THROW(
       device.execute_network(SecureAccelerator::encrypt_input({1.0}, key, 1)),
       std::logic_error);
@@ -212,7 +217,8 @@ TEST(SecureApi, ExecuteBeforeLoadFails) {
 
 TEST(SecureApi, FreshNoncePerExecution) {
   const crypto::Bytes key = crypto::bytes_of("k");
-  SecureAccelerator device(std::make_unique<DigitalMvm>(), key);
+  SecureAccelerator device(std::make_unique<DigitalMvm>(),
+                           common::SecretBytes::copy_of(key));
   device.load_network(
       SecureAccelerator::encrypt_network(tiny_network(), key, 1));
   const auto in = SecureAccelerator::encrypt_input({1.0, 1.0}, key, 2);

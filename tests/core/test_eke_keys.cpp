@@ -35,7 +35,8 @@ TEST(Eke, ForwardSecrecyDistinctSessionKeys) {
   const auto s2 = run_eke_handshake(secret, secret, group(), 2, 200);
   ASSERT_TRUE(s1.keys_match);
   ASSERT_TRUE(s2.keys_match);
-  EXPECT_NE(s1.initiator.session_key, s2.initiator.session_key);
+  EXPECT_FALSE(
+      common::ct_equal(s1.initiator.session_key, s2.initiator.session_key));
 }
 
 TEST(Eke, TamperedServerHelloRejected) {
@@ -98,14 +99,15 @@ TEST(KeyManager, SramEnrollAndDerive) {
   EXPECT_EQ(keys->encryption_key.size(), 16u);
   EXPECT_EQ(keys->mac_key.size(), 32u);
   EXPECT_EQ(keys->binding_key.size(), 16u);
-  // Purpose keys pairwise distinct.
-  EXPECT_NE(keys->encryption_key, keys->binding_key);
+  // Purpose keys pairwise distinct (taint-typed: compare via ct_equal).
+  EXPECT_FALSE(common::ct_equal(keys->encryption_key, keys->binding_key));
 
   // Boot-to-boot stability: ten fresh derivations give identical keys.
   for (int boot = 0; boot < 10; ++boot) {
     const auto rederived = manager.derive(record);
     ASSERT_TRUE(rederived.has_value());
-    EXPECT_EQ(rederived->encryption_key, keys->encryption_key);
+    EXPECT_TRUE(
+        common::ct_equal(rederived->encryption_key, keys->encryption_key));
   }
 }
 
@@ -118,7 +120,7 @@ TEST(KeyManager, PhotonicWeakUsage) {
   ASSERT_TRUE(keys.has_value());
   const auto again = manager.derive(record);
   ASSERT_TRUE(again.has_value());
-  EXPECT_EQ(keys->encryption_key, again->encryption_key);
+  EXPECT_TRUE(common::ct_equal(keys->encryption_key, again->encryption_key));
 }
 
 TEST(KeyManager, DistinctDevicesDistinctKeys) {
@@ -129,7 +131,8 @@ TEST(KeyManager, DistinctDevicesDistinctKeys) {
   crypto::ChaChaDrbg rng_a(crypto::bytes_of("e")), rng_b(crypto::bytes_of("e"));
   manager_a.enroll(rng_a);
   manager_b.enroll(rng_b);
-  EXPECT_NE(manager_a.enrolled_root(), manager_b.enrolled_root());
+  EXPECT_FALSE(
+      common::ct_equal(manager_a.enrolled_root(), manager_b.enrolled_root()));
 }
 
 TEST(KeyManager, HelperDataFromOtherDeviceFails) {
@@ -143,8 +146,8 @@ TEST(KeyManager, HelperDataFromOtherDeviceFails) {
   // failure or a key different from A's.
   const auto stolen = manager_b.derive(record_a);
   if (stolen) {
-    EXPECT_NE(stolen->encryption_key,
-              manager_a.derive(record_a)->encryption_key);
+    EXPECT_FALSE(common::ct_equal(
+        stolen->encryption_key, manager_a.derive(record_a)->encryption_key));
   }
 }
 

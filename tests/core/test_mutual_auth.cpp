@@ -42,15 +42,21 @@ TEST(MutualAuth, SingleSessionSucceeds) {
 
 TEST(MutualAuth, CrpRotatesEverySession) {
   Harness s = make_harness();
+  // Snapshot plain copies of each session secret (test-only unwrap).
+  const auto snapshot = [](const common::SecretBytes& secret) {
+    const auto view = secret.reveal();
+    return crypto::Bytes(view.begin(), view.end());
+  };
   std::vector<puf::Response> secrets;
-  secrets.push_back(s.device->current_response());
+  secrets.push_back(snapshot(s.device->current_response()));
   for (int i = 1; i <= 5; ++i) {
     ASSERT_TRUE(run_auth_session(*s.verifier, *s.device, s.channel,
                                  static_cast<std::uint64_t>(i),
                                  0x1000u + static_cast<std::uint64_t>(i)));
-    secrets.push_back(s.device->current_response());
+    secrets.push_back(snapshot(s.device->current_response()));
     // Device and verifier stay in lockstep.
-    EXPECT_EQ(s.device->current_response(), s.verifier->current_secret());
+    EXPECT_TRUE(common::ct_equal(s.device->current_response(),
+                                 s.verifier->current_secret()));
   }
   // All session secrets distinct (fresh CRP per session).
   for (std::size_t a = 0; a < secrets.size(); ++a) {
@@ -150,12 +156,14 @@ TEST(MutualAuth, DesyncRecoveryAfterLostConfirm) {
   EXPECT_FALSE(run_auth_session(*s.verifier, *s.device, s.channel, 1, 0x01));
   EXPECT_EQ(s.device->completed_sessions(), 0u);
   EXPECT_EQ(s.verifier->completed_sessions(), 1u);
-  EXPECT_NE(s.device->current_response(), s.verifier->current_secret());
+  EXPECT_FALSE(common::ct_equal(s.device->current_response(),
+                                s.verifier->current_secret()));
 
   // Session 2 with an honest channel: the fallback secret recovers sync.
   s.channel.set_adversary(nullptr);
   EXPECT_TRUE(run_auth_session(*s.verifier, *s.device, s.channel, 2, 0x02));
-  EXPECT_EQ(s.device->current_response(), s.verifier->current_secret());
+  EXPECT_TRUE(common::ct_equal(s.device->current_response(),
+                               s.verifier->current_secret()));
 }
 
 TEST(MutualAuth, RepeatedConfirmLossStillRecoverable) {
@@ -177,7 +185,7 @@ TEST(MutualAuth, RepeatedConfirmLossStillRecoverable) {
 
 TEST(MutualAuth, MalformedInputsRejectedWithoutStateChange) {
   Harness s = make_harness();
-  const auto before = s.device->current_response();
+  const common::SecretBytes before = s.device->current_response().clone();
 
   EXPECT_FALSE(s.device
                    ->handle_request(net::Message{net::MessageType::kData, 1,
@@ -195,7 +203,7 @@ TEST(MutualAuth, MalformedInputsRejectedWithoutStateChange) {
                 net::Message{net::MessageType::kAuthConfirm, 1,
                              crypto::Bytes(32, 0)}),
             AuthStatus::kBadSession);  // no pending session
-  EXPECT_EQ(s.device->current_response(), before);
+  EXPECT_TRUE(common::ct_equal(s.device->current_response(), before));
 
   const auto outcome = s.verifier->process_response(
       net::Message{net::MessageType::kAuthResponse, 99, crypto::Bytes(8, 0)});

@@ -8,18 +8,18 @@
 namespace neuropuls::core {
 namespace {
 
-crypto::Bytes session_key() {
+common::SecretBytes session_key() {
   // A real session key from an EKE handshake.
   const crypto::Bytes secret = crypto::bytes_of("crp secret");
-  const auto outcome = run_eke_handshake(secret, secret,
-                                         crypto::DhGroup::modp1536(), 1, 5);
-  return outcome.initiator.session_key;
+  auto outcome = run_eke_handshake(secret, secret,
+                                   crypto::DhGroup::modp1536(), 1, 5);
+  return std::move(outcome.initiator.session_key);
 }
 
 TEST(SecureChannel, DuplexRoundTrip) {
   const auto key = session_key();
-  SecureChannel initiator(key, true);
-  SecureChannel responder(key, false);
+  SecureChannel initiator(key.clone(), true);
+  SecureChannel responder(key.clone(), false);
 
   const auto record = initiator.seal(crypto::bytes_of("hello device"));
   const auto opened = responder.open(record);
@@ -34,7 +34,7 @@ TEST(SecureChannel, DuplexRoundTrip) {
 
 TEST(SecureChannel, ManyRecordsInOrder) {
   const auto key = session_key();
-  SecureChannel a(key, true), b(key, false);
+  SecureChannel a(key.clone(), true), b(key.clone(), false);
   for (int i = 0; i < 100; ++i) {
     crypto::Bytes msg = crypto::bytes_of("record #");
     msg.push_back(static_cast<std::uint8_t>(i));
@@ -48,7 +48,7 @@ TEST(SecureChannel, ManyRecordsInOrder) {
 
 TEST(SecureChannel, EmptyPayloadAllowed) {
   const auto key = session_key();
-  SecureChannel a(key, true), b(key, false);
+  SecureChannel a(key.clone(), true), b(key.clone(), false);
   const auto opened = b.open(a.seal({}));
   ASSERT_TRUE(opened.has_value());
   EXPECT_TRUE(opened->empty());
@@ -56,7 +56,7 @@ TEST(SecureChannel, EmptyPayloadAllowed) {
 
 TEST(SecureChannel, ReplayPoisons) {
   const auto key = session_key();
-  SecureChannel a(key, true), b(key, false);
+  SecureChannel a(key.clone(), true), b(key.clone(), false);
   const auto record = a.seal(crypto::bytes_of("once"));
   ASSERT_TRUE(b.open(record).has_value());
   EXPECT_FALSE(b.open(record).has_value());  // replay
@@ -67,7 +67,7 @@ TEST(SecureChannel, ReplayPoisons) {
 
 TEST(SecureChannel, ReorderRejected) {
   const auto key = session_key();
-  SecureChannel a(key, true), b(key, false);
+  SecureChannel a(key.clone(), true), b(key.clone(), false);
   const auto first = a.seal(crypto::bytes_of("1"));
   const auto second = a.seal(crypto::bytes_of("2"));
   EXPECT_FALSE(b.open(second).has_value());  // out of order
@@ -77,7 +77,7 @@ TEST(SecureChannel, ReorderRejected) {
 
 TEST(SecureChannel, TamperRejected) {
   const auto key = session_key();
-  SecureChannel a(key, true), b(key, false);
+  SecureChannel a(key.clone(), true), b(key.clone(), false);
   auto record = a.seal(crypto::bytes_of("important"));
   record[10] ^= 0x01;
   EXPECT_FALSE(b.open(record).has_value());
@@ -86,17 +86,17 @@ TEST(SecureChannel, TamperRejected) {
 
 TEST(SecureChannel, TruncationRejected) {
   const auto key = session_key();
-  SecureChannel a(key, true), b(key, false);
+  SecureChannel a(key.clone(), true), b(key.clone(), false);
   const auto record = a.seal(crypto::bytes_of("x"));
   EXPECT_FALSE(
       b.open(crypto::ByteView(record).first(record.size() - 1)).has_value());
-  SecureChannel c(key, false);
+  SecureChannel c(key.clone(), false);
   EXPECT_FALSE(c.open(crypto::Bytes(10, 0)).has_value());
 }
 
 TEST(SecureChannel, DirectionsUseIndependentKeys) {
   const auto key = session_key();
-  SecureChannel a(key, true), b(key, false);
+  SecureChannel a(key.clone(), true), b(key.clone(), false);
   // Reflecting a's record back at a must fail (it expects the r2i key).
   const auto record = a.seal(crypto::bytes_of("reflect me"));
   EXPECT_FALSE(a.open(record).has_value());
@@ -105,9 +105,9 @@ TEST(SecureChannel, DirectionsUseIndependentKeys) {
 TEST(SecureChannel, DistinctSessionKeysDoNotInterop) {
   SecureChannel a(session_key(), true);
   const crypto::Bytes other_secret = crypto::bytes_of("other");
-  const auto other = run_eke_handshake(other_secret, other_secret,
-                                       crypto::DhGroup::modp1536(), 2, 9);
-  SecureChannel b(other.responder.session_key, false);
+  auto other = run_eke_handshake(other_secret, other_secret,
+                                 crypto::DhGroup::modp1536(), 2, 9);
+  SecureChannel b(std::move(other.responder.session_key), false);
   EXPECT_FALSE(b.open(a.seal(crypto::bytes_of("?"))).has_value());
 }
 
@@ -115,7 +115,7 @@ TEST(SecureChannel, RekeyRatchetKeepsWorking) {
   SecureChannelConfig config;
   config.rekey_interval = 8;  // ratchet every 8 records
   const auto key = session_key();
-  SecureChannel a(key, true, config), b(key, false, config);
+  SecureChannel a(key.clone(), true, config), b(key.clone(), false, config);
   for (int i = 0; i < 40; ++i) {
     const auto opened = b.open(a.seal(crypto::bytes_of("r")));
     ASSERT_TRUE(opened.has_value()) << "record " << i;
@@ -126,8 +126,8 @@ TEST(SecureChannel, RekeyChangesCiphertexts) {
   SecureChannelConfig config;
   config.rekey_interval = 2;
   const auto key = session_key();
-  SecureChannel a1(key, true, config);
-  SecureChannel a2(key, true);  // no ratchet
+  SecureChannel a1(key.clone(), true, config);
+  SecureChannel a2(key.clone(), true);  // no ratchet
   // Skip to sequence 2 on both.
   (void)a1.seal({});
   (void)a1.seal({});
@@ -142,7 +142,8 @@ TEST(SecureChannel, ConstructionRejectsBadInput) {
   EXPECT_THROW(SecureChannel({}, true), std::invalid_argument);
   SecureChannelConfig config;
   config.rekey_interval = 0;
-  EXPECT_THROW(SecureChannel(crypto::Bytes(32, 1), true, config),
+  EXPECT_THROW(SecureChannel(common::SecretBytes(crypto::Bytes(32, 1)), true,
+                             config),
                std::invalid_argument);
 }
 

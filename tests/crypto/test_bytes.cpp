@@ -47,6 +47,50 @@ TEST(CtEqual, BothEmpty) {
   EXPECT_TRUE(ct_equal(Bytes{}, Bytes{}));
 }
 
+TEST(CtEqual, EmptyVsNonEmpty) {
+  const Bytes a = {1};
+  EXPECT_FALSE(ct_equal(a, Bytes{}));
+  EXPECT_FALSE(ct_equal(Bytes{}, a));
+}
+
+TEST(CtEqual, ScansFullLengthOnEarlyMismatch) {
+  // First byte differs but later bytes match: still unequal, and (by
+  // construction — the loop has no exit) evaluated over the full length.
+  Bytes a(1024, 0x42), b(1024, 0x42);
+  b[0] ^= 0xFF;
+  EXPECT_FALSE(ct_equal(a, b));
+}
+
+TEST(SecureWipe, ZeroizesRawBuffer) {
+  std::uint8_t buffer[64];
+  for (auto& b : buffer) b = 0xCD;
+  secure_wipe(buffer, sizeof(buffer));
+  for (const auto b : buffer) EXPECT_EQ(b, 0u);
+}
+
+TEST(SecureWipe, NullAndZeroSizeAreNoOps) {
+  secure_wipe(nullptr, 16);  // must not crash
+  std::uint8_t one = 0xEE;
+  secure_wipe(&one, 0);
+  EXPECT_EQ(one, 0xEEu);  // zero-size wipe leaves the byte alone
+}
+
+TEST(SecureWipe, VectorOverloadZeroizesThenClears) {
+  Bytes buffer(32, 0x99);
+  const std::uint8_t* block = buffer.data();
+  secure_wipe(buffer);
+  EXPECT_TRUE(buffer.empty());
+  // clear() keeps the allocation, so the block is still owned — and must
+  // hold no residue.
+  for (std::size_t i = 0; i < 32; ++i) EXPECT_EQ(block[i], 0u) << i;
+}
+
+TEST(SecureWipe, WorksForTriviallyCopyableElementTypes) {
+  std::vector<double> activations(8, 3.14);
+  secure_wipe(activations);
+  EXPECT_TRUE(activations.empty());
+}
+
 TEST(XorBytes, Involution) {
   const Bytes a = {0xde, 0xad, 0xbe, 0xef};
   const Bytes b = {0x12, 0x34, 0x56, 0x78};

@@ -34,15 +34,15 @@ TEST(EndToEnd, TrngSeedsEnrollmentKeysDriveTableOne) {
   const auto derived = keys.derive(record);
   ASSERT_TRUE(derived.has_value());
 
-  accel::SecureAccelerator accelerator(
-      std::make_unique<accel::DigitalMvm>(), derived->encryption_key);
+  accel::SecureAccelerator accelerator(std::make_unique<accel::DigitalMvm>(),
+                                       derived->encryption_key.clone());
   const auto network = accel::make_random_network({4, 4}, 3);
   accelerator.load_network(accel::SecureAccelerator::encrypt_network(
-      network, derived->encryption_key, 1));
+      network, derived->encryption_key.reveal(), 1));
   const auto out = accel::SecureAccelerator::decrypt_output(
       accelerator.execute_network(accel::SecureAccelerator::encrypt_input(
-          {1.0, 2.0, 3.0, 4.0}, derived->encryption_key, 2)),
-      derived->encryption_key);
+          {1.0, 2.0, 3.0, 4.0}, derived->encryption_key.reveal(), 2)),
+      derived->encryption_key.reveal());
   EXPECT_EQ(out.size(), 4u);
 }
 
@@ -62,10 +62,10 @@ TEST(EndToEnd, SpectralWeakPufKeysDriveTableOne) {
 
   accel::SecureAccelerator accelerator(
       std::make_unique<accel::PhotonicMvm>(accel::PhotonicMvmConfig{}, 9),
-      derived->encryption_key);
+      derived->encryption_key.clone());
   const auto network = accel::make_random_network({4, 2}, 5);
   accelerator.load_network(accel::SecureAccelerator::encrypt_network(
-      network, derived->encryption_key, 1));
+      network, derived->encryption_key.reveal(), 1));
   EXPECT_TRUE(accelerator.network_loaded());
 }
 
@@ -83,21 +83,27 @@ TEST(EndToEnd, AuthRotatedCrpSeedsEkeAndSecureChannel) {
                               device_puf.challenge_bytes());
   net::DuplexChannel channel;
   ASSERT_TRUE(core::run_auth_session(verifier, device, channel, 1, 0x11));
-  ASSERT_EQ(device.current_response(), verifier.current_secret());
+  ASSERT_TRUE(common::ct_equal(device.current_response(),
+                               verifier.current_secret()));
 
-  // EKE keyed by the rotated CRP.
-  const auto handshake = core::run_eke_handshake(
-      verifier.current_secret(), device.current_response(),
+  // EKE keyed by the rotated CRP (test-only unwrap of both copies).
+  const auto unwrap = [](const common::SecretBytes& secret) {
+    const auto view = secret.reveal();
+    return crypto::Bytes(view.begin(), view.end());
+  };
+  auto handshake = core::run_eke_handshake(
+      unwrap(verifier.current_secret()), unwrap(device.current_response()),
       crypto::DhGroup::modp1536(), 2, 99);
   ASSERT_TRUE(handshake.keys_match);
 
   // Secure channel carries a ciphered inference result.
-  core::SecureChannel v_end(handshake.initiator.session_key, true);
-  core::SecureChannel d_end(handshake.responder.session_key, false);
+  core::SecureChannel v_end(std::move(handshake.initiator.session_key), true);
+  core::SecureChannel d_end(std::move(handshake.responder.session_key), false);
 
   const crypto::Bytes inference_key = crypto::bytes_of("accel key");
   accel::SecureAccelerator accelerator(
-      std::make_unique<accel::DigitalMvm>(), inference_key);
+      std::make_unique<accel::DigitalMvm>(),
+      common::SecretBytes::copy_of(inference_key));
   accelerator.load_network(accel::SecureAccelerator::encrypt_network(
       accel::make_random_network({2, 2}, 1), inference_key, 1));
   const auto ciphered_result = accelerator.execute_network(

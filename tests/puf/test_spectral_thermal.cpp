@@ -92,7 +92,8 @@ TEST(SpectralPuf, FeedsKeyManager) {
   const auto record = keys.enroll(rng);
   const auto derived = keys.derive(record);
   ASSERT_TRUE(derived.has_value());
-  EXPECT_EQ(keys.derive(record)->encryption_key, derived->encryption_key);
+  EXPECT_TRUE(common::ct_equal(keys.derive(record)->encryption_key,
+                               derived->encryption_key));
 }
 
 // ---- Temperature-compensated verification (§II-B) -----------------------------

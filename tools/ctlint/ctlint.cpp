@@ -1,0 +1,582 @@
+// ctlint — secret-hygiene lint for the NEUROPULS source tree.
+//
+// A deliberately small static checker (no libclang): a line tokenizer
+// with cross-line comment/string state plus a rule engine. It exists to
+// turn the repo's constant-time / wipe discipline into a build failure
+// instead of a review comment. Registered as two ctest cases: the source
+// pass over `src/` (with `tools/ctlint/baseline.txt`) and the self-test
+// over `tools/ctlint/fixtures/`.
+//
+// Annotations (in comments):
+//   // ctlint:secret              marks the variable declared on this line
+//   // ctlint:secret(name)        ...or names it explicitly
+//   // ctlint:allow(rule) reason  suppresses `rule` on this or next line;
+//                                 the reason is mandatory
+//   // ctlint:expect(rule)        fixture-only: self-test asserts `rule`
+//                                 fires on this line
+//
+// Rules:
+//   std-rand            libc randomness (rand/srand/random/...) anywhere;
+//                       all randomness must come from the DRBGs
+//   raw-memset-wipe     memset/bzero anywhere; wiping must go through
+//                       crypto::secure_wipe (compiler barrier)
+//   secret-compare      ==/!=/memcmp/std::equal touching a secret-marked
+//                       identifier; use crypto::ct_equal
+//   secret-index        array subscript indexed by a secret-marked
+//                       identifier (cache-timing oracle)
+//   missing-wipe        a secret-marked buffer whose enclosing scope never
+//                       wipes it (secure_wipe(name) / name.wipe());
+//                       SecretBytes-typed declarations are exempt (they
+//                       wipe on destruction)
+//
+// Exit codes: 0 clean, 1 violations/self-test failure, 2 usage error.
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+const std::set<std::string> kRuleNames = {
+    "std-rand", "raw-memset-wipe", "secret-compare", "secret-index",
+    "missing-wipe"};
+
+const std::set<std::string> kBannedRandom = {
+    "rand", "srand", "rand_r", "random", "srandom", "drand48", "lrand48"};
+
+const std::set<std::string> kBannedWipe = {"memset", "bzero"};
+
+struct Violation {
+  std::string file;  // as given on the command line / relative path
+  std::size_t line = 0;
+  std::string rule;
+  std::string message;
+};
+
+struct Token {
+  std::string text;
+  std::size_t col = 0;
+};
+
+// One source line after comment/string stripping, plus its annotations.
+struct Line {
+  std::string code;              // comments and string literals blanked
+  std::string comment;           // concatenated comment text
+  std::vector<Token> tokens;     // identifier and operator tokens
+  int depth_before = 0;          // brace depth entering the line
+  int depth_after = 0;           // brace depth leaving the line
+};
+
+struct Annotation {
+  std::size_t line = 0;
+  std::string rule;   // for allow/expect
+  std::string name;   // for secret(name)
+  bool has_reason = false;
+};
+
+struct ParsedFile {
+  std::vector<Line> lines;                 // 0-based; line N is lines[N-1]
+  std::vector<Annotation> secrets;
+  std::vector<Annotation> allows;
+  std::vector<Annotation> expects;
+};
+
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+void tokenize(Line& line) {
+  const std::string& s = line.code;
+  std::size_t i = 0;
+  while (i < s.size()) {
+    const char c = s[i];
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::size_t j = i;
+      while (j < s.size() && ident_char(s[j])) ++j;
+      line.tokens.push_back({s.substr(i, j - i), i});
+      i = j;
+    } else if (c == '=' && i + 1 < s.size() && s[i + 1] == '=') {
+      line.tokens.push_back({"==", i});
+      i += 2;
+    } else if (c == '!' && i + 1 < s.size() && s[i + 1] == '=') {
+      line.tokens.push_back({"!=", i});
+      i += 2;
+    } else if (c == '<' && i + 1 < s.size() && (s[i + 1] == '=')) {
+      i += 2;  // <= is not interesting; skip so it can't split oddly
+    } else if (c == '>' && i + 1 < s.size() && (s[i + 1] == '=')) {
+      i += 2;
+    } else if (c == ':' && i + 1 < s.size() && s[i + 1] == ':') {
+      line.tokens.push_back({"::", i});
+      i += 2;
+    } else if (c == '[' || c == ']' || c == '(' || c == ')' || c == '.' ||
+               c == ',' || c == ';' || c == '=' || c == '{' || c == '}') {
+      line.tokens.push_back({std::string(1, c), i});
+      ++i;
+    } else {
+      ++i;
+    }
+  }
+}
+
+// Pulls `ctlint:<kind>(...)` annotations out of a comment string.
+void parse_annotations(const std::string& comment, std::size_t line_no,
+                       ParsedFile& out) {
+  std::size_t pos = 0;
+  while ((pos = comment.find("ctlint:", pos)) != std::string::npos) {
+    std::size_t p = pos + 7;
+    std::string kind;
+    while (p < comment.size() && ident_char(comment[p])) kind += comment[p++];
+    Annotation ann;
+    ann.line = line_no;
+    if (p < comment.size() && comment[p] == '(') {
+      const std::size_t close = comment.find(')', p);
+      if (close != std::string::npos) {
+        ann.rule = comment.substr(p + 1, close - p - 1);
+        p = close + 1;
+      }
+    }
+    // Anything after the closing paren counts as the reason.
+    std::size_t r = p;
+    while (r < comment.size() &&
+           std::isspace(static_cast<unsigned char>(comment[r]))) {
+      ++r;
+    }
+    ann.has_reason = r < comment.size();
+    if (kind == "secret") {
+      ann.name = ann.rule;  // optional explicit variable name
+      ann.rule.clear();
+      out.secrets.push_back(ann);
+    } else if (kind == "allow") {
+      out.allows.push_back(ann);
+    } else if (kind == "expect") {
+      out.expects.push_back(ann);
+    }
+    pos = p;
+  }
+}
+
+ParsedFile parse_file(const fs::path& path) {
+  ParsedFile out;
+  std::ifstream in(path);
+  std::string raw;
+  bool in_block_comment = false;
+  int depth = 0;
+  std::size_t line_no = 0;
+  while (std::getline(in, raw)) {
+    ++line_no;
+    Line line;
+    line.depth_before = depth;
+    std::string code, comment;
+    std::size_t i = 0;
+    while (i < raw.size()) {
+      if (in_block_comment) {
+        const std::size_t end = raw.find("*/", i);
+        if (end == std::string::npos) {
+          comment += raw.substr(i);
+          i = raw.size();
+        } else {
+          comment += raw.substr(i, end - i);
+          i = end + 2;
+          in_block_comment = false;
+        }
+      } else if (raw.compare(i, 2, "//") == 0) {
+        comment += raw.substr(i + 2);
+        i = raw.size();
+      } else if (raw.compare(i, 2, "/*") == 0) {
+        in_block_comment = true;
+        i += 2;
+      } else if (raw[i] == '"' || raw[i] == '\'') {
+        const char quote = raw[i];
+        code += ' ';  // blank out the literal
+        ++i;
+        while (i < raw.size() && raw[i] != quote) {
+          if (raw[i] == '\\') ++i;
+          ++i;
+        }
+        if (i < raw.size()) ++i;
+      } else {
+        if (raw[i] == '{') ++depth;
+        if (raw[i] == '}') --depth;
+        code += raw[i];
+        ++i;
+      }
+    }
+    line.code = std::move(code);
+    line.comment = std::move(comment);
+    line.depth_after = depth;
+    tokenize(line);
+    parse_annotations(line.comment, line_no, out);
+    out.lines.push_back(std::move(line));
+  }
+  return out;
+}
+
+// The declared-variable heuristic for an unnamed `// ctlint:secret`: the
+// identifier directly before `=`, `(`, `{`, or `;` on the declaration line
+// (skipping closing brackets), i.e. the declarator name.
+std::string guess_declared_name(const Line& line) {
+  const auto& t = line.tokens;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].text == "=" || t[i].text == "(" || t[i].text == "{" ||
+        t[i].text == ";") {
+      for (std::size_t j = i; j-- > 0;) {
+        const std::string& prev = t[j].text;
+        if (prev == ")" || prev == "]") continue;
+        if (std::isalpha(static_cast<unsigned char>(prev[0])) ||
+            prev[0] == '_') {
+          return prev;
+        }
+        break;
+      }
+    }
+  }
+  return {};
+}
+
+struct SecretDecl {
+  std::string name;
+  std::size_t line = 0;   // 1-based declaration line
+  int depth = 0;          // brace depth of the declaration
+  bool self_wiping = false;  // SecretBytes-typed: wipes on destruction
+};
+
+bool line_has_token(const Line& line, const std::string& token) {
+  return std::any_of(line.tokens.begin(), line.tokens.end(),
+                     [&](const Token& t) { return t.text == token; });
+}
+
+bool allowed(const ParsedFile& file, std::size_t line_no,
+             const std::string& rule) {
+  for (const auto& a : file.allows) {
+    if (a.rule != rule || !a.has_reason) continue;
+    if (a.line == line_no || a.line + 1 == line_no) return true;
+  }
+  return false;
+}
+
+void check_file(const std::string& display_path, const ParsedFile& file,
+                std::vector<Violation>& out) {
+  // Collect secret declarations first: every rule below keys on them.
+  std::vector<SecretDecl> secrets;
+  for (const auto& ann : file.secrets) {
+    if (ann.line == 0 || ann.line > file.lines.size()) continue;
+    const Line& decl_line = file.lines[ann.line - 1];
+    SecretDecl decl;
+    decl.line = ann.line;
+    decl.depth = decl_line.depth_before;
+    decl.name = !ann.name.empty() ? ann.name : guess_declared_name(decl_line);
+    decl.self_wiping = line_has_token(decl_line, "SecretBytes");
+    if (decl.name.empty()) {
+      out.push_back({display_path, ann.line, "missing-wipe",
+                     "ctlint:secret annotation names no variable (use "
+                     "ctlint:secret(name))"});
+      continue;
+    }
+    secrets.push_back(std::move(decl));
+  }
+
+  std::set<std::string> secret_names;
+  for (const auto& s : secrets) secret_names.insert(s.name);
+
+  // One finding per (line, rule): a line like `memcmp(a, b, n) == 0`
+  // trips the same rule twice but is one defect.
+  std::set<std::pair<std::size_t, std::string>> emitted;
+  auto emit = [&](std::size_t line_no, const std::string& rule,
+                  std::string message) {
+    if (allowed(file, line_no, rule)) return;
+    if (!emitted.insert({line_no, rule}).second) return;
+    out.push_back({display_path, line_no, rule, std::move(message)});
+  };
+
+  for (std::size_t idx = 0; idx < file.lines.size(); ++idx) {
+    const Line& line = file.lines[idx];
+    const std::size_t line_no = idx + 1;
+    const auto& toks = line.tokens;
+
+    bool line_touches_secret = false;
+    for (const auto& t : toks) {
+      if (secret_names.count(t.text)) {
+        line_touches_secret = true;
+        break;
+      }
+    }
+
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      const std::string& t = toks[i].text;
+
+      if (kBannedRandom.count(t)) {
+        emit(line_no, "std-rand",
+             "libc randomness '" + t +
+                 "' is banned; use ChaChaDrbg/CtrDrbg");
+      }
+      if (kBannedWipe.count(t)) {
+        emit(line_no, "raw-memset-wipe",
+             "raw '" + t +
+                 "' can be optimized out; use crypto::secure_wipe");
+      }
+      if (line_touches_secret) {
+        if (t == "==" || t == "!=") {
+          emit(line_no, "secret-compare",
+               "'" + t +
+                   "' on a secret-marked buffer leaks timing; use "
+                   "crypto::ct_equal");
+        }
+        if (t == "memcmp") {
+          emit(line_no, "secret-compare",
+               "memcmp on a secret-marked buffer leaks timing; use "
+               "crypto::ct_equal");
+        }
+        if (t == "equal" && i > 0 && toks[i - 1].text == "::") {
+          emit(line_no, "secret-compare",
+               "std::equal on a secret-marked buffer leaks timing; use "
+               "crypto::ct_equal");
+        }
+      }
+    }
+
+    // secret-index: a '[' ... ']' span whose interior names a secret.
+    int bracket = 0;
+    bool flagged_index = false;
+    for (const auto& t : toks) {
+      if (t.text == "[") {
+        ++bracket;
+      } else if (t.text == "]") {
+        if (bracket > 0) --bracket;
+      } else if (bracket > 0 && !flagged_index &&
+                 secret_names.count(t.text)) {
+        emit(line_no, "secret-index",
+             "array access indexed by secret '" + t.text +
+                 "' is a cache-timing oracle");
+        flagged_index = true;
+      }
+    }
+  }
+
+  // missing-wipe: from each non-self-wiping declaration to the end of its
+  // enclosing scope there must be a `secure_wipe(...name...)` call or a
+  // `name.wipe()` call.
+  for (const auto& decl : secrets) {
+    if (decl.self_wiping) continue;
+    bool wiped = false;
+    for (std::size_t idx = decl.line - 1; idx < file.lines.size(); ++idx) {
+      const Line& line = file.lines[idx];
+      if (idx >= decl.line && line.depth_after < decl.depth) break;
+      const auto& toks = line.tokens;
+      for (std::size_t i = 0; i < toks.size(); ++i) {
+        if (toks[i].text == "secure_wipe") {
+          // secure_wipe(... name ...) up to the closing paren.
+          int paren = 0;
+          for (std::size_t j = i + 1; j < toks.size(); ++j) {
+            if (toks[j].text == "(") ++paren;
+            else if (toks[j].text == ")") {
+              if (--paren <= 0) break;
+            } else if (toks[j].text == decl.name) {
+              wiped = true;
+            }
+          }
+        } else if (toks[i].text == decl.name && i + 2 < toks.size() &&
+                   toks[i + 1].text == "." && toks[i + 2].text == "wipe") {
+          wiped = true;
+        }
+      }
+      if (wiped) break;
+    }
+    if (!wiped && !allowed(file, decl.line, "missing-wipe")) {
+      out.push_back({display_path, decl.line, "missing-wipe",
+                     "secret '" + decl.name +
+                         "' is never wiped in its scope; call "
+                         "crypto::secure_wipe or use SecretBytes"});
+    }
+  }
+}
+
+bool is_source_file(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cpp" || ext == ".hpp" || ext == ".h" || ext == ".cc";
+}
+
+std::vector<fs::path> collect_sources(const std::vector<std::string>& roots) {
+  std::vector<fs::path> files;
+  for (const auto& root : roots) {
+    const fs::path p(root);
+    if (fs::is_regular_file(p)) {
+      if (is_source_file(p)) files.push_back(p);
+    } else if (fs::is_directory(p)) {
+      for (const auto& entry : fs::recursive_directory_iterator(p)) {
+        if (entry.is_regular_file() && is_source_file(entry.path())) {
+          files.push_back(entry.path());
+        }
+      }
+    } else {
+      std::fprintf(stderr, "ctlint: no such path: %s\n", root.c_str());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+// Baseline format: `<path-suffix>:<rule>:<count>` per line; '#' comments.
+// A violation is tolerated when its file path ends with the suffix and the
+// per-entry budget is not yet exhausted.
+std::map<std::pair<std::string, std::string>, int> load_baseline(
+    const std::string& path) {
+  std::map<std::pair<std::string, std::string>, int> budget;
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "ctlint: cannot read baseline %s\n", path.c_str());
+    std::exit(2);
+  }
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    while (!line.empty() && std::isspace(static_cast<unsigned char>(
+                                line.back()))) {
+      line.pop_back();
+    }
+    if (line.empty()) continue;
+    const std::size_t c2 = line.rfind(':');
+    const std::size_t c1 = line.rfind(':', c2 == 0 ? 0 : c2 - 1);
+    if (c1 == std::string::npos || c2 == std::string::npos || c1 == c2) {
+      std::fprintf(stderr, "ctlint: malformed baseline entry: %s\n",
+                   line.c_str());
+      std::exit(2);
+    }
+    budget[{line.substr(0, c1), line.substr(c1 + 1, c2 - c1 - 1)}] =
+        std::stoi(line.substr(c2 + 1));
+  }
+  return budget;
+}
+
+int run_lint(const std::vector<std::string>& roots,
+             const std::string& baseline_path) {
+  auto budget = baseline_path.empty()
+                    ? std::map<std::pair<std::string, std::string>, int>{}
+                    : load_baseline(baseline_path);
+  std::vector<Violation> violations;
+  const auto files = collect_sources(roots);
+  for (const auto& file : files) {
+    const ParsedFile parsed = parse_file(file);
+    check_file(file.generic_string(), parsed, violations);
+  }
+
+  std::vector<Violation> reported;
+  for (const auto& v : violations) {
+    bool baselined = false;
+    for (auto& [key, remaining] : budget) {
+      if (remaining > 0 && v.rule == key.second &&
+          v.file.size() >= key.first.size() &&
+          v.file.compare(v.file.size() - key.first.size(), key.first.size(),
+                         key.first) == 0) {
+        --remaining;
+        baselined = true;
+        break;
+      }
+    }
+    if (!baselined) reported.push_back(v);
+  }
+
+  for (const auto& v : reported) {
+    std::printf("%s:%zu: [%s] %s\n", v.file.c_str(), v.line, v.rule.c_str(),
+                v.message.c_str());
+  }
+  std::printf("ctlint: %zu file(s), %zu violation(s)%s\n", files.size(),
+              reported.size(),
+              violations.size() != reported.size() ? " (after baseline)" : "");
+  return reported.empty() ? 0 : 1;
+}
+
+// Self-test: every `ctlint:expect(rule)` line must yield exactly that
+// violation, and no unexpected violations may appear. This proves each
+// rule both fires on bad code and respects suppressions.
+int run_self_test(const std::string& fixture_dir) {
+  const auto files = collect_sources({fixture_dir});
+  if (files.empty()) {
+    std::fprintf(stderr, "ctlint: no fixtures under %s\n",
+                 fixture_dir.c_str());
+    return 2;
+  }
+  int failures = 0;
+  std::size_t checked = 0;
+  for (const auto& file : files) {
+    const ParsedFile parsed = parse_file(file);
+    std::vector<Violation> violations;
+    check_file(file.generic_string(), parsed, violations);
+
+    std::multiset<std::pair<std::size_t, std::string>> expected, actual;
+    for (const auto& e : parsed.expects) {
+      if (!kRuleNames.count(e.rule)) {
+        std::printf("FAIL %s:%zu unknown rule in expect: %s\n",
+                    file.generic_string().c_str(), e.line, e.rule.c_str());
+        ++failures;
+        continue;
+      }
+      expected.insert({e.line, e.rule});
+    }
+    for (const auto& v : violations) actual.insert({v.line, v.rule});
+    checked += expected.size();
+
+    for (const auto& e : expected) {
+      if (!actual.count(e)) {
+        std::printf("FAIL %s:%zu expected [%s] did not fire\n",
+                    file.generic_string().c_str(), e.first, e.second.c_str());
+        ++failures;
+      }
+    }
+    for (const auto& a : actual) {
+      if (!expected.count(a)) {
+        std::printf("FAIL %s:%zu unexpected [%s]\n",
+                    file.generic_string().c_str(), a.first, a.second.c_str());
+        ++failures;
+      }
+    }
+  }
+  std::printf("ctlint self-test: %zu fixture file(s), %zu expectation(s), "
+              "%d failure(s)\n",
+              files.size(), checked, failures);
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> roots;
+  std::string baseline;
+  std::string self_test_dir;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--baseline" && i + 1 < argc) {
+      baseline = argv[++i];
+    } else if (arg == "--self-test" && i + 1 < argc) {
+      self_test_dir = argv[++i];
+    } else if (arg == "--list-rules") {
+      for (const auto& r : kRuleNames) std::printf("%s\n", r.c_str());
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf(
+          "usage: ctlint [--baseline FILE] [--self-test DIR] PATH...\n");
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "ctlint: unknown option %s\n", arg.c_str());
+      return 2;
+    } else {
+      roots.push_back(arg);
+    }
+  }
+  if (!self_test_dir.empty()) return run_self_test(self_test_dir);
+  if (roots.empty()) {
+    std::fprintf(stderr, "ctlint: no paths given (try --help)\n");
+    return 2;
+  }
+  return run_lint(roots, baseline);
+}

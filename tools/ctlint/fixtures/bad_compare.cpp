@@ -1,0 +1,38 @@
+// Fixture: every way a secret comparison can go wrong, plus the sanctioned
+// forms. Each expect-annotated line MUST fire; unannotated lines must
+// stay quiet. This file is lint input only — it is never compiled.
+#include <cstring>
+
+#include "crypto/bytes.hpp"
+
+namespace fixture {
+
+bool check_tag(const neuropuls::crypto::Bytes& tag_input) {
+  neuropuls::crypto::Bytes expected_tag(16, 0x5A);  // ctlint:secret
+  // Short-circuit equality on a secret: classic timing oracle.
+  if (expected_tag == tag_input) {  // ctlint:expect(secret-compare)
+    return true;
+  }
+  if (expected_tag != tag_input) {  // ctlint:expect(secret-compare)
+    return false;
+  }
+  // memcmp bails at the first differing byte.
+  if (std::memcmp(expected_tag.data(), tag_input.data(), 16) == 0) {  // ctlint:expect(secret-compare)
+    return true;
+  }
+  // std::equal is memcmp in a range costume.
+  (void)std::equal(expected_tag.begin(), expected_tag.end(),  // ctlint:expect(secret-compare)
+                   tag_input.begin());
+  // The sanctioned comparison never fires.
+  const bool ok = neuropuls::crypto::ct_equal(expected_tag, tag_input);
+  neuropuls::crypto::secure_wipe(expected_tag);
+  return ok;
+}
+
+bool unmarked_buffers_are_fine(const neuropuls::crypto::Bytes& a,
+                               const neuropuls::crypto::Bytes& b) {
+  // Public data may use ==; no annotation, no finding.
+  return a == b;
+}
+
+}  // namespace fixture

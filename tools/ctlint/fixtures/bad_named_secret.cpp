@@ -1,0 +1,23 @@
+// Fixture: the explicit named form of the secret annotation, needed when
+// the declarator heuristic cannot see the name (C arrays,
+// multi-declarators). Lint input only.
+#include <cstdint>
+
+namespace fixture {
+
+extern const std::uint8_t kTable[256];
+
+std::uint8_t c_array_secret() {
+  std::uint8_t key[32] = {0};  // ctlint:secret(key)  // ctlint:expect(missing-wipe)
+  key[0] = 1;
+  return kTable[key[7]];  // ctlint:expect(secret-index)
+}
+
+bool named_compare(const std::uint8_t* probe) {
+  std::uint8_t mac[16] = {0};  // ctlint:secret(mac)
+  bool same = mac[0] == probe[0];  // ctlint:expect(secret-compare)
+  neuropuls::crypto::secure_wipe(mac, sizeof(mac));
+  return same;
+}
+
+}  // namespace fixture

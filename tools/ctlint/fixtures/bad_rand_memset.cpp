@@ -1,0 +1,36 @@
+// Fixture: banned libc randomness and optimizer-deletable wipes, with the
+// suppression escape hatch exercised for both rules. Lint input only.
+#include <cstdlib>
+#include <cstring>
+
+namespace fixture {
+
+int weak_nonce() {
+  std::srand(42);              // ctlint:expect(std-rand)
+  return std::rand();          // ctlint:expect(std-rand)
+}
+
+long also_banned() {
+  return random();             // ctlint:expect(std-rand)
+}
+
+void delete_my_wipe(unsigned char* key, unsigned long n) {
+  // Dead-store elimination removes this the moment `key` is never read
+  // again — exactly the bug secure_wipe's barrier prevents.
+  std::memset(key, 0, n);      // ctlint:expect(raw-memset-wipe)
+  bzero(key, n);               // ctlint:expect(raw-memset-wipe)
+}
+
+void suppressed_with_reason(unsigned char* scratch, unsigned long n) {
+  // A justified allow with a reason silences the rule.
+  // ctlint:allow(raw-memset-wipe) scratch holds public padding only
+  std::memset(scratch, 0, n);
+  std::memset(scratch, 0xFF, n);  // ctlint:allow(raw-memset-wipe) same line form, public buffer
+}
+
+int suppressed_rand() {
+  // ctlint:allow(std-rand) seeding a toy shuffle in fixture-land
+  return std::rand();
+}
+
+}  // namespace fixture
