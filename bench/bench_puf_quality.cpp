@@ -301,6 +301,28 @@ BENCHMARK(BM_PhotonicEvaluateBatch)
     ->Arg(hardware_threads())
     ->Unit(benchmark::kMillisecond);
 
+// The batch hot path of the verifier/model side (attestation model
+// evaluation, ML-attack dataset generation): noiseless batch throughput in
+// challenges/sec. The single-thread case is the lane-engine headline
+// number tracked in BENCH_baseline.json.
+void BM_PhotonicNoiselessBatch(benchmark::State& state) {
+  puf::PhotonicPufConfig cfg;  // full-size: 64-bit challenge, 8 ports
+  puf::PhotonicPuf device(cfg, 1, 0);
+  common::ThreadPool pool(static_cast<std::size_t>(state.range(0)));
+  crypto::ChaChaDrbg rng(crypto::bytes_of("noiseless-batch-bench"));
+  std::vector<puf::Challenge> challenges;
+  for (int i = 0; i < 64; ++i) challenges.push_back(rng.generate(8));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(device.evaluate_noiseless_batch(challenges, &pool));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(challenges.size()));
+}
+BENCHMARK(BM_PhotonicNoiselessBatch)
+    ->Arg(1)
+    ->Arg(hardware_threads())
+    ->Unit(benchmark::kMillisecond);
+
 void BM_PopulationFabrication(benchmark::State& state) {
   auto cfg = puf::small_photonic_config();
   cfg.challenge_bits = 32;

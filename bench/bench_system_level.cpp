@@ -2,6 +2,9 @@
 // operation (the gem5-lite pipeline).
 #include "accel/network.hpp"
 #include "bench_util.hpp"
+#include "common/parallel.hpp"
+#include "crypto/chacha20.hpp"
+#include "puf/photonic_puf.hpp"
 #include "sim/system.hpp"
 
 namespace {
@@ -117,6 +120,25 @@ void BM_InsecurePipeline100(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_InsecurePipeline100)->Unit(benchmark::kMillisecond);
+
+// System-level PUF hot path: the verifier re-deriving model responses for
+// an attestation/auth sweep — single-thread challenges/sec through
+// evaluate_noiseless_batch, the lane-engine guardrail number.
+void BM_VerifierModelSweep(benchmark::State& state) {
+  puf::PhotonicPufConfig cfg;  // full-size: 64-bit challenge, 8 ports
+  puf::PhotonicPuf verifier_model(cfg, 1, 0);
+  common::ThreadPool pool(1);
+  crypto::ChaChaDrbg rng(crypto::bytes_of("verifier-sweep-bench"));
+  std::vector<puf::Challenge> challenges;
+  for (int i = 0; i < 64; ++i) challenges.push_back(rng.generate(8));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        verifier_model.evaluate_noiseless_batch(challenges, &pool));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(challenges.size()));
+}
+BENCHMARK(BM_VerifierModelSweep)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

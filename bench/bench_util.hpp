@@ -4,12 +4,20 @@
 // (deterministic, fixed seeds) and then runs its google-benchmark timing
 // cases, so `for b in build/bench/*; do $b; done` regenerates the whole
 // evaluation.
+//
+// Machine-readable output: every bench accepts the stock google-benchmark
+// flags (`--benchmark_out=FILE --benchmark_out_format=json`), and when the
+// NEUROPULS_BENCH_JSON environment variable names a directory the bench
+// writes `BENCH_<binary>.json` there by default — the files
+// `scripts/bench_regress.py` diffs against a committed baseline.
 #pragma once
 
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
+#include <vector>
 
 namespace neuropuls::bench {
 
@@ -23,15 +31,42 @@ inline void note(const std::string& text) {
   std::printf("  note: %s\n", text.c_str());
 }
 
-/// Standard main body: print tables, then run benchmark timing cases.
-#define NEUROPULS_BENCH_MAIN(print_tables_fn)                       \
-  int main(int argc, char** argv) {                                 \
-    print_tables_fn();                                              \
-    benchmark::Initialize(&argc, argv);                             \
-    if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1; \
-    benchmark::RunSpecifiedBenchmarks();                            \
-    benchmark::Shutdown();                                          \
-    return 0;                                                       \
+/// Standard bench main body: print the paper tables, then run the
+/// google-benchmark timing cases. When no --benchmark_out flag was given
+/// and NEUROPULS_BENCH_JSON is set, the JSON report defaults to
+/// $NEUROPULS_BENCH_JSON/BENCH_<basename(argv[0])>.json.
+inline int run_bench_main(int argc, char** argv, void (*print_tables)()) {
+  print_tables();
+
+  std::vector<std::string> args(argv, argv + argc);
+  bool has_out = false;
+  for (const auto& arg : args) {
+    if (arg.rfind("--benchmark_out=", 0) == 0) has_out = true;
+  }
+  const char* json_dir = std::getenv("NEUROPULS_BENCH_JSON");
+  if (!has_out && json_dir != nullptr && *json_dir != '\0') {
+    std::string name = args.empty() ? std::string("bench") : args.front();
+    const auto slash = name.find_last_of('/');
+    if (slash != std::string::npos) name = name.substr(slash + 1);
+    args.push_back(std::string("--benchmark_out=") + json_dir + "/BENCH_" +
+                   name + ".json");
+    args.push_back("--benchmark_out_format=json");
+  }
+  std::vector<char*> argv2;
+  argv2.reserve(args.size());
+  for (auto& arg : args) argv2.push_back(arg.data());
+  int argc2 = static_cast<int>(argv2.size());
+
+  benchmark::Initialize(&argc2, argv2.data());
+  if (benchmark::ReportUnrecognizedArguments(argc2, argv2.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
+#define NEUROPULS_BENCH_MAIN(print_tables_fn)                          \
+  int main(int argc, char** argv) {                                    \
+    return neuropuls::bench::run_bench_main(argc, argv, print_tables_fn); \
   }
 
 }  // namespace neuropuls::bench

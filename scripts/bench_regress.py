@@ -1,0 +1,190 @@
+#!/usr/bin/env python3
+"""Diff two google-benchmark JSON runs against a throughput threshold.
+
+Usage:
+  bench_regress.py OLD.json NEW.json [--threshold 0.10]
+      Compares benchmarks present in both files by name. A benchmark
+      regresses when its new throughput falls more than THRESHOLD
+      (fraction) below the old one; any regression makes the exit
+      status nonzero. Throughput is items_per_second when the benchmark
+      reports it, else 1 / real_time.
+
+  bench_regress.py --check-schema FILE [FILE...]
+      Validates that each file parses as google-benchmark JSON output
+      (a `context` object and a non-empty `benchmarks` array whose
+      entries carry a name and a timing). Exit nonzero on the first
+      malformed file.
+
+  bench_regress.py --merge OUT.json IN.json [IN.json...]
+      Concatenates the `benchmarks` arrays of several runs into one
+      file (context taken from the first input) so per-binary smoke
+      runs can be compared against one committed baseline.
+
+Only the Python standard library is used. Duplicate benchmark names
+within one file (e.g. an Arg(1) registered twice because
+hardware_threads() == 1) are aggregated by taking the best observed
+throughput.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def load(path: str) -> dict:
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            return json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise SystemExit(f"bench_regress: cannot read {path}: {exc}")
+
+
+def schema_errors(doc: dict, path: str) -> list[str]:
+    errors = []
+    if not isinstance(doc, dict):
+        return [f"{path}: top level is not a JSON object"]
+    if not isinstance(doc.get("context"), dict):
+        errors.append(f"{path}: missing `context` object")
+    benches = doc.get("benchmarks")
+    if not isinstance(benches, list) or not benches:
+        errors.append(f"{path}: missing or empty `benchmarks` array")
+        return errors
+    for i, bench in enumerate(benches):
+        if not isinstance(bench, dict) or "name" not in bench:
+            errors.append(f"{path}: benchmarks[{i}] has no name")
+            continue
+        if not any(
+            isinstance(bench.get(key), (int, float))
+            for key in ("items_per_second", "real_time", "cpu_time")
+        ):
+            errors.append(
+                f"{path}: benchmarks[{i}] ({bench['name']}) has no timing"
+            )
+    return errors
+
+
+def throughput(bench: dict) -> float | None:
+    """Challenges/sec when reported, else inverse wall time; None if absent."""
+    items = bench.get("items_per_second")
+    if isinstance(items, (int, float)) and items > 0:
+        return float(items)
+    real = bench.get("real_time")
+    if isinstance(real, (int, float)) and real > 0:
+        return 1.0 / float(real)
+    return None
+
+
+def best_by_name(doc: dict) -> dict[str, float]:
+    table: dict[str, float] = {}
+    for bench in doc.get("benchmarks", []):
+        # Aggregate runs (mean/median/stddev rows) out; compare raw
+        # iterations only, and fold duplicate names to their best run.
+        if bench.get("run_type") == "aggregate":
+            continue
+        rate = throughput(bench)
+        if rate is None:
+            continue
+        name = bench["name"]
+        if name not in table or rate > table[name]:
+            table[name] = rate
+    return table
+
+
+def cmd_check_schema(paths: list[str]) -> int:
+    status = 0
+    for path in paths:
+        errors = schema_errors(load(path), path)
+        if errors:
+            for line in errors:
+                print(line, file=sys.stderr)
+            status = 1
+        else:
+            print(f"{path}: OK")
+    return status
+
+
+def cmd_merge(out_path: str, in_paths: list[str]) -> int:
+    merged: dict = {}
+    benches: list[dict] = []
+    for path in in_paths:
+        doc = load(path)
+        errors = schema_errors(doc, path)
+        if errors:
+            for line in errors:
+                print(line, file=sys.stderr)
+            return 1
+        if not merged:
+            merged = {"context": doc["context"]}
+        benches.extend(doc["benchmarks"])
+    merged["benchmarks"] = benches
+    with open(out_path, "w", encoding="utf-8") as fh:
+        json.dump(merged, fh, indent=1)
+        fh.write("\n")
+    print(f"{out_path}: merged {len(benches)} benchmarks from "
+          f"{len(in_paths)} files")
+    return 0
+
+
+def cmd_compare(old_path: str, new_path: str, threshold: float) -> int:
+    old = best_by_name(load(old_path))
+    new = best_by_name(load(new_path))
+    common = sorted(set(old) & set(new))
+    if not common:
+        print("bench_regress: no common benchmarks to compare",
+              file=sys.stderr)
+        return 1
+    regressions = 0
+    width = max(len(name) for name in common)
+    for name in common:
+        ratio = new[name] / old[name]
+        verdict = "ok"
+        if ratio < 1.0 - threshold:
+            verdict = "REGRESSION"
+            regressions += 1
+        print(f"{name:<{width}}  old {old[name]:>14.1f}/s  "
+              f"new {new[name]:>14.1f}/s  x{ratio:.3f}  {verdict}")
+    only_old = sorted(set(old) - set(new))
+    for name in only_old:
+        print(f"{name}: missing from {new_path} (not compared)")
+    if regressions:
+        print(f"bench_regress: {regressions} benchmark(s) regressed more "
+              f"than {threshold:.0%}", file=sys.stderr)
+        return 1
+    print(f"bench_regress: {len(common)} benchmark(s) within "
+          f"{threshold:.0%} of {old_path}")
+    return 0
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter
+    )
+    parser.add_argument("files", nargs="*", help="OLD.json NEW.json")
+    parser.add_argument("--threshold", type=float, default=0.10,
+                        help="allowed fractional throughput drop "
+                             "(default 0.10)")
+    parser.add_argument("--check-schema", action="store_true",
+                        help="validate files as google-benchmark JSON")
+    parser.add_argument("--merge", metavar="OUT",
+                        help="merge input files' benchmarks into OUT")
+    args = parser.parse_args(argv)
+
+    if args.check_schema:
+        if not args.files:
+            parser.error("--check-schema needs at least one file")
+        return cmd_check_schema(args.files)
+    if args.merge:
+        if not args.files:
+            parser.error("--merge needs at least one input file")
+        return cmd_merge(args.merge, args.files)
+    if len(args.files) != 2:
+        parser.error("compare mode needs exactly OLD.json NEW.json")
+    if not 0.0 <= args.threshold < 1.0:
+        parser.error("--threshold must be in [0, 1)")
+    return cmd_compare(args.files[0], args.files[1], args.threshold)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

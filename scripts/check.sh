@@ -1,14 +1,28 @@
 #!/usr/bin/env bash
-# Full local verification matrix: plain, ASan, and UBSan builds with the
-# complete test suite (which includes the ctlint secret-hygiene pass and
-# its self-test), all with warnings-as-errors. This is the command to run
-# before pushing; CI runs the same matrix.
+# Full local verification matrix: plain, ASan, UBSan, and -march=native
+# builds with the complete test suite (which includes the ctlint
+# secret-hygiene pass and its self-test), all with warnings-as-errors,
+# plus a benchmark smoke run that emits google-benchmark JSON, validates
+# it with scripts/bench_regress.py --check-schema, and diffs it against
+# the committed BENCH_baseline.json. This is the command to run before
+# pushing; CI runs the same matrix.
 #
 # Usage:
-#   scripts/check.sh            # plain + address + undefined
+#   scripts/check.sh            # plain + address + undefined + native
 #   scripts/check.sh plain      # one configuration only
 #   scripts/check.sh address
 #   scripts/check.sh undefined
+#   scripts/check.sh native     # -DNEUROPULS_NATIVE=ON (lane kernels get
+#                               # the host ISA; ctest re-asserts lane/scalar
+#                               # bit-identity under FMA contraction)
+#
+# Environment:
+#   NEUROPULS_BENCH_THRESHOLD   allowed fractional throughput drop vs
+#                               BENCH_baseline.json in the smoke compare
+#                               (default 0.5 — smoke runs are short and
+#                               noisy; use scripts/bench_regress.py with
+#                               its default 0.10 threshold on full-length
+#                               runs for real regression gating)
 #
 # Build trees land in build-check-<config>/ (gitignored via build-*/).
 set -euo pipefail
@@ -18,21 +32,25 @@ cd "$(dirname "$0")/.."
 JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 CONFIGS=("$@")
 if [ ${#CONFIGS[@]} -eq 0 ]; then
-  CONFIGS=(plain address undefined)
+  CONFIGS=(plain address undefined native)
 fi
 
 run_config() {
   local config="$1"
   local build_dir="build-check-${config}"
   local sanitize=""
-  if [ "${config}" != "plain" ]; then
+  local native="OFF"
+  if [ "${config}" = "native" ]; then
+    native="ON"
+  elif [ "${config}" != "plain" ]; then
     sanitize="${config}"
   fi
 
-  echo "==> [${config}] configure (${build_dir}, NEUROPULS_SANITIZE='${sanitize}', NEUROPULS_WERROR=ON)"
+  echo "==> [${config}] configure (${build_dir}, NEUROPULS_SANITIZE='${sanitize}', NEUROPULS_NATIVE=${native}, NEUROPULS_WERROR=ON)"
   cmake -B "${build_dir}" -S . \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DNEUROPULS_SANITIZE="${sanitize}" \
+    -DNEUROPULS_NATIVE="${native}" \
     -DNEUROPULS_WERROR=ON \
     > "${build_dir}.configure.log" 2>&1 || {
       tail -n 40 "${build_dir}.configure.log"; return 1; }
@@ -48,17 +66,52 @@ run_config() {
 
 for config in "${CONFIGS[@]}"; do
   case "${config}" in
-    plain|address|undefined) run_config "${config}" ;;
+    plain|address|undefined|native) run_config "${config}" ;;
     *)
-      echo "unknown config '${config}' (want plain, address, or undefined)" >&2
+      echo "unknown config '${config}' (want plain, address, undefined, or native)" >&2
       exit 2
       ;;
   esac
 done
 
+LAST_BUILD="build-check-${CONFIGS[${#CONFIGS[@]}-1]}"
+
+# Benchmark smoke pass: run the two hot-path benchmark binaries just long
+# enough to emit JSON, validate the schema, and diff throughput against
+# the committed pre-PR baseline. The threshold is deliberately loose
+# (smoke iterations are noisy); it catches order-of-magnitude cliffs, not
+# single-digit drift.
+BENCH_SMOKE_DIR="${LAST_BUILD}/bench-smoke"
+mkdir -p "${BENCH_SMOKE_DIR}"
+for bench in bench_puf_quality bench_system_level; do
+  bench_bin="${LAST_BUILD}/bench/${bench}"
+  if [ ! -x "${bench_bin}" ]; then
+    echo "==> bench smoke: ${bench_bin} missing" >&2
+    exit 1
+  fi
+  echo "==> bench smoke: ${bench}"
+  "${bench_bin}" \
+    --benchmark_min_time=0.01 \
+    --benchmark_filter='PhotonicNoiselessBatch|PhotonicEvaluateBatch|VerifierModelSweep' \
+    --benchmark_out="${BENCH_SMOKE_DIR}/BENCH_${bench}.json" \
+    --benchmark_out_format=json \
+    > /dev/null
+done
+
+echo "==> bench smoke: schema check"
+python3 scripts/bench_regress.py --check-schema \
+  "${BENCH_SMOKE_DIR}"/BENCH_*.json
+
+echo "==> bench smoke: merge + compare vs BENCH_baseline.json"
+python3 scripts/bench_regress.py --merge "${BENCH_SMOKE_DIR}/BENCH_smoke.json" \
+  "${BENCH_SMOKE_DIR}/BENCH_bench_puf_quality.json" \
+  "${BENCH_SMOKE_DIR}/BENCH_bench_system_level.json"
+python3 scripts/bench_regress.py \
+  --threshold "${NEUROPULS_BENCH_THRESHOLD:-0.5}" \
+  BENCH_baseline.json "${BENCH_SMOKE_DIR}/BENCH_smoke.json"
+
 # Standalone ctlint invocation against the tree (redundant with the ctest
 # case, but handy when iterating on lint annotations without a rebuild).
-LAST_BUILD="build-check-${CONFIGS[${#CONFIGS[@]}-1]}"
 echo "==> ctlint source pass (standalone)"
 "${LAST_BUILD}/tools/ctlint/ctlint" --baseline tools/ctlint/baseline.txt src
 

@@ -122,7 +122,9 @@ AttackResult model_attack(puf::Puf& target, const FeatureMap& features,
 
   // CRP dataset generation is the attack's hot loop. Challenges are drawn
   // first (same DRBG order as the former interleaved loop); photonic
-  // targets then answer them through the parallel batch engine, whose
+  // targets then answer them through the parallel batch engine, which
+  // chunks the set into SIMD lane blocks of kDefaultLanes challenges per
+  // pool task (SoA field planes, see photonic/field_block.hpp) and whose
   // index-based noise seeding makes the responses bit-identical to the
   // serial evaluate() sequence.
   auto* photonic = dynamic_cast<puf::PhotonicPuf*>(&target);

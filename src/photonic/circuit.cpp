@@ -191,6 +191,26 @@ TimeDomainScrambler::TimeDomainScrambler(
   }
 }
 
+TimeDomainScrambler::TimeDomainScrambler(
+    std::shared_ptr<const ScramblerTables> tables, std::size_t lanes)
+    : tables_(std::move(tables)), lanes_(lanes) {
+  if (!tables_) {
+    throw std::invalid_argument("TimeDomainScrambler: null tables");
+  }
+  if (lanes_ == 0) {
+    throw std::invalid_argument("TimeDomainScrambler: lanes must be > 0");
+  }
+  ring_blocks_.resize(tables_->layers_);
+  if (tables_->with_rings_) {
+    for (std::size_t layer = 0; layer < tables_->layers_; ++layer) {
+      ring_blocks_[layer].reserve(tables_->ports_);
+      for (const auto& constants : tables_->ring_constants_[layer]) {
+        ring_blocks_[layer].emplace_back(constants, lanes_);
+      }
+    }
+  }
+}
+
 void TimeDomainScrambler::step_inplace(PortVector& state) {
   const ScramblerTables& t = *tables_;
   if (state.size() != t.ports_) {
@@ -230,18 +250,56 @@ PortVector TimeDomainScrambler::step(const PortVector& in) {
   return state;
 }
 
-std::vector<std::vector<Complex>> TimeDomainScrambler::run(
+void TimeDomainScrambler::step_block(FieldBlock& block) {
+  const ScramblerTables& t = *tables_;
+  if (lanes_ == 0) {
+    throw std::logic_error(
+        "TimeDomainScrambler::step_block: scalar-mode instance");
+  }
+  if (block.ports() != t.ports_ || block.lanes() != lanes_) {
+    throw std::invalid_argument(
+        "TimeDomainScrambler::step_block: block dims mismatch");
+  }
+  const std::size_t w = lanes_;
+  for (std::size_t layer = 0; layer < t.layers_; ++layer) {
+    const std::size_t offset = layer % 2;
+    const auto& couplers = t.coupler_tk_[layer];
+    for (std::size_t p = 0; p < couplers.size(); ++p) {
+      const std::size_t a = offset + 2 * p;
+      const std::size_t b = a + 1;
+      if (b >= t.ports_) break;
+      simd::coupler_mix(block.re(a), block.im(a), block.re(b), block.im(b),
+                        couplers[p][0], couplers[p][1], w);
+    }
+    const auto& transfers = t.waveguide_transfer_[layer];
+    for (std::size_t port = 0; port < t.ports_; ++port) {
+      simd::complex_scale(block.re(port), block.im(port),
+                          transfers[port].real(), transfers[port].imag(), w);
+    }
+    if (t.with_rings_) {
+      auto& rings = ring_blocks_[layer];
+      for (std::size_t port = 0; port < t.ports_; ++port) {
+        rings[port].step(block.re(port), block.im(port));
+      }
+    }
+  }
+}
+
+std::vector<std::vector<Complex>> TimeDomainScrambler::scramble_series(
     const std::vector<Complex>& port0_in) {
   const std::size_t n_ports = ports();
+  const std::size_t n_samples = port0_in.size();
+  // Size every per-port stream up front and write by index: the sample
+  // loop then performs zero allocations (one scratch state, reused).
   std::vector<std::vector<Complex>> outputs(n_ports);
-  for (auto& v : outputs) v.reserve(port0_in.size());
+  for (auto& v : outputs) v.assign(n_samples, Complex{0.0, 0.0});
   PortVector state(n_ports, Complex{0.0, 0.0});
-  for (const Complex& sample : port0_in) {
+  for (std::size_t n = 0; n < n_samples; ++n) {
     std::fill(state.begin(), state.end(), Complex{0.0, 0.0});
-    state[0] = sample;
+    state[0] = port0_in[n];
     step_inplace(state);
     for (std::size_t port = 0; port < n_ports; ++port) {
-      outputs[port].push_back(state[port]);
+      outputs[port][n] = state[port];
     }
   }
   return outputs;
@@ -249,6 +307,9 @@ std::vector<std::vector<Complex>> TimeDomainScrambler::run(
 
 void TimeDomainScrambler::reset() noexcept {
   for (auto& layer : ring_states_) {
+    for (auto& ring : layer) ring.reset();
+  }
+  for (auto& layer : ring_blocks_) {
     for (auto& ring : layer) ring.reset();
   }
 }

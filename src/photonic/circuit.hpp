@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "photonic/components.hpp"
+#include "photonic/field_block.hpp"
 #include "photonic/ring.hpp"
 
 namespace neuropuls::photonic {
@@ -127,6 +128,13 @@ class ScramblerTables {
 /// live in a (possibly shared) ScramblerTables. Instances are cheap to
 /// stamp out from cached tables, which is what makes batched evaluation
 /// win even single-threaded.
+///
+/// Two execution modes share the tables:
+///   * scalar (lanes == 0): step_inplace/step on one PortVector;
+///   * lane-parallel (lanes > 0): step_block on a FieldBlock of `lanes`
+///     independent challenges, every op vectorized across lanes. Noiseless
+///     lane results are bit-identical to the scalar mode (common/simd.hpp
+///     documents the argument; ctest asserts it).
 class TimeDomainScrambler {
  public:
   /// Freezes the static transfer constants at `op` and builds per-ring
@@ -134,8 +142,14 @@ class TimeDomainScrambler {
   TimeDomainScrambler(const ScramblerCircuit& circuit, const OperatingPoint& op,
                       double sample_period_s);
 
-  /// Builds only the ring state around precomputed shared tables.
+  /// Builds only the scalar ring state around precomputed shared tables.
   explicit TimeDomainScrambler(std::shared_ptr<const ScramblerTables> tables);
+
+  /// Lane-parallel mode: builds block ring state for `lanes` independent
+  /// challenges around precomputed shared tables. Throws
+  /// std::invalid_argument when lanes == 0.
+  TimeDomainScrambler(std::shared_ptr<const ScramblerTables> tables,
+                      std::size_t lanes);
 
   /// Processes one time step in place: `state` holds one sample per port
   /// on entry and the per-port outputs on return. No allocation.
@@ -144,19 +158,33 @@ class TimeDomainScrambler {
   /// Processes one time step: `in` has one sample per port.
   PortVector step(const PortVector& in);
 
+  /// Processes one time step of every lane in place: coupler 2x2 mixes,
+  /// waveguide phase rotations, and ring updates each applied across all
+  /// lanes per op. Requires block dims (ports x lanes) to match; only
+  /// valid on a lane-parallel instance. No allocation.
+  void step_block(FieldBlock& block);
+
   /// Streams a single-port input (port 0 driven, others dark) and returns
-  /// per-port output sample streams.
-  std::vector<std::vector<Complex>> run(const std::vector<Complex>& port0_in);
+  /// per-port output sample streams. Output vectors are sized up front and
+  /// written by index; one scratch state is reused across samples, so the
+  /// loop allocates nothing.
+  std::vector<std::vector<Complex>> scramble_series(
+      const std::vector<Complex>& port0_in);
 
   void reset() noexcept;
 
   std::size_t ports() const noexcept { return tables_->ports(); }
 
+  /// Lane width of a lane-parallel instance; 0 for scalar instances.
+  std::size_t lanes() const noexcept { return lanes_; }
+
   const ScramblerTables& tables() const noexcept { return *tables_; }
 
  private:
   std::shared_ptr<const ScramblerTables> tables_;
+  std::size_t lanes_ = 0;  // 0 = scalar mode
   std::vector<std::vector<RingTimeDomain>> ring_states_;
+  std::vector<std::vector<RingTimeDomainBlock>> ring_blocks_;
 };
 
 /// Convenience factory for a shareable operating-point table set.

@@ -5,6 +5,7 @@
 #include <numbers>
 #include <stdexcept>
 
+#include "common/simd.hpp"
 #include "photonic/constants.hpp"
 
 namespace neuropuls::photonic {
@@ -22,6 +23,13 @@ Photodiode::Photodiode(PhotodiodeParameters params, std::uint64_t seed)
 
 double Photodiode::mean_current(Complex field) const noexcept {
   return params_.responsivity * field_power(field) + params_.dark_current;
+}
+
+void Photodiode::accumulate_mean_block(const double* re, const double* im,
+                                       double* acc,
+                                       std::size_t n) const noexcept {
+  simd::square_law_accumulate(re, im, params_.responsivity,
+                              params_.dark_current, acc, n);
 }
 
 double Photodiode::detect(Complex field) noexcept {
@@ -68,6 +76,13 @@ std::uint32_t Adc::quantize(double volts) const noexcept {
   const double clamped = std::clamp(normalized, 0.0, 1.0);
   return static_cast<std::uint32_t>(
       std::lround(clamped * static_cast<double>(max_code_)));
+}
+
+void Adc::quantize_block(const double* volts, std::uint32_t* codes,
+                         std::size_t n) const noexcept {
+  for (std::size_t i = 0; i < n; ++i) {
+    codes[i] = quantize(volts[i]);
+  }
 }
 
 ReadoutChain::ReadoutChain(PhotodiodeParameters pd, TiaParameters tia,

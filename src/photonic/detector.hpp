@@ -14,6 +14,7 @@
 // that the §II-B filtering techniques fight.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -40,6 +41,13 @@ class Photodiode {
 
   /// Noise-free photocurrent for a field sample.
   double mean_current(Complex field) const noexcept;
+
+  /// Lane-parallel integrate step: acc[i] += mean_current({re[i], im[i]})
+  /// for `n` lanes of one port's split-complex plane. Per lane this is the
+  /// exact scalar mean_current() operation tree (simd::square_law_accumulate),
+  /// so block accumulation stays bit-identical to the serial path.
+  void accumulate_mean_block(const double* re, const double* im, double* acc,
+                             std::size_t n) const noexcept;
 
   const PhotodiodeParameters& params() const noexcept { return params_; }
 
@@ -89,6 +97,10 @@ class Adc {
 
   /// Quantizes a voltage to a code in [0, 2^bits - 1].
   std::uint32_t quantize(double volts) const noexcept;
+
+  /// Quantizes `n` voltages lane-parallel; codes[i] == quantize(volts[i]).
+  void quantize_block(const double* volts, std::uint32_t* codes,
+                      std::size_t n) const noexcept;
 
   std::uint32_t max_code() const noexcept { return max_code_; }
 

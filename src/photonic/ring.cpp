@@ -155,4 +155,33 @@ void RingTimeDomain::reset() noexcept {
   head_ = 0;
 }
 
+RingTimeDomainBlock::RingTimeDomainBlock(
+    const RingTimeDomainConstants& constants, std::size_t lanes)
+    : t_(constants.t),
+      k_(constants.k),
+      feedback_re_(constants.feedback.real()),
+      feedback_im_(constants.feedback.imag()),
+      lanes_(lanes),
+      rows_(constants.delay_samples),
+      delay_re_(constants.delay_samples * lanes, 0.0),
+      delay_im_(constants.delay_samples * lanes, 0.0) {
+  if (lanes == 0) {
+    throw std::invalid_argument("RingTimeDomainBlock: lanes must be > 0");
+  }
+}
+
+void RingTimeDomainBlock::step(double* re, double* im) noexcept {
+  double* dre = delay_re_.data() + head_ * lanes_;
+  double* dim = delay_im_.data() + head_ * lanes_;
+  simd::ring_step(re, im, dre, dim, t_, k_, feedback_re_, feedback_im_,
+                  lanes_);
+  head_ = head_ + 1 == rows_ ? 0 : head_ + 1;
+}
+
+void RingTimeDomainBlock::reset() noexcept {
+  std::fill(delay_re_.begin(), delay_re_.end(), 0.0);
+  std::fill(delay_im_.begin(), delay_im_.end(), 0.0);
+  head_ = 0;
+}
+
 }  // namespace neuropuls::photonic

@@ -20,6 +20,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "common/simd.hpp"
 #include "photonic/components.hpp"
 
 namespace neuropuls::photonic {
@@ -128,6 +129,39 @@ class RingTimeDomain {
   Complex feedback_;  // a * e^{-i phi}
   std::vector<Complex> delay_line_;
   std::size_t head_ = 0;
+};
+
+/// Lane-parallel counterpart of RingTimeDomain: one ring's recirculating
+/// state for W independent lanes, stored as split-complex delay-line rows
+/// of W doubles so one step updates every lane with unit stride. Per lane
+/// it performs exactly the scalar step's operation tree (see
+/// simd::ring_step), which keeps noiseless block evaluation bit-identical
+/// to the serial path.
+class RingTimeDomainBlock {
+ public:
+  RingTimeDomainBlock(const RingTimeDomainConstants& constants,
+                      std::size_t lanes);
+
+  /// Steps every lane once, in place on the port planes (`re`/`im` are
+  /// `lanes()` contiguous doubles).
+  void step(double* re, double* im) noexcept;
+
+  /// Clears the circulating state of every lane.
+  void reset() noexcept;
+
+  std::size_t lanes() const noexcept { return lanes_; }
+  std::size_t delay_samples() const noexcept { return rows_; }
+
+ private:
+  double t_;
+  double k_;
+  double feedback_re_;
+  double feedback_im_;
+  std::size_t lanes_;
+  std::size_t rows_;  // delay in samples
+  std::size_t head_ = 0;
+  simd::AlignedVector<double> delay_re_;  // [row][lane]
+  simd::AlignedVector<double> delay_im_;
 };
 
 }  // namespace neuropuls::photonic

@@ -13,6 +13,7 @@ Laser::Laser(LaserParameters params, double sample_rate_hz, std::uint64_t seed)
   if (sample_rate_hz <= 0.0 || params.power_mw <= 0.0) {
     throw std::invalid_argument("Laser: power and sample rate must be > 0");
   }
+  mean_amplitude_ = std::sqrt(params_.power_mw * 1e-3);
   // RIN: relative power variance = 10^(RIN/10) * bandwidth; amplitude
   // deviation is half the relative power deviation.
   const double rel_power_var =
@@ -21,10 +22,6 @@ Laser::Laser(LaserParameters params, double sample_rate_hz, std::uint64_t seed)
   // Wiener phase noise: variance per step = 2 pi * linewidth * dt.
   phase_sigma_ =
       std::sqrt(2.0 * std::numbers::pi * params_.linewidth_hz / sample_rate_hz);
-}
-
-double Laser::mean_amplitude() const noexcept {
-  return std::sqrt(params_.power_mw * 1e-3);
 }
 
 Complex Laser::sample() noexcept {

@@ -32,13 +32,14 @@ class Laser {
   Complex sample() noexcept;
 
   /// Noise-free carrier amplitude (sqrt of power in watts).
-  double mean_amplitude() const noexcept;
+  double mean_amplitude() const noexcept { return mean_amplitude_; }
 
   const LaserParameters& params() const noexcept { return params_; }
 
  private:
   LaserParameters params_;
   double sample_rate_hz_;
+  double mean_amplitude_;  // sqrt(power), hoisted out of sample()
   double rin_sigma_;    // per-sample relative amplitude deviation
   double phase_sigma_;  // per-sample phase-walk step
   double phase_ = 0.0;

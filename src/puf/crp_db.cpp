@@ -15,7 +15,7 @@ void CrpDatabase::enroll(Puf& puf, std::size_t count, crypto::ChaChaDrbg& rng,
 }
 
 void CrpDatabase::insert(Crp crp) {
-  index_[crypto::to_hex(crp.challenge)] = entries_.size();
+  index_[crp.challenge] = entries_.size();
   entries_.push_back(std::move(crp));
 }
 
@@ -23,12 +23,12 @@ std::optional<Crp> CrpDatabase::take() {
   if (entries_.empty()) return std::nullopt;
   Crp crp = std::move(entries_.back());
   entries_.pop_back();
-  index_.erase(crypto::to_hex(crp.challenge));
+  index_.erase(crp.challenge);
   return crp;
 }
 
 std::optional<Response> CrpDatabase::lookup(const Challenge& challenge) const {
-  const auto it = index_.find(crypto::to_hex(challenge));
+  const auto it = index_.find(crypto::ByteView{challenge});
   if (it == index_.end()) return std::nullopt;
   return entries_[it->second].response;
 }

@@ -10,12 +10,15 @@
 // authentication to prevent replay).
 #pragma once
 
+#include <algorithm>
+#include <array>
 #include <cstdint>
 #include <optional>
 #include <unordered_map>
 #include <vector>
 
 #include "crypto/chacha20.hpp"
+#include "crypto/siphash.hpp"
 #include "puf/puf.hpp"
 
 namespace neuropuls::puf {
@@ -24,6 +27,34 @@ struct Crp {
   Challenge challenge;
   Response response;
 };
+
+namespace detail {
+
+/// Transparent SipHash-2-4 hasher over raw challenge bytes: the CRP index
+/// hashes the challenge buffer directly instead of materialising a hex
+/// string per insert/lookup (half the key storage, zero encode work). The
+/// key is a fixed public constant — the index is verifier-local simulation
+/// state, not an adversarial-input hash table.
+struct ChallengeHash {
+  using is_transparent = void;
+  std::size_t operator()(crypto::ByteView bytes) const noexcept {
+    static constexpr std::array<std::uint8_t, 16> kKey = {
+        'n', 'p', '-', 'c', 'r', 'p', '-', 'i',
+        'n', 'd', 'e', 'x', '-', 'k', 'e', 'y'};
+    return static_cast<std::size_t>(crypto::siphash24(kKey, bytes));
+  }
+};
+
+/// Transparent byte-wise equality matching ChallengeHash (Challenge and
+/// ByteView arguments both land on the ByteView overload).
+struct ChallengeEqual {
+  using is_transparent = void;
+  bool operator()(crypto::ByteView a, crypto::ByteView b) const noexcept {
+    return a.size() == b.size() && std::equal(a.begin(), a.end(), b.begin());
+  }
+};
+
+}  // namespace detail
 
 class CrpDatabase {
  public:
@@ -51,7 +82,12 @@ class CrpDatabase {
 
  private:
   std::vector<Crp> entries_;
-  std::unordered_map<std::string, std::size_t> index_;  // hex(challenge) -> i
+  // challenge bytes -> entries_ position, keyed on the raw buffer with a
+  // SipHash transparent hasher (heterogeneous lookup: ByteView probes
+  // need no Challenge copy).
+  std::unordered_map<Challenge, std::size_t, detail::ChallengeHash,
+                     detail::ChallengeEqual>
+      index_;
 };
 
 }  // namespace neuropuls::puf

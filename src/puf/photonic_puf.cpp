@@ -1,7 +1,9 @@
 #include "puf/photonic_puf.hpp"
 
 #include "common/parallel.hpp"
+#include "common/simd.hpp"
 #include "crypto/chacha20.hpp"
+#include "photonic/field_block.hpp"
 
 #include <algorithm>
 #include <cmath>
@@ -108,12 +110,19 @@ void PhotonicPuf::calibrate() {
   const std::size_t windows = config_.challenge_bits;
   const std::size_t pairs = config_.design.ports / 2;
   std::vector<double> slot_samples(windows * pairs * count);
-  common::parallel_for(count, [&](std::size_t i) {
-    const auto analog =
-        analog_core(challenges[i], false, 0, config_.temperature);
-    for (std::size_t w = 0; w < windows; ++w) {
-      for (std::size_t p = 0; p < pairs; ++p) {
-        slot_samples[(w * pairs + p) * count + i] = analog[w][p];
+  const std::size_t lanes = simd::kDefaultLanes;
+  const std::size_t blocks = (count + lanes - 1) / lanes;
+  common::parallel_for(blocks, [&](std::size_t blk) {
+    const std::size_t begin = blk * lanes;
+    const std::size_t n = std::min(lanes, count - begin);
+    const auto analog = analog_core_block(challenges.data() + begin, n,
+                                          /*noisy=*/false, nullptr,
+                                          config_.temperature);
+    for (std::size_t j = 0; j < n; ++j) {
+      for (std::size_t w = 0; w < windows; ++w) {
+        for (std::size_t p = 0; p < pairs; ++p) {
+          slot_samples[(w * pairs + p) * count + begin + j] = analog[j][w][p];
+        }
       }
     }
   });
@@ -219,6 +228,118 @@ std::vector<std::vector<double>> PhotonicPuf::analog_core(
   return analog;
 }
 
+std::vector<std::vector<std::vector<double>>> PhotonicPuf::analog_core_block(
+    const Challenge* challenges, std::size_t lane_count, bool noisy,
+    const std::uint64_t* noise_seeds, double temperature) const {
+  if (lane_count == 0) {
+    throw std::invalid_argument("PhotonicPuf: empty lane block");
+  }
+  for (std::size_t lane = 0; lane < lane_count; ++lane) {
+    if (challenges[lane].size() != challenge_bytes()) {
+      throw std::invalid_argument("PhotonicPuf: wrong challenge size");
+    }
+  }
+
+  const OperatingPoint op{config_.laser.wavelength, temperature};
+  const std::size_t ports = config_.design.ports;
+  const std::size_t pairs = ports / 2;
+  const std::size_t spb = config_.samples_per_bit;
+  const std::size_t w = lane_count;
+
+  // Per-lane source chains. The MZM is deterministic but stateful (one-
+  // pole drive filter), so every lane carries its own; the noisy path
+  // additionally gives each lane its own Laser and per-port Photodiodes,
+  // seeded exactly as the serial path seeds them from that lane's noise
+  // seed — so each lane consumes the same RNG streams in the same order.
+  photonic::LaserParameters laser_params = config_.laser;
+  laser_params.power_mw *= config_.laser_power_scale;
+  const double ideal_amp = std::sqrt(laser_params.power_mw * 1e-3);
+  std::vector<photonic::MachZehnderModulator> mzms;
+  mzms.reserve(w);
+  std::vector<photonic::Laser> lasers;
+  std::vector<photonic::Photodiode> pds;  // [lane * ports + port]
+  if (noisy) {
+    lasers.reserve(w);
+    pds.reserve(w * ports);
+  }
+  for (std::size_t lane = 0; lane < w; ++lane) {
+    mzms.emplace_back(config_.modulator);
+    if (noisy) {
+      lasers.emplace_back(laser_params, config_.sample_rate_hz,
+                          rng::derive_seed(noise_seeds[lane], 0x11));
+      for (std::size_t p = 0; p < ports; ++p) {
+        pds.emplace_back(config_.photodiode,
+                         rng::derive_seed(noise_seeds[lane], 0x20 + p));
+      }
+    }
+  }
+  const photonic::Photodiode mean_pd(config_.photodiode, 0);
+
+  const auto tables = operating_tables(op);
+  photonic::TimeDomainScrambler scrambler(tables->scrambler, w);
+  const photonic::PortVector& taps = tables->scrambler->input_coefficients();
+
+  std::vector<std::vector<std::vector<double>>> analog(
+      w, std::vector<std::vector<double>>(config_.challenge_bits,
+                                          std::vector<double>(pairs, 0.0)));
+
+  photonic::FieldBlock block(ports, w);
+  // SoA lane planes for the per-sample modulated carriers and the
+  // per-port integrate-and-dump accumulators ([port][lane]).
+  simd::AlignedVector<double> mod_re(w, 0.0);
+  simd::AlignedVector<double> mod_im(w, 0.0);
+  simd::AlignedVector<double> window_current(ports * w, 0.0);
+  std::vector<std::uint8_t> bits(w, 0);
+
+  for (std::size_t bit_index = 0; bit_index < config_.challenge_bits;
+       ++bit_index) {
+    for (std::size_t lane = 0; lane < w; ++lane) {
+      bits[lane] =
+          (challenges[lane][bit_index / 8] >> (7 - bit_index % 8)) & 1;
+    }
+    std::fill(window_current.begin(), window_current.end(), 0.0);
+
+    for (std::size_t s = 0; s < spb; ++s) {
+      for (std::size_t lane = 0; lane < w; ++lane) {
+        const Complex carrier =
+            noisy ? lasers[lane].sample() : Complex{ideal_amp, 0.0};
+        const Complex modulated =
+            mzms[lane].modulate(carrier, bits[lane] != 0);
+        mod_re[lane] = modulated.real();
+        mod_im[lane] = modulated.imag();
+      }
+      for (std::size_t p = 0; p < ports; ++p) {
+        simd::complex_fanout(mod_re.data(), mod_im.data(), taps[p].real(),
+                             taps[p].imag(), block.re(p), block.im(p), w);
+      }
+      scrambler.step_block(block);
+      if (noisy) {
+        for (std::size_t p = 0; p < ports; ++p) {
+          double* acc = window_current.data() + p * w;
+          for (std::size_t lane = 0; lane < w; ++lane) {
+            acc[lane] += pds[lane * ports + p].detect(block.at(p, lane));
+          }
+        }
+      } else {
+        for (std::size_t p = 0; p < ports; ++p) {
+          mean_pd.accumulate_mean_block(block.re(p), block.im(p),
+                                        window_current.data() + p * w, w);
+        }
+      }
+    }
+
+    for (std::size_t lane = 0; lane < w; ++lane) {
+      for (std::size_t pair = 0; pair < pairs; ++pair) {
+        analog[lane][bit_index][pair] =
+            (window_current[2 * pair * w + lane] -
+             window_current[(2 * pair + 1) * w + lane]) /
+            static_cast<double>(spb);
+      }
+    }
+  }
+  return analog;
+}
+
 Response PhotonicPuf::threshold_bits(
     const std::vector<std::vector<double>>& analog) const {
   Response out(response_bytes(), 0);
@@ -251,23 +372,46 @@ std::vector<Response> PhotonicPuf::evaluate_batch(
   // batch bit-identical to the equivalent serial evaluate() sequence.
   const std::uint64_t base = eval_counter_.fetch_add(
       challenges.size(), std::memory_order_relaxed);
+  // Each pool task evaluates one lane block of kDefaultLanes challenges
+  // through the SoA engine; lane j of block b is item b*W + j, so seeds
+  // still bind to item index, never to scheduling order.
+  const std::size_t lanes = simd::kDefaultLanes;
+  const std::size_t blocks = (challenges.size() + lanes - 1) / lanes;
   std::vector<Response> responses(challenges.size());
-  run_parallel(pool, challenges.size(), [&](std::size_t i) {
-    const std::uint64_t seed =
-        rng::derive_seed(device_seed_, base + static_cast<std::uint64_t>(i) + 1);
-    auto margins = analog_core(challenges[i], /*noisy=*/true, seed,
-                               config_.temperature);
-    subtract_thresholds(margins);
-    responses[i] = threshold_bits(margins);
+  run_parallel(pool, blocks, [&](std::size_t blk) {
+    const std::size_t begin = blk * lanes;
+    const std::size_t count = std::min(lanes, challenges.size() - begin);
+    std::vector<std::uint64_t> seeds(count);
+    for (std::size_t j = 0; j < count; ++j) {
+      seeds[j] = rng::derive_seed(
+          device_seed_, base + static_cast<std::uint64_t>(begin + j) + 1);
+    }
+    auto analog = analog_core_block(challenges.data() + begin, count,
+                                    /*noisy=*/true, seeds.data(),
+                                    config_.temperature);
+    for (std::size_t j = 0; j < count; ++j) {
+      subtract_thresholds(analog[j]);
+      responses[begin + j] = threshold_bits(analog[j]);
+    }
   });
   return responses;
 }
 
 std::vector<Response> PhotonicPuf::evaluate_noiseless_batch(
     const std::vector<Challenge>& challenges, common::ThreadPool* pool) const {
+  const std::size_t lanes = simd::kDefaultLanes;
+  const std::size_t blocks = (challenges.size() + lanes - 1) / lanes;
   std::vector<Response> responses(challenges.size());
-  run_parallel(pool, challenges.size(), [&](std::size_t i) {
-    responses[i] = evaluate_noiseless(challenges[i]);
+  run_parallel(pool, blocks, [&](std::size_t blk) {
+    const std::size_t begin = blk * lanes;
+    const std::size_t count = std::min(lanes, challenges.size() - begin);
+    auto analog = analog_core_block(challenges.data() + begin, count,
+                                    /*noisy=*/false, nullptr,
+                                    config_.temperature);
+    for (std::size_t j = 0; j < count; ++j) {
+      subtract_thresholds(analog[j]);
+      responses[begin + j] = threshold_bits(analog[j]);
+    }
   });
   return responses;
 }

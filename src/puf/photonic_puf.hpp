@@ -165,6 +165,18 @@ class PhotonicPuf final : public Puf {
                                                bool noisy,
                                                std::uint64_t noise_seed,
                                                double temperature) const;
+  // Lane-parallel counterpart of analog_core: evaluates `lane_count`
+  // independent challenges through one SoA FieldBlock, vectorizing the
+  // field transport (fan-out, couplers, waveguides, rings) and the
+  // noiseless square-law integration across lanes. Per-lane sources stay
+  // scalar: each lane gets its own MZM, and — when noisy — its own Laser
+  // and per-port Photodiodes seeded from noise_seeds[lane], preserving the
+  // exact RNG draw order of the serial path. Returns one (window x pair)
+  // analog matrix per lane; lane j is bit-identical to
+  // analog_core(challenges[j], ...). noise_seeds may be null when !noisy.
+  std::vector<std::vector<std::vector<double>>> analog_core_block(
+      const Challenge* challenges, std::size_t lane_count, bool noisy,
+      const std::uint64_t* noise_seeds, double temperature) const;
   void subtract_thresholds(std::vector<std::vector<double>>& analog) const;
   Response threshold_bits(
       const std::vector<std::vector<double>>& margins) const;

@@ -57,7 +57,9 @@ std::vector<std::vector<Response>> PufPopulation::evaluate_repeats(
   run_parallel(pool_, devices_.size(), [&](std::size_t d) {
     // evaluate_batch assigns this device's counter values by item index,
     // so the readings match a serial re-read loop bit for bit. The inner
-    // batch call is already inside a parallel region and runs serially.
+    // batch call is already inside a parallel region, so its lane blocks
+    // (kDefaultLanes challenges per SoA block) run serially on this
+    // worker — the SIMD lane parallelism still applies within each block.
     readings[d] = devices_[d]->evaluate_batch(
         std::vector<Challenge>(repeats, challenge), pool_);
   });
