@@ -15,6 +15,12 @@
 #   scripts/check.sh native     # -DNEUROPULS_NATIVE=ON (lane kernels get
 #                               # the host ISA; ctest re-asserts lane/scalar
 #                               # bit-identity under FMA contraction)
+#   scripts/check.sh chaos      # fault-injection sweep only: runs the
+#                               # ctest label `chaos` (tests/chaos) under
+#                               # BOTH ASan and UBSan — held-frame queues,
+#                               # retry/backoff loops, and corrupted-blob
+#                               # parsing are exactly where lifetime and UB
+#                               # bugs would hide
 #
 # Environment:
 #   NEUROPULS_BENCH_THRESHOLD   allowed fractional throughput drop vs
@@ -37,7 +43,8 @@ fi
 
 run_config() {
   local config="$1"
-  local build_dir="build-check-${config}"
+  local label="${2:-}"   # optional ctest -L label (chaos flavor)
+  local build_dir="build-check-${config}${label:+-${label}}"
   local sanitize=""
   local native="OFF"
   if [ "${config}" = "native" ]; then
@@ -60,21 +67,44 @@ run_config() {
     > "${build_dir}.build.log" 2>&1 || {
       tail -n 40 "${build_dir}.build.log"; return 1; }
 
-  echo "==> [${config}] ctest (unit + property + ctlint_src + ctlint_selftest)"
-  ctest --test-dir "${build_dir}" --output-on-failure -j "${JOBS}"
+  if [ -n "${label}" ]; then
+    echo "==> [${config}] ctest -L ${label}"
+    ctest --test-dir "${build_dir}" --output-on-failure -j "${JOBS}" \
+      -L "${label}"
+  else
+    echo "==> [${config}] ctest (unit + property + ctlint_src + ctlint_selftest)"
+    ctest --test-dir "${build_dir}" --output-on-failure -j "${JOBS}"
+  fi
 }
 
+FULL_CONFIGS=()
 for config in "${CONFIGS[@]}"; do
   case "${config}" in
-    plain|address|undefined|native) run_config "${config}" ;;
+    plain|address|undefined|native)
+      run_config "${config}"
+      FULL_CONFIGS+=("${config}")
+      ;;
+    chaos)
+      run_config address chaos
+      run_config undefined chaos
+      ;;
     *)
-      echo "unknown config '${config}' (want plain, address, undefined, or native)" >&2
+      echo "unknown config '${config}' (want plain, address, undefined, native, or chaos)" >&2
       exit 2
       ;;
   esac
 done
 
-LAST_BUILD="build-check-${CONFIGS[${#CONFIGS[@]}-1]}"
+# The bench smoke + standalone ctlint tail needs a full-matrix build tree;
+# a chaos-only invocation has none, and that is fine — it is the targeted
+# sanitizer sweep, not the pre-push gate.
+if [ ${#FULL_CONFIGS[@]} -eq 0 ]; then
+  echo "==> chaos-only run: skipping bench smoke + standalone ctlint"
+  echo "==> all checks passed"
+  exit 0
+fi
+
+LAST_BUILD="build-check-${FULL_CONFIGS[${#FULL_CONFIGS[@]}-1]}"
 
 # Benchmark smoke pass: run the two hot-path benchmark binaries just long
 # enough to emit JSON, validate the schema, and diff throughput against

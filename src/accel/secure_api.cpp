@@ -18,10 +18,37 @@ crypto::Bytes nonce16(std::uint64_t counter) {
 }  // namespace
 
 SecureAccelerator::SecureAccelerator(std::unique_ptr<MvmEngine> engine,
-                                     common::SecretBytes device_key)
-    : accelerator_(std::move(engine)), device_key_(std::move(device_key)) {
+                                     common::SecretBytes device_key,
+                                     HealthPolicy health_policy)
+    : accelerator_(std::move(engine)),
+      device_key_(std::move(device_key)),
+      health_policy_(health_policy) {
   if (device_key_.empty()) {
     throw std::invalid_argument("SecureAccelerator: empty device key");
+  }
+  if (health_policy_.degrade_after == 0 ||
+      health_policy_.lockout_after < health_policy_.degrade_after) {
+    throw std::invalid_argument("SecureAccelerator: bad health policy");
+  }
+}
+
+void SecureAccelerator::require_service() const {
+  if (health_ == HealthState::kLockedOut) throw LockedOutError();
+}
+
+void SecureAccelerator::note_success() noexcept {
+  // LockedOut is sticky (only reset_health() clears it), so a success can
+  // only be observed in Healthy/Degraded — both recover fully.
+  consecutive_failures_ = 0;
+  health_ = HealthState::kHealthy;
+}
+
+void SecureAccelerator::note_failure() noexcept {
+  ++consecutive_failures_;
+  if (consecutive_failures_ >= health_policy_.lockout_after) {
+    health_ = HealthState::kLockedOut;
+  } else if (consecutive_failures_ >= health_policy_.degrade_after) {
+    health_ = HealthState::kDegraded;
   }
 }
 
@@ -59,12 +86,22 @@ std::vector<double> SecureAccelerator::decrypt_output(
 }
 
 void SecureAccelerator::load_network(crypto::ByteView ciphered_network) {
-  // Decrypt-and-verify happens "in hardware" — inside this boundary.
-  crypto::Bytes plaintext =  // ctlint:secret
-      crypto::aes_ctr_then_mac_open(device_key_.reveal(), ciphered_network);
+  require_service();
+  crypto::Bytes plaintext;  // ctlint:secret
+  try {
+    // Decrypt-and-verify happens "in hardware" — inside this boundary.
+    plaintext =
+        crypto::aes_ctr_then_mac_open(device_key_.reveal(), ciphered_network);
+  } catch (const std::runtime_error&) {
+    // Authentication failure: tampered blob or wrong/degraded key. Count
+    // it toward degradation, then surface the original error.
+    note_failure();
+    throw;
+  }
   MlpNetwork network = deserialize_network(plaintext);
   crypto::secure_wipe(plaintext);
   accelerator_.load(std::move(network));
+  note_success();
 }
 
 crypto::Bytes SecureAccelerator::seal(crypto::ByteView plaintext) {
@@ -74,11 +111,21 @@ crypto::Bytes SecureAccelerator::seal(crypto::ByteView plaintext) {
 
 crypto::Bytes SecureAccelerator::execute_network(
     crypto::ByteView ciphered_input) {
+  require_service();
   if (!accelerator_.loaded()) {
+    // Caller bug, not a device/crypto failure — never counts toward
+    // degradation.
     throw std::logic_error("SecureAccelerator: no network loaded");
   }
-  crypto::Bytes plaintext =  // ctlint:secret
-      crypto::aes_ctr_then_mac_open(device_key_.reveal(), ciphered_input);
+  crypto::Bytes plaintext;  // ctlint:secret
+  try {
+    plaintext =
+        crypto::aes_ctr_then_mac_open(device_key_.reveal(), ciphered_input);
+  } catch (const std::runtime_error&) {
+    note_failure();
+    throw;
+  }
+  note_success();
   std::vector<double> input = deserialize_vector(plaintext);  // ctlint:secret
   crypto::secure_wipe(plaintext);
 

@@ -14,7 +14,9 @@
 // before any plaintext is produced).
 #pragma once
 
+#include <cstdint>
 #include <memory>
+#include <stdexcept>
 
 #include "accel/accelerator.hpp"
 #include "common/secret.hpp"
@@ -22,24 +24,66 @@
 
 namespace neuropuls::accel {
 
+/// Service-health state of the secure boundary. Crypto failures (tampered
+/// blobs, wrong keys — possibly a degrading PUF-derived key upstream)
+/// degrade service instead of crashing the accelerator:
+///   kHealthy  — normal operation;
+///   kDegraded — consecutive crypto failures at/past the degrade
+///               threshold; service continues, operators should re-derive
+///               keys / re-enroll;
+///   kLockedOut — failures reached the lockout threshold; all ciphered
+///               entry points refuse (LockedOutError) until reset_health().
+enum class HealthState { kHealthy, kDegraded, kLockedOut };
+
+struct HealthPolicy {
+  std::uint32_t degrade_after = 2;
+  std::uint32_t lockout_after = 5;
+};
+
+/// Thrown by the ciphered entry points while locked out — distinguishable
+/// from a plain crypto failure so callers can route to recovery instead
+/// of retrying.
+class LockedOutError : public std::runtime_error {
+ public:
+  LockedOutError()
+      : std::runtime_error("SecureAccelerator: locked out after repeated "
+                           "authentication failures") {}
+};
+
 class SecureAccelerator {
  public:
   /// `device_key` is the PUF-derived encryption key (from
   /// core::KeyManager); the taint type means callers hand over ownership
   /// and the key is never exposed again once installed.
   SecureAccelerator(std::unique_ptr<MvmEngine> engine,
-                    common::SecretBytes device_key);
+                    common::SecretBytes device_key,
+                    HealthPolicy health_policy = {});
 
   /// Table I `load_network(ciphered_network)`. Throws std::runtime_error
-  /// on authentication failure (tamper/wrong key) or malformed plaintext.
+  /// on authentication failure (tamper/wrong key) or malformed plaintext,
+  /// LockedOutError while locked out.
   void load_network(crypto::ByteView ciphered_network);
 
   /// Table I `execute_network(ciphered_input) -> ciphered_output`.
   /// `nonce_counter` freshness is handled internally (monotonic).
+  /// Throws LockedOutError while locked out.
   crypto::Bytes execute_network(crypto::ByteView ciphered_input);
 
   bool network_loaded() const noexcept { return accelerator_.loaded(); }
   const EngineStats& stats() const { return accelerator_.stats(); }
+
+  /// Health model: consecutive crypto (authentication) failures walk
+  /// Healthy -> Degraded -> LockedOut; a success in Healthy/Degraded
+  /// resets to Healthy. LockedOut is sticky — only an explicit operator
+  /// reset_health() (re-provisioning) restores service.
+  HealthState health() const noexcept { return health_; }
+  std::uint32_t consecutive_failures() const noexcept {
+    return consecutive_failures_;
+  }
+  void reset_health() noexcept {
+    health_ = HealthState::kHealthy;
+    consecutive_failures_ = 0;
+  }
 
   /// Client-side helpers (run on the party that owns the same key):
   /// produce the ciphertext blobs the two entry points accept.
@@ -54,10 +98,16 @@ class SecureAccelerator {
 
  private:
   crypto::Bytes seal(crypto::ByteView plaintext);
+  void require_service() const;
+  void note_success() noexcept;
+  void note_failure() noexcept;
 
   Accelerator accelerator_;
   common::SecretBytes device_key_;
   std::uint64_t nonce_counter_ = 0x80000000ULL;  // device-side nonce space
+  HealthPolicy health_policy_;
+  HealthState health_ = HealthState::kHealthy;
+  std::uint32_t consecutive_failures_ = 0;
 };
 
 }  // namespace neuropuls::accel

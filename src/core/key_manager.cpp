@@ -7,14 +7,18 @@
 
 namespace neuropuls::core {
 
-ecc::BitVec collect_response_bits(puf::Puf& puf, std::size_t bits) {
+ecc::BitVec collect_response_bits(puf::Puf& puf, std::size_t bits,
+                                  unsigned readings) {
+  const auto read = [&puf, readings](const puf::Challenge& c) {
+    return readings > 1 ? puf.evaluate_robust(c, readings) : puf.evaluate(c);
+  };
   ecc::BitVec collected;
   collected.reserve(bits);
   if (puf.challenge_bytes() == 0) {
     // Weak PUF: repeated power-up reads of the same cells are *noisy
     // re-readings*, not fresh entropy — one read supplies all the bits it
     // has; asking for more is a configuration error.
-    const puf::Response r = puf.evaluate({});
+    const puf::Response r = read({});
     if (r.size() * 8 < bits) {
       throw std::invalid_argument(
           "collect_response_bits: weak PUF response too short");
@@ -26,7 +30,7 @@ ecc::BitVec collect_response_bits(puf::Puf& puf, std::size_t bits) {
   crypto::ChaChaDrbg challenge_seq(crypto::bytes_of("np-enroll-seq"));
   while (collected.size() < bits) {
     const puf::Challenge c = challenge_seq.generate(puf.challenge_bytes());
-    const puf::Response r = puf.evaluate(c);
+    const puf::Response r = read(c);
     const auto chunk = ecc::unpack_bits(r);
     for (std::uint8_t b : chunk) {
       if (collected.size() == bits) break;
@@ -54,6 +58,20 @@ std::optional<DeviceKeys> KeyManager::derive(const DeviceKeyRecord& record) {
   DeviceKeys keys = split(*root);
   crypto::secure_wipe(*root);  // the raw root must not outlive the split
   return keys;
+}
+
+std::optional<DeviceKeys> KeyManager::derive_robust(
+    const DeviceKeyRecord& record, unsigned attempts, unsigned readings) {
+  for (unsigned attempt = 0; attempt < attempts; ++attempt) {
+    const ecc::BitVec w_prime =
+        collect_response_bits(puf_, extractor_.response_bits(), readings);
+    auto root = extractor_.reproduce(w_prime, record.helper);
+    if (!root) continue;  // still past the code radius — re-measure
+    DeviceKeys keys = split(*root);
+    crypto::secure_wipe(*root);
+    return keys;
+  }
+  return std::nullopt;
 }
 
 DeviceKeys KeyManager::split(const crypto::Bytes& root) {

@@ -24,7 +24,11 @@ namespace neuropuls::core {
 /// Gathers `bits` response bits from a PUF by evaluating a deterministic
 /// sequence of fixed enrollment challenges (weak-PUF usage of a strong
 /// PUF; weak PUFs with empty challenges are read directly).
-ecc::BitVec collect_response_bits(puf::Puf& puf, std::size_t bits);
+/// `readings` > 1 majority-votes each evaluation (Puf::evaluate_robust) —
+/// the graceful-degradation re-measurement used when a single noisy read
+/// is too corrupted for the code.
+ecc::BitVec collect_response_bits(puf::Puf& puf, std::size_t bits,
+                                  unsigned readings = 1);
 
 /// Public, persistable enrollment record.
 struct DeviceKeyRecord {
@@ -49,6 +53,16 @@ class KeyManager {
   /// std::nullopt when the reading is too noisy for the code (the caller
   /// retries — physically, re-powers the PUF).
   std::optional<DeviceKeys> derive(const DeviceKeyRecord& record);
+
+  /// Degradation-tolerant derivation: up to `attempts` tries, each using a
+  /// k-of-n majority over `readings` re-measurements per challenge. The
+  /// escalation path for devices whose single-read error rate has drifted
+  /// past the code's correction radius (thermal spikes, aged shifters);
+  /// std::nullopt only when every attempt fails — the device is then a
+  /// candidate for accel::SecureAccelerator lockout.
+  std::optional<DeviceKeys> derive_robust(const DeviceKeyRecord& record,
+                                          unsigned attempts = 3,
+                                          unsigned readings = 5);
 
   /// The root key derived at enrollment (for verifier-side provisioning
   /// in tests/examples; a production flow would never export it).

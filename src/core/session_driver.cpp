@@ -1,0 +1,153 @@
+#include "core/session_driver.hpp"
+
+#include <algorithm>
+
+namespace neuropuls::core {
+
+namespace {
+
+crypto::Bytes driver_seed_bytes(std::uint64_t seed) {
+  crypto::Bytes bytes = crypto::bytes_of("np-session-driver");
+  crypto::append_u64_be(bytes, seed);
+  return bytes;
+}
+
+}  // namespace
+
+SessionDriver::SessionDriver(net::DuplexChannel& channel, RetryPolicy policy)
+    : channel_(channel),
+      policy_(policy),
+      rng_(driver_seed_bytes(policy.seed)) {}
+
+std::optional<net::Message> SessionDriver::expect(net::Direction direction,
+                                                  net::MessageType type,
+                                                  std::uint64_t session_id,
+                                                  SessionReport& report) {
+  std::size_t polls = 0;
+  for (;;) {
+    if (auto frame = channel_.receive(direction)) {
+      if (frame->type == type && frame->session_id == session_id) {
+        return frame;
+      }
+      // Duplicate, stale-attempt, or type-corrupted frame: skip it. This
+      // cannot loop unboundedly — each discard consumes a queued frame,
+      // and only polls (bounded below) can enqueue more.
+      ++report.discarded_frames;
+      continue;
+    }
+    if (polls >= policy_.receive_poll_budget) return std::nullopt;
+    ++polls;
+    ++report.poll_ticks;
+    channel_.poll();
+  }
+}
+
+void SessionDriver::backoff(unsigned attempt, SessionReport& report) {
+  const std::size_t base = std::max<std::size_t>(1, policy_.backoff_base_polls);
+  const unsigned shift = std::min(attempt - 1, 63u);
+  const std::size_t exp =
+      std::min(policy_.backoff_max_polls, base << shift);
+  const std::size_t jitter = static_cast<std::size_t>(rng_.uniform(base));
+  for (std::size_t i = 0; i < exp + jitter; ++i) {
+    ++report.backoff_ticks;
+    channel_.poll();
+  }
+}
+
+void SessionDriver::drain(SessionReport& report) {
+  while (channel_.receive(net::Direction::kAtoB)) ++report.discarded_frames;
+  while (channel_.receive(net::Direction::kBtoA)) ++report.discarded_frames;
+}
+
+SessionReport SessionDriver::run_mutual_auth(AuthVerifier& verifier,
+                                             AuthDevice& device,
+                                             std::uint64_t session_base) {
+  using net::Direction;
+  using net::MessageType;
+  SessionReport report;
+
+  for (unsigned attempt = 1; attempt <= policy_.max_attempts; ++attempt) {
+    report.attempts = attempt;
+    if (attempt > 1) {
+      backoff(attempt - 1, report);
+      drain(report);
+    }
+    const std::uint64_t sid = session_base + attempt;
+    const std::uint64_t nonce = rng_.next_u64();
+
+    channel_.send(Direction::kAtoB, verifier.start(sid, nonce));
+    const auto request =
+        expect(Direction::kAtoB, MessageType::kAuthRequest, sid, report);
+    if (!request) continue;
+
+    const auto response = device.handle_request(*request);
+    if (!response) continue;  // corrupted request payload
+    channel_.send(Direction::kBtoA, *response);
+
+    const auto delivered =
+        expect(Direction::kBtoA, MessageType::kAuthResponse, sid, report);
+    if (!delivered) continue;
+    const auto outcome = verifier.process_response(*delivered);
+    report.last_auth_status = outcome.status;
+    if (outcome.status != AuthStatus::kOk || !outcome.confirm) continue;
+    channel_.send(Direction::kAtoB, *outcome.confirm);
+
+    // The verifier has already rotated; if the confirm is lost the device
+    // stays on the old secret and the *next* attempt recovers through the
+    // verifier's one-deep fallback (mutual_auth.hpp) — no lockout.
+    const auto confirm =
+        expect(Direction::kAtoB, MessageType::kAuthConfirm, sid, report);
+    if (!confirm) continue;
+    if (device.handle_confirm(*confirm) != AuthStatus::kOk) continue;
+
+    report.result = SessionResult::kConverged;
+    report.last_auth_status = AuthStatus::kOk;
+    return report;
+  }
+  return report;
+}
+
+SessionReport SessionDriver::run_eke(EkeParty& initiator, EkeParty& responder,
+                                     std::uint64_t session_base) {
+  using net::Direction;
+  using net::MessageType;
+  SessionReport report;
+
+  for (unsigned attempt = 1; attempt <= policy_.max_attempts; ++attempt) {
+    report.attempts = attempt;
+    if (attempt > 1) {
+      backoff(attempt - 1, report);
+      drain(report);
+    }
+    const std::uint64_t sid = session_base + attempt;
+
+    // initiate() rolls fresh ephemerals per attempt, so a replayed or
+    // delayed hello of a dead attempt can never be completed later.
+    channel_.send(Direction::kAtoB, initiator.initiate(sid));
+    const auto hello =
+        expect(Direction::kAtoB, MessageType::kEkeClientHello, sid, report);
+    if (!hello) continue;
+
+    const auto server_hello = responder.respond(*hello);
+    if (!server_hello) continue;  // corrupted hello (bad length/element)
+    channel_.send(Direction::kBtoA, *server_hello);
+
+    const auto delivered =
+        expect(Direction::kBtoA, MessageType::kEkeServerHello, sid, report);
+    if (!delivered) continue;
+    const auto client_confirm = initiator.confirm(*delivered);
+    if (!client_confirm) continue;  // MAC mismatch wipes the key — retry
+    channel_.send(Direction::kAtoB, *client_confirm);
+
+    const auto finalize =
+        expect(Direction::kAtoB, MessageType::kEkeClientConfirm, sid, report);
+    if (!finalize) continue;
+    if (!responder.finalize(*finalize)) continue;
+
+    report.result = SessionResult::kConverged;
+    return report;
+  }
+  return report;
+}
+
+}  // namespace neuropuls::core

@@ -1,0 +1,106 @@
+// Graceful-degradation session driver: retries over a lossy channel.
+//
+// `run_auth_session` / `run_eke_handshake` assume every frame arrives;
+// over a faulty link (faults::FaultyChannel) a dropped or corrupted frame
+// would either hang the naive driver or abort the whole exchange. The
+// SessionDriver wraps one protocol exchange in a bounded
+// retry/timeout/backoff state machine:
+//
+//   attempt k (session id = base + k):
+//     run the handshake, each receive bounded by `receive_poll_budget`
+//     channel polls (DuplexChannel::receive_with_budget semantics, with
+//     stale/wrong-type frames of other attempts discarded, not consumed
+//     against the budget);
+//   on failure: drain both directions, back off for a deterministic
+//     jittered number of poll ticks, and retry with a fresh session id —
+//     up to `max_attempts` attempts, then report kExhausted.
+//
+// Security invariants (asserted by tests/chaos):
+//   * no false accept — a corrupted frame can only fail a MAC/length
+//     check and trigger a retry, never complete a session with divergent
+//     secrets;
+//   * bounded work — every receive and every backoff consumes budget, so
+//     the driver terminates for any fault schedule (no deadlock at 100%
+//     drop);
+//   * determinism — nonces and backoff jitter come from a ChaCha DRBG
+//     seeded by `RetryPolicy::seed` (protocol layer: crypto DRBG, never
+//     the simulation PRNGs), so the same seeds reproduce the same
+//     transcript byte-for-byte.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "core/aka_eke.hpp"
+#include "core/mutual_auth.hpp"
+#include "crypto/chacha20.hpp"
+#include "net/channel.hpp"
+
+namespace neuropuls::core {
+
+struct RetryPolicy {
+  unsigned max_attempts = 4;
+  /// Channel polls a single receive may burn before declaring the frame
+  /// lost (also how long a delayed frame can be outwaited).
+  std::size_t receive_poll_budget = 8;
+  /// Exponential backoff between attempts, in poll ticks: attempt k waits
+  /// min(base << (k-1), max) + jitter ticks, jitter in [0, base).
+  std::size_t backoff_base_polls = 2;
+  std::size_t backoff_max_polls = 32;
+  /// Seeds the driver DRBG (nonces + backoff jitter).
+  std::uint64_t seed = 1;
+};
+
+enum class SessionResult {
+  kConverged,  // both parties completed and agree
+  kExhausted,  // retry budget spent without convergence
+};
+
+struct SessionReport {
+  SessionResult result = SessionResult::kExhausted;
+  unsigned attempts = 0;           // attempts started (1-based)
+  std::uint64_t poll_ticks = 0;    // polls burned waiting on receives
+  std::uint64_t backoff_ticks = 0;  // polls burned backing off
+  std::uint64_t discarded_frames = 0;  // stale/wrong-type frames skipped
+  /// Last verifier-side status of a failed mutual-auth attempt (kOk when
+  /// the session converged; meaningless for EKE).
+  AuthStatus last_auth_status = AuthStatus::kOk;
+};
+
+/// Drives one protocol exchange at a time over `channel`. Both endpoints
+/// run in-process (as everywhere in this stack); the driver owns the
+/// retry loop, not the endpoints' secrets.
+class SessionDriver {
+ public:
+  explicit SessionDriver(net::DuplexChannel& channel, RetryPolicy policy = {});
+
+  /// HSC-IoT mutual authentication with retries. Session ids are
+  /// `session_base + attempt` so late frames of a failed attempt can
+  /// never satisfy a later one.
+  SessionReport run_mutual_auth(AuthVerifier& verifier, AuthDevice& device,
+                                std::uint64_t session_base);
+
+  /// EKE AKA with retries. On kConverged both parties hold matching
+  /// session keys (asserted via common::ct_equal in tests).
+  SessionReport run_eke(EkeParty& initiator, EkeParty& responder,
+                        std::uint64_t session_base);
+
+  const RetryPolicy& policy() const noexcept { return policy_; }
+
+ private:
+  /// Receives the next frame of (type, session_id), discarding any other
+  /// frame (stale attempt, corrupted type) and polling on empty up to the
+  /// policy budget. Discards do not consume poll budget.
+  std::optional<net::Message> expect(net::Direction direction,
+                                     net::MessageType type,
+                                     std::uint64_t session_id,
+                                     SessionReport& report);
+  void backoff(unsigned attempt, SessionReport& report);
+  void drain(SessionReport& report);
+
+  net::DuplexChannel& channel_;
+  RetryPolicy policy_;
+  crypto::ChaChaDrbg rng_;
+};
+
+}  // namespace neuropuls::core

@@ -48,9 +48,15 @@ ExtractionResult FuzzyExtractor::generate(const BitVec& w,
 
 std::optional<crypto::Bytes> FuzzyExtractor::reproduce(
     const BitVec& w_prime, const HelperData& helper) const {
-  if (w_prime.size() != code_.codeword_bits() ||
-      helper.sketch.size() != code_.codeword_bits()) {
+  if (w_prime.size() != code_.codeword_bits()) {
+    // Wrong measurement length is a caller bug — loud failure.
     throw std::invalid_argument("FuzzyExtractor::reproduce: wrong length");
+  }
+  if (helper.sketch.size() != code_.codeword_bits()) {
+    // Wrong *helper* length is corrupted/truncated public storage, an
+    // operational fault the degradation layer must survive: reject
+    // cleanly, exactly like an uncorrectable reading.
+    return std::nullopt;
   }
   const BitVec noisy_codeword = xor_bits(w_prime, helper.sketch);
   const auto codeword = code_.decode_codeword(noisy_codeword);

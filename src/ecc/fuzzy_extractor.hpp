@@ -58,7 +58,12 @@ class FuzzyExtractor {
   ExtractionResult generate(const BitVec& w, crypto::ChaChaDrbg& rng) const;
 
   /// Reconstruction: recovers the enrolled key from a noisy re-reading
-  /// `w_prime`, or std::nullopt when the noise exceeds the code's radius.
+  /// `w_prime`, or std::nullopt when the noise exceeds the code's radius
+  /// — or when the helper data is corrupted (wrong sketch length, or
+  /// bit-flips that push the decode off the enrolled codeword: the result
+  /// is then a *different* key or a clean rejection, never the enrolled
+  /// key and never UB; regression-tested in tests/ecc). A wrong-size
+  /// `w_prime` is a caller bug and still throws std::invalid_argument.
   std::optional<crypto::Bytes> reproduce(const BitVec& w_prime,
                                          const HelperData& helper) const;
 

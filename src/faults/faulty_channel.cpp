@@ -1,0 +1,129 @@
+#include "faults/faulty_channel.hpp"
+
+#include <utility>
+
+namespace neuropuls::faults {
+
+LinkFaultRates symmetric_drop(double drop_rate) {
+  LinkFaultRates rates;
+  rates.drop = drop_rate;
+  return rates;
+}
+
+ChannelFaultConfig symmetric_faults(LinkFaultRates rates) {
+  return ChannelFaultConfig{rates, rates};
+}
+
+FaultyChannel::FaultyChannel(net::DuplexChannel& channel,
+                             ChannelFaultConfig config, std::uint64_t seed)
+    : channel_(channel),
+      config_(config),
+      rng_ab_(rng::derive_seed(seed, static_cast<std::uint64_t>(0xA2B))),
+      rng_ba_(rng::derive_seed(seed, static_cast<std::uint64_t>(0xB2A))) {
+  channel_.set_adversary([this](net::Direction d, const net::Message& m) {
+    return intercept(d, m);
+  });
+  channel_.set_poll_hook([this] { on_poll(); });
+}
+
+FaultyChannel::~FaultyChannel() {
+  channel_.set_adversary(nullptr);
+  channel_.set_poll_hook(nullptr);
+}
+
+net::Verdict FaultyChannel::intercept(net::Direction direction,
+                                      const net::Message& message) {
+  // A frame held for reordering is released once a *later* frame in the
+  // same direction has been sent: arm it to deliver on the next tick.
+  for (HeldFrame& frame : held_) {
+    if (frame.waiting_for_send && frame.direction == direction) {
+      frame.waiting_for_send = false;
+      frame.ticks_remaining = 1;
+    }
+  }
+
+  const LinkFaultRates& rates =
+      direction == net::Direction::kAtoB ? config_.a_to_b : config_.b_to_a;
+  rng::Xoshiro256& rng = rng_for(direction);
+  ChannelFaultStats& stats = stats_for(direction);
+  ++stats.intercepted;
+
+  // Fixed draw count per frame regardless of which fault fires, so the
+  // stream position — and every later decision — depends only on the
+  // frame sequence, not on earlier outcomes.
+  const double u_drop = rng.uniform();
+  const double u_corrupt = rng.uniform();
+  const double u_delay = rng.uniform();
+  const double u_reorder = rng.uniform();
+  const double u_duplicate = rng.uniform();
+
+  if (u_drop < rates.drop) {
+    ++stats.dropped;
+    return net::Verdict::drop();
+  }
+
+  if (u_corrupt < rates.corrupt) {
+    ++stats.corrupted;
+    net::Message mutated = message;
+    if (!mutated.payload.empty()) {
+      const std::uint64_t bit =
+          rng.uniform_int(mutated.payload.size() * 8);
+      mutated.payload[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+    } else {
+      mutated.type = static_cast<net::MessageType>(
+          static_cast<std::uint8_t>(mutated.type) ^ 1u);
+    }
+    return net::Verdict::replace(std::move(mutated));
+  }
+
+  if (u_delay < rates.delay) {
+    ++stats.delayed;
+    const unsigned ticks =
+        1u + static_cast<unsigned>(rng.uniform_int(
+                 rates.max_delay_polls == 0 ? 1 : rates.max_delay_polls));
+    held_.push_back({direction, message, ticks, false});
+    return net::Verdict::drop();
+  }
+
+  if (u_reorder < rates.reorder) {
+    ++stats.reordered;
+    held_.push_back({direction, message, 0, true});
+    return net::Verdict::drop();
+  }
+
+  if (u_duplicate < rates.duplicate) {
+    ++stats.duplicated;
+    channel_.inject(direction, message);  // copy lands ahead of the original
+  }
+  return net::Verdict::pass();
+}
+
+void FaultyChannel::on_poll() {
+  // Collect expired frames before injecting: inject() must not run while
+  // we iterate held_ (a reorder hold could otherwise be re-armed
+  // mid-scan by the injected send... inject bypasses the adversary, but
+  // keep mutation and delivery strictly separated anyway).
+  std::vector<HeldFrame> due;
+  for (std::size_t i = 0; i < held_.size();) {
+    HeldFrame& frame = held_[i];
+    if (!frame.waiting_for_send && --frame.ticks_remaining == 0) {
+      due.push_back(std::move(frame));
+      held_.erase(held_.begin() + static_cast<std::ptrdiff_t>(i));
+    } else {
+      ++i;
+    }
+  }
+  for (HeldFrame& frame : due) {
+    channel_.inject(frame.direction, std::move(frame.message));
+  }
+}
+
+void FaultyChannel::flush() {
+  std::vector<HeldFrame> due;
+  due.swap(held_);
+  for (HeldFrame& frame : due) {
+    channel_.inject(frame.direction, std::move(frame.message));
+  }
+}
+
+}  // namespace neuropuls::faults

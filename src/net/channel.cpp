@@ -29,6 +29,15 @@ std::optional<Message> DuplexChannel::receive(Direction direction) {
   return message;
 }
 
+std::optional<Message> DuplexChannel::receive_with_budget(
+    Direction direction, std::size_t max_polls) {
+  for (std::size_t polls = 0;; ++polls) {
+    if (auto message = receive(direction)) return message;
+    if (polls >= max_polls) return std::nullopt;
+    poll();
+  }
+}
+
 void DuplexChannel::inject(Direction direction, Message message) {
   transcript_.push_back({direction, message, true});
   queue_for(direction).push_back(std::move(message));

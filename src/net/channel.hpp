@@ -33,6 +33,12 @@ struct Verdict {
 /// Adversary callback: full knowledge of direction and content.
 using Adversary = std::function<Verdict(Direction, const Message&)>;
 
+/// Poll callback: invoked by `poll()` / `receive_with_budget()` each time
+/// a receiver waits on an empty queue. This is the channel's notion of
+/// time passing — a delay-injecting adversary (faults::FaultyChannel)
+/// uses it to tick held frames toward delivery.
+using PollHook = std::function<void()>;
+
 struct TranscriptEntry {
   Direction direction;
   Message message;
@@ -49,12 +55,28 @@ class DuplexChannel {
     adversary_ = std::move(adversary);
   }
 
+  /// Installs (or clears, with nullptr) the poll hook.
+  void set_poll_hook(PollHook hook) { poll_hook_ = std::move(hook); }
+
+  /// Advances channel time by one tick (runs the poll hook, if any).
+  void poll() {
+    if (poll_hook_) poll_hook_();
+  }
+
   /// Sends in the given direction; the adversary (if any) rules first.
   void send(Direction direction, Message message);
 
   /// Receives the next pending frame for the far end of `direction`
   /// (i.e., receive(kAtoB) pops what B should read).
   std::optional<Message> receive(Direction direction);
+
+  /// Bounded receive: if the queue is empty, polls the channel (ticking
+  /// any delay-injecting adversary) up to `max_polls` times before giving
+  /// up. Lets protocol drivers distinguish "frame dropped" (budget
+  /// exhausted ⇒ nullopt) from "not yet delivered" without spinning
+  /// forever on a lossy link.
+  std::optional<Message> receive_with_budget(Direction direction,
+                                             std::size_t max_polls);
 
   /// Injects a frame directly into a queue, bypassing the adversary —
   /// used by the adversary itself to replay recorded frames.
@@ -79,6 +101,7 @@ class DuplexChannel {
   std::deque<Message> a_to_b_;
   std::deque<Message> b_to_a_;
   Adversary adversary_;
+  PollHook poll_hook_;
   std::vector<TranscriptEntry> transcript_;
 };
 

@@ -74,8 +74,11 @@ std::uint32_t Adc::quantize(double volts) const noexcept {
   const double normalized =
       (volts - params_.offset_volts) / params_.full_scale_volts;
   const double clamped = std::clamp(normalized, 0.0, 1.0);
-  return static_cast<std::uint32_t>(
+  const auto code = static_cast<std::uint32_t>(
       std::lround(clamped * static_cast<double>(max_code_)));
+  // Stuck-bit fault masks (identity by default), kept inside the code
+  // range: a stuck-at-1 bit above the converter width is meaningless.
+  return ((code | or_mask_) & and_mask_) & max_code_;
 }
 
 void Adc::quantize_block(const double* volts, std::uint32_t* codes,

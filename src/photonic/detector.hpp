@@ -102,6 +102,15 @@ class Adc {
   void quantize_block(const double* volts, std::uint32_t* codes,
                       std::size_t n) const noexcept;
 
+  /// Fault injection (faults::AdcStuckBits): bits set in `or_mask` read as
+  /// stuck-at-1, bits cleared in `and_mask` as stuck-at-0. The defaults
+  /// (0, all-ones) are the identity, so an unconfigured Adc stays
+  /// bit-identical to the pre-fault-model behaviour.
+  void set_stuck_bits(std::uint32_t or_mask, std::uint32_t and_mask) noexcept {
+    or_mask_ = or_mask;
+    and_mask_ = and_mask;
+  }
+
   std::uint32_t max_code() const noexcept { return max_code_; }
 
   const AdcParameters& params() const noexcept { return params_; }
@@ -109,6 +118,8 @@ class Adc {
  private:
   AdcParameters params_;
   std::uint32_t max_code_;
+  std::uint32_t or_mask_ = 0;
+  std::uint32_t and_mask_ = 0xFFFFFFFFu;
 };
 
 /// Full readout chain for one output port: PD → TIA → ADC, plus an
@@ -131,6 +142,12 @@ class ReadoutChain {
 
   /// Per-sample path (used by time-resolved experiments).
   double sample_volts(Complex field) noexcept;
+
+  /// Forwards stuck-bit fault masks to the chain's ADC.
+  void set_adc_stuck_bits(std::uint32_t or_mask,
+                          std::uint32_t and_mask) noexcept {
+    adc_.set_stuck_bits(or_mask, and_mask);
+  }
 
   void reset() noexcept { tia_.reset(); }
 

@@ -16,27 +16,86 @@ void CrpDatabase::enroll(Puf& puf, std::size_t count, crypto::ChaChaDrbg& rng,
 
 void CrpDatabase::insert(Crp crp) {
   index_[crp.challenge] = entries_.size();
-  entries_.push_back(std::move(crp));
+  entries_.push_back(Entry{std::move(crp), CrpHealth{}});
+}
+
+void CrpDatabase::remove_at(std::size_t pos) {
+  index_.erase(entries_[pos].crp.challenge);
+  if (pos != entries_.size() - 1) {
+    entries_[pos] = std::move(entries_.back());
+    index_[entries_[pos].crp.challenge] = pos;
+  }
+  entries_.pop_back();
 }
 
 std::optional<Crp> CrpDatabase::take() {
-  if (entries_.empty()) return std::nullopt;
-  Crp crp = std::move(entries_.back());
-  entries_.pop_back();
-  index_.erase(crp.challenge);
-  return crp;
+  // Scan from the back (cheap removal) past any quarantined entries: a
+  // CRP in quarantine must never be served for authentication.
+  for (std::size_t i = entries_.size(); i-- > 0;) {
+    if (entries_[i].health.quarantined) continue;
+    Crp crp = std::move(entries_[i].crp);
+    remove_at(i);
+    return crp;
+  }
+  return std::nullopt;
 }
 
 std::optional<Response> CrpDatabase::lookup(const Challenge& challenge) const {
   const auto it = index_.find(crypto::ByteView{challenge});
   if (it == index_.end()) return std::nullopt;
-  return entries_[it->second].response;
+  const Entry& entry = entries_[it->second];
+  if (entry.health.quarantined) return std::nullopt;
+  return entry.crp.response;
+}
+
+void CrpDatabase::record_success(const Challenge& challenge) {
+  const auto it = index_.find(crypto::ByteView{challenge});
+  if (it == index_.end()) return;
+  CrpHealth& health = entries_[it->second].health;
+  ++health.successes;
+  health.consecutive_failures = 0;
+}
+
+void CrpDatabase::record_failure(const Challenge& challenge) {
+  const auto it = index_.find(crypto::ByteView{challenge});
+  if (it == index_.end()) return;
+  CrpHealth& health = entries_[it->second].health;
+  ++health.failures;
+  ++health.consecutive_failures;
+  if (health.consecutive_failures >= quarantine_threshold_) {
+    health.quarantined = true;
+  }
+}
+
+std::optional<CrpHealth> CrpDatabase::health(const Challenge& challenge) const {
+  const auto it = index_.find(crypto::ByteView{challenge});
+  if (it == index_.end()) return std::nullopt;
+  return entries_[it->second].health;
+}
+
+std::size_t CrpDatabase::quarantined() const noexcept {
+  std::size_t count = 0;
+  for (const Entry& entry : entries_) {
+    if (entry.health.quarantined) ++count;
+  }
+  return count;
+}
+
+std::size_t CrpDatabase::evict_quarantined() {
+  std::size_t evicted = 0;
+  for (std::size_t i = entries_.size(); i-- > 0;) {
+    if (entries_[i].health.quarantined) {
+      remove_at(i);
+      ++evicted;
+    }
+  }
+  return evicted;
 }
 
 std::size_t CrpDatabase::storage_bytes() const noexcept {
   std::size_t total = 0;
-  for (const auto& crp : entries_) {
-    total += crp.challenge.size() + crp.response.size();
+  for (const Entry& entry : entries_) {
+    total += entry.crp.challenge.size() + entry.crp.response.size();
   }
   return total;
 }

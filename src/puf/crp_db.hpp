@@ -56,6 +56,18 @@ struct ChallengeEqual {
 
 }  // namespace detail
 
+/// Per-CRP health counters maintained by the verifier: authentication
+/// outcomes against this CRP. A run of consecutive failures marks the
+/// CRP quarantined — it stops being served by take()/lookup() (the
+/// response may be rotting on a degraded device, or the pair may be under
+/// active attack) until evicted or the database is re-enrolled.
+struct CrpHealth {
+  std::uint32_t successes = 0;
+  std::uint32_t failures = 0;
+  std::uint32_t consecutive_failures = 0;
+  bool quarantined = false;
+};
+
 class CrpDatabase {
  public:
   /// Enrolls `count` CRPs by driving the PUF with challenges from `rng`.
@@ -66,13 +78,36 @@ class CrpDatabase {
   /// Inserts one externally produced CRP.
   void insert(Crp crp);
 
-  /// Pops an unused CRP for an authentication round (one-time use).
-  /// Returns std::nullopt when the database is exhausted — the classic
-  /// operational limit of CRP-database schemes.
+  /// Pops an unused, non-quarantined CRP for an authentication round
+  /// (one-time use). Returns std::nullopt when no healthy CRP remains —
+  /// the classic operational limit of CRP-database schemes, reached
+  /// earlier on a degrading device.
   std::optional<Crp> take();
 
   /// Looks up the enrolled response for a challenge without consuming it.
+  /// Quarantined CRPs are not served.
   std::optional<Response> lookup(const Challenge& challenge) const;
+
+  /// Consecutive failures at which a CRP is quarantined (default 3).
+  void set_quarantine_threshold(std::uint32_t threshold) noexcept {
+    quarantine_threshold_ = threshold == 0 ? 1 : threshold;
+  }
+
+  /// Records an authentication outcome against a stored CRP. Unknown
+  /// challenges are ignored (the CRP may have been consumed/evicted).
+  /// A success resets the consecutive-failure run; a failure extends it
+  /// and quarantines the CRP at the threshold.
+  void record_success(const Challenge& challenge);
+  void record_failure(const Challenge& challenge);
+
+  /// Health counters for a stored challenge.
+  std::optional<CrpHealth> health(const Challenge& challenge) const;
+
+  /// Number of currently quarantined CRPs.
+  std::size_t quarantined() const noexcept;
+
+  /// Removes every quarantined CRP; returns how many were evicted.
+  std::size_t evict_quarantined();
 
   std::size_t size() const noexcept { return entries_.size(); }
   bool empty() const noexcept { return entries_.empty(); }
@@ -81,13 +116,21 @@ class CrpDatabase {
   std::size_t storage_bytes() const noexcept;
 
  private:
-  std::vector<Crp> entries_;
+  struct Entry {
+    Crp crp;
+    CrpHealth health;
+  };
+
+  void remove_at(std::size_t pos);
+
+  std::vector<Entry> entries_;
   // challenge bytes -> entries_ position, keyed on the raw buffer with a
   // SipHash transparent hasher (heterogeneous lookup: ByteView probes
   // need no Challenge copy).
   std::unordered_map<Challenge, std::size_t, detail::ChallengeHash,
                      detail::ChallengeEqual>
       index_;
+  std::uint32_t quarantine_threshold_ = 3;
 };
 
 }  // namespace neuropuls::puf

@@ -3,6 +3,7 @@
 #include "common/parallel.hpp"
 #include "common/simd.hpp"
 #include "crypto/chacha20.hpp"
+#include "faults/device_faults.hpp"
 #include "photonic/field_block.hpp"
 
 #include <algorithm>
@@ -153,9 +154,17 @@ void PhotonicPuf::subtract_thresholds(
 
 std::vector<std::vector<double>> PhotonicPuf::analog_core(
     const Challenge& challenge, bool noisy, std::uint64_t noise_seed,
-    double temperature) const {
+    double temperature, std::uint64_t eval_index) const {
   if (challenge.size() != challenge_bytes()) {
     throw std::invalid_argument("PhotonicPuf: wrong challenge size");
+  }
+
+  // Device faults perturb only the physical measurement path, never the
+  // verifier-side model: the noiseless branch always sees a healthy chip.
+  const faults::DeviceFaultModel* fm =
+      (noisy && fault_model_) ? fault_model_.get() : nullptr;
+  if (fm != nullptr) {
+    temperature += fm->temperature_offset(eval_index);
   }
 
   const OperatingPoint op{config_.laser.wavelength, temperature};
@@ -167,6 +176,9 @@ std::vector<std::vector<double>> PhotonicPuf::analog_core(
   // constant carrier but keeps the (deterministic) MZM dynamics.
   photonic::LaserParameters laser_params = config_.laser;
   laser_params.power_mw *= config_.laser_power_scale;
+  if (fm != nullptr) {
+    laser_params.power_mw *= fm->laser_scale(eval_index);
+  }
   photonic::Laser laser(laser_params, config_.sample_rate_hz,
                         rng::derive_seed(noise_seed, 0x11));
   photonic::MachZehnderModulator mzm(config_.modulator);
@@ -177,7 +189,26 @@ std::vector<std::vector<double>> PhotonicPuf::analog_core(
   // lines (the scrambler's mutable state) are built per call.
   const auto tables = operating_tables(op);
   photonic::TimeDomainScrambler scrambler(tables->scrambler);
-  const photonic::PortVector& taps = tables->scrambler->input_coefficients();
+  const photonic::PortVector* taps_ptr =
+      &tables->scrambler->input_coefficients();
+  // Phase-shifter aging rotates each input tap; pointer swap so the
+  // healthy path never copies the vector. Degraded photodiodes scale the
+  // detected photocurrent per port (the Photodiode ctor rejects
+  // responsivity <= 0, so a dead diode lives here as a post-detect 0.0).
+  photonic::PortVector aged_taps;
+  std::vector<double> pd_scale;
+  if (fm != nullptr) {
+    aged_taps = *taps_ptr;
+    for (std::size_t p = 0; p < ports; ++p) {
+      aged_taps[p] *= std::polar(1.0, fm->phase_drift(eval_index, p));
+    }
+    taps_ptr = &aged_taps;
+    pd_scale.resize(ports);
+    for (std::size_t p = 0; p < ports; ++p) {
+      pd_scale[p] = fm->photodiode_scale(p);
+    }
+  }
+  const photonic::PortVector& taps = *taps_ptr;
 
   // Per-port detectors. The noiseless path needs no per-port noise
   // streams — mean_current is parameter-only — so one detector serves
@@ -214,8 +245,10 @@ std::vector<std::vector<double>> PhotonicPuf::analog_core(
       for (std::size_t p = 0; p < ports; ++p) state[p] = modulated * taps[p];
       scrambler.step_inplace(state);
       for (std::size_t p = 0; p < ports; ++p) {
-        window_current[p] +=
+        double current =
             noisy ? pds[p].detect(state[p]) : mean_pd.mean_current(state[p]);
+        if (fm != nullptr) current *= pd_scale[p];
+        window_current[p] += current;
       }
     }
 
@@ -360,7 +393,7 @@ Response PhotonicPuf::evaluate(const Challenge& challenge) {
       eval_counter_.fetch_add(1, std::memory_order_relaxed) + 1;
   const std::uint64_t seed = rng::derive_seed(device_seed_, counter);
   auto margins = analog_core(challenge, /*noisy=*/true, seed,
-                             config_.temperature);
+                             config_.temperature, counter);
   subtract_thresholds(margins);
   return threshold_bits(margins);
 }
@@ -372,6 +405,23 @@ std::vector<Response> PhotonicPuf::evaluate_batch(
   // batch bit-identical to the equivalent serial evaluate() sequence.
   const std::uint64_t base = eval_counter_.fetch_add(
       challenges.size(), std::memory_order_relaxed);
+  if (fault_model_) {
+    // Fault-model path: the SoA block engine shares one operating point
+    // (temperature) across all lanes, which a per-evaluation thermal
+    // transient would violate. Route each item through the scalar core —
+    // still parallel across the pool, still seeded by item index, so the
+    // batch stays bit-identical to the serial evaluate() sequence.
+    std::vector<Response> responses_scalar(challenges.size());
+    run_parallel(pool, challenges.size(), [&](std::size_t i) {
+      const std::uint64_t counter = base + static_cast<std::uint64_t>(i) + 1;
+      auto margins = analog_core(challenges[i], /*noisy=*/true,
+                                 rng::derive_seed(device_seed_, counter),
+                                 config_.temperature, counter);
+      subtract_thresholds(margins);
+      responses_scalar[i] = threshold_bits(margins);
+    });
+    return responses_scalar;
+  }
   // Each pool task evaluates one lane block of kDefaultLanes challenges
   // through the SoA engine; lane j of block b is item b*W + j, so seeds
   // still bind to item index, never to scheduling order.
@@ -418,7 +468,7 @@ std::vector<Response> PhotonicPuf::evaluate_noiseless_batch(
 
 Response PhotonicPuf::evaluate_noiseless(const Challenge& challenge) const {
   auto margins = analog_core(challenge, /*noisy=*/false, 0,
-                             config_.temperature);
+                             config_.temperature, 0);
   subtract_thresholds(margins);
   return threshold_bits(margins);
 }
@@ -426,19 +476,19 @@ Response PhotonicPuf::evaluate_noiseless(const Challenge& challenge) const {
 Response PhotonicPuf::evaluate_noiseless_at(const Challenge& challenge,
                                             double temperature_kelvin) const {
   auto margins =
-      analog_core(challenge, /*noisy=*/false, 0, temperature_kelvin);
+      analog_core(challenge, /*noisy=*/false, 0, temperature_kelvin, 0);
   subtract_thresholds(margins);
   return threshold_bits(margins);
 }
 
 std::vector<std::vector<double>> PhotonicPuf::evaluate_analog(
     const Challenge& challenge, bool noisy) {
+  const std::uint64_t counter =
+      noisy ? eval_counter_.fetch_add(1, std::memory_order_relaxed) + 1 : 0;
   const std::uint64_t seed =
-      noisy ? rng::derive_seed(
-                  device_seed_,
-                  eval_counter_.fetch_add(1, std::memory_order_relaxed) + 1)
-            : 0;
-  auto margins = analog_core(challenge, noisy, seed, config_.temperature);
+      noisy ? rng::derive_seed(device_seed_, counter) : 0;
+  auto margins =
+      analog_core(challenge, noisy, seed, config_.temperature, counter);
   subtract_thresholds(margins);
   return margins;
 }

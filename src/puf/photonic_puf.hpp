@@ -50,6 +50,10 @@ namespace neuropuls::common {
 class ThreadPool;
 }  // namespace neuropuls::common
 
+namespace neuropuls::faults {
+class DeviceFaultModel;
+}  // namespace neuropuls::faults
+
 namespace neuropuls::puf {
 
 struct PhotonicPufConfig {
@@ -144,6 +148,20 @@ class PhotonicPuf final : public Puf {
     config_.laser_power_scale = scale;
   }
 
+  /// Attaches (or clears, with nullptr) a deterministic device-fault
+  /// model (faults::DeviceFaultModel). Faults perturb only the *noisy*
+  /// measurement path — the verifier-side noiseless model stays ideal —
+  /// and are keyed on the evaluation counter, so batch evaluation remains
+  /// bit-identical to the serial sequence. A quiet model (all fault
+  /// families inactive) is bit-identical to no model at all.
+  void set_fault_model(std::shared_ptr<const faults::DeviceFaultModel> model) {
+    fault_model_ = std::move(model);
+  }
+  const std::shared_ptr<const faults::DeviceFaultModel>& fault_model()
+      const noexcept {
+    return fault_model_;
+  }
+
   const PhotonicPufConfig& config() const noexcept { return config_; }
 
  private:
@@ -161,10 +179,15 @@ class PhotonicPuf final : public Puf {
   std::shared_ptr<const OperatingTables> operating_tables(
       const photonic::OperatingPoint& op) const;
 
+  // `eval_index` is the evaluation-counter value of this measurement —
+  // the key the attached fault model uses for laser droop, thermal
+  // transients, and phase aging. Noiseless (model) evaluations pass 0 and
+  // never see faults.
   std::vector<std::vector<double>> analog_core(const Challenge& challenge,
                                                bool noisy,
                                                std::uint64_t noise_seed,
-                                               double temperature) const;
+                                               double temperature,
+                                               std::uint64_t eval_index) const;
   // Lane-parallel counterpart of analog_core: evaluates `lane_count`
   // independent challenges through one SoA FieldBlock, vectorizing the
   // field transport (fan-out, couplers, waveguides, rings) and the
@@ -196,6 +219,10 @@ class PhotonicPuf final : public Puf {
   // Per-(window, pair) median current differences from enrollment
   // calibration; empty when calibration is disabled.
   std::vector<std::vector<double>> thresholds_;
+  // Optional device-fault oracle (faults::DeviceFaultModel); null =
+  // healthy device. Shared-const so concurrent evaluations read it
+  // without synchronisation.
+  std::shared_ptr<const faults::DeviceFaultModel> fault_model_;
 };
 
 /// A PhotonicPufConfig sized for fast unit tests (4 ports, short

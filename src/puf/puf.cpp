@@ -27,6 +27,12 @@ Response enroll_majority(Puf& puf, const Challenge& challenge,
   return out;
 }
 
+Response Puf::evaluate_robust(const Challenge& challenge, unsigned readings) {
+  // Same majority machinery as enrollment; `| 1` forces an odd vote so a
+  // tie can never occur.
+  return enroll_majority(*this, challenge, readings == 0 ? 1 : (readings | 1));
+}
+
 double intra_distance(Puf& puf, const Challenge& challenge,
                       const Response& reference, unsigned readings) {
   if (readings == 0) {

@@ -42,6 +42,13 @@ class Puf {
 
   /// Human-readable type tag for logs and experiment tables.
   virtual std::string name() const = 0;
+
+  /// Robust measurement: k-of-n majority vote over `readings` noisy
+  /// evaluations (forced odd). The graceful-degradation re-measurement
+  /// path — used when a single read fails reconciliation (fuzzy-extractor
+  /// reject, MAC mismatch) on a degraded device: majority voting averages
+  /// out transient fault-induced bit flips at `readings`x the cost.
+  Response evaluate_robust(const Challenge& challenge, unsigned readings = 5);
 };
 
 /// Enrollment helper: majority-vote over `readings` noisy evaluations, the

@@ -73,6 +73,74 @@ TEST(ThreadPool, ExceptionPropagatesAndPoolStaysUsable) {
   EXPECT_EQ(count.load(), 100);
 }
 
+TEST(ThreadPool, ExceptionCancelsRemainingIndices) {
+  common::ThreadPool pool(4);
+  std::atomic<int> executed{0};
+  try {
+    pool.parallel_for(100000, [&](std::size_t i) {
+      if (i == 0) throw std::runtime_error("cancel");
+      executed.fetch_add(1, std::memory_order_relaxed);
+    });
+    FAIL() << "parallel_for swallowed the exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "cancel");
+  }
+  // Index 0 threw in the very first chunk; the cursor must have stopped
+  // handing out work long before the end of the range.
+  EXPECT_LT(executed.load(), 100000 - 1);
+}
+
+TEST(ThreadPool, ExceptionRethrownOnSubmittingThread) {
+  common::ThreadPool pool(4);
+  const std::thread::id caller = std::this_thread::get_id();
+  bool caught_on_caller = false;
+  try {
+    pool.parallel_for(64, [](std::size_t i) {
+      if (i % 2 == 1) throw std::invalid_argument("odd index");
+    });
+  } catch (const std::invalid_argument&) {
+    caught_on_caller = (std::this_thread::get_id() == caller);
+  }
+  EXPECT_TRUE(caught_on_caller);
+}
+
+TEST(ThreadPool, PoolReusableAcrossRepeatedThrows) {
+  common::ThreadPool pool(2);
+  for (int round = 0; round < 5; ++round) {
+    EXPECT_THROW(pool.parallel_for(50,
+                                   [](std::size_t i) {
+                                     if (i == 10) {
+                                       throw std::runtime_error("again");
+                                     }
+                                   }),
+                 std::runtime_error)
+        << "round " << round;
+  }
+  std::atomic<int> count{0};
+  pool.parallel_for(50, [&](std::size_t) {
+    count.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ThreadPool, NestedLoopExceptionPropagatesThroughBothLevels) {
+  common::ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(8,
+                                 [&](std::size_t outer) {
+                                   pool.parallel_for(8, [&](std::size_t inner) {
+                                     if (outer == 3 && inner == 5) {
+                                       throw std::domain_error("nested");
+                                     }
+                                   });
+                                 }),
+               std::domain_error);
+  std::atomic<int> count{0};
+  pool.parallel_for(32, [&](std::size_t) {
+    count.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(count.load(), 32);
+}
+
 TEST(ThreadPool, NestedParallelForRunsSerially) {
   common::ThreadPool pool(4);
   std::vector<std::atomic<int>> inner_hits(8 * 8);

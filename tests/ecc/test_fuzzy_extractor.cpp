@@ -198,16 +198,95 @@ TEST(FuzzyExtractor, WrongSizesThrow) {
   const FuzzyExtractor fe = make_default_extractor();
   crypto::ChaChaDrbg drbg(crypto::bytes_of("z"));
   EXPECT_THROW(fe.generate(BitVec(10, 0), drbg), std::invalid_argument);
-  HelperData bad;
-  bad.sketch = BitVec(10, 0);
-  EXPECT_THROW(fe.reproduce(BitVec(fe.response_bits(), 0), bad),
-               std::invalid_argument);
+  // Wrong *measurement* length is a caller bug and throws...
+  HelperData ok_helper;
+  ok_helper.sketch = BitVec(fe.response_bits(), 0);
+  EXPECT_THROW(fe.reproduce(BitVec(10, 0), ok_helper), std::invalid_argument);
   EXPECT_THROW(
       FuzzyExtractor(ConcatenatedCode(BchCode(5, 3), RepetitionCode(3)), 0),
       std::invalid_argument);
   EXPECT_THROW(
       FuzzyExtractor(ConcatenatedCode(BchCode(5, 3), RepetitionCode(3)), 33),
       std::invalid_argument);
+}
+
+TEST(FuzzyExtractor, WrongHelperLengthRejectsCleanly) {
+  // ...but a wrong-length *helper* is corrupted storage, an operational
+  // fault: clean rejection, same as an uncorrectable reading.
+  const FuzzyExtractor fe = make_default_extractor();
+  const BitVec w_prime(fe.response_bits(), 0);
+  for (const std::size_t bad_len :
+       {std::size_t{0}, std::size_t{10}, fe.response_bits() - 1,
+        fe.response_bits() + 1, fe.response_bits() * 2}) {
+    HelperData bad;
+    bad.sketch = BitVec(bad_len, 0);
+    EXPECT_EQ(fe.reproduce(w_prime, bad), std::nullopt) << bad_len;
+  }
+}
+
+TEST(FuzzyExtractor, BitFlippedHelperNeverYieldsEnrolledKey) {
+  // Flip every sketch bit position in turn. A single flip lands within
+  // the code radius, so decode recovers a *shifted* response — the
+  // derived key must differ from the enrolled one (or reject); silently
+  // reproducing the enrolled key from tampered helper data would defeat
+  // the integrity story of the degradation layer.
+  const FuzzyExtractor fe = make_default_extractor();
+  crypto::ChaChaDrbg drbg(crypto::bytes_of("corrupt"));
+  rng::Xoshiro256 noise(47);
+  BitVec w(fe.response_bits());
+  for (auto& b : w) b = noise.coin() ? 1 : 0;
+  const auto enrolled = fe.generate(w, drbg);
+
+  for (std::size_t bit = 0; bit < enrolled.helper.sketch.size(); ++bit) {
+    HelperData corrupted = enrolled.helper;
+    corrupted.sketch[bit] ^= 1;
+    const auto key = fe.reproduce(w, corrupted);
+    if (key) {
+      EXPECT_NE(*key, enrolled.key) << "sketch bit " << bit;
+    }
+  }
+}
+
+TEST(FuzzyExtractor, HeavilyCorruptedHelperRejectsOrDiverges) {
+  // Multi-bit helper corruption at increasing densities: never UB, never
+  // the enrolled key by accident, never a crash.
+  const FuzzyExtractor fe = make_default_extractor();
+  crypto::ChaChaDrbg drbg(crypto::bytes_of("corrupt2"));
+  rng::Xoshiro256 noise(48);
+  BitVec w(fe.response_bits());
+  for (auto& b : w) b = noise.coin() ? 1 : 0;
+  const auto enrolled = fe.generate(w, drbg);
+
+  for (const double rate : {0.05, 0.20, 0.50}) {
+    for (int trial = 0; trial < 10; ++trial) {
+      HelperData corrupted = enrolled.helper;
+      for (auto& b : corrupted.sketch) {
+        if (noise.bernoulli(rate)) b ^= 1;
+      }
+      const auto key = fe.reproduce(w, corrupted);
+      if (key) {
+        EXPECT_NE(*key, enrolled.key) << "rate " << rate;
+      }
+    }
+  }
+}
+
+TEST(HelperSerialization, TruncatedBlobsThrowAtEveryCut) {
+  // Every truncation point of a serialized helper must throw (clean
+  // parse failure), never read out of bounds or return garbage.
+  const FuzzyExtractor fe = make_default_extractor();
+  crypto::ChaChaDrbg drbg(crypto::bytes_of("trunc"));
+  rng::Xoshiro256 noise(49);
+  BitVec w(fe.response_bits());
+  for (auto& b : w) b = noise.coin() ? 1 : 0;
+  const auto enrolled = fe.generate(w, drbg);
+  const crypto::Bytes blob = serialize_helper(enrolled.helper);
+
+  for (std::size_t cut = 0; cut < blob.size(); ++cut) {
+    EXPECT_THROW(deserialize_helper(crypto::ByteView(blob).first(cut)),
+                 std::runtime_error)
+        << "cut " << cut;
+  }
 }
 
 }  // namespace
