@@ -80,7 +80,13 @@ std::vector<double> SecureAccelerator::decrypt_output(
     crypto::ByteView ciphered_output, crypto::ByteView key) {
   // ctlint:secret(plaintext)
   crypto::Bytes plaintext = crypto::aes_ctr_then_mac_open(key, ciphered_output);
-  std::vector<double> output = deserialize_vector(plaintext);
+  std::vector<double> output;
+  try {
+    output = deserialize_vector(plaintext);
+  } catch (...) {
+    crypto::secure_wipe(plaintext);
+    throw;
+  }
   crypto::secure_wipe(plaintext);
   return output;
 }
@@ -98,7 +104,18 @@ void SecureAccelerator::load_network(crypto::ByteView ciphered_network) {
     note_failure();
     throw;
   }
-  MlpNetwork network = deserialize_network(plaintext);
+  // The weights plaintext must be wiped on *every* exit path: a malformed
+  // blob that passed the MAC (e.g. a version-skewed peer with the right
+  // key) still counts toward degradation and must not leave decrypted
+  // secrets behind in freed memory.
+  MlpNetwork network;
+  try {
+    network = deserialize_network(plaintext);
+  } catch (...) {
+    crypto::secure_wipe(plaintext);
+    note_failure();
+    throw;
+  }
   crypto::secure_wipe(plaintext);
   accelerator_.load(std::move(network));
   note_success();
@@ -125,11 +142,24 @@ crypto::Bytes SecureAccelerator::execute_network(
     note_failure();
     throw;
   }
-  note_success();
-  std::vector<double> input = deserialize_vector(plaintext);  // ctlint:secret
+  std::vector<double> input;  // ctlint:secret
+  try {
+    input = deserialize_vector(plaintext);
+  } catch (...) {
+    crypto::secure_wipe(plaintext);
+    note_failure();
+    throw;
+  }
   crypto::secure_wipe(plaintext);
+  note_success();
 
-  std::vector<double> output = accelerator_.infer(input);  // ctlint:secret
+  std::vector<double> output;  // ctlint:secret
+  try {
+    output = accelerator_.infer(input);
+  } catch (...) {
+    crypto::secure_wipe(input);
+    throw;
+  }
   crypto::secure_wipe(input);
 
   crypto::Bytes serialized = serialize_vector(output);  // ctlint:secret

@@ -1,6 +1,7 @@
 #include "core/session_driver.hpp"
 
 #include <algorithm>
+#include <limits>
 
 namespace neuropuls::core {
 
@@ -44,9 +45,16 @@ std::optional<net::Message> SessionDriver::expect(net::Direction direction,
 
 void SessionDriver::backoff(unsigned attempt, SessionReport& report) {
   const std::size_t base = std::max<std::size_t>(1, policy_.backoff_base_polls);
-  const unsigned shift = std::min(attempt - 1, 63u);
-  const std::size_t exp =
-      std::min(policy_.backoff_max_polls, base << shift);
+  // Saturate at backoff_max_polls *before* shifting: base << shift wraps
+  // (or is UB past the type width) long before attempt reaches its
+  // policy-configurable maximum, which would collapse the exponential
+  // term to zero instead of holding it at the cap.
+  const unsigned shift = attempt - 1;
+  std::size_t exp = policy_.backoff_max_polls;
+  if (shift < static_cast<unsigned>(std::numeric_limits<std::size_t>::digits) &&
+      base <= (policy_.backoff_max_polls >> shift)) {
+    exp = base << shift;
+  }
   const std::size_t jitter = static_cast<std::size_t>(rng_.uniform(base));
   for (std::size_t i = 0; i < exp + jitter; ++i) {
     ++report.backoff_ticks;

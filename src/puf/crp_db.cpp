@@ -21,6 +21,11 @@ void CrpDatabase::insert(Crp crp) {
 
 void CrpDatabase::remove_at(std::size_t pos) {
   index_.erase(entries_[pos].crp.challenge);
+  compact(pos);
+}
+
+// Swap-with-back removal of a slot whose index entry is already erased.
+void CrpDatabase::compact(std::size_t pos) {
   if (pos != entries_.size() - 1) {
     entries_[pos] = std::move(entries_.back());
     index_[entries_[pos].crp.challenge] = pos;
@@ -33,8 +38,12 @@ std::optional<Crp> CrpDatabase::take() {
   // CRP in quarantine must never be served for authentication.
   for (std::size_t i = entries_.size(); i-- > 0;) {
     if (entries_[i].health.quarantined) continue;
+    // Erase the index entry before moving the CRP out: the challenge is
+    // the map key, so erasing after the move would probe with a
+    // moved-from (empty) buffer and strand a stale index entry.
+    index_.erase(entries_[i].crp.challenge);
     Crp crp = std::move(entries_[i].crp);
-    remove_at(i);
+    compact(i);
     return crp;
   }
   return std::nullopt;

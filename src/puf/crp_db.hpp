@@ -122,6 +122,7 @@ class CrpDatabase {
   };
 
   void remove_at(std::size_t pos);
+  void compact(std::size_t pos);
 
   std::vector<Entry> entries_;
   // challenge bytes -> entries_ position, keyed on the raw buffer with a

@@ -21,6 +21,7 @@
 #include "accel/secure_api.hpp"
 #include "core/key_manager.hpp"
 #include "core/session_driver.hpp"
+#include "crypto/aes.hpp"
 #include "crypto/dh.hpp"
 #include "crypto/sha256.hpp"
 #include "faults/device_faults.hpp"
@@ -171,6 +172,38 @@ TEST(ChaosAuth, TotalLossExhaustsCleanlyThenRecovers) {
   const auto report = driver.run_mutual_auth(*h.verifier, *h.device, 2000);
   EXPECT_EQ(report.result, SessionResult::kConverged);
   EXPECT_TRUE(in_sync(h));
+}
+
+TEST(ChaosAuth, BackoffSaturatesAtCapForLargeAttemptCounts) {
+  AuthHarness h = make_auth_harness();
+  FaultyChannel faulty(h.channel,
+                       faults::symmetric_faults(faults::symmetric_drop(1.0)),
+                       0xC5);
+  RetryPolicy policy;
+  policy.max_attempts = 70;  // drives the backoff shift past 63
+  policy.receive_poll_budget = 1;
+  SessionDriver driver(h.channel, policy);
+  const auto report = driver.run_mutual_auth(*h.verifier, *h.device, 3000);
+  EXPECT_EQ(report.result, SessionResult::kExhausted);
+  EXPECT_EQ(report.attempts, policy.max_attempts);
+
+  // Regression: once `base << shift` would overflow the type width the
+  // exponential term must *saturate* at backoff_max_polls, not wrap to
+  // zero and silently collapse the backoff to jitter only.
+  std::uint64_t min_expected = 0;
+  for (unsigned attempt = 2; attempt <= policy.max_attempts; ++attempt) {
+    const unsigned shift = attempt - 2;
+    std::uint64_t exp = policy.backoff_max_polls;
+    if (shift < 32 && (policy.backoff_base_polls << shift) < exp) {
+      exp = policy.backoff_base_polls << shift;
+    }
+    min_expected += exp;
+  }
+  EXPECT_GE(report.backoff_ticks, min_expected);
+  // Upper bound: per-backoff jitter is in [0, base).
+  EXPECT_LE(report.backoff_ticks,
+            min_expected +
+                (policy.max_attempts - 1) * policy.backoff_base_polls);
 }
 
 TEST(ChaosAuth, MixedFaultSweepMaintainsInvariants) {
@@ -396,6 +429,37 @@ TEST(ChaosAccel, HealthWalksDegradedToLockoutAndResets) {
   device.reset_health();
   EXPECT_EQ(device.health(), accel::HealthState::kHealthy);
   EXPECT_NO_THROW(device.execute_network(good_input()));
+}
+
+TEST(ChaosAccel, MalformedAuthenticBlobCountsTowardDegradation) {
+  const crypto::Bytes key = crypto::bytes_of("chaos accel key");
+  accel::SecureAccelerator device(std::make_unique<accel::DigitalMvm>(),
+                                  common::SecretBytes::copy_of(key),
+                                  accel::HealthPolicy{1, 3});
+  // MAC-valid frames whose *plaintext* fails to parse (a version-skewed
+  // peer holding the right key): the parse failure must surface as a
+  // clean runtime_error, count toward degradation, and — exercised under
+  // the ASan chaos flavor — wipe the decrypted plaintext on the way out.
+  const crypto::Bytes junk = {0xDE, 0xAD, 0xBE, 0xEF};
+  EXPECT_THROW(
+      device.load_network(
+          crypto::aes_ctr_then_mac_seal(key, crypto::Bytes(16, 9), junk)),
+      std::runtime_error);
+  EXPECT_EQ(device.health(), accel::HealthState::kDegraded);
+  EXPECT_EQ(device.consecutive_failures(), 1u);
+
+  device.reset_health();
+  device.load_network(
+      accel::SecureAccelerator::encrypt_network(tiny_network(), key, 1));
+  EXPECT_THROW(
+      device.execute_network(
+          crypto::aes_ctr_then_mac_seal(key, crypto::Bytes(16, 10), junk)),
+      std::runtime_error);
+  EXPECT_EQ(device.health(), accel::HealthState::kDegraded);
+  // A well-formed exchange heals as usual.
+  EXPECT_NO_THROW(device.execute_network(
+      accel::SecureAccelerator::encrypt_input({1.0, 2.0}, key, 11)));
+  EXPECT_EQ(device.health(), accel::HealthState::kHealthy);
 }
 
 TEST(ChaosAccel, MissingNetworkIsNotAHealthFailure) {

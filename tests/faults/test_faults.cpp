@@ -312,6 +312,57 @@ TEST(CrpHealth, TakeSkipsQuarantinedAndEvictionRemoves) {
   EXPECT_TRUE(db.empty());
 }
 
+// Regression: take() must erase the consumed challenge from the index
+// *before* moving the CRP out. Erasing afterwards probed the map with a
+// moved-from (empty) key, stranding a stale index entry that pointed at a
+// popped slot (out-of-bounds) or at whichever CRP got swap-compacted in
+// (misattributed lookups/health counters).
+TEST(CrpHealth, TakeRemovesConsumedChallengeFromIndex) {
+  puf::CrpDatabase db;
+  db.insert(synthetic_crp(1));
+  db.insert(synthetic_crp(2));
+  db.insert(synthetic_crp(3));
+
+  const auto taken = db.take();
+  ASSERT_TRUE(taken.has_value());
+  // The consumed pair is gone from every index-backed accessor...
+  EXPECT_FALSE(db.lookup(taken->challenge).has_value());
+  EXPECT_FALSE(db.health(taken->challenge).has_value());
+  // ...and outcomes recorded against it are dropped, not charged to the
+  // entry now occupying the freed slot.
+  db.record_failure(taken->challenge);
+  db.record_failure(taken->challenge);
+  db.record_failure(taken->challenge);
+  EXPECT_EQ(db.quarantined(), 0u);
+  EXPECT_EQ(db.health(crypto::Bytes(8, 1))->failures, 0u);
+  EXPECT_EQ(db.health(crypto::Bytes(8, 2))->failures, 0u);
+  // Survivors still resolve to their own responses through the index.
+  EXPECT_EQ(db.lookup(crypto::Bytes(8, 1)), crypto::Bytes(16, 1));
+  EXPECT_EQ(db.lookup(crypto::Bytes(8, 2)), crypto::Bytes(16, 2));
+}
+
+TEST(CrpHealth, TakePastQuarantineKeepsHealthCountersTargeted) {
+  puf::CrpDatabase db;
+  db.set_quarantine_threshold(1);
+  db.insert(synthetic_crp(1));
+  db.insert(synthetic_crp(2));
+  db.record_failure(crypto::Bytes(8, 2));  // quarantine the back entry
+
+  // take() skips the quarantined back entry, consumes entry 1, and
+  // swap-compacts the quarantined entry into the freed slot.
+  const auto taken = db.take();
+  ASSERT_TRUE(taken.has_value());
+  EXPECT_EQ(taken->challenge, crypto::Bytes(8, 1));
+  EXPECT_FALSE(db.health(taken->challenge).has_value());
+  // A failure against the consumed challenge must not land on the
+  // survivor that now lives in its old slot.
+  db.record_failure(taken->challenge);
+  const auto survivor = db.health(crypto::Bytes(8, 2));
+  ASSERT_TRUE(survivor.has_value());
+  EXPECT_EQ(survivor->failures, 1u);
+  EXPECT_EQ(db.quarantined(), 1u);
+}
+
 // -------------------------------------------------------------- channel
 
 Message frame(std::uint8_t tag, std::uint64_t sid = 1) {
