@@ -1,0 +1,272 @@
+// E14 — Verifier-engine throughput: sessions/sec under multiplexing.
+//
+// The paper's verifier is one infrastructure endpoint serving a fleet
+// (§III/§IV), so the service-level number is authenticated sessions per
+// second, not single-handshake latency. This bench drives the
+// core::SessionEngine against populations of arbiter-PUF devices and
+// reports:
+//
+//   * sessions/sec over the {threads} × {in-flight} grid, with the serial
+//     SessionDriver loop as the 1×1 baseline and a speedup column — on a
+//     multi-core host the hw × 1024 cell is the headline; on a single
+//     hardware thread the engine's value is bounded-memory multiplexing
+//     and the speedup column measures its scheduling overhead instead;
+//   * CRP-store ops/sec vs shard count under a fixed 4-thread mixed
+//     take/insert/lookup load, with the lock-contention fraction from
+//     CrpDatabase::lock_stats().
+//
+// Timing cases (google-benchmark JSON for scripts/bench_regress.py):
+//   * BM_ServerSessionsSerial — the SessionDriver loop, sessions/sec;
+//   * BM_ServerSessionsEngine/{1,64,1024} — engine at that in-flight
+//     width on the default pool width, sessions/sec;
+//   * BM_CrpStoreMixedOps/{1,4,8} — sharded store ops/sec, 4 threads.
+#include <chrono>
+#include <thread>
+
+#include "bench_util.hpp"
+#include "common/parallel.hpp"
+#include "core/session_engine.hpp"
+#include "crypto/sha256.hpp"
+#include "puf/arbiter_puf.hpp"
+#include "puf/crp_db.hpp"
+
+namespace {
+
+using namespace neuropuls;
+
+// ------------------------------------------------- session fixtures
+
+struct AuthFixture {
+  std::unique_ptr<puf::ArbiterPuf> puf;
+  std::unique_ptr<core::AuthDevice> device;
+  std::unique_ptr<core::AuthVerifier> verifier;
+  net::DuplexChannel channel;
+};
+
+std::unique_ptr<AuthFixture> make_fixture(std::uint64_t device_seed) {
+  auto f = std::make_unique<AuthFixture>();
+  f->puf = std::make_unique<puf::ArbiterPuf>(puf::ArbiterPufConfig{},
+                                             device_seed);
+  crypto::ChaChaDrbg rng(crypto::bytes_of("bench-server-provision"));
+  const auto provisioned = core::provision(*f->puf, rng);
+  const crypto::Bytes memory(1024, 0xA5);
+  f->device = std::make_unique<core::AuthDevice>(*f->puf,
+                                                 provisioned.device_crp,
+                                                 memory);
+  f->verifier = std::make_unique<core::AuthVerifier>(
+      provisioned.verifier_secret, crypto::Sha256::hash(memory),
+      f->puf->challenge_bytes());
+  return f;
+}
+
+std::vector<std::unique_ptr<AuthFixture>> make_fleet(std::size_t sessions) {
+  std::vector<std::unique_ptr<AuthFixture>> fleet;
+  fleet.reserve(sessions);
+  for (std::size_t k = 0; k < sessions; ++k) {
+    fleet.push_back(make_fixture(0x5EED + k));
+  }
+  return fleet;
+}
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+// Serial baseline: one blocking SessionDriver run per device.
+double run_serial_fleet(std::vector<std::unique_ptr<AuthFixture>>& fleet) {
+  const auto start = std::chrono::steady_clock::now();
+  for (std::size_t k = 0; k < fleet.size(); ++k) {
+    core::RetryPolicy policy;
+    policy.seed = 42 + k;
+    core::SessionDriver driver(fleet[k]->channel, policy);
+    (void)driver.run_mutual_auth(*fleet[k]->verifier, *fleet[k]->device,
+                                 10 * (k + 1));
+  }
+  return seconds_since(start);
+}
+
+// Engine run: the same per-session seeds, `threads` pool width, up to
+// `in_flight` sessions multiplexed.
+double run_engine_fleet(std::vector<std::unique_ptr<AuthFixture>>& fleet,
+                        std::size_t threads, std::size_t in_flight,
+                        std::size_t* converged = nullptr) {
+  common::ThreadPool pool(threads);
+  core::SessionEngineConfig config;
+  config.max_in_flight = in_flight;
+  core::SessionEngine engine(pool, config);
+  const core::RetryPolicy policy;
+  for (std::size_t k = 0; k < fleet.size(); ++k) {
+    AuthFixture& f = *fleet[k];
+    engine.submit(42 + k, [&f, &policy, k](crypto::ChaChaDrbg& rng) {
+      return std::make_unique<core::AuthSessionMachine>(
+          f.channel, policy, rng, *f.verifier, *f.device, 10 * (k + 1));
+    });
+  }
+  const auto start = std::chrono::steady_clock::now();
+  (void)engine.run();
+  const double elapsed = seconds_since(start);
+  if (converged != nullptr) *converged = engine.stats().converged;
+  return elapsed;
+}
+
+void print_sessions_table() {
+  bench::banner("E14", "Verifier sessions/sec vs concurrency (mutual auth)");
+  constexpr std::size_t kSessions = 1024;
+  const std::size_t hw = common::ThreadPool::default_thread_count();
+
+  auto serial_fleet = make_fleet(kSessions);
+  const double serial_s = run_serial_fleet(serial_fleet);
+  const double serial_rate = kSessions / serial_s;
+  std::printf("  %-10s %-10s %-14s %-10s\n", "threads", "in-flight",
+              "sessions/sec", "speedup");
+  std::printf("  %-10s %-10s %-14.0f %-10s\n", "serial", "1", serial_rate,
+              "1.00x");
+
+  std::vector<std::size_t> thread_counts{1, 2, 4};
+  if (hw != 1 && hw != 2 && hw != 4) thread_counts.push_back(hw);
+  for (const std::size_t threads : thread_counts) {
+    for (const std::size_t in_flight : {std::size_t{1}, std::size_t{64},
+                                        std::size_t{1024}}) {
+      auto fleet = make_fleet(kSessions);
+      std::size_t converged = 0;
+      const double elapsed =
+          run_engine_fleet(fleet, threads, in_flight, &converged);
+      const double rate = kSessions / elapsed;
+      std::printf("  %-10zu %-10zu %-14.0f %.2fx%s\n", threads, in_flight,
+                  rate, rate / serial_rate,
+                  threads == hw && in_flight == 1024 ? "   <- hw x 1024"
+                                                     : "");
+      if (converged != kSessions) {
+        std::printf("  WARNING: only %zu/%zu sessions converged\n", converged,
+                    kSessions);
+      }
+    }
+  }
+  bench::note("clean links: every session converges in one attempt; the "
+              "speedup column is against the serial SessionDriver loop on "
+              "this host (hardware threads: " + std::to_string(hw) + ").");
+}
+
+// --------------------------------------------------- CRP store load
+
+puf::Crp make_crp(std::uint32_t i) {
+  puf::Crp crp;
+  crp.challenge = {static_cast<std::uint8_t>(i),
+                   static_cast<std::uint8_t>(i >> 8),
+                   static_cast<std::uint8_t>(i >> 16),
+                   static_cast<std::uint8_t>(i >> 24),
+                   0x42, 0x17, 0x88, 0x2F};
+  crp.response = {static_cast<std::uint8_t>(i * 11 + 3)};
+  return crp;
+}
+
+// Mixed verifier workload per thread: insert one fresh CRP, look up one
+// enrolled challenge, take one for an auth round — 3 ops per iteration.
+void hammer_store(puf::CrpDatabase& db, std::uint32_t thread_id,
+                  std::uint32_t iterations) {
+  for (std::uint32_t i = 0; i < iterations; ++i) {
+    db.insert(make_crp(1u << 24 | thread_id << 20 | i));
+    (void)db.lookup(make_crp(thread_id * iterations + i).challenge);
+    (void)db.take();
+  }
+}
+
+void print_crp_store_table() {
+  bench::banner("E14", "CRP store ops/sec vs shard count (4-thread load)");
+  constexpr std::uint32_t kPreload = 4096;
+  constexpr std::uint32_t kIterations = 8192;
+  constexpr unsigned kThreads = 4;
+  std::printf("  %-10s %-14s %-14s %-12s\n", "shards", "ops/sec",
+              "acquisitions", "contended");
+  for (const std::size_t shards : {1u, 2u, 4u, 8u}) {
+    puf::CrpDatabase db(shards);
+    for (std::uint32_t i = 0; i < kPreload; ++i) db.insert(make_crp(i));
+    const auto start = std::chrono::steady_clock::now();
+    std::vector<std::thread> threads;
+    for (unsigned t = 0; t < kThreads; ++t) {
+      threads.emplace_back(hammer_store, std::ref(db), t, kIterations);
+    }
+    for (auto& thread : threads) thread.join();
+    const double elapsed = seconds_since(start);
+    const auto stats = db.lock_stats();
+    std::printf("  %-10zu %-14.0f %-14llu %.2f%%\n", shards,
+                3.0 * kThreads * kIterations / elapsed,
+                static_cast<unsigned long long>(stats.acquisitions),
+                stats.acquisitions == 0
+                    ? 0.0
+                    : 100.0 * static_cast<double>(stats.contended) /
+                          static_cast<double>(stats.acquisitions));
+  }
+  bench::note("contended = shard-mutex acquisitions that found the lock "
+              "held; striping drives it toward zero as shards exceed "
+              "threads.");
+}
+
+void print_tables() {
+  print_sessions_table();
+  print_crp_store_table();
+}
+
+// ------------------------------------------------- timing cases
+
+void BM_ServerSessionsSerial(benchmark::State& state) {
+  constexpr std::size_t kSessions = 64;
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto fleet = make_fleet(kSessions);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(run_serial_fleet(fleet));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          kSessions);
+}
+BENCHMARK(BM_ServerSessionsSerial)->Unit(benchmark::kMillisecond);
+
+void BM_ServerSessionsEngine(benchmark::State& state) {
+  constexpr std::size_t kSessions = 64;
+  const auto in_flight = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto fleet = make_fleet(kSessions);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(run_engine_fleet(
+        fleet, common::ThreadPool::default_thread_count(), in_flight));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          kSessions);
+}
+BENCHMARK(BM_ServerSessionsEngine)
+    ->Arg(1)
+    ->Arg(64)
+    ->Arg(1024)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_CrpStoreMixedOps(benchmark::State& state) {
+  const auto shards = static_cast<std::size_t>(state.range(0));
+  constexpr std::uint32_t kIterations = 2048;
+  constexpr unsigned kThreads = 4;
+  for (auto _ : state) {
+    state.PauseTiming();
+    puf::CrpDatabase db(shards);
+    for (std::uint32_t i = 0; i < 2048; ++i) db.insert(make_crp(i));
+    state.ResumeTiming();
+    std::vector<std::thread> threads;
+    for (unsigned t = 0; t < kThreads; ++t) {
+      threads.emplace_back(hammer_store, std::ref(db), t, kIterations);
+    }
+    for (auto& thread : threads) thread.join();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 3 *
+                          kThreads * kIterations);
+}
+BENCHMARK(BM_CrpStoreMixedOps)
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+NEUROPULS_BENCH_MAIN(print_tables)

@@ -21,6 +21,12 @@
 #                               # retry/backoff loops, and corrupted-blob
 #                               # parsing are exactly where lifetime and UB
 #                               # bugs would hide
+#   scripts/check.sh tsan       # concurrency sweep only: runs the ctest
+#                               # label `concurrency` (sharded CrpDatabase
+#                               # stress, SessionEngine determinism) under
+#                               # ThreadSanitizer — the shard locks and the
+#                               # engine's wave scheduler are the only
+#                               # cross-thread surfaces in the stack
 #
 # Environment:
 #   NEUROPULS_BENCH_THRESHOLD   allowed fractional throughput drop vs
@@ -30,7 +36,7 @@
 #                               its default 0.10 threshold on full-length
 #                               runs for real regression gating)
 #
-# Build trees land in build-check-<config>/ (gitignored via build-*/).
+# Build trees and their logs land under build-check/ (gitignored).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -41,10 +47,12 @@ if [ ${#CONFIGS[@]} -eq 0 ]; then
   CONFIGS=(plain address undefined native)
 fi
 
+mkdir -p build-check
+
 run_config() {
   local config="$1"
-  local label="${2:-}"   # optional ctest -L label (chaos flavor)
-  local build_dir="build-check-${config}${label:+-${label}}"
+  local label="${2:-}"   # optional ctest -L label (chaos/tsan flavors)
+  local build_dir="build-check/${config}${label:+-${label}}"
   local sanitize=""
   local native="OFF"
   if [ "${config}" = "native" ]; then
@@ -88,32 +96,36 @@ for config in "${CONFIGS[@]}"; do
       run_config address chaos
       run_config undefined chaos
       ;;
+    tsan)
+      run_config thread concurrency
+      ;;
     *)
-      echo "unknown config '${config}' (want plain, address, undefined, native, or chaos)" >&2
+      echo "unknown config '${config}' (want plain, address, undefined, native, chaos, or tsan)" >&2
       exit 2
       ;;
   esac
 done
 
 # The bench smoke + standalone ctlint tail needs a full-matrix build tree;
-# a chaos-only invocation has none, and that is fine — it is the targeted
-# sanitizer sweep, not the pre-push gate.
+# a chaos-/tsan-only invocation has none, and that is fine — those are the
+# targeted sanitizer sweeps, not the pre-push gate.
 if [ ${#FULL_CONFIGS[@]} -eq 0 ]; then
-  echo "==> chaos-only run: skipping bench smoke + standalone ctlint"
+  echo "==> flavor-only run: skipping bench smoke + standalone ctlint"
   echo "==> all checks passed"
   exit 0
 fi
 
-LAST_BUILD="build-check-${FULL_CONFIGS[${#FULL_CONFIGS[@]}-1]}"
+LAST_BUILD="build-check/${FULL_CONFIGS[${#FULL_CONFIGS[@]}-1]}"
 
-# Benchmark smoke pass: run the two hot-path benchmark binaries just long
+# Benchmark smoke pass: run the hot-path benchmark binaries just long
 # enough to emit JSON, validate the schema, and diff throughput against
 # the committed pre-PR baseline. The threshold is deliberately loose
 # (smoke iterations are noisy); it catches order-of-magnitude cliffs, not
 # single-digit drift.
 BENCH_SMOKE_DIR="${LAST_BUILD}/bench-smoke"
+BENCH_SMOKE_FILTER='PhotonicNoiselessBatch|PhotonicEvaluateBatch|VerifierModelSweep|ServerSessions|CrpStoreMixedOps'
 mkdir -p "${BENCH_SMOKE_DIR}"
-for bench in bench_puf_quality bench_system_level; do
+for bench in bench_puf_quality bench_system_level bench_server; do
   bench_bin="${LAST_BUILD}/bench/${bench}"
   if [ ! -x "${bench_bin}" ]; then
     echo "==> bench smoke: ${bench_bin} missing" >&2
@@ -122,7 +134,7 @@ for bench in bench_puf_quality bench_system_level; do
   echo "==> bench smoke: ${bench}"
   "${bench_bin}" \
     --benchmark_min_time=0.01 \
-    --benchmark_filter='PhotonicNoiselessBatch|PhotonicEvaluateBatch|VerifierModelSweep' \
+    --benchmark_filter="${BENCH_SMOKE_FILTER}" \
     --benchmark_out="${BENCH_SMOKE_DIR}/BENCH_${bench}.json" \
     --benchmark_out_format=json \
     > /dev/null
@@ -135,7 +147,8 @@ python3 scripts/bench_regress.py --check-schema \
 echo "==> bench smoke: merge + compare vs BENCH_baseline.json"
 python3 scripts/bench_regress.py --merge "${BENCH_SMOKE_DIR}/BENCH_smoke.json" \
   "${BENCH_SMOKE_DIR}/BENCH_bench_puf_quality.json" \
-  "${BENCH_SMOKE_DIR}/BENCH_bench_system_level.json"
+  "${BENCH_SMOKE_DIR}/BENCH_bench_system_level.json" \
+  "${BENCH_SMOKE_DIR}/BENCH_bench_server.json"
 python3 scripts/bench_regress.py \
   --threshold "${NEUROPULS_BENCH_THRESHOLD:-0.5}" \
   BENCH_baseline.json "${BENCH_SMOKE_DIR}/BENCH_smoke.json"

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "crypto/aes.hpp"
+#include "crypto/chacha20.hpp"
 #include "crypto/hmac.hpp"
 
 namespace neuropuls::core {
@@ -11,8 +12,11 @@ namespace {
 constexpr std::size_t kSeqLen = 8;
 constexpr std::size_t kTagLen = 16;
 
-crypto::Bytes nonce_for(std::uint64_t sequence) {
-  crypto::Bytes nonce(16, 0);
+// 12-byte ChaCha20 nonce: the direction-bound sequence number big-endian,
+// zero-padded. Sequence uniqueness per direction key is the rekey
+// interval's job.
+std::array<std::uint8_t, 12> nonce_for(std::uint64_t sequence) {
+  std::array<std::uint8_t, 12> nonce{};
   crypto::put_u64_be(std::span<std::uint8_t>(nonce.data(), 8), sequence);
   return nonce;
 }
@@ -27,6 +31,17 @@ common::SecretBytes SecureChannel::direction_key(
       32));
 }
 
+SecureChannel::DirectionKeys SecureChannel::make_direction_keys(
+    common::SecretBytes root) {
+  DirectionKeys keys;
+  keys.enc = common::SecretBytes(crypto::hkdf(
+      crypto::ByteView{}, root.reveal(), crypto::bytes_of("enc"), 32));
+  keys.mac = common::SecretBytes(crypto::hkdf(
+      crypto::ByteView{}, root.reveal(), crypto::bytes_of("mac"), 16));
+  keys.root = std::move(root);
+  return keys;
+}
+
 SecureChannel::SecureChannel(common::SecretBytes session_key,
                              bool is_initiator, SecureChannelConfig config)
     : config_(config) {
@@ -36,39 +51,38 @@ SecureChannel::SecureChannel(common::SecretBytes session_key,
   if (config_.rekey_interval == 0) {
     throw std::invalid_argument("SecureChannel: zero rekey interval");
   }
-  send_key_ = direction_key(session_key.reveal(), is_initiator);
-  recv_key_ = direction_key(session_key.reveal(), !is_initiator);
+  send_ = make_direction_keys(direction_key(session_key.reveal(),
+                                            is_initiator));
+  recv_ = make_direction_keys(direction_key(session_key.reveal(),
+                                            !is_initiator));
   // `session_key` wipes on scope exit (SecretBytes destructor).
 }
 
-void SecureChannel::maybe_ratchet(common::SecretBytes& key,
-                                  std::uint64_t seq) {
+void SecureChannel::maybe_ratchet(DirectionKeys& keys, std::uint64_t seq) {
   if (seq != 0 && seq % config_.rekey_interval == 0) {
-    // Move-assignment wipes the pre-ratchet key before installing the
-    // stepped one — forward secrecy within the record stream.
-    key = common::SecretBytes(crypto::hkdf(
-        crypto::ByteView{}, key.reveal(), crypto::bytes_of("np-sc-ratchet"),
-        32));
+    // Move-assignment wipes the pre-ratchet keys before installing the
+    // stepped ones — forward secrecy within the record stream.
+    keys = make_direction_keys(common::SecretBytes(crypto::hkdf(
+        crypto::ByteView{}, keys.root.reveal(),
+        crypto::bytes_of("np-sc-ratchet"), 32)));
   }
 }
 
 crypto::Bytes SecureChannel::seal(crypto::ByteView plaintext) {
-  maybe_ratchet(send_key_, send_seq_);
+  maybe_ratchet(send_, send_seq_);
   const std::uint64_t seq = send_seq_++;
 
   crypto::Bytes record(kSeqLen);
   crypto::put_u64_be(record, seq);
 
-  const crypto::Bytes enc_key = crypto::hkdf(
-      crypto::ByteView{}, send_key_.reveal(), crypto::bytes_of("enc"), 16);
-  const crypto::Bytes mac_key = crypto::hkdf(
-      crypto::ByteView{}, send_key_.reveal(), crypto::bytes_of("mac"), 16);
+  record.insert(record.end(), plaintext.begin(), plaintext.end());
+  const auto nonce = nonce_for(seq);
+  crypto::chacha20_xor_inplace(
+      send_.enc.reveal(), nonce, 0,
+      std::span<std::uint8_t>(record.data() + kSeqLen,
+                              record.size() - kSeqLen));
 
-  const crypto::Bytes body =
-      crypto::aes_ctr(enc_key, nonce_for(seq), plaintext);
-  record.insert(record.end(), body.begin(), body.end());
-
-  const crypto::Bytes tag = crypto::aes_cmac(mac_key, record);
+  const crypto::Bytes tag = crypto::aes_cmac(send_.mac.reveal(), record);
   record.insert(record.end(), tag.begin(), tag.begin() + kTagLen);
   return record;
 }
@@ -81,20 +95,16 @@ std::optional<crypto::Bytes> SecureChannel::open(crypto::ByteView record) {
   }
   const std::uint64_t seq = crypto::get_u64_be(record.first(kSeqLen));
 
-  maybe_ratchet(recv_key_, recv_seq_);
+  maybe_ratchet(recv_, recv_seq_);
   if (seq != recv_seq_) {  // replay, reorder, or drop
     poisoned_ = true;
     return std::nullopt;
   }
 
-  const crypto::Bytes enc_key = crypto::hkdf(
-      crypto::ByteView{}, recv_key_.reveal(), crypto::bytes_of("enc"), 16);
-  const crypto::Bytes mac_key = crypto::hkdf(
-      crypto::ByteView{}, recv_key_.reveal(), crypto::bytes_of("mac"), 16);
-
   const crypto::ByteView signed_part = record.first(record.size() - kTagLen);
   const crypto::ByteView tag = record.subspan(record.size() - kTagLen);
-  const crypto::Bytes expected = crypto::aes_cmac(mac_key, signed_part);
+  const crypto::Bytes expected = crypto::aes_cmac(recv_.mac.reveal(),
+                                                  signed_part);
   if (!crypto::ct_equal(tag,
                         crypto::ByteView(expected).first(kTagLen))) {
     poisoned_ = true;
@@ -103,7 +113,10 @@ std::optional<crypto::Bytes> SecureChannel::open(crypto::ByteView record) {
 
   ++recv_seq_;
   const crypto::ByteView body = signed_part.subspan(kSeqLen);
-  return crypto::aes_ctr(enc_key, nonce_for(seq), body);
+  crypto::Bytes plain(body.begin(), body.end());
+  const auto nonce = nonce_for(seq);
+  crypto::chacha20_xor_inplace(recv_.enc.reveal(), nonce, 0, plain);
+  return plain;
 }
 
 }  // namespace neuropuls::core

@@ -2,13 +2,16 @@
 // the AKA output is "to be used in the secure channel implementation",
 // and the session keys it generates serve "for the data encryption").
 //
-// Framing per record: seq(8, big-endian) || nonce-free AES-CTR body ||
-// CMAC tag — the nonce is derived from the direction-bound sequence
-// number, so records are self-describing, replay of any record fails the
+// Framing per record: seq(8, big-endian) || ChaCha20 body || CMAC tag —
+// the cipher nonce is derived from the direction-bound sequence number,
+// so records are self-describing, replay of any record fails the
 // sequence check, reordering fails the MAC (the tag covers the sequence
 // number), and the two directions use independent keys (no reflection
-// attacks). Rekeying via HKDF ratchet after a configurable record count
-// bounds key usage.
+// attacks). The body runs through the batched in-place ChaCha20 keystream
+// (the paper's lightweight cipher for this device class; the table-free
+// AES here is audit-oriented and an order of magnitude slower per byte,
+// so it keeps only the CMAC tag role). Rekeying via HKDF ratchet after a
+// configurable record count bounds key usage.
 #pragma once
 
 #include <cstdint>
@@ -48,13 +51,24 @@ class SecureChannel {
   bool poisoned() const noexcept { return poisoned_; }
 
  private:
-  void maybe_ratchet(common::SecretBytes& key, std::uint64_t seq);
+  /// Cached per-direction record keys. The enc/mac subkeys are a pure
+  /// function of the direction key, so they are derived once here (and
+  /// again on each ratchet) instead of re-running HKDF on every record —
+  /// the seal/open hot path then runs only ChaCha20 + CMAC.
+  struct DirectionKeys {
+    common::SecretBytes root;  // the ratcheting direction key
+    common::SecretBytes enc;
+    common::SecretBytes mac;
+  };
+
+  void maybe_ratchet(DirectionKeys& keys, std::uint64_t seq);
+  static DirectionKeys make_direction_keys(common::SecretBytes root);
   static common::SecretBytes direction_key(crypto::ByteView session_key,
                                            bool initiator_to_responder);
 
   SecureChannelConfig config_;
-  common::SecretBytes send_key_;
-  common::SecretBytes recv_key_;
+  DirectionKeys send_;
+  DirectionKeys recv_;
   std::uint64_t send_seq_ = 0;
   std::uint64_t recv_seq_ = 0;
   bool poisoned_ = false;

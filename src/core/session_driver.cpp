@@ -5,45 +5,40 @@
 
 namespace neuropuls::core {
 
-namespace {
-
-crypto::Bytes driver_seed_bytes(std::uint64_t seed) {
+crypto::Bytes session_driver_seed_bytes(std::uint64_t seed) {
   crypto::Bytes bytes = crypto::bytes_of("np-session-driver");
   crypto::append_u64_be(bytes, seed);
   return bytes;
 }
 
-}  // namespace
-
-SessionDriver::SessionDriver(net::DuplexChannel& channel, RetryPolicy policy)
+SessionMachine::SessionMachine(net::DuplexChannel& channel,
+                               const RetryPolicy& policy,
+                               crypto::ChaChaDrbg& rng,
+                               std::uint64_t session_base)
     : channel_(channel),
       policy_(policy),
-      rng_(driver_seed_bytes(policy.seed)) {}
+      rng_(rng),
+      session_base_(session_base) {}
 
-std::optional<net::Message> SessionDriver::expect(net::Direction direction,
-                                                  net::MessageType type,
-                                                  std::uint64_t session_id,
-                                                  SessionReport& report) {
-  std::size_t polls = 0;
-  for (;;) {
-    if (auto frame = channel_.receive(direction)) {
-      if (frame->type == type && frame->session_id == session_id) {
-        return frame;
-      }
-      // Duplicate, stale-attempt, or type-corrupted frame: skip it. This
-      // cannot loop unboundedly — each discard consumes a queued frame,
-      // and only polls (bounded below) can enqueue more.
-      ++report.discarded_frames;
-      continue;
-    }
-    if (polls >= policy_.receive_poll_budget) return std::nullopt;
-    ++polls;
-    ++report.poll_ticks;
-    channel_.poll();
-  }
+void SessionMachine::expect_next(net::Direction direction,
+                                 net::MessageType type) {
+  expect_direction_ = direction;
+  expect_type_ = type;
+  expect_polls_ = 0;
+  mode_ = Mode::kExpect;
 }
 
-void SessionDriver::backoff(unsigned attempt, SessionReport& report) {
+void SessionMachine::start_attempt() {
+  sid_ = session_base_ + attempt_;
+  begin_attempt();
+}
+
+void SessionMachine::fail_attempt() {
+  ++attempt_;
+  mode_ = Mode::kStartAttempt;
+}
+
+std::size_t SessionMachine::backoff_ticks(unsigned attempt) {
   const std::size_t base = std::max<std::size_t>(1, policy_.backoff_base_polls);
   // Saturate at backoff_max_polls *before* shifting: base << shift wraps
   // (or is UB past the type width) long before attempt reaches its
@@ -55,107 +50,209 @@ void SessionDriver::backoff(unsigned attempt, SessionReport& report) {
       base <= (policy_.backoff_max_polls >> shift)) {
     exp = base << shift;
   }
-  const std::size_t jitter = static_cast<std::size_t>(rng_.uniform(base));
-  for (std::size_t i = 0; i < exp + jitter; ++i) {
-    ++report.backoff_ticks;
-    channel_.poll();
+  return exp + static_cast<std::size_t>(rng_.uniform(base));
+}
+
+void SessionMachine::drain() {
+  while (channel_.receive(net::Direction::kAtoB)) ++report_.discarded_frames;
+  while (channel_.receive(net::Direction::kBtoA)) ++report_.discarded_frames;
+}
+
+bool SessionMachine::step() {
+  for (;;) {
+    switch (mode_) {
+      case Mode::kDone:
+        return false;
+
+      case Mode::kStartAttempt: {
+        if (attempt_ > policy_.max_attempts) {
+          mode_ = Mode::kDone;
+          return false;
+        }
+        report_.attempts = attempt_;
+        if (attempt_ > 1) {
+          // Jitter is drawn now, before the first backoff poll — the same
+          // DRBG draw order as the blocking driver's backoff().
+          backoff_remaining_ = backoff_ticks(attempt_ - 1);
+          mode_ = Mode::kBackoff;
+          continue;
+        }
+        start_attempt();
+        continue;
+      }
+
+      case Mode::kBackoff: {
+        if (backoff_remaining_ == 0) {
+          drain();
+          start_attempt();
+          continue;
+        }
+        --backoff_remaining_;
+        ++report_.backoff_ticks;
+        channel_.poll();
+        return true;
+      }
+
+      case Mode::kExpect: {
+        bool matched = false;
+        while (auto frame = channel_.receive(expect_direction_)) {
+          if (frame->type != expect_type_ || frame->session_id != sid_) {
+            // Duplicate, stale-attempt, or type-corrupted frame: skip it.
+            // This cannot loop unboundedly — each discard consumes a
+            // queued frame, and only polls (bounded below) enqueue more.
+            ++report_.discarded_frames;
+            continue;
+          }
+          matched = true;
+          switch (on_frame(*frame)) {
+            case FrameOutcome::kAdvance:
+              break;  // on_frame installed the next expectation
+            case FrameOutcome::kConverged:
+              report_.result = SessionResult::kConverged;
+              mode_ = Mode::kDone;
+              break;
+            case FrameOutcome::kFailAttempt:
+              fail_attempt();
+              break;
+          }
+          break;
+        }
+        if (matched) continue;
+        if (expect_polls_ >= policy_.receive_poll_budget) {
+          fail_attempt();
+          continue;
+        }
+        ++expect_polls_;
+        ++report_.poll_ticks;
+        channel_.poll();
+        return true;
+      }
+    }
   }
 }
 
-void SessionDriver::drain(SessionReport& report) {
-  while (channel_.receive(net::Direction::kAtoB)) ++report.discarded_frames;
-  while (channel_.receive(net::Direction::kBtoA)) ++report.discarded_frames;
+AuthSessionMachine::AuthSessionMachine(net::DuplexChannel& channel,
+                                       const RetryPolicy& policy,
+                                       crypto::ChaChaDrbg& rng,
+                                       AuthVerifier& verifier,
+                                       AuthDevice& device,
+                                       std::uint64_t session_base)
+    : SessionMachine(channel, policy, rng, session_base),
+      verifier_(verifier),
+      device_(device) {}
+
+void AuthSessionMachine::begin_attempt() {
+  phase_ = 0;
+  const std::uint64_t nonce = rng_.next_u64();
+  channel_.send(net::Direction::kAtoB, verifier_.start(sid_, nonce));
+  expect_next(net::Direction::kAtoB, net::MessageType::kAuthRequest);
 }
+
+SessionMachine::FrameOutcome AuthSessionMachine::on_frame(
+    const net::Message& frame) {
+  using net::Direction;
+  using net::MessageType;
+  switch (phase_) {
+    case 0: {
+      const auto response = device_.handle_request(frame);
+      if (!response) return FrameOutcome::kFailAttempt;  // corrupted payload
+      channel_.send(Direction::kBtoA, *response);
+      phase_ = 1;
+      expect_next(Direction::kBtoA, MessageType::kAuthResponse);
+      return FrameOutcome::kAdvance;
+    }
+    case 1: {
+      const auto outcome = verifier_.process_response(frame);
+      report_.last_auth_status = outcome.status;
+      if (outcome.status != AuthStatus::kOk || !outcome.confirm) {
+        return FrameOutcome::kFailAttempt;
+      }
+      channel_.send(Direction::kAtoB, *outcome.confirm);
+      phase_ = 2;
+      // The verifier has already rotated; if the confirm is lost the
+      // device stays on the old secret and the *next* attempt recovers
+      // through the verifier's one-deep fallback (mutual_auth.hpp).
+      expect_next(Direction::kAtoB, MessageType::kAuthConfirm);
+      return FrameOutcome::kAdvance;
+    }
+    default: {
+      if (device_.handle_confirm(frame) != AuthStatus::kOk) {
+        return FrameOutcome::kFailAttempt;
+      }
+      report_.last_auth_status = AuthStatus::kOk;
+      return FrameOutcome::kConverged;
+    }
+  }
+}
+
+EkeSessionMachine::EkeSessionMachine(net::DuplexChannel& channel,
+                                     const RetryPolicy& policy,
+                                     crypto::ChaChaDrbg& rng,
+                                     EkeParty& initiator, EkeParty& responder,
+                                     std::uint64_t session_base)
+    : SessionMachine(channel, policy, rng, session_base),
+      initiator_(initiator),
+      responder_(responder) {}
+
+void EkeSessionMachine::begin_attempt() {
+  phase_ = 0;
+  // initiate() rolls fresh ephemerals per attempt, so a replayed or
+  // delayed hello of a dead attempt can never be completed later.
+  channel_.send(net::Direction::kAtoB, initiator_.initiate(sid_));
+  expect_next(net::Direction::kAtoB, net::MessageType::kEkeClientHello);
+}
+
+SessionMachine::FrameOutcome EkeSessionMachine::on_frame(
+    const net::Message& frame) {
+  using net::Direction;
+  using net::MessageType;
+  switch (phase_) {
+    case 0: {
+      const auto server_hello = responder_.respond(frame);
+      if (!server_hello) return FrameOutcome::kFailAttempt;  // bad hello
+      channel_.send(Direction::kBtoA, *server_hello);
+      phase_ = 1;
+      expect_next(Direction::kBtoA, MessageType::kEkeServerHello);
+      return FrameOutcome::kAdvance;
+    }
+    case 1: {
+      const auto client_confirm = initiator_.confirm(frame);
+      // MAC mismatch wipes the key — retry with fresh ephemerals.
+      if (!client_confirm) return FrameOutcome::kFailAttempt;
+      channel_.send(Direction::kAtoB, *client_confirm);
+      phase_ = 2;
+      expect_next(Direction::kAtoB, MessageType::kEkeClientConfirm);
+      return FrameOutcome::kAdvance;
+    }
+    default: {
+      if (!responder_.finalize(frame)) return FrameOutcome::kFailAttempt;
+      return FrameOutcome::kConverged;
+    }
+  }
+}
+
+SessionDriver::SessionDriver(net::DuplexChannel& channel, RetryPolicy policy)
+    : channel_(channel),
+      policy_(policy),
+      rng_(session_driver_seed_bytes(policy.seed)) {}
 
 SessionReport SessionDriver::run_mutual_auth(AuthVerifier& verifier,
                                              AuthDevice& device,
                                              std::uint64_t session_base) {
-  using net::Direction;
-  using net::MessageType;
-  SessionReport report;
-
-  for (unsigned attempt = 1; attempt <= policy_.max_attempts; ++attempt) {
-    report.attempts = attempt;
-    if (attempt > 1) {
-      backoff(attempt - 1, report);
-      drain(report);
-    }
-    const std::uint64_t sid = session_base + attempt;
-    const std::uint64_t nonce = rng_.next_u64();
-
-    channel_.send(Direction::kAtoB, verifier.start(sid, nonce));
-    const auto request =
-        expect(Direction::kAtoB, MessageType::kAuthRequest, sid, report);
-    if (!request) continue;
-
-    const auto response = device.handle_request(*request);
-    if (!response) continue;  // corrupted request payload
-    channel_.send(Direction::kBtoA, *response);
-
-    const auto delivered =
-        expect(Direction::kBtoA, MessageType::kAuthResponse, sid, report);
-    if (!delivered) continue;
-    const auto outcome = verifier.process_response(*delivered);
-    report.last_auth_status = outcome.status;
-    if (outcome.status != AuthStatus::kOk || !outcome.confirm) continue;
-    channel_.send(Direction::kAtoB, *outcome.confirm);
-
-    // The verifier has already rotated; if the confirm is lost the device
-    // stays on the old secret and the *next* attempt recovers through the
-    // verifier's one-deep fallback (mutual_auth.hpp) — no lockout.
-    const auto confirm =
-        expect(Direction::kAtoB, MessageType::kAuthConfirm, sid, report);
-    if (!confirm) continue;
-    if (device.handle_confirm(*confirm) != AuthStatus::kOk) continue;
-
-    report.result = SessionResult::kConverged;
-    report.last_auth_status = AuthStatus::kOk;
-    return report;
+  AuthSessionMachine machine(channel_, policy_, rng_, verifier, device,
+                             session_base);
+  while (machine.step()) {
   }
-  return report;
+  return machine.report();
 }
 
 SessionReport SessionDriver::run_eke(EkeParty& initiator, EkeParty& responder,
                                      std::uint64_t session_base) {
-  using net::Direction;
-  using net::MessageType;
-  SessionReport report;
-
-  for (unsigned attempt = 1; attempt <= policy_.max_attempts; ++attempt) {
-    report.attempts = attempt;
-    if (attempt > 1) {
-      backoff(attempt - 1, report);
-      drain(report);
-    }
-    const std::uint64_t sid = session_base + attempt;
-
-    // initiate() rolls fresh ephemerals per attempt, so a replayed or
-    // delayed hello of a dead attempt can never be completed later.
-    channel_.send(Direction::kAtoB, initiator.initiate(sid));
-    const auto hello =
-        expect(Direction::kAtoB, MessageType::kEkeClientHello, sid, report);
-    if (!hello) continue;
-
-    const auto server_hello = responder.respond(*hello);
-    if (!server_hello) continue;  // corrupted hello (bad length/element)
-    channel_.send(Direction::kBtoA, *server_hello);
-
-    const auto delivered =
-        expect(Direction::kBtoA, MessageType::kEkeServerHello, sid, report);
-    if (!delivered) continue;
-    const auto client_confirm = initiator.confirm(*delivered);
-    if (!client_confirm) continue;  // MAC mismatch wipes the key — retry
-    channel_.send(Direction::kAtoB, *client_confirm);
-
-    const auto finalize =
-        expect(Direction::kAtoB, MessageType::kEkeClientConfirm, sid, report);
-    if (!finalize) continue;
-    if (!responder.finalize(*finalize)) continue;
-
-    report.result = SessionResult::kConverged;
-    return report;
+  EkeSessionMachine machine(channel_, policy_, rng_, initiator, responder,
+                            session_base);
+  while (machine.step()) {
   }
-  return report;
+  return machine.report();
 }
 
 }  // namespace neuropuls::core

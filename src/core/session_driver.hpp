@@ -26,6 +26,13 @@
 //     seeded by `RetryPolicy::seed` (protocol layer: crypto DRBG, never
 //     the simulation PRNGs), so the same seeds reproduce the same
 //     transcript byte-for-byte.
+//
+// The retry loop itself lives in the resumable SessionMachine classes
+// below: step() advances a session until its next channel poll (the unit
+// of simulated time) and then yields. SessionDriver::run_* simply steps
+// one machine to completion, so a blocking serial run and a multiplexed
+// core::SessionEngine run execute the identical operation sequence per
+// session — that equivalence is what the engine's determinism tests pin.
 #pragma once
 
 #include <cstdint>
@@ -56,6 +63,12 @@ enum class SessionResult {
   kExhausted,  // retry budget spent without convergence
 };
 
+/// DRBG seed bytes of a session-driver stream ("np-session-driver" ||
+/// seed big-endian) — shared by SessionDriver and core::SessionEngine so
+/// an engine session with seed s reproduces a serial driver constructed
+/// with RetryPolicy::seed == s byte-for-byte.
+crypto::Bytes session_driver_seed_bytes(std::uint64_t seed);
+
 struct SessionReport {
   SessionResult result = SessionResult::kExhausted;
   unsigned attempts = 0;           // attempts started (1-based)
@@ -67,37 +80,128 @@ struct SessionReport {
   AuthStatus last_auth_status = AuthStatus::kOk;
 };
 
+/// One retried protocol exchange as a resumable state machine. step()
+/// advances the session until it performs exactly one channel poll (or
+/// terminates), so a scheduler can hold many sessions in flight without
+/// any session blocking a thread. The retry/backoff/expect semantics and
+/// the DRBG draw order (backoff jitter at backoff entry, nonce per
+/// attempt) are exactly those of the former blocking driver loops.
+///
+/// The machine borrows everything it touches — channel, DRBG, protocol
+/// endpoints — and owns only control state, so the caller decides sharing
+/// (the serial driver reuses one DRBG across runs; the engine gives every
+/// session its own).
+class SessionMachine {
+ public:
+  virtual ~SessionMachine() = default;
+  SessionMachine(const SessionMachine&) = delete;
+  SessionMachine& operator=(const SessionMachine&) = delete;
+
+  /// Advances until the next channel poll or a terminal state. Returns
+  /// true while the session is still running.
+  bool step();
+
+  bool done() const noexcept { return mode_ == Mode::kDone; }
+  const SessionReport& report() const noexcept { return report_; }
+
+ protected:
+  SessionMachine(net::DuplexChannel& channel, const RetryPolicy& policy,
+                 crypto::ChaChaDrbg& rng, std::uint64_t session_base);
+
+  /// What a protocol did with a matching frame.
+  enum class FrameOutcome {
+    kAdvance,      // sent the next frame and updated the expectation
+    kConverged,    // exchange complete
+    kFailAttempt,  // processing failed — retry with the next attempt
+  };
+
+  /// Sends the attempt's opening frame(s) and installs the first
+  /// expectation via expect_next(). `sid_` is already set.
+  virtual void begin_attempt() = 0;
+  /// Handles a frame matching the current expectation.
+  virtual FrameOutcome on_frame(const net::Message& frame) = 0;
+
+  /// Installs the next expected (direction, type); resets the per-receive
+  /// poll budget, mirroring the per-expect() budget of the serial driver.
+  void expect_next(net::Direction direction, net::MessageType type);
+
+  net::DuplexChannel& channel_;
+  RetryPolicy policy_;
+  crypto::ChaChaDrbg& rng_;
+  std::uint64_t sid_ = 0;
+  SessionReport report_;
+
+ private:
+  enum class Mode { kStartAttempt, kBackoff, kExpect, kDone };
+
+  void start_attempt();
+  void fail_attempt();
+  std::size_t backoff_ticks(unsigned attempt);
+  void drain();
+
+  std::uint64_t session_base_;
+  Mode mode_ = Mode::kStartAttempt;
+  unsigned attempt_ = 1;
+  std::size_t backoff_remaining_ = 0;
+  std::size_t expect_polls_ = 0;
+  net::Direction expect_direction_ = net::Direction::kAtoB;
+  net::MessageType expect_type_{};
+};
+
+/// HSC-IoT mutual authentication as a SessionMachine. Session ids are
+/// `session_base + attempt` so late frames of a failed attempt can never
+/// satisfy a later one.
+class AuthSessionMachine final : public SessionMachine {
+ public:
+  AuthSessionMachine(net::DuplexChannel& channel, const RetryPolicy& policy,
+                     crypto::ChaChaDrbg& rng, AuthVerifier& verifier,
+                     AuthDevice& device, std::uint64_t session_base);
+
+ private:
+  void begin_attempt() override;
+  FrameOutcome on_frame(const net::Message& frame) override;
+
+  AuthVerifier& verifier_;
+  AuthDevice& device_;
+  unsigned phase_ = 0;
+};
+
+/// EKE AKA as a SessionMachine. On kConverged both parties hold matching
+/// session keys (asserted via common::ct_equal in tests).
+class EkeSessionMachine final : public SessionMachine {
+ public:
+  EkeSessionMachine(net::DuplexChannel& channel, const RetryPolicy& policy,
+                    crypto::ChaChaDrbg& rng, EkeParty& initiator,
+                    EkeParty& responder, std::uint64_t session_base);
+
+ private:
+  void begin_attempt() override;
+  FrameOutcome on_frame(const net::Message& frame) override;
+
+  EkeParty& initiator_;
+  EkeParty& responder_;
+  unsigned phase_ = 0;
+};
+
 /// Drives one protocol exchange at a time over `channel`. Both endpoints
 /// run in-process (as everywhere in this stack); the driver owns the
-/// retry loop, not the endpoints' secrets.
+/// retry loop, not the endpoints' secrets. Implemented by stepping one
+/// SessionMachine to completion.
 class SessionDriver {
  public:
   explicit SessionDriver(net::DuplexChannel& channel, RetryPolicy policy = {});
 
-  /// HSC-IoT mutual authentication with retries. Session ids are
-  /// `session_base + attempt` so late frames of a failed attempt can
-  /// never satisfy a later one.
+  /// HSC-IoT mutual authentication with retries.
   SessionReport run_mutual_auth(AuthVerifier& verifier, AuthDevice& device,
                                 std::uint64_t session_base);
 
-  /// EKE AKA with retries. On kConverged both parties hold matching
-  /// session keys (asserted via common::ct_equal in tests).
+  /// EKE AKA with retries.
   SessionReport run_eke(EkeParty& initiator, EkeParty& responder,
                         std::uint64_t session_base);
 
   const RetryPolicy& policy() const noexcept { return policy_; }
 
  private:
-  /// Receives the next frame of (type, session_id), discarding any other
-  /// frame (stale attempt, corrupted type) and polling on empty up to the
-  /// policy budget. Discards do not consume poll budget.
-  std::optional<net::Message> expect(net::Direction direction,
-                                     net::MessageType type,
-                                     std::uint64_t session_id,
-                                     SessionReport& report);
-  void backoff(unsigned attempt, SessionReport& report);
-  void drain(SessionReport& report);
-
   net::DuplexChannel& channel_;
   RetryPolicy policy_;
   crypto::ChaChaDrbg rng_;

@@ -1,0 +1,71 @@
+#include "core/session_engine.hpp"
+
+#include <algorithm>
+
+namespace neuropuls::core {
+
+SessionEngine::SessionEngine(common::ThreadPool& pool,
+                             SessionEngineConfig config)
+    : pool_(pool), config_(config) {
+  config_.max_in_flight = std::max<std::size_t>(1, config_.max_in_flight);
+  config_.steps_per_wave = std::max<std::size_t>(1, config_.steps_per_wave);
+}
+
+std::size_t SessionEngine::submit(std::uint64_t seed,
+                                  const MachineFactory& build) {
+  auto session = std::make_unique<Session>(seed);
+  const std::size_t index = submitted_++;
+  session->index = index;
+  session->machine = build(session->rng);
+  pending_.push_back(std::move(session));
+  return index;
+}
+
+std::vector<SessionReport> SessionEngine::run() {
+  std::vector<std::unique_ptr<Session>> queue = std::move(pending_);
+  pending_.clear();
+  submitted_ = 0;
+
+  // Reports are keyed by submission index: completion order is
+  // schedule-dependent, the result must not be.
+  std::vector<SessionReport> reports(queue.size());
+
+  std::vector<std::unique_ptr<Session>> active;
+  active.reserve(std::min(config_.max_in_flight, queue.size()));
+  std::size_t next = 0;
+
+  while (next < queue.size() || !active.empty()) {
+    while (active.size() < config_.max_in_flight && next < queue.size()) {
+      active.push_back(std::move(queue[next]));
+      ++next;
+    }
+
+    ++stats_.waves;
+    pool_.parallel_for(active.size(), [&](std::size_t i) {
+      SessionMachine& machine = *active[i]->machine;
+      for (std::size_t k = 0; k < config_.steps_per_wave && !machine.done();
+           ++k) {
+        machine.step();
+      }
+    });
+
+    // Retire finished sessions and compact the in-flight set; freed slots
+    // refill from the queue on the next wave.
+    std::size_t keep = 0;
+    for (std::size_t i = 0; i < active.size(); ++i) {
+      Session& session = *active[i];
+      if (session.machine->done()) {
+        const SessionReport& report = session.machine->report();
+        reports[session.index] = report;
+        ++stats_.completed;
+        if (report.result == SessionResult::kConverged) ++stats_.converged;
+      } else {
+        active[keep++] = std::move(active[i]);
+      }
+    }
+    active.resize(keep);
+  }
+  return reports;
+}
+
+}  // namespace neuropuls::core

@@ -1,0 +1,96 @@
+// Multiplexed verifier session engine — many handshakes in flight at
+// once over one thread pool.
+//
+// The paper's verifier is fleet-facing: §III/§IV describe one
+// infrastructure endpoint authenticating and key-exchanging with a
+// population of PUF devices, so verifier throughput is sessions/sec, not
+// single-handshake latency. A thread-per-session design caps concurrency
+// at the OS thread budget and wastes every thread that is blocked in a
+// retry backoff; this engine instead keeps M sessions in flight as
+// resumable core::SessionMachine state machines and steps them in waves
+// over a common::ThreadPool — each step costs one channel poll, never a
+// blocked thread.
+//
+// Determinism: every session owns its channel, protocol endpoints, and a
+// private ChaCha DRBG seeded exactly like a serial SessionDriver with
+// RetryPolicy::seed == the submitted seed (session_driver_seed_bytes).
+// Sessions share no mutable state, so the wave schedule cannot influence
+// any session's operation order — K concurrent sessions produce
+// byte-identical per-session transcripts to K serial runs (pinned by
+// tests/core/test_session_engine.cpp, including over faulty channels).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/parallel.hpp"
+#include "core/session_driver.hpp"
+#include "crypto/chacha20.hpp"
+
+namespace neuropuls::core {
+
+struct SessionEngineConfig {
+  /// Sessions stepped concurrently; admission is in submission order.
+  std::size_t max_in_flight = 64;
+  /// step() calls per session per scheduling wave. Amortises the
+  /// parallel_for barrier; per-session transcripts are schedule-free, so
+  /// this is a pure throughput knob.
+  std::size_t steps_per_wave = 8;
+};
+
+struct SessionEngineStats {
+  std::size_t completed = 0;
+  std::size_t converged = 0;
+  /// parallel_for rounds run — with max_in_flight sessions admitted this
+  /// approximates total-steps / (in_flight * steps_per_wave).
+  std::uint64_t waves = 0;
+};
+
+/// Runs submitted sessions to completion across a borrowed thread pool.
+/// Not itself thread-safe: one thread submits and runs; the parallelism
+/// lives inside run().
+class SessionEngine {
+ public:
+  /// Builds the machine for one session, bound to the engine-owned DRBG
+  /// (stable address for the machine's lifetime). The caller keeps the
+  /// channel and protocol endpoints the machine borrows alive until run()
+  /// returns.
+  using MachineFactory =
+      std::function<std::unique_ptr<SessionMachine>(crypto::ChaChaDrbg& rng)>;
+
+  explicit SessionEngine(common::ThreadPool& pool,
+                         SessionEngineConfig config = {});
+
+  /// Queues one session; returns its submission index (the slot of its
+  /// report in run()'s result).
+  std::size_t submit(std::uint64_t seed, const MachineFactory& build);
+
+  /// Runs every queued session to completion. Reports are returned in
+  /// submission order; stats() accumulates across calls.
+  std::vector<SessionReport> run();
+
+  std::size_t queued() const noexcept { return pending_.size(); }
+  const SessionEngineStats& stats() const noexcept { return stats_; }
+  const SessionEngineConfig& config() const noexcept { return config_; }
+
+ private:
+  /// unique_ptr keeps the DRBG's address stable when the pending vector
+  /// reallocates — the machine holds a reference to it.
+  struct Session {
+    explicit Session(std::uint64_t seed)
+        : rng(session_driver_seed_bytes(seed)) {}
+    crypto::ChaChaDrbg rng;
+    std::unique_ptr<SessionMachine> machine;
+    std::size_t index = 0;
+  };
+
+  common::ThreadPool& pool_;
+  SessionEngineConfig config_;
+  std::vector<std::unique_ptr<Session>> pending_;
+  SessionEngineStats stats_;
+  std::size_t submitted_ = 0;
+};
+
+}  // namespace neuropuls::core

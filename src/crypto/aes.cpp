@@ -186,6 +186,30 @@ void Aes::encrypt_block(
   add_round_key(s, round_keys_.data() + 16 * rounds_);
 }
 
+void Aes::encrypt_blocks(std::uint8_t* blocks,
+                         std::size_t nblocks) const noexcept {
+  for (std::size_t b = 0; b < nblocks; ++b) {
+    add_round_key(blocks + 16 * b, round_keys_.data());
+  }
+  for (std::size_t round = 1; round < rounds_; ++round) {
+    const std::uint8_t* rk = round_keys_.data() + 16 * round;
+    for (std::size_t b = 0; b < nblocks; ++b) {
+      std::uint8_t* s = blocks + 16 * b;
+      sub_bytes(s);
+      shift_rows(s);
+      mix_columns(s);
+      add_round_key(s, rk);
+    }
+  }
+  const std::uint8_t* rk_final = round_keys_.data() + 16 * rounds_;
+  for (std::size_t b = 0; b < nblocks; ++b) {
+    std::uint8_t* s = blocks + 16 * b;
+    sub_bytes(s);
+    shift_rows(s);
+    add_round_key(s, rk_final);
+  }
+}
+
 void Aes::decrypt_block(
     std::span<std::uint8_t, kBlockSize> block) const noexcept {
   std::uint8_t* s = block.data();
@@ -203,6 +227,15 @@ void Aes::decrypt_block(
 
 std::uint8_t aes_sbox(std::uint8_t x) noexcept { return kSbox[x]; }
 
+namespace {
+
+// Number of CTR keystream blocks pipelined through encrypt_blocks per
+// round trip; 8 blocks (128 bytes) covers typical record sizes in one or
+// two batches without oversizing the stack buffer.
+constexpr std::size_t kCtrPipeline = 8;
+
+}  // namespace
+
 Bytes aes_ctr(const Aes& cipher, ByteView nonce16, ByteView data) {
   if (nonce16.size() != Aes::kBlockSize) {
     throw std::invalid_argument("aes_ctr: nonce must be 16 bytes");
@@ -211,19 +244,25 @@ Bytes aes_ctr(const Aes& cipher, ByteView nonce16, ByteView data) {
   std::memcpy(counter.data(), nonce16.data(), Aes::kBlockSize);
 
   Bytes out(data.begin(), data.end());
-  std::array<std::uint8_t, Aes::kBlockSize> keystream{};
+  std::array<std::uint8_t, Aes::kBlockSize * kCtrPipeline> keystream{};
   for (std::size_t offset = 0; offset < out.size();
-       offset += Aes::kBlockSize) {
-    keystream = counter;
-    cipher.encrypt_block(keystream);
+       offset += keystream.size()) {
     const std::size_t n =
-        std::min<std::size_t>(Aes::kBlockSize, out.size() - offset);
-    for (std::size_t i = 0; i < n; ++i) out[offset + i] ^= keystream[i];
-
-    // Increment the low 32 bits big-endian.
-    for (int i = 15; i >= 12; --i) {
-      if (++counter[static_cast<std::size_t>(i)] != 0) break;
+        std::min<std::size_t>(keystream.size(), out.size() - offset);
+    const std::size_t blocks = (n + Aes::kBlockSize - 1) / Aes::kBlockSize;
+    // Materialise the counter blocks, then pipeline them through the
+    // cipher in one round-major pass. The tail block may be generated in
+    // full and used partially — CTR keystream is positional.
+    for (std::size_t b = 0; b < blocks; ++b) {
+      std::memcpy(keystream.data() + Aes::kBlockSize * b, counter.data(),
+                  Aes::kBlockSize);
+      // Increment the low 32 bits big-endian.
+      for (int i = 15; i >= 12; --i) {
+        if (++counter[static_cast<std::size_t>(i)] != 0) break;
+      }
     }
+    cipher.encrypt_blocks(keystream.data(), blocks);
+    for (std::size_t i = 0; i < n; ++i) out[offset + i] ^= keystream[i];
   }
   return out;
 }

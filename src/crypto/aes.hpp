@@ -30,6 +30,13 @@ class Aes {
   /// Encrypts one 16-byte block in place.
   void encrypt_block(std::span<std::uint8_t, kBlockSize> block) const noexcept;
 
+  /// Encrypts `nblocks` contiguous 16-byte blocks in place, round-major:
+  /// each round's SubBytes/ShiftRows/MixColumns/AddRoundKey pass runs
+  /// across every block before the next round starts, so the independent
+  /// block pipelines interleave (CTR keystream generation is exactly this
+  /// shape). Bit-identical to nblocks encrypt_block calls.
+  void encrypt_blocks(std::uint8_t* blocks, std::size_t nblocks) const noexcept;
+
   /// Decrypts one 16-byte block in place.
   void decrypt_block(std::span<std::uint8_t, kBlockSize> block) const noexcept;
 

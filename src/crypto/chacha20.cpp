@@ -35,6 +35,60 @@ void store_le32(std::uint8_t* p, std::uint32_t v) noexcept {
   p[3] = static_cast<std::uint8_t>(v >> 24);
 }
 
+// Interleaved quarter round over kChaCha20Lanes independent blocks: every
+// operation is elementwise across the lane dimension, so the loop
+// vectorizes to one SIMD op per scalar op. Integer add/xor/rotl are exact,
+// hence lane k's output is the scalar block function's output verbatim.
+inline void quarter_round_lanes(std::uint32_t* a, std::uint32_t* b,
+                                std::uint32_t* c, std::uint32_t* d) noexcept {
+  for (std::size_t l = 0; l < kChaCha20Lanes; ++l) {
+    a[l] += b[l]; d[l] ^= a[l]; d[l] = std::rotl(d[l], 16);
+    c[l] += d[l]; b[l] ^= c[l]; b[l] = std::rotl(b[l], 12);
+    a[l] += b[l]; d[l] ^= a[l]; d[l] = std::rotl(d[l], 8);
+    c[l] += d[l]; b[l] ^= c[l]; b[l] = std::rotl(b[l], 7);
+  }
+}
+
+// kChaCha20Lanes keystream blocks at consecutive counters, interleaved
+// word-by-word (x[word][lane]).
+void chacha20_block_lanes(const std::array<std::uint32_t, 8>& key,
+                          std::uint32_t counter,
+                          const std::array<std::uint32_t, 3>& nonce,
+                          std::uint8_t* out) noexcept {
+  std::uint32_t init[16];
+  for (int i = 0; i < 4; ++i) init[i] = kSigma[static_cast<std::size_t>(i)];
+  for (int i = 0; i < 8; ++i) init[4 + i] = key[static_cast<std::size_t>(i)];
+  init[12] = counter;
+  for (int i = 0; i < 3; ++i) init[13 + i] = nonce[static_cast<std::size_t>(i)];
+
+  std::uint32_t x[16][kChaCha20Lanes];
+  for (int i = 0; i < 16; ++i) {
+    for (std::size_t l = 0; l < kChaCha20Lanes; ++l) x[i][l] = init[i];
+  }
+  for (std::size_t l = 0; l < kChaCha20Lanes; ++l) {
+    x[12][l] = counter + static_cast<std::uint32_t>(l);
+  }
+
+  for (int round = 0; round < 10; ++round) {
+    quarter_round_lanes(x[0], x[4], x[8], x[12]);
+    quarter_round_lanes(x[1], x[5], x[9], x[13]);
+    quarter_round_lanes(x[2], x[6], x[10], x[14]);
+    quarter_round_lanes(x[3], x[7], x[11], x[15]);
+    quarter_round_lanes(x[0], x[5], x[10], x[15]);
+    quarter_round_lanes(x[1], x[6], x[11], x[12]);
+    quarter_round_lanes(x[2], x[7], x[8], x[13]);
+    quarter_round_lanes(x[3], x[4], x[9], x[14]);
+  }
+
+  for (std::size_t l = 0; l < kChaCha20Lanes; ++l) {
+    for (int i = 0; i < 16; ++i) {
+      const std::uint32_t feedforward =
+          i == 12 ? counter + static_cast<std::uint32_t>(l) : init[i];
+      store_le32(out + 64 * l + 4 * i, x[i][l] + feedforward);
+    }
+  }
+}
+
 }  // namespace
 
 void chacha20_block(const std::array<std::uint32_t, 8>& key,
@@ -64,8 +118,25 @@ void chacha20_block(const std::array<std::uint32_t, 8>& key,
   }
 }
 
-Bytes chacha20_xor(ByteView key32, ByteView nonce12, std::uint32_t counter,
-                   ByteView data) {
+void chacha20_blocks(const std::array<std::uint32_t, 8>& key,
+                     std::uint32_t counter,
+                     const std::array<std::uint32_t, 3>& nonce,
+                     std::uint8_t* out, std::size_t nblocks) noexcept {
+  std::size_t done = 0;
+  while (done + kChaCha20Lanes <= nblocks) {
+    chacha20_block_lanes(key, counter, nonce, out + 64 * done);
+    counter += static_cast<std::uint32_t>(kChaCha20Lanes);
+    done += kChaCha20Lanes;
+  }
+  for (; done < nblocks; ++done) {
+    chacha20_block(key, counter++, nonce,
+                   std::span<std::uint8_t, 64>(out + 64 * done, 64));
+  }
+}
+
+void chacha20_xor_inplace(ByteView key32, ByteView nonce12,
+                          std::uint32_t counter,
+                          std::span<std::uint8_t> data) {
   if (key32.size() != 32) {
     throw std::invalid_argument("chacha20: key must be 32 bytes");
   }
@@ -77,13 +148,25 @@ Bytes chacha20_xor(ByteView key32, ByteView nonce12, std::uint32_t counter,
   std::array<std::uint32_t, 3> nonce{};
   for (int i = 0; i < 3; ++i) nonce[static_cast<std::size_t>(i)] = load_le32(nonce12.data() + 4 * i);
 
-  Bytes out(data.begin(), data.end());
-  std::array<std::uint8_t, 64> block{};
-  for (std::size_t offset = 0; offset < out.size(); offset += 64) {
-    chacha20_block(key, counter++, nonce, block);
-    const std::size_t n = std::min<std::size_t>(64, out.size() - offset);
-    for (std::size_t i = 0; i < n; ++i) out[offset + i] ^= block[i];
+  // Keystream for up to kChaCha20Lanes blocks at a time; the tail block is
+  // generated in full and used partially (CTR keystream is positional, so
+  // over-generating changes no byte of the output).
+  std::array<std::uint8_t, 64 * kChaCha20Lanes> keystream;
+  for (std::size_t offset = 0; offset < data.size();
+       offset += keystream.size()) {
+    const std::size_t n =
+        std::min<std::size_t>(keystream.size(), data.size() - offset);
+    const std::size_t blocks = (n + 63) / 64;
+    chacha20_blocks(key, counter, nonce, keystream.data(), blocks);
+    counter += static_cast<std::uint32_t>(blocks);
+    for (std::size_t i = 0; i < n; ++i) data[offset + i] ^= keystream[i];
   }
+}
+
+Bytes chacha20_xor(ByteView key32, ByteView nonce12, std::uint32_t counter,
+                   ByteView data) {
+  Bytes out(data.begin(), data.end());
+  chacha20_xor_inplace(key32, nonce12, counter, out);
   return out;
 }
 
@@ -102,13 +185,54 @@ void ChaChaDrbg::refill() noexcept {
 
 void ChaChaDrbg::generate_into(std::span<std::uint8_t> out) {
   std::size_t written = 0;
-  while (written < out.size()) {
-    if (block_pos_ == 64) refill();
+  // Drain any partially consumed staging block first so the stream
+  // position is exactly where the byte-at-a-time path would leave it.
+  if (block_pos_ < 64 && written < out.size()) {
     const std::size_t n =
         std::min<std::size_t>(64 - block_pos_, out.size() - written);
     std::memcpy(out.data() + written, block_.data() + block_pos_, n);
     block_pos_ += n;
     written += n;
+  }
+  // Bulk middle: batched keystream straight into the caller's buffer,
+  // skipping the staging copy entirely.
+  const std::size_t whole = (out.size() - written) / 64;
+  if (whole > 0) {
+    chacha20_blocks(key_, counter_, nonce_, out.data() + written, whole);
+    counter_ += static_cast<std::uint32_t>(whole);
+    written += whole * 64;
+  }
+  if (written < out.size()) {
+    refill();
+    const std::size_t n = out.size() - written;
+    std::memcpy(out.data() + written, block_.data(), n);
+    block_pos_ = n;
+  }
+}
+
+void ChaChaDrbg::keystream_xor(std::span<std::uint8_t> data) {
+  std::size_t done = 0;
+  if (block_pos_ < 64 && done < data.size()) {
+    const std::size_t n =
+        std::min<std::size_t>(64 - block_pos_, data.size() - done);
+    for (std::size_t i = 0; i < n; ++i) data[done + i] ^= block_[block_pos_ + i];
+    block_pos_ += n;
+    done += n;
+  }
+  std::array<std::uint8_t, 64 * kChaCha20Lanes> keystream;
+  while (data.size() - done >= 64) {
+    const std::size_t whole =
+        std::min<std::size_t>((data.size() - done) / 64, kChaCha20Lanes);
+    chacha20_blocks(key_, counter_, nonce_, keystream.data(), whole);
+    counter_ += static_cast<std::uint32_t>(whole);
+    for (std::size_t i = 0; i < whole * 64; ++i) data[done + i] ^= keystream[i];
+    done += whole * 64;
+  }
+  if (done < data.size()) {
+    refill();
+    const std::size_t n = data.size() - done;
+    for (std::size_t i = 0; i < n; ++i) data[done + i] ^= block_[i];
+    block_pos_ = n;
   }
 }
 

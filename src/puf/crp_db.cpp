@@ -4,6 +4,34 @@
 
 namespace neuropuls::puf {
 
+CrpDatabase::CrpDatabase(std::size_t shards) {
+  const std::size_t count = shards == 0 ? 1 : shards;
+  shards_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+CrpDatabase::Shard& CrpDatabase::shard_for(
+    crypto::ByteView challenge) noexcept {
+  return *shards_[detail::ChallengeHash{}(challenge) % shards_.size()];
+}
+
+const CrpDatabase::Shard& CrpDatabase::shard_for(
+    crypto::ByteView challenge) const noexcept {
+  return *shards_[detail::ChallengeHash{}(challenge) % shards_.size()];
+}
+
+std::unique_lock<std::mutex> CrpDatabase::lock_shard(const Shard& shard) {
+  std::unique_lock<std::mutex> lock(shard.mutex, std::try_to_lock);
+  shard.acquisitions.fetch_add(1, std::memory_order_relaxed);
+  if (!lock.owns_lock()) {
+    shard.contended.fetch_add(1, std::memory_order_relaxed);
+    lock.lock();
+  }
+  return lock;
+}
+
 void CrpDatabase::enroll(Puf& puf, std::size_t count, crypto::ChaChaDrbg& rng,
                          unsigned readings) {
   for (std::size_t i = 0; i < count; ++i) {
@@ -15,60 +43,78 @@ void CrpDatabase::enroll(Puf& puf, std::size_t count, crypto::ChaChaDrbg& rng,
 }
 
 void CrpDatabase::insert(Crp crp) {
-  index_[crp.challenge] = entries_.size();
-  entries_.push_back(Entry{std::move(crp), CrpHealth{}});
+  Shard& shard = shard_for(crp.challenge);
+  const auto lock = lock_shard(shard);
+  shard.index[crp.challenge] = shard.entries.size();
+  shard.entries.push_back(Entry{std::move(crp), CrpHealth{}});
+  size_.fetch_add(1, std::memory_order_relaxed);
 }
 
-void CrpDatabase::remove_at(std::size_t pos) {
-  index_.erase(entries_[pos].crp.challenge);
-  compact(pos);
+void CrpDatabase::remove_at(Shard& shard, std::size_t pos) {
+  shard.index.erase(shard.entries[pos].crp.challenge);
+  compact(shard, pos);
 }
 
 // Swap-with-back removal of a slot whose index entry is already erased.
-void CrpDatabase::compact(std::size_t pos) {
-  if (pos != entries_.size() - 1) {
-    entries_[pos] = std::move(entries_.back());
-    index_[entries_[pos].crp.challenge] = pos;
+void CrpDatabase::compact(Shard& shard, std::size_t pos) {
+  if (pos != shard.entries.size() - 1) {
+    shard.entries[pos] = std::move(shard.entries.back());
+    shard.index[shard.entries[pos].crp.challenge] = pos;
   }
-  entries_.pop_back();
+  shard.entries.pop_back();
 }
 
 std::optional<Crp> CrpDatabase::take() {
-  // Scan from the back (cheap removal) past any quarantined entries: a
-  // CRP in quarantine must never be served for authentication.
-  for (std::size_t i = entries_.size(); i-- > 0;) {
-    if (entries_[i].health.quarantined) continue;
-    // Erase the index entry before moving the CRP out: the challenge is
-    // the map key, so erasing after the move would probe with a
-    // moved-from (empty) buffer and strand a stale index entry.
-    index_.erase(entries_[i].crp.challenge);
-    Crp crp = std::move(entries_[i].crp);
-    compact(i);
-    return crp;
+  // Round-robin over shards so concurrent takers spread across stripes;
+  // with one shard this degenerates to the serial scan order. Within a
+  // shard, scan from the back (cheap removal) past any quarantined
+  // entries: a CRP in quarantine must never be served for authentication.
+  const std::size_t start =
+      take_cursor_.fetch_add(1, std::memory_order_relaxed) % shards_.size();
+  for (std::size_t probe = 0; probe < shards_.size(); ++probe) {
+    Shard& shard = *shards_[(start + probe) % shards_.size()];
+    const auto lock = lock_shard(shard);
+    for (std::size_t i = shard.entries.size(); i-- > 0;) {
+      if (shard.entries[i].health.quarantined) continue;
+      // Erase the index entry before moving the CRP out: the challenge is
+      // the map key, so erasing after the move would probe with a
+      // moved-from (empty) buffer and strand a stale index entry.
+      shard.index.erase(shard.entries[i].crp.challenge);
+      Crp crp = std::move(shard.entries[i].crp);
+      compact(shard, i);
+      size_.fetch_sub(1, std::memory_order_relaxed);
+      return crp;
+    }
   }
   return std::nullopt;
 }
 
 std::optional<Response> CrpDatabase::lookup(const Challenge& challenge) const {
-  const auto it = index_.find(crypto::ByteView{challenge});
-  if (it == index_.end()) return std::nullopt;
-  const Entry& entry = entries_[it->second];
+  const Shard& shard = shard_for(crypto::ByteView{challenge});
+  const auto lock = lock_shard(shard);
+  const auto it = shard.index.find(crypto::ByteView{challenge});
+  if (it == shard.index.end()) return std::nullopt;
+  const Entry& entry = shard.entries[it->second];
   if (entry.health.quarantined) return std::nullopt;
   return entry.crp.response;
 }
 
 void CrpDatabase::record_success(const Challenge& challenge) {
-  const auto it = index_.find(crypto::ByteView{challenge});
-  if (it == index_.end()) return;
-  CrpHealth& health = entries_[it->second].health;
+  Shard& shard = shard_for(crypto::ByteView{challenge});
+  const auto lock = lock_shard(shard);
+  const auto it = shard.index.find(crypto::ByteView{challenge});
+  if (it == shard.index.end()) return;
+  CrpHealth& health = shard.entries[it->second].health;
   ++health.successes;
   health.consecutive_failures = 0;
 }
 
 void CrpDatabase::record_failure(const Challenge& challenge) {
-  const auto it = index_.find(crypto::ByteView{challenge});
-  if (it == index_.end()) return;
-  CrpHealth& health = entries_[it->second].health;
+  Shard& shard = shard_for(crypto::ByteView{challenge});
+  const auto lock = lock_shard(shard);
+  const auto it = shard.index.find(crypto::ByteView{challenge});
+  if (it == shard.index.end()) return;
+  CrpHealth& health = shard.entries[it->second].health;
   ++health.failures;
   ++health.consecutive_failures;
   if (health.consecutive_failures >= quarantine_threshold_) {
@@ -77,34 +123,60 @@ void CrpDatabase::record_failure(const Challenge& challenge) {
 }
 
 std::optional<CrpHealth> CrpDatabase::health(const Challenge& challenge) const {
-  const auto it = index_.find(crypto::ByteView{challenge});
-  if (it == index_.end()) return std::nullopt;
-  return entries_[it->second].health;
+  const Shard& shard = shard_for(crypto::ByteView{challenge});
+  const auto lock = lock_shard(shard);
+  const auto it = shard.index.find(crypto::ByteView{challenge});
+  if (it == shard.index.end()) return std::nullopt;
+  return shard.entries[it->second].health;
 }
 
 std::size_t CrpDatabase::quarantined() const noexcept {
   std::size_t count = 0;
-  for (const Entry& entry : entries_) {
-    if (entry.health.quarantined) ++count;
+  for (const auto& shard : shards_) {
+    const auto lock = lock_shard(*shard);
+    for (const Entry& entry : shard->entries) {
+      if (entry.health.quarantined) ++count;
+    }
   }
   return count;
 }
 
 std::size_t CrpDatabase::evict_quarantined() {
   std::size_t evicted = 0;
-  for (std::size_t i = entries_.size(); i-- > 0;) {
-    if (entries_[i].health.quarantined) {
-      remove_at(i);
-      ++evicted;
+  for (const auto& shard : shards_) {
+    const auto lock = lock_shard(*shard);
+    for (std::size_t i = shard->entries.size(); i-- > 0;) {
+      if (shard->entries[i].health.quarantined) {
+        remove_at(*shard, i);
+        ++evicted;
+      }
     }
   }
+  size_.fetch_sub(evicted, std::memory_order_relaxed);
   return evicted;
+}
+
+std::size_t CrpDatabase::shard_size(std::size_t shard) const {
+  const auto lock = lock_shard(*shards_[shard % shards_.size()]);
+  return shards_[shard % shards_.size()]->entries.size();
+}
+
+CrpStoreStats CrpDatabase::lock_stats() const noexcept {
+  CrpStoreStats stats;
+  for (const auto& shard : shards_) {
+    stats.acquisitions += shard->acquisitions.load(std::memory_order_relaxed);
+    stats.contended += shard->contended.load(std::memory_order_relaxed);
+  }
+  return stats;
 }
 
 std::size_t CrpDatabase::storage_bytes() const noexcept {
   std::size_t total = 0;
-  for (const Entry& entry : entries_) {
-    total += entry.crp.challenge.size() + entry.crp.response.size();
+  for (const auto& shard : shards_) {
+    const auto lock = lock_shard(*shard);
+    for (const Entry& entry : shard->entries) {
+      total += entry.crp.challenge.size() + entry.crp.response.size();
+    }
   }
   return total;
 }

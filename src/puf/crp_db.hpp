@@ -8,11 +8,24 @@
 // `bench/bench_auth` can measure the storage/lookup gap quantitatively,
 // including one-time-use semantics (each CRP is consumed at
 // authentication to prevent replay).
+//
+// Concurrency: a fleet-scale verifier serves many authentication sessions
+// at once (core::SessionEngine), so the store is lock-striped into N
+// shards keyed by the SipHash of the raw challenge bytes — the same hash
+// the per-shard index already computes. Every public operation is
+// thread-safe; operations on different shards never contend, and
+// contention that does happen is counted (`lock_stats`) so
+// `bench/bench_server` can plot ops/sec against shard count. The default
+// single-shard configuration behaves exactly like the previous serial
+// class, iteration order included.
 #pragma once
 
 #include <algorithm>
 #include <array>
+#include <atomic>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -68,10 +81,27 @@ struct CrpHealth {
   bool quarantined = false;
 };
 
+/// Aggregate lock statistics across shards. `contended` counts
+/// acquisitions that found the shard mutex already held — the signal that
+/// the shard count is too low for the offered concurrency.
+struct CrpStoreStats {
+  std::uint64_t acquisitions = 0;
+  std::uint64_t contended = 0;
+};
+
 class CrpDatabase {
  public:
+  /// `shards` fixes the stripe count for the lifetime of the store
+  /// (clamped to >= 1). One shard = the serial-compatible configuration.
+  explicit CrpDatabase(std::size_t shards = 1);
+
+  CrpDatabase(const CrpDatabase&) = delete;
+  CrpDatabase& operator=(const CrpDatabase&) = delete;
+
   /// Enrolls `count` CRPs by driving the PUF with challenges from `rng`.
-  /// Each response is majority-voted over `readings` evaluations.
+  /// Each response is majority-voted over `readings` evaluations. The PUF
+  /// itself is not thread-safe, so enrollment stays a serial operation
+  /// (inserts synchronise with concurrent readers as usual).
   void enroll(Puf& puf, std::size_t count, crypto::ChaChaDrbg& rng,
               unsigned readings = 5);
 
@@ -89,6 +119,8 @@ class CrpDatabase {
   std::optional<Response> lookup(const Challenge& challenge) const;
 
   /// Consecutive failures at which a CRP is quarantined (default 3).
+  /// Configure before concurrent use; the threshold itself is not
+  /// lock-protected.
   void set_quarantine_threshold(std::uint32_t threshold) noexcept {
     quarantine_threshold_ = threshold == 0 ? 1 : threshold;
   }
@@ -109,8 +141,18 @@ class CrpDatabase {
   /// Removes every quarantined CRP; returns how many were evicted.
   std::size_t evict_quarantined();
 
-  std::size_t size() const noexcept { return entries_.size(); }
-  bool empty() const noexcept { return entries_.empty(); }
+  std::size_t size() const noexcept {
+    return size_.load(std::memory_order_relaxed);
+  }
+  bool empty() const noexcept { return size() == 0; }
+
+  std::size_t shard_count() const noexcept { return shards_.size(); }
+
+  /// Entries currently stored in shard `shard` (for balance diagnostics).
+  std::size_t shard_size(std::size_t shard) const;
+
+  /// Aggregate lock acquisition/contention counters across all shards.
+  CrpStoreStats lock_stats() const noexcept;
 
   /// Verifier storage footprint in bytes (challenges + responses).
   std::size_t storage_bytes() const noexcept;
@@ -121,16 +163,35 @@ class CrpDatabase {
     CrpHealth health;
   };
 
-  void remove_at(std::size_t pos);
-  void compact(std::size_t pos);
+  /// One lock stripe: its own entries vector + challenge index, guarded
+  /// by one mutex. The swap-with-back compaction scheme of the serial
+  /// class operates per shard unchanged.
+  struct Shard {
+    mutable std::mutex mutex;
+    std::vector<Entry> entries;
+    // challenge bytes -> entries position, keyed on the raw buffer with a
+    // SipHash transparent hasher (heterogeneous lookup: ByteView probes
+    // need no Challenge copy).
+    std::unordered_map<Challenge, std::size_t, detail::ChallengeHash,
+                       detail::ChallengeEqual>
+        index;
+    mutable std::atomic<std::uint64_t> acquisitions{0};
+    mutable std::atomic<std::uint64_t> contended{0};
+  };
 
-  std::vector<Entry> entries_;
-  // challenge bytes -> entries_ position, keyed on the raw buffer with a
-  // SipHash transparent hasher (heterogeneous lookup: ByteView probes
-  // need no Challenge copy).
-  std::unordered_map<Challenge, std::size_t, detail::ChallengeHash,
-                     detail::ChallengeEqual>
-      index_;
+  Shard& shard_for(crypto::ByteView challenge) noexcept;
+  const Shard& shard_for(crypto::ByteView challenge) const noexcept;
+  /// Locks a shard, counting the acquisition and whether it contended.
+  static std::unique_lock<std::mutex> lock_shard(const Shard& shard);
+
+  static void remove_at(Shard& shard, std::size_t pos);
+  static void compact(Shard& shard, std::size_t pos);
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<std::size_t> size_{0};
+  /// Round-robin starting shard for take(): spreads concurrent takers
+  /// across stripes instead of draining shard 0 first.
+  std::atomic<std::size_t> take_cursor_{0};
   std::uint32_t quarantine_threshold_ = 3;
 };
 

@@ -202,6 +202,127 @@ TEST(ChaChaDrbg, ReseedChangesStream) {
   EXPECT_NE(a.generate(32), b.generate(32));
 }
 
+// Bit-identity of the batched kernels against their scalar forms: the
+// lane-interleaved / pipelined paths are pure layout transforms and must
+// never change a single output bit.
+
+// The 4-lane ChaCha20 kernel vs one-block-at-a-time calls. A 64-byte
+// message takes the scalar tail path, so encrypting a long message in one
+// call (lane groups + tail) must equal stitching per-block scalar calls
+// at successive counters.
+TEST(ChaCha20, BatchedKeystreamMatchesScalarBlocks) {
+  Bytes key(32), nonce(12);
+  for (std::size_t i = 0; i < key.size(); ++i) {
+    key[i] = static_cast<std::uint8_t>(0x13 * i + 5);
+  }
+  for (std::size_t i = 0; i < nonce.size(); ++i) {
+    nonce[i] = static_cast<std::uint8_t>(0x31 * i + 7);
+  }
+  // 6.5 blocks: one full lane group of 4, a scalar tail of 2, a partial.
+  Bytes msg(416 - 32);
+  for (std::size_t i = 0; i < msg.size(); ++i) {
+    msg[i] = static_cast<std::uint8_t>(i * 37);
+  }
+  const Bytes bulk = chacha20_xor(key, nonce, 9, msg);
+  Bytes stitched;
+  for (std::size_t off = 0; off < msg.size(); off += 64) {
+    const std::size_t n = std::min<std::size_t>(64, msg.size() - off);
+    const Bytes piece = chacha20_xor(
+        key, nonce, static_cast<std::uint32_t>(9 + off / 64),
+        ByteView(msg).subspan(off, n));
+    stitched.insert(stitched.end(), piece.begin(), piece.end());
+  }
+  EXPECT_EQ(bulk, stitched);
+}
+
+TEST(ChaCha20, InplaceMatchesCopyingXor) {
+  const Bytes key(32, 0x5c);
+  const Bytes nonce(12, 0x36);
+  Bytes data = bytes_of("in-place and copying paths share one keystream");
+  const Bytes expected = chacha20_xor(key, nonce, 3, data);
+  chacha20_xor_inplace(key, nonce, 3, data);
+  EXPECT_EQ(data, expected);
+}
+
+// The AES round-major multi-block path vs encrypt_block per block.
+TEST(Aes, EncryptBlocksMatchesSingleBlockCalls) {
+  const Bytes key = from_hex("2b7e151628aed2a6abf7158809cf4f3c");
+  Aes cipher(key);
+  Bytes batched(16 * 9);
+  for (std::size_t i = 0; i < batched.size(); ++i) {
+    batched[i] = static_cast<std::uint8_t>(i * 73 + 11);
+  }
+  Bytes scalar = batched;
+  cipher.encrypt_blocks(batched.data(), 9);
+  for (std::size_t b = 0; b < 9; ++b) {
+    cipher.encrypt_block(
+        std::span<std::uint8_t, 16>(scalar.data() + 16 * b, 16));
+  }
+  EXPECT_EQ(batched, scalar);
+}
+
+// The pipelined CTR path vs a hand-rolled single-block CTR with the
+// big-endian low-32 counter increment — pins both keystream bits and
+// counter semantics across the 8-block pipeline boundary.
+TEST(AesCtr, PipelinedMatchesManualCounterWalk) {
+  const Bytes key = from_hex("2b7e151628aed2a6abf7158809cf4f3c");
+  Bytes counter = from_hex("f0f1f2f3f4f5f6f7f8f9fafbfcfdfeff");
+  Bytes msg(200);
+  for (std::size_t i = 0; i < msg.size(); ++i) {
+    msg[i] = static_cast<std::uint8_t>(0xA5 ^ (i * 29));
+  }
+  Bytes expected = msg;
+  Aes cipher(key);
+  for (std::size_t off = 0; off < msg.size(); off += 16) {
+    Bytes keystream = counter;
+    cipher.encrypt_block(std::span<std::uint8_t, 16>(keystream.data(), 16));
+    for (std::size_t i = 0; i < std::min<std::size_t>(16, msg.size() - off);
+         ++i) {
+      expected[off + i] ^= keystream[i];
+    }
+    for (int b = 15; b >= 12; --b) {  // wrapping big-endian low-32 increment
+      if (++counter[static_cast<std::size_t>(b)] != 0) break;
+    }
+  }
+  EXPECT_EQ(aes_ctr(key, from_hex("f0f1f2f3f4f5f6f7f8f9fafbfcfdfeff"), msg),
+            expected);
+}
+
+// DRBG bulk fills vs single-byte draws: the stream position advances
+// identically, so mixed call patterns stay reproducible.
+TEST(ChaChaDrbg, BulkGenerateMatchesByteAtATime) {
+  ChaChaDrbg bulk(bytes_of("bulk-vs-bytes"));
+  ChaChaDrbg bytes(bytes_of("bulk-vs-bytes"));
+  const Bytes big = bulk.generate(333);
+  Bytes stitched;
+  for (std::size_t i = 0; i < 333; ++i) {
+    const Bytes one = bytes.generate(1);
+    stitched.push_back(one[0]);
+  }
+  EXPECT_EQ(big, stitched);
+}
+
+TEST(ChaChaDrbg, KeystreamXorConsumesSameStreamAsGenerate) {
+  ChaChaDrbg a(bytes_of("xor-stream"));
+  ChaChaDrbg b(bytes_of("xor-stream"));
+  // Interleave partial-block and multi-block spans on both instances.
+  for (const std::size_t n : {5u, 64u, 130u, 1u, 200u}) {
+    Bytes data(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      data[i] = static_cast<std::uint8_t>(i + n);
+    }
+    Bytes xored = data;
+    a.keystream_xor(xored);
+    const Bytes stream = b.generate(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      data[i] ^= stream[i];
+    }
+    EXPECT_EQ(xored, data) << "span length " << n;
+  }
+  // Both instances are now at the same position.
+  EXPECT_EQ(a.generate(32), b.generate(32));
+}
+
 TEST(ChaChaDrbg, GenerateSpansBlockBoundaries) {
   ChaChaDrbg a(bytes_of("boundary"));
   ChaChaDrbg b(bytes_of("boundary"));

@@ -51,6 +51,27 @@ TEST(Sha256, IncrementalMatchesOneShot) {
   }
 }
 
+// The multi-block compression path (one process_blocks call per bulk
+// update) vs block-at-a-time buffering: chunk sizes below 64 force every
+// block through the staging buffer, larger ones stream whole blocks
+// directly — the digest must not depend on the route.
+TEST(Sha256, MultiBlockStreamingMatchesBufferedBlocks) {
+  Bytes data(1009);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::uint8_t>(i * 131 + 17);
+  }
+  const Bytes oneshot = Sha256::hash(data);
+  for (const std::size_t chunk : {1u, 63u, 64u, 65u, 128u, 333u}) {
+    Sha256 h;
+    for (std::size_t off = 0; off < data.size(); off += chunk) {
+      h.update(ByteView(data).subspan(off, std::min(chunk,
+                                                    data.size() - off)));
+    }
+    const auto d = h.finalize();
+    EXPECT_EQ(Bytes(d.begin(), d.end()), oneshot) << "chunk " << chunk;
+  }
+}
+
 TEST(Sha256, ResetReusesContext) {
   Sha256 h;
   h.update(bytes_of("garbage"));
