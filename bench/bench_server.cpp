@@ -17,9 +17,16 @@
 //
 // Timing cases (google-benchmark JSON for scripts/bench_regress.py):
 //   * BM_ServerSessionsSerial — the SessionDriver loop, sessions/sec;
-//   * BM_ServerSessionsEngine/{1,64,1024} — engine at that in-flight
-//     width on the default pool width, sessions/sec;
+//   * BM_ServerSessionsEngine/{1,64,1024} — wave (deterministic-mode)
+//     engine at that in-flight width on the default pool width;
+//   * BM_ServerSessionsReactor/{1,64,1024} — the work-stealing reactor
+//     on the same fleet shapes;
+//   * BM_ServerSessionsSkewed{Wave,Reactor} — skewed-latency fleet (1%
+//     of devices 100x slower); manual time is time-to-90%-converged,
+//     the completion-latency metric where scheduling policy shows up
+//     even when total work is fixed;
 //   * BM_CrpStoreMixedOps/{1,4,8} — sharded store ops/sec, 4 threads.
+#include <atomic>
 #include <chrono>
 #include <thread>
 
@@ -36,21 +43,59 @@ using namespace neuropuls;
 
 // ------------------------------------------------- session fixtures
 
+// Skewed-latency decorator: a device whose PUF takes `kSlowdown` times
+// longer per evaluation (a cold photonic cavity, a device on a congested
+// bus — the paper's fleet is heterogeneous). Responses are those of the
+// wrapped PUF, only the cost changes, so transcripts stay identical to
+// the fast device's and only the schedule feels the skew.
+class SlowPuf final : public puf::Puf {
+ public:
+  static constexpr unsigned kSlowdown = 100;
+  explicit SlowPuf(puf::Puf& inner) : inner_(inner) {}
+  std::size_t challenge_bytes() const override {
+    return inner_.challenge_bytes();
+  }
+  std::size_t response_bytes() const override {
+    return inner_.response_bytes();
+  }
+  puf::Response evaluate(const puf::Challenge& challenge) override {
+    for (unsigned i = 0; i + 1 < kSlowdown; ++i) {
+      benchmark::DoNotOptimize(inner_.evaluate_noiseless(challenge));
+    }
+    return inner_.evaluate(challenge);
+  }
+  puf::Response evaluate_noiseless(
+      const puf::Challenge& challenge) const override {
+    return inner_.evaluate_noiseless(challenge);
+  }
+  std::string name() const override { return inner_.name() + "+slow"; }
+
+ private:
+  puf::Puf& inner_;
+};
+
 struct AuthFixture {
   std::unique_ptr<puf::ArbiterPuf> puf;
+  std::unique_ptr<SlowPuf> slow_puf;  // set only for skewed fleet members
   std::unique_ptr<core::AuthDevice> device;
   std::unique_ptr<core::AuthVerifier> verifier;
   net::DuplexChannel channel;
 };
 
-std::unique_ptr<AuthFixture> make_fixture(std::uint64_t device_seed) {
+std::unique_ptr<AuthFixture> make_fixture(std::uint64_t device_seed,
+                                          bool slow = false) {
   auto f = std::make_unique<AuthFixture>();
   f->puf = std::make_unique<puf::ArbiterPuf>(puf::ArbiterPufConfig{},
                                              device_seed);
   crypto::ChaChaDrbg rng(crypto::bytes_of("bench-server-provision"));
   const auto provisioned = core::provision(*f->puf, rng);
   const crypto::Bytes memory(1024, 0xA5);
-  f->device = std::make_unique<core::AuthDevice>(*f->puf,
+  puf::Puf* device_puf = f->puf.get();
+  if (slow) {
+    f->slow_puf = std::make_unique<SlowPuf>(*f->puf);
+    device_puf = f->slow_puf.get();
+  }
+  f->device = std::make_unique<core::AuthDevice>(*device_puf,
                                                  provisioned.device_crp,
                                                  memory);
   f->verifier = std::make_unique<core::AuthVerifier>(
@@ -59,11 +104,16 @@ std::unique_ptr<AuthFixture> make_fixture(std::uint64_t device_seed) {
   return f;
 }
 
-std::vector<std::unique_ptr<AuthFixture>> make_fleet(std::size_t sessions) {
+// `slow_every` > 0 makes every slow_every-th device a SlowPuf (100 ==
+// the issue's "1% of sessions 100x slower" skew scenario).
+std::vector<std::unique_ptr<AuthFixture>> make_fleet(std::size_t sessions,
+                                                     std::size_t slow_every =
+                                                         0) {
   std::vector<std::unique_ptr<AuthFixture>> fleet;
   fleet.reserve(sessions);
   for (std::size_t k = 0; k < sessions; ++k) {
-    fleet.push_back(make_fixture(0x5EED + k));
+    const bool slow = slow_every != 0 && (k + 1) % slow_every == 0;
+    fleet.push_back(make_fixture(0x5EED + k, slow));
   }
   return fleet;
 }
@@ -87,14 +137,40 @@ double run_serial_fleet(std::vector<std::unique_ptr<AuthFixture>>& fleet) {
   return seconds_since(start);
 }
 
+struct EngineRunResult {
+  double elapsed = 0.0;  // full run wall time, seconds
+  double t90 = 0.0;      // time until 90% of sessions completed, seconds
+  core::SessionEngineStats stats;
+};
+
 // Engine run: the same per-session seeds, `threads` pool width, up to
-// `in_flight` sessions multiplexed.
-double run_engine_fleet(std::vector<std::unique_ptr<AuthFixture>>& fleet,
-                        std::size_t threads, std::size_t in_flight,
-                        std::size_t* converged = nullptr) {
+// `in_flight` sessions multiplexed, under the given scheduler mode.
+// Alongside total wall time this records time-to-90%-completed via the
+// engine's on_complete hook: on a fixed-work fleet the total is
+// scheduler-invariant on one core, but completion latency is not — a
+// run-to-completion reactor retires fast sessions while a slow one is
+// still grinding, where a wave barrier holds every finished session's
+// slot until the stragglers clear.
+EngineRunResult run_engine_fleet(
+    std::vector<std::unique_ptr<AuthFixture>>& fleet, std::size_t threads,
+    std::size_t in_flight,
+    core::EngineMode mode = core::EngineMode::kReactor) {
   common::ThreadPool pool(threads);
   core::SessionEngineConfig config;
   config.max_in_flight = in_flight;
+  config.mode = mode;
+  const std::size_t target = (fleet.size() * 9 + 9) / 10;
+  std::atomic<std::size_t> completed{0};
+  std::atomic<std::int64_t> t90_ns{0};
+  std::chrono::steady_clock::time_point start;
+  config.on_complete = [&](std::size_t) {
+    if (completed.fetch_add(1, std::memory_order_relaxed) + 1 == target) {
+      t90_ns.store(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                       std::chrono::steady_clock::now() - start)
+                       .count(),
+                   std::memory_order_relaxed);
+    }
+  };
   core::SessionEngine engine(pool, config);
   const core::RetryPolicy policy;
   for (std::size_t k = 0; k < fleet.size(); ++k) {
@@ -104,11 +180,13 @@ double run_engine_fleet(std::vector<std::unique_ptr<AuthFixture>>& fleet,
           f.channel, policy, rng, *f.verifier, *f.device, 10 * (k + 1));
     });
   }
-  const auto start = std::chrono::steady_clock::now();
+  start = std::chrono::steady_clock::now();
   (void)engine.run();
-  const double elapsed = seconds_since(start);
-  if (converged != nullptr) *converged = engine.stats().converged;
-  return elapsed;
+  EngineRunResult result;
+  result.elapsed = seconds_since(start);
+  result.t90 = static_cast<double>(t90_ns.load()) * 1e-9;
+  result.stats = engine.stats();
+  return result;
 }
 
 void print_sessions_table() {
@@ -130,23 +208,82 @@ void print_sessions_table() {
     for (const std::size_t in_flight : {std::size_t{1}, std::size_t{64},
                                         std::size_t{1024}}) {
       auto fleet = make_fleet(kSessions);
-      std::size_t converged = 0;
-      const double elapsed =
-          run_engine_fleet(fleet, threads, in_flight, &converged);
-      const double rate = kSessions / elapsed;
+      const auto run = run_engine_fleet(fleet, threads, in_flight);
+      const double rate = kSessions / run.elapsed;
       std::printf("  %-10zu %-10zu %-14.0f %.2fx%s\n", threads, in_flight,
                   rate, rate / serial_rate,
                   threads == hw && in_flight == 1024 ? "   <- hw x 1024"
                                                      : "");
-      if (converged != kSessions) {
-        std::printf("  WARNING: only %zu/%zu sessions converged\n", converged,
-                    kSessions);
+      if (run.stats.converged != kSessions) {
+        std::printf("  WARNING: only %zu/%zu sessions converged\n",
+                    run.stats.converged, kSessions);
       }
     }
   }
   bench::note("clean links: every session converges in one attempt; the "
               "speedup column is against the serial SessionDriver loop on "
               "this host (hardware threads: " + std::to_string(hw) + ").");
+}
+
+// Reactor at fleet scale: in-flight widths past the wave engine's
+// comfort zone. The scheduling columns come from the engine's own
+// counters — at width 64k the wheel and the steal path are the runtime,
+// so their counts belong next to the rate.
+void print_high_inflight_table() {
+  bench::banner("E14", "Reactor sessions/sec at high in-flight widths");
+  constexpr std::size_t kSessions = 16384;
+  const std::size_t hw = common::ThreadPool::default_thread_count();
+  std::printf("  %-10s %-14s %-10s %-10s %-12s %-10s\n", "in-flight",
+              "sessions/sec", "steals", "parks", "wheel-ticks", "peak-q");
+  for (const std::size_t in_flight :
+       {std::size_t{1024}, std::size_t{16384}, std::size_t{65536}}) {
+    auto fleet = make_fleet(kSessions);
+    const auto run = run_engine_fleet(fleet, hw, in_flight);
+    std::printf("  %-10zu %-14.0f %-10llu %-10llu %-12llu %-10llu\n",
+                in_flight, kSessions / run.elapsed,
+                static_cast<unsigned long long>(run.stats.steals),
+                static_cast<unsigned long long>(run.stats.parks),
+                static_cast<unsigned long long>(run.stats.wheel_ticks),
+                static_cast<unsigned long long>(run.stats.peak_queue_depth));
+    if (run.stats.completed != kSessions) {
+      std::printf("  WARNING: only %zu/%zu sessions completed\n",
+                  run.stats.completed, kSessions);
+    }
+  }
+  bench::note("fleet of " + std::to_string(kSessions) + " devices; " +
+              "in-flight above the fleet size admits everything at once "
+              "and measures pure queue/wheel overhead.");
+}
+
+// Skewed-latency scenario: 1% of devices are 100x slower (SlowPuf). The
+// honest single-core metric is time-to-90%-converged — total work is
+// fixed, but a wave barrier convoys every fast session behind the
+// stragglers in its wave, while the reactor retires fast sessions as
+// they finish and steals around busy workers on multi-core hosts.
+void print_skewed_table() {
+  bench::banner("E14", "Skewed fleet (1% of devices 100x slower)");
+  constexpr std::size_t kSessions = 512;
+  constexpr std::size_t kSlowEvery = 100;
+  const std::size_t hw = common::ThreadPool::default_thread_count();
+  std::printf("  %-12s %-10s %-12s %-12s %-14s\n", "scheduler", "threads",
+              "total (ms)", "t90 (ms)", "sessions/sec");
+  for (const std::size_t threads : {std::size_t{1}, hw}) {
+    for (const auto mode :
+         {core::EngineMode::kDeterministic, core::EngineMode::kReactor}) {
+      auto fleet = make_fleet(kSessions, kSlowEvery);
+      const auto run = run_engine_fleet(fleet, threads, /*in_flight=*/64,
+                                        mode);
+      std::printf("  %-12s %-10zu %-12.2f %-12.2f %-14.0f\n",
+                  mode == core::EngineMode::kReactor ? "reactor" : "wave",
+                  threads, run.elapsed * 1e3, run.t90 * 1e3,
+                  kSessions / run.elapsed);
+    }
+    if (threads == hw) break;  // hw == 1: one pass is the whole story
+  }
+  bench::note("t90 = time until 90% of sessions completed; on one "
+              "hardware thread total time is scheduler-invariant (same "
+              "work), so t90 is where run-to-completion scheduling shows; "
+              "with threads > 1 the wave barrier also convoys total time.");
 }
 
 // --------------------------------------------------- CRP store load
@@ -178,8 +315,8 @@ void print_crp_store_table() {
   constexpr std::uint32_t kPreload = 4096;
   constexpr std::uint32_t kIterations = 8192;
   constexpr unsigned kThreads = 4;
-  std::printf("  %-10s %-14s %-14s %-12s\n", "shards", "ops/sec",
-              "acquisitions", "contended");
+  std::printf("  %-10s %-14s %-14s %-11s %-10s %-10s\n", "shards", "ops/sec",
+              "acquisitions", "contended", "takes", "steals");
   for (const std::size_t shards : {1u, 2u, 4u, 8u}) {
     puf::CrpDatabase db(shards);
     for (std::uint32_t i = 0; i < kPreload; ++i) db.insert(make_crp(i));
@@ -191,21 +328,27 @@ void print_crp_store_table() {
     for (auto& thread : threads) thread.join();
     const double elapsed = seconds_since(start);
     const auto stats = db.lock_stats();
-    std::printf("  %-10zu %-14.0f %-14llu %.2f%%\n", shards,
+    std::printf("  %-10zu %-14.0f %-14llu %-11.2f %-10llu %-10llu\n", shards,
                 3.0 * kThreads * kIterations / elapsed,
                 static_cast<unsigned long long>(stats.acquisitions),
                 stats.acquisitions == 0
                     ? 0.0
                     : 100.0 * static_cast<double>(stats.contended) /
-                          static_cast<double>(stats.acquisitions));
+                          static_cast<double>(stats.acquisitions),
+                static_cast<unsigned long long>(stats.takes),
+                static_cast<unsigned long long>(stats.take_steals));
   }
   bench::note("contended = shard-mutex acquisitions that found the lock "
-              "held; striping drives it toward zero as shards exceed "
-              "threads.");
+              "held (percent of acquisitions); striping drives it toward "
+              "zero as shards exceed threads. takes/steals are the store's "
+              "scheduling counters: steals are takes served past their "
+              "round-robin start shard.");
 }
 
 void print_tables() {
   print_sessions_table();
+  print_high_inflight_table();
+  print_skewed_table();
   print_crp_store_table();
 }
 
@@ -224,23 +367,73 @@ void BM_ServerSessionsSerial(benchmark::State& state) {
 }
 BENCHMARK(BM_ServerSessionsSerial)->Unit(benchmark::kMillisecond);
 
-void BM_ServerSessionsEngine(benchmark::State& state) {
+// Engine timing shared by the wave and reactor cases: same fleet shape,
+// only the scheduler differs. BM_ServerSessionsEngine keeps its
+// pre-reactor name (and wave semantics) so baselines stay comparable.
+void run_engine_case(benchmark::State& state, core::EngineMode mode) {
   constexpr std::size_t kSessions = 64;
   const auto in_flight = static_cast<std::size_t>(state.range(0));
   for (auto _ : state) {
     state.PauseTiming();
     auto fleet = make_fleet(kSessions);
     state.ResumeTiming();
-    benchmark::DoNotOptimize(run_engine_fleet(
-        fleet, common::ThreadPool::default_thread_count(), in_flight));
+    benchmark::DoNotOptimize(
+        run_engine_fleet(fleet, common::ThreadPool::default_thread_count(),
+                         in_flight, mode)
+            .elapsed);
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           kSessions);
+}
+
+void BM_ServerSessionsEngine(benchmark::State& state) {
+  run_engine_case(state, core::EngineMode::kDeterministic);
 }
 BENCHMARK(BM_ServerSessionsEngine)
     ->Arg(1)
     ->Arg(64)
     ->Arg(1024)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ServerSessionsReactor(benchmark::State& state) {
+  run_engine_case(state, core::EngineMode::kReactor);
+}
+BENCHMARK(BM_ServerSessionsReactor)
+    ->Arg(1)
+    ->Arg(64)
+    ->Arg(1024)
+    ->Unit(benchmark::kMillisecond);
+
+// Skewed-latency cases: manual time is time-to-90%-converged on the 1%
+// slow / 100x slower fleet — the completion-latency number the reactor
+// is built to improve. (Total time on one core is scheduler-invariant;
+// see the printed table for both numbers.)
+void run_skewed_case(benchmark::State& state, core::EngineMode mode) {
+  constexpr std::size_t kSessions = 128;
+  constexpr std::size_t kSlowEvery = 100;
+  for (auto _ : state) {
+    auto fleet = make_fleet(kSessions, kSlowEvery);
+    const auto run =
+        run_engine_fleet(fleet, common::ThreadPool::default_thread_count(),
+                         /*in_flight=*/64, mode);
+    state.SetIterationTime(run.t90);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          kSessions);
+}
+
+void BM_ServerSessionsSkewedWave(benchmark::State& state) {
+  run_skewed_case(state, core::EngineMode::kDeterministic);
+}
+BENCHMARK(BM_ServerSessionsSkewedWave)
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ServerSessionsSkewedReactor(benchmark::State& state) {
+  run_skewed_case(state, core::EngineMode::kReactor);
+}
+BENCHMARK(BM_ServerSessionsSkewedReactor)
+    ->UseManualTime()
     ->Unit(benchmark::kMillisecond);
 
 void BM_CrpStoreMixedOps(benchmark::State& state) {

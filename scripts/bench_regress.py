@@ -2,12 +2,18 @@
 """Diff two google-benchmark JSON runs against a throughput threshold.
 
 Usage:
-  bench_regress.py OLD.json NEW.json [--threshold 0.10]
+  bench_regress.py OLD.json NEW.json [--threshold 0.10] [--allow-missing]
       Compares benchmarks present in both files by name. A benchmark
       regresses when its new throughput falls more than THRESHOLD
       (fraction) below the old one; any regression makes the exit
       status nonzero. Throughput is items_per_second when the benchmark
       reports it, else 1 / real_time.
+
+      A baseline benchmark that is absent from NEW.json is an error: a
+      silently vanished case (renamed, deleted, filtered out) would
+      otherwise read as "no regression" forever. Pass --allow-missing
+      when the new run is intentionally a subset of the baseline (e.g.
+      one binary's smoke run against the merged baseline).
 
   bench_regress.py --check-schema FILE [FILE...]
       Validates that each file parses as google-benchmark JSON output
@@ -127,7 +133,8 @@ def cmd_merge(out_path: str, in_paths: list[str]) -> int:
     return 0
 
 
-def cmd_compare(old_path: str, new_path: str, threshold: float) -> int:
+def cmd_compare(old_path: str, new_path: str, threshold: float,
+                allow_missing: bool) -> int:
     old = best_by_name(load(old_path))
     new = best_by_name(load(new_path))
     common = sorted(set(old) & set(new))
@@ -147,7 +154,18 @@ def cmd_compare(old_path: str, new_path: str, threshold: float) -> int:
               f"new {new[name]:>14.1f}/s  x{ratio:.3f}  {verdict}")
     only_old = sorted(set(old) - set(new))
     for name in only_old:
-        print(f"{name}: missing from {new_path} (not compared)")
+        if allow_missing:
+            print(f"{name}: missing from {new_path} (allowed)")
+        else:
+            print(f"bench_regress: baseline case `{name}` is missing from "
+                  f"{new_path} — it was renamed, deleted, or filtered out "
+                  f"of the run. Restore the case, refresh the baseline, or "
+                  f"pass --allow-missing if this run is intentionally a "
+                  f"subset.", file=sys.stderr)
+    if only_old and not allow_missing:
+        print(f"bench_regress: {len(only_old)} baseline case(s) "
+              f"disappeared", file=sys.stderr)
+        return 1
     if regressions:
         print(f"bench_regress: {regressions} benchmark(s) regressed more "
               f"than {threshold:.0%}", file=sys.stderr)
@@ -169,6 +187,9 @@ def main(argv: list[str]) -> int:
                         help="validate files as google-benchmark JSON")
     parser.add_argument("--merge", metavar="OUT",
                         help="merge input files' benchmarks into OUT")
+    parser.add_argument("--allow-missing", action="store_true",
+                        help="tolerate baseline benchmarks absent from "
+                             "NEW.json (intentional-subset runs)")
     args = parser.parse_args(argv)
 
     if args.check_schema:
@@ -183,7 +204,8 @@ def main(argv: list[str]) -> int:
         parser.error("compare mode needs exactly OLD.json NEW.json")
     if not 0.0 <= args.threshold < 1.0:
         parser.error("--threshold must be in [0, 1)")
-    return cmd_compare(args.files[0], args.files[1], args.threshold)
+    return cmd_compare(args.files[0], args.files[1], args.threshold,
+                       args.allow_missing)
 
 
 if __name__ == "__main__":

@@ -23,10 +23,17 @@
 #                               # bugs would hide
 #   scripts/check.sh tsan       # concurrency sweep only: runs the ctest
 #                               # label `concurrency` (sharded CrpDatabase
-#                               # stress, SessionEngine determinism) under
+#                               # stress, SessionEngine determinism, reactor
+#                               # alloc/park-wake suites) under
 #                               # ThreadSanitizer — the shard locks and the
-#                               # engine's wave scheduler are the only
+#                               # engine's schedulers are the only
 #                               # cross-thread surfaces in the stack
+#   scripts/check.sh reactor    # reactor sweep: one ThreadSanitizer build,
+#                               # then ctest -L concurrency under
+#                               # NEUROPULS_THREADS=1 (serial fallback /
+#                               # degenerate reactor) and =4 (real steal and
+#                               # park/wake traffic) — the two widths where
+#                               # scheduler bugs live
 #
 # Environment:
 #   NEUROPULS_BENCH_THRESHOLD   allowed fractional throughput drop vs
@@ -99,8 +106,14 @@ for config in "${CONFIGS[@]}"; do
     tsan)
       run_config thread concurrency
       ;;
+    reactor)
+      # One TSan build tree, swept at two pool widths: the second
+      # run_config call reuses the build and only re-runs ctest.
+      NEUROPULS_THREADS=1 run_config thread concurrency
+      NEUROPULS_THREADS=4 run_config thread concurrency
+      ;;
     *)
-      echo "unknown config '${config}' (want plain, address, undefined, native, chaos, or tsan)" >&2
+      echo "unknown config '${config}' (want plain, address, undefined, native, chaos, tsan, or reactor)" >&2
       exit 2
       ;;
   esac
@@ -149,8 +162,12 @@ python3 scripts/bench_regress.py --merge "${BENCH_SMOKE_DIR}/BENCH_smoke.json" \
   "${BENCH_SMOKE_DIR}/BENCH_bench_puf_quality.json" \
   "${BENCH_SMOKE_DIR}/BENCH_bench_system_level.json" \
   "${BENCH_SMOKE_DIR}/BENCH_bench_server.json"
+# --allow-missing: the smoke filter deliberately runs a subset of the
+# baseline's cases; a full-length run should compare WITHOUT it so a
+# vanished case fails loudly.
 python3 scripts/bench_regress.py \
   --threshold "${NEUROPULS_BENCH_THRESHOLD:-0.5}" \
+  --allow-missing \
   BENCH_baseline.json "${BENCH_SMOKE_DIR}/BENCH_smoke.json"
 
 # Standalone ctlint invocation against the tree (redundant with the ctest

@@ -1,0 +1,89 @@
+// Allocation-counting probe for zero-allocation invariants.
+//
+// The session reactor promises that its steady-state step path — polling
+// a waiting machine, pushing/popping run queues, parking on the wheel —
+// performs no heap allocation. A promise like that rots unless a test
+// counts; this header provides the counter. A test binary opts in by
+// invoking NEUROPULS_DEFINE_ALLOC_PROBE() at namespace scope in exactly
+// one translation unit: that replaces the binary's global operator
+// new/delete with malloc/free wrappers that bump a thread-local counter.
+// Production targets never include the macro, so shipping code pays
+// nothing.
+//
+// Usage:
+//   NEUROPULS_DEFINE_ALLOC_PROBE()
+//   ...
+//   const auto before = common::alloc_probe::allocations();
+//   <steady-state work>
+//   EXPECT_EQ(common::alloc_probe::allocations(), before);
+//
+// The counter is thread-local, so a test that drives a single-worker
+// reactor from the calling thread observes exactly its own allocations,
+// unpolluted by unrelated threads.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+
+namespace neuropuls::common::alloc_probe {
+
+namespace detail {
+inline thread_local std::uint64_t tl_allocations = 0;
+}  // namespace detail
+
+/// operator new calls observed on this thread since process start.
+inline std::uint64_t allocations() noexcept {
+  return detail::tl_allocations;
+}
+
+inline void* counted_alloc(std::size_t size) {
+  ++detail::tl_allocations;
+  if (size == 0) size = 1;
+  void* p = std::malloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+inline void* counted_alloc(std::size_t size, std::align_val_t align) {
+  ++detail::tl_allocations;
+  if (size == 0) size = 1;
+  void* p = std::aligned_alloc(static_cast<std::size_t>(align),
+                               (size + static_cast<std::size_t>(align) - 1) &
+                                   ~(static_cast<std::size_t>(align) - 1));
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+}  // namespace neuropuls::common::alloc_probe
+
+// Defines the replacement global allocation functions. Must appear at
+// global namespace scope in exactly one TU of the test binary.
+#define NEUROPULS_DEFINE_ALLOC_PROBE()                                        \
+  void* operator new(std::size_t size) {                                      \
+    return neuropuls::common::alloc_probe::counted_alloc(size);               \
+  }                                                                           \
+  void* operator new[](std::size_t size) {                                    \
+    return neuropuls::common::alloc_probe::counted_alloc(size);               \
+  }                                                                           \
+  void* operator new(std::size_t size, std::align_val_t align) {              \
+    return neuropuls::common::alloc_probe::counted_alloc(size, align);        \
+  }                                                                           \
+  void* operator new[](std::size_t size, std::align_val_t align) {            \
+    return neuropuls::common::alloc_probe::counted_alloc(size, align);        \
+  }                                                                           \
+  void operator delete(void* p) noexcept { std::free(p); }                    \
+  void operator delete[](void* p) noexcept { std::free(p); }                  \
+  void operator delete(void* p, std::size_t) noexcept { std::free(p); }       \
+  void operator delete[](void* p, std::size_t) noexcept { std::free(p); }     \
+  void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }  \
+  void operator delete[](void* p, std::align_val_t) noexcept {                \
+    std::free(p);                                                             \
+  }                                                                           \
+  void operator delete(void* p, std::size_t, std::align_val_t) noexcept {     \
+    std::free(p);                                                             \
+  }                                                                           \
+  void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {   \
+    std::free(p);                                                             \
+  }

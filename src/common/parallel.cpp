@@ -173,4 +173,82 @@ void ThreadPool::parallel_for(std::size_t n,
   if (loop->error) std::rethrow_exception(loop->error);
 }
 
+StealDeque::StealDeque(std::size_t capacity)
+    : ring_(capacity == 0 ? 1 : capacity, nullptr) {}
+
+bool StealDeque::push(void* item) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (bottom_ - top_ == ring_.size()) return false;
+  ring_[bottom_ % ring_.size()] = item;
+  ++bottom_;
+  return true;
+}
+
+void* StealDeque::pop() noexcept {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (bottom_ == top_) return nullptr;
+  --bottom_;
+  return ring_[bottom_ % ring_.size()];
+}
+
+void* StealDeque::steal() noexcept {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (bottom_ == top_) return nullptr;
+  void* item = ring_[top_ % ring_.size()];
+  ++top_;
+  return item;
+}
+
+std::size_t StealDeque::size() const noexcept {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return bottom_ - top_;
+}
+
+ParkingLot::ParkingLot(std::size_t max_tokens) : max_tokens_(max_tokens) {}
+
+bool ParkingLot::park() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (closed_) return false;
+  if (tokens_ > 0) {
+    --tokens_;
+    return false;
+  }
+  ++sleepers_;
+  cv_.wait(lock, [this] { return tokens_ > 0 || closed_; });
+  --sleepers_;
+  if (tokens_ > 0) --tokens_;
+  return true;
+}
+
+void ParkingLot::unpark_one() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_) return;
+    if (max_tokens_ == 0 || tokens_ < max_tokens_) ++tokens_;
+  }
+  cv_.notify_one();
+}
+
+void ParkingLot::unpark_all() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_) return;
+    tokens_ += sleepers_;
+  }
+  cv_.notify_all();
+}
+
+void ParkingLot::close() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+bool ParkingLot::closed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return closed_;
+}
+
 }  // namespace neuropuls::common

@@ -23,6 +23,14 @@
 //
 // Thread count resolution: explicit constructor argument, else the
 // NEUROPULS_THREADS environment variable, else hardware_concurrency.
+//
+// Reactor primitives: alongside the barrier-style pool, this module
+// provides the two building blocks of a work-stealing scheduler —
+// `StealDeque` (per-worker run queue, LIFO for the owner, FIFO for
+// thieves) and `ParkingLot` (token-counted park/unpark). They carry the
+// readiness-driven `core::SessionEngine` reactor, which replaced the
+// wave multiplexer: the pool contributes the threads (via parallel_for
+// over worker ids), these structures contribute the scheduling.
 #pragma once
 
 #include <condition_variable>
@@ -81,5 +89,81 @@ inline void parallel_for(std::size_t n,
                          const std::function<void(std::size_t)>& fn) {
   ThreadPool::global().parallel_for(n, fn);
 }
+
+/// Fixed-capacity work-stealing run queue. The owning worker pushes and
+/// pops at the bottom (LIFO — the session it just stepped is cache-warm
+/// and likely to be stepped again), thieves take from the top (FIFO —
+/// the oldest, coldest work is what migrates). One mutex per deque: with
+/// per-worker queues the lock is essentially uncontended (a thief only
+/// arrives when its own queue is empty), and a mutex keeps the structure
+/// trivially TSan-clean. Capacity is fixed at construction so
+/// push/pop/steal never allocate — part of the zero-allocation
+/// steady-state contract of the session reactor.
+class StealDeque {
+ public:
+  /// Capacity is rounded up to at least 1.
+  explicit StealDeque(std::size_t capacity);
+
+  StealDeque(const StealDeque&) = delete;
+  StealDeque& operator=(const StealDeque&) = delete;
+
+  /// Bottom push (owner only by convention, but safe from any thread).
+  /// Returns false when the deque is full — the caller sized it wrong.
+  bool push(void* item);
+
+  /// Bottom pop, LIFO. nullptr when empty.
+  void* pop() noexcept;
+
+  /// Top steal, FIFO. nullptr when empty.
+  void* steal() noexcept;
+
+  std::size_t size() const noexcept;
+  std::size_t capacity() const noexcept { return ring_.size(); }
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<void*> ring_;
+  std::size_t top_ = 0;     // logical index of the oldest item
+  std::size_t bottom_ = 0;  // logical index one past the newest item
+};
+
+/// Token-counted park/unpark for scheduler workers. The classic lost
+/// wake-up — worker A finds every queue empty, worker B publishes work
+/// and unparks, A only then goes to sleep — is made benign by banking
+/// unparks as tokens: A's park() consumes the banked token and returns
+/// without sleeping. Tokens are capped at `max_tokens` (normally the
+/// worker count) so a burst of publishes cannot bank more wake-ups than
+/// there are workers to wake. close() releases every sleeper and turns
+/// all later park() calls into no-ops (shutdown).
+class ParkingLot {
+ public:
+  explicit ParkingLot(std::size_t max_tokens = 0);  // 0 = uncapped
+
+  ParkingLot(const ParkingLot&) = delete;
+  ParkingLot& operator=(const ParkingLot&) = delete;
+
+  /// Blocks until a token arrives (consuming it) or the lot is closed.
+  /// Returns true when the call actually slept — the "parks" statistic.
+  bool park();
+
+  /// Banks one token and wakes one sleeper, if any.
+  void unpark_one();
+
+  /// Wakes every sleeper and leaves one token per waking worker.
+  void unpark_all();
+
+  /// Permanently releases everyone; later park() calls return instantly.
+  void close();
+
+  bool closed() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::size_t tokens_ = 0;
+  std::size_t sleepers_ = 0;
+  std::size_t max_tokens_ = 0;
+  bool closed_ = false;
+};
 
 }  // namespace neuropuls::common

@@ -10,31 +10,38 @@ namespace neuropuls::core {
 namespace {
 constexpr std::size_t kNonceLen = 16;
 constexpr std::size_t kMacLen = 32;
+
+crypto::Aes make_password_cipher(const common::SecretBytes& secret) {
+  crypto::Bytes key =  // ctlint:secret password key — wiped after keying
+      crypto::hkdf(crypto::ByteView{}, secret.reveal(),
+                   crypto::bytes_of("np-eke-pw"), 16);
+  crypto::Aes cipher{crypto::ByteView(key)};
+  crypto::secure_wipe(key);
+  return cipher;
+}
+
 }  // namespace
 
 EkeParty::EkeParty(crypto::Bytes secret, const crypto::DhGroup& group,
                    crypto::ChaChaDrbg rng)
-    : secret_(std::move(secret)), group_(group), rng_(std::move(rng)) {
+    : secret_(std::move(secret)),
+      pw_cipher_(make_password_cipher(secret_)),
+      group_(group),
+      rng_(std::move(rng)) {
   if (secret_.empty()) {
     throw std::invalid_argument("EkeParty: empty shared secret");
   }
 }
 
-crypto::Bytes EkeParty::password_key() const {
-  return crypto::hkdf(crypto::ByteView{}, secret_.reveal(),
-                      crypto::bytes_of("np-eke-pw"), 16);
-}
-
 crypto::Bytes EkeParty::encrypt_public(const crypto::BigUint& value,
                                        crypto::ByteView nonce) const {
-  return crypto::aes_ctr(password_key(), nonce,
+  return crypto::aes_ctr(pw_cipher_, nonce,
                          value.to_bytes_be(group_.prime_bytes));
 }
 
 crypto::BigUint EkeParty::decrypt_public(crypto::ByteView nonce,
                                          crypto::ByteView ciphertext) const {
-  const crypto::Bytes plain =
-      crypto::aes_ctr(password_key(), nonce, ciphertext);
+  const crypto::Bytes plain = crypto::aes_ctr(pw_cipher_, nonce, ciphertext);
   return crypto::BigUint::from_bytes_be(plain);
 }
 

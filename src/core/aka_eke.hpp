@@ -21,6 +21,7 @@
 #include <optional>
 
 #include "common/secret.hpp"
+#include "crypto/aes.hpp"
 #include "crypto/bytes.hpp"
 #include "crypto/chacha20.hpp"
 #include "crypto/dh.hpp"
@@ -65,7 +66,6 @@ class EkeParty {
   }
 
  private:
-  crypto::Bytes password_key() const;
   crypto::Bytes encrypt_public(const crypto::BigUint& value,
                                crypto::ByteView nonce) const;
   crypto::BigUint decrypt_public(crypto::ByteView nonce,
@@ -73,6 +73,11 @@ class EkeParty {
   void derive_session_key(const crypto::Bytes& shared);
 
   common::SecretBytes secret_;  // the low-entropy password (CRP response)
+  /// AES keyed with HKDF(secret, "np-eke-pw"), expanded once at
+  /// construction: the password key is fixed for the party's lifetime,
+  /// so re-running HKDF plus the AES key schedule on every
+  /// encrypt/decrypt was pure per-frame waste.
+  crypto::Aes pw_cipher_;
   const crypto::DhGroup& group_;
   crypto::ChaChaDrbg rng_;
   crypto::DhKeyPair ephemeral_;

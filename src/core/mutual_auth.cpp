@@ -1,5 +1,6 @@
 #include "core/mutual_auth.hpp"
 
+#include <array>
 #include <stdexcept>
 
 #include "crypto/hmac.hpp"
@@ -24,7 +25,10 @@ puf::Challenge next_challenge(crypto::ByteView response,
 crypto::Bytes mac_over(crypto::ByteView key, std::uint64_t session_id,
                        crypto::ByteView data) {
   crypto::HmacSha256 mac(key);
-  crypto::Bytes sid(8);
+  // Stack scratch, not a heap Bytes: mac_over runs on every frame of
+  // every session, and the engine's steady-state allocation budget
+  // charges each stray allocation here to every authentication step.
+  std::array<std::uint8_t, 8> sid;
   crypto::put_u64_be(sid, session_id);
   mac.update(sid);
   mac.update(data);

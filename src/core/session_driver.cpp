@@ -58,6 +58,27 @@ void SessionMachine::drain() {
   while (channel_.receive(net::Direction::kBtoA)) ++report_.discarded_frames;
 }
 
+std::size_t SessionMachine::wait_hint() const noexcept {
+  switch (mode_) {
+    case Mode::kDone:
+    case Mode::kStartAttempt:
+      return 0;
+    case Mode::kBackoff:
+      return backoff_remaining_;
+    case Mode::kExpect:
+      if (channel_.readable(expect_direction_)) return 0;
+      // A pollable channel (delay-injecting fault layer) may deliver the
+      // expected frame on any tick, so the next poll is worth running
+      // soon. A bare channel cannot conjure a frame: the remaining budget
+      // is pure waiting, plus one step to trigger the attempt failure.
+      if (channel_.pollable()) return 1;
+      return policy_.receive_poll_budget >= expect_polls_
+                 ? policy_.receive_poll_budget - expect_polls_ + 1
+                 : 1;
+  }
+  return 0;
+}
+
 bool SessionMachine::step() {
   for (;;) {
     switch (mode_) {

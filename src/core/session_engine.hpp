@@ -1,56 +1,113 @@
-// Multiplexed verifier session engine — many handshakes in flight at
-// once over one thread pool.
+// Verifier session runtime — many handshakes in flight at once.
 //
 // The paper's verifier is fleet-facing: §III/§IV describe one
 // infrastructure endpoint authenticating and key-exchanging with a
 // population of PUF devices, so verifier throughput is sessions/sec, not
 // single-handshake latency. A thread-per-session design caps concurrency
-// at the OS thread budget and wastes every thread that is blocked in a
-// retry backoff; this engine instead keeps M sessions in flight as
-// resumable core::SessionMachine state machines and steps them in waves
-// over a common::ThreadPool — each step costs one channel poll, never a
-// blocked thread.
+// at the OS thread budget; the engine instead keeps M sessions in flight
+// as resumable core::SessionMachine state machines.
 //
-// Determinism: every session owns its channel, protocol endpoints, and a
-// private ChaCha DRBG seeded exactly like a serial SessionDriver with
-// RetryPolicy::seed == the submitted seed (session_driver_seed_bytes).
-// Sessions share no mutable state, so the wave schedule cannot influence
-// any session's operation order — K concurrent sessions produce
-// byte-identical per-session transcripts to K serial runs (pinned by
-// tests/core/test_session_engine.cpp, including over faulty channels).
+// Two scheduling runtimes share the submission/report API:
+//
+//   * kReactor (default) — a readiness-driven work-stealing reactor.
+//     Every worker owns a run queue (common::StealDeque: LIFO for the
+//     owner so the cache-warm session runs next, FIFO for thieves so the
+//     coldest work migrates). A machine whose channel has nothing
+//     readable and whose wait_hint() says it will only burn poll ticks is
+//     parked on a hierarchical timer wheel and re-queued when its
+//     virtual deadline expires — or immediately when a frame lands on
+//     its channel (net::DuplexChannel wakeup hook) — instead of being
+//     busy-polled. Idle workers steal, then advance the wheel, then park
+//     in a common::ParkingLot. Per-session control records live in a
+//     common::Arena, and the steady-state step path — deque push/pop,
+//     stepping a waiting machine, parking — performs zero heap
+//     allocations (pinned by tests/core/test_engine_alloc.cpp).
+//
+//   * kDeterministic — the original wave multiplexer: synchronized
+//     parallel_for rounds of steps_per_wave steps per active session.
+//     Kept as the reference scheduler for the determinism contract and
+//     as the baseline the reactor is benchmarked against (bench_server's
+//     skewed-latency scenario is exactly where waves collapse: one slow
+//     session holds its whole wave at the barrier).
+//
+// Determinism contract (both modes, pinned by
+// tests/core/test_session_engine.cpp): every session owns its channel,
+// protocol endpoints, and a private ChaCha DRBG seeded exactly like a
+// serial SessionDriver with RetryPolicy::seed == the submitted seed
+// (session_driver_seed_bytes). Sessions share no mutable state and every
+// channel poll is an explicit machine step, so no schedule — wave order,
+// steal order, park/wake timing, even spurious notify() calls — can
+// influence any session's operation order: per-session transcripts are
+// byte-identical to serial SessionDriver runs, faulty channels included.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <vector>
 
+#include "common/arena.hpp"
 #include "common/parallel.hpp"
 #include "core/session_driver.hpp"
 #include "crypto/chacha20.hpp"
 
 namespace neuropuls::core {
 
+enum class EngineMode {
+  /// Work-stealing readiness reactor (run queues + timer wheel).
+  kReactor,
+  /// Synchronized-wave multiplexer — the legacy engine, kept as the
+  /// deterministic reference scheduler.
+  kDeterministic,
+};
+
 struct SessionEngineConfig {
   /// Sessions stepped concurrently; admission is in submission order.
   std::size_t max_in_flight = 64;
-  /// step() calls per session per scheduling wave. Amortises the
-  /// parallel_for barrier; per-session transcripts are schedule-free, so
-  /// this is a pure throughput knob.
+  /// Wave mode: step() calls per session per scheduling wave.
   std::size_t steps_per_wave = 8;
+  EngineMode mode = EngineMode::kReactor;
+  /// Reactor: max step() calls per activation before the session yields
+  /// back to the run queue (bounds how long one session can monopolise a
+  /// worker while others are runnable).
+  std::size_t steps_per_slice = 32;
+  /// Reactor: smallest wait_hint() worth a park — shorter waits are
+  /// cheaper to burn in place than to route through the wheel.
+  std::size_t park_threshold = 4;
+  /// Invoked (from whichever worker retires the session) with the
+  /// submission index the moment a session completes. Must be
+  /// thread-safe; used by bench_server to measure completion-latency
+  /// percentiles. May be empty.
+  std::function<void(std::size_t)> on_complete;
 };
 
 struct SessionEngineStats {
   std::size_t completed = 0;
   std::size_t converged = 0;
-  /// parallel_for rounds run — with max_in_flight sessions admitted this
-  /// approximates total-steps / (in_flight * steps_per_wave).
+  /// Wave mode: parallel_for rounds run.
   std::uint64_t waves = 0;
+  /// Reactor: machine.step() calls executed.
+  std::uint64_t steps = 0;
+  /// Reactor: sessions taken from another worker's run queue.
+  std::uint64_t steals = 0;
+  /// Reactor: sessions parked on the timer wheel.
+  std::uint64_t parks = 0;
+  /// Reactor: parked sessions re-queued by a channel wakeup or notify()
+  /// before their wheel deadline.
+  std::uint64_t wakeups = 0;
+  /// Reactor: virtual-time advances of the wheel.
+  std::uint64_t wheel_ticks = 0;
+  /// Reactor: workers that went to sleep in the parking lot.
+  std::uint64_t worker_parks = 0;
+  /// Reactor: deepest run queue observed (scheduling-pressure signal).
+  std::size_t peak_queue_depth = 0;
 };
 
 /// Runs submitted sessions to completion across a borrowed thread pool.
 /// Not itself thread-safe: one thread submits and runs; the parallelism
-/// lives inside run().
+/// lives inside run(). notify() is the one exception — it may be called
+/// from any thread *while run() executes* to wake a parked session.
 class SessionEngine {
  public:
   /// Builds the machine for one session, bound to the engine-owned DRBG
@@ -62,6 +119,7 @@ class SessionEngine {
 
   explicit SessionEngine(common::ThreadPool& pool,
                          SessionEngineConfig config = {});
+  ~SessionEngine();
 
   /// Queues one session; returns its submission index (the slot of its
   /// report in run()'s result).
@@ -71,26 +129,38 @@ class SessionEngine {
   /// submission order; stats() accumulates across calls.
   std::vector<SessionReport> run();
 
+  /// Wakes the session with the given submission index if it is parked
+  /// (no-op otherwise, including after run() returned). Safe from any
+  /// thread concurrent with run(); a spurious notify can only make a
+  /// session poll earlier, never change its transcript. This is the seam
+  /// a real wire transport uses to report asynchronous frame arrival.
+  void notify(std::size_t index);
+
   std::size_t queued() const noexcept { return pending_.size(); }
   const SessionEngineStats& stats() const noexcept { return stats_; }
   const SessionEngineConfig& config() const noexcept { return config_; }
 
  private:
-  /// unique_ptr keeps the DRBG's address stable when the pending vector
-  /// reallocates — the machine holds a reference to it.
-  struct Session {
-    explicit Session(std::uint64_t seed)
-        : rng(session_driver_seed_bytes(seed)) {}
-    crypto::ChaChaDrbg rng;
-    std::unique_ptr<SessionMachine> machine;
-    std::size_t index = 0;
-  };
+  struct Session;
+  struct Reactor;
+
+  void run_waves(std::vector<Session*>& queue,
+                 std::vector<SessionReport>& reports);
+  void run_reactor(std::vector<Session*>& queue,
+                   std::vector<SessionReport>& reports);
 
   common::ThreadPool& pool_;
   SessionEngineConfig config_;
-  std::vector<std::unique_ptr<Session>> pending_;
+  /// Owns every Session control record between submit() and the end of
+  /// run(): admission is a bump allocation, retirement is free, and the
+  /// whole run's bookkeeping is destroyed together.
+  common::Arena arena_;
+  std::vector<Session*> pending_;
   SessionEngineStats stats_;
   std::size_t submitted_ = 0;
+  /// Guards active_ against notify() racing run_reactor() teardown.
+  std::mutex notify_mutex_;
+  Reactor* active_ = nullptr;
 };
 
 }  // namespace neuropuls::core

@@ -19,6 +19,7 @@ void DuplexChannel::send(Direction direction, Message message) {
   }
   transcript_.push_back({direction, message, true});
   queue_for(direction).push_back(std::move(message));
+  if (wakeup_hook_) wakeup_hook_(direction);
 }
 
 std::optional<Message> DuplexChannel::receive(Direction direction) {
@@ -41,6 +42,7 @@ std::optional<Message> DuplexChannel::receive_with_budget(
 void DuplexChannel::inject(Direction direction, Message message) {
   transcript_.push_back({direction, message, true});
   queue_for(direction).push_back(std::move(message));
+  if (wakeup_hook_) wakeup_hook_(direction);
 }
 
 }  // namespace neuropuls::net

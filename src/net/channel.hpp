@@ -39,6 +39,12 @@ using Adversary = std::function<Verdict(Direction, const Message&)>;
 /// uses it to tick held frames toward delivery.
 using PollHook = std::function<void()>;
 
+/// Wakeup callback: invoked whenever a frame actually lands in a queue
+/// (a delivered send() or an inject()). A reactor parks a session whose
+/// channel has nothing readable and uses this hook to re-queue it the
+/// moment a frame arrives, instead of busy-polling the queue.
+using WakeupHook = std::function<void(Direction)>;
+
 struct TranscriptEntry {
   Direction direction;
   Message message;
@@ -58,10 +64,26 @@ class DuplexChannel {
   /// Installs (or clears, with nullptr) the poll hook.
   void set_poll_hook(PollHook hook) { poll_hook_ = std::move(hook); }
 
+  /// Installs (or clears, with nullptr) the wakeup hook.
+  void set_wakeup_hook(WakeupHook hook) { wakeup_hook_ = std::move(hook); }
+
   /// Advances channel time by one tick (runs the poll hook, if any).
   void poll() {
     if (poll_hook_) poll_hook_();
   }
+
+  /// True when a frame is waiting for the far end of `direction` — the
+  /// receiver-side readiness test a reactor checks before parking.
+  bool readable(Direction direction) const noexcept {
+    return !queue_for(direction).empty();
+  }
+
+  /// True when polling this channel can change its state (a poll hook is
+  /// installed — e.g. a delay-injecting fault layer holding frames). A
+  /// non-pollable channel with nothing readable cannot produce a frame on
+  /// its own, so a receiver's remaining poll budget is pure waiting and a
+  /// scheduler may park it for the full budget.
+  bool pollable() const noexcept { return static_cast<bool>(poll_hook_); }
 
   /// Sends in the given direction; the adversary (if any) rules first.
   void send(Direction direction, Message message);
@@ -102,6 +124,7 @@ class DuplexChannel {
   std::deque<Message> b_to_a_;
   Adversary adversary_;
   PollHook poll_hook_;
+  WakeupHook wakeup_hook_;
   std::vector<TranscriptEntry> transcript_;
 };
 

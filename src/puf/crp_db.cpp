@@ -83,6 +83,8 @@ std::optional<Crp> CrpDatabase::take() {
       Crp crp = std::move(shard.entries[i].crp);
       compact(shard, i);
       size_.fetch_sub(1, std::memory_order_relaxed);
+      shard.takes.fetch_add(1, std::memory_order_relaxed);
+      if (probe != 0) take_steals_.fetch_add(1, std::memory_order_relaxed);
       return crp;
     }
   }
@@ -161,12 +163,17 @@ std::size_t CrpDatabase::shard_size(std::size_t shard) const {
   return shards_[shard % shards_.size()]->entries.size();
 }
 
-CrpStoreStats CrpDatabase::lock_stats() const noexcept {
+CrpStoreStats CrpDatabase::lock_stats() const {
   CrpStoreStats stats;
+  stats.shard_takes.reserve(shards_.size());
   for (const auto& shard : shards_) {
     stats.acquisitions += shard->acquisitions.load(std::memory_order_relaxed);
     stats.contended += shard->contended.load(std::memory_order_relaxed);
+    const std::uint64_t takes = shard->takes.load(std::memory_order_relaxed);
+    stats.takes += takes;
+    stats.shard_takes.push_back(takes);
   }
+  stats.take_steals = take_steals_.load(std::memory_order_relaxed);
   return stats;
 }
 

@@ -81,12 +81,26 @@ struct CrpHealth {
   bool quarantined = false;
 };
 
-/// Aggregate lock statistics across shards. `contended` counts
-/// acquisitions that found the shard mutex already held — the signal that
-/// the shard count is too low for the offered concurrency.
+/// Aggregate store statistics across shards — locking and take-path
+/// scheduling in one struct, so bench/bench_server can print the store's
+/// contention picture next to the session engine's steal/park counters.
+/// `contended` counts acquisitions that found the shard mutex already
+/// held — the signal that the shard count is too low for the offered
+/// concurrency.
 struct CrpStoreStats {
   std::uint64_t acquisitions = 0;
   std::uint64_t contended = 0;
+  /// take() calls that returned a CRP.
+  std::uint64_t takes = 0;
+  /// Successful takes served by a shard other than the taker's
+  /// round-robin start shard — the store-side analogue of a scheduler
+  /// steal. Stays near zero while the cursor keeps shards draining
+  /// evenly; grows once imbalance forces cross-shard probing.
+  std::uint64_t take_steals = 0;
+  /// Successful takes served per shard (fairness/starvation diagnostic:
+  /// under concurrent takers no shard should sit at zero while others
+  /// drain).
+  std::vector<std::uint64_t> shard_takes;
 };
 
 class CrpDatabase {
@@ -151,8 +165,9 @@ class CrpDatabase {
   /// Entries currently stored in shard `shard` (for balance diagnostics).
   std::size_t shard_size(std::size_t shard) const;
 
-  /// Aggregate lock acquisition/contention counters across all shards.
-  CrpStoreStats lock_stats() const noexcept;
+  /// Aggregate lock acquisition/contention and take-path counters across
+  /// all shards (shard_takes is indexed by shard).
+  CrpStoreStats lock_stats() const;
 
   /// Verifier storage footprint in bytes (challenges + responses).
   std::size_t storage_bytes() const noexcept;
@@ -177,6 +192,7 @@ class CrpDatabase {
         index;
     mutable std::atomic<std::uint64_t> acquisitions{0};
     mutable std::atomic<std::uint64_t> contended{0};
+    mutable std::atomic<std::uint64_t> takes{0};
   };
 
   Shard& shard_for(crypto::ByteView challenge) noexcept;
@@ -192,6 +208,8 @@ class CrpDatabase {
   /// Round-robin starting shard for take(): spreads concurrent takers
   /// across stripes instead of draining shard 0 first.
   std::atomic<std::size_t> take_cursor_{0};
+  /// Successful takes that had to probe past their start shard.
+  std::atomic<std::uint64_t> take_steals_{0};
   std::uint32_t quarantine_threshold_ = 3;
 };
 

@@ -1,0 +1,207 @@
+// Park/wake race chaos (ctest labels: chaos + concurrency — the TSan
+// flavor of scripts/check.sh covers this binary).
+//
+// The reactor's most delicate window is the park boundary: a session
+// decides its channel cannot progress and goes onto the timer wheel at
+// the same moment a frame arrives for it. These tests drive exactly that
+// window from two sides:
+//
+//   * a delay-injecting FaultyChannel holds frames for 1..8 poll ticks
+//     while the engine's park threshold sits in the middle of that range,
+//     so deliveries land right at park decisions;
+//   * an external notify() storm wakes random sessions from another
+//     thread for the whole run — every spurious wake a real transport
+//     could ever produce, compressed into one test.
+//
+// Invariants asserted: no session is lost or completed twice
+// (on_complete fires exactly once per submission index), no session is
+// ever stepped by two workers at once (the engine's atomic guard throws,
+// which would fail the run), and — the determinism contract — every
+// per-session transcript stays byte-identical to a serial SessionDriver
+// run no matter how the wakes land.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/session_engine.hpp"
+#include "crypto/sha256.hpp"
+#include "faults/faulty_channel.hpp"
+#include "net/message.hpp"
+#include "puf/arbiter_puf.hpp"
+
+namespace neuropuls {
+namespace {
+
+using core::AuthSessionMachine;
+using core::RetryPolicy;
+using core::SessionDriver;
+using core::SessionEngine;
+using core::SessionEngineConfig;
+using core::SessionReport;
+using core::SessionResult;
+using net::Direction;
+using net::DuplexChannel;
+
+struct AuthFixture {
+  std::unique_ptr<puf::ArbiterPuf> puf;
+  std::unique_ptr<core::AuthDevice> device;
+  std::unique_ptr<core::AuthVerifier> verifier;
+  DuplexChannel channel;
+  std::unique_ptr<faults::FaultyChannel> faulty;
+};
+
+// Delay-dominated link: most of the chaos is frames arriving late, right
+// around the park threshold, rather than vanishing.
+faults::ChannelFaultConfig park_boundary_faults() {
+  faults::LinkFaultRates rates;
+  rates.drop = 0.05;
+  rates.delay = 0.45;
+  rates.max_delay_polls = 8;  // straddles park_threshold below
+  return faults::symmetric_faults(rates);
+}
+
+std::unique_ptr<AuthFixture> make_fixture(std::uint64_t device_seed,
+                                          std::uint64_t fault_seed) {
+  auto f = std::make_unique<AuthFixture>();
+  f->puf =
+      std::make_unique<puf::ArbiterPuf>(puf::ArbiterPufConfig{}, device_seed);
+  crypto::ChaChaDrbg rng(crypto::bytes_of("park-wake-provision"));
+  const auto provisioned = core::provision(*f->puf, rng);
+  const crypto::Bytes memory = crypto::bytes_of("park-wake firmware");
+  f->device = std::make_unique<core::AuthDevice>(*f->puf,
+                                                 provisioned.device_crp, memory);
+  f->verifier = std::make_unique<core::AuthVerifier>(
+      provisioned.verifier_secret, crypto::Sha256::hash(memory),
+      f->puf->challenge_bytes());
+  f->faulty = std::make_unique<faults::FaultyChannel>(
+      f->channel, park_boundary_faults(), fault_seed);
+  return f;
+}
+
+crypto::Bytes serialize_transcript(const DuplexChannel& channel) {
+  crypto::Bytes out;
+  for (const auto& entry : channel.transcript()) {
+    out.push_back(entry.direction == Direction::kAtoB ? 0 : 1);
+    out.push_back(entry.delivered ? 1 : 0);
+    const auto wire = net::encode_message(entry.message);
+    crypto::append_u32_be(out, static_cast<std::uint32_t>(wire.size()));
+    out.insert(out.end(), wire.begin(), wire.end());
+  }
+  return out;
+}
+
+void run_serial(std::size_t sessions, std::vector<crypto::Bytes>& transcripts,
+                std::vector<SessionReport>& reports) {
+  for (std::size_t k = 0; k < sessions; ++k) {
+    auto f = make_fixture(4000 + k, 0xBEEF + k);
+    RetryPolicy policy;
+    policy.seed = 700 + k;
+    SessionDriver driver(f->channel, policy);
+    reports.push_back(
+        driver.run_mutual_auth(*f->verifier, *f->device, 10 * (k + 1)));
+    transcripts.push_back(serialize_transcript(f->channel));
+  }
+}
+
+// Shared body: reactor run over delay-heavy links, optionally with an
+// external notify() storm, checked against the serial baseline.
+void run_park_wake_scenario(bool notify_storm) {
+  constexpr std::size_t kSessions = 12;
+  std::vector<crypto::Bytes> serial_t;
+  std::vector<SessionReport> serial_r;
+  run_serial(kSessions, serial_t, serial_r);
+
+  std::vector<std::unique_ptr<AuthFixture>> fixtures;
+  for (std::size_t k = 0; k < kSessions; ++k) {
+    fixtures.push_back(make_fixture(4000 + k, 0xBEEF + k));
+  }
+  common::ThreadPool pool(4);
+  SessionEngineConfig config;
+  config.max_in_flight = 6;
+  // Sits inside the fault layer's 1..8-tick delay window: a held frame
+  // can deliver on the very poll that precedes a park decision.
+  config.park_threshold = notify_storm ? 1 : 4;
+  std::vector<std::atomic<unsigned>> completions(kSessions);
+  config.on_complete = [&completions](std::size_t index) {
+    completions[index].fetch_add(1, std::memory_order_relaxed);
+  };
+  SessionEngine engine(pool, config);
+  const RetryPolicy policy;
+  for (std::size_t k = 0; k < kSessions; ++k) {
+    AuthFixture& f = *fixtures[k];
+    engine.submit(700 + k, [&f, &policy, k](crypto::ChaChaDrbg& rng) {
+      return std::make_unique<AuthSessionMachine>(
+          f.channel, policy, rng, *f.verifier, *f.device, 10 * (k + 1));
+    });
+  }
+
+  std::atomic<bool> stop{false};
+  std::thread storm;
+  if (notify_storm) {
+    storm = std::thread([&engine, &stop] {
+      // Hammer parked (and running, and retired) sessions with wakes; a
+      // spurious wake only makes a session poll earlier, never changes
+      // what it does.
+      std::uint64_t x = 0x9E3779B97F4A7C15ull;
+      while (!stop.load(std::memory_order_relaxed)) {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        engine.notify(static_cast<std::size_t>(x % kSessions));
+      }
+    });
+  }
+  const auto reports = engine.run();
+  stop.store(true, std::memory_order_relaxed);
+  if (storm.joinable()) storm.join();
+
+  ASSERT_EQ(reports.size(), kSessions);
+  for (std::size_t k = 0; k < kSessions; ++k) {
+    // Exactly-once completion: never lost, never double-retired.
+    EXPECT_EQ(completions[k].load(), 1u) << "session " << k;
+    // Byte-identical to serial despite delays at park boundaries (and
+    // the storm, when enabled).
+    EXPECT_EQ(serial_t[k], serialize_transcript(fixtures[k]->channel))
+        << "session " << k;
+    EXPECT_EQ(reports[k].result, serial_r[k].result) << "session " << k;
+    EXPECT_EQ(reports[k].attempts, serial_r[k].attempts) << "session " << k;
+    EXPECT_EQ(reports[k].poll_ticks, serial_r[k].poll_ticks)
+        << "session " << k;
+    EXPECT_EQ(reports[k].backoff_ticks, serial_r[k].backoff_ticks)
+        << "session " << k;
+  }
+  EXPECT_EQ(engine.stats().completed, kSessions);
+}
+
+TEST(ParkWakeChaos, DelaysAtParkBoundariesPreserveDeterminism) {
+  run_park_wake_scenario(/*notify_storm=*/false);
+}
+
+TEST(ParkWakeChaos, NotifyStormCannotChangeAnySessionByte) {
+  run_park_wake_scenario(/*notify_storm=*/true);
+}
+
+// notify() outside a run must be a harmless no-op, including on an
+// engine that has already finished (the transport may race shutdown).
+TEST(ParkWakeChaos, NotifyOutsideRunIsANoOp) {
+  common::ThreadPool pool(2);
+  SessionEngine engine(pool, SessionEngineConfig{});
+  engine.notify(0);  // nothing submitted, nothing running
+  auto f = make_fixture(4100, 0xD00D);
+  const RetryPolicy policy;
+  engine.submit(900, [&](crypto::ChaChaDrbg& rng) {
+    return std::make_unique<AuthSessionMachine>(f->channel, policy, rng,
+                                                *f->verifier, *f->device, 10);
+  });
+  const auto reports = engine.run();
+  ASSERT_EQ(reports.size(), 1u);
+  engine.notify(0);  // after the run: session records are gone
+  EXPECT_EQ(reports[0].result, SessionResult::kConverged);
+}
+
+}  // namespace
+}  // namespace neuropuls

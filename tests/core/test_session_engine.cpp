@@ -99,11 +99,15 @@ void run_serial(std::size_t sessions, double drop_rate,
 }
 
 // Runs the same K sessions through the engine with the given in-flight
-// width and thread count.
+// width, thread count, and scheduler mode (reactor by default — the
+// byte-identity assertions below are thereby the reactor's determinism
+// contract; kDeterministic pins the legacy wave scheduler to the same
+// contract).
 void run_engine(std::size_t sessions, double drop_rate, std::size_t in_flight,
                 std::size_t threads,
                 std::vector<crypto::Bytes>& transcripts,
-                std::vector<SessionReport>& reports) {
+                std::vector<SessionReport>& reports,
+                core::EngineMode mode = core::EngineMode::kReactor) {
   std::vector<std::unique_ptr<AuthFixture>> fixtures;
   for (std::size_t k = 0; k < sessions; ++k) {
     fixtures.push_back(make_auth_fixture(1000 + k, drop_rate, 0xF00 + k));
@@ -111,6 +115,7 @@ void run_engine(std::size_t sessions, double drop_rate, std::size_t in_flight,
   common::ThreadPool pool(threads);
   SessionEngineConfig config;
   config.max_in_flight = in_flight;
+  config.mode = mode;
   SessionEngine engine(pool, config);
   const RetryPolicy policy;  // seed overridden per session via submit()
   for (std::size_t k = 0; k < sessions; ++k) {
@@ -175,6 +180,72 @@ TEST(SessionEngineConcurrency, ScheduleShapeCannotChangeResults) {
         EXPECT_TRUE(reports_equal(base_r[k], r[k])) << "session " << k;
       }
     }
+  }
+}
+
+// The wave scheduler (deterministic mode) and the reactor must both be
+// invisible scheduling transforms: serial, wave, and reactor runs agree
+// byte-for-byte over the same faulty links.
+TEST(SessionEngineConcurrency, WaveModeMatchesReactorAndSerial) {
+  constexpr std::size_t kSessions = 8;
+  constexpr double kDrop = 0.10;
+  std::vector<crypto::Bytes> serial_t, wave_t, reactor_t;
+  std::vector<SessionReport> serial_r, wave_r, reactor_r;
+  run_serial(kSessions, kDrop, serial_t, serial_r);
+  run_engine(kSessions, kDrop, /*in_flight=*/4, /*threads=*/2, wave_t, wave_r,
+             core::EngineMode::kDeterministic);
+  run_engine(kSessions, kDrop, /*in_flight=*/4, /*threads=*/2, reactor_t,
+             reactor_r, core::EngineMode::kReactor);
+  for (std::size_t k = 0; k < kSessions; ++k) {
+    EXPECT_EQ(serial_t[k], wave_t[k]) << "wave session " << k;
+    EXPECT_EQ(serial_t[k], reactor_t[k]) << "reactor session " << k;
+    EXPECT_TRUE(reports_equal(serial_r[k], wave_r[k])) << "session " << k;
+    EXPECT_TRUE(reports_equal(serial_r[k], reactor_r[k])) << "session " << k;
+  }
+}
+
+// The reactor's scheduling machinery must actually engage (steps counted,
+// sessions parked on the wheel and revived by its virtual clock) without
+// affecting results. park_threshold = 1 parks on every wait so the wheel
+// path is guaranteed to run even for short backoffs.
+TEST(SessionEngineConcurrency, ReactorStatsAccountForScheduling) {
+  constexpr std::size_t kSessions = 8;
+  constexpr double kDrop = 0.20;
+  std::vector<std::unique_ptr<AuthFixture>> fixtures;
+  for (std::size_t k = 0; k < kSessions; ++k) {
+    fixtures.push_back(make_auth_fixture(1000 + k, kDrop, 0xF00 + k));
+  }
+  common::ThreadPool pool(2);
+  SessionEngineConfig config;
+  config.max_in_flight = 4;
+  config.park_threshold = 1;
+  SessionEngine engine(pool, config);
+  const RetryPolicy policy;
+  for (std::size_t k = 0; k < kSessions; ++k) {
+    AuthFixture& f = *fixtures[k];
+    engine.submit(100 + k, [&f, &policy, k](crypto::ChaChaDrbg& rng) {
+      return std::make_unique<AuthSessionMachine>(
+          f.channel, policy, rng, *f.verifier, *f.device, 10 * (k + 1));
+    });
+  }
+  const auto reports = engine.run();
+  ASSERT_EQ(reports.size(), kSessions);
+  const auto& stats = engine.stats();
+  EXPECT_EQ(stats.completed, kSessions);
+  EXPECT_GT(stats.steps, 0u);
+  // drop = 0.20 forces retries, so sessions wait (park) and the wheel's
+  // virtual clock must tick to revive them.
+  EXPECT_GT(stats.parks, 0u);
+  EXPECT_GT(stats.wheel_ticks, 0u);
+  EXPECT_GT(stats.peak_queue_depth, 0u);
+  // Transcripts still byte-identical to serial despite the wheel churn.
+  std::vector<crypto::Bytes> serial_t;
+  std::vector<SessionReport> serial_r;
+  run_serial(kSessions, kDrop, serial_t, serial_r);
+  for (std::size_t k = 0; k < kSessions; ++k) {
+    EXPECT_EQ(serial_t[k], serialize_transcript(fixtures[k]->channel))
+        << "session " << k;
+    EXPECT_TRUE(reports_equal(serial_r[k], reports[k])) << "session " << k;
   }
 }
 

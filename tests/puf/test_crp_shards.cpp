@@ -174,6 +174,77 @@ TEST(CrpShardsConcurrency, MixedInsertTakeRecordStaysConsistent) {
   EXPECT_EQ(across_shards, db.size());
 }
 
+// Round-robin fairness of take(): the cursor must spread successive
+// takers across stripes instead of draining shard 0 first. With every
+// shard populated, the first kShards takes must land on kShards distinct
+// shards without a single cross-shard steal.
+TEST(CrpShards, TakeCursorVisitsAllShardsRoundRobin) {
+  constexpr std::size_t kShards = 4;
+  CrpDatabase db(kShards);
+  for (std::uint32_t i = 0; i < 64; ++i) db.insert(make_crp(i));
+  for (std::size_t s = 0; s < kShards; ++s) {
+    ASSERT_GT(db.shard_size(s), 0u) << "fixture must populate every shard";
+  }
+  for (std::size_t s = 0; s < kShards; ++s) ASSERT_TRUE(db.take().has_value());
+  const auto first_round = db.lock_stats();
+  ASSERT_EQ(first_round.shard_takes.size(), kShards);
+  EXPECT_EQ(first_round.takes, kShards);
+  EXPECT_EQ(first_round.take_steals, 0u)
+      << "with all shards populated, no take should probe past its start";
+  for (std::size_t s = 0; s < kShards; ++s) {
+    EXPECT_EQ(first_round.shard_takes[s], 1u) << "shard " << s;
+  }
+  // Drain the rest: per-shard takes must account for exactly the CRPs
+  // each shard held, and once shards start emptying the cursor probes
+  // onward — those probes are the only source of take_steals.
+  while (db.take().has_value()) {
+  }
+  const auto drained = db.lock_stats();
+  EXPECT_EQ(drained.takes, 64u);
+  EXPECT_LE(drained.take_steals, drained.takes);
+}
+
+// Starvation regression under concurrent takers: when a striped store is
+// drained by racing threads, every populated shard must serve takes — no
+// shard may sit untouched while others empty — and the per-shard counts
+// must balance exactly against what each shard held.
+TEST(CrpShardsConcurrency, ConcurrentTakersStarveNoShard) {
+  constexpr std::uint32_t kCount = 512;
+  constexpr unsigned kThreads = 4;
+  CrpDatabase db(8);
+  for (std::uint32_t i = 0; i < kCount; ++i) db.insert(make_crp(i));
+  std::vector<std::size_t> initial(db.shard_count());
+  for (std::size_t s = 0; s < db.shard_count(); ++s) {
+    initial[s] = db.shard_size(s);
+  }
+
+  std::vector<std::thread> threads;
+  for (unsigned t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&db] {
+      while (db.take().has_value()) {
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  ASSERT_TRUE(db.empty());
+
+  const auto stats = db.lock_stats();
+  ASSERT_EQ(stats.shard_takes.size(), db.shard_count());
+  EXPECT_EQ(stats.takes, kCount);
+  std::uint64_t across = 0;
+  for (std::size_t s = 0; s < db.shard_count(); ++s) {
+    // Exactness, not just non-starvation: a shard serves precisely the
+    // CRPs it held, so lost/double takes cannot hide in the aggregate.
+    EXPECT_EQ(stats.shard_takes[s], initial[s]) << "shard " << s;
+    if (initial[s] > 0) {
+      EXPECT_GT(stats.shard_takes[s], 0u) << "starved shard " << s;
+    }
+    across += stats.shard_takes[s];
+  }
+  EXPECT_EQ(across, stats.takes);
+  EXPECT_LE(stats.take_steals, stats.takes);
+}
+
 // Concurrent failure recording on one challenge: the counters are guarded
 // by the shard lock, so exactly the recorded total must land.
 TEST(CrpShardsConcurrency, ConcurrentFailuresQuarantineExactly) {
