@@ -34,6 +34,16 @@
 #                               # degenerate reactor) and =4 (real steal and
 #                               # park/wake traffic) — the two widths where
 #                               # scheduler bugs live
+#   scripts/check.sh lint       # static-analysis flavor: ctlint (all
+#                               # passes, empty-baseline gate) + fixture
+#                               # self-test, bench_regress schema
+#                               # self-check, clang-tidy over the exported
+#                               # compile database, and a Clang
+#                               # -Wthread-safety -Werror build of the
+#                               # whole tree. The clang-tidy and Clang
+#                               # steps skip LOUDLY when no clang is on
+#                               # PATH (the GCC-only container); ctlint
+#                               # and the schema check always gate
 #
 # Environment:
 #   NEUROPULS_BENCH_THRESHOLD   allowed fractional throughput drop vs
@@ -51,7 +61,7 @@ cd "$(dirname "$0")/.."
 JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 CONFIGS=("$@")
 if [ ${#CONFIGS[@]} -eq 0 ]; then
-  CONFIGS=(plain address undefined native)
+  CONFIGS=(plain address undefined native lint)
 fi
 
 mkdir -p build-check
@@ -92,6 +102,66 @@ run_config() {
   fi
 }
 
+# The lint flavor: every static gate in one place. Builds only the
+# ctlint host tool (plus the compile database from the configure step),
+# so it is cheap enough to run on every invocation alongside the full
+# matrix.
+run_lint_flavor() {
+  local build_dir="build-check/lint"
+
+  echo "==> [lint] configure (${build_dir})"
+  cmake -B "${build_dir}" -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DNEUROPULS_WERROR=ON \
+    > "${build_dir}.configure.log" 2>&1 || {
+      tail -n 40 "${build_dir}.configure.log"; return 1; }
+
+  echo "==> [lint] build ctlint"
+  cmake --build "${build_dir}" -j "${JOBS}" --target ctlint \
+    > "${build_dir}.build.log" 2>&1 || {
+      tail -n 40 "${build_dir}.build.log"; return 1; }
+
+  echo "==> [lint] ctlint source pass (secret + concurrency rules, empty-baseline gate)"
+  "${build_dir}/tools/ctlint/ctlint" \
+    --baseline tools/ctlint/baseline.txt src
+
+  echo "==> [lint] ctlint fixture self-test"
+  "${build_dir}/tools/ctlint/ctlint" --self-test tools/ctlint/fixtures
+
+  echo "==> [lint] bench_regress schema self-check (BENCH_baseline.json)"
+  python3 scripts/bench_regress.py --check-schema BENCH_baseline.json
+
+  if command -v clang-tidy >/dev/null 2>&1; then
+    echo "==> [lint] clang-tidy (compile database: ${build_dir})"
+    # shellcheck disable=SC2046
+    clang-tidy -p "${build_dir}" --quiet \
+      $(find src -name '*.cpp' | sort)
+  else
+    echo "==> [lint] SKIPPED clang-tidy: not on PATH (install LLVM to enable)"
+  fi
+
+  if command -v clang++ >/dev/null 2>&1; then
+    echo "==> [lint] Clang -Wthread-safety -Werror build"
+    local clang_dir="build-check/lint-clang"
+    cmake -B "${clang_dir}" -S . \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      -DCMAKE_CXX_COMPILER=clang++ \
+      -DNEUROPULS_WERROR=ON \
+      -DNEUROPULS_THREAD_SAFETY=ON \
+      > "${clang_dir}.configure.log" 2>&1 || {
+        tail -n 40 "${clang_dir}.configure.log"; return 1; }
+    cmake --build "${clang_dir}" -j "${JOBS}" \
+      > "${clang_dir}.build.log" 2>&1 || {
+        tail -n 40 "${clang_dir}.build.log"; return 1; }
+    echo "==> [lint] ctest (negative-compile harness + full suite under Clang)"
+    ctest --test-dir "${clang_dir}" --output-on-failure -j "${JOBS}"
+  else
+    echo "==> [lint] SKIPPED Clang thread-safety build: clang++ not on PATH"
+    echo "           (GCC compiles the NP_ annotations as no-ops; the"
+    echo "            capability analysis needs Clang)"
+  fi
+}
+
 FULL_CONFIGS=()
 for config in "${CONFIGS[@]}"; do
   case "${config}" in
@@ -112,8 +182,11 @@ for config in "${CONFIGS[@]}"; do
       NEUROPULS_THREADS=1 run_config thread concurrency
       NEUROPULS_THREADS=4 run_config thread concurrency
       ;;
+    lint)
+      run_lint_flavor
+      ;;
     *)
-      echo "unknown config '${config}' (want plain, address, undefined, native, chaos, tsan, or reactor)" >&2
+      echo "unknown config '${config}' (want plain, address, undefined, native, chaos, tsan, reactor, or lint)" >&2
       exit 2
       ;;
   esac

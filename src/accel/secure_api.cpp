@@ -33,17 +33,20 @@ SecureAccelerator::SecureAccelerator(std::unique_ptr<MvmEngine> engine,
 }
 
 void SecureAccelerator::require_service() const {
+  const common::ReadLock lock(health_mutex_);
   if (health_ == HealthState::kLockedOut) throw LockedOutError();
 }
 
-void SecureAccelerator::note_success() noexcept {
+void SecureAccelerator::note_success() {
   // LockedOut is sticky (only reset_health() clears it), so a success can
   // only be observed in Healthy/Degraded — both recover fully.
+  const common::WriteLock lock(health_mutex_);
   consecutive_failures_ = 0;
   health_ = HealthState::kHealthy;
 }
 
-void SecureAccelerator::note_failure() noexcept {
+void SecureAccelerator::note_failure() {
+  const common::WriteLock lock(health_mutex_);
   ++consecutive_failures_;
   if (consecutive_failures_ >= health_policy_.lockout_after) {
     health_ = HealthState::kLockedOut;
@@ -92,6 +95,7 @@ std::vector<double> SecureAccelerator::decrypt_output(
 }
 
 void SecureAccelerator::load_network(crypto::ByteView ciphered_network) {
+  const common::MutexLock entry(mutex_);  // mutex_ > health_mutex_
   require_service();
   crypto::Bytes plaintext;  // ctlint:secret
   try {
@@ -128,6 +132,7 @@ crypto::Bytes SecureAccelerator::seal(crypto::ByteView plaintext) {
 
 crypto::Bytes SecureAccelerator::execute_network(
     crypto::ByteView ciphered_input) {
+  const common::MutexLock entry(mutex_);  // mutex_ > health_mutex_
   require_service();
   if (!accelerator_.loaded()) {
     // Caller bug, not a device/crypto failure — never counts toward

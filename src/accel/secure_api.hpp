@@ -19,7 +19,9 @@
 #include <stdexcept>
 
 #include "accel/accelerator.hpp"
+#include "common/mutex.hpp"
 #include "common/secret.hpp"
+#include "common/thread_annotations.hpp"
 #include "crypto/bytes.hpp"
 
 namespace neuropuls::accel {
@@ -50,6 +52,11 @@ class LockedOutError : public std::runtime_error {
                            "authentication failures") {}
 };
 
+/// Thread-safe: the ciphered entry points serialize on mutex_ (the
+/// engine and nonce counter are single-stream hardware state); the
+/// health machine lives under its own reader/writer lock so monitors can
+/// poll health()/consecutive_failures() without queueing behind a long
+/// inference. Lock order: mutex_ > health_mutex_.
 class SecureAccelerator {
  public:
   /// `device_key` is the PUF-derived encryption key (from
@@ -62,25 +69,39 @@ class SecureAccelerator {
   /// Table I `load_network(ciphered_network)`. Throws std::runtime_error
   /// on authentication failure (tamper/wrong key) or malformed plaintext,
   /// LockedOutError while locked out.
-  void load_network(crypto::ByteView ciphered_network);
+  void load_network(crypto::ByteView ciphered_network) NP_EXCLUDES(mutex_);
 
   /// Table I `execute_network(ciphered_input) -> ciphered_output`.
   /// `nonce_counter` freshness is handled internally (monotonic).
   /// Throws LockedOutError while locked out.
-  crypto::Bytes execute_network(crypto::ByteView ciphered_input);
+  crypto::Bytes execute_network(crypto::ByteView ciphered_input)
+      NP_EXCLUDES(mutex_);
 
-  bool network_loaded() const noexcept { return accelerator_.loaded(); }
-  const EngineStats& stats() const { return accelerator_.stats(); }
+  bool network_loaded() const NP_EXCLUDES(mutex_) {
+    const common::MutexLock lock(mutex_);
+    return accelerator_.loaded();
+  }
+  /// Snapshot of the engine's MAC/energy counters. By value: a reference
+  /// into the engine would be read outside mutex_.
+  EngineStats stats() const NP_EXCLUDES(mutex_) {
+    const common::MutexLock lock(mutex_);
+    return accelerator_.stats();
+  }
 
   /// Health model: consecutive crypto (authentication) failures walk
   /// Healthy -> Degraded -> LockedOut; a success in Healthy/Degraded
   /// resets to Healthy. LockedOut is sticky — only an explicit operator
   /// reset_health() (re-provisioning) restores service.
-  HealthState health() const noexcept { return health_; }
-  std::uint32_t consecutive_failures() const noexcept {
+  HealthState health() const NP_EXCLUDES(health_mutex_) {
+    const common::ReadLock lock(health_mutex_);
+    return health_;
+  }
+  std::uint32_t consecutive_failures() const NP_EXCLUDES(health_mutex_) {
+    const common::ReadLock lock(health_mutex_);
     return consecutive_failures_;
   }
-  void reset_health() noexcept {
+  void reset_health() NP_EXCLUDES(health_mutex_) {
+    const common::WriteLock lock(health_mutex_);
     health_ = HealthState::kHealthy;
     consecutive_failures_ = 0;
   }
@@ -97,17 +118,21 @@ class SecureAccelerator {
                                             crypto::ByteView key);
 
  private:
-  crypto::Bytes seal(crypto::ByteView plaintext);
-  void require_service() const;
-  void note_success() noexcept;
-  void note_failure() noexcept;
+  crypto::Bytes seal(crypto::ByteView plaintext) NP_REQUIRES(mutex_);
+  void require_service() const NP_EXCLUDES(health_mutex_);
+  void note_success() NP_EXCLUDES(health_mutex_);
+  void note_failure() NP_EXCLUDES(health_mutex_);
 
-  Accelerator accelerator_;
-  common::SecretBytes device_key_;
-  std::uint64_t nonce_counter_ = 0x80000000ULL;  // device-side nonce space
-  HealthPolicy health_policy_;
-  HealthState health_ = HealthState::kHealthy;
-  std::uint32_t consecutive_failures_ = 0;
+  /// Serializes the ciphered entry points and guards the engine + nonce.
+  mutable common::Mutex mutex_;
+  Accelerator accelerator_ NP_GUARDED_BY(mutex_);
+  common::SecretBytes device_key_;  // immutable after construction
+  std::uint64_t nonce_counter_ NP_GUARDED_BY(mutex_) =
+      0x80000000ULL;  // device-side nonce space
+  HealthPolicy health_policy_;  // immutable after construction
+  mutable common::SharedMutex health_mutex_;
+  HealthState health_ NP_GUARDED_BY(health_mutex_) = HealthState::kHealthy;
+  std::uint32_t consecutive_failures_ NP_GUARDED_BY(health_mutex_) = 0;
 };
 
 }  // namespace neuropuls::accel

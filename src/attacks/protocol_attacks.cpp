@@ -10,11 +10,12 @@ struct World {
   std::unique_ptr<puf::PhotonicPuf> puf;
   std::unique_ptr<core::AuthDevice> device;
   std::unique_ptr<core::AuthVerifier> verifier;
-  net::DuplexChannel channel;
+  std::unique_ptr<net::DuplexChannel> channel;
 };
 
 World make_world(std::uint64_t seed) {
   World w;
+  w.channel = std::make_unique<net::DuplexChannel>();
   w.puf = std::make_unique<puf::PhotonicPuf>(puf::small_photonic_config(),
                                              0xA77ACC + seed, 0);
   crypto::ChaChaDrbg rng(crypto::bytes_of("battery"));
@@ -29,7 +30,7 @@ World make_world(std::uint64_t seed) {
 }
 
 bool honest_session(World& w, std::uint64_t session, std::uint64_t nonce) {
-  return core::run_auth_session(*w.verifier, *w.device, w.channel, session,
+  return core::run_auth_session(*w.verifier, *w.device, *w.channel, session,
                                 nonce);
 }
 
@@ -41,7 +42,7 @@ ProtocolAttackReport replay_attack(std::uint64_t seed) {
   World w = make_world(seed);
 
   net::Message recorded{};
-  w.channel.set_adversary([&](net::Direction d, const net::Message& m) {
+  w.channel->set_adversary([&](net::Direction d, const net::Message& m) {
     if (d == net::Direction::kBtoA &&
         m.type == net::MessageType::kAuthResponse) {
       recorded = m;
@@ -59,7 +60,7 @@ ProtocolAttackReport replay_attack(std::uint64_t seed) {
   report.attacker_succeeded = outcome.status == core::AuthStatus::kOk;
 
   // Verify the honest pair still works afterwards.
-  w.channel.set_adversary(nullptr);
+  w.channel->set_adversary(nullptr);
   report.honest_parties_recovered = honest_session(w, 3, 300);
   return report;
 }
@@ -73,7 +74,7 @@ ProtocolAttackReport mitm_session_graft(std::uint64_t seed) {
   // the session id, hoping to make the device answer a session the
   // attacker controls; it then re-frames the device's answer back.
   constexpr std::uint64_t kAttackerSession = 0xEE;
-  w.channel.set_adversary([&](net::Direction d, const net::Message& m) {
+  w.channel->set_adversary([&](net::Direction d, const net::Message& m) {
     if (d == net::Direction::kAtoB &&
         m.type == net::MessageType::kAuthRequest) {
       net::Message reframed = m;
@@ -92,7 +93,7 @@ ProtocolAttackReport mitm_session_graft(std::uint64_t seed) {
   // session id; the verifier MACs over its own id -> must fail.
   report.attacker_succeeded = honest_session(w, 1, 100);
 
-  w.channel.set_adversary(nullptr);
+  w.channel->set_adversary(nullptr);
   report.honest_parties_recovered = honest_session(w, 9, 900);
   return report;
 }
@@ -103,7 +104,7 @@ ProtocolAttackReport desync_attack(std::uint64_t seed,
   report.attack = "desync";
   World w = make_world(seed);
 
-  w.channel.set_adversary([](net::Direction d, const net::Message& m) {
+  w.channel->set_adversary([](net::Direction d, const net::Message& m) {
     return (d == net::Direction::kAtoB &&
             m.type == net::MessageType::kAuthConfirm)
                ? net::Verdict::drop()
@@ -112,7 +113,7 @@ ProtocolAttackReport desync_attack(std::uint64_t seed,
   for (unsigned i = 1; i <= lossy_sessions; ++i) {
     (void)honest_session(w, i, i);
   }
-  w.channel.set_adversary(nullptr);
+  w.channel->set_adversary(nullptr);
   report.honest_parties_recovered = honest_session(w, 100, 1000);
   // The attacker's goal was a permanent wedge.
   report.attacker_succeeded = !report.honest_parties_recovered;

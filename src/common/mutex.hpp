@@ -1,0 +1,175 @@
+// Annotated lock wrappers — the only mutexes the concurrent stack uses.
+//
+// Every lock-holding component (puf::CrpDatabase shards, the
+// common::parallel scheduler primitives, core::SessionEngine,
+// net::DuplexChannel's wakeup hook, core::KeyManager,
+// accel::SecureAccelerator's health machine, the PhotonicPuf table
+// cache) holds a common::Mutex / common::SharedMutex and scopes critical
+// sections with MutexLock / ReadLock / WriteLock, so Clang's capability
+// analysis (src/common/thread_annotations.hpp) can prove every
+// NP_GUARDED_BY field is only touched under its lock. The wrappers add
+// nothing at runtime over the std primitives they hold; on non-Clang
+// compilers they ARE the std primitives, one forwarding call deep.
+//
+// Canonical lock order (enforced statically by tools/ctlint's lock-order
+// pass over these wrappers, and documented in DESIGN.md):
+//
+//   ThreadPool::submit_mutex_  >  ThreadPool::mutex_  >  Loop::m
+//   SessionEngine::notify_mutex_  >  Reactor::sched_mutex
+//   Reactor::admit_mutex  >  DuplexChannel::hook_mutex_
+//       >  Reactor::sched_mutex  >  ParkingLot::mutex_
+//   SecureAccelerator::mutex_   >  SecureAccelerator::health_mutex_
+//   CrpDatabase Shard locks are leaves: nothing is ever acquired under
+//   one, and they must never be taken while an engine lock is held.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+#include "common/thread_annotations.hpp"
+
+namespace neuropuls::common {
+
+class CondVar;
+class MutexLock;
+
+/// Annotated exclusive mutex (std::mutex underneath). Prefer MutexLock
+/// over calling lock()/unlock() directly — scoped acquisition is what the
+/// analysis reasons about best, and what the ctlint lock passes parse.
+class NP_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() NP_ACQUIRE() { mu_.lock(); }
+  void unlock() NP_RELEASE() { mu_.unlock(); }
+  bool try_lock() NP_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  friend class MutexLock;
+  std::mutex mu_;
+};
+
+/// Scoped exclusive lock over a Mutex. Relockable: unlock()/lock() let a
+/// long-running section (e.g. a pool worker executing a loop body) drop
+/// the lock and reacquire it with the transitions still visible to the
+/// analysis.
+class NP_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) NP_ACQUIRE(mu) : mu_(mu) { mu_.mu_.lock(); }
+
+  /// Try-first acquisition: `contended` reports whether the fast path
+  /// failed and the constructor had to block. CrpDatabase's shard locks
+  /// use this to count contention without a second locking API.
+  MutexLock(Mutex& mu, bool& contended) NP_ACQUIRE(mu) : mu_(mu) {
+    contended = !mu_.mu_.try_lock();
+    if (contended) mu_.mu_.lock();
+  }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  ~MutexLock() NP_RELEASE() {
+    if (held_) mu_.mu_.unlock();
+  }
+
+  /// Early release (the destructor then does nothing).
+  void unlock() NP_RELEASE() {
+    mu_.mu_.unlock();
+    held_ = false;
+  }
+
+  /// Reacquire after unlock().
+  void lock() NP_ACQUIRE() {
+    mu_.mu_.lock();
+    held_ = true;
+  }
+
+ private:
+  friend class CondVar;
+  Mutex& mu_;
+  bool held_ = true;
+};
+
+/// Condition variable paired with common::Mutex. wait() names the Mutex
+/// (not the scoped lock) so the analysis can check the caller actually
+/// holds it; the capability is held again when wait() returns, exactly
+/// like std::condition_variable::wait. Write wait loops inline —
+///     while (!ready_) cv_.wait(mutex_);
+/// — rather than with a predicate lambda: the loop body sits in the
+/// scope where the analysis knows the capability is held.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void wait(Mutex& mu) NP_REQUIRES(mu) {
+    std::unique_lock<std::mutex> adopted(mu.mu_, std::adopt_lock);
+    cv_.wait(adopted);
+    adopted.release();  // the caller's scope still owns the capability
+  }
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+class ReadLock;
+class WriteLock;
+
+/// Annotated reader/writer mutex (std::shared_mutex underneath): many
+/// concurrent shared holders or one exclusive holder. Reads of a field
+/// guarded by a SharedMutex need at least a ReadLock; writes need a
+/// WriteLock — the analysis distinguishes the two.
+class NP_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void lock() NP_ACQUIRE() { mu_.lock(); }
+  void unlock() NP_RELEASE() { mu_.unlock(); }
+  void lock_shared() NP_ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void unlock_shared() NP_RELEASE_SHARED() { mu_.unlock_shared(); }
+
+ private:
+  friend class ReadLock;
+  friend class WriteLock;
+  std::shared_mutex mu_;
+};
+
+/// Scoped shared (reader) lock over a SharedMutex.
+class NP_SCOPED_CAPABILITY ReadLock {
+ public:
+  explicit ReadLock(SharedMutex& mu) NP_ACQUIRE_SHARED(mu) : mu_(mu) {
+    mu_.mu_.lock_shared();
+  }
+  ReadLock(const ReadLock&) = delete;
+  ReadLock& operator=(const ReadLock&) = delete;
+  ~ReadLock() NP_RELEASE() { mu_.mu_.unlock_shared(); }
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// Scoped exclusive (writer) lock over a SharedMutex.
+class NP_SCOPED_CAPABILITY WriteLock {
+ public:
+  explicit WriteLock(SharedMutex& mu) NP_ACQUIRE(mu) : mu_(mu) {
+    mu_.mu_.lock();
+  }
+  WriteLock(const WriteLock&) = delete;
+  WriteLock& operator=(const WriteLock&) = delete;
+  ~WriteLock() NP_RELEASE() { mu_.mu_.unlock(); }
+
+ private:
+  SharedMutex& mu_;
+};
+
+}  // namespace neuropuls::common

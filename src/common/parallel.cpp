@@ -29,11 +29,11 @@ struct ThreadPool::Loop {
   std::size_t chunk = 1;
   std::atomic<std::size_t> next{0};
   std::atomic<bool> cancelled{false};
-  // Completion / error state, guarded by `m`.
-  std::mutex m;
-  std::condition_variable done_cv;
-  std::size_t in_flight = 0;
-  std::exception_ptr error;
+  // Completion / error state.
+  Mutex m;
+  CondVar done_cv;
+  std::size_t in_flight NP_GUARDED_BY(m) = 0;
+  std::exception_ptr error NP_GUARDED_BY(m);
 
   bool has_work() const noexcept {
     return next.load(std::memory_order_relaxed) < end &&
@@ -72,7 +72,7 @@ ThreadPool::ThreadPool(std::size_t threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stopping_ = true;
   }
   work_cv_.notify_all();
@@ -92,7 +92,7 @@ void ThreadPool::run_loop(Loop& loop) {
         (*loop.fn)(i);
       } catch (...) {
         {
-          std::lock_guard<std::mutex> lock(loop.m);
+          MutexLock lock(loop.m);
           if (!loop.error) loop.error = std::current_exception();
         }
         loop.cancelled.store(true, std::memory_order_release);
@@ -104,21 +104,21 @@ void ThreadPool::run_loop(Loop& loop) {
 
 void ThreadPool::worker_main() {
   RegionGuard in_region;  // everything a worker runs is inside a loop
-  std::unique_lock<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   for (;;) {
-    work_cv_.wait(lock, [this] {
-      return stopping_ || (current_ && current_->has_work());
-    });
+    while (!(stopping_ || (current_ && current_->has_work()))) {
+      work_cv_.wait(mutex_);
+    }
     if (stopping_) return;
     const std::shared_ptr<Loop> loop = current_;
     {
-      std::lock_guard<std::mutex> guard(loop->m);
+      MutexLock guard(loop->m);
       ++loop->in_flight;
     }
     lock.unlock();
     run_loop(*loop);
     {
-      std::lock_guard<std::mutex> guard(loop->m);
+      MutexLock guard(loop->m);
       --loop->in_flight;
     }
     loop->done_cv.notify_all();
@@ -146,9 +146,9 @@ void ThreadPool::parallel_for(std::size_t n,
   loop->chunk = std::max<std::size_t>(1, n / (thread_count() * 4));
 
   // One loop at a time: a second external submitter waits its turn.
-  std::lock_guard<std::mutex> submit_lock(submit_mutex_);
+  MutexLock submit_lock(submit_mutex_);
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     current_ = loop;
   }
   work_cv_.notify_all();
@@ -158,63 +158,65 @@ void ThreadPool::parallel_for(std::size_t n,
     run_loop(*loop);  // the submitter works too — never idle-blocked
   }
 
+  std::exception_ptr error;
   {
-    std::unique_lock<std::mutex> done_lock(loop->m);
-    loop->done_cv.wait(done_lock, [&loop] {
-      return loop->in_flight == 0 &&
+    MutexLock done_lock(loop->m);
+    while (!(loop->in_flight == 0 &&
              (loop->next.load(std::memory_order_relaxed) >= loop->end ||
-              loop->cancelled.load(std::memory_order_relaxed));
-    });
+              loop->cancelled.load(std::memory_order_relaxed)))) {
+      loop->done_cv.wait(loop->m);
+    }
+    error = loop->error;
   }
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     current_.reset();
   }
-  if (loop->error) std::rethrow_exception(loop->error);
+  if (error) std::rethrow_exception(error);
 }
 
 StealDeque::StealDeque(std::size_t capacity)
-    : ring_(capacity == 0 ? 1 : capacity, nullptr) {}
+    : capacity_(capacity == 0 ? 1 : capacity), ring_(capacity_, nullptr) {}
 
 bool StealDeque::push(void* item) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  if (bottom_ - top_ == ring_.size()) return false;
-  ring_[bottom_ % ring_.size()] = item;
+  MutexLock lock(mutex_);
+  if (bottom_ - top_ == capacity_) return false;
+  ring_[bottom_ % capacity_] = item;
   ++bottom_;
   return true;
 }
 
 void* StealDeque::pop() noexcept {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (bottom_ == top_) return nullptr;
   --bottom_;
-  return ring_[bottom_ % ring_.size()];
+  return ring_[bottom_ % capacity_];
 }
 
 void* StealDeque::steal() noexcept {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (bottom_ == top_) return nullptr;
-  void* item = ring_[top_ % ring_.size()];
+  void* item = ring_[top_ % capacity_];
   ++top_;
   return item;
 }
 
 std::size_t StealDeque::size() const noexcept {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return bottom_ - top_;
 }
 
 ParkingLot::ParkingLot(std::size_t max_tokens) : max_tokens_(max_tokens) {}
 
 bool ParkingLot::park() {
-  std::unique_lock<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (closed_) return false;
   if (tokens_ > 0) {
     --tokens_;
     return false;
   }
   ++sleepers_;
-  cv_.wait(lock, [this] { return tokens_ > 0 || closed_; });
+  while (!(tokens_ > 0 || closed_)) cv_.wait(mutex_);
   --sleepers_;
   if (tokens_ > 0) --tokens_;
   return true;
@@ -222,7 +224,7 @@ bool ParkingLot::park() {
 
 void ParkingLot::unpark_one() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (closed_) return;
     if (max_tokens_ == 0 || tokens_ < max_tokens_) ++tokens_;
   }
@@ -231,7 +233,7 @@ void ParkingLot::unpark_one() {
 
 void ParkingLot::unpark_all() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (closed_) return;
     tokens_ += sleepers_;
   }
@@ -240,14 +242,14 @@ void ParkingLot::unpark_all() {
 
 void ParkingLot::close() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     closed_ = true;
   }
   cv_.notify_all();
 }
 
 bool ParkingLot::closed() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return closed_;
 }
 

@@ -31,16 +31,24 @@
 // readiness-driven `core::SessionEngine` reactor, which replaced the
 // wave multiplexer: the pool contributes the threads (via parallel_for
 // over worker ids), these structures contribute the scheduling.
+//
+// Concurrency contracts: every mutex here is an annotated common::Mutex
+// and every guarded field carries NP_GUARDED_BY, so a Clang build with
+// -Wthread-safety proves the locking discipline at compile time (the
+// macros are no-ops elsewhere). Lock order within this module:
+// submit_mutex_ > mutex_ > Loop::m; StealDeque and ParkingLot locks are
+// leaves.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <exception>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
 
 namespace neuropuls::common {
 
@@ -77,11 +85,12 @@ class ThreadPool {
   static void run_loop(Loop& loop);
 
   std::vector<std::thread> workers_;
-  std::mutex submit_mutex_;  // serialises concurrent external submitters
-  std::mutex mutex_;
-  std::condition_variable work_cv_;
-  std::shared_ptr<Loop> current_;  // loop being executed, if any
-  bool stopping_ = false;
+  Mutex submit_mutex_;  // serialises concurrent external submitters
+  Mutex mutex_;
+  CondVar work_cv_;
+  /// Loop being executed, if any.
+  std::shared_ptr<Loop> current_ NP_GUARDED_BY(mutex_);
+  bool stopping_ NP_GUARDED_BY(mutex_) = false;
 };
 
 /// parallel_for on the process-global pool.
@@ -118,13 +127,16 @@ class StealDeque {
   void* steal() noexcept;
 
   std::size_t size() const noexcept;
-  std::size_t capacity() const noexcept { return ring_.size(); }
+  std::size_t capacity() const noexcept { return capacity_; }
 
  private:
-  mutable std::mutex mutex_;
-  std::vector<void*> ring_;
-  std::size_t top_ = 0;     // logical index of the oldest item
-  std::size_t bottom_ = 0;  // logical index one past the newest item
+  mutable Mutex mutex_;
+  /// Fixed at construction; ring_.size() == capacity_ always. The
+  /// elements (and the ring indices) move only under mutex_.
+  const std::size_t capacity_;
+  std::vector<void*> ring_ NP_GUARDED_BY(mutex_);
+  std::size_t top_ NP_GUARDED_BY(mutex_) = 0;     // index of the oldest item
+  std::size_t bottom_ NP_GUARDED_BY(mutex_) = 0;  // one past the newest item
 };
 
 /// Token-counted park/unpark for scheduler workers. The classic lost
@@ -158,12 +170,12 @@ class ParkingLot {
   bool closed() const;
 
  private:
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
-  std::size_t tokens_ = 0;
-  std::size_t sleepers_ = 0;
-  std::size_t max_tokens_ = 0;
-  bool closed_ = false;
+  mutable Mutex mutex_;
+  CondVar cv_;
+  std::size_t tokens_ NP_GUARDED_BY(mutex_) = 0;
+  std::size_t sleepers_ NP_GUARDED_BY(mutex_) = 0;
+  const std::size_t max_tokens_;  // fixed at construction
+  bool closed_ NP_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace neuropuls::common

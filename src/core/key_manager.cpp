@@ -44,6 +44,7 @@ KeyManager::KeyManager(puf::Puf& puf, std::size_t key_bytes)
     : puf_(puf), extractor_(ecc::make_default_extractor(key_bytes)) {}
 
 DeviceKeyRecord KeyManager::enroll(crypto::ChaChaDrbg& rng) {
+  const common::MutexLock lock(mutex_);
   const ecc::BitVec w = collect_response_bits(puf_, extractor_.response_bits());
   auto result = extractor_.generate(w, rng);
   root_ = common::SecretBytes(std::move(result.key));
@@ -51,6 +52,7 @@ DeviceKeyRecord KeyManager::enroll(crypto::ChaChaDrbg& rng) {
 }
 
 std::optional<DeviceKeys> KeyManager::derive(const DeviceKeyRecord& record) {
+  const common::MutexLock lock(mutex_);
   const ecc::BitVec w_prime =
       collect_response_bits(puf_, extractor_.response_bits());
   auto root = extractor_.reproduce(w_prime, record.helper);
@@ -62,6 +64,7 @@ std::optional<DeviceKeys> KeyManager::derive(const DeviceKeyRecord& record) {
 
 std::optional<DeviceKeys> KeyManager::derive_robust(
     const DeviceKeyRecord& record, unsigned attempts, unsigned readings) {
+  const common::MutexLock lock(mutex_);
   for (unsigned attempt = 0; attempt < attempts; ++attempt) {
     const ecc::BitVec w_prime =
         collect_response_bits(puf_, extractor_.response_bits(), readings);
@@ -72,6 +75,11 @@ std::optional<DeviceKeys> KeyManager::derive_robust(
     return keys;
   }
   return std::nullopt;
+}
+
+common::SecretBytes KeyManager::enrolled_root() const {
+  const common::MutexLock lock(mutex_);
+  return root_.clone();
 }
 
 DeviceKeys KeyManager::split(const crypto::Bytes& root) {

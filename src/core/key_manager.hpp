@@ -14,7 +14,9 @@
 #include <optional>
 #include <string>
 
+#include "common/mutex.hpp"
 #include "common/secret.hpp"
+#include "common/thread_annotations.hpp"
 #include "crypto/bytes.hpp"
 #include "ecc/fuzzy_extractor.hpp"
 #include "puf/puf.hpp"
@@ -41,18 +43,22 @@ struct DeviceKeys {
   common::SecretBytes binding_key;  // PIC<->ASIC composite binding (16 bytes)
 };
 
+/// Thread-safe: enrollment and derivation serialize on one internal
+/// mutex — the PUF reference is not thread-safe, and the enrolled root
+/// must never be observed half-written by a concurrent exporter.
 class KeyManager {
  public:
   /// `key_bytes` sizes the fuzzy-extractor root key.
   explicit KeyManager(puf::Puf& puf, std::size_t key_bytes = 16);
 
   /// Manufacturing-time enrollment. Returns the public record to persist.
-  DeviceKeyRecord enroll(crypto::ChaChaDrbg& rng);
+  DeviceKeyRecord enroll(crypto::ChaChaDrbg& rng) NP_EXCLUDES(mutex_);
 
   /// Boot-time key derivation from a fresh noisy PUF reading. Returns
   /// std::nullopt when the reading is too noisy for the code (the caller
   /// retries — physically, re-powers the PUF).
-  std::optional<DeviceKeys> derive(const DeviceKeyRecord& record);
+  std::optional<DeviceKeys> derive(const DeviceKeyRecord& record)
+      NP_EXCLUDES(mutex_);
 
   /// Degradation-tolerant derivation: up to `attempts` tries, each using a
   /// k-of-n majority over `readings` re-measurements per challenge. The
@@ -62,11 +68,13 @@ class KeyManager {
   /// candidate for accel::SecureAccelerator lockout.
   std::optional<DeviceKeys> derive_robust(const DeviceKeyRecord& record,
                                           unsigned attempts = 3,
-                                          unsigned readings = 5);
+                                          unsigned readings = 5)
+      NP_EXCLUDES(mutex_);
 
-  /// The root key derived at enrollment (for verifier-side provisioning
-  /// in tests/examples; a production flow would never export it).
-  const common::SecretBytes& enrolled_root() const noexcept { return root_; }
+  /// A copy of the root key derived at enrollment (for verifier-side
+  /// provisioning in tests/examples; a production flow would never export
+  /// it). By value: a reference into guarded state would outlive the lock.
+  common::SecretBytes enrolled_root() const NP_EXCLUDES(mutex_);
 
   std::size_t response_bits() const noexcept {
     return extractor_.response_bits();
@@ -75,9 +83,11 @@ class KeyManager {
  private:
   static DeviceKeys split(const crypto::Bytes& root);
 
+  /// Serializes PUF access and guards root_.
+  mutable common::Mutex mutex_;
   puf::Puf& puf_;
   ecc::FuzzyExtractor extractor_;
-  common::SecretBytes root_;
+  common::SecretBytes root_ NP_GUARDED_BY(mutex_);
 };
 
 }  // namespace neuropuls::core

@@ -44,11 +44,12 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "common/arena.hpp"
+#include "common/mutex.hpp"
 #include "common/parallel.hpp"
+#include "common/thread_annotations.hpp"
 #include "core/session_driver.hpp"
 #include "crypto/chacha20.hpp"
 
@@ -134,7 +135,7 @@ class SessionEngine {
   /// thread concurrent with run(); a spurious notify can only make a
   /// session poll earlier, never change its transcript. This is the seam
   /// a real wire transport uses to report asynchronous frame arrival.
-  void notify(std::size_t index);
+  void notify(std::size_t index) NP_EXCLUDES(notify_mutex_);
 
   std::size_t queued() const noexcept { return pending_.size(); }
   const SessionEngineStats& stats() const noexcept { return stats_; }
@@ -159,8 +160,10 @@ class SessionEngine {
   SessionEngineStats stats_;
   std::size_t submitted_ = 0;
   /// Guards active_ against notify() racing run_reactor() teardown.
-  std::mutex notify_mutex_;
-  Reactor* active_ = nullptr;
+  /// Ordered above the reactor's sched_mutex (notify() holds it across
+  /// wake()); nothing acquires it with sched_mutex held.
+  common::Mutex notify_mutex_;
+  Reactor* active_ NP_GUARDED_BY(notify_mutex_) = nullptr;
 };
 
 }  // namespace neuropuls::core

@@ -24,7 +24,9 @@ void secure_wipe(void* data, std::size_t size) noexcept {
 #if defined(__GNUC__) || defined(__clang__)
   asm volatile("" : : "r"(data) : "memory");
 #else
-  // Fallback: a volatile pass the optimizer must preserve.
+  // Fallback: a volatile pass the optimizer must preserve. This is a
+  // dead-store-elimination barrier, not inter-thread synchronization.
+  // ctlint:allow(atomic-misuse) wipe barrier, not synchronization
   volatile std::uint8_t* p = static_cast<volatile std::uint8_t*>(data);
   for (std::size_t i = 0; i < size; ++i) p[i] = 0;
 #endif

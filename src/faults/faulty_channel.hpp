@@ -64,6 +64,15 @@ struct ChannelFaultStats {
 /// Installs a seeded fault-injecting adversary (and the matching poll
 /// hook) on a DuplexChannel. The FaultyChannel must outlive any use of
 /// the channel; its destructor detaches both hooks.
+///
+/// Threading contract: like the channel's queues, all FaultyChannel
+/// state (held frames, fault PRNG streams, stats) belongs to the single
+/// session that owns the channel — the adversary and poll hooks only run
+/// inside that session's send()/poll() calls, which the engine already
+/// serializes (one worker steps a session at a time), so it holds no
+/// lock of its own. Delayed/reordered frames re-enter the channel via
+/// inject(), whose wakeup notification IS cross-thread-safe — it goes
+/// through DuplexChannel's hook_mutex_-guarded wakeup hook.
 class FaultyChannel {
  public:
   FaultyChannel(net::DuplexChannel& channel, ChannelFaultConfig config,

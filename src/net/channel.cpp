@@ -19,6 +19,15 @@ void DuplexChannel::send(Direction direction, Message message) {
   }
   transcript_.push_back({direction, message, true});
   queue_for(direction).push_back(std::move(message));
+  notify_arrival(direction);
+}
+
+void DuplexChannel::notify_arrival(Direction direction) {
+  // Held across the invocation so a concurrent set_wakeup_hook(nullptr)
+  // (session retirement on another worker) cannot destroy the callable
+  // mid-call. The hook body acquires the reactor's scheduler lock, hence
+  // hook_mutex_ > sched_mutex in the canonical order.
+  common::MutexLock lock(hook_mutex_);
   if (wakeup_hook_) wakeup_hook_(direction);
 }
 
@@ -42,7 +51,7 @@ std::optional<Message> DuplexChannel::receive_with_budget(
 void DuplexChannel::inject(Direction direction, Message message) {
   transcript_.push_back({direction, message, true});
   queue_for(direction).push_back(std::move(message));
-  if (wakeup_hook_) wakeup_hook_(direction);
+  notify_arrival(direction);
 }
 
 }  // namespace neuropuls::net

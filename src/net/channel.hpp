@@ -14,6 +14,8 @@
 #include <optional>
 #include <vector>
 
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
 #include "net/message.hpp"
 
 namespace neuropuls::net {
@@ -52,6 +54,15 @@ struct TranscriptEntry {
 };
 
 /// Duplex channel between endpoints A (verifier) and B (device).
+///
+/// Threading contract: the queues, transcript, adversary, and poll hook
+/// are owned by the single session that owns the channel — the engine
+/// steps one session on one worker at a time, so those members need no
+/// lock. The wakeup hook is the exception: the reactor installs it at
+/// admission, clears it at retirement (possibly from a different worker),
+/// and send()/inject() fire it — so it is guarded by hook_mutex_.
+/// hook_mutex_ is held across the hook invocation and therefore sits
+/// above the reactor's sched_mutex in the canonical lock order.
 class DuplexChannel {
  public:
   DuplexChannel() = default;
@@ -64,8 +75,12 @@ class DuplexChannel {
   /// Installs (or clears, with nullptr) the poll hook.
   void set_poll_hook(PollHook hook) { poll_hook_ = std::move(hook); }
 
-  /// Installs (or clears, with nullptr) the wakeup hook.
-  void set_wakeup_hook(WakeupHook hook) { wakeup_hook_ = std::move(hook); }
+  /// Installs (or clears, with nullptr) the wakeup hook. Safe to call
+  /// from a different thread than the one sending on the channel.
+  void set_wakeup_hook(WakeupHook hook) NP_EXCLUDES(hook_mutex_) {
+    common::MutexLock lock(hook_mutex_);
+    wakeup_hook_ = std::move(hook);
+  }
 
   /// Advances channel time by one tick (runs the poll hook, if any).
   void poll() {
@@ -120,11 +135,15 @@ class DuplexChannel {
     return direction == Direction::kAtoB ? a_to_b_ : b_to_a_;
   }
 
+  /// Fires the wakeup hook for a frame that just landed.
+  void notify_arrival(Direction direction) NP_EXCLUDES(hook_mutex_);
+
   std::deque<Message> a_to_b_;
   std::deque<Message> b_to_a_;
   Adversary adversary_;
   PollHook poll_hook_;
-  WakeupHook wakeup_hook_;
+  mutable common::Mutex hook_mutex_;
+  WakeupHook wakeup_hook_ NP_GUARDED_BY(hook_mutex_);
   std::vector<TranscriptEntry> transcript_;
 };
 

@@ -22,16 +22,6 @@ const CrpDatabase::Shard& CrpDatabase::shard_for(
   return *shards_[detail::ChallengeHash{}(challenge) % shards_.size()];
 }
 
-std::unique_lock<std::mutex> CrpDatabase::lock_shard(const Shard& shard) {
-  std::unique_lock<std::mutex> lock(shard.mutex, std::try_to_lock);
-  shard.acquisitions.fetch_add(1, std::memory_order_relaxed);
-  if (!lock.owns_lock()) {
-    shard.contended.fetch_add(1, std::memory_order_relaxed);
-    lock.lock();
-  }
-  return lock;
-}
-
 void CrpDatabase::enroll(Puf& puf, std::size_t count, crypto::ChaChaDrbg& rng,
                          unsigned readings) {
   for (std::size_t i = 0; i < count; ++i) {
@@ -44,7 +34,7 @@ void CrpDatabase::enroll(Puf& puf, std::size_t count, crypto::ChaChaDrbg& rng,
 
 void CrpDatabase::insert(Crp crp) {
   Shard& shard = shard_for(crp.challenge);
-  const auto lock = lock_shard(shard);
+  const ShardLock lock(shard);
   shard.index[crp.challenge] = shard.entries.size();
   shard.entries.push_back(Entry{std::move(crp), CrpHealth{}});
   size_.fetch_add(1, std::memory_order_relaxed);
@@ -73,7 +63,7 @@ std::optional<Crp> CrpDatabase::take() {
       take_cursor_.fetch_add(1, std::memory_order_relaxed) % shards_.size();
   for (std::size_t probe = 0; probe < shards_.size(); ++probe) {
     Shard& shard = *shards_[(start + probe) % shards_.size()];
-    const auto lock = lock_shard(shard);
+    const ShardLock lock(shard);
     for (std::size_t i = shard.entries.size(); i-- > 0;) {
       if (shard.entries[i].health.quarantined) continue;
       // Erase the index entry before moving the CRP out: the challenge is
@@ -93,7 +83,7 @@ std::optional<Crp> CrpDatabase::take() {
 
 std::optional<Response> CrpDatabase::lookup(const Challenge& challenge) const {
   const Shard& shard = shard_for(crypto::ByteView{challenge});
-  const auto lock = lock_shard(shard);
+  const ShardLock lock(shard);
   const auto it = shard.index.find(crypto::ByteView{challenge});
   if (it == shard.index.end()) return std::nullopt;
   const Entry& entry = shard.entries[it->second];
@@ -103,7 +93,7 @@ std::optional<Response> CrpDatabase::lookup(const Challenge& challenge) const {
 
 void CrpDatabase::record_success(const Challenge& challenge) {
   Shard& shard = shard_for(crypto::ByteView{challenge});
-  const auto lock = lock_shard(shard);
+  const ShardLock lock(shard);
   const auto it = shard.index.find(crypto::ByteView{challenge});
   if (it == shard.index.end()) return;
   CrpHealth& health = shard.entries[it->second].health;
@@ -113,7 +103,7 @@ void CrpDatabase::record_success(const Challenge& challenge) {
 
 void CrpDatabase::record_failure(const Challenge& challenge) {
   Shard& shard = shard_for(crypto::ByteView{challenge});
-  const auto lock = lock_shard(shard);
+  const ShardLock lock(shard);
   const auto it = shard.index.find(crypto::ByteView{challenge});
   if (it == shard.index.end()) return;
   CrpHealth& health = shard.entries[it->second].health;
@@ -126,7 +116,7 @@ void CrpDatabase::record_failure(const Challenge& challenge) {
 
 std::optional<CrpHealth> CrpDatabase::health(const Challenge& challenge) const {
   const Shard& shard = shard_for(crypto::ByteView{challenge});
-  const auto lock = lock_shard(shard);
+  const ShardLock lock(shard);
   const auto it = shard.index.find(crypto::ByteView{challenge});
   if (it == shard.index.end()) return std::nullopt;
   return shard.entries[it->second].health;
@@ -135,7 +125,7 @@ std::optional<CrpHealth> CrpDatabase::health(const Challenge& challenge) const {
 std::size_t CrpDatabase::quarantined() const noexcept {
   std::size_t count = 0;
   for (const auto& shard : shards_) {
-    const auto lock = lock_shard(*shard);
+    const ShardLock lock(*shard);
     for (const Entry& entry : shard->entries) {
       if (entry.health.quarantined) ++count;
     }
@@ -146,7 +136,7 @@ std::size_t CrpDatabase::quarantined() const noexcept {
 std::size_t CrpDatabase::evict_quarantined() {
   std::size_t evicted = 0;
   for (const auto& shard : shards_) {
-    const auto lock = lock_shard(*shard);
+    const ShardLock lock(*shard);
     for (std::size_t i = shard->entries.size(); i-- > 0;) {
       if (shard->entries[i].health.quarantined) {
         remove_at(*shard, i);
@@ -159,8 +149,9 @@ std::size_t CrpDatabase::evict_quarantined() {
 }
 
 std::size_t CrpDatabase::shard_size(std::size_t shard) const {
-  const auto lock = lock_shard(*shards_[shard % shards_.size()]);
-  return shards_[shard % shards_.size()]->entries.size();
+  const Shard& stripe = *shards_[shard % shards_.size()];
+  const ShardLock lock(stripe);
+  return stripe.entries.size();
 }
 
 CrpStoreStats CrpDatabase::lock_stats() const {
@@ -180,7 +171,7 @@ CrpStoreStats CrpDatabase::lock_stats() const {
 std::size_t CrpDatabase::storage_bytes() const noexcept {
   std::size_t total = 0;
   for (const auto& shard : shards_) {
-    const auto lock = lock_shard(*shard);
+    const ShardLock lock(*shard);
     for (const Entry& entry : shard->entries) {
       total += entry.crp.challenge.size() + entry.crp.response.size();
     }

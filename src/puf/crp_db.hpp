@@ -25,11 +25,12 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
 #include "crypto/chacha20.hpp"
 #include "crypto/siphash.hpp"
 #include "puf/puf.hpp"
@@ -180,28 +181,51 @@ class CrpDatabase {
 
   /// One lock stripe: its own entries vector + challenge index, guarded
   /// by one mutex. The swap-with-back compaction scheme of the serial
-  /// class operates per shard unchanged.
+  /// class operates per shard unchanged. Shard locks are LEAVES in the
+  /// canonical lock order: nothing is ever acquired while one is held.
   struct Shard {
-    mutable std::mutex mutex;
-    std::vector<Entry> entries;
+    mutable common::Mutex mutex;
+    std::vector<Entry> entries NP_GUARDED_BY(mutex);
     // challenge bytes -> entries position, keyed on the raw buffer with a
     // SipHash transparent hasher (heterogeneous lookup: ByteView probes
     // need no Challenge copy).
     std::unordered_map<Challenge, std::size_t, detail::ChallengeHash,
                        detail::ChallengeEqual>
-        index;
+        index NP_GUARDED_BY(mutex);
     mutable std::atomic<std::uint64_t> acquisitions{0};
     mutable std::atomic<std::uint64_t> contended{0};
     mutable std::atomic<std::uint64_t> takes{0};
   };
 
+  /// Scoped shard lock that counts the acquisition and whether it
+  /// contended (try-first via MutexLock's contention-reporting
+  /// constructor). A scoped class — rather than a function returning a
+  /// lock — because Clang's capability analysis tracks constructor
+  /// acquisition but cannot follow a capability through a return value.
+  class NP_SCOPED_CAPABILITY ShardLock {
+   public:
+    explicit ShardLock(const Shard& shard) NP_ACQUIRE(shard.mutex)
+        : lock_(shard.mutex, contended_) {
+      shard.acquisitions.fetch_add(1, std::memory_order_relaxed);
+      if (contended_) {
+        shard.contended.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    ShardLock(const ShardLock&) = delete;
+    ShardLock& operator=(const ShardLock&) = delete;
+    ~ShardLock() NP_RELEASE() {}
+
+   private:
+    bool contended_ = false;  // written by lock_'s constructor
+    common::MutexLock lock_;
+  };
+
   Shard& shard_for(crypto::ByteView challenge) noexcept;
   const Shard& shard_for(crypto::ByteView challenge) const noexcept;
-  /// Locks a shard, counting the acquisition and whether it contended.
-  static std::unique_lock<std::mutex> lock_shard(const Shard& shard);
 
-  static void remove_at(Shard& shard, std::size_t pos);
-  static void compact(Shard& shard, std::size_t pos);
+  static void remove_at(Shard& shard, std::size_t pos)
+      NP_REQUIRES(shard.mutex);
+  static void compact(Shard& shard, std::size_t pos) NP_REQUIRES(shard.mutex);
 
   std::vector<std::unique_ptr<Shard>> shards_;
   std::atomic<std::size_t> size_{0};

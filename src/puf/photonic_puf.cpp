@@ -60,7 +60,7 @@ PhotonicPuf::PhotonicPuf(PhotonicPufConfig config, std::uint64_t wafer_seed,
 std::shared_ptr<const PhotonicPuf::OperatingTables>
 PhotonicPuf::operating_tables(const OperatingPoint& op) const {
   {
-    std::lock_guard<std::mutex> lock(tables_mutex_);
+    const common::MutexLock lock(tables_mutex_);
     for (auto it = tables_cache_.begin(); it != tables_cache_.end(); ++it) {
       if ((*it)->wavelength == op.wavelength &&
           (*it)->temperature == op.temperature) {
@@ -80,7 +80,7 @@ PhotonicPuf::operating_tables(const OperatingPoint& op) const {
   built->temperature = op.temperature;
   built->scrambler = photonic::make_scrambler_tables(
       circuit_, op, 1.0 / config_.sample_rate_hz);
-  std::lock_guard<std::mutex> lock(tables_mutex_);
+  const common::MutexLock lock(tables_mutex_);
   tables_cache_.insert(tables_cache_.begin(), built);
   if (tables_cache_.size() > kMaxOperatingTables) {
     tables_cache_.resize(kMaxOperatingTables);

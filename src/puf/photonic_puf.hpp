@@ -38,9 +38,10 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <vector>
 
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
 #include "photonic/circuit.hpp"
 #include "photonic/detector.hpp"
 #include "photonic/source.hpp"
@@ -214,8 +215,9 @@ class PhotonicPuf final : public Puf {
   std::atomic<std::uint64_t> eval_counter_{0};
   // Most-recently-used operating-point tables (thermal sweeps move the
   // temperature, so this is a tiny keyed cache, not a single slot).
-  mutable std::mutex tables_mutex_;
-  mutable std::vector<std::shared_ptr<const OperatingTables>> tables_cache_;
+  mutable common::Mutex tables_mutex_;
+  mutable std::vector<std::shared_ptr<const OperatingTables>> tables_cache_
+      NP_GUARDED_BY(tables_mutex_);
   // Per-(window, pair) median current differences from enrollment
   // calibration; empty when calibration is disabled.
   std::vector<std::vector<double>> thresholds_;

@@ -51,11 +51,12 @@ struct AuthHarness {
   std::unique_ptr<puf::PhotonicPuf> puf;
   std::unique_ptr<AuthDevice> device;
   std::unique_ptr<AuthVerifier> verifier;
-  DuplexChannel channel;
+  std::unique_ptr<DuplexChannel> channel;
 };
 
 AuthHarness make_auth_harness() {
   AuthHarness h;
+  h.channel = std::make_unique<DuplexChannel>();
   h.puf = std::make_unique<puf::PhotonicPuf>(puf::small_photonic_config(), 71,
                                              /*device_index=*/0);
   crypto::ChaChaDrbg rng(crypto::bytes_of("chaos-provision"));
@@ -101,10 +102,10 @@ crypto::Bytes serialize_transcript(const DuplexChannel& channel) {
 
 TEST(ChaosAuth, ConvergesAtOnePercentDrop) {
   AuthHarness h = make_auth_harness();
-  FaultyChannel faulty(h.channel,
+  FaultyChannel faulty(*h.channel,
                        faults::symmetric_faults(faults::symmetric_drop(0.01)),
                        0xC1);
-  SessionDriver driver(h.channel, RetryPolicy{});
+  SessionDriver driver(*h.channel, RetryPolicy{});
   constexpr unsigned kSessions = 10;
   for (unsigned s = 0; s < kSessions; ++s) {
     const auto report =
@@ -122,9 +123,9 @@ TEST(ChaosAuth, NoFalseAcceptAtAnyCorruptionRate) {
     LinkFaultRates rates;
     rates.corrupt = rate;
     {
-      FaultyChannel faulty(h.channel, faults::symmetric_faults(rates),
+      FaultyChannel faulty(*h.channel, faults::symmetric_faults(rates),
                            0xC2 + static_cast<std::uint64_t>(rate * 100));
-      SessionDriver driver(h.channel, RetryPolicy{});
+      SessionDriver driver(*h.channel, RetryPolicy{});
       for (unsigned s = 0; s < 8; ++s) {
         const auto report =
             driver.run_mutual_auth(*h.verifier, *h.device, 1000 * (s + 1));
@@ -138,7 +139,7 @@ TEST(ChaosAuth, NoFalseAcceptAtAnyCorruptionRate) {
     }
     // Whatever the carnage, a clean channel recovers the pairing (the
     // verifier's one-deep fallback absorbs lost confirms).
-    SessionDriver driver(h.channel, RetryPolicy{});
+    SessionDriver driver(*h.channel, RetryPolicy{});
     const auto report =
         driver.run_mutual_auth(*h.verifier, *h.device, 100000);
     EXPECT_EQ(report.result, SessionResult::kConverged) << "rate " << rate;
@@ -149,10 +150,10 @@ TEST(ChaosAuth, NoFalseAcceptAtAnyCorruptionRate) {
 TEST(ChaosAuth, TotalLossExhaustsCleanlyThenRecovers) {
   AuthHarness h = make_auth_harness();
   {
-    FaultyChannel faulty(h.channel,
+    FaultyChannel faulty(*h.channel,
                          faults::symmetric_faults(faults::symmetric_drop(1.0)),
                          0xC3);
-    SessionDriver driver(h.channel, RetryPolicy{});
+    SessionDriver driver(*h.channel, RetryPolicy{});
     const auto report = driver.run_mutual_auth(*h.verifier, *h.device, 1000);
     EXPECT_EQ(report.result, SessionResult::kExhausted);
     EXPECT_EQ(report.attempts, driver.policy().max_attempts);
@@ -168,7 +169,7 @@ TEST(ChaosAuth, TotalLossExhaustsCleanlyThenRecovers) {
     EXPECT_EQ(h.device->completed_sessions(), 0u);
   }
   // The faulty layer is gone; the same endpoints converge immediately.
-  SessionDriver driver(h.channel, RetryPolicy{});
+  SessionDriver driver(*h.channel, RetryPolicy{});
   const auto report = driver.run_mutual_auth(*h.verifier, *h.device, 2000);
   EXPECT_EQ(report.result, SessionResult::kConverged);
   EXPECT_TRUE(in_sync(h));
@@ -176,13 +177,13 @@ TEST(ChaosAuth, TotalLossExhaustsCleanlyThenRecovers) {
 
 TEST(ChaosAuth, BackoffSaturatesAtCapForLargeAttemptCounts) {
   AuthHarness h = make_auth_harness();
-  FaultyChannel faulty(h.channel,
+  FaultyChannel faulty(*h.channel,
                        faults::symmetric_faults(faults::symmetric_drop(1.0)),
                        0xC5);
   RetryPolicy policy;
   policy.max_attempts = 70;  // drives the backoff shift past 63
   policy.receive_poll_budget = 1;
-  SessionDriver driver(h.channel, policy);
+  SessionDriver driver(*h.channel, policy);
   const auto report = driver.run_mutual_auth(*h.verifier, *h.device, 3000);
   EXPECT_EQ(report.result, SessionResult::kExhausted);
   EXPECT_EQ(report.attempts, policy.max_attempts);
@@ -211,9 +212,9 @@ TEST(ChaosAuth, MixedFaultSweepMaintainsInvariants) {
   unsigned converged = 0;
   constexpr unsigned kSessions = 12;
   {
-    FaultyChannel faulty(h.channel,
+    FaultyChannel faulty(*h.channel,
                          faults::symmetric_faults(mixed_rates(0.05)), 0xC4);
-    SessionDriver driver(h.channel, RetryPolicy{});
+    SessionDriver driver(*h.channel, RetryPolicy{});
     for (unsigned s = 0; s < kSessions; ++s) {
       const auto report =
           driver.run_mutual_auth(*h.verifier, *h.device, 1000 * (s + 1));
@@ -228,7 +229,7 @@ TEST(ChaosAuth, MixedFaultSweepMaintainsInvariants) {
   // At 5% per fault family most sessions get through within the retry
   // budget; all of them must have kept the endpoints consistent.
   EXPECT_GE(converged, kSessions / 2);
-  SessionDriver driver(h.channel, RetryPolicy{});
+  SessionDriver driver(*h.channel, RetryPolicy{});
   EXPECT_EQ(driver.run_mutual_auth(*h.verifier, *h.device, 100000).result,
             SessionResult::kConverged);
   EXPECT_TRUE(in_sync(h));
@@ -282,17 +283,17 @@ TEST(ChaosEke, TotalLossExhaustsWithoutAKey) {
 TEST(ChaosDeterminism, SameSeedsByteIdenticalTranscripts) {
   const auto run = [](std::uint64_t channel_seed) {
     AuthHarness h = make_auth_harness();
-    FaultyChannel faulty(h.channel,
+    FaultyChannel faulty(*h.channel,
                          faults::symmetric_faults(mixed_rates(0.08)),
                          channel_seed);
     RetryPolicy policy;
     policy.seed = 7;
-    SessionDriver driver(h.channel, policy);
+    SessionDriver driver(*h.channel, policy);
     for (unsigned s = 0; s < 5; ++s) {
       (void)driver.run_mutual_auth(*h.verifier, *h.device, 1000 * (s + 1));
     }
     faulty.flush();
-    return serialize_transcript(h.channel);
+    return serialize_transcript(*h.channel);
   };
   const auto first = run(0xD1);
   const auto second = run(0xD1);

@@ -1,0 +1,164 @@
+// Runtime behavior of the annotated lock wrappers (common/mutex.hpp).
+// The Clang capability analysis proves lock *discipline* at compile time
+// (tests/negative_compile/); these tests pin down the wrappers' dynamic
+// semantics — exclusion, the relock toggle, the try-first contention
+// probe, CondVar wakeups, and reader sharing — on every compiler,
+// including the GCC builds where the annotations are no-ops.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "common/mutex.hpp"
+
+namespace neuropuls::common {
+namespace {
+
+TEST(MutexLockTest, ExcludesConcurrentIncrements) {
+  Mutex mu;
+  long counter = 0;
+  constexpr int kThreads = 4;
+  constexpr long kIncrements = 10000;
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&] {
+      for (long n = 0; n < kIncrements; ++n) {
+        const MutexLock lock(mu);
+        ++counter;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const MutexLock lock(mu);
+  EXPECT_EQ(counter, kThreads * kIncrements);
+}
+
+TEST(MutexLockTest, UnlockReleasesAndLockReacquires) {
+  Mutex mu;
+  MutexLock lock(mu);
+
+  // After the early release the mutex is actually free...
+  lock.unlock();
+  bool acquired = mu.try_lock();
+  EXPECT_TRUE(acquired);
+  if (acquired) mu.unlock();
+
+  // ...and after relocking it is actually held again.
+  lock.lock();
+  std::thread prober([&] {
+    bool got = mu.try_lock();
+    EXPECT_FALSE(got);
+    if (got) mu.unlock();
+  });
+  prober.join();
+}
+
+TEST(MutexLockTest, TryFirstReportsUncontendedFastPath) {
+  Mutex mu;
+  bool contended = true;
+  const MutexLock lock(mu, contended);
+  EXPECT_FALSE(contended);
+}
+
+TEST(MutexLockTest, TryFirstReportsContention) {
+  // The contended=true path needs a real collision; retry until the
+  // helper thread demonstrably hit the blocked slow path (each attempt
+  // holds the lock across the helper's construction window).
+  bool saw_contention = false;
+  for (int attempt = 0; attempt < 50 && !saw_contention; ++attempt) {
+    Mutex mu;
+    std::atomic<bool> helper_contended{false};
+    mu.lock();
+    std::thread helper([&] {
+      bool contended = false;
+      const MutexLock lock(mu, contended);
+      helper_contended.store(contended);
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    mu.unlock();
+    helper.join();
+    saw_contention = helper_contended.load();
+  }
+  EXPECT_TRUE(saw_contention);
+}
+
+TEST(CondVarTest, InlineWaitLoopObservesPredicate) {
+  Mutex mu;
+  CondVar cv;
+  bool ready = false;
+  std::thread producer([&] {
+    const MutexLock lock(mu);
+    ready = true;
+    cv.notify_one();
+  });
+  {
+    MutexLock lock(mu);
+    while (!ready) cv.wait(mu);
+    EXPECT_TRUE(ready);
+  }
+  producer.join();
+}
+
+TEST(CondVarTest, NotifyAllWakesEveryWaiter) {
+  Mutex mu;
+  CondVar cv;
+  bool go = false;
+  std::atomic<int> awake{0};
+  std::vector<std::thread> waiters;
+  for (int i = 0; i < 3; ++i) {
+    waiters.emplace_back([&] {
+      MutexLock lock(mu);
+      while (!go) cv.wait(mu);
+      awake.fetch_add(1);
+    });
+  }
+  {
+    const MutexLock lock(mu);
+    go = true;
+  }
+  cv.notify_all();
+  for (auto& t : waiters) t.join();
+  EXPECT_EQ(awake.load(), 3);
+}
+
+TEST(SharedMutexTest, ReadersShare) {
+  SharedMutex smu;
+  std::atomic<bool> reader_in{false};
+  std::atomic<bool> release{false};
+  std::thread reader([&] {
+    const ReadLock lock(smu);
+    reader_in.store(true);
+    while (!release.load()) std::this_thread::yield();
+  });
+  while (!reader_in.load()) std::this_thread::yield();
+  {
+    // A second reader must enter while the first still holds its lock;
+    // if ReadLock were exclusive this would deadlock (and time out).
+    const ReadLock lock(smu);
+  }
+  release.store(true);
+  reader.join();
+}
+
+TEST(SharedMutexTest, WriterExcludesReaders) {
+  SharedMutex smu;
+  int value = 0;
+  std::thread reader;
+  {
+    const WriteLock lock(smu);
+    reader = std::thread([&] {
+      const ReadLock rlock(smu);
+      // The reader cannot enter until the writer released, so it must
+      // observe the completed write, never the intermediate state.
+      EXPECT_EQ(value, 42);
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    value = 42;
+  }
+  reader.join();
+}
+
+}  // namespace
+}  // namespace neuropuls::common

@@ -14,11 +14,12 @@ struct Harness {
   std::unique_ptr<puf::PhotonicPuf> puf;
   std::unique_ptr<AuthDevice> device;
   std::unique_ptr<AuthVerifier> verifier;
-  net::DuplexChannel channel;
+  std::unique_ptr<net::DuplexChannel> channel;
 };
 
 Harness make_harness(std::uint64_t device_index = 0) {
   Harness s;
+  s.channel = std::make_unique<net::DuplexChannel>();
   s.puf = std::make_unique<puf::PhotonicPuf>(puf::small_photonic_config(), 71,
                                              device_index);
   crypto::ChaChaDrbg rng(crypto::bytes_of("provision"));
@@ -35,7 +36,7 @@ Harness make_harness(std::uint64_t device_index = 0) {
 
 TEST(MutualAuth, SingleSessionSucceeds) {
   Harness s = make_harness();
-  EXPECT_TRUE(run_auth_session(*s.verifier, *s.device, s.channel, 1, 0xAA));
+  EXPECT_TRUE(run_auth_session(*s.verifier, *s.device, *s.channel, 1, 0xAA));
   EXPECT_EQ(s.device->completed_sessions(), 1u);
   EXPECT_EQ(s.verifier->completed_sessions(), 1u);
 }
@@ -50,7 +51,7 @@ TEST(MutualAuth, CrpRotatesEverySession) {
   std::vector<puf::Response> secrets;
   secrets.push_back(snapshot(s.device->current_response()));
   for (int i = 1; i <= 5; ++i) {
-    ASSERT_TRUE(run_auth_session(*s.verifier, *s.device, s.channel,
+    ASSERT_TRUE(run_auth_session(*s.verifier, *s.device, *s.channel,
                                  static_cast<std::uint64_t>(i),
                                  0x1000u + static_cast<std::uint64_t>(i)));
     secrets.push_back(snapshot(s.device->current_response()));
@@ -78,14 +79,14 @@ TEST(MutualAuth, ReplayedResponseRejected) {
   Harness s = make_harness();
   // Run an honest session while recording the device's response.
   net::Message recorded{};
-  s.channel.set_adversary([&](net::Direction d, const net::Message& m) {
+  s.channel->set_adversary([&](net::Direction d, const net::Message& m) {
     if (d == net::Direction::kBtoA &&
         m.type == net::MessageType::kAuthResponse) {
       recorded = m;
     }
     return net::Verdict::pass();
   });
-  ASSERT_TRUE(run_auth_session(*s.verifier, *s.device, s.channel, 1, 0x01));
+  ASSERT_TRUE(run_auth_session(*s.verifier, *s.device, *s.channel, 1, 0x01));
 
   // Attacker replays the recorded response in a new session.
   const auto request = s.verifier->start(2, 0x02);
@@ -96,7 +97,7 @@ TEST(MutualAuth, ReplayedResponseRejected) {
 
 TEST(MutualAuth, TamperedResponseRejected) {
   Harness s = make_harness();
-  s.channel.set_adversary([](net::Direction d, const net::Message& m) {
+  s.channel->set_adversary([](net::Direction d, const net::Message& m) {
     if (d == net::Direction::kBtoA &&
         m.type == net::MessageType::kAuthResponse) {
       net::Message forged = m;
@@ -105,7 +106,7 @@ TEST(MutualAuth, TamperedResponseRejected) {
     }
     return net::Verdict::pass();
   });
-  EXPECT_FALSE(run_auth_session(*s.verifier, *s.device, s.channel, 1, 0x01));
+  EXPECT_FALSE(run_auth_session(*s.verifier, *s.device, *s.channel, 1, 0x01));
 }
 
 TEST(MutualAuth, WrongDeviceRejected) {
@@ -117,7 +118,7 @@ TEST(MutualAuth, WrongDeviceRejected) {
   const auto impostor_crp = provision(impostor_puf, rng);
   AuthDevice impostor(impostor_puf, impostor_crp.device_crp,
                       crypto::bytes_of("firmware"));
-  EXPECT_FALSE(run_auth_session(*s.verifier, impostor, s.channel, 1, 0x01));
+  EXPECT_FALSE(run_auth_session(*s.verifier, impostor, *s.channel, 1, 0x01));
 }
 
 TEST(MutualAuth, MemoryCorruptionFlagged) {
@@ -146,29 +147,29 @@ TEST(MutualAuth, DesyncRecoveryAfterLostConfirm) {
 
   // Session 1: the verifier's confirm is lost -> verifier rotated,
   // device did not.
-  s.channel.set_adversary([](net::Direction d, const net::Message& m) {
+  s.channel->set_adversary([](net::Direction d, const net::Message& m) {
     if (d == net::Direction::kAtoB &&
         m.type == net::MessageType::kAuthConfirm) {
       return net::Verdict::drop();
     }
     return net::Verdict::pass();
   });
-  EXPECT_FALSE(run_auth_session(*s.verifier, *s.device, s.channel, 1, 0x01));
+  EXPECT_FALSE(run_auth_session(*s.verifier, *s.device, *s.channel, 1, 0x01));
   EXPECT_EQ(s.device->completed_sessions(), 0u);
   EXPECT_EQ(s.verifier->completed_sessions(), 1u);
   EXPECT_FALSE(common::ct_equal(s.device->current_response(),
                                 s.verifier->current_secret()));
 
   // Session 2 with an honest channel: the fallback secret recovers sync.
-  s.channel.set_adversary(nullptr);
-  EXPECT_TRUE(run_auth_session(*s.verifier, *s.device, s.channel, 2, 0x02));
+  s.channel->set_adversary(nullptr);
+  EXPECT_TRUE(run_auth_session(*s.verifier, *s.device, *s.channel, 2, 0x02));
   EXPECT_TRUE(common::ct_equal(s.device->current_response(),
                                s.verifier->current_secret()));
 }
 
 TEST(MutualAuth, RepeatedConfirmLossStillRecoverable) {
   Harness s = make_harness();
-  s.channel.set_adversary([](net::Direction d, const net::Message& m) {
+  s.channel->set_adversary([](net::Direction d, const net::Message& m) {
     if (d == net::Direction::kAtoB &&
         m.type == net::MessageType::kAuthConfirm) {
       return net::Verdict::drop();
@@ -177,10 +178,10 @@ TEST(MutualAuth, RepeatedConfirmLossStillRecoverable) {
   });
   // Lose the confirm three sessions in a row.
   for (std::uint64_t i = 1; i <= 3; ++i) {
-    EXPECT_FALSE(run_auth_session(*s.verifier, *s.device, s.channel, i, i));
+    EXPECT_FALSE(run_auth_session(*s.verifier, *s.device, *s.channel, i, i));
   }
-  s.channel.set_adversary(nullptr);
-  EXPECT_TRUE(run_auth_session(*s.verifier, *s.device, s.channel, 9, 0x09));
+  s.channel->set_adversary(nullptr);
+  EXPECT_TRUE(run_auth_session(*s.verifier, *s.device, *s.channel, 9, 0x09));
 }
 
 TEST(MutualAuth, MalformedInputsRejectedWithoutStateChange) {

@@ -16,11 +16,12 @@ struct AuthWorld {
   std::unique_ptr<puf::PhotonicPuf> puf;
   std::unique_ptr<AuthDevice> device;
   std::unique_ptr<AuthVerifier> verifier;
-  net::DuplexChannel channel;
+  std::unique_ptr<net::DuplexChannel> channel;
 };
 
 AuthWorld make_world(std::uint64_t seed) {
   AuthWorld w;
+  w.channel = std::make_unique<net::DuplexChannel>();
   w.puf = std::make_unique<puf::PhotonicPuf>(puf::small_photonic_config(),
                                              9000 + seed, 0);
   crypto::ChaChaDrbg rng(crypto::bytes_of("prop-prov"));
@@ -40,14 +41,14 @@ class SingleLoss : public ::testing::TestWithParam<net::MessageType> {};
 TEST_P(SingleLoss, OneLossNeverBreaksTheNextSession) {
   AuthWorld w = make_world(1);
   const net::MessageType victim = GetParam();
-  w.channel.set_adversary([victim](net::Direction, const net::Message& m) {
+  w.channel->set_adversary([victim](net::Direction, const net::Message& m) {
     return m.type == victim ? net::Verdict::drop() : net::Verdict::pass();
   });
   // The lossy session fails...
-  EXPECT_FALSE(run_auth_session(*w.verifier, *w.device, w.channel, 1, 0x01));
+  EXPECT_FALSE(run_auth_session(*w.verifier, *w.device, *w.channel, 1, 0x01));
   // ...but an honest follow-up always succeeds, for every loss position.
-  w.channel.set_adversary(nullptr);
-  EXPECT_TRUE(run_auth_session(*w.verifier, *w.device, w.channel, 2, 0x02));
+  w.channel->set_adversary(nullptr);
+  EXPECT_TRUE(run_auth_session(*w.verifier, *w.device, *w.channel, 2, 0x02));
   EXPECT_TRUE(common::ct_equal(w.device->current_response(),
                                w.verifier->current_secret()));
 }
@@ -73,7 +74,7 @@ TEST_P(LossyChains, AlwaysRecoverable) {
     const bool lossy = rng.bernoulli(0.4);
     if (lossy) {
       const int which = static_cast<int>(rng.uniform_int(3));
-      w.channel.set_adversary([which](net::Direction, const net::Message& m) {
+      w.channel->set_adversary([which](net::Direction, const net::Message& m) {
         const bool drop =
             (which == 0 && m.type == net::MessageType::kAuthRequest) ||
             (which == 1 && m.type == net::MessageType::kAuthResponse) ||
@@ -81,18 +82,18 @@ TEST_P(LossyChains, AlwaysRecoverable) {
         return drop ? net::Verdict::drop() : net::Verdict::pass();
       });
     } else {
-      w.channel.set_adversary(nullptr);
+      w.channel->set_adversary(nullptr);
     }
     ++session;
     successes +=
-        run_auth_session(*w.verifier, *w.device, w.channel, session, session);
+        run_auth_session(*w.verifier, *w.device, *w.channel, session, session);
   }
   // Every lossless round after the first must succeed; final honest round
   // proves no permanent wedge.
-  w.channel.set_adversary(nullptr);
+  w.channel->set_adversary(nullptr);
   ++session;
   EXPECT_TRUE(
-      run_auth_session(*w.verifier, *w.device, w.channel, session, session));
+      run_auth_session(*w.verifier, *w.device, *w.channel, session, session));
   EXPECT_GT(successes, 0);
   EXPECT_TRUE(common::ct_equal(w.device->current_response(),
                                w.verifier->current_secret()));
@@ -108,7 +109,7 @@ TEST_P(SessionChains, AllSucceedAllFresh) {
   AuthWorld w = make_world(50);
   std::vector<puf::Response> secrets;
   for (int i = 1; i <= GetParam(); ++i) {
-    ASSERT_TRUE(run_auth_session(*w.verifier, *w.device, w.channel,
+    ASSERT_TRUE(run_auth_session(*w.verifier, *w.device, *w.channel,
                                  static_cast<std::uint64_t>(i),
                                  static_cast<std::uint64_t>(i) * 31));
     const auto view = w.verifier->current_secret().reveal();

@@ -1,0 +1,36 @@
+// Negative-compile case: inverting a declared NP_ACQUIRED_BEFORE lock
+// order. Clean as written; -DNP_NEGATIVE acquires second_ before
+// first_, which -Wthread-safety-beta (the acquired_before/after checker)
+// must reject.
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
+
+namespace {
+
+class Ordered {
+ public:
+  void in_order() {
+    const neuropuls::common::MutexLock a(first_);
+    const neuropuls::common::MutexLock b(second_);
+  }
+
+#ifdef NP_NEGATIVE
+  // Inverted acquisition: the analysis rejects this.
+  void inverted() {
+    const neuropuls::common::MutexLock b(second_);
+    const neuropuls::common::MutexLock a(first_);
+  }
+#endif
+
+ private:
+  neuropuls::common::Mutex first_ NP_ACQUIRED_BEFORE(second_);
+  neuropuls::common::Mutex second_;
+};
+
+}  // namespace
+
+int main() {
+  Ordered o;
+  o.in_order();
+  return 0;
+}

@@ -1,0 +1,34 @@
+// Negative-compile case: calling an NP_REQUIRES function without
+// holding the required mutex. Clean as written; -DNP_NEGATIVE calls the
+// locked helper bare, which -Werror=thread-safety must reject.
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
+
+namespace {
+
+class Store {
+ public:
+  void insert() {
+    const neuropuls::common::MutexLock lock(mutex_);
+    insert_locked();
+  }
+
+#ifdef NP_NEGATIVE
+  // NP_REQUIRES(mutex_) not satisfied: the analysis rejects this.
+  void insert_bare() { insert_locked(); }
+#endif
+
+ private:
+  void insert_locked() NP_REQUIRES(mutex_) { ++count_; }
+
+  neuropuls::common::Mutex mutex_;
+  int count_ NP_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Store s;
+  s.insert();
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Negative-compile case: reading an NP_GUARDED_BY member without its
+// mutex. Clean as written; -DNP_NEGATIVE adds the racy read, which
+// -Werror=thread-safety must reject.
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
+
+namespace {
+
+class Counter {
+ public:
+  void bump() {
+    const neuropuls::common::MutexLock lock(mutex_);
+    ++value_;
+  }
+
+  int read() const {
+    const neuropuls::common::MutexLock lock(mutex_);
+    return value_;
+  }
+
+#ifdef NP_NEGATIVE
+  // Unguarded access to value_: the analysis rejects this.
+  int racy_read() const { return value_; }
+#endif
+
+ private:
+  mutable neuropuls::common::Mutex mutex_;
+  int value_ NP_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.bump();
+  return c.read();
+}

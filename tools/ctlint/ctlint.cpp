@@ -1,11 +1,12 @@
-// ctlint — secret-hygiene lint for the NEUROPULS source tree.
+// ctlint — secret-hygiene and concurrency lint for the NEUROPULS tree.
 //
 // A deliberately small static checker (no libclang): a line tokenizer
 // with cross-line comment/string state plus a rule engine. It exists to
-// turn the repo's constant-time / wipe discipline into a build failure
-// instead of a review comment. Registered as two ctest cases: the source
-// pass over `src/` (with `tools/ctlint/baseline.txt`) and the self-test
-// over `tools/ctlint/fixtures/`.
+// turn the repo's constant-time / wipe / locking discipline into a build
+// failure instead of a review comment. Registered as ctest cases: the
+// source pass over `src/` (with `tools/ctlint/baseline.txt`), the
+// self-test over `tools/ctlint/fixtures/`, and one per-pass self-test
+// per concurrency fixture.
 //
 // Annotations (in comments):
 //   // ctlint:secret              marks the variable declared on this line
@@ -29,7 +30,30 @@
 //                       SecretBytes-typed declarations are exempt (they
 //                       wipe on destruction)
 //
-// Exit codes: 0 clean, 1 violations/self-test failure, 2 usage error.
+// Concurrency rules (keyed on the annotated wrappers in common/mutex.hpp
+// — MutexLock/ShardLock/ReadLock/WriteLock declarations are acquisitions,
+// `.unlock()`/`.lock()` toggle them, scope exit releases them; the
+// analysis is lexical, per function — call-graph effects are TSan's job):
+//   lock-order          builds the static acquisition graph (held lock ->
+//                       newly acquired lock, nodes keyed by the mutex
+//                       member name) across all linted files and fails on
+//                       cycles; also fails on a ShardLock taken while an
+//                       engine lock (sched_mutex / notify_mutex_ /
+//                       admit_mutex) is held — shard locks are leaves of
+//                       the documented order
+//   blocking-under-lock park()/channel receive*()/operator new/make_*
+//                       reachable while a scoped lock is live: blocking
+//                       or allocator calls turn a short critical section
+//                       into a convoy
+//   atomic-misuse       a relaxed store/RMW paired with a non-relaxed
+//                       load of the same atomic member in one file
+//                       (inconsistent ordering is either a missing fence
+//                       or an unneeded one), and raw `volatile` used for
+//                       synchronization (asm-clobber lines are exempt)
+//
+// Exit codes: 0 clean, 1 violations/self-test failure, 2 usage error
+// (including a missing lint root or an empty fixture/source set — the
+// lint fails loudly rather than passing on nothing).
 
 #include <algorithm>
 #include <cctype>
@@ -48,8 +72,9 @@ namespace {
 namespace fs = std::filesystem;
 
 const std::set<std::string> kRuleNames = {
-    "std-rand", "raw-memset-wipe", "secret-compare", "secret-index",
-    "missing-wipe"};
+    "std-rand",       "raw-memset-wipe",     "secret-compare",
+    "secret-index",   "missing-wipe",        "lock-order",
+    "blocking-under-lock", "atomic-misuse"};
 
 const std::set<std::string> kBannedRandom = {
     "rand", "srand", "rand_r", "random", "srandom", "drand48", "lrand48"};
@@ -400,12 +425,262 @@ void check_file(const std::string& display_path, const ParsedFile& file,
   }
 }
 
+// ---------------------------------------------------------------------------
+// Concurrency passes.
+//
+// All three key on the annotated wrapper types from common/mutex.hpp. A
+// declaration `MutexLock name(arg...)` (likewise ShardLock / ReadLock /
+// WriteLock) is an acquisition; the lock's graph node is the last
+// identifier of the first constructor argument (`mutex_`, `loop->m` ->
+// `m`, `shard.mutex` -> `mutex`), i.e. the mutex member name — the same
+// vocabulary the lock-order comment in common/mutex.hpp uses. Tracking
+// is lexical and brace-scoped, exactly like the missing-wipe scan: the
+// lock dies when the brace depth drops below its declaration depth, and
+// `name.unlock()` / `name.lock()` toggle it in between.
+
+const std::set<std::string> kScopedLockTypes = {"MutexLock", "ShardLock",
+                                                "ReadLock", "WriteLock"};
+
+// Session-runtime locks that must never be held when entering the CRP
+// store: shard locks are leaves of the documented order.
+const std::set<std::string> kEngineLockNames = {"sched_mutex", "notify_mutex_",
+                                                "admit_mutex"};
+
+// Calls that can block (parking, channel receives) or take the global
+// allocator lock (operator new and the std::make_* wrappers).
+const std::set<std::string> kBlockingCalls = {"park", "receive",
+                                              "receive_with_budget"};
+const std::set<std::string> kAllocCalls = {"make_unique", "make_shared"};
+
+const std::set<std::string> kAtomicWriteOps = {
+    "store", "fetch_add", "fetch_sub", "fetch_or", "fetch_and", "exchange"};
+
+// The static acquisition graph, accumulated across every linted file:
+// (held-lock node -> acquired-lock node) with the first site that
+// recorded the edge. Cycle detection runs once after all files parse.
+struct LockGraph {
+  std::map<std::pair<std::string, std::string>,
+           std::pair<std::string, std::size_t>>
+      edges;
+};
+
+bool is_ident(const std::string& t) {
+  return !t.empty() &&
+         (std::isalpha(static_cast<unsigned char>(t[0])) || t[0] == '_');
+}
+
+// A file's tokens flattened into one stream (call syntax regularly spans
+// lines), each tagged with its 0-based source line index.
+struct FlatToken {
+  const std::string* text;
+  std::size_t line_idx;
+};
+
+void check_concurrency(const std::string& display_path, const ParsedFile& file,
+                       LockGraph& graph, std::vector<Violation>& out) {
+  std::set<std::pair<std::size_t, std::string>> emitted;
+  auto emit = [&](std::size_t line_no, const std::string& rule,
+                  std::string message) {
+    if (allowed(file, line_no, rule)) return;
+    if (!emitted.insert({line_no, rule}).second) return;
+    out.push_back({display_path, line_no, rule, std::move(message)});
+  };
+
+  std::vector<FlatToken> ft;
+  for (std::size_t idx = 0; idx < file.lines.size(); ++idx) {
+    for (const auto& tok : file.lines[idx].tokens) {
+      ft.push_back({&tok.text, idx});
+    }
+  }
+
+  struct LiveLock {
+    std::string var;   // the scoped-lock variable name
+    std::string key;   // graph node: the guarded mutex's member name
+    bool shard = false;
+    int depth = 0;     // brace depth of the declaration line
+    bool held = true;  // false between .unlock() and .lock()
+  };
+  std::vector<LiveLock> locks;
+
+  // atomic-misuse bookkeeping: file-wide pairing by member name.
+  std::map<std::string, std::size_t> relaxed_writes;  // member -> first line
+  std::vector<std::pair<std::string, std::size_t>> strong_loads;
+
+  std::size_t cur_line = 0;  // 0-based index of the line being processed
+  auto close_lines_through = [&](std::size_t target_idx) {
+    while (cur_line < target_idx) {
+      const int depth_after = file.lines[cur_line].depth_after;
+      locks.erase(std::remove_if(locks.begin(), locks.end(),
+                                 [&](const LiveLock& l) {
+                                   return l.depth > depth_after;
+                                 }),
+                  locks.end());
+      ++cur_line;
+    }
+  };
+
+  for (std::size_t k = 0; k < ft.size(); ++k) {
+    close_lines_through(ft[k].line_idx);
+    const std::string& t = *ft[k].text;
+    const std::size_t line_no = ft[k].line_idx + 1;
+
+    // Scoped-lock declaration: `<LockType> name(first_arg...)`.
+    if (kScopedLockTypes.count(t) && k + 2 < ft.size() &&
+        is_ident(*ft[k + 1].text) && *ft[k + 2].text == "(") {
+      std::string key;
+      int paren = 1;
+      for (std::size_t m = k + 3; m < ft.size() && paren > 0; ++m) {
+        const std::string& a = *ft[m].text;
+        if (a == "(") {
+          ++paren;
+        } else if (a == ")") {
+          --paren;
+        } else if (a == "," && paren == 1) {
+          break;  // key comes from the first constructor argument only
+        } else if (paren == 1 && is_ident(a) && a != "std") {
+          key = a;
+        }
+      }
+      if (!key.empty()) {
+        const bool shard = t == "ShardLock";
+        for (const auto& held : locks) {
+          if (!held.held) continue;
+          if (shard && kEngineLockNames.count(held.key)) {
+            emit(line_no, "lock-order",
+                 "shard lock acquired while engine lock '" + held.key +
+                     "' is held; shard locks are leaves of the lock order");
+          }
+          if (!allowed(file, line_no, "lock-order")) {
+            graph.edges.emplace(std::make_pair(held.key, key),
+                                std::make_pair(display_path, line_no));
+          }
+        }
+        locks.push_back({*ft[k + 1].text, key, shard,
+                         file.lines[ft[k].line_idx].depth_before, true});
+      }
+    }
+
+    // `name.unlock()` / `name.lock()` on a live scoped lock.
+    if (is_ident(t) && k + 3 < ft.size() && *ft[k + 1].text == "." &&
+        *ft[k + 3].text == "(" &&
+        (*ft[k + 2].text == "unlock" || *ft[k + 2].text == "lock")) {
+      for (auto it = locks.rbegin(); it != locks.rend(); ++it) {
+        if (it->var == t) {
+          it->held = *ft[k + 2].text == "lock";
+          break;
+        }
+      }
+    }
+
+    // blocking-under-lock: while any scoped lock is held.
+    const LiveLock* held = nullptr;
+    for (const auto& l : locks) {
+      if (l.held) {
+        held = &l;
+        break;
+      }
+    }
+    if (held != nullptr) {
+      if (kBlockingCalls.count(t) && k + 1 < ft.size() &&
+          *ft[k + 1].text == "(") {
+        emit(line_no, "blocking-under-lock",
+             "'" + t + "' can block while lock '" + held->key +
+                 "' is held; release the lock first");
+      } else if (t == "new" || kAllocCalls.count(t)) {
+        emit(line_no, "blocking-under-lock",
+             "allocation ('" + t + "') while lock '" + held->key +
+                 "' is held; the allocator can contend or page-fault");
+      }
+    }
+
+    // atomic-misuse, part 1: classify `.op(...)` atomic accesses.
+    if ((t == "load" || kAtomicWriteOps.count(t)) && k >= 2 &&
+        *ft[k - 1].text == "." && is_ident(*ft[k - 2].text) &&
+        k + 1 < ft.size() && *ft[k + 1].text == "(") {
+      const std::string& member = *ft[k - 2].text;
+      bool relaxed = false;
+      int paren = 1;
+      for (std::size_t m = k + 2; m < ft.size() && paren > 0; ++m) {
+        const std::string& a = *ft[m].text;
+        if (a == "(") {
+          ++paren;
+        } else if (a == ")") {
+          --paren;
+        } else if (a == "memory_order_relaxed") {
+          relaxed = true;
+        }
+      }
+      if (t == "load") {
+        if (!relaxed) strong_loads.push_back({member, line_no});
+      } else if (relaxed) {
+        relaxed_writes.emplace(member, line_no);
+      }
+    }
+
+    // atomic-misuse, part 2: raw volatile (asm clobber lines exempt).
+    if (t == "volatile" && (k == 0 || *ft[k - 1].text != "asm")) {
+      emit(line_no, "atomic-misuse",
+           "raw 'volatile' is not inter-thread synchronization; use "
+           "std::atomic (sanctioned wipe barriers need ctlint:allow)");
+    }
+  }
+
+  // atomic-misuse, part 3: pair relaxed writes with non-relaxed loads.
+  for (const auto& [member, load_line] : strong_loads) {
+    const auto w = relaxed_writes.find(member);
+    if (w == relaxed_writes.end()) continue;
+    emit(load_line, "atomic-misuse",
+         "non-relaxed load of '" + member + "' pairs with a relaxed " +
+             "store/RMW (line " + std::to_string(w->second) +
+             "); pick one ordering for the member");
+  }
+}
+
+// Cycle detection over the accumulated acquisition graph: edge A->B is a
+// violation when B (transitively) reaches back to A — including the
+// self-edge A->A, a lexically visible double-acquire.
+void finalize_lock_order(const LockGraph& graph,
+                         std::vector<Violation>& out) {
+  std::map<std::string, std::vector<std::string>> adj;
+  for (const auto& [edge, site] : graph.edges) {
+    adj[edge.first].push_back(edge.second);
+  }
+  auto reaches = [&](const std::string& from, const std::string& target) {
+    std::vector<std::string> stack{from};
+    std::set<std::string> seen;
+    while (!stack.empty()) {
+      const std::string node = stack.back();
+      stack.pop_back();
+      if (!seen.insert(node).second) continue;
+      if (node == target) return true;
+      const auto it = adj.find(node);
+      if (it == adj.end()) continue;
+      stack.insert(stack.end(), it->second.begin(), it->second.end());
+    }
+    return false;
+  };
+  for (const auto& [edge, site] : graph.edges) {
+    if (!reaches(edge.second, edge.first)) continue;
+    out.push_back(
+        {site.first, site.second, "lock-order",
+         "lock-order cycle: '" + edge.first + "' -> '" + edge.second +
+             "' here, but '" + edge.second +
+             "' is (transitively) acquired before '" + edge.first +
+             "' elsewhere; pick one order and document it in "
+             "common/mutex.hpp"});
+  }
+}
+
 bool is_source_file(const fs::path& p) {
   const std::string ext = p.extension().string();
   return ext == ".cpp" || ext == ".hpp" || ext == ".h" || ext == ".cc";
 }
 
-std::vector<fs::path> collect_sources(const std::vector<std::string>& roots) {
+// `missing` counts roots that do not exist at all — callers fail loudly
+// on those instead of silently linting nothing (a typo'd path must not
+// read as a clean run).
+std::vector<fs::path> collect_sources(const std::vector<std::string>& roots,
+                                      std::size_t& missing) {
   std::vector<fs::path> files;
   for (const auto& root : roots) {
     const fs::path p(root);
@@ -419,10 +694,28 @@ std::vector<fs::path> collect_sources(const std::vector<std::string>& roots) {
       }
     } else {
       std::fprintf(stderr, "ctlint: no such path: %s\n", root.c_str());
+      ++missing;
     }
   }
   std::sort(files.begin(), files.end());
   return files;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  return out;
 }
 
 // Baseline format: `<path-suffix>:<rule>:<count>` per line; '#' comments.
@@ -459,16 +752,32 @@ std::map<std::pair<std::string, std::string>, int> load_baseline(
 }
 
 int run_lint(const std::vector<std::string>& roots,
-             const std::string& baseline_path) {
+             const std::string& baseline_path, bool json) {
   auto budget = baseline_path.empty()
                     ? std::map<std::pair<std::string, std::string>, int>{}
                     : load_baseline(baseline_path);
   std::vector<Violation> violations;
-  const auto files = collect_sources(roots);
+  std::size_t missing = 0;
+  const auto files = collect_sources(roots, missing);
+  if (missing > 0) {
+    std::fprintf(stderr, "ctlint: %zu lint root(s) missing; refusing to "
+                         "report a clean run\n",
+                 missing);
+    return 2;
+  }
+  if (files.empty()) {
+    std::fprintf(stderr,
+                 "ctlint: no source files under the given paths; refusing "
+                 "to report a clean run\n");
+    return 2;
+  }
+  LockGraph graph;
   for (const auto& file : files) {
     const ParsedFile parsed = parse_file(file);
     check_file(file.generic_string(), parsed, violations);
+    check_concurrency(file.generic_string(), parsed, graph, violations);
   }
+  finalize_lock_order(graph, violations);
 
   std::vector<Violation> reported;
   for (const auto& v : violations) {
@@ -486,13 +795,31 @@ int run_lint(const std::vector<std::string>& roots,
     if (!baselined) reported.push_back(v);
   }
 
-  for (const auto& v : reported) {
-    std::printf("%s:%zu: [%s] %s\n", v.file.c_str(), v.line, v.rule.c_str(),
-                v.message.c_str());
+  if (json) {
+    // Machine-readable findings on stdout, human summary on stderr.
+    std::printf("[");
+    for (std::size_t i = 0; i < reported.size(); ++i) {
+      const auto& v = reported[i];
+      std::printf("%s\n  {\"file\": \"%s\", \"line\": %zu, \"rule\": \"%s\", "
+                  "\"message\": \"%s\"}",
+                  i == 0 ? "" : ",", json_escape(v.file).c_str(), v.line,
+                  v.rule.c_str(), json_escape(v.message).c_str());
+    }
+    std::printf("%s]\n", reported.empty() ? "" : "\n");
+    std::fprintf(stderr, "ctlint: %zu file(s), %zu violation(s)%s\n",
+                 files.size(), reported.size(),
+                 violations.size() != reported.size() ? " (after baseline)"
+                                                      : "");
+  } else {
+    for (const auto& v : reported) {
+      std::printf("%s:%zu: [%s] %s\n", v.file.c_str(), v.line, v.rule.c_str(),
+                  v.message.c_str());
+    }
+    std::printf("ctlint: %zu file(s), %zu violation(s)%s\n", files.size(),
+                reported.size(),
+                violations.size() != reported.size() ? " (after baseline)"
+                                                     : "");
   }
-  std::printf("ctlint: %zu file(s), %zu violation(s)%s\n", files.size(),
-              reported.size(),
-              violations.size() != reported.size() ? " (after baseline)" : "");
   return reported.empty() ? 0 : 1;
 }
 
@@ -500,8 +827,9 @@ int run_lint(const std::vector<std::string>& roots,
 // violation, and no unexpected violations may appear. This proves each
 // rule both fires on bad code and respects suppressions.
 int run_self_test(const std::string& fixture_dir) {
-  const auto files = collect_sources({fixture_dir});
-  if (files.empty()) {
+  std::size_t missing = 0;
+  const auto files = collect_sources({fixture_dir}, missing);
+  if (missing > 0 || files.empty()) {
     std::fprintf(stderr, "ctlint: no fixtures under %s\n",
                  fixture_dir.c_str());
     return 2;
@@ -512,6 +840,19 @@ int run_self_test(const std::string& fixture_dir) {
     const ParsedFile parsed = parse_file(file);
     std::vector<Violation> violations;
     check_file(file.generic_string(), parsed, violations);
+    // Concurrency passes run with a per-fixture graph, so each fixture
+    // is a self-contained lock-order scenario.
+    LockGraph graph;
+    check_concurrency(file.generic_string(), parsed, graph, violations);
+    finalize_lock_order(graph, violations);
+
+    // A fixture that expects nothing tests nothing: a renamed rule or a
+    // mangled annotation must fail here, not silently pass.
+    if (parsed.expects.empty()) {
+      std::printf("FAIL %s: fixture declares no ctlint:expect annotations\n",
+                  file.generic_string().c_str());
+      ++failures;
+    }
 
     std::multiset<std::pair<std::size_t, std::string>> expected, actual;
     for (const auto& e : parsed.expects) {
@@ -553,18 +894,21 @@ int main(int argc, char** argv) {
   std::vector<std::string> roots;
   std::string baseline;
   std::string self_test_dir;
+  bool json = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--baseline" && i + 1 < argc) {
       baseline = argv[++i];
     } else if (arg == "--self-test" && i + 1 < argc) {
       self_test_dir = argv[++i];
+    } else if (arg == "--json") {
+      json = true;
     } else if (arg == "--list-rules") {
       for (const auto& r : kRuleNames) std::printf("%s\n", r.c_str());
       return 0;
     } else if (arg == "--help" || arg == "-h") {
-      std::printf(
-          "usage: ctlint [--baseline FILE] [--self-test DIR] PATH...\n");
+      std::printf("usage: ctlint [--baseline FILE] [--json] "
+                  "[--self-test DIR-OR-FILE] PATH...\n");
       return 0;
     } else if (!arg.empty() && arg[0] == '-') {
       std::fprintf(stderr, "ctlint: unknown option %s\n", arg.c_str());
@@ -578,5 +922,5 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "ctlint: no paths given (try --help)\n");
     return 2;
   }
-  return run_lint(roots, baseline);
+  return run_lint(roots, baseline, json);
 }

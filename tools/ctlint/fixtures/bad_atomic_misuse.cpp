@@ -1,0 +1,58 @@
+// ctlint fixture: the atomic-misuse pass. Lint-only — never compiled.
+//
+// Covers: a relaxed RMW paired with a default (seq_cst) load, a relaxed
+// store paired with an acquire load, consistent-ordering members that
+// stay quiet, raw volatile (flagged) vs an asm clobber line (exempt) vs
+// a suppressed wipe barrier.
+
+#include <atomic>
+
+namespace fixture {
+
+struct Counters {
+  std::atomic<unsigned long> hits{0};
+  std::atomic<unsigned long> ticks{0};
+  std::atomic<bool> flag{false};
+  std::atomic<bool> done{false};
+};
+
+unsigned long mixed_rmw(Counters& c) {
+  c.hits.fetch_add(1, std::memory_order_relaxed);
+  return c.hits.load();  // ctlint:expect(atomic-misuse)
+}
+
+void relaxed_publish(Counters& c) {
+  c.flag.store(true, std::memory_order_relaxed);
+}
+
+bool acquire_consume(const Counters& c) {
+  return c.flag.load(std::memory_order_acquire);  // ctlint:expect(atomic-misuse)
+}
+
+// Consistent relaxed counter: quiet.
+unsigned long relaxed_counter(Counters& c) {
+  c.ticks.fetch_add(1, std::memory_order_relaxed);
+  return c.ticks.load(std::memory_order_relaxed);
+}
+
+// Consistent seq_cst flag: quiet.
+bool seq_cst_flag(Counters& c) {
+  c.done.store(true);
+  return c.done.load();
+}
+
+volatile int spin_gate = 0;  // ctlint:expect(atomic-misuse)
+
+// An asm clobber's volatile qualifier is not data synchronization.
+void compiler_barrier() {
+  asm volatile("" : : : "memory");
+}
+
+// The sanctioned wipe idiom is suppressed where it is used.
+void wipe_barrier(void* data, unsigned long size) {
+  // ctlint:allow(atomic-misuse) dead-store barrier, not synchronization
+  volatile unsigned char* p = static_cast<volatile unsigned char*>(data);
+  for (unsigned long i = 0; i < size; ++i) p[i] = 0;
+}
+
+}  // namespace fixture

@@ -1,0 +1,74 @@
+// ctlint fixture: the lock-order pass. Lint-only — never compiled.
+//
+// Covers: a two-mutex acquisition cycle (both edges flagged at their
+// acquisition sites), a lexical double-acquire (self-edge), a ShardLock
+// taken under an engine lock, and a suppressed edge that keeps the
+// graph acyclic.
+
+#include "common/mutex.hpp"
+#include "puf/crp_db.hpp"
+
+namespace fixture {
+
+struct TwoMutexes {
+  neuropuls::common::Mutex mu_a;
+  neuropuls::common::Mutex mu_b;
+  neuropuls::common::Mutex mu_r;
+  neuropuls::common::Mutex mu_c;
+  neuropuls::common::Mutex mu_d;
+};
+
+struct Engine {
+  neuropuls::common::Mutex sched_mutex;
+};
+
+struct Shard {
+  neuropuls::common::Mutex mutex;
+};
+
+// One caller takes a before b...
+void first(TwoMutexes& f) {
+  neuropuls::common::MutexLock outer(f.mu_a);
+  neuropuls::common::MutexLock inner(f.mu_b);  // ctlint:expect(lock-order)
+}
+
+// ...another takes b before a: a cycle, flagged at both edges.
+void second(TwoMutexes& f) {
+  neuropuls::common::MutexLock outer(f.mu_b);
+  neuropuls::common::MutexLock inner(f.mu_a);  // ctlint:expect(lock-order)
+}
+
+// Lexically visible double-acquire: the self-edge mu_r -> mu_r.
+void reentrant(TwoMutexes& f) {
+  neuropuls::common::MutexLock once(f.mu_r);
+  neuropuls::common::MutexLock twice(f.mu_r);  // ctlint:expect(lock-order)
+}
+
+// Shard locks are leaves of the order: never under an engine lock.
+void shard_under_engine(Engine& eng, const Shard& shard) {
+  neuropuls::common::MutexLock sched(eng.sched_mutex);
+  ShardLock guard(shard);  // ctlint:expect(lock-order)
+}
+
+// The compliant direction of a documented pair stays quiet...
+void documented_order(TwoMutexes& f) {
+  neuropuls::common::MutexLock outer(f.mu_c);
+  neuropuls::common::MutexLock inner(f.mu_d);
+}
+
+// ...and a reviewed inversion is suppressed edge-by-edge, so the graph
+// stays acyclic and neither site fires.
+void reviewed_inversion(TwoMutexes& f) {
+  neuropuls::common::MutexLock outer(f.mu_d);
+  // ctlint:allow(lock-order) fixture: reviewed inversion, edge dropped
+  neuropuls::common::MutexLock inner(f.mu_c);
+}
+
+// Release-before-acquire breaks the edge: no overlap, no ordering.
+void handoff(TwoMutexes& f) {
+  neuropuls::common::MutexLock outer(f.mu_b);
+  outer.unlock();
+  neuropuls::common::MutexLock inner(f.mu_a);
+}
+
+}  // namespace fixture
