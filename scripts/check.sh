@@ -34,6 +34,13 @@
 #                               # degenerate reactor) and =4 (real steal and
 #                               # park/wake traffic) — the two widths where
 #                               # scheduler bugs live
+#   scripts/check.sh durability # durable-store sweep: runs the ctest
+#                               # label `io` (POSIX io layer, durable CRP
+#                               # store round trips, crash-point
+#                               # truncation/corruption sweeps) under
+#                               # AddressSanitizer — recovery replays
+#                               # attacker-shaped byte images, exactly
+#                               # where lifetime bugs would hide
 #   scripts/check.sh lint       # static-analysis flavor: ctlint (all
 #                               # passes, empty-baseline gate) + fixture
 #                               # self-test, bench_regress schema
@@ -176,6 +183,9 @@ for config in "${CONFIGS[@]}"; do
     tsan)
       run_config thread concurrency
       ;;
+    durability)
+      run_config address io
+      ;;
     reactor)
       # One TSan build tree, swept at two pool widths: the second
       # run_config call reuses the build and only re-runs ctest.
@@ -186,7 +196,7 @@ for config in "${CONFIGS[@]}"; do
       run_lint_flavor
       ;;
     *)
-      echo "unknown config '${config}' (want plain, address, undefined, native, chaos, tsan, reactor, or lint)" >&2
+      echo "unknown config '${config}' (want plain, address, undefined, native, chaos, tsan, reactor, durability, or lint)" >&2
       exit 2
       ;;
   esac
@@ -209,9 +219,9 @@ LAST_BUILD="build-check/${FULL_CONFIGS[${#FULL_CONFIGS[@]}-1]}"
 # (smoke iterations are noisy); it catches order-of-magnitude cliffs, not
 # single-digit drift.
 BENCH_SMOKE_DIR="${LAST_BUILD}/bench-smoke"
-BENCH_SMOKE_FILTER='PhotonicNoiselessBatch|PhotonicEvaluateBatch|VerifierModelSweep|ServerSessions|CrpStoreMixedOps'
+BENCH_SMOKE_FILTER='PhotonicNoiselessBatch|PhotonicEvaluateBatch|VerifierModelSweep|ServerSessions|CrpStoreMixedOps|CrpStoreGroupCommit|CrpStoreFsyncPerOp|CrpStoreRecovery'
 mkdir -p "${BENCH_SMOKE_DIR}"
-for bench in bench_puf_quality bench_system_level bench_server; do
+for bench in bench_puf_quality bench_system_level bench_server bench_crp_store_recovery; do
   bench_bin="${LAST_BUILD}/bench/${bench}"
   if [ ! -x "${bench_bin}" ]; then
     echo "==> bench smoke: ${bench_bin} missing" >&2
@@ -234,7 +244,8 @@ echo "==> bench smoke: merge + compare vs BENCH_baseline.json"
 python3 scripts/bench_regress.py --merge "${BENCH_SMOKE_DIR}/BENCH_smoke.json" \
   "${BENCH_SMOKE_DIR}/BENCH_bench_puf_quality.json" \
   "${BENCH_SMOKE_DIR}/BENCH_bench_system_level.json" \
-  "${BENCH_SMOKE_DIR}/BENCH_bench_server.json"
+  "${BENCH_SMOKE_DIR}/BENCH_bench_server.json" \
+  "${BENCH_SMOKE_DIR}/BENCH_bench_crp_store_recovery.json"
 # --allow-missing: the smoke filter deliberately runs a subset of the
 # baseline's cases; a full-length run should compare WITHOUT it so a
 # vanished case fails loudly.

@@ -1,0 +1,202 @@
+#include "common/io.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <system_error>
+#include <utility>
+
+namespace neuropuls::common::io {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw std::system_error(errno, std::generic_category(), what);
+}
+
+int open_retry(const char* path, int flags, mode_t mode) {
+  int fd;
+  do {
+    fd = ::open(path, flags, mode);
+  } while (fd < 0 && errno == EINTR);
+  return fd;
+}
+
+}  // namespace
+
+File::~File() noexcept { close(); }
+
+File::File(File&& other) noexcept : fd_(std::exchange(other.fd_, -1)) {}
+
+File& File::operator=(File&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+  }
+  return *this;
+}
+
+File File::open_read(const std::string& path) {
+  const int fd = open_retry(path.c_str(), O_RDONLY | O_CLOEXEC, 0);
+  if (fd < 0) throw_errno("open_read " + path);
+  return File(fd);
+}
+
+File File::open_append(const std::string& path) {
+  const int fd =
+      open_retry(path.c_str(), O_WRONLY | O_APPEND | O_CREAT | O_CLOEXEC, 0644);
+  if (fd < 0) throw_errno("open_append " + path);
+  return File(fd);
+}
+
+File File::create_truncate(const std::string& path) {
+  const int fd =
+      open_retry(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) throw_errno("create_truncate " + path);
+  return File(fd);
+}
+
+void File::write_all(crypto::ByteView data) {
+  const std::uint8_t* p = data.data();
+  std::size_t left = data.size();
+  while (left > 0) {
+    const ssize_t n = ::write(fd_, p, left);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("write");
+    }
+    p += n;
+    left -= static_cast<std::size_t>(n);
+  }
+}
+
+void File::sync() {
+  int rc;
+  do {
+    rc = ::fsync(fd_);
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0) throw_errno("fsync");
+}
+
+std::uint64_t File::size() const {
+  struct stat st{};
+  if (::fstat(fd_, &st) < 0) throw_errno("fstat");
+  return static_cast<std::uint64_t>(st.st_size);
+}
+
+void File::read_exact(std::uint64_t offset,
+                      std::span<std::uint8_t> out) const {
+  std::uint8_t* p = out.data();
+  std::size_t left = out.size();
+  while (left > 0) {
+    const ssize_t n =
+        ::pread(fd_, p, left, static_cast<off_t>(offset));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("pread");
+    }
+    if (n == 0) {
+      errno = EIO;
+      throw_errno("pread short read");
+    }
+    p += n;
+    left -= static_cast<std::size_t>(n);
+    offset += static_cast<std::uint64_t>(n);
+  }
+}
+
+void File::close() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool file_exists(const std::string& path) {
+  struct stat st{};
+  return ::stat(path.c_str(), &st) == 0 && S_ISREG(st.st_mode);
+}
+
+crypto::Bytes read_file(const std::string& path) {
+  const File file = File::open_read(path);
+  crypto::Bytes data(file.size());
+  if (!data.empty()) file.read_exact(0, data);
+  return data;
+}
+
+void atomic_write_file(const std::string& path, crypto::ByteView data) {
+  const std::string tmp = path + ".tmp";
+  {
+    File file = File::create_truncate(tmp);
+    file.write_all(data);
+    file.sync();
+  }
+  if (::rename(tmp.c_str(), path.c_str()) < 0) throw_errno("rename " + path);
+  const auto slash = path.find_last_of('/');
+  sync_directory(slash == std::string::npos ? "." : path.substr(0, slash));
+}
+
+void create_directories(const std::string& path) {
+  std::error_code ec;
+  std::filesystem::create_directories(path, ec);
+  if (ec) {
+    throw std::system_error(ec, "create_directories " + path);
+  }
+}
+
+void sync_directory(const std::string& path) {
+  const int fd = open_retry(path.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC, 0);
+  if (fd < 0) throw_errno("open dir " + path);
+  int rc;
+  do {
+    rc = ::fsync(fd);
+  } while (rc < 0 && errno == EINTR);
+  const int saved = errno;
+  ::close(fd);
+  if (rc < 0) {
+    errno = saved;
+    throw_errno("fsync dir " + path);
+  }
+}
+
+void remove_file(const std::string& path) {
+  if (::unlink(path.c_str()) < 0 && errno != ENOENT) {
+    throw_errno("unlink " + path);
+  }
+}
+
+std::vector<std::string> list_files(const std::string& dir) {
+  std::vector<std::string> names;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.is_regular_file()) {
+      names.push_back(entry.path().filename().string());
+    }
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+TempDir::TempDir(const std::string& tag) {
+  const char* base = std::getenv("TMPDIR");
+  std::string tmpl = (base != nullptr && *base != '\0' ? std::string(base)
+                                                       : std::string("/tmp"));
+  tmpl += "/" + tag + ".XXXXXX";
+  std::vector<char> buf(tmpl.begin(), tmpl.end());
+  buf.push_back('\0');
+  if (::mkdtemp(buf.data()) == nullptr) throw_errno("mkdtemp " + tmpl);
+  path_.assign(buf.data());
+}
+
+TempDir::~TempDir() noexcept {
+  std::error_code ec;
+  std::filesystem::remove_all(path_, ec);  // best effort
+}
+
+}  // namespace neuropuls::common::io

@@ -1,0 +1,113 @@
+// Thin POSIX file I/O for the durability layer.
+//
+// The durable CRP store (src/puf) needs exactly four things from the
+// filesystem: append a buffer to a log, force it to stable storage,
+// read a whole file back, and atomically replace one file with another
+// (snapshot/manifest commit). This header wraps those in RAII so the
+// store's logic never touches a raw fd, and keeps every call loop-safe
+// against EINTR and short writes. Nothing here takes a lock and nothing
+// here is called with a lock held — the ctlint `blocking-under-lock`
+// pass bans `write`/`fsync`-family calls inside critical sections, and
+// this module is where the sanctioned call sites live.
+//
+// Error model: every failure throws std::system_error carrying errno.
+// Callers that must "fail cleanly" (WAL recovery) translate at their
+// boundary; nothing in this header swallows an error.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "crypto/bytes.hpp"
+
+namespace neuropuls::common::io {
+
+/// Move-only RAII file descriptor. All I/O helpers retry on EINTR and
+/// loop until the full buffer is transferred.
+class File {
+ public:
+  File() = default;
+  ~File() noexcept;
+
+  File(File&& other) noexcept;
+  File& operator=(File&& other) noexcept;
+  File(const File&) = delete;
+  File& operator=(const File&) = delete;
+
+  /// Opens an existing file for reading. Throws if it does not exist.
+  static File open_read(const std::string& path);
+
+  /// Opens (creating if needed) a file for appending. O_APPEND: every
+  /// write lands at the current end of file.
+  static File open_append(const std::string& path);
+
+  /// Creates/truncates a file for writing (snapshot/manifest staging).
+  static File create_truncate(const std::string& path);
+
+  bool valid() const noexcept { return fd_ >= 0; }
+
+  /// Writes the entire buffer (looping over short writes).
+  void write_all(crypto::ByteView data);
+
+  /// fsync(2): blocks until everything written so far is on stable
+  /// storage. The group-commit batching exists to amortise this call.
+  void sync();
+
+  /// Current size in bytes (fstat).
+  std::uint64_t size() const;
+
+  /// Reads exactly `out.size()` bytes starting at `offset` (pread loop).
+  /// Throws on short reads — the caller sized the buffer from size().
+  void read_exact(std::uint64_t offset, std::span<std::uint8_t> out) const;
+
+  void close() noexcept;
+
+ private:
+  explicit File(int fd) noexcept : fd_(fd) {}
+  int fd_ = -1;
+};
+
+/// True when `path` names an existing regular file.
+bool file_exists(const std::string& path);
+
+/// Whole-file read convenience (open_read + size + read_exact).
+crypto::Bytes read_file(const std::string& path);
+
+/// Writes `data` to `path + ".tmp"`, fsyncs it, renames it over `path`,
+/// and fsyncs the containing directory — the standard atomic-publish
+/// sequence for snapshot and manifest commits: a crash at any point
+/// leaves either the old file or the new one, never a torn mix.
+void atomic_write_file(const std::string& path, crypto::ByteView data);
+
+/// mkdir -p. Throws on failure (EEXIST on a directory is success).
+void create_directories(const std::string& path);
+
+/// fsync on a directory fd — makes renames/creations in it durable.
+void sync_directory(const std::string& path);
+
+/// Unlinks a file; missing files are ignored (idempotent cleanup).
+void remove_file(const std::string& path);
+
+/// Names of regular files directly inside `dir` (no recursion, sorted).
+std::vector<std::string> list_files(const std::string& dir);
+
+/// RAII temporary directory (mkdtemp under TMPDIR or /tmp), recursively
+/// removed on destruction. Tests and benches stage store directories in
+/// one of these so crash/recovery sweeps never touch the source tree.
+class TempDir {
+ public:
+  /// `tag` lands in the directory name for debuggability.
+  explicit TempDir(const std::string& tag = "np-io");
+  ~TempDir() noexcept;
+
+  TempDir(const TempDir&) = delete;
+  TempDir& operator=(const TempDir&) = delete;
+
+  const std::string& path() const noexcept { return path_; }
+
+ private:
+  std::string path_;
+};
+
+}  // namespace neuropuls::common::io

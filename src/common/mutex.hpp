@@ -23,6 +23,7 @@
 //   one, and they must never be taken while an engine lock is held.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 #include <shared_mutex>
@@ -111,6 +112,18 @@ class CondVar {
     std::unique_lock<std::mutex> adopted(mu.mu_, std::adopt_lock);
     cv_.wait(adopted);
     adopted.release();  // the caller's scope still owns the capability
+  }
+
+  /// Timed wait: returns false on timeout, true when notified (or on a
+  /// spurious wake — callers re-check their predicate either way). The
+  /// WAL group-commit writer uses this for its flush interval: sleep
+  /// until more records arrive or the coalescing window closes.
+  bool wait_for(Mutex& mu, std::chrono::microseconds timeout)
+      NP_REQUIRES(mu) {
+    std::unique_lock<std::mutex> adopted(mu.mu_, std::adopt_lock);
+    const auto status = cv_.wait_for(adopted, timeout);
+    adopted.release();  // the caller's scope still owns the capability
+    return status == std::cv_status::no_timeout;
   }
 
   void notify_one() noexcept { cv_.notify_one(); }

@@ -171,6 +171,13 @@ std::array<std::uint8_t, Sha256::kDigestSize> Sha256::digest(
   return h.finalize();
 }
 
+std::array<std::uint8_t, Sha256::kDigestSize> Sha256::digest_parts(
+    std::initializer_list<ByteView> parts) noexcept {
+  Sha256 h;
+  for (const ByteView part : parts) h.update(part);
+  return h.finalize();
+}
+
 Bytes Sha256::hash(ByteView data) {
   const auto d = digest(data);
   return Bytes(d.begin(), d.end());

@@ -40,6 +40,12 @@ class Sha256 {
   /// One-shot convenience.
   static std::array<std::uint8_t, kDigestSize> digest(ByteView data) noexcept;
 
+  /// One-shot over scattered parts, equivalent to hashing their
+  /// concatenation without splicing a buffer (the CRP snapshot trailer
+  /// covers a header and an entry stream built separately).
+  static std::array<std::uint8_t, kDigestSize> digest_parts(
+      std::initializer_list<ByteView> parts) noexcept;
+
   /// One-shot convenience returning a heap buffer (protocol-friendly).
   static Bytes hash(ByteView data);
 

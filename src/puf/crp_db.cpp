@@ -1,8 +1,75 @@
 #include "puf/crp_db.hpp"
 
+#include <initializer_list>
+#include <thread>
+
+#include "common/arena.hpp"
+#include "common/io.hpp"
+#include "common/parallel.hpp"
 #include "crypto/chacha20.hpp"
+#include "puf/crp_wal.hpp"
 
 namespace neuropuls::puf {
+
+namespace io = common::io;
+
+struct CrpDatabase::ReplayCounts {
+  std::uint64_t snapshot_entries = 0;
+  std::uint64_t wal_records = 0;
+  std::uint64_t takes = 0;
+  std::uint64_t torn_bytes = 0;
+};
+
+/// Group-commit writer state. The handshake mutex is held only for
+/// flag/sequence bookkeeping — never across file I/O or a shard lock —
+/// and shard locks stay leaves: the writer releases the shard lock
+/// (after swapping the pending buffer out) before it touches a file.
+struct CrpDatabase::WalState {
+  CrpDurabilityOptions options;
+  std::string dir;
+  CrpRecoveryStats recovery;
+
+  // Writer-thread-owned after the writer starts (the constructor fills
+  // them in before, which the thread launch orders).
+  std::uint64_t generation = 0;
+  std::vector<io::File> files;
+  std::vector<std::uint64_t> file_bytes;
+
+  common::Mutex mutex;
+  /// Wakes the writer: pending work, a sync/snapshot request, or stop.
+  common::CondVar writer_cv;
+  /// Wakes sync()/durable-take/snapshot() waiters after a writer round.
+  common::CondVar done_cv;
+  /// Highest record sequence per shard known to be on stable storage.
+  std::vector<std::uint64_t> durable_seq NP_GUARDED_BY(mutex);
+  bool sync_requested NP_GUARDED_BY(mutex) = false;
+  bool snapshot_requested NP_GUARDED_BY(mutex) = false;
+  std::uint64_t snapshots_done NP_GUARDED_BY(mutex) = 0;
+  bool stop NP_GUARDED_BY(mutex) = false;
+  /// Writer-side failure (I/O error) propagated to durable waiters.
+  std::string error NP_GUARDED_BY(mutex);
+  /// Un-flushed record bytes across all shards — a wakeup/batching hint
+  /// (the buffers themselves are under the shard locks).
+  std::atomic<std::size_t> pending_bytes{0};
+  std::thread writer;
+};
+
+namespace {
+
+/// Reads a whole file into `arena` and returns a view of it. Recovery
+/// stages every WAL/snapshot image this way: the decoded records are
+/// zero-copy views into the arena, which outlives the replay loop and
+/// frees everything at once.
+crypto::ByteView read_into_arena(common::Arena& arena,
+                                 const std::string& path) {
+  const io::File file = io::File::open_read(path);
+  const std::size_t size = static_cast<std::size_t>(file.size());
+  auto* data = static_cast<std::uint8_t*>(arena.allocate(size, 1));
+  file.read_exact(0, {data, size});
+  return {data, size};
+}
+
+}  // namespace
 
 CrpDatabase::CrpDatabase(std::size_t shards) {
   const std::size_t count = shards == 0 ? 1 : shards;
@@ -10,6 +77,81 @@ CrpDatabase::CrpDatabase(std::size_t shards) {
   for (std::size_t i = 0; i < count; ++i) {
     shards_.push_back(std::make_unique<Shard>());
   }
+}
+
+CrpDatabase::CrpDatabase(std::size_t shards, CrpDurabilityOptions durability)
+    : CrpDatabase(shards) {
+  if (durability.directory.empty()) return;  // in-memory store, unchanged
+  wal_ = std::make_unique<WalState>();
+  WalState& w = *wal_;
+  w.options = std::move(durability);
+  w.dir = w.options.directory;
+  io::create_directories(w.dir);
+
+  const std::string manifest = wal::manifest_path(w.dir);
+  bool roll_forward = false;
+  if (!io::file_exists(manifest)) {
+    // A manifest-less directory with store files in it is a damaged
+    // store, not a fresh one — refuse rather than guess a layout.
+    if (!io::list_files(w.dir).empty()) {
+      throw wal::CrpStoreError("crp store: no manifest in non-empty " +
+                               w.dir);
+    }
+    io::atomic_write_file(
+        manifest,
+        wal::encode_manifest(wal::Manifest{
+            0, static_cast<std::uint32_t>(shards_.size()), 0}));
+  } else {
+    const wal::Manifest m = wal::decode_manifest(io::read_file(manifest));
+    w.generation = m.generation;
+    wal_recover(m, roll_forward);
+  }
+  if (roll_forward) {
+    // Re-shard or interrupted snapshot: compact everything we just
+    // replayed into a fresh generation before going live, so the
+    // on-disk layout always matches the manifest exactly. Skip *two*
+    // generations — an interrupted snapshot leaves orphan gen+1 logs
+    // whose records belong to the old layout, and adopting one as a
+    // live log would leak those records past the sequence filter.
+    const std::uint64_t fresh = w.generation + 2;
+    wal_write_snapshot_files(fresh);
+    io::atomic_write_file(
+        manifest,
+        wal::encode_manifest(wal::Manifest{
+            fresh, static_cast<std::uint32_t>(shards_.size()),
+            take_cursor_.load(std::memory_order_relaxed)}));
+    w.generation = fresh;
+  }
+  w.recovery.generation = w.generation;
+  wal_cleanup_stale();
+
+  w.files.reserve(shards_.size());
+  w.file_bytes.assign(shards_.size(), 0);
+  std::vector<std::uint64_t> replayed_seq(shards_.size(), 0);
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    w.files.push_back(
+        io::File::open_append(wal::wal_path(w.dir, i, w.generation)));
+    w.file_bytes[i] = w.files[i].size();
+    const ShardLock lock(*shards_[i]);
+    replayed_seq[i] = shards_[i]->wal_seq;
+  }
+  {
+    // Everything replayed is on stable storage already; starting the
+    // durable watermark below wal_seq would deadlock the first sync().
+    common::MutexLock lock(w.mutex);
+    w.durable_seq = std::move(replayed_seq);
+  }
+  w.writer = std::thread([this] { wal_writer_main(); });
+}
+
+CrpDatabase::~CrpDatabase() {
+  if (!wal_) return;
+  {
+    common::MutexLock lock(wal_->mutex);
+    wal_->stop = true;
+    wal_->writer_cv.notify_one();
+  }
+  if (wal_->writer.joinable()) wal_->writer.join();
 }
 
 CrpDatabase::Shard& CrpDatabase::shard_for(
@@ -20,6 +162,11 @@ CrpDatabase::Shard& CrpDatabase::shard_for(
 const CrpDatabase::Shard& CrpDatabase::shard_for(
     crypto::ByteView challenge) const noexcept {
   return *shards_[detail::ChallengeHash{}(challenge) % shards_.size()];
+}
+
+std::size_t CrpDatabase::shard_index_for(
+    crypto::ByteView challenge) const noexcept {
+  return detail::ChallengeHash{}(challenge) % shards_.size();
 }
 
 void CrpDatabase::enroll(Puf& puf, std::size_t count, crypto::ChaChaDrbg& rng,
@@ -33,11 +180,28 @@ void CrpDatabase::enroll(Puf& puf, std::size_t count, crypto::ChaChaDrbg& rng,
 }
 
 void CrpDatabase::insert(Crp crp) {
-  Shard& shard = shard_for(crp.challenge);
-  const ShardLock lock(shard);
-  shard.index[crp.challenge] = shard.entries.size();
-  shard.entries.push_back(Entry{std::move(crp), CrpHealth{}});
-  size_.fetch_add(1, std::memory_order_relaxed);
+  const std::size_t index = shard_index_for(crp.challenge);
+  Shard& shard = *shards_[index];
+  std::uint64_t seq = 0;
+  std::size_t logged = 0;
+  {
+    const ShardLock lock(shard);
+    if (wal_) {
+      seq = ++shard.wal_seq;
+      const std::size_t before = shard.wal_pending.size();
+      wal::append_insert_record(shard.wal_pending, seq, crp.challenge,
+                                crp.response);
+      logged = shard.wal_pending.size() - before;
+    }
+    shard.index[crp.challenge] = shard.entries.size();
+    shard.entries.push_back(Entry{std::move(crp), CrpHealth{}});
+    size_.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (logged != 0) {
+    wal_after_append(index, seq, logged,
+                     wal_->options.mode ==
+                         CrpDurabilityOptions::Mode::kFsyncPerOp);
+  }
 }
 
 void CrpDatabase::remove_at(Shard& shard, std::size_t pos) {
@@ -62,19 +226,44 @@ std::optional<Crp> CrpDatabase::take() {
   const std::size_t start =
       take_cursor_.fetch_add(1, std::memory_order_relaxed) % shards_.size();
   for (std::size_t probe = 0; probe < shards_.size(); ++probe) {
-    Shard& shard = *shards_[(start + probe) % shards_.size()];
-    const ShardLock lock(shard);
-    for (std::size_t i = shard.entries.size(); i-- > 0;) {
-      if (shard.entries[i].health.quarantined) continue;
-      // Erase the index entry before moving the CRP out: the challenge is
-      // the map key, so erasing after the move would probe with a
-      // moved-from (empty) buffer and strand a stale index entry.
-      shard.index.erase(shard.entries[i].crp.challenge);
-      Crp crp = std::move(shard.entries[i].crp);
-      compact(shard, i);
-      size_.fetch_sub(1, std::memory_order_relaxed);
-      shard.takes.fetch_add(1, std::memory_order_relaxed);
-      if (probe != 0) take_steals_.fetch_add(1, std::memory_order_relaxed);
+    const std::size_t index = (start + probe) % shards_.size();
+    Shard& shard = *shards_[index];
+    std::optional<Crp> crp;
+    std::uint64_t seq = 0;
+    std::size_t logged = 0;
+    {
+      const ShardLock lock(shard);
+      for (std::size_t i = shard.entries.size(); i-- > 0;) {
+        if (shard.entries[i].health.quarantined) continue;
+        // Erase the index entry before moving the CRP out: the challenge
+        // is the map key, so erasing after the move would probe with a
+        // moved-from (empty) buffer and strand a stale index entry.
+        shard.index.erase(shard.entries[i].crp.challenge);
+        crp = std::move(shard.entries[i].crp);
+        compact(shard, i);
+        size_.fetch_sub(1, std::memory_order_relaxed);
+        shard.takes.fetch_add(1, std::memory_order_relaxed);
+        if (probe != 0) {
+          take_steals_.fetch_add(1, std::memory_order_relaxed);
+        }
+        if (wal_) {
+          seq = ++shard.wal_seq;
+          const std::size_t before = shard.wal_pending.size();
+          wal::append_take_record(shard.wal_pending, seq, crp->challenge);
+          logged = shard.wal_pending.size() - before;
+        }
+        break;
+      }
+    }
+    if (crp.has_value()) {
+      if (logged != 0) {
+        // The one-time-use invariant: do not hand the CRP out until its
+        // take record is on stable storage (unless explicitly waived).
+        wal_after_append(index, seq, logged,
+                         wal_->options.durable_take ||
+                             wal_->options.mode ==
+                                 CrpDurabilityOptions::Mode::kFsyncPerOp);
+      }
       return crp;
     }
   }
@@ -92,25 +281,59 @@ std::optional<Response> CrpDatabase::lookup(const Challenge& challenge) const {
 }
 
 void CrpDatabase::record_success(const Challenge& challenge) {
-  Shard& shard = shard_for(crypto::ByteView{challenge});
-  const ShardLock lock(shard);
-  const auto it = shard.index.find(crypto::ByteView{challenge});
-  if (it == shard.index.end()) return;
-  CrpHealth& health = shard.entries[it->second].health;
-  ++health.successes;
-  health.consecutive_failures = 0;
+  const std::size_t index = shard_index_for(crypto::ByteView{challenge});
+  Shard& shard = *shards_[index];
+  std::uint64_t seq = 0;
+  std::size_t logged = 0;
+  {
+    const ShardLock lock(shard);
+    const auto it = shard.index.find(crypto::ByteView{challenge});
+    if (it == shard.index.end()) return;
+    CrpHealth& health = shard.entries[it->second].health;
+    ++health.successes;
+    health.consecutive_failures = 0;
+    if (wal_) {
+      seq = ++shard.wal_seq;
+      const std::size_t before = shard.wal_pending.size();
+      wal::append_health_record(shard.wal_pending, seq, challenge, health);
+      logged = shard.wal_pending.size() - before;
+    }
+  }
+  if (logged != 0) {
+    wal_after_append(index, seq, logged,
+                     wal_->options.mode ==
+                         CrpDurabilityOptions::Mode::kFsyncPerOp);
+  }
 }
 
 void CrpDatabase::record_failure(const Challenge& challenge) {
-  Shard& shard = shard_for(crypto::ByteView{challenge});
-  const ShardLock lock(shard);
-  const auto it = shard.index.find(crypto::ByteView{challenge});
-  if (it == shard.index.end()) return;
-  CrpHealth& health = shard.entries[it->second].health;
-  ++health.failures;
-  ++health.consecutive_failures;
-  if (health.consecutive_failures >= quarantine_threshold_) {
-    health.quarantined = true;
+  const std::size_t index = shard_index_for(crypto::ByteView{challenge});
+  Shard& shard = *shards_[index];
+  std::uint64_t seq = 0;
+  std::size_t logged = 0;
+  {
+    const ShardLock lock(shard);
+    const auto it = shard.index.find(crypto::ByteView{challenge});
+    if (it == shard.index.end()) return;
+    CrpHealth& health = shard.entries[it->second].health;
+    ++health.failures;
+    ++health.consecutive_failures;
+    if (health.consecutive_failures >= quarantine_threshold_) {
+      health.quarantined = true;
+    }
+    if (wal_) {
+      // The record carries the *resulting* counters, so replay is exact
+      // whatever quarantine threshold a later run configures.
+      seq = ++shard.wal_seq;
+      const std::size_t before = shard.wal_pending.size();
+      wal::append_health_record(shard.wal_pending, seq, challenge, health);
+      logged = shard.wal_pending.size() - before;
+    }
+  }
+  if (logged != 0) {
+    wal_after_append(index, seq, logged,
+                     wal_->options.mode ==
+                         CrpDurabilityOptions::Mode::kFsyncPerOp);
   }
 }
 
@@ -135,13 +358,30 @@ std::size_t CrpDatabase::quarantined() const noexcept {
 
 std::size_t CrpDatabase::evict_quarantined() {
   std::size_t evicted = 0;
-  for (const auto& shard : shards_) {
-    const ShardLock lock(*shard);
-    for (std::size_t i = shard->entries.size(); i-- > 0;) {
-      if (shard->entries[i].health.quarantined) {
-        remove_at(*shard, i);
-        ++evicted;
+  for (std::size_t index = 0; index < shards_.size(); ++index) {
+    Shard& shard = *shards_[index];
+    std::uint64_t seq = 0;
+    std::size_t logged = 0;
+    {
+      const ShardLock lock(shard);
+      const std::size_t before = shard.wal_pending.size();
+      for (std::size_t i = shard.entries.size(); i-- > 0;) {
+        if (shard.entries[i].health.quarantined) {
+          if (wal_) {
+            seq = ++shard.wal_seq;
+            wal::append_evict_record(shard.wal_pending, seq,
+                                     shard.entries[i].crp.challenge);
+          }
+          remove_at(shard, i);
+          ++evicted;
+        }
       }
+      logged = shard.wal_pending.size() - before;
+    }
+    if (logged != 0) {
+      wal_after_append(index, seq, logged,
+                       wal_->options.mode ==
+                           CrpDurabilityOptions::Mode::kFsyncPerOp);
     }
   }
   size_.fetch_sub(evicted, std::memory_order_relaxed);
@@ -177,6 +417,437 @@ std::size_t CrpDatabase::storage_bytes() const noexcept {
     }
   }
   return total;
+}
+
+// ---------------------------------------------------------------------------
+// Durability: append-side handshake.
+
+void CrpDatabase::wal_after_append(std::size_t shard, std::uint64_t seq,
+                                   std::size_t bytes, bool wait_durable) {
+  WalState& w = *wal_;
+  const std::size_t before =
+      w.pending_bytes.fetch_add(bytes, std::memory_order_relaxed);
+  if (wait_durable) {
+    common::MutexLock lock(w.mutex);
+    while (w.durable_seq[shard] < seq && !w.stop) {
+      // Re-arm each round: the writer consumes the flag per flush and
+      // more of our bytes may still be pending.
+      w.sync_requested = true;
+      w.writer_cv.notify_one();
+      w.done_cv.wait(w.mutex);
+    }
+    if (!w.error.empty()) throw wal::CrpStoreError(w.error);
+    return;
+  }
+  const bool first_pending = before == 0;
+  const bool batch_full = before < w.options.batch_bytes &&
+                          before + bytes >= w.options.batch_bytes;
+  if (first_pending || batch_full) {
+    // Taking the handshake mutex for the notify closes the window where
+    // the writer has checked its predicate but not yet gone to sleep.
+    common::MutexLock lock(w.mutex);
+    w.writer_cv.notify_one();
+  }
+}
+
+void CrpDatabase::sync() {
+  if (!wal_) return;
+  WalState& w = *wal_;
+  std::vector<std::uint64_t> target(shards_.size(), 0);
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    const ShardLock lock(*shards_[i]);
+    target[i] = shards_[i]->wal_seq;
+  }
+  common::MutexLock lock(w.mutex);
+  for (;;) {
+    bool reached = true;
+    for (std::size_t i = 0; i < target.size(); ++i) {
+      if (w.durable_seq[i] < target[i]) {
+        reached = false;
+        break;
+      }
+    }
+    if (reached || w.stop) break;
+    w.sync_requested = true;
+    w.writer_cv.notify_one();
+    w.done_cv.wait(w.mutex);
+  }
+  if (!w.error.empty()) throw wal::CrpStoreError(w.error);
+}
+
+void CrpDatabase::snapshot() {
+  if (!wal_) return;
+  WalState& w = *wal_;
+  common::MutexLock lock(w.mutex);
+  const std::uint64_t before = w.snapshots_done;
+  w.snapshot_requested = true;
+  w.writer_cv.notify_one();
+  while (w.snapshots_done == before && !w.stop) {
+    w.done_cv.wait(w.mutex);
+  }
+  if (!w.error.empty()) throw wal::CrpStoreError(w.error);
+}
+
+CrpRecoveryStats CrpDatabase::recovery_stats() const noexcept {
+  return wal_ ? wal_->recovery : CrpRecoveryStats{};
+}
+
+// ---------------------------------------------------------------------------
+// Durability: the group-commit writer.
+
+void CrpDatabase::wal_writer_main() {
+  WalState& w = *wal_;
+  std::vector<crypto::Bytes> scratch(shards_.size());
+  for (;;) {
+    bool stopping = false;
+    bool want_snapshot = false;
+    {
+      common::MutexLock lock(w.mutex);
+      while (!w.stop && !w.sync_requested && !w.snapshot_requested &&
+             w.pending_bytes.load(std::memory_order_relaxed) == 0) {
+        w.writer_cv.wait(w.mutex);
+      }
+      if (!w.stop && !w.sync_requested && !w.snapshot_requested &&
+          w.pending_bytes.load(std::memory_order_relaxed) <
+              w.options.batch_bytes) {
+        // Coalescing window: give concurrent appenders a chance to fill
+        // the batch before paying for the fsync. This wait — not the
+        // fsync — is the whole of group commit's latency cost.
+        w.writer_cv.wait_for(w.mutex, w.options.flush_interval);
+      }
+      stopping = w.stop;
+      want_snapshot = w.snapshot_requested;
+      w.snapshot_requested = false;
+      w.sync_requested = false;
+    }
+    bool did_snapshot = false;
+    try {
+      wal_flush_pending(scratch);
+      if (!want_snapshot && w.options.snapshot_wal_bytes != 0) {
+        for (const std::uint64_t bytes : w.file_bytes) {
+          if (bytes >= w.options.snapshot_wal_bytes) {
+            want_snapshot = true;
+            break;
+          }
+        }
+      }
+      if (want_snapshot) {
+        wal_rotate_and_snapshot();
+        did_snapshot = true;
+      }
+    } catch (const std::exception& e) {
+      common::MutexLock lock(w.mutex);
+      w.error = e.what();
+      w.stop = true;
+      w.done_cv.notify_all();
+      return;
+    }
+    {
+      common::MutexLock lock(w.mutex);
+      if (did_snapshot) ++w.snapshots_done;
+      w.done_cv.notify_all();
+      if (stopping &&
+          w.pending_bytes.load(std::memory_order_relaxed) == 0) {
+        return;  // drained: clean shutdown leaves no torn tail
+      }
+    }
+  }
+}
+
+void CrpDatabase::wal_flush_pending(std::vector<crypto::Bytes>& scratch) {
+  WalState& w = *wal_;
+  std::vector<std::uint64_t> high(shards_.size(), 0);
+  std::size_t drained = 0;
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    Shard& shard = *shards_[i];
+    crypto::Bytes& batch = scratch[i];
+    batch.clear();
+    {
+      // Swap the pending buffer out under the shard lock (the buffers
+      // trade capacities, so steady state never reallocates here), then
+      // do every file operation with no lock held.
+      const ShardLock lock(shard);
+      if (!shard.wal_pending.empty()) {
+        batch.swap(shard.wal_pending);
+        high[i] = shard.wal_seq;
+      }
+    }
+    if (batch.empty()) continue;
+    drained += batch.size();
+    w.files[i].write_all(batch);
+    w.file_bytes[i] += batch.size();
+  }
+  if (drained == 0) return;
+  w.pending_bytes.fetch_sub(drained, std::memory_order_relaxed);
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    if (!scratch[i].empty()) w.files[i].sync();
+  }
+  common::MutexLock lock(w.mutex);
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    if (high[i] > w.durable_seq[i]) w.durable_seq[i] = high[i];
+  }
+}
+
+void CrpDatabase::wal_rotate_and_snapshot() {
+  WalState& w = *wal_;
+  const std::uint64_t next = w.generation + 1;
+  // (1) Rotate: fresh logs for the next generation. Appenders only ever
+  // touch the in-memory pending buffers, so swapping the files here is
+  // writer-local; records still pending flush into the new logs with
+  // sequences the snapshot below already covers (replay skips them).
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    w.files[i] = io::File::open_append(wal::wal_path(w.dir, i, next));
+    w.file_bytes[i] = 0;
+  }
+  io::sync_directory(w.dir);
+  // (2) Capture each shard *after* the rotation point and publish the
+  // snapshot files atomically.
+  wal_write_snapshot_files(next);
+  // (3) Commit: the manifest rename is the atomic switch — a crash
+  // before it recovers from the old generation (plus the orphan new-gen
+  // logs), a crash after it recovers from the new one.
+  io::atomic_write_file(
+      wal::manifest_path(w.dir),
+      wal::encode_manifest(wal::Manifest{
+          next, static_cast<std::uint32_t>(shards_.size()),
+          take_cursor_.load(std::memory_order_relaxed)}));
+  w.generation = next;
+  // (4) Everything from older generations is now redundant.
+  wal_cleanup_stale();
+}
+
+void CrpDatabase::wal_write_snapshot_files(std::uint64_t generation) {
+  WalState& w = *wal_;
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    Shard& shard = *shards_[i];
+    crypto::Bytes image;
+    {
+      // Entries are serialised in storage order so a recovered shard
+      // reproduces the exact take() scan order. Encoding under the lock
+      // is memory-only work; the file write below happens outside it.
+      const ShardLock lock(shard);
+      wal::SnapshotBuilder builder(
+          static_cast<std::uint32_t>(i),
+          static_cast<std::uint32_t>(shards_.size()), shard.wal_seq);
+      for (const Entry& entry : shard.entries) {
+        builder.add(entry.crp.challenge, entry.crp.response, entry.health);
+      }
+      image = builder.finish();
+    }
+    io::atomic_write_file(wal::snapshot_path(w.dir, i, generation), image);
+  }
+}
+
+void CrpDatabase::wal_cleanup_stale() {
+  WalState& w = *wal_;
+  std::vector<std::string> keep;
+  keep.push_back(wal::manifest_path(w.dir));
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    keep.push_back(wal::wal_path(w.dir, i, w.generation));
+    keep.push_back(wal::snapshot_path(w.dir, i, w.generation));
+  }
+  for (const std::string& name : io::list_files(w.dir)) {
+    const std::string path = w.dir + "/" + name;
+    if (std::find(keep.begin(), keep.end(), path) == keep.end()) {
+      io::remove_file(path);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Durability: cold-start recovery.
+
+void CrpDatabase::apply_recovered_insert(Shard& shard,
+                                         crypto::ByteView challenge,
+                                         crypto::ByteView response,
+                                         const CrpHealth& health) {
+  if (shard.index.find(challenge) != shard.index.end()) {
+    throw wal::CrpStoreError("recovery: duplicate challenge in store");
+  }
+  Crp crp;
+  crp.challenge.assign(challenge.begin(), challenge.end());
+  crp.response.assign(response.begin(), response.end());
+  shard.index[crp.challenge] = shard.entries.size();
+  shard.entries.push_back(Entry{std::move(crp), health});
+  size_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void CrpDatabase::apply_recovered_record(Shard& shard,
+                                         const wal::RecordView& record) {
+  switch (record.type) {
+    case wal::RecordType::kInsert:
+      apply_recovered_insert(shard, record.challenge, record.response,
+                             CrpHealth{});
+      break;
+    case wal::RecordType::kTake:
+    case wal::RecordType::kEvict: {
+      const auto it = shard.index.find(record.challenge);
+      if (it == shard.index.end()) {
+        throw wal::CrpStoreError(
+            "recovery: take/evict record for unknown challenge");
+      }
+      // remove_at reproduces the live path's swap-with-back compaction,
+      // so the recovered entry order matches a never-restarted store.
+      remove_at(shard, it->second);
+      size_.fetch_sub(1, std::memory_order_relaxed);
+      break;
+    }
+    case wal::RecordType::kHealth: {
+      const auto it = shard.index.find(record.challenge);
+      if (it == shard.index.end()) {
+        throw wal::CrpStoreError(
+            "recovery: health record for unknown challenge");
+      }
+      shard.entries[it->second].health = record.health;
+      break;
+    }
+  }
+}
+
+CrpDatabase::ReplayCounts CrpDatabase::wal_replay_shard(
+    std::size_t source, std::uint32_t source_count, std::uint64_t generation,
+    bool direct, bool& orphan) {
+  WalState& w = *wal_;
+  ReplayCounts counts;
+  common::Arena arena;
+
+  // Stage + decode everything first (no locks held during file reads),
+  // then apply. The decoded views alias the arena images.
+  std::uint64_t base_seq = 0;
+  std::vector<wal::SnapshotEntryView> entries;
+  const std::string snap = wal::snapshot_path(w.dir, source, generation);
+  if (io::file_exists(snap)) {
+    const wal::SnapshotView view =
+        wal::decode_snapshot(read_into_arena(arena, snap));
+    if (view.shard_index != source || view.shard_count != source_count) {
+      throw wal::CrpStoreError("snapshot: header does not match manifest");
+    }
+    base_seq = view.wal_seq;
+    entries = view.entries;
+  }
+
+  std::vector<wal::RecordView> records;
+  std::uint64_t last_seq = base_seq;
+  for (const std::uint64_t gen : {generation, generation + 1}) {
+    const std::string path = wal::wal_path(w.dir, source, gen);
+    if (!io::file_exists(path)) continue;
+    if (gen != generation) orphan = true;  // interrupted snapshot
+    wal::WalDecodeResult decoded = wal::decode_wal(read_into_arena(arena, path));
+    counts.torn_bytes += decoded.torn_bytes;
+    for (const wal::RecordView& record : decoded.records) {
+      if (record.seq <= base_seq) continue;  // snapshot already covers it
+      if (record.seq <= last_seq) {
+        throw wal::CrpStoreError("wal: sequence overlap across generations");
+      }
+      last_seq = record.seq;
+      records.push_back(record);
+    }
+  }
+  counts.snapshot_entries = entries.size();
+  counts.wal_records = records.size();
+
+  if (direct) {
+    // Same layout: this task owns shard `source` outright; one lock
+    // acquisition replays the whole shard.
+    Shard& shard = *shards_[source];
+    const ShardLock lock(shard);
+    for (const wal::SnapshotEntryView& entry : entries) {
+      apply_recovered_insert(shard, entry.challenge, entry.response,
+                             entry.health);
+    }
+    for (const wal::RecordView& record : records) {
+      apply_recovered_record(shard, record);
+      if (record.type == wal::RecordType::kTake) ++counts.takes;
+    }
+    shard.wal_seq = last_seq;
+    return counts;
+  }
+
+  // Re-sharding: route every entry/record through the live hash, one
+  // shard lock per application (serial caller, so order is still
+  // deterministic).
+  for (const wal::SnapshotEntryView& entry : entries) {
+    Shard& target = shard_for(entry.challenge);
+    const ShardLock lock(target);
+    apply_recovered_insert(target, entry.challenge, entry.response,
+                           entry.health);
+  }
+  for (const wal::RecordView& record : records) {
+    Shard& target = shard_for(record.challenge);
+    const ShardLock lock(target);
+    apply_recovered_record(target, record);
+    if (record.type == wal::RecordType::kTake) ++counts.takes;
+  }
+  return counts;
+}
+
+void CrpDatabase::wal_recover(const wal::Manifest& manifest,
+                              bool& roll_forward) {
+  WalState& w = *wal_;
+  if (manifest.shard_count == 0) {
+    throw wal::CrpStoreError("manifest: zero shard count");
+  }
+  const bool same_layout = manifest.shard_count == shards_.size();
+  w.recovery.source_shard_count = manifest.shard_count;
+  w.recovery.resharded = !same_layout;
+
+  std::atomic<std::uint64_t> snapshot_entries{0};
+  std::atomic<std::uint64_t> wal_records{0};
+  std::atomic<std::uint64_t> takes{0};
+  std::atomic<std::uint64_t> torn{0};
+  std::atomic<bool> orphan{false};
+
+  if (same_layout) {
+    // Fan the per-shard replays across the pool: shard files are
+    // independent and each task only ever locks its own shard.
+    w.recovery.parallel_replay = true;
+    common::parallel_for(shards_.size(), [&](std::size_t i) {
+      bool task_orphan = false;
+      const ReplayCounts counts = wal_replay_shard(
+          i, manifest.shard_count, manifest.generation, true, task_orphan);
+      snapshot_entries.fetch_add(counts.snapshot_entries,
+                                 std::memory_order_relaxed);
+      wal_records.fetch_add(counts.wal_records, std::memory_order_relaxed);
+      takes.fetch_add(counts.takes, std::memory_order_relaxed);
+      torn.fetch_add(counts.torn_bytes, std::memory_order_relaxed);
+      if (task_orphan) orphan.store(true, std::memory_order_relaxed);
+    });
+  } else {
+    // Different shard count: replay serially (deterministic application
+    // order) through the hash router, then roll forward to a compacted
+    // snapshot in the new layout.
+    roll_forward = true;
+    for (std::size_t j = 0; j < manifest.shard_count; ++j) {
+      bool task_orphan = false;
+      const ReplayCounts counts = wal_replay_shard(
+          j, manifest.shard_count, manifest.generation, false, task_orphan);
+      snapshot_entries.fetch_add(counts.snapshot_entries,
+                                 std::memory_order_relaxed);
+      wal_records.fetch_add(counts.wal_records, std::memory_order_relaxed);
+      takes.fetch_add(counts.takes, std::memory_order_relaxed);
+      torn.fetch_add(counts.torn_bytes, std::memory_order_relaxed);
+      if (task_orphan) orphan.store(true, std::memory_order_relaxed);
+    }
+  }
+  if (orphan.load(std::memory_order_relaxed)) roll_forward = true;
+  // A torn tail means the live WAL file ends in a partial record. The
+  // append fd would write the next record after that garbage, wedging
+  // the *next* recovery on a mid-file corruption — so compact to a
+  // fresh generation instead of appending to a damaged log.
+  if (torn.load(std::memory_order_relaxed) != 0) roll_forward = true;
+
+  w.recovery.snapshot_entries =
+      snapshot_entries.load(std::memory_order_relaxed);
+  w.recovery.wal_records = wal_records.load(std::memory_order_relaxed);
+  w.recovery.replayed_takes = takes.load(std::memory_order_relaxed);
+  w.recovery.torn_bytes = torn.load(std::memory_order_relaxed);
+  // Deterministic cursor restore: the manifest's cursor plus one
+  // advance per replayed take. Unsuccessful take() calls between the
+  // snapshot and the crash also advanced the live cursor but left no
+  // record; their advances are deliberately not reproduced.
+  take_cursor_.store(manifest.take_cursor +
+                         takes.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
 }
 
 }  // namespace neuropuls::puf

@@ -18,14 +18,33 @@
 // `bench/bench_server` can plot ops/sec against shard count. The default
 // single-shard configuration behaves exactly like the previous serial
 // class, iteration order included.
+//
+// Durability (opt-in via CrpDurabilityOptions): every mutation appends
+// one record to a per-shard write-ahead log before the call returns.
+// Records are encoded under the shard lock (so per-shard WAL order is
+// exactly mutation order) into an in-memory pending buffer; a single
+// background writer drains those buffers, coalescing many records into
+// one write+fsync — the group commit that keeps the log at memory speed.
+// All file I/O happens on the writer thread, strictly outside every
+// shard lock; shard locks stay leaves in the canonical lock order, and
+// the ctlint `blocking-under-lock` pass enforces that no write/fsync
+// call sneaks into a critical section. take() waits for its record to
+// reach stable storage before handing out the CRP (durable_take), which
+// is what makes the paper's one-time-use guarantee survive a crash: a
+// consumed CRP is never re-issued and never resurrected. Cold start
+// replays snapshot + WAL per shard in parallel over common::parallel.
+// With no directory configured, nothing here runs — the in-memory store
+// behaves bit-identically to the pre-durability class.
 #pragma once
 
 #include <algorithm>
 #include <array>
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -82,6 +101,74 @@ struct CrpHealth {
   bool quarantined = false;
 };
 
+namespace wal {
+struct Manifest;
+struct RecordView;
+}  // namespace wal
+
+/// Opt-in durability configuration for CrpDatabase. An empty directory
+/// keeps the store purely in memory (the pre-durability behaviour, zero
+/// overhead on every path).
+struct CrpDurabilityOptions {
+  /// Store directory (created if missing). Holds per-shard WAL and
+  /// snapshot files plus a checksummed MANIFEST; empty = in-memory only.
+  std::string directory;
+
+  enum class Mode {
+    /// Appends coalesce in per-shard pending buffers; the background
+    /// writer turns many records into one write+fsync (group commit).
+    kGroupCommit,
+    /// Every mutation waits for its own flush+fsync round trip — the
+    /// naive baseline bench_crp_store_recovery compares against.
+    kFsyncPerOp,
+  };
+  Mode mode = Mode::kGroupCommit;
+
+  /// Pending bytes at which the writer flushes immediately instead of
+  /// waiting out the coalescing window.
+  std::size_t batch_bytes = 256 * 1024;
+
+  /// How long the writer lets a non-full batch gather company before
+  /// flushing anyway (bounds the durability lag of async appends).
+  std::chrono::microseconds flush_interval{200};
+
+  /// When set (default), take() returns only after its record is on
+  /// stable storage, so a consumed CRP can never be re-issued after a
+  /// crash — the no-replay invariant the one-time-use scheme rests on.
+  /// Inserts and health updates stay asynchronous either way (bounded
+  /// by flush_interval; sync() is the explicit barrier).
+  bool durable_take = true;
+
+  /// Per-shard WAL bytes at which the writer triggers an automatic
+  /// compacting snapshot (0 = snapshot only on explicit snapshot()).
+  std::size_t snapshot_wal_bytes = 0;
+};
+
+/// What recovery found on disk at construction (zeros for fresh or
+/// in-memory stores) — the crash tests and the cold-start bench read
+/// this to assert which path ran.
+struct CrpRecoveryStats {
+  /// Generation the store is live on after open.
+  std::uint64_t generation = 0;
+  /// Shard count recorded in the manifest (layout the files were
+  /// written under).
+  std::uint32_t source_shard_count = 0;
+  /// True when the configured shard count differed from the manifest's:
+  /// entries were re-hashed serially into the new layout and compacted
+  /// into a fresh snapshot generation.
+  bool resharded = false;
+  /// True when replay ran per-shard over the common::parallel pool.
+  bool parallel_replay = false;
+  std::uint64_t snapshot_entries = 0;
+  std::uint64_t wal_records = 0;
+  /// Take records replayed — added to the manifest's cursor to restore
+  /// the round-robin position deterministically.
+  std::uint64_t replayed_takes = 0;
+  /// Torn bytes dropped from WAL tails (crash evidence; 0 after a clean
+  /// shutdown).
+  std::uint64_t torn_bytes = 0;
+};
+
 /// Aggregate store statistics across shards — locking and take-path
 /// scheduling in one struct, so bench/bench_server can print the store's
 /// contention picture next to the session engine's steal/park counters.
@@ -109,6 +196,18 @@ class CrpDatabase {
   /// `shards` fixes the stripe count for the lifetime of the store
   /// (clamped to >= 1). One shard = the serial-compatible configuration.
   explicit CrpDatabase(std::size_t shards = 1);
+
+  /// Durable store: recovers existing state from `durability.directory`
+  /// (snapshot + parallel per-shard WAL replay) and starts the
+  /// group-commit writer. Throws wal::CrpStoreError when the on-disk
+  /// state is damaged beyond the torn-tail case — the store fails
+  /// cleanly rather than half-opening. With an empty directory this is
+  /// exactly the in-memory constructor.
+  CrpDatabase(std::size_t shards, CrpDurabilityOptions durability);
+
+  /// Clean shutdown: drains and fsyncs every pending WAL record, so a
+  /// destructed store recovers with torn_bytes == 0.
+  ~CrpDatabase();
 
   CrpDatabase(const CrpDatabase&) = delete;
   CrpDatabase& operator=(const CrpDatabase&) = delete;
@@ -173,6 +272,21 @@ class CrpDatabase {
   /// Verifier storage footprint in bytes (challenges + responses).
   std::size_t storage_bytes() const noexcept;
 
+  /// Durability barrier: blocks until every record appended before the
+  /// call is on stable storage. No-op for in-memory stores.
+  void sync();
+
+  /// Compacts the live state into a new snapshot generation and trims
+  /// the WAL (runs on the writer thread; this call blocks until the
+  /// manifest for the new generation is committed). No-op in memory.
+  void snapshot();
+
+  /// True when the store persists to disk.
+  bool durable() const noexcept { return wal_ != nullptr; }
+
+  /// What recovery found at construction (zeros for fresh/in-memory).
+  CrpRecoveryStats recovery_stats() const noexcept;
+
  private:
   struct Entry {
     Crp crp;
@@ -195,6 +309,16 @@ class CrpDatabase {
     mutable std::atomic<std::uint64_t> acquisitions{0};
     mutable std::atomic<std::uint64_t> contended{0};
     mutable std::atomic<std::uint64_t> takes{0};
+    /// WAL records encoded but not yet handed to the writer. Encoding
+    /// under the shard mutex — in the same critical section as the
+    /// mutation — is what pins per-shard WAL order to apply order; the
+    /// writer swaps the buffer out under the same lock and does all
+    /// file I/O with no lock held. Unused (empty) in memory-only mode.
+    crypto::Bytes wal_pending NP_GUARDED_BY(mutex);
+    /// Per-shard record sequence number; starts at 1, monotonic across
+    /// snapshot generations. Recovery replays records above the
+    /// snapshot's sequence and resumes from the highest seen.
+    std::uint64_t wal_seq NP_GUARDED_BY(mutex) = 0;
   };
 
   /// Scoped shard lock that counts the acquisition and whether it
@@ -222,12 +346,46 @@ class CrpDatabase {
 
   Shard& shard_for(crypto::ByteView challenge) noexcept;
   const Shard& shard_for(crypto::ByteView challenge) const noexcept;
+  std::size_t shard_index_for(crypto::ByteView challenge) const noexcept;
 
   static void remove_at(Shard& shard, std::size_t pos)
       NP_REQUIRES(shard.mutex);
   static void compact(Shard& shard, std::size_t pos) NP_REQUIRES(shard.mutex);
 
+  // --- durability machinery (crp_db.cpp; all no-ops when wal_ is null) ---
+
+  /// Per-replay-task tallies, merged into CrpRecoveryStats.
+  struct ReplayCounts;
+  /// Writer-thread state + group-commit handshake; lives behind a
+  /// pointer so the in-memory store pays nothing and the header stays
+  /// free of file/thread types.
+  struct WalState;
+
+  /// Called after a mutation appended `bytes` of records under the shard
+  /// lock (now released): accounts the pending bytes, wakes the writer
+  /// on a batch boundary, and — for durable takes / fsync-per-op mode —
+  /// blocks until `seq` is on stable storage.
+  void wal_after_append(std::size_t shard, std::uint64_t seq,
+                        std::size_t bytes, bool wait_durable);
+  void wal_writer_main();
+  void wal_flush_pending(std::vector<crypto::Bytes>& scratch);
+  void wal_rotate_and_snapshot();
+  void wal_write_snapshot_files(std::uint64_t generation);
+  void wal_cleanup_stale();
+  void wal_recover(const wal::Manifest& manifest, bool& roll_forward);
+  ReplayCounts wal_replay_shard(std::size_t source,
+                                std::uint32_t source_count,
+                                std::uint64_t generation, bool direct,
+                                bool& orphan);
+  void apply_recovered_insert(Shard& shard, crypto::ByteView challenge,
+                              crypto::ByteView response,
+                              const CrpHealth& health)
+      NP_REQUIRES(shard.mutex);
+  void apply_recovered_record(Shard& shard, const wal::RecordView& record)
+      NP_REQUIRES(shard.mutex);
+
   std::vector<std::unique_ptr<Shard>> shards_;
+  std::unique_ptr<WalState> wal_;
   std::atomic<std::size_t> size_{0};
   /// Round-robin starting shard for take(): spreads concurrent takers
   /// across stripes instead of draining shard 0 first.

@@ -1,0 +1,120 @@
+// The POSIX io layer under the durable CRP store (ctest label: io):
+// append semantics, whole-file round trips, atomic publish, directory
+// listing, and TempDir cleanup. The WAL-specific decode behaviour is
+// covered by tests/puf and tests/chaos; this file pins the syscalls
+// wrappers those suites stand on.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <system_error>
+#include <vector>
+
+#include "common/io.hpp"
+
+namespace neuropuls::common::io {
+namespace {
+
+crypto::Bytes bytes_of(const std::string& text) {
+  return crypto::Bytes(text.begin(), text.end());
+}
+
+TEST(Io, AppendAccumulatesAndReadsBack) {
+  const TempDir dir("np-io-test");
+  const std::string path = dir.path() + "/log";
+  {
+    File file = File::open_append(path);
+    EXPECT_TRUE(file.valid());
+    file.write_all(bytes_of("hello "));
+    file.write_all(bytes_of("world"));
+    file.sync();
+    EXPECT_EQ(file.size(), 11u);
+  }
+  {
+    // A second open_append continues at end of file.
+    File file = File::open_append(path);
+    file.write_all(bytes_of("!"));
+  }
+  EXPECT_EQ(read_file(path), bytes_of("hello world!"));
+}
+
+TEST(Io, ReadExactAtOffset) {
+  const TempDir dir("np-io-test");
+  const std::string path = dir.path() + "/blob";
+  {
+    File file = File::create_truncate(path);
+    file.write_all(bytes_of("0123456789"));
+  }
+  const File file = File::open_read(path);
+  std::vector<std::uint8_t> out(4);
+  file.read_exact(3, out);
+  EXPECT_EQ(crypto::Bytes(out.begin(), out.end()), bytes_of("3456"));
+  // Reading past end of file is a short read — must throw, not zero-fill.
+  std::vector<std::uint8_t> tail(4);
+  EXPECT_THROW(file.read_exact(8, tail), std::system_error);
+}
+
+TEST(Io, OpenReadMissingFileThrows) {
+  const TempDir dir("np-io-test");
+  EXPECT_THROW(File::open_read(dir.path() + "/absent"), std::system_error);
+  EXPECT_FALSE(file_exists(dir.path() + "/absent"));
+}
+
+TEST(Io, CreateTruncateDiscardsPreviousContents) {
+  const TempDir dir("np-io-test");
+  const std::string path = dir.path() + "/file";
+  { File::create_truncate(path).write_all(bytes_of("long old contents")); }
+  { File::create_truncate(path).write_all(bytes_of("new")); }
+  EXPECT_EQ(read_file(path), bytes_of("new"));
+}
+
+TEST(Io, AtomicWriteReplacesAndLeavesNoTemp) {
+  const TempDir dir("np-io-test");
+  const std::string path = dir.path() + "/manifest";
+  atomic_write_file(path, bytes_of("generation 1"));
+  atomic_write_file(path, bytes_of("generation 2"));
+  EXPECT_EQ(read_file(path), bytes_of("generation 2"));
+  const std::vector<std::string> files = list_files(dir.path());
+  ASSERT_EQ(files.size(), 1u) << "the .tmp staging file must not survive";
+  EXPECT_EQ(files[0], "manifest");
+}
+
+TEST(Io, ListFilesIsSortedAndSkipsDirectories) {
+  const TempDir dir("np-io-test");
+  atomic_write_file(dir.path() + "/b", bytes_of("b"));
+  atomic_write_file(dir.path() + "/a", bytes_of("a"));
+  create_directories(dir.path() + "/subdir");
+  const std::vector<std::string> files = list_files(dir.path());
+  EXPECT_EQ(files, (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(Io, CreateDirectoriesIsIdempotentAndDeep) {
+  const TempDir dir("np-io-test");
+  const std::string deep = dir.path() + "/x/y/z";
+  create_directories(deep);
+  create_directories(deep);  // EEXIST on a directory is success
+  atomic_write_file(deep + "/file", bytes_of("ok"));
+  EXPECT_TRUE(file_exists(deep + "/file"));
+}
+
+TEST(Io, RemoveFileIsIdempotent) {
+  const TempDir dir("np-io-test");
+  const std::string path = dir.path() + "/victim";
+  atomic_write_file(path, bytes_of("x"));
+  remove_file(path);
+  EXPECT_FALSE(file_exists(path));
+  remove_file(path);  // second removal of a missing file is a no-op
+}
+
+TEST(Io, TempDirRemovesItselfRecursively) {
+  std::string kept;
+  {
+    const TempDir dir("np-io-test");
+    kept = dir.path();
+    create_directories(kept + "/nested");
+    atomic_write_file(kept + "/nested/file", bytes_of("data"));
+  }
+  EXPECT_FALSE(file_exists(kept + "/nested/file"));
+}
+
+}  // namespace
+}  // namespace neuropuls::common::io

@@ -1,0 +1,340 @@
+// Durable CrpDatabase (ctest labels: io, concurrency): group-commit WAL
+// round trips, snapshot compaction, re-sharding on load, deterministic
+// post-recovery take() order, lock_stats across restarts, and the
+// fsync-per-op comparison mode. The crash-point sweeps (truncation /
+// corruption at every byte) live in tests/chaos/test_crp_crash.cpp; this
+// file covers the clean-shutdown and happy-path recovery contracts.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/io.hpp"
+#include "puf/crp_db.hpp"
+#include "puf/crp_wal.hpp"
+
+namespace neuropuls::puf {
+namespace {
+
+namespace io = common::io;
+
+Crp make_crp(std::uint32_t i) {
+  Crp crp;
+  crp.challenge = {static_cast<std::uint8_t>(i),
+                   static_cast<std::uint8_t>(i >> 8),
+                   static_cast<std::uint8_t>(i >> 16),
+                   static_cast<std::uint8_t>(i >> 24),
+                   0x5A, 0xC3, 0x0F, 0x99};
+  crp.response = {static_cast<std::uint8_t>(i * 7 + 1),
+                  static_cast<std::uint8_t>(i * 13 + 5)};
+  return crp;
+}
+
+CrpDurabilityOptions durable_in(const std::string& dir) {
+  CrpDurabilityOptions options;
+  options.directory = dir;
+  return options;
+}
+
+/// Drains both stores serially and requires identical challenge order —
+/// the strongest form of "recovery reproduced the entry layout".
+void expect_same_take_order(CrpDatabase& recovered, CrpDatabase& reference) {
+  for (;;) {
+    const std::optional<Crp> a = recovered.take();
+    const std::optional<Crp> b = reference.take();
+    ASSERT_EQ(a.has_value(), b.has_value());
+    if (!a.has_value()) break;
+    EXPECT_EQ(a->challenge, b->challenge);
+    EXPECT_EQ(a->response, b->response);
+  }
+}
+
+TEST(CrpStore, EmptyDirectoryOptionsStayInMemory) {
+  CrpDatabase db(4, CrpDurabilityOptions{});
+  EXPECT_FALSE(db.durable());
+  db.insert(make_crp(1));
+  EXPECT_EQ(db.size(), 1u);
+  db.sync();      // no-ops, must not throw
+  db.snapshot();
+  EXPECT_EQ(db.recovery_stats().wal_records, 0u);
+}
+
+TEST(CrpStore, WalReplayRoundTripsStateAndHealth) {
+  const io::TempDir dir("np-crp-store");
+  constexpr std::uint32_t kCount = 32;
+  std::set<Challenge> taken;
+  std::vector<Challenge> survivors;
+  {
+    CrpDatabase db(4, durable_in(dir.path()));
+    ASSERT_TRUE(db.durable());
+    for (std::uint32_t i = 0; i < kCount; ++i) db.insert(make_crp(i));
+    for (int i = 0; i < 5; ++i) {
+      const auto crp = db.take();
+      ASSERT_TRUE(crp.has_value());
+      taken.insert(crp->challenge);
+    }
+    // Health targets must still be in the store (updates on consumed
+    // challenges are no-ops), so pick them from the survivors.
+    for (std::uint32_t i = 0; i < kCount && survivors.size() < 2; ++i) {
+      const Challenge challenge = make_crp(i).challenge;
+      if (db.lookup(challenge).has_value()) survivors.push_back(challenge);
+    }
+    ASSERT_EQ(survivors.size(), 2u);
+    db.record_success(survivors[0]);
+    db.record_success(survivors[0]);
+    db.record_failure(survivors[1]);
+  }  // clean shutdown drains + fsyncs the WAL
+
+  CrpDatabase db(4, durable_in(dir.path()));
+  EXPECT_EQ(db.size(), kCount - 5);
+  const CrpRecoveryStats stats = db.recovery_stats();
+  EXPECT_FALSE(stats.resharded);
+  EXPECT_TRUE(stats.parallel_replay);
+  EXPECT_EQ(stats.torn_bytes, 0u) << "clean shutdown must leave no torn tail";
+  EXPECT_EQ(stats.wal_records, kCount + 5 + 3);
+  EXPECT_EQ(stats.replayed_takes, 5u);
+  for (const Challenge& challenge : taken) {
+    EXPECT_FALSE(db.lookup(challenge).has_value())
+        << "consumed CRP resurrected by replay";
+  }
+  const auto healthy = db.health(survivors[0]);
+  ASSERT_TRUE(healthy.has_value());
+  EXPECT_EQ(healthy->successes, 2u);
+  const auto failing = db.health(survivors[1]);
+  ASSERT_TRUE(failing.has_value());
+  EXPECT_EQ(failing->failures, 1u);
+  EXPECT_EQ(failing->consecutive_failures, 1u);
+}
+
+TEST(CrpStore, QuarantineStateSurvivesRestartIndependentOfThreshold) {
+  const io::TempDir dir("np-crp-store");
+  {
+    CrpDatabase db(1, durable_in(dir.path()));
+    db.set_quarantine_threshold(2);
+    for (std::uint32_t i = 0; i < 4; ++i) db.insert(make_crp(i));
+    db.record_failure(make_crp(2).challenge);
+    db.record_failure(make_crp(2).challenge);  // quarantined at 2
+    EXPECT_EQ(db.quarantined(), 1u);
+  }
+  // Health records carry resulting counters, so replay under the default
+  // (higher) threshold must still reproduce the quarantine flag.
+  CrpDatabase db(1, durable_in(dir.path()));
+  EXPECT_EQ(db.quarantined(), 1u);
+  EXPECT_FALSE(db.lookup(make_crp(2).challenge).has_value());
+}
+
+TEST(CrpStore, SnapshotCompactsWalAndPreservesState) {
+  const io::TempDir dir("np-crp-store");
+  constexpr std::uint32_t kCount = 24;
+  {
+    CrpDatabase db(2, durable_in(dir.path()));
+    for (std::uint32_t i = 0; i < kCount; ++i) db.insert(make_crp(i));
+    ASSERT_TRUE(db.take().has_value());
+    db.snapshot();
+    // Post-snapshot mutations land in the new generation's WAL.
+    db.insert(make_crp(100));
+  }
+  CrpDatabase db(2, durable_in(dir.path()));
+  EXPECT_EQ(db.size(), kCount);  // 24 - 1 take + 1 late insert
+  const CrpRecoveryStats stats = db.recovery_stats();
+  EXPECT_GE(stats.generation, 1u);
+  EXPECT_EQ(stats.snapshot_entries, kCount - 1);
+  EXPECT_EQ(stats.wal_records, 1u) << "snapshot should have trimmed the WAL";
+}
+
+TEST(CrpStore, AutomaticSnapshotTriggersAtWalThreshold) {
+  const io::TempDir dir("np-crp-store");
+  CrpDurabilityOptions options = durable_in(dir.path());
+  options.snapshot_wal_bytes = 512;
+  {
+    CrpDatabase db(1, options);
+    for (std::uint32_t i = 0; i < 64; ++i) db.insert(make_crp(i));
+    db.sync();
+  }
+  CrpDatabase db(1, durable_in(dir.path()));
+  EXPECT_EQ(db.size(), 64u);
+  EXPECT_GE(db.recovery_stats().generation, 1u)
+      << "64 inserts x ~40 byte records should have crossed 512 WAL bytes";
+  EXPECT_GT(db.recovery_stats().snapshot_entries, 0u);
+}
+
+TEST(CrpStore, RecoveryWithDifferentShardCountRehashes) {
+  const io::TempDir dir("np-crp-store");
+  constexpr std::uint32_t kCount = 48;
+  {
+    CrpDatabase db(4, durable_in(dir.path()));
+    for (std::uint32_t i = 0; i < kCount; ++i) db.insert(make_crp(i));
+    ASSERT_TRUE(db.take().has_value());
+  }
+  {
+    CrpDatabase db(2, durable_in(dir.path()));
+    EXPECT_EQ(db.shard_count(), 2u);
+    EXPECT_EQ(db.size(), kCount - 1);
+    EXPECT_TRUE(db.recovery_stats().resharded);
+    EXPECT_FALSE(db.recovery_stats().parallel_replay);
+    EXPECT_EQ(db.recovery_stats().source_shard_count, 4u);
+    // Every surviving CRP must be reachable through the new layout.
+    std::size_t found = 0;
+    for (std::uint32_t i = 0; i <= 100; ++i) {
+      if (db.lookup(make_crp(i).challenge).has_value()) ++found;
+    }
+    EXPECT_EQ(found, kCount - 1);
+  }
+  // The re-shard rolled forward to a compacted snapshot: a second open
+  // at the same count replays it in parallel with an empty WAL.
+  CrpDatabase db(2, durable_in(dir.path()));
+  EXPECT_FALSE(db.recovery_stats().resharded);
+  EXPECT_TRUE(db.recovery_stats().parallel_replay);
+  EXPECT_EQ(db.recovery_stats().snapshot_entries, kCount - 1);
+  EXPECT_EQ(db.recovery_stats().wal_records, 0u);
+}
+
+// The satellite regression: with one shard, a store that went through
+// quarantine-driven compaction, eviction, restart, and replay must
+// serve the exact take() sequence of a never-restarted store fed the
+// same operations.
+TEST(CrpStore, SingleShardPostRecoveryTakeOrderMatchesNeverRestarted) {
+  const io::TempDir dir("np-crp-store");
+  CrpDatabase reference(1);  // in-memory twin, never restarted
+  {
+    CrpDatabase db(1, durable_in(dir.path()));
+    for (CrpDatabase* store : {&db, &reference}) {
+      store->set_quarantine_threshold(2);
+      for (std::uint32_t i = 0; i < 10; ++i) store->insert(make_crp(i));
+      // Quarantine two entries mid-vector, evict them (swap-with-back
+      // compaction reorders the tail), take a couple, insert more.
+      for (int r = 0; r < 2; ++r) {
+        store->record_failure(make_crp(3).challenge);
+        store->record_failure(make_crp(6).challenge);
+      }
+      EXPECT_EQ(store->evict_quarantined(), 2u);
+      EXPECT_TRUE(store->take().has_value());
+      EXPECT_TRUE(store->take().has_value());
+      for (std::uint32_t i = 20; i < 24; ++i) store->insert(make_crp(i));
+    }
+  }
+  CrpDatabase recovered(1, durable_in(dir.path()));
+  EXPECT_EQ(recovered.size(), reference.size());
+  expect_same_take_order(recovered, reference);
+}
+
+// Same regression through a snapshot+WAL boundary: the snapshot stores
+// entries in storage order, so the order survives compaction too.
+TEST(CrpStore, TakeOrderSurvivesSnapshotBoundary) {
+  const io::TempDir dir("np-crp-store");
+  CrpDatabase reference(1);
+  {
+    CrpDatabase db(1, durable_in(dir.path()));
+    for (CrpDatabase* store : {&db, &reference}) {
+      for (std::uint32_t i = 0; i < 12; ++i) store->insert(make_crp(i));
+      EXPECT_TRUE(store->take().has_value());
+    }
+    db.snapshot();
+    for (CrpDatabase* store : {&db, &reference}) {
+      EXPECT_TRUE(store->take().has_value());
+      for (std::uint32_t i = 30; i < 33; ++i) store->insert(make_crp(i));
+    }
+  }
+  CrpDatabase recovered(1, durable_in(dir.path()));
+  expect_same_take_order(recovered, reference);
+}
+
+// Deterministic cursor restore across shards: after a quiescent
+// snapshot+restart, the round-robin take() rotation continues exactly
+// where the reference store's does.
+TEST(CrpStore, TakeCursorRestoredDeterministically) {
+  const io::TempDir dir("np-crp-store");
+  CrpDatabase reference(2);
+  {
+    CrpDatabase db(2, durable_in(dir.path()));
+    for (CrpDatabase* store : {&db, &reference}) {
+      for (std::uint32_t i = 0; i < 16; ++i) store->insert(make_crp(i));
+      for (int t = 0; t < 3; ++t) EXPECT_TRUE(store->take().has_value());
+    }
+    db.snapshot();  // manifest records the cursor at a quiescent point
+  }
+  CrpDatabase recovered(2, durable_in(dir.path()));
+  expect_same_take_order(recovered, reference);
+}
+
+// lock_stats are process-local diagnostics: a restart resets them, and
+// shard_takes tracks the *new* layout after a re-shard.
+TEST(CrpStore, LockStatsResetAcrossRecoveryAndResharding) {
+  const io::TempDir dir("np-crp-store");
+  {
+    CrpDatabase db(4, durable_in(dir.path()));
+    for (std::uint32_t i = 0; i < 16; ++i) db.insert(make_crp(i));
+    for (int t = 0; t < 8; ++t) ASSERT_TRUE(db.take().has_value());
+    EXPECT_EQ(db.lock_stats().takes, 8u);
+    EXPECT_EQ(db.lock_stats().shard_takes.size(), 4u);
+  }
+  {
+    CrpDatabase db(4, durable_in(dir.path()));
+    const CrpStoreStats stats = db.lock_stats();
+    EXPECT_EQ(stats.takes, 0u) << "takes counter must not replay";
+    EXPECT_EQ(stats.take_steals, 0u);
+    EXPECT_EQ(stats.shard_takes.size(), 4u);
+    ASSERT_TRUE(db.take().has_value());
+    EXPECT_EQ(db.lock_stats().takes, 1u);
+  }
+  // Re-shard: the stats vector follows the configured layout.
+  CrpDatabase db(2, durable_in(dir.path()));
+  EXPECT_EQ(db.lock_stats().shard_takes.size(), 2u);
+  EXPECT_EQ(db.lock_stats().takes, 0u);
+}
+
+TEST(CrpStore, FsyncPerOpModeIsDurableWithoutSync) {
+  const io::TempDir dir("np-crp-store");
+  {
+    CrpDurabilityOptions options = durable_in(dir.path());
+    options.mode = CrpDurabilityOptions::Mode::kFsyncPerOp;
+    CrpDatabase db(2, options);
+    for (std::uint32_t i = 0; i < 8; ++i) db.insert(make_crp(i));
+    ASSERT_TRUE(db.take().has_value());
+    // No sync(), no snapshot: every op already waited for its fsync.
+  }
+  CrpDatabase db(2, durable_in(dir.path()));
+  EXPECT_EQ(db.size(), 7u);
+  EXPECT_EQ(db.recovery_stats().wal_records, 9u);
+}
+
+TEST(CrpStore, SyncIsADurabilityBarrier) {
+  const io::TempDir dir("np-crp-store");
+  CrpDurabilityOptions options = durable_in(dir.path());
+  // A huge batch + long window: without sync() these appends would sit
+  // in the pending buffers well past the test's lifetime.
+  options.batch_bytes = 64 * 1024 * 1024;
+  options.flush_interval = std::chrono::microseconds(60 * 1000 * 1000);
+  options.durable_take = false;
+  CrpDatabase db(1, options);
+  for (std::uint32_t i = 0; i < 6; ++i) db.insert(make_crp(i));
+  db.sync();
+  // The WAL file must already hold all six records, while the store is
+  // still open (no destructor drain involved).
+  const std::string wal_file = wal::wal_path(dir.path(), 0, 0);
+  ASSERT_TRUE(io::file_exists(wal_file));
+  const auto decoded = wal::decode_wal(io::read_file(wal_file));
+  EXPECT_EQ(decoded.records.size(), 6u);
+  EXPECT_EQ(decoded.torn_bytes, 0u);
+}
+
+TEST(CrpStore, DirectoryWithFilesButNoManifestFailsCleanly) {
+  const io::TempDir dir("np-crp-store");
+  io::atomic_write_file(dir.path() + "/shard-0000-000000.wal",
+                        crypto::Bytes{1, 2, 3});
+  EXPECT_THROW(CrpDatabase(1, durable_in(dir.path())), wal::CrpStoreError);
+}
+
+TEST(CrpStore, CorruptManifestFailsCleanly) {
+  const io::TempDir dir("np-crp-store");
+  { CrpDatabase db(1, durable_in(dir.path())); db.insert(make_crp(1)); }
+  crypto::Bytes manifest = io::read_file(wal::manifest_path(dir.path()));
+  manifest[manifest.size() / 2] ^= 0xFF;
+  io::atomic_write_file(wal::manifest_path(dir.path()), manifest);
+  EXPECT_THROW(CrpDatabase(1, durable_in(dir.path())), wal::CrpStoreError);
+}
+
+}  // namespace
+}  // namespace neuropuls::puf

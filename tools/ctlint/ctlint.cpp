@@ -44,7 +44,12 @@
 //   blocking-under-lock park()/channel receive*()/operator new/make_*
 //                       reachable while a scoped lock is live: blocking
 //                       or allocator calls turn a short critical section
-//                       into a convoy
+//                       into a convoy; likewise file I/O (write/pwrite/
+//                       fwrite/write_all/fsync/fdatasync/flush) — a
+//                       syscall, let alone a disk flush, under a lock
+//                       stalls every thread behind it (the WAL group
+//                       commit encodes under the shard lock and performs
+//                       all I/O outside it)
 //   atomic-misuse       a relaxed store/RMW paired with a non-relaxed
 //                       load of the same atomic member in one file
 //                       (inconsistent ordering is either a missing fence
@@ -452,6 +457,15 @@ const std::set<std::string> kBlockingCalls = {"park", "receive",
                                               "receive_with_budget"};
 const std::set<std::string> kAllocCalls = {"make_unique", "make_shared"};
 
+// File-I/O calls that hit the kernel — and, for the fsync family, wait
+// on the disk — which must never run inside a critical section. The
+// durable CRP store's group-commit protocol depends on this split:
+// records are *encoded* under the shard lock (memory-only), the buffer
+// is swapped out, and every write/fsync happens with no lock held
+// (common/io.hpp is where the sanctioned call sites live).
+const std::set<std::string> kFileIoCalls = {
+    "write", "pwrite", "fwrite", "write_all", "fsync", "fdatasync", "flush"};
+
 const std::set<std::string> kAtomicWriteOps = {
     "store", "fetch_add", "fetch_sub", "fetch_or", "fetch_and", "exchange"};
 
@@ -586,6 +600,12 @@ void check_concurrency(const std::string& display_path, const ParsedFile& file,
         emit(line_no, "blocking-under-lock",
              "'" + t + "' can block while lock '" + held->key +
                  "' is held; release the lock first");
+      } else if (kFileIoCalls.count(t) && k + 1 < ft.size() &&
+                 *ft[k + 1].text == "(") {
+        emit(line_no, "blocking-under-lock",
+             "file I/O ('" + t + "') while lock '" + held->key +
+                 "' is held; encode into a buffer under the lock and do "
+                 "the write/fsync after releasing it");
       } else if (t == "new" || kAllocCalls.count(t)) {
         emit(line_no, "blocking-under-lock",
              "allocation ('" + t + "') while lock '" + held->key +

@@ -1,0 +1,67 @@
+// ctlint fixture: the file-I/O arm of the blocking-under-lock pass.
+// Lint-only — never compiled.
+//
+// Covers: write/fsync-family calls while a scoped lock is live (the
+// pattern the WAL group-commit protocol exists to prevent); the
+// unlock()/lock() gap; scope exit; the encode-then-write split done
+// right; and suppression.
+
+#include <cstdio>
+
+#include "common/io.hpp"
+#include "common/mutex.hpp"
+#include "crypto/bytes.hpp"
+
+namespace fixture {
+
+void io_while_held(neuropuls::common::Mutex& mu,
+                   neuropuls::common::io::File& log,
+                   neuropuls::crypto::Bytes& batch, std::FILE* stream,
+                   int fd) {
+  neuropuls::common::MutexLock guard(mu);
+  log.write_all(batch);  // ctlint:expect(blocking-under-lock)
+  log.sync();
+  ::write(fd, batch.data(), batch.size());  // ctlint:expect(blocking-under-lock)
+  ::pwrite(fd, batch.data(), batch.size(), 0);  // ctlint:expect(blocking-under-lock)
+  ::fwrite(batch.data(), 1, batch.size(), stream);  // ctlint:expect(blocking-under-lock)
+  ::fsync(fd);  // ctlint:expect(blocking-under-lock)
+  ::fdatasync(fd);  // ctlint:expect(blocking-under-lock)
+  std::fflush(stream);
+}
+
+// The toggle: between unlock() and lock() the section is not critical.
+void io_in_gap(neuropuls::common::Mutex& mu,
+               neuropuls::common::io::File& log,
+               neuropuls::crypto::Bytes& batch) {
+  neuropuls::common::MutexLock guard(mu);
+  guard.unlock();
+  log.write_all(batch);
+  guard.lock();
+  log.write_all(batch);  // ctlint:expect(blocking-under-lock)
+}
+
+// The group-commit shape done right: encode under the lock, swap the
+// buffer out, write and fsync after the scope releases it.
+void encode_then_write(neuropuls::common::Mutex& mu,
+                       neuropuls::common::io::File& log,
+                       neuropuls::crypto::Bytes& pending,
+                       neuropuls::crypto::Bytes& batch) {
+  {
+    neuropuls::common::MutexLock guard(mu);
+    neuropuls::crypto::append_u64_be(pending, 42);
+    batch.swap(pending);
+  }
+  log.write_all(batch);
+  log.sync();
+}
+
+// A reviewed exception (e.g. a shutdown path) can be suppressed.
+void reviewed_io(neuropuls::common::Mutex& mu,
+                 neuropuls::common::io::File& log,
+                 neuropuls::crypto::Bytes& batch) {
+  neuropuls::common::MutexLock guard(mu);
+  // ctlint:allow(blocking-under-lock) fixture: single-threaded shutdown
+  log.write_all(batch);
+}
+
+}  // namespace fixture
