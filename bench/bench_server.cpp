@@ -25,6 +25,9 @@
 //     of devices 100x slower); manual time is time-to-90%-converged,
 //     the completion-latency metric where scheduling policy shows up
 //     even when total work is fixed;
+//   * BM_ServerSessionsHostile/{50,95} — mixed honest/hostile load at
+//     that hostile percentage through the admission controller; items/sec
+//     counts honest sessions only (goodput under abuse);
 //   * BM_CrpStoreMixedOps/{1,4,8} — sharded store ops/sec, 4 threads.
 #include <atomic>
 #include <chrono>
@@ -32,8 +35,10 @@
 
 #include "bench_util.hpp"
 #include "common/parallel.hpp"
+#include "core/admission_control.hpp"
 #include "core/session_engine.hpp"
 #include "crypto/sha256.hpp"
+#include "faults/flood_adversary.hpp"
 #include "puf/arbiter_puf.hpp"
 #include "puf/crp_db.hpp"
 
@@ -286,6 +291,133 @@ void print_skewed_table() {
               "with threads > 1 the wave barrier also convoys total time.");
 }
 
+// --------------------------------------------------- hostile load
+
+// Mixed honest/hostile run through the admission controller. Hostile
+// sessions are faults::FloodAuthMachine attackers (3:1 malformed-flood
+// to half-open squatters) spread over a handful of hot client
+// identities, so token buckets, the half-open table, and the malformed
+// charge-back all see action. Honest devices are one client each.
+struct HostileRunResult {
+  double elapsed = 0.0;
+  std::size_t honest_converged = 0;
+  std::size_t false_accepts = 0;  // hostile sessions that converged: 0 or bug
+  core::SessionEngineStats stats;
+  core::AdmissionStats admission;
+};
+
+HostileRunResult run_hostile_fleet(std::size_t honest, std::size_t hostile) {
+  constexpr std::size_t kAttackerIdentities = 16;
+  std::vector<std::unique_ptr<AuthFixture>> fleet;
+  fleet.reserve(honest + hostile);
+  for (std::size_t k = 0; k < honest + hostile; ++k) {
+    fleet.push_back(make_fixture(0xF1EE7 + k));
+  }
+
+  core::AdmissionConfig admission_config;
+  admission_config.bucket_capacity = 8;
+  admission_config.half_open_slots = 64;
+  admission_config.half_open_per_client = 4;
+  core::AdmissionController controller(admission_config);
+  common::ThreadPool pool(common::ThreadPool::default_thread_count());
+  core::SessionEngineConfig config;
+  config.max_in_flight = 64;
+  config.admission = &controller;
+  core::SessionEngine engine(pool, config);
+
+  const core::RetryPolicy policy;
+  for (std::size_t k = 0; k < fleet.size(); ++k) {
+    AuthFixture& f = *fleet[k];
+    core::SubmitOptions options;
+    options.cost_bytes = 512;
+    const bool is_hostile = k >= honest;
+    options.client_id =
+        is_hostile ? 0xBAD0000 + (k % kAttackerIdentities) : 0x600D0000 + k;
+    if (is_hostile) {
+      const auto mode = (k % 4 == 3) ? faults::FloodMode::kHalfOpen
+                                     : faults::FloodMode::kMalformed;
+      engine.submit(
+          42 + k,
+          [&f, &policy, mode](crypto::ChaChaDrbg& rng)
+              -> std::unique_ptr<core::SessionMachine> {
+            return std::make_unique<faults::FloodAuthMachine>(
+                f.channel, policy, rng, *f.verifier, mode);
+          },
+          options);
+    } else {
+      engine.submit(
+          42 + k,
+          [&f, &policy, k](crypto::ChaChaDrbg& rng)
+              -> std::unique_ptr<core::SessionMachine> {
+            return std::make_unique<core::AuthSessionMachine>(
+                f.channel, policy, rng, *f.verifier, *f.device, 10 * (k + 1));
+          },
+          options);
+    }
+  }
+  const auto start = std::chrono::steady_clock::now();
+  const auto reports = engine.run();
+  HostileRunResult result;
+  result.elapsed = seconds_since(start);
+  for (std::size_t k = 0; k < reports.size(); ++k) {
+    if (reports[k].result != core::SessionResult::kConverged) continue;
+    if (k < honest) {
+      ++result.honest_converged;
+    } else {
+      ++result.false_accepts;
+    }
+  }
+  result.stats = engine.stats();
+  result.admission = controller.stats();
+  return result;
+}
+
+void print_hostile_table() {
+  bench::banner("E16", "Hostile mixed load through admission control");
+  constexpr std::size_t kHonest = 64;
+  std::printf("  %-9s %-12s %-9s %-10s %-9s %-9s %-10s %-8s %-11s\n",
+              "hostile%", "honest/sec", "admitted", "shed-rate", "shed-mem",
+              "evicted", "malformed", "false+", "peak-bytes");
+  double baseline_rate = 0.0;
+  for (const std::size_t pct : {std::size_t{0}, std::size_t{50},
+                                std::size_t{90}, std::size_t{95}}) {
+    // kHonest honest sessions at every row; hostile count scales so the
+    // hostile fraction of total traffic is pct.
+    const std::size_t hostile = kHonest * pct / (100 - pct);
+    const auto run = run_hostile_fleet(kHonest, hostile);
+    const double rate = run.honest_converged / run.elapsed;
+    if (pct == 0) baseline_rate = rate;
+    std::printf("  %-9zu %-12.0f %-9llu %-10llu %-9llu %-9llu %-10llu "
+                "%-8zu %-11llu\n",
+                pct, rate,
+                static_cast<unsigned long long>(run.stats.admitted),
+                static_cast<unsigned long long>(run.stats.shed_rate_limited),
+                static_cast<unsigned long long>(run.stats.shed_memory),
+                static_cast<unsigned long long>(run.stats.evicted_half_open),
+                static_cast<unsigned long long>(run.stats.malformed),
+                run.false_accepts,
+                static_cast<unsigned long long>(
+                    run.admission.peak_charged_bytes));
+    if (run.false_accepts != 0) {
+      std::printf("  WARNING: %zu hostile sessions converged (false "
+                  "accepts)\n", run.false_accepts);
+    }
+    if (run.honest_converged != kHonest) {
+      std::printf("  WARNING: only %zu/%zu honest sessions converged\n",
+                  run.honest_converged, kHonest);
+    }
+    if (pct == 95 && baseline_rate > 0.0 && rate < 0.5 * baseline_rate) {
+      std::printf("  WARNING: honest goodput %.0f/s under 95%% flood is "
+                  "below 50%% of the unloaded %.0f/s\n", rate, baseline_rate);
+    }
+  }
+  bench::note("honest/sec counts only honest converged sessions over total "
+              "wall time (goodput). false+ is hostile sessions the verifier "
+              "accepted — any nonzero value is a security bug. peak-bytes "
+              "is the controller's charged-memory high-water mark (budget " +
+              std::to_string(8u << 20) + ").");
+}
+
 // --------------------------------------------------- CRP store load
 
 puf::Crp make_crp(std::uint32_t i) {
@@ -349,6 +481,7 @@ void print_tables() {
   print_sessions_table();
   print_high_inflight_table();
   print_skewed_table();
+  print_hostile_table();
   print_crp_store_table();
 }
 
@@ -434,6 +567,24 @@ void BM_ServerSessionsSkewedReactor(benchmark::State& state) {
 }
 BENCHMARK(BM_ServerSessionsSkewedReactor)
     ->UseManualTime()
+    ->Unit(benchmark::kMillisecond);
+
+// Hostile mixed-load cases: state.range(0) is the hostile percentage of
+// total traffic; items/sec counts honest sessions only, so a regression
+// here means admission control stopped protecting honest goodput.
+void BM_ServerSessionsHostile(benchmark::State& state) {
+  constexpr std::size_t kHonest = 32;
+  const auto pct = static_cast<std::size_t>(state.range(0));
+  const std::size_t hostile = kHonest * pct / (100 - pct);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_hostile_fleet(kHonest, hostile).elapsed);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          kHonest);
+}
+BENCHMARK(BM_ServerSessionsHostile)
+    ->Arg(50)
+    ->Arg(95)
     ->Unit(benchmark::kMillisecond);
 
 void BM_CrpStoreMixedOps(benchmark::State& state) {

@@ -41,6 +41,13 @@
 #                               # AddressSanitizer — recovery replays
 #                               # attacker-shaped byte images, exactly
 #                               # where lifetime bugs would hide
+#   scripts/check.sh abuse      # abuse-resistance sweep: runs the ctest
+#                               # label `chaos` (flood storms, replay and
+#                               # half-open exhaustion, park/wake churn)
+#                               # under AddressSanitizer — hostile-load
+#                               # shedding and eviction juggle session
+#                               # lifetimes, exactly where use-after-free
+#                               # bugs would hide
 #   scripts/check.sh lint       # static-analysis flavor: ctlint (all
 #                               # passes, empty-baseline gate) + fixture
 #                               # self-test, bench_regress schema
@@ -186,6 +193,9 @@ for config in "${CONFIGS[@]}"; do
     durability)
       run_config address io
       ;;
+    abuse)
+      run_config address chaos
+      ;;
     reactor)
       # One TSan build tree, swept at two pool widths: the second
       # run_config call reuses the build and only re-runs ctest.
@@ -196,7 +206,7 @@ for config in "${CONFIGS[@]}"; do
       run_lint_flavor
       ;;
     *)
-      echo "unknown config '${config}' (want plain, address, undefined, native, chaos, tsan, reactor, durability, or lint)" >&2
+      echo "unknown config '${config}' (want plain, address, undefined, native, chaos, tsan, reactor, durability, abuse, or lint)" >&2
       exit 2
       ;;
   esac

@@ -1,0 +1,213 @@
+#include "core/admission_control.hpp"
+
+#include <algorithm>
+
+#include "crypto/bytes.hpp"
+#include "crypto/siphash.hpp"
+
+namespace neuropuls::core {
+
+namespace {
+
+std::size_t round_up_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+AdmissionController::AdmissionController(AdmissionConfig config)
+    : config_(config) {
+  config_.client_slots =
+      round_up_pow2(std::max<std::size_t>(kProbeWindow, config_.client_slots));
+  config_.bucket_capacity = std::max<std::uint32_t>(1, config_.bucket_capacity);
+  config_.refill_every_ticks =
+      std::max<std::uint32_t>(1, config_.refill_every_ticks);
+  config_.half_open_slots = std::max<std::size_t>(1, config_.half_open_slots);
+  config_.half_open_per_client =
+      std::max<std::size_t>(1, config_.half_open_per_client);
+  client_mask_ = config_.client_slots - 1;
+  // The whole working set is allocated here, once. Every later call path
+  // (admit, complete, note_malformed) touches only these tables — the
+  // admission fast path never allocates, which ctlint's admission-alloc
+  // pass lints and tests/chaos/test_flood.cpp probes with counted
+  // operator new.
+  clients_.resize(config_.client_slots);
+  half_open_.resize(config_.half_open_slots);
+}
+
+std::uint64_t AdmissionController::hash_client(
+    std::uint64_t client_id) const noexcept {
+  std::array<std::uint8_t, 8> bytes;
+  crypto::put_u64_be(bytes, client_id);
+  return crypto::siphash24(config_.hash_key, bytes);
+}
+
+void AdmissionController::refill(ClientSlot& slot) {
+  const std::uint64_t elapsed = now_ - slot.last_refill;
+  const std::uint64_t earned = elapsed / config_.refill_every_ticks;
+  if (earned == 0) return;
+  const std::uint64_t room = config_.bucket_capacity - slot.tokens;
+  slot.tokens += static_cast<std::uint32_t>(std::min<std::uint64_t>(earned,
+                                                                    room));
+  // Advance by whole refill periods only, so fractional ticks keep
+  // accumulating toward the next token instead of being dropped.
+  slot.last_refill += earned * config_.refill_every_ticks;
+}
+
+AdmissionController::ClientSlot& AdmissionController::bucket_for(
+    std::uint64_t tag) {
+  const std::size_t base = static_cast<std::size_t>(tag) & client_mask_;
+  ClientSlot* victim = nullptr;
+  for (std::size_t i = 0; i < kProbeWindow; ++i) {
+    ClientSlot& slot = clients_[(base + i) & client_mask_];
+    if (slot.used && slot.tag == tag) {
+      refill(slot);
+      slot.last_used = ++use_seq_;
+      return slot;
+    }
+    if (!slot.used) {
+      if (victim == nullptr || victim->used) victim = &slot;
+    } else if (victim == nullptr ||
+               (victim->used && slot.last_used < victim->last_used)) {
+      victim = &slot;
+    }
+  }
+  // Unknown client: claim the emptiest/least-recently-used slot in the
+  // window. An attacker minting ids can evict strangers' buckets (they
+  // restart full — no worse than a fresh client) but cannot grow the
+  // table by a byte.
+  if (victim->used) ++stats_.clients_evicted;
+  victim->used = true;
+  victim->tag = tag;
+  victim->tokens = config_.bucket_capacity;
+  victim->last_refill = now_;
+  victim->last_used = ++use_seq_;
+  return *victim;
+}
+
+void AdmissionController::release_slot(HalfOpenSlot& slot) {
+  stats_.charged_bytes -= slot.cost_bytes;
+  slot.used = false;
+  slot.cost_bytes = 0;
+  --open_count_;
+}
+
+void AdmissionController::advance(std::uint64_t ticks) {
+  common::MutexLock lock(admission_mutex_);
+  now_ += ticks;
+}
+
+AdmitResult AdmissionController::try_admit(std::uint64_t client_id,
+                                           std::size_t handle,
+                                           std::size_t cost_bytes) {
+  const std::uint64_t tag = hash_client(client_id);
+  common::MutexLock lock(admission_mutex_);
+  AdmitResult result;
+
+  ClientSlot& bucket = bucket_for(tag);
+  if (bucket.tokens == 0) {
+    ++stats_.shed_rate_limited;
+    result.decision = AdmitDecision::kShedRateLimited;
+    return result;
+  }
+  if (cost_bytes > config_.session_budget_bytes) {
+    ++stats_.shed_memory;
+    result.decision = AdmitDecision::kShedMemory;
+    return result;
+  }
+
+  // Half-open discipline before the global budget: an eviction frees the
+  // victim's bytes, so the budget check must see the post-eviction state.
+  HalfOpenSlot* free_slot = nullptr;
+  HalfOpenSlot* own_oldest = nullptr;
+  HalfOpenSlot* global_oldest = nullptr;
+  std::size_t own_count = 0;
+  for (HalfOpenSlot& slot : half_open_) {
+    if (!slot.used) {
+      if (free_slot == nullptr) free_slot = &slot;
+      continue;
+    }
+    if (global_oldest == nullptr || slot.admit_seq < global_oldest->admit_seq) {
+      global_oldest = &slot;
+    }
+    if (slot.client_tag == tag) {
+      ++own_count;
+      if (own_oldest == nullptr || slot.admit_seq < own_oldest->admit_seq) {
+        own_oldest = &slot;
+      }
+    }
+  }
+  HalfOpenSlot* evictee = nullptr;
+  if (own_count >= config_.half_open_per_client) {
+    // A client at its cap pays with its own oldest session — it cannot
+    // pin table slots by opening faster than it finishes.
+    evictee = own_oldest;
+  } else if (free_slot == nullptr) {
+    evictee = global_oldest;  // table full: the globally oldest goes
+  }
+  const std::size_t charged_after_eviction =
+      stats_.charged_bytes - (evictee ? evictee->cost_bytes : 0);
+  if (cost_bytes > config_.global_budget_bytes - charged_after_eviction) {
+    ++stats_.shed_memory;
+    result.decision = AdmitDecision::kShedMemory;
+    return result;
+  }
+
+  if (evictee != nullptr) {
+    result.evicted = true;
+    result.evicted_handle = evictee->handle;
+    ++stats_.evicted_half_open;
+    release_slot(*evictee);
+    free_slot = evictee;
+  }
+
+  --bucket.tokens;
+  free_slot->used = true;
+  free_slot->client_tag = tag;
+  free_slot->handle = handle;
+  free_slot->admit_seq = ++admit_seq_;
+  free_slot->cost_bytes = cost_bytes;
+  ++open_count_;
+  stats_.charged_bytes += cost_bytes;
+  stats_.peak_charged_bytes =
+      std::max(stats_.peak_charged_bytes, stats_.charged_bytes);
+  ++stats_.admitted;
+  result.decision = AdmitDecision::kAdmitted;
+  return result;
+}
+
+void AdmissionController::complete(std::size_t handle) {
+  common::MutexLock lock(admission_mutex_);
+  for (HalfOpenSlot& slot : half_open_) {
+    if (slot.used && slot.handle == handle) {
+      release_slot(slot);
+      return;
+    }
+  }
+  // Not found: already evicted or completed — complete() is idempotent.
+}
+
+void AdmissionController::note_malformed(std::uint64_t client_id,
+                                         std::uint64_t frames) {
+  if (frames == 0) return;
+  const std::uint64_t tag = hash_client(client_id);
+  common::MutexLock lock(admission_mutex_);
+  ClientSlot& bucket = bucket_for(tag);
+  const std::uint64_t cost =
+      frames * static_cast<std::uint64_t>(config_.malformed_token_cost);
+  bucket.tokens = cost >= bucket.tokens
+                      ? 0
+                      : bucket.tokens - static_cast<std::uint32_t>(cost);
+  stats_.malformed += frames;
+}
+
+AdmissionStats AdmissionController::stats() const {
+  common::MutexLock lock(admission_mutex_);
+  AdmissionStats snapshot = stats_;
+  snapshot.half_open = open_count_;
+  return snapshot;
+}
+
+}  // namespace neuropuls::core

@@ -157,8 +157,11 @@ std::optional<net::Message> EkeParty::confirm(
 }
 
 bool EkeParty::finalize(const net::Message& client_confirm) {
+  // Exact-length check before any HMAC work: a flooded responder must not
+  // spend a keyed hash on a frame that cannot possibly verify.
   if (client_confirm.type != net::MessageType::kEkeClientConfirm ||
-      client_confirm.session_id != session_id_ || session_key_.empty()) {
+      client_confirm.session_id != session_id_ || session_key_.empty() ||
+      client_confirm.payload.size() != kMacLen) {
     return false;
   }
   const crypto::Bytes expected = crypto::hmac_sha256(

@@ -58,6 +58,15 @@ std::optional<net::Message> AuthDevice::handle_request(
     return std::nullopt;
   }
   const std::uint64_t nonce = crypto::get_u64_be(request.payload);
+
+  // Replayed request for the in-flight session: answer from the wire cache.
+  // The response is deterministic given (r_i, sid, nonce), so this changes
+  // no transcript bytes — it only stops a request flood from driving one
+  // PUF evaluation (and one derived CRP) per replayed frame.
+  if (cached_response_ && pending_challenge_ &&
+      request.session_id == active_session_ && nonce == cached_nonce_) {
+    return *cached_response_;
+  }
   active_session_ = request.session_id;
 
   // Fresh CRP derived from the current secret. r_{i+1} is born straight
@@ -83,8 +92,11 @@ std::optional<net::Message> AuthDevice::handle_request(
   pending_challenge_ = std::move(next_chal);
   pending_response_ = std::move(next_resp);
 
-  return net::Message{net::MessageType::kAuthResponse, active_session_,
-                      std::move(m)};
+  net::Message response{net::MessageType::kAuthResponse, active_session_,
+                        std::move(m)};
+  cached_response_ = response;
+  cached_nonce_ = nonce;
+  return response;
 }
 
 AuthStatus AuthDevice::handle_confirm(const net::Message& confirm) {
@@ -103,6 +115,7 @@ AuthStatus AuthDevice::handle_confirm(const net::Message& confirm) {
   // Move-assignment wipes the superseded r_i before installing r_{i+1}.
   current_response_ = std::move(pending_response_);
   pending_challenge_.reset();
+  cached_response_.reset();
   ++sessions_;
   return AuthStatus::kOk;
 }
@@ -122,6 +135,7 @@ net::Message AuthVerifier::start(std::uint64_t session_id,
                                  std::uint64_t nonce) {
   active_session_ = session_id;
   nonce_ = nonce;
+  session_complete_ = false;
   crypto::Bytes payload(8);
   crypto::put_u64_be(payload, nonce);
   return net::Message{net::MessageType::kAuthRequest, session_id,
@@ -195,8 +209,19 @@ AuthVerifier::Outcome AuthVerifier::process_response(
     outcome.status = AuthStatus::kBadSession;
     return outcome;
   }
+  // Replay latch: the active session already rotated. Reject before any
+  // MAC computation — the fallback secret would otherwise re-verify a
+  // byte-identical replay of the response that just authenticated, and
+  // each accepted replay costs a full rotation (a fresh derived CRP).
+  if (session_complete_) {
+    outcome.status = AuthStatus::kReplayed;
+    return outcome;
+  }
   outcome = try_secret(response, secret_.reveal());
-  if (outcome.status == AuthStatus::kOk) return outcome;
+  if (outcome.status == AuthStatus::kOk) {
+    session_complete_ = true;
+    return outcome;
+  }
 
   // Desync recovery: the device may still hold the pre-rotation secret
   // (our confirm of the previous session was lost). Accept exactly one
@@ -204,6 +229,7 @@ AuthVerifier::Outcome AuthVerifier::process_response(
   if (!fallback_.empty()) {
     Outcome fallback_outcome = try_secret(response, fallback_.reveal());
     if (fallback_outcome.status == AuthStatus::kOk) {
+      session_complete_ = true;
       return fallback_outcome;
     }
   }

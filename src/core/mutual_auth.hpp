@@ -54,6 +54,10 @@ enum class AuthStatus {
   kBadMac,
   kBadSession,
   kMalformed,
+  // A re-sent response for a session that already authenticated. Rejected
+  // before any MAC work or secret rotation: a replay storm burns the
+  // attacker's rate-limit tokens, never a fresh CRP.
+  kReplayed,
 };
 
 /// Shared provisioning record created at manufacturing time: the first CRP.
@@ -99,6 +103,11 @@ class AuthDevice {
   std::uint64_t clock_count_ = 0;
   std::uint64_t sessions_ = 0;
   std::uint64_t active_session_ = 0;
+  // Wire copy of the in-flight response: a byte-identical re-sent request
+  // (replay, or a verifier retry after a lost frame) gets this back verbatim
+  // instead of burning a fresh PUF evaluation per replayed frame.
+  std::optional<net::Message> cached_response_;
+  std::uint64_t cached_nonce_ = 0;
 };
 
 /// Verifier-side endpoint. Stores one response (plus a one-deep fallback).
@@ -138,6 +147,11 @@ class AuthVerifier {
   std::uint64_t active_session_ = 0;
   std::uint64_t nonce_ = 0;
   std::uint64_t sessions_ = 0;
+  // Set once the active session authenticates. A second acceptable-looking
+  // response for the same session is a replay: without this latch the
+  // fallback secret (== the secret that just authenticated) would verify
+  // the replayed MAC and rotate the stored secret a second time.
+  bool session_complete_ = false;
 };
 
 /// Persists a provisioned CRP for device NVM / verifier database.

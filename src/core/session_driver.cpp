@@ -116,12 +116,33 @@ bool SessionMachine::step() {
 
       case Mode::kExpect: {
         bool matched = false;
+        std::size_t discards_this_step = 0;
         while (auto frame = channel_.receive(expect_direction_)) {
           if (frame->type != expect_type_ || frame->session_id != sid_) {
             // Duplicate, stale-attempt, or type-corrupted frame: skip it.
-            // This cannot loop unboundedly — each discard consumes a
-            // queued frame, and only polls (bounded below) enqueue more.
+            // Each discard consumes a queued frame, and the per-step
+            // budget below yields to the scheduler under a flood — a
+            // hostile inbox can cost us steps, never an unbounded one.
             ++report_.discarded_frames;
+            if (policy_.max_discards_per_step != 0 &&
+                ++discards_this_step >= policy_.max_discards_per_step) {
+              // Yield without polling: the remaining frames are handled
+              // on the next step, so transcripts are byte-identical to
+              // an unbudgeted run.
+              return true;
+            }
+            continue;
+          }
+          if (policy_.max_frame_bytes != 0 &&
+              frame->payload.size() > policy_.max_frame_bytes) {
+            // Matches the expectation but cannot be legitimate: reject on
+            // length alone, before any parse or MAC code touches it.
+            ++report_.discarded_frames;
+            ++report_.malformed_frames;
+            if (policy_.max_discards_per_step != 0 &&
+                ++discards_this_step >= policy_.max_discards_per_step) {
+              return true;
+            }
             continue;
           }
           matched = true;
@@ -133,6 +154,9 @@ bool SessionMachine::step() {
               mode_ = Mode::kDone;
               break;
             case FrameOutcome::kFailAttempt:
+              // The frame parsed as ours but failed protocol checks —
+              // corruption or hostility either way.
+              ++report_.malformed_frames;
               fail_attempt();
               break;
           }

@@ -56,11 +56,24 @@ struct RetryPolicy {
   std::size_t backoff_max_polls = 32;
   /// Seeds the driver DRBG (nonces + backoff jitter).
   std::uint64_t seed = 1;
+  /// Stale/duplicate frames one step may discard before yielding back to
+  /// the scheduler — bounds per-step work under a frame flood so one
+  /// hostile session cannot monopolise a worker. The budget only defers
+  /// the remaining discards to the next step, so transcripts are
+  /// unchanged; 0 = unbounded (the historical behavior).
+  std::size_t max_discards_per_step = 32;
+  /// Frames with a larger payload are discarded (and counted as
+  /// malformed) before the protocol's on_frame parse code ever runs.
+  /// Generous default: every legitimate frame in this stack is < 4 KiB.
+  /// 0 = unlimited.
+  std::size_t max_frame_bytes = 1 << 16;
 };
 
 enum class SessionResult {
   kConverged,  // both parties completed and agree
   kExhausted,  // retry budget spent without convergence
+  kShed,       // rejected by admission control before any protocol work
+  kEvicted,    // killed half-open by admission control's eviction policy
 };
 
 /// DRBG seed bytes of a session-driver stream ("np-session-driver" ||
@@ -75,6 +88,11 @@ struct SessionReport {
   std::uint64_t poll_ticks = 0;    // polls burned waiting on receives
   std::uint64_t backoff_ticks = 0;  // polls burned backing off
   std::uint64_t discarded_frames = 0;  // stale/wrong-type frames skipped
+  /// Frames that matched the expected (direction, type, sid) but were
+  /// oversized or failed protocol processing — the sender either garbled
+  /// a frame or is attacking; an admission controller charges these
+  /// against the client's rate bucket.
+  std::uint64_t malformed_frames = 0;
   /// Last verifier-side status of a failed mutual-auth attempt (kOk when
   /// the session converged; meaningless for EKE).
   AuthStatus last_auth_status = AuthStatus::kOk;

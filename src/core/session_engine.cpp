@@ -20,8 +20,17 @@ struct SessionEngine::Session {
       : rng(session_driver_seed_bytes(seed)) {}
 
   crypto::ChaChaDrbg rng;
+  /// Deferred construction: held from submit() until the session passes
+  /// admission, so a shed session costs a control record and nothing else.
+  MachineFactory build;
   std::unique_ptr<SessionMachine> machine;
   std::size_t index = 0;
+  std::uint64_t client_id = 0;
+  std::size_t cost_bytes = 0;
+  /// Set by the admission controller's half-open eviction (possibly from
+  /// a worker stepping a different session); the owner observes it at the
+  /// next pickup and retires the session as kEvicted instead of stepping.
+  std::atomic<bool> evicted{false};
 
   enum class SState : std::uint8_t { kRunnable, kParked };
   SState sstate = SState::kRunnable;
@@ -171,7 +180,11 @@ struct SessionEngine::Reactor {
         remaining(all_in.size()) {
     queues.reserve(width);
     scratch.resize(width);
-    const std::size_t capacity = engine.config_.max_in_flight + 1;
+    // Eviction lets a freshly admitted session coexist briefly with its
+    // not-yet-retired victim, so the runnable population can exceed
+    // max_in_flight; double the headroom rather than reason about the
+    // exact transient.
+    const std::size_t capacity = engine.config_.max_in_flight * 2 + 2;
     for (std::size_t w = 0; w < width; ++w) {
       queues.push_back(std::make_unique<common::StealDeque>(capacity));
       scratch[w].reserve(engine.config_.max_in_flight);
@@ -210,6 +223,11 @@ struct SessionEngine::Reactor {
   std::atomic<std::size_t> peak_depth{0};
   std::atomic<std::size_t> completed{0};
   std::atomic<std::size_t> converged{0};
+  std::atomic<std::uint64_t> admitted{0};
+  std::atomic<std::uint64_t> shed_rate_limited{0};
+  std::atomic<std::uint64_t> shed_memory{0};
+  std::atomic<std::uint64_t> evicted_half_open{0};
+  std::atomic<std::uint64_t> malformed{0};
 
   void attach(Session* s) {
     s->machine->channel().set_wakeup_hook(
@@ -222,7 +240,8 @@ struct SessionEngine::Reactor {
   void detach_all() {
     common::MutexLock lock(admit_mutex);
     for (std::size_t i = 0; i < next_admit; ++i) {
-      all[i]->machine->channel().set_wakeup_hook(nullptr);
+      // Shed sessions never built a machine (reject-before-alloc).
+      if (all[i]->machine) all[i]->machine->channel().set_wakeup_hook(nullptr);
     }
   }
 
@@ -285,24 +304,83 @@ struct SessionEngine::Reactor {
     return true;
   }
 
-  void admit_one(std::size_t w) {
-    Session* s = nullptr;
-    {
-      common::MutexLock lock(admit_mutex);
-      if (next_admit >= all.size()) return;
-      s = all[next_admit++];
+  /// Retires a session the controller shed at the gate: no machine was
+  /// ever built, the report records only the decision.
+  void finish_shed(Session* s, AdmitDecision decision) {
+    SessionReport report;
+    report.result = SessionResult::kShed;
+    reports[s->index] = report;
+    completed.fetch_add(1, std::memory_order_relaxed);
+    if (decision == AdmitDecision::kShedRateLimited) {
+      shed_rate_limited.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      shed_memory.fetch_add(1, std::memory_order_relaxed);
     }
-    attach(s);
-    push_runnable(w, s);
+    if (engine.config_.on_complete) engine.config_.on_complete(s->index);
+    if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      lot.close();
+    }
+  }
+
+  /// Marks the half-open victim of an eviction and wakes it so whichever
+  /// worker picks it up next retires it instead of stepping it.
+  void evict(std::size_t handle) {
+    Session* victim = all[handle];
+    victim->evicted.store(true, std::memory_order_release);
+    evicted_half_open.fetch_add(1, std::memory_order_relaxed);
+    wake(victim);
+  }
+
+  void admit_one(std::size_t w) {
+    // Loops because a shed session frees no capacity: keep consuming the
+    // pending queue until one session is actually admitted (or it's empty).
+    for (;;) {
+      Session* s = nullptr;
+      {
+        common::MutexLock lock(admit_mutex);
+        if (next_admit >= all.size()) return;
+        s = all[next_admit++];
+      }
+      AdmissionController* ctl = engine.config_.admission;
+      if (ctl != nullptr) {
+        const AdmitResult verdict =
+            ctl->try_admit(s->client_id, s->index, s->cost_bytes);
+        if (verdict.decision != AdmitDecision::kAdmitted) {
+          finish_shed(s, verdict.decision);
+          continue;
+        }
+        admitted.fetch_add(1, std::memory_order_relaxed);
+        if (verdict.evicted) evict(verdict.evicted_handle);
+      }
+      // Reject-before-alloc: the machine (channel buffers, endpoints'
+      // working state) is built only after admission charged its cost.
+      s->machine = s->build(s->rng);
+      attach(s);
+      push_runnable(w, s);
+      return;
+    }
   }
 
   void retire(std::size_t w, Session* s) {
     s->machine->channel().set_wakeup_hook(nullptr);
-    const SessionReport& report = s->machine->report();
+    SessionReport report = s->machine->report();
+    if (s->evicted.load(std::memory_order_acquire)) {
+      report.result = SessionResult::kEvicted;
+    }
     reports[s->index] = report;
     completed.fetch_add(1, std::memory_order_relaxed);
     if (report.result == SessionResult::kConverged) {
       converged.fetch_add(1, std::memory_order_relaxed);
+    }
+    malformed.fetch_add(report.malformed_frames, std::memory_order_relaxed);
+    AdmissionController* ctl = engine.config_.admission;
+    if (ctl != nullptr) {
+      // complete() is idempotent, so an evicted session (whose slot the
+      // controller already released) double-releases nothing.
+      ctl->complete(s->index);
+      if (report.malformed_frames > 0) {
+        ctl->note_malformed(s->client_id, report.malformed_frames);
+      }
     }
     if (engine.config_.on_complete) engine.config_.on_complete(s->index);
     admit_one(w);
@@ -315,6 +393,11 @@ struct SessionEngine::Reactor {
     if (s->stepping.exchange(true, std::memory_order_acquire)) {
       throw std::logic_error(
           "SessionEngine: session stepped by two workers at once");
+    }
+    if (s->evicted.load(std::memory_order_acquire)) {
+      s->stepping.store(false, std::memory_order_release);
+      retire(w, s);  // killed half-open: never stepped again
+      return;
     }
     tl_current_session = s;
     std::uint64_t executed = 0;
@@ -382,11 +465,14 @@ SessionEngine::SessionEngine(common::ThreadPool& pool,
 SessionEngine::~SessionEngine() = default;
 
 std::size_t SessionEngine::submit(std::uint64_t seed,
-                                  const MachineFactory& build) {
+                                  const MachineFactory& build,
+                                  SubmitOptions options) {
   Session* session = arena_.create<Session>(seed);
   const std::size_t index = submitted_++;
   session->index = index;
-  session->machine = build(session->rng);
+  session->build = build;
+  session->client_id = options.client_id;
+  session->cost_bytes = options.cost_bytes;
   pending_.push_back(session);
   return index;
 }
@@ -476,6 +562,13 @@ void SessionEngine::run_reactor(std::vector<Session*>& queue,
   stats_.peak_queue_depth = std::max(
       stats_.peak_queue_depth,
       reactor.peak_depth.load(std::memory_order_relaxed));
+  stats_.admitted += reactor.admitted.load(std::memory_order_relaxed);
+  stats_.shed_rate_limited +=
+      reactor.shed_rate_limited.load(std::memory_order_relaxed);
+  stats_.shed_memory += reactor.shed_memory.load(std::memory_order_relaxed);
+  stats_.evicted_half_open +=
+      reactor.evicted_half_open.load(std::memory_order_relaxed);
+  stats_.malformed += reactor.malformed.load(std::memory_order_relaxed);
 }
 
 void SessionEngine::run_waves(std::vector<Session*>& queue,
@@ -483,15 +576,57 @@ void SessionEngine::run_waves(std::vector<Session*>& queue,
   std::vector<Session*> active;
   active.reserve(std::min(config_.max_in_flight, queue.size()));
   std::size_t next = 0;
+  AdmissionController* ctl = config_.admission;
+
+  // Everything here runs between waves on the submitting thread, so the
+  // admission bookkeeping needs no synchronization beyond the
+  // controller's own lock.
+  const auto finish = [&](Session* session, SessionReport report) {
+    reports[session->index] = report;
+    ++stats_.completed;
+    if (report.result == SessionResult::kConverged) ++stats_.converged;
+    stats_.malformed += report.malformed_frames;
+    if (ctl != nullptr && session->machine) {
+      ctl->complete(session->index);
+      if (report.malformed_frames > 0) {
+        ctl->note_malformed(session->client_id, report.malformed_frames);
+      }
+    }
+    if (config_.on_complete) config_.on_complete(session->index);
+  };
 
   while (next < queue.size() || !active.empty()) {
     while (active.size() < config_.max_in_flight && next < queue.size()) {
-      active.push_back(queue[next]);
+      Session* session = queue[next];
       ++next;
+      if (ctl != nullptr) {
+        const AdmitResult verdict = ctl->try_admit(
+            session->client_id, session->index, session->cost_bytes);
+        if (verdict.decision != AdmitDecision::kAdmitted) {
+          SessionReport report;
+          report.result = SessionResult::kShed;
+          if (verdict.decision == AdmitDecision::kShedRateLimited) {
+            ++stats_.shed_rate_limited;
+          } else {
+            ++stats_.shed_memory;
+          }
+          finish(session, report);
+          continue;
+        }
+        ++stats_.admitted;
+        if (verdict.evicted) {
+          queue[verdict.evicted_handle]->evicted.store(
+              true, std::memory_order_release);
+          ++stats_.evicted_half_open;
+        }
+      }
+      session->machine = session->build(session->rng);
+      active.push_back(session);
     }
 
     ++stats_.waves;
     pool_.parallel_for(active.size(), [&](std::size_t i) {
+      if (active[i]->evicted.load(std::memory_order_acquire)) return;
       SessionMachine& machine = *active[i]->machine;
       for (std::size_t k = 0; k < config_.steps_per_wave && !machine.done();
            ++k) {
@@ -503,12 +638,12 @@ void SessionEngine::run_waves(std::vector<Session*>& queue,
     // refill from the queue on the next wave.
     std::size_t keep = 0;
     for (Session* session : active) {
-      if (session->machine->done()) {
-        const SessionReport& report = session->machine->report();
-        reports[session->index] = report;
-        ++stats_.completed;
-        if (report.result == SessionResult::kConverged) ++stats_.converged;
-        if (config_.on_complete) config_.on_complete(session->index);
+      if (session->evicted.load(std::memory_order_acquire)) {
+        SessionReport report = session->machine->report();
+        report.result = SessionResult::kEvicted;
+        finish(session, report);
+      } else if (session->machine->done()) {
+        finish(session, session->machine->report());
       } else {
         active[keep++] = session;
       }

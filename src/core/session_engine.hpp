@@ -50,6 +50,7 @@
 #include "common/mutex.hpp"
 #include "common/parallel.hpp"
 #include "common/thread_annotations.hpp"
+#include "core/admission_control.hpp"
 #include "core/session_driver.hpp"
 #include "crypto/chacha20.hpp"
 
@@ -81,6 +82,22 @@ struct SessionEngineConfig {
   /// thread-safe; used by bench_server to measure completion-latency
   /// percentiles. May be empty.
   std::function<void(std::size_t)> on_complete;
+  /// Optional admission controller consulted *before* a session's machine
+  /// is built (reject-before-alloc). Shed sessions retire immediately
+  /// with SessionResult::kShed; half-open victims it evicts retire with
+  /// kEvicted. Borrowed — must outlive run(). nullptr = admit everything
+  /// (the historical behavior, and what every determinism suite uses).
+  AdmissionController* admission = nullptr;
+};
+
+/// Per-session admission identity, passed at submit(). Defaults model a
+/// single well-behaved client with a free session (which the default
+/// null controller admits unconditionally).
+struct SubmitOptions {
+  /// Client the session belongs to (rate bucket + half-open cap key).
+  std::uint64_t client_id = 0;
+  /// Bytes charged against the memory budgets while half-open.
+  std::size_t cost_bytes = 0;
 };
 
 struct SessionEngineStats {
@@ -103,6 +120,15 @@ struct SessionEngineStats {
   std::uint64_t worker_parks = 0;
   /// Reactor: deepest run queue observed (scheduling-pressure signal).
   std::size_t peak_queue_depth = 0;
+  /// Admission (zero when no controller is configured): sessions the
+  /// controller let in / shed at the gate / killed half-open.
+  std::uint64_t admitted = 0;
+  std::uint64_t shed_rate_limited = 0;
+  std::uint64_t shed_memory = 0;
+  std::uint64_t evicted_half_open = 0;
+  /// Malformed/oversized frames reported by retired sessions (charged to
+  /// their client's bucket when a controller is configured).
+  std::uint64_t malformed = 0;
 };
 
 /// Runs submitted sessions to completion across a borrowed thread pool.
@@ -123,8 +149,11 @@ class SessionEngine {
   ~SessionEngine();
 
   /// Queues one session; returns its submission index (the slot of its
-  /// report in run()'s result).
-  std::size_t submit(std::uint64_t seed, const MachineFactory& build);
+  /// report in run()'s result). The factory runs at *admission* time, not
+  /// here — with an AdmissionController configured, a shed session never
+  /// builds its machine (reject-before-alloc).
+  std::size_t submit(std::uint64_t seed, const MachineFactory& build,
+                     SubmitOptions options = {});
 
   /// Runs every queued session to completion. Reports are returned in
   /// submission order; stats() accumulates across calls.

@@ -2,22 +2,52 @@
 
 namespace neuropuls::net {
 
+void DuplexChannel::record(Direction direction, Message message,
+                           bool delivered) {
+  if (limits_.max_transcript_frames != 0 &&
+      transcript_.size() >= limits_.max_transcript_frames) {
+    ++shed_for(direction).transcript_truncated;
+    return;
+  }
+  transcript_.push_back({direction, std::move(message), delivered});
+}
+
+bool DuplexChannel::admit_frame(Direction direction, Message& message) {
+  // Size first: an oversized frame is rejected before it occupies any
+  // queue slot, so the receiver's parse code never sees it and the only
+  // memory it ever held is the sender's own buffer.
+  if (limits_.max_frame_bytes != 0 &&
+      message.payload.size() > limits_.max_frame_bytes) {
+    ++shed_for(direction).dropped_oversized;
+    record(direction, std::move(message), false);
+    return false;
+  }
+  if (limits_.max_inbox_frames != 0 &&
+      queue_for(direction).size() >= limits_.max_inbox_frames) {
+    ++shed_for(direction).dropped_overflow;
+    record(direction, std::move(message), false);
+    return false;
+  }
+  return true;
+}
+
 void DuplexChannel::send(Direction direction, Message message) {
   if (adversary_) {
     const Verdict verdict = adversary_(direction, message);
     switch (verdict.action) {
       case Verdict::Action::kDrop:
-        transcript_.push_back({direction, std::move(message), false});
+        record(direction, std::move(message), false);
         return;
       case Verdict::Action::kReplace:
-        transcript_.push_back({direction, message, false});
+        record(direction, message, false);
         message = verdict.replacement;
         break;
       case Verdict::Action::kPass:
         break;
     }
   }
-  transcript_.push_back({direction, message, true});
+  if (!admit_frame(direction, message)) return;
+  record(direction, message, true);
   queue_for(direction).push_back(std::move(message));
   notify_arrival(direction);
 }
@@ -49,7 +79,10 @@ std::optional<Message> DuplexChannel::receive_with_budget(
 }
 
 void DuplexChannel::inject(Direction direction, Message message) {
-  transcript_.push_back({direction, message, true});
+  // The limits rule injected frames too: replaying a recorded frame must
+  // not bypass the inbox bound a flood is pressing against.
+  if (!admit_frame(direction, message)) return;
+  record(direction, message, true);
   queue_for(direction).push_back(std::move(message));
   notify_arrival(direction);
 }

@@ -53,6 +53,33 @@ struct TranscriptEntry {
   bool delivered;  // false when the adversary dropped it
 };
 
+/// Resource limits a network-facing endpoint imposes on the channel. The
+/// defaults (all zero) mean "unbounded" — exactly the historical
+/// behavior, so determinism suites that serialize transcripts are
+/// unaffected unless a limit is configured.
+struct ChannelLimits {
+  /// Frames with a payload larger than this are dropped at send()/
+  /// inject() time — before they ever occupy a queue and long before any
+  /// parse code sees them. 0 = unlimited.
+  std::size_t max_frame_bytes = 0;
+  /// Per-direction inbox capacity: a sender whose receiver never polls
+  /// cannot grow the queue without bound — a full inbox drops the frame
+  /// (with a stat) instead of allocating. 0 = unlimited.
+  std::size_t max_inbox_frames = 0;
+  /// Transcript entries recorded before further traffic is only counted,
+  /// not stored — a flood must not turn the debugging transcript into an
+  /// allocation amplifier. 0 = unlimited.
+  std::size_t max_transcript_frames = 0;
+};
+
+/// Shed/overflow counters, per direction. These are the channel's abuse
+/// signal: a verifier charges them to the sending client's rate bucket.
+struct ChannelShedStats {
+  std::uint64_t dropped_oversized = 0;  // payload > max_frame_bytes
+  std::uint64_t dropped_overflow = 0;   // inbox at max_inbox_frames
+  std::uint64_t transcript_truncated = 0;
+};
+
 /// Duplex channel between endpoints A (verifier) and B (device).
 ///
 /// Threading contract: the queues, transcript, adversary, and poll hook
@@ -66,6 +93,17 @@ struct TranscriptEntry {
 class DuplexChannel {
  public:
   DuplexChannel() = default;
+  explicit DuplexChannel(ChannelLimits limits) : limits_(limits) {}
+
+  /// Installs (or replaces) the resource limits. Owned by the receiving
+  /// endpoint; call before traffic flows (limits are not synchronized).
+  void set_limits(ChannelLimits limits) { limits_ = limits; }
+  const ChannelLimits& limits() const noexcept { return limits_; }
+
+  /// Shed counters for frames travelling in `direction`.
+  const ChannelShedStats& shed_stats(Direction direction) const noexcept {
+    return direction == Direction::kAtoB ? shed_ab_ : shed_ba_;
+  }
 
   /// Installs (or clears, with nullptr) the adversary hook.
   void set_adversary(Adversary adversary) {
@@ -135,8 +173,21 @@ class DuplexChannel {
     return direction == Direction::kAtoB ? a_to_b_ : b_to_a_;
   }
 
+  ChannelShedStats& shed_for(Direction direction) noexcept {
+    return direction == Direction::kAtoB ? shed_ab_ : shed_ba_;
+  }
+
   /// Fires the wakeup hook for a frame that just landed.
   void notify_arrival(Direction direction) NP_EXCLUDES(hook_mutex_);
+
+  /// Records a transcript entry unless the transcript cap is reached
+  /// (then only counts it).
+  void record(Direction direction, Message message, bool delivered);
+
+  /// Applies the limits to a frame about to enqueue. Returns true when
+  /// the frame may be admitted; false means it was shed (recorded
+  /// undelivered, stat bumped).
+  bool admit_frame(Direction direction, Message& message);
 
   std::deque<Message> a_to_b_;
   std::deque<Message> b_to_a_;
@@ -145,6 +196,9 @@ class DuplexChannel {
   mutable common::Mutex hook_mutex_;
   WakeupHook wakeup_hook_ NP_GUARDED_BY(hook_mutex_);
   std::vector<TranscriptEntry> transcript_;
+  ChannelLimits limits_;
+  ChannelShedStats shed_ab_;
+  ChannelShedStats shed_ba_;
 };
 
 }  // namespace neuropuls::net

@@ -95,6 +95,56 @@ TEST(MutualAuth, ReplayedResponseRejected) {
   EXPECT_NE(outcome.status, AuthStatus::kOk);
 }
 
+TEST(MutualAuth, ReplayedResponseBurnsNoFreshCrp) {
+  // Regression (abuse-resistance PR): a re-sent stale challenge response
+  // must be rejected cheaply — no second rotation, no session recount —
+  // so a replay storm costs the attacker rate-limit tokens, never fresh
+  // CRP/PUF material on the verifier side.
+  Harness s = make_harness();
+  const auto request = s.verifier->start(1, 0xAB);
+  const auto response = s.device->handle_request(request);
+  ASSERT_TRUE(response.has_value());
+  const auto first = s.verifier->process_response(*response);
+  ASSERT_EQ(first.status, AuthStatus::kOk);
+  ASSERT_EQ(s.verifier->completed_sessions(), 1u);
+
+  // Byte-identical replay of the response that just authenticated. The
+  // one-deep fallback secret could re-verify its MAC — the replay latch
+  // must reject before any MAC work.
+  for (int storm = 0; storm < 5; ++storm) {
+    const auto replay = s.verifier->process_response(*response);
+    EXPECT_EQ(replay.status, AuthStatus::kReplayed);
+    EXPECT_FALSE(replay.confirm.has_value());
+  }
+  EXPECT_EQ(s.verifier->completed_sessions(), 1u);  // not double-counted
+
+  // A fresh session still works: the latch clears on start().
+  ASSERT_TRUE(s.device->handle_confirm(*first.confirm) == AuthStatus::kOk);
+  EXPECT_TRUE(run_auth_session(*s.verifier, *s.device, *s.channel, 2, 0xCD));
+}
+
+TEST(MutualAuth, ReplayedRequestBurnsNoPufEvaluation) {
+  // Device side of the same discipline: a replayed (or retried) auth
+  // request for the in-flight session is answered from the wire cache —
+  // byte-identical — instead of evaluating the PUF and deriving a fresh
+  // candidate CRP per replayed frame.
+  Harness s = make_harness();
+  const auto request = s.verifier->start(1, 0x77);
+  const auto response = s.device->handle_request(request);
+  ASSERT_TRUE(response.has_value());
+  for (int storm = 0; storm < 5; ++storm) {
+    const auto again = s.device->handle_request(request);
+    ASSERT_TRUE(again.has_value());
+    EXPECT_EQ(again->payload, response->payload);
+    EXPECT_EQ(again->session_id, response->session_id);
+  }
+  // The pending CRP is unchanged, so the handshake still completes.
+  const auto outcome = s.verifier->process_response(*response);
+  ASSERT_EQ(outcome.status, AuthStatus::kOk);
+  EXPECT_EQ(s.device->handle_confirm(*outcome.confirm), AuthStatus::kOk);
+  EXPECT_EQ(s.device->completed_sessions(), 1u);
+}
+
 TEST(MutualAuth, TamperedResponseRejected) {
   Harness s = make_harness();
   s.channel->set_adversary([](net::Direction d, const net::Message& m) {

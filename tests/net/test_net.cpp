@@ -100,5 +100,74 @@ TEST(Channel, TranscriptRecordsEverything) {
   EXPECT_EQ(channel.transcript()[1].direction, Direction::kBtoA);
 }
 
+TEST(ChannelLimits, FullInboxDropsWithStatInsteadOfGrowing) {
+  ChannelLimits limits;
+  limits.max_inbox_frames = 2;
+  DuplexChannel channel(limits);
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    channel.send(Direction::kAtoB, {MessageType::kData, i, {}});
+  }
+  EXPECT_EQ(channel.pending(Direction::kAtoB), 2u);
+  EXPECT_EQ(channel.shed_stats(Direction::kAtoB).dropped_overflow, 3u);
+  // The shed frames are still visible in the transcript, as undelivered.
+  ASSERT_EQ(channel.transcript().size(), 5u);
+  EXPECT_TRUE(channel.transcript()[1].delivered);
+  EXPECT_FALSE(channel.transcript()[4].delivered);
+  // Draining the inbox re-opens capacity for new traffic.
+  ASSERT_TRUE(channel.receive(Direction::kAtoB).has_value());
+  channel.send(Direction::kAtoB, {MessageType::kData, 9, {}});
+  EXPECT_EQ(channel.pending(Direction::kAtoB), 2u);
+  EXPECT_EQ(channel.shed_stats(Direction::kAtoB).dropped_overflow, 3u);
+}
+
+TEST(ChannelLimits, OversizedFrameNeverEnqueues) {
+  ChannelLimits limits;
+  limits.max_frame_bytes = 16;
+  DuplexChannel channel(limits);
+  channel.send(Direction::kBtoA, {MessageType::kData, 1, crypto::Bytes(17, 0xFF)});
+  EXPECT_FALSE(channel.readable(Direction::kBtoA));
+  EXPECT_EQ(channel.shed_stats(Direction::kBtoA).dropped_oversized, 1u);
+  channel.send(Direction::kBtoA, {MessageType::kData, 2, crypto::Bytes(16, 0x01)});
+  EXPECT_TRUE(channel.readable(Direction::kBtoA));
+}
+
+TEST(ChannelLimits, ShedFramesFireNoWakeup) {
+  ChannelLimits limits;
+  limits.max_inbox_frames = 1;
+  limits.max_frame_bytes = 8;
+  DuplexChannel channel(limits);
+  int wakeups = 0;
+  channel.set_wakeup_hook([&](Direction) { ++wakeups; });
+  channel.send(Direction::kAtoB, {MessageType::kData, 1, {}});       // lands
+  channel.send(Direction::kAtoB, {MessageType::kData, 2, {}});       // overflow
+  channel.inject(Direction::kAtoB, {MessageType::kData, 3, {}});     // overflow
+  channel.send(Direction::kBtoA, {MessageType::kData, 4, crypto::Bytes(9, 0)});
+  EXPECT_EQ(wakeups, 1);  // a parked receiver must not wake for shed frames
+  channel.set_wakeup_hook(nullptr);
+}
+
+TEST(ChannelLimits, TranscriptCapCountsInsteadOfStoring) {
+  ChannelLimits limits;
+  limits.max_transcript_frames = 3;
+  DuplexChannel channel(limits);
+  for (std::uint64_t i = 0; i < 6; ++i) {
+    channel.send(Direction::kAtoB, {MessageType::kData, i, {}});
+  }
+  EXPECT_EQ(channel.transcript().size(), 3u);
+  EXPECT_EQ(channel.shed_stats(Direction::kAtoB).transcript_truncated, 3u);
+  // Delivery is unaffected: all six frames are still readable.
+  EXPECT_EQ(channel.pending(Direction::kAtoB), 6u);
+}
+
+TEST(ChannelLimits, DefaultsAreUnbounded) {
+  DuplexChannel channel;
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    channel.send(Direction::kAtoB, {MessageType::kData, i, crypto::Bytes(64, 1)});
+  }
+  EXPECT_EQ(channel.pending(Direction::kAtoB), 100u);
+  EXPECT_EQ(channel.shed_stats(Direction::kAtoB).dropped_overflow, 0u);
+  EXPECT_EQ(channel.shed_stats(Direction::kAtoB).dropped_oversized, 0u);
+}
+
 }  // namespace
 }  // namespace neuropuls::net

@@ -55,6 +55,14 @@
 //                       (inconsistent ordering is either a missing fence
 //                       or an unneeded one), and raw `volatile` used for
 //                       synchronization (asm-clobber lines are exempt)
+//   admission-alloc     container-growth calls (push_back/emplace_back/
+//                       resize/reserve/insert/emplace) while the
+//                       admission controller's lock (admission_mutex_)
+//                       is held — the admission fast path is the gate
+//                       every flood hammers and must stay allocation-
+//                       free (tables are preallocated in the
+//                       constructor); growth calls allocate even though
+//                       no `new`/make_* token appears at the call site
 //
 // Exit codes: 0 clean, 1 violations/self-test failure, 2 usage error
 // (including a missing lint root or an empty fixture/source set — the
@@ -79,7 +87,7 @@ namespace fs = std::filesystem;
 const std::set<std::string> kRuleNames = {
     "std-rand",       "raw-memset-wipe",     "secret-compare",
     "secret-index",   "missing-wipe",        "lock-order",
-    "blocking-under-lock", "atomic-misuse"};
+    "blocking-under-lock", "atomic-misuse",  "admission-alloc"};
 
 const std::set<std::string> kBannedRandom = {
     "rand", "srand", "rand_r", "random", "srandom", "drand48", "lrand48"};
@@ -457,6 +465,16 @@ const std::set<std::string> kBlockingCalls = {"park", "receive",
                                               "receive_with_budget"};
 const std::set<std::string> kAllocCalls = {"make_unique", "make_shared"};
 
+// The admission controller's lock guards the flood-facing fast path:
+// under it even *indirect* allocation is banned, so container-growth
+// calls (which may reallocate without any `new` at the call site) are
+// flagged too. Every table the fast path touches is preallocated in the
+// AdmissionController constructor.
+const std::set<std::string> kAdmissionLockNames = {"admission_mutex_"};
+const std::set<std::string> kGrowthCalls = {"push_back", "emplace_back",
+                                            "resize",    "reserve",
+                                            "insert",    "emplace"};
+
 // File-I/O calls that hit the kernel — and, for the fsync family, wait
 // on the disk — which must never run inside a critical section. The
 // durable CRP store's group-commit protocol depends on this split:
@@ -610,6 +628,22 @@ void check_concurrency(const std::string& display_path, const ParsedFile& file,
         emit(line_no, "blocking-under-lock",
              "allocation ('" + t + "') while lock '" + held->key +
                  "' is held; the allocator can contend or page-fault");
+      }
+    }
+
+    // admission-alloc: container growth with the admission lock live.
+    // Checked against every held lock (not just the innermost) — the
+    // admission mutex is a leaf, but a nested section must not launder
+    // the growth call past the rule.
+    if (kGrowthCalls.count(t) && k + 1 < ft.size() && *ft[k + 1].text == "(") {
+      for (const auto& l : locks) {
+        if (l.held && kAdmissionLockNames.count(l.key)) {
+          emit(line_no, "admission-alloc",
+               "container growth ('" + t + "') while admission lock '" +
+                   l.key + "' is held; the admission fast path must stay "
+                           "allocation-free — preallocate in the constructor");
+          break;
+        }
       }
     }
 

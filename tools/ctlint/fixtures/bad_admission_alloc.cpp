@@ -1,0 +1,69 @@
+// ctlint fixture: the admission-alloc pass. Lint-only — never compiled.
+//
+// Covers: container growth while the admission controller's lock is
+// held (the flood-facing fast path must never allocate), growth under a
+// *different* lock (not this rule's business — the generic alloc rules
+// cover explicit `new`/make_*), the unlock() gap, nested sections, and
+// suppression.
+
+#include <vector>
+
+#include "common/mutex.hpp"
+
+namespace fixture {
+
+struct Controller {
+  neuropuls::common::Mutex admission_mutex_;
+  std::vector<int> clients_;
+  std::vector<int> half_open_;
+};
+
+void growth_on_the_fast_path(Controller& ctl) {
+  neuropuls::common::MutexLock lock(ctl.admission_mutex_);
+  ctl.clients_.push_back(1);       // ctlint:expect(admission-alloc)
+  ctl.half_open_.emplace_back(2);  // ctlint:expect(admission-alloc)
+  ctl.clients_.resize(64);         // ctlint:expect(admission-alloc)
+  ctl.clients_.reserve(128);       // ctlint:expect(admission-alloc)
+}
+
+// Growth in the unlock() gap is not on the fast path.
+void growth_in_gap(Controller& ctl) {
+  neuropuls::common::MutexLock lock(ctl.admission_mutex_);
+  lock.unlock();
+  ctl.clients_.push_back(1);
+  lock.lock();
+  ctl.clients_.push_back(2);  // ctlint:expect(admission-alloc)
+}
+
+// A nested inner lock must not hide the live admission lock.
+void growth_under_nested_lock(Controller& ctl,
+                              neuropuls::common::Mutex& other) {
+  neuropuls::common::MutexLock lock(ctl.admission_mutex_);
+  neuropuls::common::MutexLock inner(other);
+  ctl.clients_.push_back(1);  // ctlint:expect(admission-alloc)
+}
+
+// Growth under some unrelated lock is not this rule's concern.
+void growth_under_other_lock(Controller& ctl,
+                             neuropuls::common::Mutex& other) {
+  neuropuls::common::MutexLock lock(other);
+  ctl.clients_.push_back(1);
+}
+
+// Constructor-time preallocation takes no lock and is the sanctioned
+// pattern; after scope exit the lock is gone.
+void preallocate(Controller& ctl) {
+  {
+    neuropuls::common::MutexLock lock(ctl.admission_mutex_);
+  }
+  ctl.clients_.reserve(1024);
+}
+
+// A reviewed slow-path growth can be suppressed, with a reason.
+void reviewed_growth(Controller& ctl) {
+  neuropuls::common::MutexLock lock(ctl.admission_mutex_);
+  // ctlint:allow(admission-alloc) fixture: cold reconfiguration path
+  ctl.clients_.resize(2048);
+}
+
+}  // namespace fixture
