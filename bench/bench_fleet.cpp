@@ -1,0 +1,339 @@
+// E17 — fleet-scale campaigns: enroll and authenticate a million
+// devices at hardware speed (ROADMAP item 3).
+//
+// Tables (deterministic, fixed seeds):
+//
+//   1. Enrollment storm — the full fleet (NEUROPULS_FLEET_SCALE devices,
+//      default 1,000,000; set it small for smoke runs) streamed into a
+//      durable group-commit store through bounded chunks at 4 threads.
+//      Reports enrollments/sec, CRPs/sec, the streaming uniqueness
+//      estimate, and the peak-memory column (alloc-probe high-water +
+//      VmHWM) asserted against a hard budget — the run aborts if the
+//      bounded-memory promise breaks.
+//   2. Batch vs naive — the same enrollment through the pre-fleet
+//      per-device path (virtual evaluate, per-CRP insert, per-device
+//      sync). Acceptance: the chunked batch path is >= 5x at 4 threads.
+//   3. Threads x shards matrix — enrollments/sec as the worker pool and
+//      lock-stripe counts sweep; the contention picture.
+//   4. Authentication campaign — NEUROPULS_FLEET_SCALE/10 mutual-auth
+//      sessions (default 100k) against the full store, in bounded
+//      waves; auths/sec plus GK-sketch latency quantiles.
+//   5. Rolling rotation under faults — monthly key-rotation sweeps over
+//      a drifting, 1%-faulty-channel fleet; per-round convergence,
+//      rotation counts, and the aging error-rate trajectory.
+//
+// Timing cases (merged into BENCH_baseline.json for bench_regress.py):
+//   * BM_SyntheticPufBatch       — raw synthetic response harvest
+//   * BM_FleetEnroll/{1,2,4}     — chunked batch enrollment, threads swept
+//   * BM_FleetEnrollNaive        — per-device serial baseline
+//   * BM_FleetAuthCampaign       — wave-scheduled mutual-auth sessions
+//   * BM_FleetRotationSweep      — authenticate + rotate, full loop
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/alloc_probe.hpp"
+#include "common/io.hpp"
+#include "common/parallel.hpp"
+#include "fleet/fleet.hpp"
+#include "puf/crp_db.hpp"
+
+NEUROPULS_DEFINE_ALLOC_PROBE()
+
+namespace {
+
+namespace bench = neuropuls::bench;
+namespace io = neuropuls::common::io;
+using neuropuls::common::ThreadPool;
+using neuropuls::fleet::EnrollReport;
+using neuropuls::fleet::FleetConfig;
+using neuropuls::fleet::FleetSimulator;
+using neuropuls::fleet::MemoryProbe;
+using neuropuls::puf::CrpDatabase;
+using neuropuls::puf::CrpDurabilityOptions;
+
+std::size_t env_size(const char* name, std::size_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  const long long parsed = std::atoll(value);
+  return parsed > 0 ? static_cast<std::size_t>(parsed) : fallback;
+}
+
+[[noreturn]] void fail(const std::string& what) {
+  std::fprintf(stderr, "bench_fleet: ACCEPTANCE FAILURE: %s\n", what.c_str());
+  std::exit(1);
+}
+
+FleetConfig fleet_config(std::size_t devices, std::size_t generations,
+                         ThreadPool* pool) {
+  FleetConfig config;
+  config.devices = devices;
+  config.generations = generations;
+  config.seed = 0xE17F1EE7ULL;
+  config.pool = pool;
+  return config;
+}
+
+CrpDurabilityOptions durable_in(const std::string& dir) {
+  CrpDurabilityOptions options;
+  options.directory = dir;
+  options.mode = CrpDurabilityOptions::Mode::kGroupCommit;
+  return options;
+}
+
+double mib(std::uint64_t bytes) {
+  return static_cast<double>(bytes) / (1024.0 * 1024.0);
+}
+
+void print_tables() {
+  const std::size_t scale = env_size("NEUROPULS_FLEET_SCALE", 1'000'000);
+  const std::size_t budget_mib = env_size("NEUROPULS_FLEET_BUDGET_MB", 1600);
+  const std::size_t budget_bytes = budget_mib * 1024 * 1024;
+
+  bench::banner("E17", "fleet-scale enrollment and lifecycle campaigns");
+  std::printf("  fleet scale: %zu devices (NEUROPULS_FLEET_SCALE)\n", scale);
+  std::printf("  memory budget: %zu MiB (NEUROPULS_FLEET_BUDGET_MB)\n",
+              budget_mib);
+
+  ThreadPool pool(4);
+
+  // ---- Table 1: enrollment storm at full scale, durability on ----
+  std::printf("\n  [1] enrollment storm — %zu devices x 2 CRPs, durable "
+              "group-commit store, 4 threads\n", scale);
+  neuropuls::common::alloc_probe::reset_peak();
+  io::TempDir store_dir("np-bench-fleet");
+  CrpDatabase db(8, durable_in(store_dir.path()));
+  FleetConfig config = fleet_config(scale, 2, &pool);
+  config.memory_budget_bytes = budget_bytes;
+  FleetSimulator fleet(config, db);
+  const EnrollReport storm = fleet.enroll();
+  const std::uint64_t probe_peak = neuropuls::common::alloc_probe::peak_bytes();
+  const MemoryProbe vm = MemoryProbe::read();
+  std::printf("      devices      CRPs      sec   enroll/s     CRPs/s  "
+              "uniq~   probe-peak  VmHWM\n");
+  std::printf("    %9zu %9zu %8.2f %10.0f %10.0f  %.3f  %7.0f MiB %5.0f "
+              "MiB\n",
+              storm.devices, storm.crps, storm.seconds,
+              storm.devices / storm.seconds, storm.crps / storm.seconds,
+              storm.uniqueness_estimate, mib(probe_peak),
+              mib(vm.vm_hwm_bytes));
+  std::printf("      store: %zu CRPs in %zu shards, sampled %zu devices "
+              "for uniqueness\n",
+              db.size(), db.shard_count(), storm.sampled_devices);
+  const std::uint64_t peak =
+      std::max<std::uint64_t>(probe_peak, vm.vm_hwm_bytes);
+  if (peak > budget_bytes) {
+    fail("enrollment peak memory " + std::to_string(peak) +
+         " B exceeds budget " + std::to_string(budget_bytes) + " B");
+  }
+  if (db.size() != storm.crps) {
+    fail("store size " + std::to_string(db.size()) + " != harvested CRPs " +
+         std::to_string(storm.crps));
+  }
+
+  // ---- Table 2: chunked batch path vs naive per-device path ----
+  const std::size_t naive_devices = std::min<std::size_t>(
+      2000, std::max<std::size_t>(scale / 500, 64));
+  std::printf("\n  [2] batch vs naive per-device enrollment — %zu devices "
+              "x 2 CRPs, durable, 4 threads\n", naive_devices);
+  double batch_rate = 0.0;
+  double naive_rate = 0.0;
+  {
+    io::TempDir dir("np-bench-fleet-batch");
+    CrpDatabase batch_db(8, durable_in(dir.path()));
+    FleetSimulator sim(fleet_config(naive_devices, 2, &pool), batch_db);
+    const EnrollReport r = sim.enroll();
+    batch_rate = r.devices / r.seconds;
+  }
+  {
+    io::TempDir dir("np-bench-fleet-naive");
+    CrpDatabase naive_db(8, durable_in(dir.path()));
+    FleetSimulator sim(fleet_config(naive_devices, 2, &pool), naive_db);
+    const EnrollReport r = sim.enroll_naive_serial();
+    naive_rate = r.devices / r.seconds;
+  }
+  std::printf("      path      enroll/s\n");
+  std::printf("      batch   %10.0f\n", batch_rate);
+  std::printf("      naive   %10.0f\n", naive_rate);
+  std::printf("      ratio   %9.1fx\n", batch_rate / naive_rate);
+  if (batch_rate < 5.0 * naive_rate) {
+    fail("batch enrollment " + std::to_string(batch_rate) +
+         "/s is under 5x the naive path " + std::to_string(naive_rate) +
+         "/s");
+  }
+
+  // ---- Table 3: threads x shards enrollment matrix ----
+  const std::size_t matrix_devices =
+      std::max<std::size_t>(scale / 20, 2000);
+  std::printf("\n  [3] enrollments/sec vs threads x shards — %zu devices "
+              "x 1 CRP, durable\n", matrix_devices);
+  std::printf("      threads\\shards %10s %10s %10s\n", "1", "4", "16");
+  for (const std::size_t threads : {1, 2, 4}) {
+    ThreadPool cell_pool(threads);
+    std::printf("      %14zu", threads);
+    for (const std::size_t shards : {1, 4, 16}) {
+      io::TempDir dir("np-bench-fleet-matrix");
+      CrpDatabase cell_db(shards, durable_in(dir.path()));
+      FleetSimulator sim(fleet_config(matrix_devices, 1, &cell_pool),
+                         cell_db);
+      const EnrollReport r = sim.enroll();
+      std::printf(" %10.0f", r.devices / r.seconds);
+    }
+    std::printf("\n");
+  }
+
+  // ---- Table 4: authentication campaign against the full store ----
+  const std::size_t auth_sessions = std::max<std::size_t>(scale / 10, 100);
+  std::printf("\n  [4] auth campaign — %zu mutual-auth sessions across the "
+              "%zu-device store, waves of 1024\n", auth_sessions, scale);
+  auto campaign = fleet.run_auth_campaign(auth_sessions);
+  std::printf("      sessions  converged  failed  skipped      sec    "
+              "auth/s  polls p50/p90/p99\n");
+  std::printf("    %9zu  %9zu %7zu %8zu %8.2f %9.0f  %.0f/%.0f/%.0f\n",
+              campaign.sessions, campaign.converged, campaign.failed,
+              campaign.skipped, campaign.seconds,
+              campaign.sessions / campaign.seconds,
+              campaign.poll_ticks.quantile(0.50),
+              campaign.poll_ticks.quantile(0.90),
+              campaign.poll_ticks.quantile(0.99));
+  if (campaign.converged != campaign.sessions) {
+    fail("auth campaign: " + std::to_string(campaign.converged) + " of " +
+         std::to_string(campaign.sessions) + " sessions converged");
+  }
+  const MemoryProbe vm_after = MemoryProbe::read();
+  if (vm_after.vm_hwm_bytes > budget_bytes) {
+    fail("campaign peak RSS exceeds budget");
+  }
+  std::printf("      peak after campaign: probe %.0f MiB, VmHWM %.0f MiB "
+              "(budget %zu MiB)\n",
+              mib(neuropuls::common::alloc_probe::peak_bytes()),
+              mib(vm_after.vm_hwm_bytes), budget_mib);
+
+  // ---- Table 5: rolling rotation under 1% channel faults + drift ----
+  const std::size_t rot_devices = std::max<std::size_t>(scale / 100, 500);
+  std::printf("\n  [5] rolling monthly rotation — %zu devices, 1%% faulty "
+              "channels, aging drift\n", rot_devices);
+  io::TempDir rot_dir("np-bench-fleet-rot");
+  CrpDatabase rot_db(8, durable_in(rot_dir.path()));
+  FleetConfig rot_config = fleet_config(rot_devices, 1, &pool);
+  rot_config.faulty_device_rate = 0.01;
+  rot_config.fault_rates.drop = 0.05;
+  rot_config.fault_rates.corrupt = 0.02;
+  rot_config.drift.laser_droop_per_day = 2e-4;
+  rot_config.drift.thermal_spike_probability = 0.05;
+  rot_config.drift.thermal_magnitude_kelvin = 4.0;
+  rot_config.drift.relative_spread = 0.5;
+  rot_config.puf.base_error_rate = 0.01;
+  rot_config.puf.aging_error_gain = 0.05;
+  rot_config.puf.thermal_error_gain = 0.002;
+  FleetSimulator rot_fleet(rot_config, rot_db);
+  (void)rot_fleet.enroll();
+  std::printf("      month  rotated  failed  skipped   err(dev0)   sec\n");
+  for (int month = 1; month <= 3; ++month) {
+    rot_fleet.advance_days(30);
+    const auto sweep = rot_fleet.run_rotation_sweep();
+    std::printf("      %5d %8zu %7zu %8zu     %.4f %6.2f\n", month,
+                sweep.rotated, sweep.failed, sweep.skipped,
+                rot_fleet.make_device(0).error_rate(), sweep.seconds);
+  }
+  if (rot_fleet.count_keyless() != 0) {
+    fail("rotation left " + std::to_string(rot_fleet.count_keyless()) +
+         " devices keyless");
+  }
+}
+
+// ---- timing cases ----
+
+void BM_SyntheticPufBatch(benchmark::State& state) {
+  const neuropuls::fleet::SyntheticPuf puf({}, 0xBEEF);
+  constexpr std::size_t kBatch = 4096;
+  std::vector<std::uint64_t> challenges(kBatch);
+  for (std::size_t i = 0; i < kBatch; ++i) challenges[i] = i * 0x9E3779B9ULL;
+  std::vector<std::uint8_t> out(kBatch * puf.response_bytes());
+  for (auto _ : state) {
+    puf.evaluate_noiseless_batch_into(challenges.data(), kBatch, out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          kBatch);
+}
+BENCHMARK(BM_SyntheticPufBatch)->Unit(benchmark::kMicrosecond);
+
+void BM_FleetEnroll(benchmark::State& state) {
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  constexpr std::size_t kDevices = 8192;
+  ThreadPool pool(threads);
+  for (auto _ : state) {
+    CrpDatabase db(8);
+    FleetSimulator sim(fleet_config(kDevices, 1, &pool), db);
+    const EnrollReport r = sim.enroll();
+    benchmark::DoNotOptimize(r.crps);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          kDevices);
+}
+BENCHMARK(BM_FleetEnroll)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_FleetEnrollNaive(benchmark::State& state) {
+  constexpr std::size_t kDevices = 2048;
+  ThreadPool pool(1);
+  for (auto _ : state) {
+    CrpDatabase db(8);
+    FleetSimulator sim(fleet_config(kDevices, 1, &pool), db);
+    const EnrollReport r = sim.enroll_naive_serial();
+    benchmark::DoNotOptimize(r.crps);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          kDevices);
+}
+BENCHMARK(BM_FleetEnrollNaive)->Unit(benchmark::kMillisecond);
+
+void BM_FleetAuthCampaign(benchmark::State& state) {
+  constexpr std::size_t kDevices = 4096;
+  constexpr std::size_t kSessions = 512;
+  ThreadPool pool(2);
+  CrpDatabase db(8);
+  FleetSimulator sim(fleet_config(kDevices, 1, &pool), db);
+  (void)sim.enroll();
+  for (auto _ : state) {
+    const auto report = sim.run_auth_campaign(kSessions);
+    if (report.converged != kSessions) {
+      state.SkipWithError("campaign sessions failed");
+      break;
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          kSessions);
+}
+BENCHMARK(BM_FleetAuthCampaign)->Unit(benchmark::kMillisecond);
+
+void BM_FleetRotationSweep(benchmark::State& state) {
+  constexpr std::size_t kDevices = 2048;
+  ThreadPool pool(2);
+  for (auto _ : state) {
+    state.PauseTiming();
+    CrpDatabase db(8);
+    FleetSimulator sim(fleet_config(kDevices, 1, &pool), db);
+    (void)sim.enroll();
+    state.ResumeTiming();
+    const auto sweep = sim.run_rotation_sweep();
+    benchmark::DoNotOptimize(sweep.rotated);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          kDevices);
+}
+BENCHMARK(BM_FleetRotationSweep)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return neuropuls::bench::run_bench_main(argc, argv, print_tables);
+}

@@ -112,6 +112,22 @@ def cmd_check_schema(paths: list[str]) -> int:
 
 
 def cmd_merge(out_path: str, in_paths: list[str]) -> int:
+    # Case names already in OUT (when it exists) — merging is how new
+    # benchmarks enter the committed baseline, so the newly-added names
+    # are reported rather than slipping in silently.
+    previous: set[str] = set()
+    try:
+        with open(out_path, "r", encoding="utf-8") as fh:
+            prior = json.load(fh)
+        if isinstance(prior, dict):
+            previous = {
+                bench["name"]
+                for bench in prior.get("benchmarks", [])
+                if isinstance(bench, dict) and "name" in bench
+            }
+    except (OSError, json.JSONDecodeError):
+        pass  # fresh output file: every case counts as newly added
+
     merged: dict = {}
     benches: list[dict] = []
     for path in in_paths:
@@ -130,6 +146,11 @@ def cmd_merge(out_path: str, in_paths: list[str]) -> int:
         fh.write("\n")
     print(f"{out_path}: merged {len(benches)} benchmarks from "
           f"{len(in_paths)} files")
+    added = sorted(
+        {b["name"] for b in benches if "name" in b} - previous
+    )
+    print(f"{out_path}: {len(added)} newly added case(s)"
+          + (": " + ", ".join(added) if added else ""))
     return 0
 
 

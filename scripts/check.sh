@@ -48,6 +48,14 @@
 #                               # shedding and eviction juggle session
 #                               # lifetimes, exactly where use-after-free
 #                               # bugs would hide
+#   scripts/check.sh fleet      # fleet-scale sweep: runs the ctest label
+#                               # `fleet` (streaming estimators, chunked
+#                               # uniqueness, FleetSimulator campaigns,
+#                               # crash/resume rotation) under
+#                               # AddressSanitizer — bulk enrollment
+#                               # staging and per-wave fixture reuse are
+#                               # exactly where buffer-lifetime bugs would
+#                               # hide
 #   scripts/check.sh lint       # static-analysis flavor: ctlint (all
 #                               # passes, empty-baseline gate) + fixture
 #                               # self-test, bench_regress schema
@@ -58,6 +66,8 @@
 #                               # steps skip LOUDLY when no clang is on
 #                               # PATH (the GCC-only container); ctlint
 #                               # and the schema check always gate
+#
+#   scripts/check.sh --list-flavors   # print the flavor names and exit
 #
 # Environment:
 #   NEUROPULS_BENCH_THRESHOLD   allowed fractional throughput drop vs
@@ -73,6 +83,39 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+
+# Flavor catalog, one per line: name, then a short "what it sweeps".
+# Kept as data so --list-flavors and the unknown-config error stay in
+# sync with the dispatch below by construction.
+FLAVORS=(
+  "plain       full suite, no sanitizer"
+  "address     full suite under AddressSanitizer"
+  "undefined   full suite under UBSan"
+  "native      full suite with -DNEUROPULS_NATIVE=ON (host-ISA lane kernels)"
+  "chaos       ctest -L chaos under ASan AND UBSan (fault injection)"
+  "tsan        ctest -L concurrency under ThreadSanitizer"
+  "reactor     ctest -L concurrency under TSan at NEUROPULS_THREADS=1 and =4"
+  "durability  ctest -L io under ASan (durable CRP store, crash sweeps)"
+  "abuse       ctest -L chaos under ASan (flood storms, admission control)"
+  "fleet       ctest -L fleet under ASan (fleet simulator, streaming metrics)"
+  "lint        ctlint + fixtures + bench schema + clang-tidy/thread-safety"
+)
+
+list_flavors() {
+  echo "check.sh flavors (default run: plain address undefined native lint):"
+  local entry
+  for entry in "${FLAVORS[@]}"; do
+    echo "  ${entry}"
+  done
+}
+
+for arg in "$@"; do
+  if [ "${arg}" = "--list-flavors" ] || [ "${arg}" = "-l" ]; then
+    list_flavors
+    exit 0
+  fi
+done
+
 CONFIGS=("$@")
 if [ ${#CONFIGS[@]} -eq 0 ]; then
   CONFIGS=(plain address undefined native lint)
@@ -196,6 +239,9 @@ for config in "${CONFIGS[@]}"; do
     abuse)
       run_config address chaos
       ;;
+    fleet)
+      run_config address fleet
+      ;;
     reactor)
       # One TSan build tree, swept at two pool widths: the second
       # run_config call reuses the build and only re-runs ctest.
@@ -206,7 +252,8 @@ for config in "${CONFIGS[@]}"; do
       run_lint_flavor
       ;;
     *)
-      echo "unknown config '${config}' (want plain, address, undefined, native, chaos, tsan, reactor, durability, abuse, or lint)" >&2
+      echo "unknown config '${config}'" >&2
+      list_flavors >&2
       exit 2
       ;;
   esac

@@ -1,36 +1,84 @@
-// Allocation-counting probe for zero-allocation invariants.
+// Allocation-counting probe for zero-allocation and bounded-memory
+// invariants.
 //
 // The session reactor promises that its steady-state step path — polling
 // a waiting machine, pushing/popping run queues, parking on the wheel —
-// performs no heap allocation. A promise like that rots unless a test
-// counts; this header provides the counter. A test binary opts in by
-// invoking NEUROPULS_DEFINE_ALLOC_PROBE() at namespace scope in exactly
-// one translation unit: that replaces the binary's global operator
-// new/delete with malloc/free wrappers that bump a thread-local counter.
-// Production targets never include the macro, so shipping code pays
-// nothing.
+// performs no heap allocation, and the fleet simulator promises that a
+// million-device campaign stays under a configured byte budget. Promises
+// like these rot unless a test counts; this header provides the
+// counters. A test or bench binary opts in by invoking
+// NEUROPULS_DEFINE_ALLOC_PROBE() at namespace scope in exactly one
+// translation unit: that replaces the binary's global operator
+// new/delete with malloc/free wrappers that bump a thread-local call
+// counter and process-wide live/peak byte counters. Production targets
+// never include the macro, so shipping code pays nothing.
 //
-// Usage:
+// Usage (call counting):
 //   NEUROPULS_DEFINE_ALLOC_PROBE()
 //   ...
 //   const auto before = common::alloc_probe::allocations();
 //   <steady-state work>
 //   EXPECT_EQ(common::alloc_probe::allocations(), before);
 //
-// The counter is thread-local, so a test that drives a single-worker
-// reactor from the calling thread observes exactly its own allocations,
-// unpolluted by unrelated threads.
+// Usage (byte high-water):
+//   common::alloc_probe::reset_peak();
+//   <campaign>
+//   EXPECT_LE(common::alloc_probe::peak_bytes(), budget);
+//
+// The call counter is thread-local, so a test that drives a
+// single-worker reactor from the calling thread observes exactly its own
+// allocations, unpolluted by unrelated threads. The byte counters are
+// process-wide atomics (a memory budget is a property of the process):
+// live_bytes() tracks currently-held heap bytes, peak_bytes() the
+// high-water mark since start (or the last reset_peak()). Byte sizes
+// come from glibc's malloc_usable_size — real heap footprint, including
+// allocator rounding; on non-glibc platforms the byte counters read 0
+// and only the call counter is live.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <cstdlib>
 #include <new>
 
+#if defined(__GLIBC__) || defined(__linux__)
+#include <malloc.h>
+#define NEUROPULS_ALLOC_PROBE_HAS_USABLE_SIZE 1
+#endif
+
 namespace neuropuls::common::alloc_probe {
 
 namespace detail {
 inline thread_local std::uint64_t tl_allocations = 0;
+inline std::atomic<std::uint64_t> g_live_bytes{0};
+inline std::atomic<std::uint64_t> g_peak_bytes{0};
+
+inline void account_alloc(void* p) noexcept {
+#ifdef NEUROPULS_ALLOC_PROBE_HAS_USABLE_SIZE
+  const auto bytes = static_cast<std::uint64_t>(malloc_usable_size(p));
+  const std::uint64_t live =
+      g_live_bytes.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  std::uint64_t peak = g_peak_bytes.load(std::memory_order_relaxed);
+  while (live > peak && !g_peak_bytes.compare_exchange_weak(
+                            peak, live, std::memory_order_relaxed)) {
+  }
+#else
+  (void)p;
+#endif
+}
+
+inline void account_free(void* p) noexcept {
+#ifdef NEUROPULS_ALLOC_PROBE_HAS_USABLE_SIZE
+  if (p != nullptr) {
+    g_live_bytes.fetch_sub(
+        static_cast<std::uint64_t>(malloc_usable_size(p)),
+        std::memory_order_relaxed);
+  }
+#else
+  (void)p;
+#endif
+}
 }  // namespace detail
 
 /// operator new calls observed on this thread since process start.
@@ -38,11 +86,32 @@ inline std::uint64_t allocations() noexcept {
   return detail::tl_allocations;
 }
 
+/// Heap bytes currently held across the whole process (0 without
+/// malloc_usable_size support).
+inline std::uint64_t live_bytes() noexcept {
+  return detail::g_live_bytes.load(std::memory_order_relaxed);
+}
+
+/// High-water mark of live_bytes() since process start or the last
+/// reset_peak().
+inline std::uint64_t peak_bytes() noexcept {
+  return detail::g_peak_bytes.load(std::memory_order_relaxed);
+}
+
+/// Restarts the high-water mark from the current live level, so a bench
+/// can measure one campaign's footprint in isolation.
+inline void reset_peak() noexcept {
+  detail::g_peak_bytes.store(detail::g_live_bytes.load(
+                                 std::memory_order_relaxed),
+                             std::memory_order_relaxed);
+}
+
 inline void* counted_alloc(std::size_t size) {
   ++detail::tl_allocations;
   if (size == 0) size = 1;
   void* p = std::malloc(size);
   if (p == nullptr) throw std::bad_alloc();
+  detail::account_alloc(p);
   return p;
 }
 
@@ -53,7 +122,13 @@ inline void* counted_alloc(std::size_t size, std::align_val_t align) {
                                (size + static_cast<std::size_t>(align) - 1) &
                                    ~(static_cast<std::size_t>(align) - 1));
   if (p == nullptr) throw std::bad_alloc();
+  detail::account_alloc(p);
   return p;
+}
+
+inline void counted_free(void* p) noexcept {
+  detail::account_free(p);
+  std::free(p);
 }
 
 }  // namespace neuropuls::common::alloc_probe
@@ -73,17 +148,27 @@ inline void* counted_alloc(std::size_t size, std::align_val_t align) {
   void* operator new[](std::size_t size, std::align_val_t align) {            \
     return neuropuls::common::alloc_probe::counted_alloc(size, align);        \
   }                                                                           \
-  void operator delete(void* p) noexcept { std::free(p); }                    \
-  void operator delete[](void* p) noexcept { std::free(p); }                  \
-  void operator delete(void* p, std::size_t) noexcept { std::free(p); }       \
-  void operator delete[](void* p, std::size_t) noexcept { std::free(p); }     \
-  void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }  \
+  void operator delete(void* p) noexcept {                                    \
+    neuropuls::common::alloc_probe::counted_free(p);                          \
+  }                                                                           \
+  void operator delete[](void* p) noexcept {                                  \
+    neuropuls::common::alloc_probe::counted_free(p);                          \
+  }                                                                           \
+  void operator delete(void* p, std::size_t) noexcept {                       \
+    neuropuls::common::alloc_probe::counted_free(p);                          \
+  }                                                                           \
+  void operator delete[](void* p, std::size_t) noexcept {                     \
+    neuropuls::common::alloc_probe::counted_free(p);                          \
+  }                                                                           \
+  void operator delete(void* p, std::align_val_t) noexcept {                  \
+    neuropuls::common::alloc_probe::counted_free(p);                          \
+  }                                                                           \
   void operator delete[](void* p, std::align_val_t) noexcept {                \
-    std::free(p);                                                             \
+    neuropuls::common::alloc_probe::counted_free(p);                          \
   }                                                                           \
   void operator delete(void* p, std::size_t, std::align_val_t) noexcept {     \
-    std::free(p);                                                             \
+    neuropuls::common::alloc_probe::counted_free(p);                          \
   }                                                                           \
   void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {   \
-    std::free(p);                                                             \
+    neuropuls::common::alloc_probe::counted_free(p);                          \
   }

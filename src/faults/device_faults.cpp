@@ -11,8 +11,33 @@ namespace {
 // schedules never correlate even under the same root seed.
 constexpr std::uint64_t kThermalStream = 0x7468726d;  // "thrm"
 constexpr std::uint64_t kAgingStream = 0x6167696e;    // "agin"
+constexpr std::uint64_t kFleetStream = 0x666c6565;    // "flee"
 
 }  // namespace
+
+DeviceFaultConfig device_drift_config(const FleetDriftSpread& spread,
+                                      std::uint64_t fleet_seed,
+                                      std::uint64_t device_index) {
+  rng::Xoshiro256 rng(rng::derive_seed(
+      rng::derive_seed(fleet_seed, kFleetStream), device_index));
+  const double s = std::clamp(spread.relative_spread, 0.0, 1.0);
+  // One independent draw per parameter, in a fixed order so adding a
+  // parameter later does not reshuffle existing devices' draws.
+  const double droop_factor = rng.uniform(1.0 - s, 1.0 + s);
+  const double thermal_factor = rng.uniform(1.0 - s, 1.0 + s);
+  const double phase_factor = rng.uniform(1.0 - s, 1.0 + s);
+  DeviceFaultConfig config;
+  config.laser_droop.droop_per_eval =
+      spread.laser_droop_per_day * droop_factor;
+  config.laser_droop.floor_scale = spread.laser_droop_floor;
+  config.thermal.spike_probability =
+      std::clamp(spread.thermal_spike_probability * thermal_factor, 0.0, 1.0);
+  config.thermal.magnitude_kelvin = spread.thermal_magnitude_kelvin;
+  config.phase_aging.drift_rad_per_eval =
+      spread.phase_drift_rad_per_day * phase_factor;
+  config.phase_aging.max_drift_rad = spread.phase_max_drift_rad;
+  return config;
+}
 
 DeviceFaultModel::DeviceFaultModel(DeviceFaultConfig config, std::uint64_t seed)
     : config_(std::move(config)), seed_(seed) {}

@@ -80,6 +80,35 @@ struct DeviceFaultConfig {
   PhaseAgingFault phase_aging;
 };
 
+/// Population-level drift spread for fleet simulations (src/fleet):
+/// every device draws its own aging/thermal parameters around the
+/// population mean with a seeded relative spread, so a million-device
+/// fleet ages heterogeneously but reproducibly. Rates are per simulated
+/// *day* — the fleet layer feeds the day counter to DeviceFaultModel as
+/// the evaluation index.
+struct FleetDriftSpread {
+  /// Mean fractional laser power lost per day (LaserDroopFault rate).
+  double laser_droop_per_day = 0.0;
+  double laser_droop_floor = 0.5;
+  /// Thermal transient schedule: per-day spike probability + magnitude.
+  double thermal_spike_probability = 0.0;
+  double thermal_magnitude_kelvin = 0.0;
+  /// Phase-shifter aging rate per day.
+  double phase_drift_rad_per_day = 0.0;
+  double phase_max_drift_rad = 0.5;
+  /// Each device's rates are the mean scaled by an independent seeded
+  /// uniform draw in [1 - relative_spread, 1 + relative_spread].
+  double relative_spread = 0.0;
+};
+
+/// Derives device `device_index`'s fault configuration from the
+/// population spread — a pure function of (spread, fleet_seed,
+/// device_index), so any worker can rebuild any device's drift model
+/// without coordination.
+DeviceFaultConfig device_drift_config(const FleetDriftSpread& spread,
+                                      std::uint64_t fleet_seed,
+                                      std::uint64_t device_index);
+
 /// Immutable, seeded fault oracle. All queries are pure functions of
 /// (config, seed, arguments): no internal state advances, so concurrent
 /// evaluations see the same schedule and batch evaluation keyed on the

@@ -2,6 +2,7 @@
 
 #include "common/parallel.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -28,27 +29,67 @@ double uniformity(crypto::ByteView response) {
          (8.0 * static_cast<double>(response.size()));
 }
 
+namespace {
+
+// Pairs (a, b), a < b, are ordered lexicographically and indexed by a
+// linear pair index t in [0, n(n-1)/2). Anchor a owns the index range
+// [S(a), S(a+1)) where S(a) = a(n-1) - a(a-1)/2 counts the pairs of all
+// smaller anchors.
+std::size_t pairs_before_anchor(std::size_t a, std::size_t n) {
+  return a * (n - 1) - a * (a - 1) / 2;
+}
+
+// Inverts t -> anchor a (largest a with S(a) <= t): quadratic estimate
+// via sqrt, then an exact fix-up walk for the rounding slop.
+std::size_t anchor_of_pair_index(std::size_t t, std::size_t n) {
+  const double nn = static_cast<double>(n);
+  const double disc = (2.0 * nn - 1.0) * (2.0 * nn - 1.0) -
+                      8.0 * static_cast<double>(t);
+  double est = (2.0 * nn - 1.0 - std::sqrt(std::max(disc, 0.0))) / 2.0;
+  auto a = static_cast<std::size_t>(std::max(est, 0.0));
+  if (a >= n - 1) a = n - 2;
+  while (a > 0 && pairs_before_anchor(a, n) > t) --a;
+  while (a + 1 < n - 1 && pairs_before_anchor(a + 1, n) <= t) ++a;
+  return a;
+}
+
+}  // namespace
+
 double uniqueness(const std::vector<crypto::Bytes>& device_responses,
                   common::ThreadPool* pool) {
   const std::size_t devices = device_responses.size();
   if (devices < 2) {
     throw std::invalid_argument("uniqueness: need at least two devices");
   }
-  // One partial sum per anchor device a (its pairs with every b > a),
-  // reduced in fixed device order below: the accumulation tree is a
-  // function of the device count alone, never of the schedule.
-  std::vector<double> row_totals(devices, 0.0);
-  run_parallel(pool, devices, [&](std::size_t a) {
-    double row = 0.0;
-    for (std::size_t b = a + 1; b < devices; ++b) {
-      row += crypto::fractional_hamming_distance(device_responses[a],
-                                                 device_responses[b]);
+  const std::size_t pairs = devices * (devices - 1) / 2;
+  // Per-anchor tasks are triangular (anchor 0 owns n-1 pairs, the last
+  // anchor owns 1), so the first worker becomes the straggler. Instead
+  // the linear pair-index space is cut into equal chunks. The chunk
+  // count and boundaries depend only on the device count — never on the
+  // thread count — and the chunk partial sums are reduced in fixed
+  // chunk order, so the result is bit-identical at any thread count.
+  const std::size_t chunks = std::min<std::size_t>(pairs, 128);
+  std::vector<double> chunk_totals(chunks, 0.0);
+  run_parallel(pool, chunks, [&](std::size_t c) {
+    const std::size_t lo = pairs * c / chunks;
+    const std::size_t hi = pairs * (c + 1) / chunks;
+    if (lo >= hi) return;
+    // One triangular inversion per chunk; then walk (a, b) forward.
+    std::size_t a = anchor_of_pair_index(lo, devices);
+    std::size_t b = a + 1 + (lo - pairs_before_anchor(a, devices));
+    double total = 0.0;
+    for (std::size_t t = lo; t < hi; ++t) {
+      total += crypto::fractional_hamming_distance(device_responses[a],
+                                                   device_responses[b]);
+      if (++b == devices) {
+        ++a;
+        b = a + 1;
+      }
     }
-    row_totals[a] = row;
+    chunk_totals[c] = total;
   });
   double total = 0.0;
-  for (double row : row_totals) total += row;
-  const std::size_t pairs = devices * (devices - 1) / 2;
+  for (double chunk : chunk_totals) total += chunk;
   return total / static_cast<double>(pairs);
 }
 

@@ -29,8 +29,9 @@ double uniformity(crypto::ByteView response);
 /// mismatched lengths.
 ///
 /// The O(N^2) pair sweep fans out across `pool` (global pool when
-/// nullptr) with one partial sum per anchor device, reduced in fixed
-/// device order — the result is bit-identical at any thread count.
+/// nullptr) as balanced chunks of the linear pair-index space; chunk
+/// boundaries and the reduction order depend only on the device count,
+/// so the result is bit-identical at any thread count.
 double uniqueness(const std::vector<crypto::Bytes>& device_responses,
                   common::ThreadPool* pool = nullptr);
 

@@ -1,0 +1,119 @@
+#include "metrics/streaming.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <tuple>
+
+namespace neuropuls::metrics {
+
+GkQuantileSketch::GkQuantileSketch(double eps) : eps_(eps) {
+  if (!(eps > 0.0) || eps >= 1.0) {
+    throw std::invalid_argument("GkQuantileSketch: eps must be in (0, 1)");
+  }
+  // Batch inserts in blocks of ~1/(2 eps): one sort + sweep amortises
+  // the per-element binary search and keeps compress() off the per-add
+  // hot path.
+  buffer_limit_ = std::max<std::size_t>(
+      16, static_cast<std::size_t>(std::ceil(1.0 / (2.0 * eps_))));
+}
+
+void GkQuantileSketch::add(double value) {
+  buffer_.push_back(value);
+  if (buffer_.size() >= buffer_limit_) {
+    flush();
+    compress();
+  }
+}
+
+void GkQuantileSketch::insert_sorted(double value) {
+  // GK insert: place (value, 1, floor(2 eps n)) before the first tuple
+  // with a larger value; delta = 0 at either end of the summary.
+  const auto it = std::upper_bound(
+      tuples_.begin(), tuples_.end(), value,
+      [](double v, const Tuple& t) { return v < t.value; });
+  std::uint64_t delta = 0;
+  if (it != tuples_.begin() && it != tuples_.end()) {
+    delta = static_cast<std::uint64_t>(
+        std::floor(2.0 * eps_ * static_cast<double>(count_)));
+  }
+  tuples_.insert(it, Tuple{value, 1, delta});
+  ++count_;
+}
+
+void GkQuantileSketch::flush() const {
+  if (buffer_.empty()) return;
+  std::sort(buffer_.begin(), buffer_.end());
+  for (double v : buffer_) {
+    const_cast<GkQuantileSketch*>(this)->insert_sorted(v);
+  }
+  buffer_.clear();
+}
+
+void GkQuantileSketch::compress() {
+  flush();
+  if (tuples_.size() < 2) return;
+  const auto threshold = static_cast<std::uint64_t>(
+      std::floor(2.0 * eps_ * static_cast<double>(count_)));
+  // Right-to-left sweep merging tuple i into its successor when the
+  // combined band g_i + g_{i+1} + delta_{i+1} still fits under 2 eps n.
+  std::vector<Tuple> kept;
+  kept.reserve(tuples_.size());
+  Tuple carry = tuples_.back();
+  for (std::size_t i = tuples_.size() - 1; i-- > 0;) {
+    const Tuple& t = tuples_[i];
+    if (i != 0 && t.g + carry.g + carry.delta <= threshold) {
+      carry.g += t.g;  // absorb t into its right neighbour
+    } else {
+      kept.push_back(carry);
+      carry = t;
+    }
+  }
+  kept.push_back(carry);
+  std::reverse(kept.begin(), kept.end());
+  tuples_ = std::move(kept);
+}
+
+void GkQuantileSketch::merge(const GkQuantileSketch& other) {
+  flush();
+  other.flush();
+  std::vector<Tuple> merged;
+  merged.reserve(tuples_.size() + other.tuples_.size());
+  std::merge(tuples_.begin(), tuples_.end(), other.tuples_.begin(),
+             other.tuples_.end(), std::back_inserter(merged),
+             [](const Tuple& a, const Tuple& b) {
+               return std::tie(a.value, a.g, a.delta) <
+                      std::tie(b.value, b.g, b.delta);
+             });
+  tuples_ = std::move(merged);
+  count_ += other.count_;
+}
+
+double GkQuantileSketch::quantile(double q) const {
+  flush();
+  if (tuples_.empty()) {
+    throw std::invalid_argument("GkQuantileSketch: empty sketch");
+  }
+  if (q <= 0.0) return tuples_.front().value;
+  if (q >= 1.0) return tuples_.back().value;
+  const double rank = q * static_cast<double>(count_);
+  const double margin = eps_ * static_cast<double>(count_);
+  // Return the last tuple whose worst-case max rank stays within
+  // rank + margin; rmax(i) = rmin(i) + delta(i).
+  std::uint64_t rmin = 0;
+  double best = tuples_.front().value;
+  for (const Tuple& t : tuples_) {
+    rmin += t.g;
+    const double rmax = static_cast<double>(rmin + t.delta);
+    if (rmax > rank + margin) break;
+    best = t.value;
+  }
+  return best;
+}
+
+std::size_t GkQuantileSketch::tuples() const {
+  flush();
+  return tuples_.size();
+}
+
+}  // namespace neuropuls::metrics

@@ -204,6 +204,61 @@ void CrpDatabase::insert(Crp crp) {
   }
 }
 
+void CrpDatabase::insert_batch(std::vector<Crp> crps) {
+  if (crps.empty()) return;
+  // Group CRPs by shard via counting sort (no per-shard vectors): one
+  // pass computes shard occupancy, a prefix sum turns it into scatter
+  // offsets, and the grouped order array drives one locked pass per
+  // touched shard.
+  std::vector<std::size_t> shard_of(crps.size());
+  std::vector<std::size_t> counts(shards_.size(), 0);
+  for (std::size_t i = 0; i < crps.size(); ++i) {
+    shard_of[i] = shard_index_for(crps[i].challenge);
+    ++counts[shard_of[i]];
+  }
+  std::vector<std::size_t> offsets(shards_.size() + 1, 0);
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    offsets[s + 1] = offsets[s] + counts[s];
+  }
+  std::vector<std::size_t> grouped(crps.size());
+  {
+    std::vector<std::size_t> cursor(offsets.begin(), offsets.end() - 1);
+    for (std::size_t i = 0; i < crps.size(); ++i) {
+      grouped[cursor[shard_of[i]]++] = i;
+    }
+  }
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    if (counts[s] == 0) continue;
+    Shard& shard = *shards_[s];
+    std::uint64_t seq = 0;
+    std::size_t logged = 0;
+    {
+      const ShardLock lock(shard);
+      const std::size_t before = shard.wal_pending.size();
+      shard.entries.reserve(shard.entries.size() + counts[s]);
+      for (std::size_t g = offsets[s]; g < offsets[s + 1]; ++g) {
+        Crp& crp = crps[grouped[g]];
+        if (wal_) {
+          seq = ++shard.wal_seq;
+          wal::append_insert_record(shard.wal_pending, seq, crp.challenge,
+                                    crp.response);
+        }
+        shard.index[crp.challenge] = shard.entries.size();
+        shard.entries.push_back(Entry{std::move(crp), CrpHealth{}});
+      }
+      logged = shard.wal_pending.size() - before;
+      size_.fetch_add(counts[s], std::memory_order_relaxed);
+    }
+    if (logged != 0) {
+      // One accounting/wakeup hand-off covers the whole shard group; the
+      // highest sequence stands in for every record below it.
+      wal_after_append(s, seq, logged,
+                       wal_->options.mode ==
+                           CrpDurabilityOptions::Mode::kFsyncPerOp);
+    }
+  }
+}
+
 void CrpDatabase::remove_at(Shard& shard, std::size_t pos) {
   shard.index.erase(shard.entries[pos].crp.challenge);
   compact(shard, pos);
@@ -268,6 +323,41 @@ std::optional<Crp> CrpDatabase::take() {
     }
   }
   return std::nullopt;
+}
+
+std::optional<Crp> CrpDatabase::take(const Challenge& challenge) {
+  const std::size_t index = shard_index_for(crypto::ByteView{challenge});
+  Shard& shard = *shards_[index];
+  std::optional<Crp> crp;
+  std::uint64_t seq = 0;
+  std::size_t logged = 0;
+  {
+    const ShardLock lock(shard);
+    const auto it = shard.index.find(crypto::ByteView{challenge});
+    if (it == shard.index.end()) return std::nullopt;
+    const std::size_t pos = it->second;
+    if (shard.entries[pos].health.quarantined) return std::nullopt;
+    // Same ordering discipline as the scanning take(): drop the index
+    // entry while the key buffer is still intact, then move the CRP out.
+    shard.index.erase(it);
+    crp = std::move(shard.entries[pos].crp);
+    compact(shard, pos);
+    size_.fetch_sub(1, std::memory_order_relaxed);
+    shard.takes.fetch_add(1, std::memory_order_relaxed);
+    if (wal_) {
+      seq = ++shard.wal_seq;
+      const std::size_t before = shard.wal_pending.size();
+      wal::append_take_record(shard.wal_pending, seq, crp->challenge);
+      logged = shard.wal_pending.size() - before;
+    }
+  }
+  if (logged != 0) {
+    wal_after_append(index, seq, logged,
+                     wal_->options.durable_take ||
+                         wal_->options.mode ==
+                             CrpDurabilityOptions::Mode::kFsyncPerOp);
+  }
+  return crp;
 }
 
 std::optional<Response> CrpDatabase::lookup(const Challenge& challenge) const {

@@ -222,11 +222,25 @@ class CrpDatabase {
   /// Inserts one externally produced CRP.
   void insert(Crp crp);
 
+  /// Inserts a batch of externally produced CRPs with one lock
+  /// acquisition and one WAL hand-off per touched shard — the fleet
+  /// enrollment path, where per-CRP insert() would pay the lock and
+  /// writer-wakeup cost a million times over.
+  void insert_batch(std::vector<Crp> crps);
+
   /// Pops an unused, non-quarantined CRP for an authentication round
   /// (one-time use). Returns std::nullopt when no healthy CRP remains —
   /// the classic operational limit of CRP-database schemes, reached
   /// earlier on a degrading device.
   std::optional<Crp> take();
+
+  /// Consumes the CRP for a specific challenge (one-time use), with the
+  /// same durable-take guarantee as take(). Returns std::nullopt when
+  /// the challenge is unknown or quarantined. This is the rotation
+  /// primitive: a campaign retires a device's old CRP by key after its
+  /// replacement is durably inserted, so a crash between the two steps
+  /// leaves the device with at least one live CRP, never zero.
+  std::optional<Crp> take(const Challenge& challenge);
 
   /// Looks up the enrolled response for a challenge without consuming it.
   /// Quarantined CRPs are not served.

@@ -1,0 +1,253 @@
+// Crash-point sweep for fleet key rotation (ctest labels: chaos, fleet, io).
+//
+// A rotation sweep retires each device's generation-0 CRP after durably
+// inserting its generation-1 replacement (insert -> sync -> take, per
+// wave). The crash model is the WAL's: the verifier dies and the log
+// ends early at an arbitrary byte. The sweep builds one pristine image
+// of a fleet that enrolled and then fully rotated, truncates a copy at
+// EVERY byte offset inside the rotation suffix, reopens, and drives
+// recover_state() + resume_rotation(). The oracle (in the style of
+// test_crp_crash):
+//
+//   * no device is ever keyless — at every cut each device recovers
+//     with at least one live CRP, because replacements hit stable
+//     storage before the old pair is consumed,
+//   * no CRP double-issue — a challenge whose take record survived the
+//     crash is absent from the recovered store and never served again,
+//   * resume_rotation classifies every device into exactly one of
+//     {already rotated, finish the take, redo the rotation} and leaves
+//     the fleet in the fully-rotated end state, after which the whole
+//     fleet still authenticates.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/io.hpp"
+#include "fleet/fleet.hpp"
+#include "puf/crp_db.hpp"
+#include "puf/crp_wal.hpp"
+
+namespace neuropuls::fleet {
+namespace {
+
+namespace io = common::io;
+
+constexpr std::size_t kDevices = 12;
+
+FleetConfig crash_config() {
+  FleetConfig config;
+  config.devices = kDevices;
+  config.generations = 1;
+  config.wave_size = 4;  // several insert/take groups in the rotation log
+  return config;
+}
+
+std::uint32_t read_u32_be(const crypto::Bytes& image, std::size_t offset) {
+  return (static_cast<std::uint32_t>(image[offset]) << 24) |
+         (static_cast<std::uint32_t>(image[offset + 1]) << 16) |
+         (static_cast<std::uint32_t>(image[offset + 2]) << 8) |
+         static_cast<std::uint32_t>(image[offset + 3]);
+}
+
+void write_file(const std::string& path, crypto::ByteView data) {
+  io::File file = io::File::create_truncate(path);
+  file.write_all(data);
+}
+
+class FleetCrashTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    state_ = new SharedState();
+    SharedState& s = *state_;
+    {
+      puf::CrpDurabilityOptions options;
+      options.directory = s.source.path();
+      puf::CrpDatabase db(1, options);
+      FleetSimulator fleet(crash_config(), db);
+      fleet.enroll();
+      const CampaignReport sweep = fleet.run_rotation_sweep();
+      ASSERT_EQ(sweep.rotated, kDevices);
+      ASSERT_EQ(fleet.count_keyless(), 0u);
+    }  // clean close: whole records, torn-free
+
+    s.manifest = io::read_file(puf::wal::manifest_path(s.source.path()));
+    s.image = io::read_file(puf::wal::wal_path(s.source.path(), 0, 0));
+
+    std::size_t offset = 0;
+    while (offset + puf::wal::kRecordHeaderBytes <= s.image.size()) {
+      const std::uint32_t len = read_u32_be(s.image, offset);
+      offset += puf::wal::kRecordHeaderBytes + len;
+      s.record_ends.push_back(offset);
+    }
+    ASSERT_EQ(offset, s.image.size());
+    s.records = puf::wal::decode_wal(s.image).records;
+    ASSERT_EQ(s.records.size(), s.record_ends.size());
+
+    // The enrollment prefix: the first kDevices insert records. Crashes
+    // inside it model a death during manufacturing intake, not mid-
+    // rotation — the sweep starts at its end.
+    std::size_t inserts = 0;
+    s.enroll_end = 0;
+    for (std::size_t r = 0; r < s.records.size(); ++r) {
+      if (s.records[r].type == puf::wal::RecordType::kInsert) {
+        ++inserts;
+        if (inserts == kDevices) {
+          s.enroll_end = s.record_ends[r];
+          break;
+        }
+      }
+    }
+    ASSERT_GT(s.enroll_end, 0u);
+    ASSERT_LT(s.enroll_end, s.image.size());
+  }
+
+  static void TearDownTestSuite() {
+    delete state_;
+    state_ = nullptr;
+  }
+
+  struct SharedState {
+    io::TempDir source{"np-fleet-crash-src"};
+    crypto::Bytes manifest;
+    crypto::Bytes image;  // records reference this — keep it alive
+    std::vector<std::size_t> record_ends;
+    std::vector<puf::wal::RecordView> records;
+    std::size_t enroll_end = 0;
+  };
+  static SharedState* state_;
+
+  static void stage(const std::string& dir, crypto::ByteView wal_image) {
+    write_file(puf::wal::manifest_path(dir), state_->manifest);
+    write_file(puf::wal::wal_path(dir, 0, 0), wal_image);
+  }
+
+  static puf::CrpDurabilityOptions open_options(const std::string& dir) {
+    puf::CrpDurabilityOptions options;
+    options.directory = dir;
+    options.durable_take = false;  // keep the byte sweep at memory speed
+    return options;
+  }
+
+  /// Challenges whose take record survives in the first `cut` bytes.
+  static std::set<crypto::Bytes> consumed_within(std::size_t cut) {
+    const SharedState& s = *state_;
+    std::set<crypto::Bytes> consumed;
+    for (std::size_t r = 0;
+         r < s.record_ends.size() && s.record_ends[r] <= cut; ++r) {
+      if (s.records[r].type == puf::wal::RecordType::kTake) {
+        consumed.emplace(s.records[r].challenge.begin(),
+                         s.records[r].challenge.end());
+      }
+    }
+    return consumed;
+  }
+};
+
+FleetCrashTest::SharedState* FleetCrashTest::state_ = nullptr;
+
+TEST_F(FleetCrashTest, ResumeAtEveryByteLeavesNoDeviceKeyless) {
+  const SharedState& s = *state_;
+  for (std::size_t cut = s.enroll_end; cut <= s.image.size(); ++cut) {
+    SCOPED_TRACE("truncated to " + std::to_string(cut) + " bytes");
+    const std::set<crypto::Bytes> consumed = consumed_within(cut);
+
+    const io::TempDir dir("np-fleet-crash");
+    stage(dir.path(), {s.image.data(), cut});
+    puf::CrpDatabase db(1, open_options(dir.path()));
+    FleetSimulator fleet(crash_config(), db);
+    fleet.recover_state(3);
+
+    // Double-issue half of the oracle, before resume touches anything:
+    // a take that reached stable storage is permanent.
+    for (const crypto::Bytes& challenge : consumed) {
+      ASSERT_FALSE(db.health(challenge).has_value())
+          << "consumed CRP resurrected by recovery";
+    }
+
+    const ResumeReport resume = fleet.resume_rotation();
+    EXPECT_EQ(resume.keyless, 0u) << "device left keyless by the crash";
+    EXPECT_EQ(resume.already_rotated + resume.finished_takes + resume.redone,
+              kDevices);
+    EXPECT_EQ(fleet.count_keyless(), 0u);
+
+    // Resume completes the sweep: every device sits at the rotated end
+    // state with exactly its generation-1 CRP live.
+    EXPECT_EQ(db.size(), kDevices);
+    for (std::size_t device = 0; device < kDevices; ++device) {
+      EXPECT_EQ(fleet.oldest_generation(device), 1u);
+      EXPECT_EQ(fleet.next_generation(device), 2u);
+      EXPECT_FALSE(db.lookup(fleet.challenge_of(device, 0)).has_value());
+      EXPECT_TRUE(db.lookup(fleet.challenge_of(device, 1)).has_value());
+    }
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+TEST_F(FleetCrashTest, FleetAuthenticatesAfterCrashRecoverResume) {
+  // Full end-to-end at three representative cuts: mid first rotation
+  // wave, a record boundary in the middle, and one byte short of clean.
+  const SharedState& s = *state_;
+  const std::vector<std::size_t> cuts{
+      s.enroll_end + 7, s.record_ends[s.record_ends.size() / 2],
+      s.image.size() - 1};
+  for (const std::size_t cut : cuts) {
+    SCOPED_TRACE("truncated to " + std::to_string(cut) + " bytes");
+    const io::TempDir dir("np-fleet-crash");
+    stage(dir.path(), {s.image.data(), cut});
+    puf::CrpDatabase db(1, open_options(dir.path()));
+    FleetSimulator fleet(crash_config(), db);
+    fleet.recover_state(3);
+    const ResumeReport resume = fleet.resume_rotation();
+    ASSERT_EQ(resume.keyless, 0u);
+
+    const CampaignReport report = fleet.run_auth_campaign(kDevices);
+    EXPECT_EQ(report.converged, kDevices);
+    EXPECT_EQ(report.failed, 0u);
+    EXPECT_EQ(report.skipped, 0u);
+  }
+}
+
+TEST_F(FleetCrashTest, RecoveredStoreNeverDoubleIssues) {
+  // Drain the recovered store by keyed takes at every record boundary:
+  // each served CRP must be fresh (never among the pre-crash consumed
+  // set) and each challenge serves at most once.
+  const SharedState& s = *state_;
+  for (const std::size_t end : s.record_ends) {
+    if (end < s.enroll_end) continue;
+    SCOPED_TRACE("truncated to " + std::to_string(end) + " bytes");
+    const std::set<crypto::Bytes> consumed = consumed_within(end);
+
+    const io::TempDir dir("np-fleet-crash");
+    stage(dir.path(), {s.image.data(), end});
+    puf::CrpDatabase db(1, open_options(dir.path()));
+    FleetSimulator fleet(crash_config(), db);
+    fleet.recover_state(3);
+
+    std::set<crypto::Bytes> issued;
+    for (std::size_t device = 0; device < kDevices; ++device) {
+      for (std::uint32_t g = 0; g < 3; ++g) {
+        const puf::Challenge challenge = fleet.challenge_of(device, g);
+        if (const auto crp = db.take(challenge)) {
+          EXPECT_TRUE(issued.insert(crp->challenge).second)
+              << "CRP double-issued in one run";
+          EXPECT_EQ(consumed.count(crp->challenge), 0u)
+              << "CRP consumed before the crash was issued again";
+        }
+      }
+    }
+    // Drained completely: takes + pre-crash consumptions cover every
+    // insert record in the surviving prefix.
+    std::size_t inserted = 0;
+    for (std::size_t r = 0;
+         r < s.record_ends.size() && s.record_ends[r] <= end; ++r) {
+      if (s.records[r].type == puf::wal::RecordType::kInsert) ++inserted;
+    }
+    EXPECT_EQ(issued.size() + consumed.size(), inserted);
+  }
+}
+
+}  // namespace
+}  // namespace neuropuls::fleet

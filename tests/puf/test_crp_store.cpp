@@ -320,6 +320,82 @@ TEST(CrpStore, SyncIsADurabilityBarrier) {
   EXPECT_EQ(decoded.torn_bytes, 0u);
 }
 
+TEST(CrpStore, KeyedTakeConsumesExactlyOnce) {
+  CrpDatabase db(4);
+  for (std::uint32_t i = 0; i < 12; ++i) db.insert(make_crp(i));
+  const Challenge target = make_crp(7).challenge;
+
+  const std::optional<Crp> taken = db.take(target);
+  ASSERT_TRUE(taken.has_value());
+  EXPECT_EQ(taken->challenge, target);
+  EXPECT_EQ(taken->response, make_crp(7).response);
+  EXPECT_EQ(db.size(), 11u);
+  // One-time use: the same key never serves twice, and the blind
+  // round-robin take() never resurrects it either.
+  EXPECT_FALSE(db.take(target).has_value());
+  EXPECT_FALSE(db.lookup(target).has_value());
+  std::size_t drained = 0;
+  while (const auto crp = db.take()) {
+    EXPECT_NE(crp->challenge, target);
+    ++drained;
+  }
+  EXPECT_EQ(drained, 11u);
+  // Unknown keys are a clean miss.
+  EXPECT_FALSE(db.take(make_crp(99).challenge).has_value());
+}
+
+TEST(CrpStore, KeyedTakeRefusesQuarantined) {
+  CrpDatabase db(2);
+  db.set_quarantine_threshold(1);
+  for (std::uint32_t i = 0; i < 4; ++i) db.insert(make_crp(i));
+  db.record_failure(make_crp(2).challenge);
+  EXPECT_FALSE(db.take(make_crp(2).challenge).has_value());
+  // Still present (quarantined, not consumed): eviction finds it.
+  EXPECT_TRUE(db.health(make_crp(2).challenge).has_value());
+  EXPECT_EQ(db.evict_quarantined(), 1u);
+}
+
+TEST(CrpStore, KeyedTakeIsDurable) {
+  const io::TempDir dir("np-crp-store");
+  {
+    CrpDatabase db(2, durable_in(dir.path()));
+    for (std::uint32_t i = 0; i < 8; ++i) db.insert(make_crp(i));
+    ASSERT_TRUE(db.take(make_crp(3).challenge).has_value());
+    ASSERT_TRUE(db.take(make_crp(5).challenge).has_value());
+  }
+  CrpDatabase db(2, durable_in(dir.path()));
+  EXPECT_EQ(db.size(), 6u);
+  // The consumed pairs stay consumed across recovery.
+  EXPECT_FALSE(db.health(make_crp(3).challenge).has_value());
+  EXPECT_FALSE(db.health(make_crp(5).challenge).has_value());
+  EXPECT_TRUE(db.lookup(make_crp(4).challenge).has_value());
+}
+
+TEST(CrpStore, InsertBatchMatchesSerialInsertsAndIsDurable) {
+  // Batch inserts across shards land exactly like serial inserts —
+  // same entries, same take order — and replay after a restart.
+  const io::TempDir batch_dir("np-crp-store-batch");
+  std::vector<Crp> batch;
+  for (std::uint32_t i = 0; i < 20; ++i) batch.push_back(make_crp(i));
+  {
+    CrpDatabase db(4, durable_in(batch_dir.path()));
+    db.insert_batch(std::move(batch));
+    EXPECT_EQ(db.size(), 20u);
+  }
+  CrpDatabase recovered(4, durable_in(batch_dir.path()));
+  EXPECT_EQ(recovered.size(), 20u);
+
+  CrpDatabase reference(4);
+  for (std::uint32_t i = 0; i < 20; ++i) reference.insert(make_crp(i));
+  expect_same_take_order(recovered, reference);
+}
+
+TEST(CrpStore, InsertBatchEmptyIsANoOp) {
+  CrpDatabase db(4);
+  db.insert_batch({});
+  EXPECT_TRUE(db.empty());
+}
+
 TEST(CrpStore, DirectoryWithFilesButNoManifestFailsCleanly) {
   const io::TempDir dir("np-crp-store");
   io::atomic_write_file(dir.path() + "/shard-0000-000000.wal",

@@ -63,6 +63,14 @@
 //                       free (tables are preallocated in the
 //                       constructor); growth calls allocate even though
 //                       no `new`/make_* token appears at the call site
+//   fleet-growth        push_back/emplace_back into a member container
+//                       (`name_`) inside a per-device loop (a loop whose
+//                       header mentions device/fleet vocabulary): a
+//                       fleet-lifetime container growing once per device
+//                       is O(fleet) memory and breaks the simulator's
+//                       bounded-memory contract — accumulate into a
+//                       bounded local staging buffer (flushed per chunk/
+//                       wave) or a streaming estimator instead
 //
 // Exit codes: 0 clean, 1 violations/self-test failure, 2 usage error
 // (including a missing lint root or an empty fixture/source set — the
@@ -87,7 +95,8 @@ namespace fs = std::filesystem;
 const std::set<std::string> kRuleNames = {
     "std-rand",       "raw-memset-wipe",     "secret-compare",
     "secret-index",   "missing-wipe",        "lock-order",
-    "blocking-under-lock", "atomic-misuse",  "admission-alloc"};
+    "blocking-under-lock", "atomic-misuse",  "admission-alloc",
+    "fleet-growth"};
 
 const std::set<std::string> kBannedRandom = {
     "rand", "srand", "rand_r", "random", "srandom", "drand48", "lrand48"};
@@ -690,6 +699,110 @@ void check_concurrency(const std::string& display_path, const ParsedFile& file,
   }
 }
 
+// ---------------------------------------------------------------------------
+// fleet-growth: per-device accumulation into fleet-lifetime containers.
+//
+// The fleet simulator's memory contract is O(chunk)+O(wave), never
+// O(fleet): anything appended once per device into a container that
+// outlives the loop accumulates a million entries. The lexical proxy:
+// a growth call whose receiver is a member (trailing-underscore name,
+// the repo's member convention) inside a loop whose header speaks the
+// device vocabulary. Locals (no trailing underscore) are the sanctioned
+// staging idiom — bounded by the chunk/wave the loop iterates.
+
+const std::set<std::string> kFleetGrowthCalls = {"push_back", "emplace_back"};
+
+bool device_vocabulary(const std::string& ident) {
+  return ident == "dev" || ident == "fleet" ||
+         ident.find("device") != std::string::npos;
+}
+
+bool member_name(const std::string& ident) {
+  return ident.size() >= 2 && ident.back() == '_';
+}
+
+void check_fleet_growth(const std::string& display_path,
+                        const ParsedFile& file, std::vector<Violation>& out) {
+  std::set<std::pair<std::size_t, std::string>> emitted;
+  auto emit = [&](std::size_t line_no, std::string message) {
+    if (allowed(file, line_no, "fleet-growth")) return;
+    if (!emitted.insert({line_no, "fleet-growth"}).second) return;
+    out.push_back({display_path, line_no, "fleet-growth", std::move(message)});
+  };
+
+  std::vector<FlatToken> ft;
+  for (std::size_t idx = 0; idx < file.lines.size(); ++idx) {
+    for (const auto& tok : file.lines[idx].tokens) {
+      ft.push_back({&tok.text, idx});
+    }
+  }
+
+  // Brace depths at which a device-vocabulary loop was opened; a loop
+  // dies when the depth drops back to its declaration depth (the same
+  // lexical scoping the lock tracker uses). Braceless loop bodies are
+  // out of scope for this heuristic — the repo style always braces.
+  std::vector<int> device_loops;
+  std::size_t cur_line = 0;
+  auto close_lines_through = [&](std::size_t target_idx) {
+    while (cur_line < target_idx) {
+      const int depth_after = file.lines[cur_line].depth_after;
+      while (!device_loops.empty() && device_loops.back() >= depth_after) {
+        device_loops.pop_back();
+      }
+      ++cur_line;
+    }
+  };
+
+  for (std::size_t k = 0; k < ft.size(); ++k) {
+    close_lines_through(ft[k].line_idx);
+    const std::string& t = *ft[k].text;
+    const std::size_t line_no = ft[k].line_idx + 1;
+
+    // Loop header scan: `for (...)` / `while (...)` naming a device.
+    if ((t == "for" || t == "while") && k + 1 < ft.size() &&
+        *ft[k + 1].text == "(") {
+      bool device_loop = false;
+      int paren = 1;
+      for (std::size_t m = k + 2; m < ft.size() && paren > 0; ++m) {
+        const std::string& a = *ft[m].text;
+        if (a == "(") {
+          ++paren;
+        } else if (a == ")") {
+          --paren;
+        } else if (is_ident(a) && device_vocabulary(a)) {
+          device_loop = true;
+        }
+      }
+      if (device_loop) {
+        device_loops.push_back(file.lines[ft[k].line_idx].depth_before);
+      }
+      continue;
+    }
+
+    if (device_loops.empty()) continue;
+    if (!kFleetGrowthCalls.count(t) || k + 1 >= ft.size() ||
+        *ft[k + 1].text != "(") {
+      continue;
+    }
+    // Receiver: `member_.push_back(` (the tokenizer drops `->`, so a
+    // pointer receiver appears as the identifier directly before the
+    // call token).
+    std::string receiver;
+    if (k >= 2 && *ft[k - 1].text == "." && is_ident(*ft[k - 2].text)) {
+      receiver = *ft[k - 2].text;
+    } else if (k >= 1 && is_ident(*ft[k - 1].text)) {
+      receiver = *ft[k - 1].text;
+    }
+    if (member_name(receiver)) {
+      emit(line_no,
+           "'" + receiver + "." + t + "' grows a fleet-lifetime container "
+           "inside a per-device loop — O(fleet) memory; stage into a "
+           "bounded local flushed per chunk/wave, or use a streaming "
+           "estimator (metrics/streaming.hpp)");
+    }
+  }
+}
+
 // Cycle detection over the accumulated acquisition graph: edge A->B is a
 // violation when B (transitively) reaches back to A — including the
 // self-edge A->A, a lexically visible double-acquire.
@@ -830,6 +943,7 @@ int run_lint(const std::vector<std::string>& roots,
     const ParsedFile parsed = parse_file(file);
     check_file(file.generic_string(), parsed, violations);
     check_concurrency(file.generic_string(), parsed, graph, violations);
+    check_fleet_growth(file.generic_string(), parsed, violations);
   }
   finalize_lock_order(graph, violations);
 
@@ -899,6 +1013,7 @@ int run_self_test(const std::string& fixture_dir) {
     LockGraph graph;
     check_concurrency(file.generic_string(), parsed, graph, violations);
     finalize_lock_order(graph, violations);
+    check_fleet_growth(file.generic_string(), parsed, violations);
 
     // A fixture that expects nothing tests nothing: a renamed rule or a
     // mangled annotation must fail here, not silently pass.

@@ -1,0 +1,80 @@
+// ctlint fixture: the fleet-growth pass. Lint-only — never compiled.
+//
+// Covers: per-device appends into member (fleet-lifetime) containers —
+// the O(fleet) memory leak the fleet simulator's bounded-memory contract
+// forbids — across for/while/range-for device loops and pointer
+// receivers; plus the sanctioned patterns: bounded local staging inside
+// the loop, member growth outside any device loop, non-device loops,
+// and suppression with a reason.
+
+#include <cstddef>
+#include <vector>
+
+namespace fixture {
+
+struct Simulator {
+  std::vector<int> reports_;
+  std::vector<int> failures_;
+  std::vector<int>* journal_;
+  std::size_t devices = 0;
+};
+
+// The bug this pass exists for: one append per device, fleet lifetime.
+void accumulate_per_device(Simulator& sim) {
+  for (std::size_t device = 0; device < sim.devices; ++device) {
+    sim.reports_.push_back(1);   // ctlint:expect(fleet-growth)
+    sim.failures_.emplace_back(2);  // ctlint:expect(fleet-growth)
+  }
+}
+
+// Range-for over devices and a pointer receiver are the same hazard.
+void accumulate_range_for(Simulator& sim, const std::vector<int>& fleet) {
+  for (const int device_id : fleet) {
+    sim.journal_->push_back(device_id);  // ctlint:expect(fleet-growth)
+  }
+}
+
+// while-loops speak the same vocabulary.
+void accumulate_while(Simulator& sim) {
+  std::size_t device = 0;
+  while (device < sim.devices) {
+    sim.reports_.push_back(1);  // ctlint:expect(fleet-growth)
+    ++device;
+  }
+}
+
+// Sanctioned: bounded local staging, flushed per chunk — the buffer's
+// lifetime is the loop body's enclosing scope, not the fleet's.
+void staged_harvest(Simulator& sim) {
+  std::vector<int> staging;
+  for (std::size_t device = 0; device < sim.devices; ++device) {
+    staging.push_back(1);
+  }
+}
+
+// Sanctioned: member growth outside any device loop (setup/config).
+void configure(Simulator& sim) {
+  sim.reports_.push_back(0);
+  for (std::size_t i = 0; i < 8; ++i) {
+    sim.failures_.push_back(static_cast<int>(i));  // not a device loop
+  }
+}
+
+// After the device loop closes, member growth is fine again.
+void summarize(Simulator& sim) {
+  for (std::size_t device = 0; device < sim.devices; ++device) {
+    staged_harvest(sim);
+  }
+  sim.reports_.push_back(1);
+}
+
+// A reviewed accumulation (e.g. a test over a 4-device toy fleet) can
+// be suppressed, with a reason.
+void reviewed(Simulator& sim) {
+  for (std::size_t device = 0; device < sim.devices; ++device) {
+    // ctlint:allow(fleet-growth) fixture: 4-device toy fleet in a test
+    sim.reports_.push_back(1);
+  }
+}
+
+}  // namespace fixture
